@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the table it regenerates (run with ``-s`` to see it)
+and records headline numbers in ``benchmark.extra_info`` so the JSON
+output carries them too.
+"""
+
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Render a list of row dicts as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0])
+    widths = {
+        column: max(len(str(column)),
+                    *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns))

@@ -1,0 +1,92 @@
+"""E10 — WP2: security requirements from vulnerability databases.
+
+Regenerates the extraction-yield table: the bundled 120-record database
+scanned against three platform inventories, reporting matches,
+requirements emitted, and the pattern-family distribution.
+
+Expected shape: yield grows with inventory exposure (legacy > patched >
+bare); every emitted requirement carries a pattern family and the
+distribution covers multiple families.
+"""
+
+from repro.vulndb import (
+    RequirementGenerator,
+    Severity,
+    SoftwareInventory,
+    bundled_database,
+)
+
+from conftest import print_table
+
+INVENTORIES = {
+    "legacy-ubuntu": SoftwareInventory.of("legacy-ubuntu", "ubuntu", {
+        "bash": "4.2", "openssl": "1.0.1f", "openssh-server": "6.6",
+        "nis": "3.17", "rsh-server": "0.17", "telnetd": "0.17",
+        "httpd": "2.4.10", "postgresql": "9.6",
+    }),
+    "patched-ubuntu": SoftwareInventory.of("patched-ubuntu", "ubuntu", {
+        "bash": "5.1", "openssl": "3.0.9", "openssh-server": "9.3",
+        "httpd": "2.4.57", "postgresql": "15.3",
+    }),
+    "bare-windows": SoftwareInventory.of("bare-windows", "windows", {
+        "smbv1": "1.0", "rdp": "10.0",
+    }),
+}
+
+
+def test_bench_e10_yield_table():
+    database = bundled_database()
+    rows = []
+    yields = {}
+    for name, inventory in INVENTORIES.items():
+        report = RequirementGenerator(database).generate(inventory)
+        rows.append({
+            "inventory": name,
+            "products": len(inventory.products),
+            "scanned": report.scanned,
+            "matched": len(report.matched),
+            "requirements": len(report.requirements),
+        })
+        yields[name] = len(report.requirements)
+    print_table("E10 extraction yield per inventory", rows)
+    assert yields["legacy-ubuntu"] > yields["patched-ubuntu"]
+    assert yields["bare-windows"] >= 2  # the curated SMB/RDP records
+
+
+def test_bench_e10_pattern_distribution():
+    database = bundled_database()
+    report = RequirementGenerator(database).generate(
+        INVENTORIES["legacy-ubuntu"])
+    histogram = report.pattern_histogram()
+    print_table("E10 pattern-family distribution (legacy-ubuntu)", [
+        {"pattern_family": family, "requirements": count}
+        for family, count in sorted(histogram.items())
+    ])
+    assert len(histogram) >= 3
+    assert sum(histogram.values()) == len(report.requirements)
+
+
+def test_bench_e10_severity_filtering():
+    database = bundled_database()
+    rows = []
+    for severity in (Severity.LOW, Severity.MEDIUM, Severity.HIGH,
+                     Severity.CRITICAL):
+        report = RequirementGenerator(
+            database, min_severity=severity).generate(
+                INVENTORIES["legacy-ubuntu"])
+        rows.append({
+            "min_severity": severity.value,
+            "requirements": len(report.requirements),
+        })
+    print_table("E10 yield by severity floor", rows)
+    counts = [row["requirements"] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_bench_e10_scan_throughput(benchmark):
+    database = bundled_database()
+    generator = RequirementGenerator(database)
+    report = benchmark(generator.generate, INVENTORIES["legacy-ubuntu"])
+    assert report.requirements
+    benchmark.extra_info["records"] = len(database)
+    benchmark.extra_info["requirements"] = len(report.requirements)

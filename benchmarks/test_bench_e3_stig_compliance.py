@@ -1,0 +1,83 @@
+"""E3 — "prevention at development": the STIG compliance gate.
+
+Regenerates the compliance matrix over the full catalogue and the three
+host profiles per platform: check-before, remediated, check-after.
+
+Expected shape: hardened profiles are 100% compliant before enforcement;
+default profiles are partially compliant; adversarial profiles start
+near 0% and reach 100% after enforcement.
+"""
+
+import pytest
+
+from repro.environment import (
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+from conftest import print_table
+
+PROFILES = {
+    "win10-default": default_windows_host,
+    "win10-hardened": hardened_windows_host,
+    "win10-adversarial": adversarial_windows_host,
+    "ubuntu-default": default_ubuntu_host,
+    "ubuntu-hardened": hardened_ubuntu_host,
+    "ubuntu-adversarial": adversarial_ubuntu_host,
+}
+
+
+def test_bench_e3_compliance_matrix():
+    catalog = default_catalog()
+    rows = []
+    for name, factory in PROFILES.items():
+        audit_host = factory()
+        audit = catalog.check_host(audit_host)
+        harden_host = factory()
+        hardened = catalog.harden_host(harden_host)
+        rows.append({
+            "profile": name,
+            "findings": audit.total,
+            "pass_before": audit.passing,
+            "remediated": hardened.remediated,
+            "pass_after": hardened.passing,
+        })
+    print_table("E3 compliance matrix (check / enforce / re-check)", rows)
+
+    by_name = {row["profile"]: row for row in rows}
+    # Hardened profiles need no remediation.
+    assert by_name["win10-hardened"]["remediated"] == 0
+    assert by_name["ubuntu-hardened"]["pass_before"] == \
+        by_name["ubuntu-hardened"]["findings"]
+    # Adversarial profiles start at zero and end fully compliant.
+    assert by_name["ubuntu-adversarial"]["pass_before"] == 0
+    assert by_name["ubuntu-adversarial"]["pass_after"] == \
+        by_name["ubuntu-adversarial"]["findings"]
+    assert by_name["win10-adversarial"]["pass_after"] == 12
+
+
+@pytest.mark.parametrize("profile", ["ubuntu-adversarial",
+                                     "win10-adversarial"])
+def test_bench_e3_harden_throughput(benchmark, profile):
+    catalog = default_catalog()
+    factory = PROFILES[profile]
+
+    def harden_fresh_host():
+        return catalog.harden_host(factory())
+
+    report = benchmark(harden_fresh_host)
+    assert report.compliance_ratio == 1.0
+    benchmark.extra_info["findings"] = report.total
+    benchmark.extra_info["remediated"] = report.remediated
+
+
+def test_bench_e3_audit_throughput(benchmark):
+    catalog = default_catalog()
+    host = default_ubuntu_host()
+    report = benchmark(catalog.check_host, host)
+    assert report.total == 14

@@ -1,0 +1,160 @@
+"""E5 — PROPAS/PSP formula generation and observer verification.
+
+Regenerates two tables:
+
+1. the pattern x scope coverage matrix (which combinations render to
+   LTL, which to TCTL) — the catalogue's advertised surface;
+2. observer-automata verdicts: each supported observer composed with a
+   compliant and a violating system, checked with the zone checker.
+
+Expected shape: 29 LTL cells; observers separate compliant from
+violating systems on every row.
+"""
+
+from repro.specpatterns import (
+    Absence,
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    BoundedExistence,
+    Existence,
+    Globally,
+    PatternScopeUnsupported,
+    Precedence,
+    PrecedenceChain,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+    build_observer,
+    to_ltl,
+    to_tctl,
+)
+from repro.specpatterns.observers import ObserverUnsupported
+from repro.ta import Edge, Location, Network, TimedAutomaton, \
+    ZoneGraphChecker, parse_query
+
+from conftest import print_table
+
+PATTERNS = [
+    Absence(p="p"),
+    Universality(p="p"),
+    Existence(p="p"),
+    BoundedExistence(p="p"),
+    Precedence(p="p", s="s"),
+    Response(p="p", s="s"),
+    PrecedenceChain(p="p", s="s", t="t"),
+    ResponseChain(p="p", s="s", t="t"),
+    TimedResponse(p="p", s="s", bound=5),
+]
+
+SCOPES = [
+    Globally(),
+    BeforeR(r="r"),
+    AfterQ(q="q"),
+    BetweenQAndR(q="q", r="r"),
+    AfterQUntilR(q="q", r="r"),
+]
+
+
+def test_bench_e5_coverage_matrix():
+    rows = []
+    ltl_cells = 0
+    for pattern in PATTERNS:
+        row = {"pattern": pattern.kind}
+        for scope in SCOPES:
+            try:
+                to_ltl(pattern, scope)
+                cell = "LTL"
+                ltl_cells += 1
+            except PatternScopeUnsupported:
+                cell = "-"
+            try:
+                build_observer(pattern, scope)
+                cell += "+Obs"
+            except ObserverUnsupported:
+                pass
+            row[scope.kind] = cell
+        rows.append(row)
+    print_table("E5 pattern x scope coverage", rows)
+    assert ltl_cells == 29
+    # TCTL rendering is total over the pattern set.
+    for pattern in PATTERNS:
+        assert to_tctl(pattern)
+
+
+def emitter(name, *actions, loop=False):
+    locations = [Location(f"s{i}", urgent=True)
+                 for i in range(len(actions))]
+    locations.append(Location("end", urgent=loop))
+    edges = []
+    for i, action in enumerate(actions):
+        target = f"s{i + 1}" if i + 1 < len(actions) else "end"
+        edges.append(Edge(f"s{i}", target, sync=f"{action}!",
+                          action=action))
+    if loop and actions:
+        edges.append(Edge("end", "s0", action="repeat"))
+    return TimedAutomaton(name=name, clocks=[], locations=locations,
+                          edges=edges)
+
+
+OBSERVER_CASES = [
+    ("Absence/Globally", Absence(p="p"), None,
+     ("q",), ("p",)),
+    ("Absence/AfterQ", Absence(p="p"), AfterQ(q="q"),
+     ("p", "q"), ("q", "p")),
+    ("Absence/Between", Absence(p="p"), BetweenQAndR(q="q", r="r"),
+     ("q", "r", "p"), ("q", "p", "r")),
+    ("Precedence/Globally", Precedence(p="p", s="s"), None,
+     ("s", "p"), ("p", "s")),
+    ("Existence/Globally", Existence(p="p"), None,
+     ("p",), ("x",)),
+    ("BoundedExistence/Globally", BoundedExistence(p="p", bound=2), None,
+     ("p", "p"), ("p", "p", "p")),
+    ("ResponseChain/Globally", ResponseChain(p="p", s="s", t="t"), None,
+     ("p", "s", "t"), ("p", "s")),
+    ("Universality/Globally", Universality(p="up"), None,
+     ("boot",), ("not_up",)),
+]
+
+
+def test_bench_e5_observer_verdicts():
+    rows = []
+    for title, pattern, scope, good, bad in OBSERVER_CASES:
+        channels = set(good) | set(bad)
+        observer = build_observer(pattern, scope,
+                                  extra_channels=sorted(channels))
+        query = parse_query(observer.query)
+
+        def verdict(actions):
+            system = emitter("Sys", *actions)
+            network = Network([system, observer.automaton])
+            return ZoneGraphChecker(network).check(query)
+
+        good_result = verdict(good)
+        bad_result = verdict(bad)
+        rows.append({
+            "case": title,
+            "query": observer.query,
+            "compliant": "HOLDS" if good_result.satisfied else "VIOLATED",
+            "violating": "HOLDS" if bad_result.satisfied else "VIOLATED",
+        })
+    print_table("E5 observer verdicts (compliant vs violating systems)",
+                rows)
+    assert all(row["compliant"] == "HOLDS" for row in rows)
+    assert all(row["violating"] == "VIOLATED" for row in rows)
+
+
+def test_bench_e5_verification_throughput(benchmark):
+    observer = build_observer(Response(p="req", s="ack"))
+    system = emitter("Sys", "req", "ack", loop=True)
+    network = Network([system, observer.automaton])
+    query = parse_query(observer.query)
+
+    def verify():
+        return ZoneGraphChecker(network).check(query)
+
+    result = benchmark(verify)
+    assert result.satisfied
+    benchmark.extra_info["states"] = result.states_explored

@@ -1,0 +1,126 @@
+"""E6 — model-checker substrate scaling (DESIGN.md ablation).
+
+Scales a parametric token-ring of timed stations from N=2 to N=5 and
+compares the two engines on the same reachability/safety queries:
+
+* zone-graph (DBM abstraction) — states explored;
+* discrete-time (explicit integer clocks) — states explored.
+
+Expected shape: both engines agree on every verdict; the discrete
+engine explores more states, and its disadvantage grows with N and
+with the clock constants.
+"""
+
+import pytest
+
+from repro.ta import (
+    DiscreteTimeChecker,
+    Edge,
+    Location,
+    Network,
+    TimedAutomaton,
+    ZoneGraphChecker,
+    parse_guard,
+    parse_query,
+)
+
+from conftest import print_table
+
+
+def token_ring(size: int, hold: int = 4) -> Network:
+    """A ring of stations passing one token.
+
+    Station i holds the token between ``hold/2`` and ``hold`` time
+    units (invariant forces release), then hands it to station i+1.
+    """
+    stations = []
+    for index in range(size):
+        has_token = index == 0
+        take = f"tok{index}"
+        give = f"tok{(index + 1) % size}"
+        locations = [
+            Location("idle"),
+            Location("busy", invariant=parse_guard(f"c <= {hold}")),
+        ]
+        edges = [
+            Edge("idle", "busy", sync=f"{take}?", resets=("c",),
+                 action=f"take{index}"),
+            Edge("busy", "idle", guard=parse_guard(f"c >= {hold // 2}"),
+                 sync=f"{give}!", action=f"give{index}"),
+        ]
+        stations.append(TimedAutomaton(
+            name=f"S{index}", clocks=["c"], locations=locations,
+            edges=edges, initial="busy" if has_token else "idle"))
+    return Network(stations)
+
+
+def test_bench_e6_scaling_table():
+    rows = []
+    for size in (2, 3, 4, 5):
+        network = token_ring(size)
+        last = f"S{size - 1}"
+        query = parse_query(f"E<> {last}.busy")
+        zone_result = ZoneGraphChecker(network).check(query)
+        discrete_result = DiscreteTimeChecker(network).reachable(
+            query.formula)
+        assert zone_result.satisfied == discrete_result.satisfied is True
+        rows.append({
+            "stations": size,
+            "zone_states": zone_result.states_explored,
+            "discrete_states": discrete_result.states_explored,
+            "ratio": round(discrete_result.states_explored
+                           / max(1, zone_result.states_explored), 1),
+        })
+    print_table("E6 engine scaling (token ring, E<> last busy)", rows)
+    # The discrete engine's disadvantage grows with model size.
+    assert all(row["discrete_states"] > row["zone_states"]
+               for row in rows)
+    assert rows[-1]["ratio"] >= rows[0]["ratio"]
+
+
+def test_bench_e6_constant_sensitivity():
+    """Zone states are insensitive to the clock constants; discrete
+    states grow with them — the core argument for DBMs."""
+    rows = []
+    for hold in (4, 8, 16):
+        network = token_ring(3, hold=hold)
+        query = parse_query("E<> S2.busy")
+        zone_states = ZoneGraphChecker(network).check(
+            query).states_explored
+        discrete_states = DiscreteTimeChecker(network).reachable(
+            query.formula).states_explored
+        rows.append({
+            "hold_constant": hold,
+            "zone_states": zone_states,
+            "discrete_states": discrete_states,
+        })
+    print_table("E6 constant sensitivity (3 stations)", rows)
+    assert rows[0]["zone_states"] == rows[-1]["zone_states"]
+    assert rows[-1]["discrete_states"] > rows[0]["discrete_states"]
+
+
+@pytest.mark.parametrize("engine", ["zone", "discrete"])
+def test_bench_e6_engine_throughput(benchmark, engine):
+    network = token_ring(3)
+    query = parse_query("E<> S2.busy")
+
+    if engine == "zone":
+        def check():
+            return ZoneGraphChecker(network).check(query)
+    else:
+        def check():
+            return DiscreteTimeChecker(network).reachable(query.formula)
+
+    result = benchmark(check)
+    assert result.satisfied
+    benchmark.extra_info["states"] = result.states_explored
+
+
+def test_bench_e6_safety_agreement():
+    network = token_ring(3)
+    # Mutual exclusion: stations 0 and 1 never both hold the token.
+    query = parse_query("A[] not (S0.busy and S1.busy)")
+    zone = ZoneGraphChecker(network).check(query)
+    discrete = DiscreteTimeChecker(network).invariantly(query.formula)
+    assert zone.satisfied
+    assert discrete.satisfied

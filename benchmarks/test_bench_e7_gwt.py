@@ -1,0 +1,165 @@
+"""E7 — GWT/TIGER test generation.
+
+Regenerates the generation table over three behaviour models (login,
+turnstile, vending): abstract steps, action coverage, and generated
+script size per strategy (random walk vs coverage-guided — the
+DESIGN.md ablation).
+
+Expected shape: coverage-guided reaches 100% action coverage with
+fewer steps than a random walk needs for the same coverage.
+"""
+
+from repro.gwt import (
+    GraphModel,
+    MappingRule,
+    ScriptCreator,
+    edge_coverage_paths,
+    random_walk,
+    vertex_coverage_paths,
+)
+from repro.gwt import TestGenerator as TigerGenerator
+from repro.gwt.graph import edge_coverage_of
+
+from conftest import print_table
+
+
+def login_model():
+    model = GraphModel("login", "logged_out")
+    model.add_state("logged_in")
+    model.add_state("locked")
+    model.add_action("logged_out", "logged_in", "login_ok")
+    model.add_action("logged_out", "logged_out", "login_fail")
+    model.add_action("logged_out", "locked", "lockout", param1=3)
+    model.add_action("locked", "logged_out", "unlock")
+    model.add_action("logged_in", "logged_out", "logout")
+    return model
+
+
+def turnstile_model():
+    model = GraphModel("turnstile", "locked")
+    model.add_state("unlocked")
+    model.add_action("locked", "unlocked", "coin")
+    model.add_action("locked", "locked", "push_locked")
+    model.add_action("unlocked", "locked", "push")
+    model.add_action("unlocked", "unlocked", "coin_again")
+    return model
+
+
+def vending_model():
+    model = GraphModel("vending", "idle")
+    for state in ("paid", "selected", "dispensing"):
+        model.add_state(state)
+    model.add_action("idle", "paid", "insert_coin", param1=1)
+    model.add_action("paid", "idle", "refund")
+    model.add_action("paid", "selected", "select_item")
+    model.add_action("selected", "dispensing", "confirm")
+    model.add_action("dispensing", "idle", "dispense")
+    model.add_action("selected", "paid", "cancel_selection")
+    return model
+
+
+MODELS = {
+    "login": login_model,
+    "turnstile": turnstile_model,
+    "vending": vending_model,
+}
+
+
+def test_bench_e7_generation_table():
+    rows = []
+    for name, factory in MODELS.items():
+        model = factory()
+        coverage_case = edge_coverage_paths(model)
+        vertex_case = vertex_coverage_paths(model)
+        random_case = random_walk(model, seed=0, max_steps=500,
+                                  edge_coverage=1.0)
+        rows.append({
+            "model": name,
+            "actions": len(model.actions),
+            "edge_cov_steps": len(coverage_case.steps),
+            "vertex_cov_steps": len(vertex_case.steps),
+            "random_steps_to_full": len(random_case.steps),
+        })
+    print_table("E7 abstract-test generation per model", rows)
+    for row in rows:
+        # Coverage-guided needs at most as many steps as random walking.
+        assert row["edge_cov_steps"] <= row["random_steps_to_full"]
+
+
+def test_bench_e7_coverage_vs_budget():
+    """Random-walk coverage as a function of the step budget."""
+    model = vending_model()
+    rows = []
+    for budget in (2, 4, 8, 16, 32, 64):
+        coverages = []
+        for seed in range(10):
+            case = random_walk(model, seed=seed, max_steps=budget)
+            coverages.append(edge_coverage_of(model, [case]))
+        rows.append({
+            "budget": budget,
+            "mean_coverage": round(sum(coverages) / len(coverages), 3),
+        })
+    print_table("E7 random-walk coverage vs step budget (vending)", rows)
+    assert rows[-1]["mean_coverage"] >= rows[0]["mean_coverage"]
+
+
+def test_bench_e7_concretization(benchmark):
+    model = login_model()
+    rules = [
+        MappingRule("login_ok", ["system.login('u', 'pw')"]),
+        MappingRule("login_fail", ["system.login('u', 'bad')"]),
+        MappingRule("lockout",
+                    ["for _ in range(int({param1})): "
+                     "system.login('u', 'bad')"]),
+        MappingRule("unlock", ["system.admin_unlock('u')"]),
+        MappingRule("logout", ["system.logout()"]),
+    ]
+    generator = TigerGenerator(rules)
+    creator = ScriptCreator()
+    cases = [edge_coverage_paths(model),
+             vertex_coverage_paths(model, test_id="vc-0")]
+
+    def generate_script():
+        return creator.render(generator.concretize_all(cases))
+
+    script = benchmark(generate_script)
+    compile(script, "<generated>", "exec")
+    benchmark.extra_info["script_lines"] = len(script.splitlines())
+
+
+def test_bench_e7_feature_to_tests_chain():
+    """Extension: the fully automatic BDD chain — feature text to a
+    covering abstract-test suite via the synthesized prefix-tree model."""
+    from repro.gwt import parse_feature
+    from repro.gwt.dsl import generate_suite
+    from repro.gwt.scenario_model import model_from_feature
+
+    feature = parse_feature("""
+Feature: Account lockout
+  Scenario: lock after failures
+    Given the account is active
+    When 3 consecutive logons fail
+    Then the account is locked
+
+  Scenario: admin recovery
+    Given the account is active
+    When 3 consecutive logons fail
+    Then the account is locked
+    And the administrator unlocks the account
+
+  Scenario: normal logon
+    Given the account is active
+    When the user logs on successfully
+    Then a session is created
+""")
+    model = model_from_feature(feature)
+    suite = generate_suite(model, "directed(edge_coverage(100))")
+    coverage = edge_coverage_of(model, suite)
+    print_table("E7 feature -> synthesized model -> suite", [{
+        "scenarios": len(feature.scenarios),
+        "model_states": len(model.states),
+        "model_actions": len(model.actions),
+        "suite_cases": len(suite),
+        "action_coverage": f"{coverage:.0%}",
+    }])
+    assert coverage == 1.0

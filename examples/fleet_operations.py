@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fleet operations: posture, protection, and a drift storm.
+
+Builds a mixed fleet (Ubuntu web tier + a Windows operations console),
+audits the fleet posture, arms per-host protection, injects a drift
+storm across every machine, and shows the fleet healing itself —
+finishing with the aggregated posture table and incident log.
+
+Run:  python examples/fleet_operations.py
+"""
+
+from repro.core import Fleet, FleetProtection
+from repro.environment import (
+    default_ubuntu_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+
+def print_rows(title, rows):
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(none)")
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows))
+              for c in columns}
+    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+
+
+def main() -> None:
+    fleet = Fleet("prod", default_catalog())
+    fleet.add(hardened_ubuntu_host("web-1"))
+    fleet.add(hardened_ubuntu_host("web-2"))
+    fleet.add(default_ubuntu_host("web-3"))      # joined unhardened
+    fleet.add(hardened_windows_host("console"))
+
+    print_rows("initial posture (audit)", fleet.audit().rows())
+
+    # Bring the stray host up to baseline, then arm protection.
+    posture = fleet.harden()
+    print_rows("posture after fleet hardening", posture.rows())
+
+    protection = FleetProtection(fleet).start()
+    print("\nprotection armed on", len(fleet), "hosts; drift storm...")
+
+    fleet.host("web-1").drift_install_package("nis")
+    fleet.host("web-2").drift_config_value(
+        "/etc/ssh/sshd_config", "PermitEmptyPasswords", "yes")
+    fleet.host("web-3").drift_stop_service("rsyslog")
+    fleet.host("console").drift_audit_policy("Logon")
+    fleet.host("console").drift_account_policy(threshold=0)
+
+    effective = [i for i in protection.incidents() if i.effective]
+    print_rows("effective repairs", [
+        {
+            "t": incident.detected_at,
+            "requirement": incident.req_id,
+            "trigger": incident.trigger_kind,
+            "repaired": ", ".join(r.finding_id for r in incident.repairs),
+        }
+        for incident in effective
+    ])
+
+    print_rows("final posture", fleet.audit().rows())
+    print(f"\n{protection.effective_repairs()} effective repairs, "
+          f"worst ratio {fleet.audit().worst_ratio:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Operations audit: telemetry, post-hoc judgement, and reporting.
+
+Runs a full drift-and-repair episode on a deployed host while a
+telemetry sampler records compliance signals; then (a) judges the
+episode post-hoc with a TEARS guarded assertion, (b) renders the
+Markdown security report for the cycle, and (c) exports the PROPAS
+observer model of the recovery requirement as UPPAAL XML for external
+verification.
+
+Run:  python examples/ops_audit.py
+"""
+
+from repro.core import VeriDevOpsOrchestrator, report_for_cycle
+from repro.environment import hardened_ubuntu_host
+from repro.environment.telemetry import HostSampler
+from repro.specpatterns import TimedResponse, build_observer
+from repro.ta import Edge, Location, Network, TimedAutomaton, parse_guard
+from repro.ta.uppaal_export import to_uppaal_queries, to_uppaal_xml
+from repro.tears import GuardedAssertion, parse_expr
+
+
+def main() -> None:
+    # -- deploy and arm protection -------------------------------------------
+    host = hardened_ubuntu_host("ops-prod")
+    orchestrator = VeriDevOpsOrchestrator()
+    orchestrator.ingest_standards("ubuntu")
+    run = orchestrator.run_prevention([host])
+    loop = orchestrator.start_protection(host, run)
+    sampler = HostSampler(host, orchestrator.catalog)
+
+    # -- episode 1: event-driven repair is invisible to a sampler ---------------
+    sampler.sample(0)
+    host.drift_install_package("nis")  # detected and repaired in-event
+    sampler.sample(1)                  # already back at 100%
+    print(f"event-driven incidents: {loop.incident_count()} "
+          f"({sum(1 for i in loop.incidents if i.effective)} effective)")
+
+    # -- episode 2: with the loop down, drift persists until the next poll --------
+    loop.stop()
+    host.drift_config_value("/etc/ssh/sshd_config",
+                            "PermitEmptyPasswords", "yes")
+    sampler.sample(2)                  # degradation visible
+    from repro.core import PollingProtection
+    polling = PollingProtection(host, orchestrator.catalog)
+    polling.poll()                     # the scheduled repair
+    sampler.sample(3)                  # recovered
+    print(f"polling incidents: {len(polling.incidents)}")
+
+    # -- (a) post-hoc judgement with TEARS ----------------------------------------
+    ga = GuardedAssertion(
+        name="compliance_recovers_fast",
+        guard=parse_expr("compliance < 1"),
+        assertion=parse_expr("compliance == 1"),
+        within=2,
+    )
+    result = ga.evaluate(sampler.trace)
+    print(f"TEARS '{ga.name}': {result.verdict.value} "
+          f"({result.activations} activations)")
+
+    # -- (b) the Markdown security report ------------------------------------------
+    report = report_for_cycle(orchestrator, run, loop,
+                              title="ops-prod security report")
+    markdown = report.render()
+    print("\n--- report head ---")
+    for line in markdown.splitlines()[:14]:
+        print(line)
+
+    # -- (c) UPPAAL export of the recovery requirement's observer model ---------------
+    pattern = TimedResponse(p="drift", s="repaired", bound=5)
+    observer = build_observer(pattern)
+    ops_model = TimedAutomaton(
+        name="Ops", clocks=["x"],
+        locations=[
+            Location("steady"),
+            Location("repairing", invariant=parse_guard("x <= 1")),
+        ],
+        edges=[
+            Edge("steady", "repairing", sync="drift!", resets=("x",),
+                 action="drift"),
+            Edge("repairing", "steady", sync="repaired!",
+                 action="repaired"),
+        ],
+    )
+    network = Network([ops_model, observer.automaton])
+    xml_text = to_uppaal_xml(network)
+    queries = to_uppaal_queries([observer.query], network)
+    print("\n--- UPPAAL export (first 10 lines) ---")
+    for line in xml_text.splitlines()[:10]:
+        print(line)
+    print(f"query file: {queries.strip()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the full VeriDevOps loop in one script.
+
+Requirements come in from three sources (natural language, the STIG
+standard catalogue, a vulnerability database scan); the prevention
+pipeline quality-checks, formalizes, verifies and deploys them against
+a simulated Ubuntu host; the protection loop then detects and repairs
+configuration drift at "operations" time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import VeriDevOpsOrchestrator
+from repro.environment import default_ubuntu_host
+from repro.vulndb import SoftwareInventory, bundled_database
+
+
+def main() -> None:
+    orchestrator = VeriDevOpsOrchestrator()
+
+    # -- WP2: ingest requirements -------------------------------------------
+    orchestrator.ingest_natural_language([
+        "The authentication service shall lock the account.",
+        "When 3 consecutive failures occur, the session manager shall "
+        "alert the operator within 5 seconds.",
+        "The audit subsystem shall not transmit passwords.",
+    ])
+    orchestrator.ingest_standards("ubuntu")
+    inventory = SoftwareInventory.of("ubuntu-prod", "ubuntu", {
+        "openssh-server": "7.6",
+        "bash": "4.3",
+        "openssl": "1.0.1f",
+    })
+    orchestrator.ingest_vulnerabilities(bundled_database(), inventory)
+    print(f"ingested {len(orchestrator.repository)} requirements")
+
+    # -- WP4: prevention pipeline --------------------------------------------
+    host = default_ubuntu_host("ubuntu-prod")
+    run = orchestrator.run_prevention([host])
+    print(run.summary())
+    for row in run.gate_rows():
+        print(f"  [{row['verdict']}] {row['stage']}/{row['gate']}: "
+              f"{row['detail']}")
+
+    # -- WP3: protection at operations ----------------------------------------
+    loop = orchestrator.start_protection(host, run)
+    print("\nprotection armed; injecting drift...")
+    host.drift_install_package("rsh-server")
+    host.drift_config_value("/etc/ssh/sshd_config",
+                            "PermitEmptyPasswords", "yes")
+
+    for incident in loop.incidents:
+        if incident.effective:
+            repairs = ", ".join(r.finding_id for r in incident.repairs)
+            print(f"  detected {incident.trigger_kind} at "
+                  f"t={incident.detected_at} (latency "
+                  f"{incident.detection_latency} events) -> repaired "
+                  f"{repairs}")
+
+    print("\nfinal status histogram:",
+          orchestrator.repository.status_histogram())
+    print("rsh-server installed:", host.dpkg.is_installed("rsh-server"))
+    print("PermitEmptyPasswords:",
+          host.config.get("/etc/ssh/sshd_config", "PermitEmptyPasswords"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Requirements quality and formalization: NALABS + RESA + patterns.
+
+Analyzes a small requirements document for bad smells (NALABS), matches
+each statement against the RESA boilerplates, and renders the formal
+artifacts (specification pattern, LTL, TCTL) for the ones that match —
+the WP2 path from prose to formalism.
+
+Run:  python examples/requirements_quality.py
+"""
+
+from repro.nalabs import NalabsAnalyzer, RequirementText
+from repro.resa import BoilerplateMatchError, match_boilerplate, to_pattern
+from repro.specpatterns import to_ltl, to_tctl
+from repro.specpatterns.ltl_mappings import PatternScopeUnsupported
+
+DOCUMENT = [
+    ("SEC-1", "The authentication service shall lock the account."),
+    ("SEC-2", "When 3 consecutive failures occur, the session manager "
+              "shall alert the operator within 5 seconds."),
+    ("SEC-3", "The audit subsystem shall not transmit passwords."),
+    ("SEC-4", "The gateway shall provide adequate performance and may "
+              "possibly be user-friendly where possible."),
+    ("SEC-5", "While the session is idle, the session manager shall "
+              "enforce the baseline."),
+    ("SEC-6", "The update client handles certificates as described in "
+              "section 4.2 and in [7]."),
+]
+
+
+def main() -> None:
+    analyzer = NalabsAnalyzer()
+
+    print("=== NALABS smell analysis ===")
+    corpus = analyzer.analyze_corpus(
+        [RequirementText(req_id, text) for req_id, text in DOCUMENT])
+    for report in corpus.reports:
+        flags = ", ".join(report.flagged_metrics) or "clean"
+        print(f"{report.req_id}: {flags}")
+    print(f"\n{corpus.smelly_count}/{corpus.total} requirements smelly")
+    print("\nper-metric summary:")
+    for row in corpus.summary_rows():
+        print(f"  {row['metric']:<16} mean={row['mean']:<8} "
+              f"max={row['max']:<8} flagged={row['flagged']}")
+
+    print("\n=== RESA formalization ===")
+    for req_id, text in DOCUMENT:
+        try:
+            structured = match_boilerplate(req_id, text)
+        except BoilerplateMatchError:
+            print(f"{req_id}: no boilerplate match — needs rewriting")
+            continue
+        pattern, scope = to_pattern(structured)
+        print(f"{req_id}: {structured.boilerplate_id} -> ({pattern}) "
+              f"({scope})")
+        try:
+            print(f"   LTL : {to_ltl(pattern, scope)}")
+        except PatternScopeUnsupported:
+            print("   LTL : (outside the catalogue's LTL table)")
+        print(f"   TCTL: {to_tctl(pattern, scope)}")
+
+
+if __name__ == "__main__":
+    main()

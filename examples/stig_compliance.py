@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""STIG compliance campaigns across host profiles (RQCODE in action).
+
+Audits and hardens the six bundled host profiles (default / hardened /
+adversarial, on Windows 10 and Ubuntu 18.04) against the RQCODE
+catalogue, printing the per-finding check/enforce/check table — the
+same shape experiment E3 benchmarks.
+
+Run:  python examples/stig_compliance.py
+"""
+
+from repro.environment import (
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+
+def print_report(title, report) -> None:
+    print(f"\n=== {title}: {report.summary()} ===")
+    header = f"{'finding':<10} {'sev':<7} {'before':<11} " \
+             f"{'enforce':<11} {'after':<6}"
+    print(header)
+    print("-" * len(header))
+    for row in report.rows():
+        print(f"{row['finding']:<10} {row['severity']:<7} "
+              f"{row['before']:<11} {row['enforce']:<11} {row['after']:<6}")
+
+
+def main() -> None:
+    catalog = default_catalog()
+    print(f"catalogue: {len(catalog)} findings "
+          f"({len(catalog.finding_ids('windows'))} windows, "
+          f"{len(catalog.finding_ids('ubuntu'))} ubuntu)")
+
+    profiles = [
+        default_windows_host(), hardened_windows_host(),
+        adversarial_windows_host(), default_ubuntu_host(),
+        hardened_ubuntu_host(), adversarial_ubuntu_host(),
+    ]
+
+    # Audit-only pass: how compliant is each profile out of the box?
+    print("\n--- audit (check only) ---")
+    for host in profiles:
+        report = catalog.check_host(host)
+        bar = "#" * int(report.compliance_ratio * 20)
+        print(f"{host.name:<22} {report.passing:>2}/{report.total:<2} "
+              f"[{bar:<20}]")
+
+    # Remediation pass on the adversarial Ubuntu host, with details.
+    adversarial = adversarial_ubuntu_host("ubuntu-adv-2")
+    report = catalog.harden_host(adversarial)
+    print_report("hardening ubuntu-adversarial", report)
+
+    # One finding end-to-end, showing the STIG document rendering.
+    from repro.rqcode.ubuntu import V_219158
+    finding = V_219158(default_ubuntu_host("doc-demo"))
+    print("\n--- finding document (V-219158) ---")
+    print(finding.to_document()[:400])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — VeriDevOps reproduction.
+
+Automated Protection and Prevention to Meet Security Requirements in
+DevOps Environments (DATE 2021), reproduced as a pure-Python monorepo.
+
+Subpackages:
+
+* :mod:`repro.core` — the VeriDevOps orchestrator, DevOps pipeline
+  engine, security gates, and the operations-time protection loop.
+* :mod:`repro.rqcode` — Requirements as Code: checkable/enforceable
+  requirement classes, temporal patterns, STIG catalogue.
+* :mod:`repro.environment` — simulated Windows/Ubuntu hosts (auditpol,
+  dpkg, config files, services, event log).
+* :mod:`repro.nalabs` — natural-language requirement bad-smell metrics.
+* :mod:`repro.specpatterns` — Dwyer-style specification patterns with
+  LTL/MTL/TCTL mappings and PROPAS observer-automata generation.
+* :mod:`repro.ta` — timed automata and a DBM zone-graph model checker.
+* :mod:`repro.ltl` — LTL over finite traces (3-valued runtime monitor).
+* :mod:`repro.tears` — TEARS guarded assertions over timed logs.
+* :mod:`repro.gwt` — Given-When-Then scenarios and graph-model test
+  generation (TIGER-style concretization).
+* :mod:`repro.resa` — boilerplate-constrained requirements (EAST-ADL).
+* :mod:`repro.vulndb` — vulnerability records and requirement generation.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,292 @@
+"""Command-line interface for the VeriDevOps reproduction.
+
+Subcommands map one-to-one to the library's main workflows::
+
+    python -m repro.cli audit --profile ubuntu-default
+    python -m repro.cli harden --profile ubuntu-adversarial
+    python -m repro.cli smells requirements.csv
+    python -m repro.cli formalize "When intrusion is detected, the \\
+        gateway shall alert the operator within 5 seconds."
+    python -m repro.cli scan --product bash=4.3 --product openssl=1.0.1f
+    python -m repro.cli pipeline --profile ubuntu-default
+
+Every subcommand prints a table to stdout and exits non-zero on a
+failing verdict (non-compliant audit, failing pipeline), so the CLI
+slots into a real CI job the way the paper intends.
+"""
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.environment import (
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.environment.host import SimulatedHost
+
+PROFILES: Dict[str, Callable[[], SimulatedHost]] = {
+    "win10-default": default_windows_host,
+    "win10-hardened": hardened_windows_host,
+    "win10-adversarial": adversarial_windows_host,
+    "ubuntu-default": default_ubuntu_host,
+    "ubuntu-hardened": hardened_ubuntu_host,
+    "ubuntu-adversarial": adversarial_ubuntu_host,
+}
+
+
+def _print_rows(rows: Sequence[dict], out) -> None:
+    if not rows:
+        print("(no rows)", file=out)
+        return
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows))
+              for c in columns}
+    print("  ".join(str(c).ljust(widths[c]) for c in columns), file=out)
+    for row in rows:
+        print("  ".join(str(row[c]).ljust(widths[c]) for c in columns),
+              file=out)
+
+
+def _host_for(profile: str) -> SimulatedHost:
+    try:
+        return PROFILES[profile]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown profile {profile!r}; choose from "
+            f"{', '.join(sorted(PROFILES))}")
+
+
+# -- subcommands -------------------------------------------------------------------
+
+
+def cmd_audit(args, out) -> int:
+    """Check a host profile against the STIG catalogue (read-only)."""
+    from repro.rqcode import default_catalog
+
+    host = _host_for(args.profile)
+    report = default_catalog().check_host(host)
+    _print_rows(report.rows(), out)
+    print(report.summary(), file=out)
+    return 0 if report.compliance_ratio >= 1.0 else 1
+
+
+def cmd_harden(args, out) -> int:
+    """Run the check/enforce/re-check campaign on a host profile."""
+    from repro.rqcode import default_catalog
+
+    host = _host_for(args.profile)
+    report = default_catalog().harden_host(host)
+    _print_rows(report.rows(), out)
+    print(report.summary(), file=out)
+    return 0 if report.compliance_ratio >= 1.0 else 1
+
+
+def cmd_smells(args, out) -> int:
+    """NALABS smell analysis of a requirements CSV (REQ ID, Text)."""
+    from repro.nalabs import NalabsAnalyzer
+
+    with open(args.csv_file) as handle:
+        report = NalabsAnalyzer().analyze_csv(
+            handle.read(), id_column=args.id_column,
+            text_column=args.text_column)
+    rows = [
+        {"req": r.req_id,
+         "smells": ", ".join(r.flagged_metrics) or "-"}
+        for r in report.reports
+    ]
+    _print_rows(rows, out)
+    print(f"{report.smelly_count}/{report.total} requirements smelly",
+          file=out)
+    threshold = args.max_smelly_ratio
+    return 0 if report.smelly_count <= threshold * report.total else 1
+
+
+def cmd_formalize(args, out) -> int:
+    """Match one statement against the RESA boilerplates and render
+    the formal artifacts."""
+    from repro.resa import BoilerplateMatchError, match_boilerplate, \
+        to_pattern
+    from repro.specpatterns import to_ltl, to_tctl
+    from repro.specpatterns.ltl_mappings import PatternScopeUnsupported
+
+    try:
+        structured = match_boilerplate("CLI", args.statement)
+    except BoilerplateMatchError:
+        print("no boilerplate match — rewrite the statement", file=out)
+        return 1
+    pattern, scope = to_pattern(structured)
+    print(f"boilerplate: {structured.boilerplate_id}", file=out)
+    print(f"pattern    : ({pattern}) ({scope})", file=out)
+    try:
+        print(f"LTL        : {to_ltl(pattern, scope)}", file=out)
+    except PatternScopeUnsupported:
+        print("LTL        : (outside the catalogue's LTL table)", file=out)
+    print(f"TCTL       : {to_tctl(pattern, scope)}", file=out)
+    return 0
+
+
+def cmd_scan(args, out) -> int:
+    """Scan a software inventory against the vulnerability database."""
+    from repro.vulndb import (
+        RequirementGenerator,
+        Severity,
+        SoftwareInventory,
+        bundled_database,
+    )
+
+    products = {}
+    for spec in args.product:
+        name, _, version = spec.partition("=")
+        if not version:
+            raise SystemExit(f"product spec must be name=version: {spec!r}")
+        products[name] = version
+    inventory = SoftwareInventory.of(args.host_name, args.platform,
+                                     products)
+    generator = RequirementGenerator(
+        bundled_database(), min_severity=Severity[args.min_severity])
+    report = generator.generate(inventory)
+    rows = [
+        {"req": r.req_id, "severity": r.severity.value,
+         "pattern": r.pattern_family, "cve": r.source_cve,
+         "text": r.text[:60]}
+        for r in report.requirements
+    ]
+    _print_rows(rows, out)
+    print(f"{len(report.matched)} matches -> "
+          f"{len(report.requirements)} requirements", file=out)
+    return 0 if not args.fail_on_findings or not report.requirements else 1
+
+
+def cmd_gap(args, out) -> int:
+    """IEC 62443 gap analysis of a host profile at a target level."""
+    from repro.rqcode import default_catalog
+    from repro.standards import GapAnalysis, SecurityLevel, SrStatus
+
+    host = _host_for(args.profile)
+    level = SecurityLevel(args.level)
+    report = GapAnalysis(default_catalog()).analyze(host, level)
+    _print_rows(report.rows(), out)
+    print(
+        f"coverage (evidenced SRs): {report.coverage:.0%}; "
+        f"unmapped: {report.count(SrStatus.UNMAPPED)}", file=out)
+    return 0 if report.coverage >= 1.0 else 1
+
+
+def cmd_report(args, out) -> int:
+    """Run the prevention pipeline and write the Markdown report."""
+    from repro.core import VeriDevOpsOrchestrator, report_for_cycle
+
+    host = _host_for(args.profile)
+    orchestrator = VeriDevOpsOrchestrator()
+    orchestrator.ingest_standards(host.os_family)
+    run = orchestrator.run_prevention([host])
+    markdown = report_for_cycle(
+        orchestrator, run, title=f"{host.name} security report").render()
+    if args.output == "-":
+        print(markdown, file=out)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"report written to {args.output}", file=out)
+    return 0 if run.passed else 1
+
+
+def cmd_pipeline(args, out) -> int:
+    """Run the full prevention pipeline against a host profile."""
+    from repro.core import VeriDevOpsOrchestrator
+
+    host = _host_for(args.profile)
+    orchestrator = VeriDevOpsOrchestrator()
+    orchestrator.ingest_standards(host.os_family)
+    if args.requirement:
+        orchestrator.ingest_natural_language(args.requirement)
+    run = orchestrator.run_prevention([host])
+    _print_rows(run.gate_rows(), out)
+    print(run.summary(), file=out)
+    return 0 if run.passed else 1
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VeriDevOps reproduction: security requirements as "
+                    "code, from prose to protection.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    audit = subparsers.add_parser(
+        "audit", help="check a host profile against the STIG catalogue")
+    audit.add_argument("--profile", default="ubuntu-default",
+                       help=f"one of {', '.join(sorted(PROFILES))}")
+    audit.set_defaults(func=cmd_audit)
+
+    harden = subparsers.add_parser(
+        "harden", help="check/enforce/re-check a host profile")
+    harden.add_argument("--profile", default="ubuntu-adversarial")
+    harden.set_defaults(func=cmd_harden)
+
+    smells = subparsers.add_parser(
+        "smells", help="NALABS smell analysis of a requirements CSV")
+    smells.add_argument("csv_file")
+    smells.add_argument("--id-column", default="REQ ID")
+    smells.add_argument("--text-column", default="Text")
+    smells.add_argument("--max-smelly-ratio", type=float, default=0.2)
+    smells.set_defaults(func=cmd_smells)
+
+    formalize = subparsers.add_parser(
+        "formalize", help="RESA-match a statement and render LTL/TCTL")
+    formalize.add_argument("statement")
+    formalize.set_defaults(func=cmd_formalize)
+
+    scan = subparsers.add_parser(
+        "scan", help="scan an inventory against the vulnerability DB")
+    scan.add_argument("--product", action="append", default=[],
+                      metavar="NAME=VERSION")
+    scan.add_argument("--platform", default="ubuntu",
+                      choices=("ubuntu", "windows"))
+    scan.add_argument("--host-name", default="cli-host")
+    scan.add_argument("--min-severity", default="LOW",
+                      choices=("LOW", "MEDIUM", "HIGH", "CRITICAL"))
+    scan.add_argument("--fail-on-findings", action="store_true")
+    scan.set_defaults(func=cmd_scan)
+
+    gap = subparsers.add_parser(
+        "gap", help="IEC 62443-3-3 gap analysis of a host profile")
+    gap.add_argument("--profile", default="ubuntu-default")
+    gap.add_argument("--level", type=int, default=1, choices=(1, 2, 3, 4),
+                     help="target security level (SL)")
+    gap.set_defaults(func=cmd_gap)
+
+    report = subparsers.add_parser(
+        "report", help="run the pipeline and emit the Markdown report")
+    report.add_argument("--profile", default="ubuntu-default")
+    report.add_argument("--output", default="-",
+                        help="output path, or - for stdout")
+    report.set_defaults(func=cmd_report)
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="run the prevention pipeline on a host profile")
+    pipeline.add_argument("--profile", default="ubuntu-default")
+    pipeline.add_argument("--requirement", action="append", default=[],
+                          help="extra NL requirement (repeatable)")
+    pipeline.set_defaults(func=cmd_pipeline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

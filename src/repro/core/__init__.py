@@ -1,0 +1,93 @@
+"""VeriDevOps core: the framework the DATE 2021 paper describes.
+
+The framework closes a loop between development and operations:
+
+* **WP2 — requirement generation**: security requirements are ingested
+  from natural language (NALABS quality + RESA formalization), from
+  vulnerability databases (:mod:`repro.vulndb`), and from standards
+  (the STIG catalogue), landing in a traceable
+  :class:`~repro.core.repository.RequirementRepository`.
+* **WP4 — prevention at development**: a CI/CD
+  :class:`~repro.core.pipeline.Pipeline` runs security gates —
+  requirements quality, formalization, formal verification
+  (observer automata + zone checker), and host compliance.
+* **WP3 — reactive protection at operations**: the
+  :class:`~repro.core.protection.ProtectionLoop` watches host event
+  logs with runtime monitors, detects violations, and enforces the
+  bound RQCODE requirements to restore compliance.
+
+:class:`~repro.core.orchestrator.VeriDevOpsOrchestrator` wires the
+three together; ``examples/quickstart.py`` shows the whole loop in
+~60 lines.
+"""
+
+from repro.core.pipeline import (
+    Job,
+    JobResult,
+    Pipeline,
+    PipelineContext,
+    PipelineRun,
+    Stage,
+    StageResult,
+)
+from repro.core.gates import (
+    ComplianceGate,
+    FormalizationGate,
+    GateResult,
+    MonitoringGate,
+    RequirementsQualityGate,
+    SecurityGate,
+    VerificationGate,
+)
+from repro.core.repository import (
+    RequirementRecord,
+    RequirementRepository,
+    RequirementSource,
+    RequirementStatus,
+)
+from repro.core.protection import (
+    Incident,
+    PollingProtection,
+    ProtectionLoop,
+    RepairAction,
+)
+from repro.core.fleet import Fleet, FleetPosture, FleetProtection
+from repro.core.orchestrator import VeriDevOpsOrchestrator
+from repro.core.persistence import (
+    repository_from_json,
+    repository_to_json,
+)
+from repro.core.reporting import SecurityReport, report_for_cycle
+
+__all__ = [
+    "ComplianceGate",
+    "Fleet",
+    "FleetPosture",
+    "FleetProtection",
+    "FormalizationGate",
+    "GateResult",
+    "Incident",
+    "Job",
+    "JobResult",
+    "MonitoringGate",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineRun",
+    "PollingProtection",
+    "ProtectionLoop",
+    "RepairAction",
+    "RequirementRecord",
+    "RequirementRepository",
+    "RequirementSource",
+    "RequirementStatus",
+    "RequirementsQualityGate",
+    "SecurityGate",
+    "SecurityReport",
+    "report_for_cycle",
+    "Stage",
+    "StageResult",
+    "VeriDevOpsOrchestrator",
+    "VerificationGate",
+    "repository_from_json",
+    "repository_to_json",
+]

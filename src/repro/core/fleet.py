@@ -1,0 +1,142 @@
+"""Fleet management: many hosts under one security posture.
+
+"DevOps environments" means fleets, not single machines.  A
+:class:`Fleet` groups hosts (possibly across platforms), runs
+fleet-wide compliance campaigns, aggregates posture, and arms one
+protection loop per host through a shared orchestrator — so drift on
+any machine is detected and repaired with the same per-host latency as
+the single-host case.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.orchestrator import VeriDevOpsOrchestrator
+from repro.core.protection import Incident, ProtectionLoop
+from repro.environment.host import SimulatedHost
+from repro.rqcode.catalog import ComplianceReport, StigCatalog
+
+
+@dataclass
+class FleetPosture:
+    """Aggregated compliance across the fleet at one instant."""
+
+    reports: List[ComplianceReport] = field(default_factory=list)
+
+    @property
+    def host_count(self) -> int:
+        return len(self.reports)
+
+    @property
+    def fully_compliant_hosts(self) -> int:
+        return sum(1 for report in self.reports
+                   if report.compliance_ratio >= 1.0)
+
+    @property
+    def worst_ratio(self) -> float:
+        if not self.reports:
+            return 1.0
+        return min(report.compliance_ratio for report in self.reports)
+
+    @property
+    def mean_ratio(self) -> float:
+        if not self.reports:
+            return 1.0
+        return (sum(report.compliance_ratio for report in self.reports)
+                / len(self.reports))
+
+    def rows(self) -> List[Dict[str, str]]:
+        return [
+            {
+                "host": report.host_name,
+                "platform": report.platform,
+                "passing": f"{report.passing}/{report.total}",
+                "ratio": f"{report.compliance_ratio:.0%}",
+            }
+            for report in self.reports
+        ]
+
+
+class Fleet:
+    """A named group of hosts sharing one catalogue."""
+
+    def __init__(self, name: str, catalog: StigCatalog):
+        self.name = name
+        self.catalog = catalog
+        self._hosts: Dict[str, SimulatedHost] = {}
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self):
+        return iter(self.hosts())
+
+    def add(self, host: SimulatedHost) -> SimulatedHost:
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host name: {host.name!r}")
+        self._hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> SimulatedHost:
+        return self._hosts[name]
+
+    def hosts(self, platform: Optional[str] = None) -> List[SimulatedHost]:
+        return [host for _, host in sorted(self._hosts.items())
+                if platform is None or host.os_family == platform]
+
+    # -- campaigns ------------------------------------------------------------
+
+    def audit(self) -> FleetPosture:
+        """Check every host (read-only)."""
+        return FleetPosture(reports=[
+            self.catalog.check_host(host) for host in self.hosts()])
+
+    def harden(self) -> FleetPosture:
+        """Check/enforce/re-check every host."""
+        return FleetPosture(reports=[
+            self.catalog.harden_host(host) for host in self.hosts()])
+
+
+class FleetProtection:
+    """One protection loop per fleet host, with fleet-wide telemetry."""
+
+    def __init__(self, fleet: Fleet,
+                 orchestrator: Optional[VeriDevOpsOrchestrator] = None):
+        self.fleet = fleet
+        if orchestrator is None:
+            orchestrator = VeriDevOpsOrchestrator(catalog=fleet.catalog)
+            for platform in sorted({host.os_family
+                                    for host in fleet.hosts()}):
+                orchestrator.ingest_standards(platform)
+        self.orchestrator = orchestrator
+        self._loops: Dict[str, ProtectionLoop] = {}
+
+    def start(self) -> "FleetProtection":
+        """Arm a loop on every host (idempotent)."""
+        for host in self.fleet.hosts():
+            if host.name not in self._loops:
+                self._loops[host.name] = \
+                    self.orchestrator.start_protection(host)
+        return self
+
+    def stop(self) -> None:
+        for loop in self._loops.values():
+            loop.stop()
+
+    def loop_for(self, host_name: str) -> ProtectionLoop:
+        return self._loops[host_name]
+
+    def incidents(self) -> List[Incident]:
+        """All incidents across the fleet, ordered by detection time."""
+        merged: List[Incident] = []
+        for loop in self._loops.values():
+            merged.extend(loop.incidents)
+        return sorted(merged, key=lambda incident: incident.detected_at)
+
+    def incidents_by_host(self) -> Dict[str, List[Incident]]:
+        return {name: list(loop.incidents)
+                for name, loop in self._loops.items()}
+
+    def effective_repairs(self) -> int:
+        return sum(1 for incident in self.incidents()
+                   if incident.effective)

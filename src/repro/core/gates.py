@@ -1,0 +1,262 @@
+"""Security gates: the prevention checkpoints of the VeriDevOps pipeline.
+
+Each gate reads artifacts from the :class:`~repro.core.pipeline.
+PipelineContext` and returns a :class:`GateResult`.  The five gates map
+one-to-one to the framework's promises:
+
+* :class:`RequirementsQualityGate` — NALABS smell analysis over the
+  natural-language requirements (WP2 quality).
+* :class:`FormalizationGate` — every requirement that claims a
+  formalization actually renders to LTL/TCTL (WP2 formalization).
+* :class:`VerificationGate` — observer-automata verification tasks all
+  hold under the zone-graph checker (WP4 verification).
+* :class:`ComplianceGate` — target hosts meet the bound STIG findings,
+  optionally auto-remediating (WP4 hardening / deployment).
+* :class:`MonitoringGate` — runtime monitors are instantiated for every
+  formalized requirement before deployment completes (WP3 handoff).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import PipelineContext
+from repro.core.repository import (
+    RequirementRepository,
+    RequirementStatus,
+)
+from repro.ltl.monitor import LtlMonitor
+from repro.ltl.parser import parse_ltl
+from repro.nalabs.analyzer import NalabsAnalyzer, RequirementText
+from repro.rqcode.catalog import StigCatalog
+from repro.specpatterns.ltl_mappings import PatternScopeUnsupported, to_ltl
+from repro.specpatterns.tctl_mappings import to_tctl
+from repro.ta.checker import ZoneGraphChecker
+from repro.ta.query import parse_query
+
+
+@dataclass
+class GateResult:
+    """Verdict of one gate evaluation."""
+
+    passed: bool
+    detail: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class SecurityGate:
+    """Base protocol: a named check over the pipeline context."""
+
+    name = "gate"
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        raise NotImplementedError
+
+
+class RequirementsQualityGate(SecurityGate):
+    """Fails when too many requirements carry NALABS smells.
+
+    Reads ``repository`` (RequirementRepository); writes
+    ``nalabs_report``.  Requirements passing move to ANALYZED.
+    """
+
+    name = "requirements-quality"
+
+    def __init__(self, max_smelly_ratio: float = 0.2,
+                 analyzer: Optional[NalabsAnalyzer] = None):
+        self.max_smelly_ratio = max_smelly_ratio
+        self.analyzer = analyzer if analyzer is not None else NalabsAnalyzer()
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        repository: RequirementRepository = context.require("repository")
+        records = repository.all()
+        if not records:
+            return GateResult(passed=True, detail="no requirements to check")
+        corpus = [RequirementText(r.req_id, r.text) for r in records]
+        report = self.analyzer.analyze_corpus(corpus)
+        context.put("nalabs_report", report)
+        by_id = {r.req_id: r for r in report.reports}
+        for record in records:
+            requirement_report = by_id[record.req_id]
+            record.quality_flags = list(requirement_report.flagged_metrics)
+            record.advance_to(RequirementStatus.ANALYZED)
+        ratio = report.smelly_count / report.total
+        passed = ratio <= self.max_smelly_ratio
+        return GateResult(
+            passed=passed,
+            detail=(
+                f"{report.smelly_count}/{report.total} requirements "
+                f"smelly (max ratio {self.max_smelly_ratio:.0%})"
+            ),
+            metrics={"smelly_ratio": ratio, "total": float(report.total)},
+        )
+
+
+class FormalizationGate(SecurityGate):
+    """Fails when too few requirements formalize to patterns/LTL.
+
+    Requirements with a pattern attached get their LTL rendered (and
+    move to FORMALIZED); the gate passes when the formalized fraction
+    meets the threshold.
+    """
+
+    name = "formalization"
+
+    def __init__(self, min_formalized_ratio: float = 0.5):
+        self.min_formalized_ratio = min_formalized_ratio
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        repository: RequirementRepository = context.require("repository")
+        records = repository.all()
+        if not records:
+            return GateResult(passed=True, detail="no requirements")
+        formalized = 0
+        for record in records:
+            if record.pattern is None:
+                continue
+            try:
+                formula = to_ltl(record.pattern, record.scope)
+                record.ltl = str(formula)
+            except PatternScopeUnsupported:
+                # Pattern known but mapping absent: keep TCTL-only.
+                record.ltl = ""
+            record.tctl = to_tctl(record.pattern, record.scope)
+            record.advance_to(RequirementStatus.FORMALIZED)
+            formalized += 1
+        ratio = formalized / len(records)
+        passed = ratio >= self.min_formalized_ratio
+        return GateResult(
+            passed=passed,
+            detail=(
+                f"{formalized}/{len(records)} requirements formalized "
+                f"(min ratio {self.min_formalized_ratio:.0%})"
+            ),
+            metrics={"formalized_ratio": ratio},
+        )
+
+
+class VerificationGate(SecurityGate):
+    """Runs the model-checking tasks; fails on any unsatisfied query.
+
+    Reads ``verification_tasks``: a list of ``(label, network, query)``
+    triples (query text for :func:`repro.ta.query.parse_query`).
+    Writes ``verification_results``.  Formalized requirements advance
+    to VERIFIED when the gate passes.
+    """
+
+    name = "verification"
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        tasks = context.get("verification_tasks", [])
+        results = []
+        failures = []
+        total_states = 0
+        for label, network, query_text in tasks:
+            checker = ZoneGraphChecker(network)
+            result = checker.check(parse_query(query_text))
+            results.append((label, result))
+            total_states += result.states_explored
+            if not result.satisfied:
+                failures.append(label)
+        context.put("verification_results", results)
+        passed = not failures
+        if passed:
+            repository: RequirementRepository = context.get("repository")
+            if repository is not None:
+                for record in repository.formalized():
+                    if record.status is RequirementStatus.FORMALIZED:
+                        record.advance_to(RequirementStatus.VERIFIED)
+        return GateResult(
+            passed=passed,
+            detail=(
+                f"{len(tasks) - len(failures)}/{len(tasks)} verification "
+                f"tasks hold"
+                + (f"; failing: {failures}" if failures else "")
+            ),
+            metrics={"tasks": float(len(tasks)),
+                     "states_explored": float(total_states)},
+        )
+
+
+class ComplianceGate(SecurityGate):
+    """Checks (and optionally hardens) target hosts against the catalogue.
+
+    Reads ``hosts`` (list of SimulatedHost); writes
+    ``compliance_reports``.  With ``auto_remediate`` the gate enforces
+    failing findings before judging, which is the deployment-time
+    hardening the paper promises.
+    """
+
+    name = "stig-compliance"
+
+    def __init__(self, catalog: StigCatalog,
+                 min_compliance: float = 1.0,
+                 auto_remediate: bool = True):
+        self.catalog = catalog
+        self.min_compliance = min_compliance
+        self.auto_remediate = auto_remediate
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        hosts = context.get("hosts", [])
+        if not hosts:
+            return GateResult(passed=True, detail="no hosts to check")
+        reports = []
+        for host in hosts:
+            if self.auto_remediate:
+                reports.append(self.catalog.harden_host(host))
+            else:
+                reports.append(self.catalog.check_host(host))
+        context.put("compliance_reports", reports)
+        worst = min(report.compliance_ratio for report in reports)
+        passed = worst >= self.min_compliance
+        if passed:
+            repository: RequirementRepository = context.get("repository")
+            if repository is not None:
+                for record in repository.all():
+                    if record.rqcode_findings and \
+                            record.status.rank() >= \
+                            RequirementStatus.VERIFIED.rank():
+                        record.advance_to(RequirementStatus.DEPLOYED)
+        detail = "; ".join(report.summary() for report in reports)
+        return GateResult(
+            passed=passed,
+            detail=detail,
+            metrics={"worst_compliance": worst,
+                     "hosts": float(len(hosts))},
+        )
+
+
+class MonitoringGate(SecurityGate):
+    """Instantiates runtime monitors for every LTL-formalized requirement.
+
+    Writes ``monitors``: requirement id -> :class:`LtlMonitor`.  The
+    gate fails only when a stored LTL string no longer parses — a
+    pipeline-integrity error worth stopping a deployment for.
+    """
+
+    name = "monitoring-deployment"
+
+    def evaluate(self, context: PipelineContext) -> GateResult:
+        repository: RequirementRepository = context.require("repository")
+        monitors: Dict[str, LtlMonitor] = {}
+        broken: List[str] = []
+        for record in repository.formalized():
+            if not record.ltl:
+                continue
+            try:
+                monitors[record.req_id] = LtlMonitor(parse_ltl(record.ltl))
+            except Exception:  # noqa: BLE001 - collect, report below
+                broken.append(record.req_id)
+        context.put("monitors", monitors)
+        if not broken:
+            for req_id in monitors:
+                record = repository.get(req_id)
+                if record.status.rank() >= RequirementStatus.DEPLOYED.rank():
+                    record.advance_to(RequirementStatus.MONITORED)
+        return GateResult(
+            passed=not broken,
+            detail=(
+                f"{len(monitors)} monitors armed"
+                + (f"; unparseable LTL for {broken}" if broken else "")
+            ),
+            metrics={"monitors": float(len(monitors))},
+        )

@@ -1,0 +1,361 @@
+"""The VeriDevOps orchestrator: WP2 -> WP4 -> WP3 in one object.
+
+``VeriDevOpsOrchestrator`` owns a requirement repository and builds the
+prevention pipeline around it:
+
+1. **Ingestion (WP2)** — :meth:`ingest_natural_language` (RESA
+   boilerplate matching attaches patterns), :meth:`ingest_standards`
+   (one requirement per catalogue finding, with its RQCODE binding),
+   :meth:`ingest_vulnerabilities` (the vulndb generator).
+2. **Prevention (WP4)** — :meth:`build_pipeline` assembles the staged
+   pipeline with the five security gates; :meth:`run_prevention`
+   executes it against target hosts.
+3. **Protection (WP3)** — :meth:`start_protection` arms the
+   event-driven loop on a deployed host with the monitors the pipeline
+   produced, plus drift detectors for every standard-sourced binding.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.gates import (
+    ComplianceGate,
+    FormalizationGate,
+    MonitoringGate,
+    RequirementsQualityGate,
+    VerificationGate,
+)
+from repro.core.pipeline import (
+    Job,
+    Pipeline,
+    PipelineContext,
+    PipelineRun,
+    Stage,
+)
+from repro.core.protection import ProtectionLoop
+from repro.core.repository import (
+    RequirementRecord,
+    RequirementRepository,
+    RequirementSource,
+)
+from repro.environment.host import SimulatedHost
+from repro.ltl.monitor import LtlMonitor
+from repro.ltl.parser import parse_ltl
+from repro.resa.boilerplates import BoilerplateMatchError, match_boilerplate
+from repro.resa.export import to_pattern
+from repro.rqcode.catalog import StigCatalog, default_catalog
+from repro.vulndb.database import VulnerabilityDatabase
+from repro.vulndb.generator import RequirementGenerator, SoftwareInventory
+
+
+def _event_compatible(monitor: LtlMonitor) -> bool:
+    """Can *monitor* observe an event with no propositions and survive?
+
+    Event logs assert only event atoms, so a formula falsified by an
+    empty step (``G state_atom``) cannot be monitored on the stream.
+    """
+    from repro.ltl.formulas import FALSE
+    from repro.ltl.monitor import progress
+
+    return progress(monitor.formula, frozenset()) is not FALSE
+
+
+class VeriDevOpsOrchestrator:
+    """End-to-end driver for the framework."""
+
+    def __init__(self, catalog: Optional[StigCatalog] = None):
+        self.repository = RequirementRepository()
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self._counter = 0
+
+    # -- WP2: ingestion -------------------------------------------------------------
+
+    def _next_id(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}-{self._counter:03d}"
+
+    def ingest_natural_language(self, statements: Sequence[str]
+                                ) -> List[RequirementRecord]:
+        """Ingest NL statements; RESA matches attach a formal pattern.
+
+        Statements outside the boilerplate grammar are still recorded
+        (the quality gate will judge them); they simply carry no
+        pattern and stay at the textual level.
+        """
+        records = []
+        for text in statements:
+            record = RequirementRecord(
+                req_id=self._next_id("NL"),
+                text=text,
+                source=RequirementSource.NATURAL_LANGUAGE,
+            )
+            try:
+                structured = match_boilerplate(record.req_id, text)
+                record.pattern, record.scope = to_pattern(structured)
+                record.provenance = f"boilerplate {structured.boilerplate_id}"
+            except BoilerplateMatchError:
+                record.provenance = "free-form (no boilerplate match)"
+            records.append(self.repository.add(record))
+        return records
+
+    def ingest_resa_document(self, text: str) -> List[RequirementRecord]:
+        """Ingest a RESA document (``ID: statement`` lines).
+
+        Boilerplate-matched statements carry their exported pattern;
+        statements with *error* diagnostics are recorded pattern-less so
+        the quality gate can surface them.  The original requirement
+        ids are preserved in provenance.
+        """
+        from repro.resa import parse_document
+        from repro.resa.export import to_pattern as export_pattern
+
+        document = parse_document(text)
+        records = []
+        for structured in document.requirements:
+            record = RequirementRecord(
+                req_id=self._next_id("NL"),
+                text=structured.text,
+                source=RequirementSource.NATURAL_LANGUAGE,
+                provenance=(f"{structured.req_id} "
+                            f"(boilerplate {structured.boilerplate_id})"),
+            )
+            record.pattern, record.scope = export_pattern(structured)
+            records.append(self.repository.add(record))
+        return records
+
+    def ingest_standards(self, platform: str) -> List[RequirementRecord]:
+        """One requirement per catalogue finding for *platform*."""
+        from repro.specpatterns.patterns import Universality
+        from repro.specpatterns.scopes import Globally
+
+        records = []
+        for entry in self.catalog.entries_for(platform):
+            atom = f"compliant_{entry.finding_id}".replace("-", "_")
+            record = RequirementRecord(
+                req_id=self._next_id("STD"),
+                text=(
+                    f"The system shall satisfy STIG finding "
+                    f"{entry.finding_id} continuously."
+                ),
+                source=RequirementSource.STANDARD,
+                pattern=Universality(p=atom),
+                scope=Globally(),
+                rqcode_findings=[entry.finding_id],
+                provenance=f"STIG {entry.finding_id} ({platform})",
+            )
+            records.append(self.repository.add(record))
+        return records
+
+    def ingest_iec62443(self, platform: str,
+                        level=None) -> List[RequirementRecord]:
+        """One requirement per IEC 62443-3-3 SR required at *level*.
+
+        SRs with mapped findings applicable to *platform* carry those
+        bindings (and so reach deployment and protection); unmapped SRs
+        are still recorded, keeping the gap visible in traceability.
+        """
+        from repro.specpatterns.patterns import Universality
+        from repro.specpatterns.scopes import Globally
+        from repro.standards import (
+            DEFAULT_SR_MAPPING,
+            SecurityLevel,
+            requirements_for_level,
+        )
+
+        level = level if level is not None else SecurityLevel.SL1
+        platform_findings = set(self.catalog.finding_ids(platform))
+        records = []
+        for sr in requirements_for_level(level):
+            mapping = DEFAULT_SR_MAPPING.get(sr.sr_id)
+            bindings = []
+            if mapping is not None:
+                bindings = [fid for fid in mapping.finding_ids
+                            if fid in platform_findings]
+            atom = ("satisfied_" + sr.sr_id.replace(" ", "_")
+                    .replace(".", "_"))
+            record = RequirementRecord(
+                req_id=self._next_id("IEC"),
+                text=(f"The system shall satisfy {sr.sr_id} "
+                      f"({sr.name}) continuously."),
+                source=RequirementSource.STANDARD,
+                pattern=Universality(p=atom),
+                scope=Globally(),
+                rqcode_findings=bindings,
+                provenance=(f"IEC 62443-3-3 {sr.sr_id}, baseline "
+                            f"SL{sr.baseline_level.value}: {sr.intent}"),
+            )
+            records.append(self.repository.add(record))
+        return records
+
+    def ingest_vulnerabilities(self, database: VulnerabilityDatabase,
+                               inventory: SoftwareInventory
+                               ) -> List[RequirementRecord]:
+        """Run the vulndb generator and record its requirements."""
+        from repro.specpatterns import patterns as pat
+        from repro.specpatterns.scopes import Globally
+
+        def atom(prefix: str, cve: str) -> str:
+            return f"{prefix}_{cve}".replace("-", "_")
+
+        factory = {
+            "Absence": lambda r: pat.Absence(
+                p=atom("exploit", r.source_cve)),
+            "Existence": lambda r: pat.Existence(
+                p=atom("audited", r.source_cve)),
+            "Universality": lambda r: pat.Universality(
+                p=atom("hardened", r.source_cve)),
+            "Precedence": lambda r: pat.Precedence(
+                p=atom("access", r.source_cve),
+                s=atom("authz", r.source_cve)),
+            "TimedResponse": lambda r: pat.TimedResponse(
+                p=atom("exhaustion", r.source_cve),
+                s=atom("recovered", r.source_cve), bound=60),
+        }
+        report = RequirementGenerator(database).generate(inventory)
+        records = []
+        for generated in report.requirements:
+            record = RequirementRecord(
+                req_id=self._next_id("VDB"),
+                text=generated.text,
+                source=RequirementSource.VULNERABILITY_DB,
+                pattern=factory[generated.pattern_family](generated),
+                scope=Globally(),
+                provenance=(
+                    f"{generated.source_cve} "
+                    f"({generated.cwe_category}, "
+                    f"{generated.severity.value})"
+                ),
+            )
+            records.append(self.repository.add(record))
+        return records
+
+    # -- WP4: prevention ---------------------------------------------------------------
+
+    def build_pipeline(self,
+                       max_smelly_ratio: float = 0.35,
+                       min_formalized_ratio: float = 0.5,
+                       min_compliance: float = 1.0,
+                       verification_tasks: Optional[list] = None
+                       ) -> Pipeline:
+        """Assemble the staged prevention pipeline."""
+        def load_requirements(context: PipelineContext) -> str:
+            context.put("repository", self.repository)
+            return f"{len(self.repository)} requirements loaded"
+
+        def load_verification(context: PipelineContext) -> str:
+            tasks = verification_tasks or []
+            context.put("verification_tasks", tasks)
+            return f"{len(tasks)} verification tasks queued"
+
+        return Pipeline([
+            Stage(
+                name="requirements",
+                jobs=[Job("load-requirements", load_requirements)],
+                gates=[RequirementsQualityGate(
+                    max_smelly_ratio=max_smelly_ratio)],
+            ),
+            Stage(
+                name="formalization",
+                jobs=[],
+                gates=[FormalizationGate(
+                    min_formalized_ratio=min_formalized_ratio)],
+            ),
+            Stage(
+                name="verification",
+                jobs=[Job("load-verification-tasks", load_verification)],
+                gates=[VerificationGate()],
+            ),
+            Stage(
+                name="deployment",
+                jobs=[],
+                gates=[
+                    ComplianceGate(self.catalog,
+                                   min_compliance=min_compliance),
+                    MonitoringGate(),
+                ],
+            ),
+        ])
+
+    def run_prevention(self, hosts: Sequence[SimulatedHost],
+                       verification_tasks: Optional[list] = None,
+                       **thresholds) -> PipelineRun:
+        """Run the full prevention pipeline against *hosts*."""
+        pipeline = self.build_pipeline(
+            verification_tasks=verification_tasks, **thresholds)
+        context = PipelineContext(hosts=list(hosts))
+        return pipeline.run(context)
+
+    # -- WP3: protection -----------------------------------------------------------------
+
+    def start_protection(self, host: SimulatedHost,
+                         run: Optional[PipelineRun] = None
+                         ) -> ProtectionLoop:
+        """Arm the event-driven protection loop on a deployed host.
+
+        Uses the monitors the pipeline produced (when *run* is given)
+        and always adds drift detectors for every standard-sourced
+        requirement bound to catalogue findings: ``G !drift`` tied to
+        the finding's enforcement.
+        """
+        monitors: Dict[str, LtlMonitor] = {}
+        bindings: Dict[str, List[str]] = {}
+        if run is not None and run.context is not None:
+            for req_id, monitor in run.context.get("monitors", {}).items():
+                # Event streams only assert event atoms; a monitor that
+                # demands a proposition on *every* step (state-style
+                # universality, e.g. ``G compliant_X``) would go FALSE on
+                # the first event.  Those requirements are protected by
+                # the drift detectors below instead.
+                if _event_compatible(monitor):
+                    monitors[req_id] = monitor
+        for record in self.repository.from_source(RequirementSource.STANDARD):
+            # Only findings applicable to this host's platform: a fleet
+            # orchestrator carries both platforms' standards, and a
+            # Windows binding must never be enforced on an Ubuntu box.
+            applicable = [
+                fid for fid in record.rqcode_findings
+                if fid in self.catalog
+                and self.catalog.get(fid).platform == host.os_family
+            ]
+            if not applicable:
+                continue
+            drift_id = f"{record.req_id}/drift"
+            atom = self._drift_atom(applicable)
+            monitors[drift_id] = LtlMonitor(parse_ltl(f"G !{atom}"))
+            bindings[drift_id] = applicable
+        loop = ProtectionLoop(host, self.catalog, monitors, bindings)
+        return loop.start()
+
+    def _drift_atom(self, finding_ids: Sequence[str]) -> str:
+        """The drift-event kind a finding's monitor should watch.
+
+        Package findings care about ``drift.package``, configuration
+        findings about ``drift.config``, and so on; findings of unknown
+        shape fall back to the coarse ``drift`` prefix.
+        """
+        from repro.rqcode.ubuntu import (
+            UbuntuConfigPattern,
+            UbuntuPackagePattern,
+            UbuntuServicePattern,
+        )
+        from repro.rqcode.win10 import AuditPolicyRequirement
+        from repro.rqcode.win10_accounts import AccountPolicyRequirement
+        from repro.rqcode.win10_registry import RegistryValueRequirement
+
+        kinds = set()
+        for finding_id in finding_ids:
+            cls = self.catalog.get(finding_id).requirement_class
+            if issubclass(cls, UbuntuPackagePattern):
+                kinds.add("drift.package")
+            elif issubclass(cls, UbuntuConfigPattern):
+                kinds.add("drift.config")
+            elif issubclass(cls, UbuntuServicePattern):
+                kinds.add("drift.service")
+            elif issubclass(cls, AuditPolicyRequirement):
+                kinds.add("drift.audit")
+            elif issubclass(cls, RegistryValueRequirement):
+                kinds.add("drift.registry")
+            elif issubclass(cls, AccountPolicyRequirement):
+                kinds.add("drift.account")
+        if len(kinds) == 1:
+            return kinds.pop()
+        return "drift"

@@ -1,0 +1,110 @@
+"""Repository persistence: requirement records to/from JSON.
+
+Traceability survives only if it outlives the Python process; this
+module serializes a :class:`~repro.core.repository.
+RequirementRepository` into the JSON artifact a CI job archives between
+pipeline runs, and restores it losslessly — including the formalization
+(pattern + scope are reconstructed from their dataclass fields).
+"""
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional, Type
+
+from repro.core.repository import (
+    RequirementRecord,
+    RequirementRepository,
+    RequirementSource,
+    RequirementStatus,
+)
+from repro.specpatterns import patterns as pattern_module
+from repro.specpatterns import scopes as scope_module
+from repro.specpatterns.patterns import Pattern
+from repro.specpatterns.scopes import Scope
+
+
+def _dataclass_registry(module, base) -> Dict[str, Type]:
+    return {
+        name: obj for name, obj in vars(module).items()
+        if isinstance(obj, type) and issubclass(obj, base)
+        and obj is not base
+    }
+
+
+_PATTERN_CLASSES = _dataclass_registry(pattern_module, Pattern)
+_SCOPE_CLASSES = _dataclass_registry(scope_module, Scope)
+
+
+def _encode_dataclass(value) -> Optional[Dict[str, Any]]:
+    if value is None:
+        return None
+    return {"kind": type(value).__name__,
+            "fields": dataclasses.asdict(value)}
+
+
+def _decode_dataclass(payload, registry, what: str):
+    if payload is None:
+        return None
+    kind = payload["kind"]
+    cls = registry.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown {what} kind in JSON: {kind!r}")
+    return cls(**payload["fields"])
+
+
+def record_to_dict(record: RequirementRecord) -> Dict[str, Any]:
+    """One record as plain data."""
+    return {
+        "req_id": record.req_id,
+        "text": record.text,
+        "source": record.source.value,
+        "status": record.status.value,
+        "quality_flags": list(record.quality_flags),
+        "pattern": _encode_dataclass(record.pattern),
+        "scope": _encode_dataclass(record.scope),
+        "ltl": record.ltl,
+        "tctl": record.tctl,
+        "rqcode_findings": list(record.rqcode_findings),
+        "provenance": record.provenance,
+    }
+
+
+def record_from_dict(payload: Dict[str, Any]) -> RequirementRecord:
+    """Inverse of :func:`record_to_dict`."""
+    return RequirementRecord(
+        req_id=payload["req_id"],
+        text=payload["text"],
+        source=RequirementSource(payload["source"]),
+        status=RequirementStatus(payload["status"]),
+        quality_flags=list(payload.get("quality_flags", [])),
+        pattern=_decode_dataclass(payload.get("pattern"),
+                                  _PATTERN_CLASSES, "pattern"),
+        scope=_decode_dataclass(payload.get("scope"),
+                                _SCOPE_CLASSES, "scope"),
+        ltl=payload.get("ltl", ""),
+        tctl=payload.get("tctl", ""),
+        rqcode_findings=list(payload.get("rqcode_findings", [])),
+        provenance=payload.get("provenance", ""),
+    )
+
+
+def repository_to_json(repository: RequirementRepository,
+                       indent: int = 2) -> str:
+    """Serialize every record, sorted by id."""
+    payload = {
+        "version": 1,
+        "records": [record_to_dict(record) for record in repository.all()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def repository_from_json(text: str) -> RequirementRepository:
+    """Restore a repository from :func:`repository_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("version") != 1:
+        raise ValueError(
+            f"unsupported repository JSON version: {payload.get('version')}")
+    repository = RequirementRepository()
+    for record_payload in payload["records"]:
+        repository.add(record_from_dict(record_payload))
+    return repository

@@ -1,0 +1,187 @@
+"""Deterministic CI/CD pipeline engine.
+
+The paper's contribution is *what the security gates do*, not the CI
+vendor, so the engine is minimal and deterministic: stages run in
+order; each stage runs its jobs in order; after a stage's jobs, its
+gates evaluate against the shared :class:`PipelineContext`.  A failing
+job or gate stops the pipeline (fail-fast, like a protected branch).
+
+Jobs and gates communicate exclusively through context artifacts, which
+keeps every gate independently testable.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+class PipelineContext:
+    """Shared artifact store for one pipeline run."""
+
+    def __init__(self, **initial: Any):
+        self._artifacts: Dict[str, Any] = dict(initial)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._artifacts
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._artifacts.get(key, default)
+
+    def require(self, key: str) -> Any:
+        if key not in self._artifacts:
+            raise KeyError(
+                f"pipeline artifact {key!r} missing; produced artifacts: "
+                f"{sorted(self._artifacts)}"
+            )
+        return self._artifacts[key]
+
+    def put(self, key: str, value: Any) -> None:
+        self._artifacts[key] = value
+
+    def keys(self) -> List[str]:
+        return sorted(self._artifacts)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    duration_s: float = 0.0
+
+
+@dataclass
+class Job:
+    """A named unit of work: ``run(context) -> detail string``.
+
+    The callable raises to fail the job; its return value (or the
+    exception text) lands in the result detail.
+    """
+
+    name: str
+    run: Callable[[PipelineContext], Optional[str]]
+
+    def execute(self, context: PipelineContext) -> JobResult:
+        started = time.perf_counter()
+        try:
+            detail = self.run(context) or ""
+        except Exception as error:  # noqa: BLE001 - report, don't crash CI
+            return JobResult(
+                name=self.name, passed=False,
+                detail=f"{type(error).__name__}: {error}",
+                duration_s=time.perf_counter() - started,
+            )
+        return JobResult(
+            name=self.name, passed=True, detail=detail,
+            duration_s=time.perf_counter() - started,
+        )
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage: job results plus gate results."""
+
+    name: str
+    job_results: List[JobResult] = field(default_factory=list)
+    gate_results: List["GateOutcome"] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (all(j.passed for j in self.job_results)
+                and all(g.passed for g in self.gate_results))
+
+
+@dataclass
+class GateOutcome:
+    """A gate verdict as recorded in the run (gate name + result)."""
+
+    gate: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class Stage:
+    """A pipeline stage: jobs then gates.
+
+    ``gates`` holds objects with ``name`` and ``evaluate(context) ->
+    GateResult`` (see :mod:`repro.core.gates`); the engine only needs
+    that protocol.
+    """
+
+    name: str
+    jobs: List[Job] = field(default_factory=list)
+    gates: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class PipelineRun:
+    """The record of one pipeline execution."""
+
+    stage_results: List[StageResult] = field(default_factory=list)
+    context: Optional[PipelineContext] = None
+
+    @property
+    def passed(self) -> bool:
+        return all(stage.passed for stage in self.stage_results)
+
+    @property
+    def failed_stage(self) -> Optional[str]:
+        for stage in self.stage_results:
+            if not stage.passed:
+                return stage.name
+        return None
+
+    def gate_rows(self) -> List[Dict[str, str]]:
+        """One row per gate evaluation, for reports."""
+        rows = []
+        for stage in self.stage_results:
+            for outcome in stage.gate_results:
+                rows.append({
+                    "stage": stage.name,
+                    "gate": outcome.gate,
+                    "verdict": "PASS" if outcome.passed else "FAIL",
+                    "detail": outcome.detail,
+                })
+        return rows
+
+    def summary(self) -> str:
+        stages = len(self.stage_results)
+        verdict = "passed" if self.passed else (
+            f"failed at stage {self.failed_stage!r}")
+        return f"pipeline {verdict} ({stages} stages run)"
+
+
+class Pipeline:
+    """An ordered list of stages, executed fail-fast."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        self.stages = list(stages)
+
+    def run(self, context: Optional[PipelineContext] = None) -> PipelineRun:
+        """Execute all stages against *context* (created when omitted)."""
+        context = context if context is not None else PipelineContext()
+        run = PipelineRun(context=context)
+        for stage in self.stages:
+            result = StageResult(name=stage.name)
+            run.stage_results.append(result)
+            for job in stage.jobs:
+                job_result = job.execute(context)
+                result.job_results.append(job_result)
+                if not job_result.passed:
+                    return run
+            for gate in stage.gates:
+                gate_result = gate.evaluate(context)
+                result.gate_results.append(GateOutcome(
+                    gate=gate.name,
+                    passed=gate_result.passed,
+                    detail=gate_result.detail,
+                ))
+                if not gate_result.passed:
+                    return run
+        return run

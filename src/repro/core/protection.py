@@ -1,0 +1,205 @@
+"""Reactive protection at operations (WP3).
+
+Two protection styles, matching the E2 ablation:
+
+* :class:`ProtectionLoop` — **event-driven**: subscribes to the host's
+  event log; every event becomes a step fed to the armed LTL monitors;
+  a FALSE verdict raises an :class:`Incident`, and the loop responds by
+  enforcing the requirement's bound RQCODE findings, then re-arms.
+* :class:`PollingProtection` — **polling** (the RQCODE
+  ``MonitoringLoop`` style): on each ``poll()``, check the whole
+  catalogue against the host and enforce whatever fails.
+
+Both record incidents with detection latency, measured in host events
+between the violation and its detection — the E2 metric.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.environment.events import Event
+from repro.environment.host import SimulatedHost
+from repro.ltl.monitor import LtlMonitor, Verdict
+from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+
+
+@dataclass
+class RepairAction:
+    """One enforcement performed in response to a detection."""
+
+    finding_id: str
+    status: EnforcementStatus
+    detail: str = ""
+
+
+@dataclass
+class Incident:
+    """A detected violation and what was done about it."""
+
+    req_id: str
+    detected_at: int                # host logical time of detection
+    trigger_kind: str               # event kind that tripped the monitor
+    violation_time: Optional[int]   # time of the underlying violation
+    repairs: List[RepairAction] = field(default_factory=list)
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Host events between violation and detection (0 = immediate)."""
+        if self.violation_time is None:
+            return None
+        return self.detected_at - self.violation_time
+
+    @property
+    def effective(self) -> bool:
+        """True when a repair actually changed the host *and* the
+        re-check passed (as opposed to a re-check that found the finding
+        already compliant, or an enforcement that failed)."""
+        return any(
+            r.detail.startswith("enforced") and r.detail.endswith("PASS")
+            for r in self.repairs
+        )
+
+
+def event_propositions(event: Event) -> List[str]:
+    """Propositions an event contributes to a monitoring step.
+
+    The full kind plus every dotted prefix, so ``drift.audit`` satisfies
+    atoms ``drift.audit`` and ``drift``.
+    """
+    parts = event.kind.split(".")
+    return [".".join(parts[:i]) for i in range(1, len(parts) + 1)]
+
+
+class ProtectionLoop:
+    """Event-driven detect -> respond -> re-arm loop for one host."""
+
+    def __init__(self, host: SimulatedHost, catalog: StigCatalog,
+                 monitors: Dict[str, LtlMonitor],
+                 bindings: Optional[Dict[str, Sequence[str]]] = None):
+        self.host = host
+        self.catalog = catalog
+        self.monitors = dict(monitors)
+        self.bindings = {k: list(v) for k, v in (bindings or {}).items()}
+        self.incidents: List[Incident] = []
+        self._unsubscribe = None
+        #: Last event time seen per requirement, to stamp violations.
+        self._armed_since: Dict[str, int] = {
+            req_id: host.events.clock for req_id in self.monitors}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ProtectionLoop":
+        """Attach to the host's event stream (idempotent)."""
+        if self._unsubscribe is None:
+            self._unsubscribe = self.host.events.subscribe(self._on_event)
+        return self
+
+    def stop(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- detection ----------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        step = set(event_propositions(event))
+        for req_id, monitor in list(self.monitors.items()):
+            verdict = monitor.observe(step)
+            if verdict is Verdict.FALSE:
+                self._respond(req_id, event)
+                monitor.reset()
+                self._armed_since[req_id] = event.time + 1
+
+    def _respond(self, req_id: str, event: Event) -> None:
+        incident = Incident(
+            req_id=req_id,
+            detected_at=event.time,
+            trigger_kind=event.kind,
+            violation_time=event.time,
+        )
+        # Enforcement happens while detached so repair events do not
+        # re-trigger the very monitors doing the repairing.
+        self.stop()
+        try:
+            for finding_id in self.bindings.get(req_id, []):
+                incident.repairs.append(self._enforce(finding_id))
+        finally:
+            self.start()
+        self.incidents.append(incident)
+
+    def _enforce(self, finding_id: str) -> RepairAction:
+        try:
+            entry = self.catalog.get(finding_id)
+        except KeyError:
+            return RepairAction(
+                finding_id=finding_id,
+                status=EnforcementStatus.FAILURE,
+                detail="finding not in catalogue",
+            )
+        requirement = entry.instantiate(self.host)
+        if requirement.check() is CheckStatus.PASS:
+            return RepairAction(
+                finding_id=finding_id,
+                status=EnforcementStatus.SUCCESS,
+                detail="already compliant",
+            )
+        status = requirement.enforce()
+        after = requirement.check()
+        detail = f"enforced; re-check {after.value}"
+        return RepairAction(finding_id=finding_id, status=status,
+                            detail=detail)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def incident_count(self) -> int:
+        return len(self.incidents)
+
+    def repaired_count(self) -> int:
+        return sum(
+            1 for incident in self.incidents
+            if incident.repairs and all(
+                r.status is EnforcementStatus.SUCCESS
+                for r in incident.repairs)
+        )
+
+
+class PollingProtection:
+    """Poll-based protection: periodic full-catalogue check/enforce."""
+
+    def __init__(self, host: SimulatedHost, catalog: StigCatalog):
+        self.host = host
+        self.catalog = catalog
+        self.incidents: List[Incident] = []
+        self.polls = 0
+
+    def poll(self) -> List[Incident]:
+        """One polling cycle: check everything, enforce what fails.
+
+        The detection latency of each incident is the distance from the
+        most recent drift event touching the host to this poll —
+        polling can never beat the poll period.
+        """
+        self.polls += 1
+        detected: List[Incident] = []
+        last_drift = self.host.events.last("drift")
+        for entry in self.catalog.entries_for(self.host.os_family):
+            requirement = entry.instantiate(self.host)
+            before = requirement.check()
+            if before is CheckStatus.PASS:
+                continue
+            status = requirement.enforce()
+            after = requirement.check()
+            incident = Incident(
+                req_id=entry.finding_id,
+                detected_at=self.host.events.clock,
+                trigger_kind="poll",
+                violation_time=(last_drift.time
+                                if last_drift is not None else None),
+                repairs=[RepairAction(
+                    finding_id=entry.finding_id, status=status,
+                    detail=f"enforced; re-check {after.value}")],
+            )
+            detected.append(incident)
+        self.incidents.extend(detected)
+        return detected

@@ -1,0 +1,134 @@
+"""Security reporting: one Markdown dashboard per pipeline/ops cycle.
+
+DevOps integration lives and dies on visibility: the gate verdicts,
+the compliance matrix, the requirement lifecycle, and the incident log
+have to land where the team looks.  :class:`SecurityReport` collects
+the framework's artifacts and renders a single Markdown document (the
+format every CI vendor displays natively).
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import PipelineRun
+from repro.core.protection import Incident
+from repro.core.repository import RequirementRepository
+from repro.rqcode.catalog import ComplianceReport
+
+
+def _markdown_table(rows: Sequence[dict]) -> str:
+    """Render row dicts as a Markdown table (empty-safe)."""
+    if not rows:
+        return "_(none)_"
+    columns = list(rows[0])
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row[c]) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class SecurityReport:
+    """Everything one delivery cycle produced, ready to render.
+
+    Attach whichever artifacts exist; sections for missing artifacts
+    are omitted rather than rendered empty.
+    """
+
+    title: str = "VeriDevOps security report"
+    repository: Optional[RequirementRepository] = None
+    pipeline_run: Optional[PipelineRun] = None
+    compliance_reports: List[ComplianceReport] = field(default_factory=list)
+    incidents: List[Incident] = field(default_factory=list)
+
+    # -- section renderers ----------------------------------------------------
+
+    def _pipeline_section(self) -> str:
+        run = self.pipeline_run
+        status = "PASSED" if run.passed else (
+            f"FAILED at stage `{run.failed_stage}`")
+        return (
+            f"## Pipeline: {status}\n\n"
+            + _markdown_table(run.gate_rows())
+        )
+
+    def _requirements_section(self) -> str:
+        histogram = self.repository.status_histogram()
+        rows = [{"status": status, "count": count}
+                for status, count in histogram.items()]
+        lifecycle = _markdown_table(rows)
+        traceability = _markdown_table(
+            self.repository.traceability_rows())
+        return (
+            "## Requirements\n\n"
+            f"{len(self.repository)} requirements under management.\n\n"
+            f"### Lifecycle\n\n{lifecycle}\n\n"
+            f"### Traceability\n\n{traceability}"
+        )
+
+    def _compliance_section(self) -> str:
+        parts = ["## Host compliance"]
+        for report in self.compliance_reports:
+            ratio = f"{report.compliance_ratio:.0%}"
+            parts.append(
+                f"### {report.host_name} ({report.platform}) — {ratio}\n\n"
+                + _markdown_table(report.rows()))
+        return "\n\n".join(parts)
+
+    def _incidents_section(self) -> str:
+        rows = [
+            {
+                "requirement": incident.req_id,
+                "trigger": incident.trigger_kind,
+                "latency_events": (
+                    incident.detection_latency
+                    if incident.detection_latency is not None else "-"),
+                "repairs": ", ".join(
+                    f"{r.finding_id} ({r.status.value})"
+                    for r in incident.repairs) or "-",
+                "effective": "yes" if incident.effective else "re-check",
+            }
+            for incident in self.incidents
+        ]
+        effective = sum(1 for i in self.incidents if i.effective)
+        return (
+            "## Operations incidents\n\n"
+            f"{len(self.incidents)} detections, {effective} effective "
+            f"repairs.\n\n" + _markdown_table(rows)
+        )
+
+    def render(self) -> str:
+        """The full Markdown document."""
+        sections = [f"# {self.title}"]
+        if self.pipeline_run is not None:
+            sections.append(self._pipeline_section())
+        if self.repository is not None:
+            sections.append(self._requirements_section())
+        if self.compliance_reports:
+            sections.append(self._compliance_section())
+        if self.incidents:
+            sections.append(self._incidents_section())
+        return "\n\n".join(sections) + "\n"
+
+
+def report_for_cycle(orchestrator, run: PipelineRun,
+                     loop=None, title: str = "VeriDevOps security report"
+                     ) -> SecurityReport:
+    """Assemble the report for one orchestrator cycle.
+
+    Pulls the compliance reports out of the pipeline context and the
+    incidents out of the protection loop (when one is running).
+    """
+    report = SecurityReport(title=title,
+                            repository=orchestrator.repository,
+                            pipeline_run=run)
+    if run.context is not None:
+        report.compliance_reports = list(
+            run.context.get("compliance_reports", []))
+    if loop is not None:
+        report.incidents = list(loop.incidents)
+    return report

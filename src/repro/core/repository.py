@@ -1,0 +1,144 @@
+"""Requirement repository with lifecycle and traceability.
+
+Every security requirement the framework handles — whatever its source
+— becomes a :class:`RequirementRecord` that carries its lifecycle
+status, its formalization artifacts (specification pattern, LTL and
+TCTL renderings), and its bindings to enforcement mechanisms (RQCODE
+finding ids).  The repository is the traceability backbone: experiment
+E1's end-to-end table is a walk over these records.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.specpatterns.patterns import Pattern
+from repro.specpatterns.scopes import Scope
+
+
+class RequirementSource(enum.Enum):
+    """Where a requirement came from (the three WP2 inputs)."""
+
+    NATURAL_LANGUAGE = "natural-language"
+    VULNERABILITY_DB = "vulnerability-db"
+    STANDARD = "standard"
+
+
+class RequirementStatus(enum.Enum):
+    """Lifecycle stages, in order."""
+
+    ELICITED = "elicited"
+    ANALYZED = "analyzed"          # quality-checked (NALABS)
+    FORMALIZED = "formalized"      # pattern + formula attached
+    VERIFIED = "verified"          # model-checked / gate-passed
+    DEPLOYED = "deployed"          # enforcement bound on hosts
+    MONITORED = "monitored"        # runtime monitor active
+
+    def rank(self) -> int:
+        return _STATUS_ORDER.index(self)
+
+
+_STATUS_ORDER = [
+    RequirementStatus.ELICITED,
+    RequirementStatus.ANALYZED,
+    RequirementStatus.FORMALIZED,
+    RequirementStatus.VERIFIED,
+    RequirementStatus.DEPLOYED,
+    RequirementStatus.MONITORED,
+]
+
+
+@dataclass
+class RequirementRecord:
+    """One requirement with full traceability."""
+
+    req_id: str
+    text: str
+    source: RequirementSource
+    status: RequirementStatus = RequirementStatus.ELICITED
+    #: NALABS flags ('vagueness', ...) attached at analysis time.
+    quality_flags: List[str] = field(default_factory=list)
+    #: Specification-pattern formalization.
+    pattern: Optional[Pattern] = None
+    scope: Optional[Scope] = None
+    ltl: str = ""
+    tctl: str = ""
+    #: RQCODE finding ids bound for check/enforce on hosts.
+    rqcode_findings: List[str] = field(default_factory=list)
+    #: Free-form provenance (CVE id, STIG id, document section).
+    provenance: str = ""
+
+    def advance_to(self, status: RequirementStatus) -> None:
+        """Move the lifecycle forward; regression raises.
+
+        The lifecycle is monotone: a verified requirement cannot drop
+        back to elicited — re-analysis creates a new record instead.
+        """
+        if status.rank() < self.status.rank():
+            raise ValueError(
+                f"{self.req_id}: cannot regress from {self.status.value} "
+                f"to {status.value}"
+            )
+        self.status = status
+
+
+class RequirementRepository:
+    """Record store with the queries the pipeline and reports need."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, RequirementRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, req_id: str) -> bool:
+        return req_id in self._records
+
+    def __iter__(self):
+        return iter(self.all())
+
+    def add(self, record: RequirementRecord) -> RequirementRecord:
+        if record.req_id in self._records:
+            raise ValueError(f"duplicate requirement id: {record.req_id}")
+        self._records[record.req_id] = record
+        return record
+
+    def get(self, req_id: str) -> RequirementRecord:
+        return self._records[req_id]
+
+    def all(self) -> List[RequirementRecord]:
+        return sorted(self._records.values(), key=lambda r: r.req_id)
+
+    def with_status(self, status: RequirementStatus
+                    ) -> List[RequirementRecord]:
+        return [r for r in self.all() if r.status is status]
+
+    def at_least(self, status: RequirementStatus) -> List[RequirementRecord]:
+        return [r for r in self.all() if r.status.rank() >= status.rank()]
+
+    def from_source(self, source: RequirementSource
+                    ) -> List[RequirementRecord]:
+        return [r for r in self.all() if r.source is source]
+
+    def formalized(self) -> List[RequirementRecord]:
+        return [r for r in self.all() if r.pattern is not None]
+
+    def status_histogram(self) -> Dict[str, int]:
+        histogram = {status.value: 0 for status in RequirementStatus}
+        for record in self.all():
+            histogram[record.status.value] += 1
+        return histogram
+
+    def traceability_rows(self) -> List[Dict[str, str]]:
+        """One row per requirement for the E1 end-to-end table."""
+        return [
+            {
+                "req": record.req_id,
+                "source": record.source.value,
+                "status": record.status.value,
+                "pattern": record.pattern.kind if record.pattern else "-",
+                "ltl": record.ltl or "-",
+                "bindings": ",".join(record.rqcode_findings) or "-",
+            }
+            for record in self.all()
+        ]

@@ -1,0 +1,68 @@
+"""Simulated host environment substrate.
+
+The VeriDevOps RQCODE requirements check and enforce security settings on
+real Windows 10 and Ubuntu hosts (forking ``auditpol.exe``, querying
+``dpkg``).  This package provides in-memory stand-ins that speak the same
+textual interfaces, so the exact check/enforce code paths run offline.
+
+Public surface:
+
+* :class:`~repro.environment.host.SimulatedHost` — a host with packages,
+  services, config files, audit policies and an event log.
+* :class:`~repro.environment.auditpol.SimulatedAuditPol` — an
+  ``auditpol.exe`` work-alike over an in-memory audit-policy store.
+* :class:`~repro.environment.dpkg.SimulatedDpkg` — a dpkg/apt work-alike.
+* :mod:`~repro.environment.profiles` — factory functions producing
+  default / hardened / adversarial host profiles.
+"""
+
+from repro.environment.auditpol import (
+    AuditPolicyStore,
+    AuditSetting,
+    SimulatedAuditPol,
+)
+from repro.environment.configstore import ConfigFileStore
+from repro.environment.dpkg import PackageRecord, SimulatedDpkg
+from repro.environment.errors import (
+    CommandError,
+    EnvironmentError_,
+    UnknownPackageError,
+    UnknownServiceError,
+    UnknownSubcategoryError,
+)
+from repro.environment.events import Event, EventLog
+from repro.environment.host import SimulatedHost
+from repro.environment.profiles import (
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.environment.services import ServiceManager, ServiceState
+
+__all__ = [
+    "AuditPolicyStore",
+    "AuditSetting",
+    "CommandError",
+    "ConfigFileStore",
+    "EnvironmentError_",
+    "Event",
+    "EventLog",
+    "PackageRecord",
+    "ServiceManager",
+    "ServiceState",
+    "SimulatedAuditPol",
+    "SimulatedDpkg",
+    "SimulatedHost",
+    "UnknownPackageError",
+    "UnknownServiceError",
+    "UnknownSubcategoryError",
+    "adversarial_ubuntu_host",
+    "adversarial_windows_host",
+    "default_ubuntu_host",
+    "default_windows_host",
+    "hardened_ubuntu_host",
+    "hardened_windows_host",
+]

@@ -1,0 +1,111 @@
+"""User accounts with a lockout policy — behavioural substrate.
+
+Account-management STIGs are usually *checked* as configuration, but
+their point is behavioural: after N failed logons the account locks.
+This module gives hosts a user-account store whose logon path actually
+enforces the configured policy and emits the events
+(``logon.success``, ``logon.failure``, ``account.locked``,
+``account.unlocked``) the audit and protection machinery consume — so a
+lockout requirement can be verified end-to-end by *attacking* the host.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.environment.events import EventLog
+
+
+@dataclass
+class LockoutPolicy:
+    """The account-lockout knobs the STIG pins.
+
+    ``threshold`` of 0 disables lockout (the insecure default STIG
+    forbids); ``duration`` is informational here (no wall clock).
+    """
+
+    threshold: int = 0
+    duration_minutes: int = 0
+    reset_window_minutes: int = 0
+
+    @property
+    def lockout_enabled(self) -> bool:
+        return self.threshold > 0
+
+
+@dataclass
+class UserAccount:
+    """One account's state."""
+
+    name: str
+    privileged: bool = False
+    locked: bool = False
+    failed_attempts: int = 0
+    enabled: bool = True
+
+
+class AccountStore:
+    """Accounts plus the policy the logon path enforces."""
+
+    def __init__(self, event_log: Optional[EventLog] = None,
+                 policy: Optional[LockoutPolicy] = None):
+        self._accounts: Dict[str, UserAccount] = {}
+        self._events = event_log
+        self.policy = policy if policy is not None else LockoutPolicy()
+
+    # -- management ---------------------------------------------------------
+
+    def add(self, name: str, privileged: bool = False) -> UserAccount:
+        if name in self._accounts:
+            raise ValueError(f"account exists: {name!r}")
+        account = UserAccount(name=name, privileged=privileged)
+        self._accounts[name] = account
+        self._emit("account.created", user=name, privileged=privileged)
+        return account
+
+    def get(self, name: str) -> UserAccount:
+        if name not in self._accounts:
+            raise KeyError(f"no account {name!r}")
+        return self._accounts[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._accounts)
+
+    def unlock(self, name: str) -> None:
+        """Administrative unlock: clears the lock and the counter."""
+        account = self.get(name)
+        if account.locked:
+            account.locked = False
+            account.failed_attempts = 0
+            self._emit("account.unlocked", user=name)
+
+    # -- the logon path -------------------------------------------------------
+
+    def logon(self, name: str, success: bool) -> bool:
+        """Attempt a logon; returns whether a session was granted.
+
+        Failures count toward the policy threshold; reaching it locks
+        the account.  Successful logons reset the counter.  Logons to a
+        locked or disabled account are refused outright (and audited as
+        failures).
+        """
+        account = self.get(name)
+        if account.locked or not account.enabled:
+            self._emit("logon.failure", user=name, reason="locked")
+            return False
+        if success:
+            account.failed_attempts = 0
+            self._emit("logon.success", user=name)
+            return True
+        account.failed_attempts += 1
+        self._emit("logon.failure", user=name,
+                   attempts=account.failed_attempts)
+        if (self.policy.lockout_enabled
+                and account.failed_attempts >= self.policy.threshold):
+            account.locked = True
+            self._emit("account.locked", user=name,
+                       after_attempts=account.failed_attempts)
+        return False
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **payload)

@@ -1,0 +1,313 @@
+"""Simulated ``auditpol.exe``.
+
+The RQCODE Windows 10 STIG requirements (D2.7 Annex 1, class
+``AuditPolicyRequirement``) "fork auditpol.exe [and] manipulate its input
+and output".  This module reproduces the relevant slice of auditpol's
+command-line grammar and report format over an in-memory policy store, so
+the same text-manipulating check/enforce logic runs without a Windows
+host:
+
+* ``auditpol /get /subcategory:"<name>"``
+* ``auditpol /get /category:"<name>"``
+* ``auditpol /get /category:*``
+* ``auditpol /set /subcategory:"<name>" /success:enable|disable
+  /failure:enable|disable``
+
+Output mirrors the real tool::
+
+    System audit policy
+    Category/Subcategory                    Setting
+    Logon/Logoff
+      Logon                                 Success and Failure
+"""
+
+import shlex
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.environment.errors import CommandError, UnknownSubcategoryError
+from repro.environment.events import EventLog
+
+#: The Windows 10 advanced audit policy taxonomy (category -> subcategories)
+#: restricted to the categories the STIG catalogue touches, plus enough
+#: neighbours that ``/get /category:*`` output is realistically shaped.
+WINDOWS10_AUDIT_TAXONOMY: Dict[str, Tuple[str, ...]] = {
+    "Account Logon": (
+        "Credential Validation",
+        "Kerberos Authentication Service",
+        "Kerberos Service Ticket Operations",
+        "Other Account Logon Events",
+    ),
+    "Account Management": (
+        "Application Group Management",
+        "Computer Account Management",
+        "Distribution Group Management",
+        "Other Account Management Events",
+        "Security Group Management",
+        "User Account Management",
+    ),
+    "Detailed Tracking": (
+        "DPAPI Activity",
+        "Plug and Play Events",
+        "Process Creation",
+        "Process Termination",
+        "RPC Events",
+    ),
+    "Logon/Logoff": (
+        "Account Lockout",
+        "Group Membership",
+        "IPsec Extended Mode",
+        "IPsec Main Mode",
+        "IPsec Quick Mode",
+        "Logoff",
+        "Logon",
+        "Network Policy Server",
+        "Other Logon/Logoff Events",
+        "Special Logon",
+    ),
+    "Object Access": (
+        "Application Generated",
+        "Certification Services",
+        "Detailed File Share",
+        "File Share",
+        "File System",
+        "Filtering Platform Connection",
+        "Filtering Platform Packet Drop",
+        "Handle Manipulation",
+        "Kernel Object",
+        "Other Object Access Events",
+        "Registry",
+        "Removable Storage",
+        "SAM",
+    ),
+    "Policy Change": (
+        "Audit Policy Change",
+        "Authentication Policy Change",
+        "Authorization Policy Change",
+        "Filtering Platform Policy Change",
+        "MPSSVC Rule-Level Policy Change",
+        "Other Policy Change Events",
+    ),
+    "Privilege Use": (
+        "Non Sensitive Privilege Use",
+        "Other Privilege Use Events",
+        "Sensitive Privilege Use",
+    ),
+    "System": (
+        "IPsec Driver",
+        "Other System Events",
+        "Security State Change",
+        "Security System Extension",
+        "System Integrity",
+    ),
+}
+
+
+@dataclass
+class AuditSetting:
+    """Audit configuration of one subcategory."""
+
+    success: bool = False
+    failure: bool = False
+
+    def render(self) -> str:
+        """The setting string auditpol prints for this configuration."""
+        if self.success and self.failure:
+            return "Success and Failure"
+        if self.success:
+            return "Success"
+        if self.failure:
+            return "Failure"
+        return "No Auditing"
+
+    @classmethod
+    def parse(cls, text: str) -> "AuditSetting":
+        """Inverse of :meth:`render`; accepts auditpol's setting strings."""
+        normalized = text.strip().lower()
+        table = {
+            "success and failure": cls(True, True),
+            "success": cls(True, False),
+            "failure": cls(False, True),
+            "no auditing": cls(False, False),
+        }
+        if normalized not in table:
+            raise ValueError(f"unrecognized audit setting: {text!r}")
+        return table[normalized]
+
+
+class AuditPolicyStore:
+    """In-memory advanced audit policy: subcategory -> :class:`AuditSetting`.
+
+    The store is the "registry" behind :class:`SimulatedAuditPol`; tests and
+    host profiles manipulate it directly, while RQCODE requirements go
+    through the textual tool interface as they would on a real host.
+    """
+
+    def __init__(self, taxonomy: Optional[Dict[str, Tuple[str, ...]]] = None):
+        self._taxonomy = dict(taxonomy or WINDOWS10_AUDIT_TAXONOMY)
+        self._settings: Dict[str, AuditSetting] = {}
+        self._subcategory_to_category: Dict[str, str] = {}
+        for category, subcategories in self._taxonomy.items():
+            for subcategory in subcategories:
+                self._settings[subcategory] = AuditSetting()
+                self._subcategory_to_category[subcategory] = category
+
+    @property
+    def categories(self) -> List[str]:
+        return sorted(self._taxonomy)
+
+    def subcategories(self, category: str) -> Tuple[str, ...]:
+        if category not in self._taxonomy:
+            raise UnknownSubcategoryError(f"unknown audit category: {category!r}")
+        return self._taxonomy[category]
+
+    def category_of(self, subcategory: str) -> str:
+        self._require(subcategory)
+        return self._subcategory_to_category[subcategory]
+
+    def get(self, subcategory: str) -> AuditSetting:
+        self._require(subcategory)
+        return self._settings[subcategory]
+
+    def set(self, subcategory: str, success: Optional[bool] = None,
+            failure: Optional[bool] = None) -> AuditSetting:
+        """Update a subcategory; ``None`` leaves the flag unchanged."""
+        self._require(subcategory)
+        setting = self._settings[subcategory]
+        if success is not None:
+            setting.success = success
+        if failure is not None:
+            setting.failure = failure
+        return setting
+
+    def items(self) -> Iterable[Tuple[str, str, AuditSetting]]:
+        """Yield (category, subcategory, setting) in taxonomy order."""
+        for category in self.categories:
+            for subcategory in self._taxonomy[category]:
+                yield category, subcategory, self._settings[subcategory]
+
+    def snapshot(self) -> Dict[str, str]:
+        """Rendered settings by subcategory; useful for drift detection."""
+        return {sub: setting.render() for _, sub, setting in self.items()}
+
+    def _require(self, subcategory: str) -> None:
+        if subcategory not in self._settings:
+            raise UnknownSubcategoryError(
+                f"unknown audit subcategory: {subcategory!r}"
+            )
+
+
+class SimulatedAuditPol:
+    """Text-interface facade over an :class:`AuditPolicyStore`.
+
+    :meth:`run` accepts either an argv list or a single command string
+    (``'/get /subcategory:"Logon"'``) and returns the stdout text the real
+    tool would print.  Invalid invocations raise :class:`CommandError`,
+    matching the real tool's non-zero exit.
+    """
+
+    HEADER = "System audit policy"
+    COLUMNS = "Category/Subcategory                    Setting"
+    _SETTING_COLUMN = 40
+
+    def __init__(self, store: Optional[AuditPolicyStore] = None,
+                 event_log: Optional[EventLog] = None):
+        self.store = store if store is not None else AuditPolicyStore()
+        self._event_log = event_log
+
+    # -- command dispatch ---------------------------------------------------
+
+    def run(self, argv) -> str:
+        """Execute one auditpol invocation; returns stdout text."""
+        if isinstance(argv, str):
+            argv = shlex.split(argv)
+        argv = list(argv)
+        if argv and argv[0].lower() in ("auditpol", "auditpol.exe"):
+            argv = argv[1:]
+        if not argv:
+            raise CommandError("missing verb (/get or /set)", argv)
+        verb = argv[0].lower()
+        if verb == "/get":
+            return self._run_get(argv[1:])
+        if verb == "/set":
+            return self._run_set(argv[1:])
+        raise CommandError(f"unsupported verb: {argv[0]!r}", argv)
+
+    # -- /get ---------------------------------------------------------------
+
+    def _run_get(self, args: List[str]) -> str:
+        options = _parse_options(args)
+        if "subcategory" in options:
+            name = options["subcategory"]
+            category = self.store.category_of(name)
+            return self._render([(category, name, self.store.get(name))])
+        if "category" in options:
+            name = options["category"]
+            if name == "*":
+                return self._render(list(self.store.items()))
+            rows = [
+                (name, sub, self.store.get(sub))
+                for sub in self.store.subcategories(name)
+            ]
+            return self._render(rows)
+        raise CommandError("/get requires /subcategory: or /category:", args)
+
+    def _render(self, rows) -> str:
+        lines = [self.HEADER, self.COLUMNS]
+        current_category = None
+        for category, subcategory, setting in rows:
+            if category != current_category:
+                lines.append(category)
+                current_category = category
+            label = f"  {subcategory}"
+            padding = max(1, self._SETTING_COLUMN - len(label))
+            lines.append(f"{label}{' ' * padding}{setting.render()}")
+        return "\n".join(lines)
+
+    # -- /set ---------------------------------------------------------------
+
+    def _run_set(self, args: List[str]) -> str:
+        options = _parse_options(args)
+        if "subcategory" not in options:
+            raise CommandError("/set requires /subcategory:", args)
+        name = options["subcategory"]
+        success = _parse_enable(options.get("success"), "success", args)
+        failure = _parse_enable(options.get("failure"), "failure", args)
+        if success is None and failure is None:
+            raise CommandError(
+                "/set requires at least one of /success: or /failure:", args
+            )
+        before = self.store.get(name).render()
+        setting = self.store.set(name, success=success, failure=failure)
+        if self._event_log is not None:
+            self._event_log.emit(
+                "audit.policy_changed",
+                subcategory=name,
+                before=before,
+                after=setting.render(),
+            )
+        return "The command was successfully executed."
+
+
+def _parse_options(args: List[str]) -> Dict[str, str]:
+    """Parse ``/key:value`` tokens; values may carry quotes already
+    stripped by shlex."""
+    options: Dict[str, str] = {}
+    for token in args:
+        if not token.startswith("/") or ":" not in token:
+            raise CommandError(f"malformed option: {token!r}", args)
+        key, _, value = token[1:].partition(":")
+        options[key.lower()] = value.strip('"')
+    return options
+
+
+def _parse_enable(value: Optional[str], flag: str, args: List[str]):
+    """Map enable/disable strings to booleans; ``None`` passes through."""
+    if value is None:
+        return None
+    lowered = value.lower()
+    if lowered == "enable":
+        return True
+    if lowered == "disable":
+        return False
+    raise CommandError(f"/{flag}: expects enable or disable, got {value!r}", args)

@@ -1,0 +1,112 @@
+"""Config-file store: key/value configuration files on a simulated host.
+
+Several Ubuntu STIG findings are satisfied by a line in a configuration
+file (``/etc/ssh/sshd_config``, ``/etc/login.defs``, PAM stacks, ...).
+:class:`ConfigFileStore` models those files as ordered key -> value maps
+with sshd_config-style serialization, which is what the STIG check text
+greps for.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+
+class ConfigFileStore:
+    """A set of configuration files, each an ordered key/value mapping.
+
+    Keys are case-insensitive on lookup (sshd_config semantics) but
+    preserve their original spelling on render.  Repeated ``set`` calls
+    replace the value in place, keeping line order stable — mirroring how
+    hardening scripts edit rather than append.
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[str, List[Tuple[str, str]]] = {}
+
+    # -- file-level ---------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def ensure(self, path: str) -> None:
+        """Create an empty file if absent."""
+        self._files.setdefault(path, [])
+
+    def remove_file(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- key-level ----------------------------------------------------------
+
+    def get(self, path: str, key: str, default: Optional[str] = None
+            ) -> Optional[str]:
+        """Value of *key* in *path*, or *default* when file/key is absent."""
+        entries = self._files.get(path)
+        if entries is None:
+            return default
+        lowered = key.lower()
+        for existing_key, value in entries:
+            if existing_key.lower() == lowered:
+                return value
+        return default
+
+    def set(self, path: str, key: str, value: str) -> None:
+        """Set *key* to *value*, creating the file if needed."""
+        entries = self._files.setdefault(path, [])
+        lowered = key.lower()
+        for index, (existing_key, _) in enumerate(entries):
+            if existing_key.lower() == lowered:
+                entries[index] = (existing_key, value)
+                return
+        entries.append((key, value))
+
+    def unset(self, path: str, key: str) -> bool:
+        """Remove *key* from *path*; returns True when something was removed."""
+        entries = self._files.get(path)
+        if entries is None:
+            return False
+        lowered = key.lower()
+        remaining = [(k, v) for k, v in entries if k.lower() != lowered]
+        removed = len(remaining) != len(entries)
+        self._files[path] = remaining
+        return removed
+
+    def keys(self, path: str) -> List[str]:
+        return [k for k, _ in self._files.get(path, [])]
+
+    # -- text round-trip ----------------------------------------------------
+
+    def render(self, path: str) -> str:
+        """Serialize the file in ``Key value`` (sshd_config) form."""
+        entries = self._files.get(path, [])
+        return "\n".join(f"{key} {value}" for key, value in entries)
+
+    def load_text(self, path: str, text: str) -> None:
+        """Replace *path* contents by parsing ``Key value`` lines.
+
+        Blank lines and ``#`` comments are skipped, as the real parsers do.
+        """
+        entries: List[Tuple[str, str]] = []
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            key, _, value = stripped.partition(" ")
+            entries.append((key, value.strip()))
+        self._files[path] = entries
+
+    def grep(self, path: str, needle: str) -> List[str]:
+        """Lines of the rendered file containing *needle* (case-insensitive)."""
+        lowered = needle.lower()
+        return [
+            line for line in self.render(path).splitlines()
+            if lowered in line.lower()
+        ]
+
+    def snapshot(self) -> Dict[str, Dict[str, str]]:
+        """Plain-data view of every file, for drift comparison."""
+        return {
+            path: {key: value for key, value in entries}
+            for path, entries in self._files.items()
+        }

@@ -1,0 +1,171 @@
+"""Simulated dpkg/apt package manager.
+
+The RQCODE Ubuntu STIG requirements (``UbuntuPackagePattern``) only ever
+ask two things of the package system: *is package X installed?* and
+*install / remove package X*.  :class:`SimulatedDpkg` answers both over an
+in-memory package database and also reproduces the ``dpkg -l <name>``
+listing format, because the original Java pattern parses that output.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.environment.errors import EnvironmentError_, UnknownPackageError
+from repro.environment.events import EventLog
+
+#: Packages known to the simulated apt universe. Versions are the Ubuntu
+#: 18.04 LTS archive versions for the packages the STIG catalogue touches.
+DEFAULT_PACKAGE_UNIVERSE: Dict[str, str] = {
+    "nis": "3.17.1-1build1",
+    "rsh-server": "0.17-17",
+    "rsh-client": "0.17-17",
+    "telnetd": "0.17-41",
+    "ssh": "1:7.6p1-4ubuntu0.7",
+    "openssh-server": "1:7.6p1-4ubuntu0.7",
+    "openssh-client": "1:7.6p1-4ubuntu0.7",
+    "vlock": "2.2.2-8",
+    "libpam-pkcs11": "0.6.9-2",
+    "opensc-pkcs11": "0.17.0-3ubuntu2",
+    "aide": "0.16-3ubuntu0.1",
+    "auditd": "1:2.8.2-1ubuntu1.1",
+    "ufw": "0.36-0ubuntu0.18.04.2",
+    "chrony": "3.2-4ubuntu4.2",
+    "rsyslog": "8.32.0-1ubuntu4",
+    "libpam-pwquality": "1.4.0-2",
+    "sssd": "1.16.1-1ubuntu1.8",
+    "libpam-sss": "1.16.1-1ubuntu1.8",
+    "apparmor": "2.12-4ubuntu5.3",
+    "clamav": "0.103.2+dfsg-0ubuntu0.18.04.1",
+    "xinetd": "1:2.3.15.3-1",
+    "nfs-kernel-server": "1:1.3.4-2.1ubuntu5",
+    "vsftpd": "3.0.3-9build1",
+    "snmpd": "5.7.3+dfsg-1.8ubuntu3.8",
+}
+
+
+@dataclass
+class PackageRecord:
+    """State of one package in the simulated database."""
+
+    name: str
+    version: str
+    installed: bool = False
+
+    @property
+    def status_letters(self) -> str:
+        """The dpkg status abbreviation (``ii`` installed, ``un`` not)."""
+        return "ii" if self.installed else "un"
+
+
+class SimulatedDpkg:
+    """In-memory dpkg/apt with the query surface the STIG patterns use."""
+
+    def __init__(self, universe: Optional[Dict[str, str]] = None,
+                 event_log: Optional[EventLog] = None):
+        packages = universe if universe is not None else DEFAULT_PACKAGE_UNIVERSE
+        self._records: Dict[str, PackageRecord] = {
+            name: PackageRecord(name=name, version=version)
+            for name, version in packages.items()
+        }
+        self._event_log = event_log
+        self._broken = False
+
+    def break_tool(self) -> None:
+        """Fault injection: every mutation fails until :meth:`repair_tool`.
+
+        Models a wedged package manager (stale lock file, corrupted
+        database) — the failure mode enforcement code must surface as
+        ``EnforcementStatus.FAILURE`` rather than swallow.
+        """
+        self._broken = True
+
+    def repair_tool(self) -> None:
+        self._broken = False
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def _require_working(self) -> None:
+        if self._broken:
+            raise EnvironmentError_(
+                "dpkg: could not get lock /var/lib/dpkg/lock")
+
+    # -- queries ------------------------------------------------------------
+
+    def known(self, name: str) -> bool:
+        """True when *name* exists in the apt universe (any state)."""
+        return name in self._records
+
+    def is_installed(self, name: str) -> bool:
+        """True when the package is currently installed.
+
+        Unknown packages are simply not installed — mirroring
+        ``dpkg -s`` exiting non-zero rather than crashing the caller.
+        """
+        record = self._records.get(name)
+        return record is not None and record.installed
+
+    def installed_packages(self) -> List[str]:
+        """Sorted names of all installed packages."""
+        return sorted(n for n, r in self._records.items() if r.installed)
+
+    def list_output(self, name: str) -> str:
+        """Reproduce ``dpkg -l <name>`` output for one package.
+
+        Raises :class:`UnknownPackageError` for names outside the
+        universe, mirroring dpkg's "no packages found matching" error.
+        """
+        record = self._records.get(name)
+        if record is None:
+            raise UnknownPackageError(name)
+        header = (
+            "Desired=Unknown/Install/Remove/Purge/Hold\n"
+            "| Status=Not/Inst/Conf-files/Unpacked/halF-conf/Half-inst/"
+            "trig-aWait/Trig-pend\n"
+            "|/ Err?=(none)/Reinst-required (Status,Err: uppercase=bad)\n"
+            "||/ Name           Version        Architecture Description\n"
+            "+++-==============-==============-============-============="
+        )
+        row = (
+            f"{record.status_letters}  {record.name:<14} "
+            f"{record.version:<14} amd64        (simulated)"
+        )
+        return f"{header}\n{row}"
+
+    # -- mutations ----------------------------------------------------------
+
+    def install(self, name: str) -> PackageRecord:
+        """``apt-get install`` equivalent; idempotent."""
+        self._require_working()
+        record = self._records.get(name)
+        if record is None:
+            raise UnknownPackageError(name)
+        if not record.installed:
+            record.installed = True
+            self._emit("package.installed", name=name, version=record.version)
+        return record
+
+    def remove(self, name: str) -> PackageRecord:
+        """``apt-get remove`` equivalent; idempotent, tolerant of unknowns
+        already absent (the real tool warns but succeeds)."""
+        self._require_working()
+        record = self._records.get(name)
+        if record is None:
+            raise UnknownPackageError(name)
+        if record.installed:
+            record.installed = False
+            self._emit("package.removed", name=name, version=record.version)
+        return record
+
+    def seed_installed(self, names) -> None:
+        """Mark *names* installed without emitting events (profile setup)."""
+        for name in names:
+            record = self._records.get(name)
+            if record is None:
+                raise UnknownPackageError(name)
+            record.installed = True
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self._event_log is not None:
+            self._event_log.emit(kind, **payload)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the simulated environment."""
+
+
+class EnvironmentError_(Exception):
+    """Base class for all simulated-environment failures.
+
+    Named with a trailing underscore to avoid shadowing the (deprecated)
+    builtin ``EnvironmentError`` alias of :class:`OSError`.
+    """
+
+
+class CommandError(EnvironmentError_):
+    """A simulated command-line tool was invoked with bad arguments.
+
+    Mirrors the non-zero-exit-plus-stderr behaviour of the real tools.
+    The offending argument vector is kept for diagnostics.
+    """
+
+    def __init__(self, message, argv=None):
+        super().__init__(message)
+        self.argv = list(argv) if argv is not None else []
+
+
+class UnknownSubcategoryError(CommandError):
+    """``auditpol`` was asked about an audit subcategory that does not exist."""
+
+
+class UnknownPackageError(EnvironmentError_):
+    """A package operation referenced a name absent from the package universe."""
+
+    def __init__(self, name):
+        super().__init__(f"unknown package: {name!r}")
+        self.name = name
+
+
+class UnknownServiceError(EnvironmentError_):
+    """A service operation referenced a service that is not registered."""
+
+    def __init__(self, name):
+        super().__init__(f"unknown service: {name!r}")
+        self.name = name

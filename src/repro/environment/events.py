@@ -1,0 +1,107 @@
+"""Host event log.
+
+Every observable state change on a :class:`~repro.environment.host.
+SimulatedHost` is appended to its :class:`EventLog`.  The operations-time
+protection loop (WP3) and the runtime monitors consume this log, so the
+record format is deliberately small and stable: a monotonically increasing
+logical timestamp, a dotted event type, and a free-form payload mapping.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observable occurrence on a host.
+
+    Attributes:
+        time: Logical timestamp (monotonic per :class:`EventLog`).
+        kind: Dotted event type, e.g. ``"package.removed"`` or
+            ``"audit.policy_changed"``.
+        payload: Event-specific details; values must be plain data.
+    """
+
+    time: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, kind: str) -> bool:
+        """Return True when this event's kind equals *kind* or is nested
+        under it (``"package"`` matches ``"package.removed"``)."""
+        return self.kind == kind or self.kind.startswith(kind + ".")
+
+
+class EventLog:
+    """Append-only sequence of :class:`Event` with subscription support.
+
+    Subscribers are called synchronously on every append; a subscriber
+    raising propagates to the emitter, which keeps failure modes visible
+    in tests instead of being swallowed.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._clock = 0
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    @property
+    def clock(self) -> int:
+        """Current logical time (timestamp the *next* event will carry)."""
+        return self._clock
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance logical time without emitting an event.
+
+        Useful for modelling quiescent periods in monitoring benchmarks.
+        Returns the new clock value.
+        """
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        self._clock += ticks
+        return self._clock
+
+    def emit(self, kind: str, **payload: Any) -> Event:
+        """Record an event at the current logical time and advance it."""
+        event = Event(time=self._clock, kind=kind, payload=dict(payload))
+        self._events.append(event)
+        self._clock += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
+        """Register *callback* for future events; returns an unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def since(self, time: int) -> List[Event]:
+        """Events with ``event.time >= time``, oldest first."""
+        return [e for e in self._events if e.time >= time]
+
+    def of_kind(self, kind: str, since: int = 0) -> List[Event]:
+        """Events matching *kind* (prefix semantics) from *since* onwards."""
+        return [e for e in self._events if e.time >= since and e.matches(kind)]
+
+    def last(self, kind: Optional[str] = None) -> Optional[Event]:
+        """Most recent event, optionally restricted to *kind*."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.matches(kind):
+                return event
+        return None

@@ -1,0 +1,145 @@
+"""Host profile factories.
+
+Three profiles per platform, matching experiment E3's host axis:
+
+* **default** — a stock install: some findings pass, most audit policies
+  are unset, convenience packages are present.
+* **hardened** — fully STIG-compliant for the bundled catalogue.
+* **adversarial** — actively violates every finding the catalogue knows
+  about (prohibited packages installed, required packages removed, audit
+  disabled), the worst case the enforcement path must repair.
+"""
+
+from repro.environment.host import SimulatedHost
+
+#: Audit subcategories the Windows 10 STIG slice requires, with the
+#: (success, failure) flags STIG mandates.
+_WIN10_REQUIRED_AUDIT = {
+    "User Account Management": (True, True),
+    "Logon": (True, True),
+    "Sensitive Privilege Use": (True, True),
+    "Account Lockout": (False, True),
+    "Security Group Management": (True, False),
+    "Special Logon": (True, False),
+    "Audit Policy Change": (True, True),
+    "Security State Change": (True, False),
+}
+
+#: Packages Ubuntu STIGs prohibit / require.
+UBUNTU_PROHIBITED_PACKAGES = ("nis", "rsh-server", "telnetd")
+UBUNTU_REQUIRED_PACKAGES = (
+    "openssh-server", "vlock", "libpam-pkcs11", "opensc-pkcs11",
+    "aide", "auditd", "ufw", "rsyslog", "libpam-pwquality", "sssd",
+)
+
+#: sshd_config keys the STIG slice pins.
+_SSHD_STIG_SETTINGS = {
+    "Protocol": "2",
+    "PermitEmptyPasswords": "no",
+    "PermitRootLogin": "no",
+    "ClientAliveInterval": "600",
+    "ClientAliveCountMax": "1",
+    "UsePAM": "yes",
+    "Ciphers": "aes256-ctr,aes192-ctr,aes128-ctr",
+    "MACs": "hmac-sha2-512,hmac-sha2-256",
+}
+
+_LOGIN_DEFS_STIG_SETTINGS = {
+    "ENCRYPT_METHOD": "SHA512",
+    "PASS_MAX_DAYS": "60",
+    "PASS_MIN_DAYS": "1",
+    "UMASK": "077",
+}
+
+
+def default_windows_host(name: str = "win10-default") -> SimulatedHost:
+    """Stock Windows 10: only the OS out-of-box audit defaults are set."""
+    host = SimulatedHost(name, "windows")
+    # Out-of-box Windows audits a handful of subcategories for Success.
+    for subcategory in ("Logon", "Logoff", "Special Logon",
+                        "User Account Management", "Security State Change"):
+        host.audit_store.set(subcategory, success=True, failure=False)
+    host.set_setting("registry.LegalNoticeText", "")
+    host.set_setting("registry.LmCompatibilityLevel", "3")
+    return host
+
+
+def hardened_windows_host(name: str = "win10-hardened") -> SimulatedHost:
+    """Windows 10 meeting every Win10 finding in the bundled catalogue."""
+    host = SimulatedHost(name, "windows")
+    for subcategory, (success, failure) in _WIN10_REQUIRED_AUDIT.items():
+        host.audit_store.set(subcategory, success=success, failure=failure)
+    host.set_setting("registry.LegalNoticeText", "DoD Notice and Consent")
+    host.set_setting("registry.LmCompatibilityLevel", "5")
+    host.set_setting("registry.RequireSecuritySignature", "1")
+    host.set_setting("registry.RestrictAnonymous", "1")
+    host.accounts.policy.threshold = 3
+    host.accounts.policy.duration_minutes = 15
+    return host
+
+
+def adversarial_windows_host(name: str = "win10-adversarial") -> SimulatedHost:
+    """Windows 10 with auditing disabled wholesale."""
+    host = SimulatedHost(name, "windows")
+    for _, subcategory, _setting in list(host.audit_store.items()):
+        host.audit_store.set(subcategory, success=False, failure=False)
+    host.set_setting("registry.LegalNoticeText", "")
+    host.set_setting("registry.LmCompatibilityLevel", "0")
+    return host
+
+
+def default_ubuntu_host(name: str = "ubuntu-default") -> SimulatedHost:
+    """Stock Ubuntu 18.04: ssh present, one legacy package lingering."""
+    host = SimulatedHost(name, "ubuntu")
+    host.dpkg.seed_installed([
+        "openssh-server", "openssh-client", "rsyslog", "ufw", "nis",
+    ])
+    host.services.register("ssh", enabled=True, active=True)
+    host.services.register("rsyslog", enabled=True, active=True)
+    host.services.register("ufw", enabled=False, active=False)
+    host.config.load_text(
+        "/etc/ssh/sshd_config",
+        "Protocol 2\nPermitRootLogin prohibit-password\nUsePAM yes\n",
+    )
+    host.config.load_text(
+        "/etc/login.defs",
+        "ENCRYPT_METHOD SHA512\nPASS_MAX_DAYS 99999\nUMASK 022\n",
+    )
+    return host
+
+
+def hardened_ubuntu_host(name: str = "ubuntu-hardened") -> SimulatedHost:
+    """Ubuntu 18.04 meeting every Ubuntu finding in the bundled catalogue."""
+    host = SimulatedHost(name, "ubuntu")
+    host.dpkg.seed_installed(UBUNTU_REQUIRED_PACKAGES)
+    for service in ("ssh", "rsyslog", "ufw", "auditd", "sssd"):
+        host.services.register(service, enabled=True, active=True)
+    sshd_lines = "\n".join(
+        f"{key} {value}" for key, value in _SSHD_STIG_SETTINGS.items()
+    )
+    host.config.load_text("/etc/ssh/sshd_config", sshd_lines)
+    login_lines = "\n".join(
+        f"{key} {value}" for key, value in _LOGIN_DEFS_STIG_SETTINGS.items()
+    )
+    host.config.load_text("/etc/login.defs", login_lines)
+    host.config.load_text(
+        "/etc/pam.d/common-auth",
+        "auth_required pam_faildelay.so\nauth_pkcs11 enabled\n",
+    )
+    return host
+
+
+def adversarial_ubuntu_host(name: str = "ubuntu-adversarial") -> SimulatedHost:
+    """Ubuntu 18.04 violating every finding the catalogue knows about."""
+    host = SimulatedHost(name, "ubuntu")
+    host.dpkg.seed_installed(UBUNTU_PROHIBITED_PACKAGES)
+    host.services.register("ssh", enabled=False, active=False)
+    host.config.load_text(
+        "/etc/ssh/sshd_config",
+        "Protocol 1\nPermitRootLogin yes\nPermitEmptyPasswords yes\n",
+    )
+    host.config.load_text(
+        "/etc/login.defs",
+        "ENCRYPT_METHOD MD5\nPASS_MAX_DAYS 99999\nUMASK 000\n",
+    )
+    return host

@@ -1,0 +1,127 @@
+"""Service manager: systemd-ish unit states on a simulated host.
+
+STIG findings frequently require a service to be enabled and active
+(``auditd``, ``ufw``) or masked (``rsh``), so hosts carry a small service
+table with the enable/active distinction systemd makes.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.environment.errors import UnknownServiceError
+from repro.environment.events import EventLog
+
+
+class ServiceState(enum.Enum):
+    """Runtime state of a unit."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    FAILED = "failed"
+
+
+@dataclass
+class ServiceRecord:
+    """One unit: whether it starts at boot and whether it is running now."""
+
+    name: str
+    enabled: bool = False
+    state: ServiceState = ServiceState.INACTIVE
+    masked: bool = False
+
+
+class ServiceManager:
+    """Registry of units with systemctl-like operations."""
+
+    def __init__(self, event_log: Optional[EventLog] = None):
+        self._services: Dict[str, ServiceRecord] = {}
+        self._event_log = event_log
+
+    def register(self, name: str, enabled: bool = False,
+                 active: bool = False, masked: bool = False) -> ServiceRecord:
+        """Add a unit to the table (idempotent overwrite)."""
+        record = ServiceRecord(
+            name=name,
+            enabled=enabled,
+            state=ServiceState.ACTIVE if active else ServiceState.INACTIVE,
+            masked=masked,
+        )
+        self._services[name] = record
+        return record
+
+    def known(self, name: str) -> bool:
+        return name in self._services
+
+    def get(self, name: str) -> ServiceRecord:
+        record = self._services.get(name)
+        if record is None:
+            raise UnknownServiceError(name)
+        return record
+
+    def is_active(self, name: str) -> bool:
+        return self.known(name) and self.get(name).state is ServiceState.ACTIVE
+
+    def is_enabled(self, name: str) -> bool:
+        return self.known(name) and self.get(name).enabled
+
+    def is_masked(self, name: str) -> bool:
+        return self.known(name) and self.get(name).masked
+
+    def names(self) -> List[str]:
+        return sorted(self._services)
+
+    # -- systemctl verbs ----------------------------------------------------
+
+    def start(self, name: str) -> None:
+        record = self.get(name)
+        if record.masked:
+            raise UnknownServiceError(f"{name} is masked")
+        if record.state is not ServiceState.ACTIVE:
+            record.state = ServiceState.ACTIVE
+            self._emit("service.started", name=name)
+
+    def stop(self, name: str) -> None:
+        record = self.get(name)
+        if record.state is ServiceState.ACTIVE:
+            record.state = ServiceState.INACTIVE
+            self._emit("service.stopped", name=name)
+
+    def enable(self, name: str) -> None:
+        record = self.get(name)
+        if record.masked:
+            raise UnknownServiceError(f"{name} is masked")
+        if not record.enabled:
+            record.enabled = True
+            self._emit("service.enabled", name=name)
+
+    def disable(self, name: str) -> None:
+        record = self.get(name)
+        if record.enabled:
+            record.enabled = False
+            self._emit("service.disabled", name=name)
+
+    def mask(self, name: str) -> None:
+        """Mask a unit: stopped, disabled, and unstartable until unmasked."""
+        record = self.get(name)
+        record.masked = True
+        record.enabled = False
+        if record.state is ServiceState.ACTIVE:
+            record.state = ServiceState.INACTIVE
+        self._emit("service.masked", name=name)
+
+    def unmask(self, name: str) -> None:
+        record = self.get(name)
+        if record.masked:
+            record.masked = False
+            self._emit("service.unmasked", name=name)
+
+    def fail(self, name: str) -> None:
+        """Force a unit into the FAILED state (fault injection for tests)."""
+        record = self.get(name)
+        record.state = ServiceState.FAILED
+        self._emit("service.failed", name=name)
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self._event_log is not None:
+            self._event_log.emit(kind, **payload)

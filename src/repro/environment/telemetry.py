@@ -1,0 +1,58 @@
+"""Host telemetry: sample compliance state into TEARS-judgeable traces.
+
+The operations story closes when what the protection loop *did* can be
+audited post-hoc.  :class:`HostSampler` snapshots a host's compliance
+signals (one boolean signal per STIG finding, plus an aggregate ratio)
+into a :class:`~repro.tears.trace.TimedTrace`, so a TEARS guarded
+assertion like ``WHEN compliance < 1 THEN compliance == 1 WITHIN 5``
+can judge drift-and-repair episodes from the log alone.
+"""
+
+from typing import Optional
+
+from repro.environment.host import SimulatedHost
+from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus
+from repro.tears.trace import TimedTrace
+
+
+def signal_name(finding_id: str) -> str:
+    """TEARS signal name for one finding (``V-219157`` -> ``ok_V_219157``)."""
+    return "ok_" + finding_id.replace("-", "_")
+
+
+class HostSampler:
+    """Periodically snapshot a host's compliance into a timed trace.
+
+    Args:
+        host: The host to observe.
+        catalog: Findings to sample (platform-filtered automatically).
+        trace: Target trace; a fresh one is created when omitted.
+    """
+
+    def __init__(self, host: SimulatedHost, catalog: StigCatalog,
+                 trace: Optional[TimedTrace] = None):
+        self.host = host
+        self.catalog = catalog
+        self.trace = trace if trace is not None else TimedTrace()
+        self._entries = catalog.entries_for(host.os_family)
+
+    def sample(self, time: Optional[float] = None) -> dict:
+        """Take one snapshot at *time* (defaults to the host's logical
+        clock) and append it to the trace.  Returns the signal dict."""
+        values = {}
+        passing = 0
+        for entry in self._entries:
+            requirement = entry.instantiate(self.host)
+            ok = requirement.check() is CheckStatus.PASS
+            values[signal_name(entry.finding_id)] = 1.0 if ok else 0.0
+            passing += ok
+        values["compliance"] = (
+            passing / len(self._entries) if self._entries else 1.0)
+        at = float(self.host.events.clock) if time is None else time
+        # Logical clocks may not advance between samples; nudge the
+        # timestamp so the trace stays monotone.
+        if len(self.trace) and at <= self.trace[-1].time:
+            at = self.trace[-1].time + 0.001
+        self.trace.record(at, **values)
+        return values

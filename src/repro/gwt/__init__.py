@@ -1,0 +1,61 @@
+"""GWT — Given-When-Then patterns and TIGER-style test generation.
+
+D2.7 §2.2.1 describes the TIGER tool chain: graph models (JSON or
+GraphML, as GraphWalker consumes) produce *abstract* test cases; mapping
+rules concretize them against signal definitions; a script creator emits
+executable test scripts.  The Given-When-Then semi-structured syntax
+(Dan North's BDD) is the requirement-facing notation.
+
+* :mod:`repro.gwt.model` — GWT features/scenarios, ``Signal`` and
+  ``DataModel`` records (the classes D2.7 names).
+* :mod:`repro.gwt.parser` — Gherkin-style text parser.
+* :mod:`repro.gwt.graph` — graph models + abstract test generation
+  (random walk, edge coverage, vertex coverage, shortest path).
+* :mod:`repro.gwt.generator` — mapping rules, ``TestGenerator``,
+  ``ScriptCreator``, and the signal XML reader.
+"""
+
+from repro.gwt.model import (
+    AbstractStep,
+    DataModel,
+    GwtFeature,
+    GwtScenario,
+    Signal,
+)
+from repro.gwt.parser import GherkinParseError, parse_feature
+from repro.gwt.graph import (
+    GraphModel,
+    edge_coverage_paths,
+    random_walk,
+    shortest_path_to,
+    vertex_coverage_paths,
+)
+from repro.gwt.generator import (
+    MappingRule,
+    ScriptCreator,
+    TestGenerator,
+    read_signals_xml,
+)
+from repro.gwt.dsl import GeneratorDslError, generate, parse_generator
+
+__all__ = [
+    "AbstractStep",
+    "DataModel",
+    "GherkinParseError",
+    "GraphModel",
+    "GwtFeature",
+    "GwtScenario",
+    "MappingRule",
+    "ScriptCreator",
+    "Signal",
+    "TestGenerator",
+    "GeneratorDslError",
+    "edge_coverage_paths",
+    "generate",
+    "parse_feature",
+    "parse_generator",
+    "random_walk",
+    "read_signals_xml",
+    "shortest_path_to",
+    "vertex_coverage_paths",
+]

@@ -1,0 +1,175 @@
+"""GraphWalker generator/stop-condition DSL.
+
+GraphWalker configures test generation with expressions like
+``random(edge_coverage(100))`` — a path generator wrapping a stop
+condition.  TIGER passes these through to GraphWalker; this module
+parses the common subset and dispatches onto this package's
+generators:
+
+===============================  =====================================
+expression                        dispatch
+===============================  =====================================
+``random(edge_coverage(N))``      :func:`~repro.gwt.graph.random_walk`
+                                  until N% of edges are covered
+``random(vertex_coverage(N))``    random walk until N% of vertices
+                                  are visited
+``random(length(N))``             random walk of exactly <= N steps
+``weighted_random(...)``          alias of ``random`` (weights are a
+                                  GraphWalker scheduling detail)
+``a_star(reached_vertex(V))``     shortest path to state V
+``directed(edge_coverage(100))``  deterministic full edge coverage
+``directed(vertex_coverage(100))``  deterministic full vertex coverage
+===============================  =====================================
+"""
+
+import random as random_module
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gwt.graph import (
+    GraphModel,
+    edge_coverage_paths,
+    edge_coverage_suite,
+    random_walk,
+    shortest_path_to,
+    vertex_coverage_paths,
+)
+from repro.gwt.model import AbstractStep, DataModel
+
+
+class GeneratorDslError(ValueError):
+    """Unparseable or unsupported generator expression."""
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """A parsed generator expression."""
+
+    generator: str       # "random" | "a_star" | "directed"
+    condition: str       # "edge_coverage" | "vertex_coverage" |
+    #                      "length" | "reached_vertex"
+    argument: str        # percentage / length / vertex name
+
+    def __str__(self) -> str:
+        return f"{self.generator}({self.condition}({self.argument}))"
+
+
+_EXPRESSION = re.compile(
+    r"^\s*(?P<generator>[a-z_]+)\s*\(\s*(?P<condition>[a-z_]+)\s*"
+    r"\(\s*(?P<argument>[A-Za-z0-9_.]+)\s*\)\s*\)\s*$"
+)
+
+_GENERATOR_ALIASES = {"weighted_random": "random",
+                      "quick_random": "random"}
+_SUPPORTED = {
+    ("random", "edge_coverage"),
+    ("random", "vertex_coverage"),
+    ("random", "length"),
+    ("a_star", "reached_vertex"),
+    ("directed", "edge_coverage"),
+    ("directed", "vertex_coverage"),
+}
+
+
+def parse_generator(expression: str) -> GeneratorSpec:
+    """Parse one generator expression into a :class:`GeneratorSpec`."""
+    match = _EXPRESSION.match(expression)
+    if match is None:
+        raise GeneratorDslError(
+            f"unparseable generator expression: {expression!r}")
+    generator = match.group("generator")
+    generator = _GENERATOR_ALIASES.get(generator, generator)
+    condition = match.group("condition")
+    if (generator, condition) not in _SUPPORTED:
+        raise GeneratorDslError(
+            f"unsupported combination {generator}({condition}(...))")
+    return GeneratorSpec(generator=generator, condition=condition,
+                         argument=match.group("argument"))
+
+
+def generate(model: GraphModel, expression: str, seed: int = 0,
+             max_steps: int = 10_000,
+             test_id: Optional[str] = None) -> DataModel:
+    """Run the generator *expression* against *model*."""
+    spec = parse_generator(expression)
+    test_id = test_id if test_id is not None else str(spec)
+
+    if spec.generator == "directed":
+        if spec.condition == "edge_coverage":
+            case = edge_coverage_paths(model, test_id=test_id)
+        else:
+            case = vertex_coverage_paths(model, test_id=test_id)
+        _require_full_coverage(spec)
+        return case
+
+    if spec.generator == "a_star":
+        return shortest_path_to(model, spec.argument, test_id=test_id)
+
+    # random(...)
+    if spec.condition == "length":
+        case = random_walk(model, seed=seed,
+                           max_steps=int(spec.argument),
+                           test_id=test_id)
+        case.name = str(spec)
+        return case
+    percentage = float(spec.argument) / 100.0
+    if not 0.0 < percentage <= 1.0:
+        raise GeneratorDslError(
+            f"coverage percentage out of range: {spec.argument}")
+    if spec.condition == "edge_coverage":
+        case = random_walk(model, seed=seed, max_steps=max_steps,
+                           edge_coverage=percentage, test_id=test_id)
+        case.name = str(spec)
+        return case
+    return _random_until_vertex_coverage(model, percentage, seed,
+                                         max_steps, test_id, spec)
+
+
+def generate_suite(model: GraphModel, expression: str, seed: int = 0,
+                   max_steps: int = 10_000) -> list:
+    """Like :func:`generate`, but may return several abstract cases.
+
+    ``directed(edge_coverage(100))`` on models with dead-end states
+    (prefix-tree models from :mod:`repro.gwt.scenario_model`) needs
+    restarts from the start state; this entry point returns one
+    :class:`~repro.gwt.model.DataModel` per walk.  Every other
+    expression yields a single-element list.
+    """
+    spec = parse_generator(expression)
+    if spec.generator == "directed" and spec.condition == "edge_coverage":
+        _require_full_coverage(spec)
+        return edge_coverage_suite(model)
+    return [generate(model, expression, seed=seed, max_steps=max_steps)]
+
+
+def _require_full_coverage(spec: GeneratorSpec) -> None:
+    if float(spec.argument) != 100.0:
+        raise GeneratorDslError(
+            "directed generators support only 100% coverage "
+            f"(got {spec.argument})")
+
+
+def _random_until_vertex_coverage(model: GraphModel, percentage: float,
+                                  seed: int, max_steps: int,
+                                  test_id: str,
+                                  spec: GeneratorSpec) -> DataModel:
+    """Random walk until the vertex-coverage fraction is reached."""
+    rng = random_module.Random(seed)
+    total = model.graph.number_of_nodes()
+    visited = {model.start}
+    steps = []
+    current = model.start
+    for _ in range(max_steps):
+        if total and len(visited) / total >= percentage:
+            break
+        out_edges = list(model.graph.out_edges(current, keys=True,
+                                               data=True))
+        if not out_edges:
+            break
+        _, target, _, data = out_edges[rng.randrange(len(out_edges))]
+        steps.append(AbstractStep(action=data["action"],
+                                  bindings=dict(data.get("bindings", {}))))
+        visited.add(target)
+        current = target
+    return DataModel(test_id=test_id, name=str(spec), steps=steps)

@@ -1,0 +1,186 @@
+"""Concretization: mapping rules, TestGenerator, ScriptCreator.
+
+The TIGER flow D2.7 describes: ``JsonReading`` deserializes abstract
+test cases into ``DataModel`` objects; ``xmlReader`` loads ``Signal``
+definitions; "Mapping Rules are defined in the 'TestGenerator' class
+which are used to concretize the abstract test cases [and] generate the
+scripts using 'ScriptCreator'".
+
+A :class:`MappingRule` translates one abstract action label into
+concrete script lines, with ``{placeholders}`` filled from the step's
+bindings and the signal table.  :class:`ScriptCreator` assembles the
+concrete steps into a runnable pytest-style script ("a customised class
+can be added to generate test scripts of your own choice" — subclass
+and override :meth:`ScriptCreator.render`).
+"""
+
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.gwt.model import DataModel, Signal
+
+
+def read_signals_xml(text: str) -> List[Signal]:
+    """Parse the signal-definition XML (the ``xmlReader`` role)::
+
+        <signals>
+          <signal name="speed" kind="input" type="float"
+                  min="0" max="250" unit="km/h"/>
+        </signals>
+    """
+    root = ET.fromstring(text)
+    signals = []
+    for element in root.findall("signal"):
+        signals.append(Signal(
+            name=element.attrib["name"],
+            kind=element.attrib.get("kind", "input"),
+            data_type=element.attrib.get("type", "float"),
+            minimum=float(element.attrib.get("min", 0.0)),
+            maximum=float(element.attrib.get("max", 1.0)),
+            unit=element.attrib.get("unit", ""),
+        ))
+    return signals
+
+
+def read_datamodels_json(text: str) -> List[DataModel]:
+    """Parse abstract test cases from JSON (the ``JsonReading`` role)."""
+    payload = json.loads(text)
+    items = payload if isinstance(payload, list) else payload.get("tests", [])
+    return [DataModel.from_json_obj(item) for item in items]
+
+
+@dataclass(frozen=True)
+class MappingRule:
+    """One abstract-action -> concrete-lines translation.
+
+    ``template_lines`` may reference ``{param1}``-style binding names
+    and ``{signal:NAME}`` to splice a signal's declared attributes
+    (rendered as ``name``); unknown placeholders raise at generation
+    time so silent half-concretized scripts cannot ship.
+    """
+
+    action: str
+    template_lines: Sequence[str]
+    description: str = ""
+
+    def render(self, bindings: Dict[str, float],
+               signals: Dict[str, Signal]) -> List[str]:
+        rendered = []
+        for line in self.template_lines:
+            rendered.append(_fill(line, bindings, signals, self.action))
+        return rendered
+
+
+def _fill(line: str, bindings: Dict[str, float],
+          signals: Dict[str, Signal], action: str) -> str:
+    out = []
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if char != "{":
+            out.append(char)
+            index += 1
+            continue
+        closing = line.find("}", index)
+        if closing < 0:
+            raise ValueError(f"unclosed placeholder in rule for {action!r}")
+        token = line[index + 1:closing]
+        if token.startswith("signal:"):
+            name = token[len("signal:"):]
+            if name not in signals:
+                raise KeyError(
+                    f"rule for {action!r} references unknown signal "
+                    f"{name!r}")
+            out.append(signals[name].name)
+        elif token in bindings:
+            value = bindings[token]
+            out.append(f"{value:g}")
+        else:
+            raise KeyError(
+                f"rule for {action!r} references unbound placeholder "
+                f"{token!r}")
+        index = closing + 1
+    return "".join(out)
+
+
+@dataclass
+class ConcreteTest:
+    """One concretized test: id, title, and executable lines."""
+
+    test_id: str
+    name: str
+    lines: List[str] = field(default_factory=list)
+
+
+class TestGenerator:
+    """Concretizes abstract test cases using mapping rules and signals."""
+
+    def __init__(self, rules: Sequence[MappingRule],
+                 signals: Sequence[Signal] = ()):
+        self._rules: Dict[str, MappingRule] = {}
+        for rule in rules:
+            if rule.action in self._rules:
+                raise ValueError(f"duplicate rule for action {rule.action!r}")
+            self._rules[rule.action] = rule
+        self._signals = {signal.name: signal for signal in signals}
+
+    @property
+    def actions(self) -> List[str]:
+        return sorted(self._rules)
+
+    def concretize(self, case: DataModel) -> ConcreteTest:
+        """Translate one abstract case; unmapped actions raise KeyError."""
+        lines: List[str] = []
+        for step in case.steps:
+            rule = self._rules.get(step.action)
+            if rule is None:
+                raise KeyError(
+                    f"no mapping rule for abstract action {step.action!r}")
+            lines.extend(rule.render(step.bindings, self._signals))
+        return ConcreteTest(test_id=case.test_id, name=case.name,
+                            lines=lines)
+
+    def concretize_all(self, cases: Sequence[DataModel]
+                       ) -> List[ConcreteTest]:
+        return [self.concretize(case) for case in cases]
+
+
+class ScriptCreator:
+    """Renders concrete tests into one executable script text.
+
+    The default output is a pytest module driving a ``system`` fixture;
+    subclasses override :meth:`render` (or just :meth:`header` /
+    :meth:`footer`) for other script dialects.
+    """
+
+    def header(self) -> List[str]:
+        return [
+            '"""Generated by repro.gwt (TIGER-style concretization)."""',
+            "",
+            "import pytest",
+            "",
+        ]
+
+    def footer(self) -> List[str]:
+        return []
+
+    def render_test(self, test: ConcreteTest) -> List[str]:
+        safe_name = "".join(
+            c if c.isalnum() else "_" for c in test.test_id).strip("_")
+        lines = [f"def test_{safe_name}(system):"]
+        lines.append(f'    """{test.name}"""')
+        for line in test.lines:
+            lines.append(f"    {line}")
+        if not test.lines:
+            lines.append("    pass")
+        lines.append("")
+        return lines
+
+    def render(self, tests: Sequence[ConcreteTest]) -> str:
+        lines = self.header()
+        for test in tests:
+            lines.extend(self.render_test(test))
+        lines.extend(self.footer())
+        return "\n".join(lines)

@@ -1,0 +1,334 @@
+"""Graph models and abstract test generation (GraphWalker work-alike).
+
+A :class:`GraphModel` is a directed graph whose vertices are system
+states and whose edges are actions; it loads from the two formats
+GraphWalker supports — a JSON shape (``{"vertices": [...], "edges":
+[...]}``) and GraphML — and generates *abstract test cases*
+(:class:`~repro.gwt.model.DataModel`) under a stop condition:
+
+* :func:`random_walk` — random traversal until a step budget or an
+  edge-coverage percentage is reached;
+* :func:`edge_coverage_paths` — deterministic coverage-guided
+  generation: repeatedly extend toward the nearest unvisited edge until
+  100% edge coverage;
+* :func:`vertex_coverage_paths` — the vertex-coverage analogue;
+* :func:`shortest_path_to` — a single path to a target state.
+"""
+
+import json
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.gwt.model import AbstractStep, DataModel
+
+
+class GraphModel:
+    """A test model: directed multigraph with named action edges."""
+
+    def __init__(self, name: str, start: str):
+        self.name = name
+        self.start = start
+        self.graph = nx.MultiDiGraph()
+        self.graph.add_node(start)
+
+    # -- construction -----------------------------------------------------------
+
+    def add_state(self, name: str) -> "GraphModel":
+        self.graph.add_node(name)
+        return self
+
+    def add_action(self, source: str, target: str, action: str,
+                   **bindings: float) -> "GraphModel":
+        """Add an action edge; *bindings* ride into abstract steps."""
+        self.graph.add_edge(source, target, action=action,
+                            bindings=dict(bindings))
+        return self
+
+    @property
+    def states(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def actions(self) -> List[Tuple[str, str, str]]:
+        """(source, target, action) triples, sorted."""
+        return sorted(
+            (u, v, data["action"])
+            for u, v, data in self.graph.edges(data=True)
+        )
+
+    def validate(self) -> None:
+        """Every state must be reachable from the start state."""
+        reachable = nx.descendants(self.graph, self.start) | {self.start}
+        unreachable = set(self.graph.nodes) - reachable
+        if unreachable:
+            raise ValueError(
+                f"states unreachable from {self.start!r}: "
+                f"{sorted(unreachable)}"
+            )
+
+    # -- GraphWalker formats -------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphModel":
+        """Load the JSON model format::
+
+            {"name": "...", "start": "s0",
+             "vertices": [{"id": "s0"}, ...],
+             "edges": [{"source": "s0", "target": "s1",
+                        "action": "login", "bindings": {"param1": 3}}]}
+        """
+        obj = json.loads(text)
+        model = cls(name=obj.get("name", "model"), start=obj["start"])
+        for vertex in obj.get("vertices", []):
+            model.add_state(vertex["id"])
+        for edge in obj.get("edges", []):
+            model.add_action(
+                edge["source"], edge["target"], edge["action"],
+                **{k: float(v)
+                   for k, v in edge.get("bindings", {}).items()},
+            )
+        model.validate()
+        return model
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name,
+            "start": self.start,
+            "vertices": [{"id": node} for node in self.states],
+            "edges": [
+                {"source": u, "target": v, "action": data["action"],
+                 "bindings": data.get("bindings", {})}
+                for u, v, data in self.graph.edges(data=True)
+            ],
+        }, indent=2)
+
+    @classmethod
+    def from_graphml(cls, text: str, name: str = "model",
+                     start: Optional[str] = None) -> "GraphModel":
+        """Load a GraphML document; edge attribute ``action`` (or the
+        edge id) labels the action.  The start state is *start* or the
+        lexicographically first node."""
+        import io
+
+        parsed = nx.read_graphml(io.StringIO(text))
+        nodes = sorted(parsed.nodes)
+        if not nodes:
+            raise ValueError("GraphML model has no nodes")
+        model = cls(name=name, start=start or nodes[0])
+        for node in nodes:
+            model.add_state(str(node))
+        for u, v, data in parsed.edges(data=True):
+            action = str(data.get("action", data.get("id", f"{u}->{v}")))
+            model.add_action(str(u), str(v), action)
+        model.validate()
+        return model
+
+
+# -- generation ---------------------------------------------------------------------
+
+def _edge_key(u: str, v: str, k: int) -> Tuple[str, str, int]:
+    return (u, v, k)
+
+
+def random_walk(model: GraphModel, seed: int = 0,
+                max_steps: int = 200,
+                edge_coverage: Optional[float] = None,
+                test_id: str = "rw-0") -> DataModel:
+    """Random traversal from the start state.
+
+    Stops at *max_steps*, or earlier once *edge_coverage* (a fraction)
+    of distinct edges has been traversed.
+    """
+    rng = random.Random(seed)
+    total_edges = model.graph.number_of_edges()
+    visited = set()
+    steps: List[AbstractStep] = []
+    current = model.start
+    for _ in range(max_steps):
+        if edge_coverage is not None and total_edges:
+            if len(visited) / total_edges >= edge_coverage:
+                break
+        out_edges = list(model.graph.out_edges(current, keys=True,
+                                               data=True))
+        if not out_edges:
+            break
+        u, v, k, data = out_edges[rng.randrange(len(out_edges))]
+        visited.add(_edge_key(u, v, k))
+        steps.append(AbstractStep(action=data["action"],
+                                  bindings=dict(data.get("bindings", {}))))
+        current = v
+    return DataModel(test_id=test_id,
+                     name=f"random walk (seed={seed})", steps=steps)
+
+
+def edge_coverage_paths(model: GraphModel, test_id: str = "ec-0"
+                        ) -> DataModel:
+    """Deterministic walk achieving 100% edge coverage.
+
+    Greedy nearest-unvisited-edge strategy: from the current state,
+    take the shortest path (on the underlying simple digraph) to the
+    source of the closest unvisited edge, traverse it, repeat.  The
+    model must be start-connected (``validate``); edges whose source is
+    unreachable raise.
+    """
+    model.validate()
+    simple = nx.DiGraph(model.graph)
+    unvisited = {
+        _edge_key(u, v, k)
+        for u, v, k in model.graph.edges(keys=True)
+    }
+    steps: List[AbstractStep] = []
+    current = model.start
+    while unvisited:
+        local = [key for key in unvisited if key[0] == current]
+        if local:
+            u, v, k = min(local, key=lambda key: model.graph
+                          [key[0]][key[1]][key[2]]["action"])
+        else:
+            # Shortest hop to any unvisited edge's source.
+            lengths = nx.single_source_shortest_path_length(simple, current)
+            candidates = [key for key in unvisited if key[0] in lengths]
+            if not candidates:
+                raise ValueError(
+                    f"edges unreachable from {current!r}: "
+                    f"{sorted(unvisited)[:3]}..."
+                )
+            u, v, k = min(candidates,
+                          key=lambda key: (lengths[key[0]], key))
+            path = nx.shortest_path(simple, current, u)
+            for a, b in zip(path, path[1:]):
+                key = _pick_edge(model, a, b)
+                data = model.graph[a][b][key[2]]
+                unvisited.discard(key)
+                steps.append(AbstractStep(
+                    action=data["action"],
+                    bindings=dict(data.get("bindings", {}))))
+            current = u
+            continue
+        data = model.graph[u][v][k]
+        unvisited.discard((u, v, k))
+        steps.append(AbstractStep(action=data["action"],
+                                  bindings=dict(data.get("bindings", {}))))
+        current = v
+    return DataModel(test_id=test_id, name="edge coverage", steps=steps)
+
+
+def _pick_edge(model: GraphModel, u: str, v: str) -> Tuple[str, str, int]:
+    keys = sorted(model.graph[u][v])
+    return (u, v, keys[0])
+
+
+def edge_coverage_suite(model: GraphModel, prefix: str = "ec"
+                        ) -> List[DataModel]:
+    """Full edge coverage as a *suite* of paths from the start state.
+
+    :func:`edge_coverage_paths` needs every uncovered edge to stay
+    reachable from wherever the walk currently is, which fails on
+    tree/DAG models with dead-end leaves.  This variant restarts from
+    the start state whenever the walk gets stuck (GraphWalker's
+    multiple-test-case behaviour), emitting one abstract case per walk.
+    """
+    model.validate()
+    simple = nx.DiGraph(model.graph)
+    unvisited = {
+        _edge_key(u, v, k)
+        for u, v, k in model.graph.edges(keys=True)
+    }
+    cases: List[DataModel] = []
+    while unvisited:
+        steps: List[AbstractStep] = []
+        current = model.start
+        while True:
+            local = [key for key in unvisited if key[0] == current]
+            if local:
+                u, v, k = min(local, key=lambda key: model.graph
+                              [key[0]][key[1]][key[2]]["action"])
+                data = model.graph[u][v][k]
+                unvisited.discard((u, v, k))
+                steps.append(AbstractStep(
+                    action=data["action"],
+                    bindings=dict(data.get("bindings", {}))))
+                current = v
+                continue
+            lengths = nx.single_source_shortest_path_length(simple,
+                                                            current)
+            candidates = [key for key in unvisited if key[0] in lengths]
+            if not candidates:
+                break  # nothing more reachable on this walk: restart
+            u, v, k = min(candidates,
+                          key=lambda key: (lengths[key[0]], key))
+            path = nx.shortest_path(simple, current, u)
+            for a, b in zip(path, path[1:]):
+                key = _pick_edge(model, a, b)
+                data = model.graph[a][b][key[2]]
+                unvisited.discard(key)
+                steps.append(AbstractStep(
+                    action=data["action"],
+                    bindings=dict(data.get("bindings", {}))))
+            current = u
+        if not steps:
+            raise ValueError(
+                f"edges unreachable from start: {sorted(unvisited)[:3]}")
+        cases.append(DataModel(
+            test_id=f"{prefix}-{len(cases)}",
+            name="edge coverage (suite)", steps=steps))
+    return cases
+
+
+def vertex_coverage_paths(model: GraphModel, test_id: str = "vc-0"
+                          ) -> DataModel:
+    """Deterministic walk visiting every state at least once."""
+    model.validate()
+    simple = nx.DiGraph(model.graph)
+    unvisited = set(model.graph.nodes)
+    steps: List[AbstractStep] = []
+    current = model.start
+    unvisited.discard(current)
+    while unvisited:
+        lengths = nx.single_source_shortest_path_length(simple, current)
+        candidates = [node for node in unvisited if node in lengths]
+        if not candidates:
+            raise ValueError(
+                f"states unreachable from {current!r}: {sorted(unvisited)}")
+        target = min(candidates, key=lambda node: (lengths[node], node))
+        path = nx.shortest_path(simple, current, target)
+        for a, b in zip(path, path[1:]):
+            key = _pick_edge(model, a, b)
+            data = model.graph[a][b][key[2]]
+            steps.append(AbstractStep(action=data["action"],
+                                      bindings=dict(data.get("bindings", {}))))
+            unvisited.discard(b)
+        current = target
+    return DataModel(test_id=test_id, name="vertex coverage", steps=steps)
+
+
+def shortest_path_to(model: GraphModel, target: str,
+                     test_id: str = "sp-0") -> DataModel:
+    """A single shortest abstract test reaching *target*."""
+    simple = nx.DiGraph(model.graph)
+    path = nx.shortest_path(simple, model.start, target)
+    steps = []
+    for a, b in zip(path, path[1:]):
+        key = _pick_edge(model, a, b)
+        data = model.graph[a][b][key[2]]
+        steps.append(AbstractStep(action=data["action"],
+                                  bindings=dict(data.get("bindings", {}))))
+    return DataModel(test_id=test_id, name=f"shortest path to {target}",
+                     steps=steps)
+
+
+def edge_coverage_of(model: GraphModel, cases: List[DataModel]) -> float:
+    """Fraction of distinct model actions exercised by *cases*.
+
+    Measured on action labels (what a tester sees in the report), not
+    raw edge keys, so parallel edges with the same action count once.
+    """
+    all_actions = {action for _, _, action in model.actions}
+    if not all_actions:
+        return 1.0
+    covered = set()
+    for case in cases:
+        covered.update(step.action for step in case.steps)
+    return len(covered & all_actions) / len(all_actions)

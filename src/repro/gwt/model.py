@@ -1,0 +1,149 @@
+"""GWT domain model.
+
+The record types mirror the classes D2.7 names in the TIGER repository:
+``Signal`` ("the model for storing information about the signals"),
+``DataModel`` ("a List of DataModel class objects" deserialized from the
+abstract test cases), plus the Given-When-Then scenario structures the
+parser produces.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: The GWT step keywords in canonical order.
+KEYWORDS = ("Given", "When", "Then", "And", "But")
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A system signal a concrete test can read or write.
+
+    Attributes:
+        name: Signal identifier used by mapping rules.
+        kind: ``"input"`` or ``"output"``.
+        data_type: ``"bool"``, ``"int"`` or ``"float"``.
+        minimum, maximum: Valid range for generated stimulus values.
+        unit: Free-form engineering unit for reports.
+    """
+
+    name: str
+    kind: str = "input"
+    data_type: str = "float"
+    minimum: float = 0.0
+    maximum: float = 1.0
+    unit: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("input", "output"):
+            raise ValueError(f"signal kind must be input/output: {self.kind!r}")
+        if self.data_type not in ("bool", "int", "float"):
+            raise ValueError(f"unsupported data type: {self.data_type!r}")
+        if self.minimum > self.maximum:
+            raise ValueError("signal minimum exceeds maximum")
+
+    def clamp(self, value: float) -> float:
+        """Clamp *value* into the signal's declared range."""
+        return max(self.minimum, min(self.maximum, value))
+
+
+@dataclass
+class GwtStep:
+    """One scenario step: keyword + text, with any parsed parameters."""
+
+    keyword: str
+    text: str
+    #: ``signal=value`` bindings extracted from quoted/numeric tokens.
+    bindings: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.keyword} {self.text}"
+
+
+@dataclass
+class GwtScenario:
+    """One Given-When-Then scenario."""
+
+    name: str
+    steps: List[GwtStep] = field(default_factory=list)
+    tags: List[str] = field(default_factory=list)
+
+    def steps_for(self, keyword: str) -> List[GwtStep]:
+        """Steps of one keyword, with ``And``/``But`` resolved to the
+        preceding primary keyword."""
+        resolved: List[GwtStep] = []
+        current = None
+        for step in self.steps:
+            primary = step.keyword if step.keyword in ("Given", "When",
+                                                       "Then") else current
+            current = primary
+            if primary == keyword:
+                resolved.append(step)
+        return resolved
+
+
+@dataclass
+class GwtFeature:
+    """A feature file: name, description, scenarios."""
+
+    name: str
+    description: str = ""
+    scenarios: List[GwtScenario] = field(default_factory=list)
+
+    def scenario(self, name: str) -> GwtScenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"no scenario named {name!r}")
+
+
+@dataclass
+class AbstractStep:
+    """One step of an abstract test case: an action label plus optional
+    signal bindings carried over from the model edge."""
+
+    action: str
+    bindings: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class DataModel:
+    """One abstract test case, as TIGER's JSON deserialization yields.
+
+    Attributes:
+        test_id: Stable identifier.
+        name: Human-readable title (often the generator + stop rule).
+        steps: Ordered abstract steps.
+    """
+
+    test_id: str
+    name: str
+    steps: List[AbstractStep] = field(default_factory=list)
+
+    @property
+    def actions(self) -> List[str]:
+        return [step.action for step in self.steps]
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "DataModel":
+        """Build from the JSON shape ``{"id", "name", "steps": [...]}``
+        (the 'JsonReading' path in TIGER)."""
+        steps = [
+            AbstractStep(
+                action=item["action"],
+                bindings={k: float(v)
+                          for k, v in item.get("bindings", {}).items()},
+            )
+            for item in obj.get("steps", [])
+        ]
+        return cls(test_id=str(obj["id"]), name=obj.get("name", ""),
+                   steps=steps)
+
+    def to_json_obj(self) -> dict:
+        return {
+            "id": self.test_id,
+            "name": self.name,
+            "steps": [
+                {"action": step.action, "bindings": step.bindings}
+                for step in self.steps
+            ],
+        }

@@ -1,0 +1,111 @@
+"""Gherkin-style parser for GWT feature text.
+
+Supported subset::
+
+    Feature: Account lockout
+      Locks accounts after repeated failures.
+
+      @security @logon
+      Scenario: lock after three failures
+        Given the account "alice" is active
+        When 3 consecutive logons fail
+        Then the account is locked
+        And an "account.locked" event is emitted within 5 seconds
+
+Numeric tokens and quoted strings in step text become bindings:
+numbers bind as ``param1``, ``param2``, ... and quoted strings as
+``name1``, ... so mapping rules can reference them positionally.
+"""
+
+import re
+from typing import List, Optional
+
+from repro.gwt.model import GwtFeature, GwtScenario, GwtStep, KEYWORDS
+
+
+class GherkinParseError(ValueError):
+    """Malformed feature text, with line number."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_NUMBER = re.compile(r"(?<![\w.])(\d+(?:\.\d+)?)(?![\w.])")
+_QUOTED = re.compile(r'"([^"]*)"')
+
+
+def _extract_bindings(text: str) -> dict:
+    bindings = {}
+    for index, match in enumerate(_NUMBER.finditer(text), start=1):
+        bindings[f"param{index}"] = float(match.group(1))
+    for index, match in enumerate(_QUOTED.finditer(text), start=1):
+        # Quoted strings are kept by hash for equality checks; mapping
+        # rules that need the literal text read it from the step.
+        bindings[f"name{index}"] = float(abs(hash(match.group(1))) % 10**6)
+    return bindings
+
+
+def parse_feature(text: str) -> GwtFeature:
+    """Parse one feature file's text."""
+    feature: Optional[GwtFeature] = None
+    scenario: Optional[GwtScenario] = None
+    pending_tags: List[str] = []
+    description_lines: List[str] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("@"):
+            pending_tags = [tag.lstrip("@") for tag in line.split()]
+            continue
+        if line.startswith("Feature:"):
+            if feature is not None:
+                raise GherkinParseError("duplicate Feature header",
+                                        line_number)
+            feature = GwtFeature(name=line[len("Feature:"):].strip())
+            continue
+        if line.startswith("Scenario:"):
+            if feature is None:
+                raise GherkinParseError("Scenario before Feature",
+                                        line_number)
+            scenario = GwtScenario(name=line[len("Scenario:"):].strip(),
+                                   tags=pending_tags)
+            pending_tags = []
+            feature.scenarios.append(scenario)
+            continue
+        keyword = next((k for k in KEYWORDS if line.startswith(k + " ")),
+                       None)
+        if keyword is not None:
+            if scenario is None:
+                raise GherkinParseError(f"{keyword} step outside a Scenario",
+                                        line_number)
+            step_text = line[len(keyword):].strip()
+            scenario.steps.append(GwtStep(
+                keyword=keyword,
+                text=step_text,
+                bindings=_extract_bindings(step_text),
+            ))
+            continue
+        if feature is not None and not feature.scenarios:
+            description_lines.append(line)
+            continue
+        raise GherkinParseError(f"unrecognized line: {line!r}", line_number)
+
+    if feature is None:
+        raise GherkinParseError("no Feature header found", 0)
+    feature.description = " ".join(description_lines)
+    _validate(feature)
+    return feature
+
+
+def _validate(feature: GwtFeature) -> None:
+    for scenario in feature.scenarios:
+        if not scenario.steps:
+            raise GherkinParseError(
+                f"scenario {scenario.name!r} has no steps", 0)
+        first = scenario.steps[0].keyword
+        if first in ("And", "But"):
+            raise GherkinParseError(
+                f"scenario {scenario.name!r} starts with {first}", 0)

@@ -1,0 +1,74 @@
+"""Synthesize a graph model from Given-When-Then scenarios.
+
+TIGER's flow assumes a hand-built graph model; this module closes the
+gap from the requirement side: a :class:`~repro.gwt.model.GwtFeature`
+becomes a :class:`~repro.gwt.graph.GraphModel` by treating each
+scenario as a path and merging scenarios on their shared step prefixes
+(a prefix tree whose edges are the When/Then actions).
+
+* All ``Given`` steps fold into the start state — they are setup, not
+  transitions.
+* Each ``When``/``Then`` step (with ``And``/``But`` resolved) becomes
+  an edge labelled with a sanitized action name; numeric bindings ride
+  along.
+* Scenarios sharing a step prefix share the corresponding states, so a
+  feature with variant endings becomes a branching model rather than
+  disjoint chains.
+
+The synthesized model feeds the standard generators — so the path from
+a BDD feature file to executable coverage-guided tests is fully
+automatic (feature -> model -> abstract tests -> mapping rules ->
+script).
+"""
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.gwt.graph import GraphModel
+from repro.gwt.model import GwtFeature, GwtScenario, GwtStep
+
+
+def action_name(step_text: str) -> str:
+    """Sanitize step text into an action identifier."""
+    words = re.findall(r"[a-z0-9]+", step_text.lower())
+    name = "_".join(words) or "step"
+    if name[0].isdigit():
+        name = f"a_{name}"
+    return name
+
+
+def _transition_steps(scenario: GwtScenario) -> List[GwtStep]:
+    """The steps that become edges: everything that is not a Given."""
+    transitions = []
+    current = None
+    for step in scenario.steps:
+        primary = (step.keyword if step.keyword in ("Given", "When", "Then")
+                   else current)
+        current = primary
+        if primary != "Given":
+            transitions.append(step)
+    return transitions
+
+
+def model_from_feature(feature: GwtFeature,
+                       name: str = None) -> GraphModel:
+    """Build the prefix-tree model of *feature*'s scenarios."""
+    model = GraphModel(name or action_name(feature.name), "start")
+    # State keyed by the tuple of action names leading to it.
+    states: Dict[Tuple[str, ...], str] = {(): "start"}
+    counter = 0
+    for scenario in feature.scenarios:
+        prefix: Tuple[str, ...] = ()
+        for step in _transition_steps(scenario):
+            action = action_name(step.text)
+            next_prefix = prefix + (action,)
+            if next_prefix not in states:
+                counter += 1
+                state = f"s{counter}"
+                model.add_state(state)
+                states[next_prefix] = state
+                model.add_action(states[prefix], state, action,
+                                 **step.bindings)
+            prefix = next_prefix
+    model.validate()
+    return model

@@ -1,0 +1,55 @@
+"""LTL over finite traces: AST, parser, and a 3-valued runtime monitor.
+
+This is the runtime-verification substrate behind the operations-time
+protection loop (WP3) and the event-driven alternative to RQCODE's
+polling :class:`~repro.rqcode.temporal.MonitoringLoop` (ablation in
+experiment E2).
+
+* :mod:`repro.ltl.formulas` — immutable formula AST with constant-
+  folding constructors.
+* :mod:`repro.ltl.parser` — text syntax (``G (p -> F q)``, ``p U q``).
+* :mod:`repro.ltl.monitor` — progression-based impartial monitor with
+  TRUE / FALSE / INCONCLUSIVE verdicts, plus exact LTLf evaluation on
+  completed traces.
+"""
+
+from repro.ltl.formulas import (
+    And,
+    Atom,
+    Eventually,
+    FALSE,
+    Formula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TRUE,
+    Until,
+    WeakUntil,
+)
+from repro.ltl.monitor import LtlMonitor, Verdict, evaluate_ltlf
+from repro.ltl.parser import LtlParseError, parse_ltl
+
+__all__ = [
+    "And",
+    "Atom",
+    "Eventually",
+    "FALSE",
+    "Formula",
+    "Globally",
+    "Implies",
+    "LtlMonitor",
+    "LtlParseError",
+    "Next",
+    "Not",
+    "Or",
+    "Release",
+    "TRUE",
+    "Until",
+    "Verdict",
+    "WeakUntil",
+    "evaluate_ltlf",
+    "parse_ltl",
+]

@@ -1,0 +1,245 @@
+"""LTL formula AST.
+
+Formulas are immutable and hash-consed by value (frozen dataclasses), so
+progression-based monitoring can fold constants and detect fixpoints by
+equality.  Smart constructors (:func:`land`, :func:`lor`, :func:`lnot`)
+perform the constant folding; the class constructors build raw nodes.
+
+Temporal operators follow the usual abbreviations: ``X`` next, ``U``
+until (strong), ``W`` weak until, ``R`` release, ``F`` eventually,
+``G`` globally.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+
+class Formula:
+    """Base class; all nodes render to the parser's concrete syntax."""
+
+    def atoms(self) -> FrozenSet[str]:
+        """The atomic proposition names appearing in the formula."""
+        names = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Atom):
+                names.add(node.name)
+            for child in getattr(node, "_children", lambda: ())():
+                stack.append(child)
+        return frozenset(names)
+
+    def _children(self) -> Tuple["Formula", ...]:
+        return ()
+
+    # Operator sugar, so tests can write ``p >> q`` style combinations.
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return land(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return lor(self, other)
+
+    def __invert__(self) -> "Formula":
+        return lnot(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return implies(self, other)
+
+
+@dataclass(frozen=True)
+class _Constant(Formula):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = _Constant(True)
+FALSE = _Constant(False)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """Atomic proposition, true on a step when its name is in the step's
+    proposition set."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    operand: Formula
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"X ({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class WeakUntil(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} W {self.right})"
+
+
+@dataclass(frozen=True)
+class Release(Formula):
+    left: Formula
+    right: Formula
+
+    def _children(self):
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} R {self.right})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    operand: Formula
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"F ({self.operand})"
+
+
+@dataclass(frozen=True)
+class Globally(Formula):
+    operand: Formula
+
+    def _children(self):
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"G ({self.operand})"
+
+
+# -- smart constructors (constant folding) -------------------------------------
+
+def lnot(operand: Formula) -> Formula:
+    """Negation with folding (double negation, constants)."""
+    if operand is TRUE:
+        return FALSE
+    if operand is FALSE:
+        return TRUE
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def land(left: Formula, right: Formula) -> Formula:
+    """Conjunction with unit/absorbing-element and idempotence folding."""
+    if left is FALSE or right is FALSE:
+        return FALSE
+    if left is TRUE:
+        return right
+    if right is TRUE:
+        return left
+    if left == right:
+        return left
+    return And(left, right)
+
+
+def lor(left: Formula, right: Formula) -> Formula:
+    """Disjunction with unit/absorbing-element and idempotence folding."""
+    if left is TRUE or right is TRUE:
+        return TRUE
+    if left is FALSE:
+        return right
+    if right is FALSE:
+        return left
+    if left == right:
+        return left
+    return Or(left, right)
+
+
+def implies(left: Formula, right: Formula) -> Formula:
+    """Implication via folding: ``a -> b`` behaves as ``!a | b``."""
+    if left is FALSE or right is TRUE:
+        return TRUE
+    if left is TRUE:
+        return right
+    if right is FALSE:
+        return lnot(left)
+    return Implies(left, right)
+
+
+#: A step of a trace: the set of atomic propositions true at that step.
+Step = Union[FrozenSet[str], set]
+
+
+def as_step(propositions) -> FrozenSet[str]:
+    """Normalize any iterable of proposition names into a step."""
+    return frozenset(propositions)

@@ -1,0 +1,70 @@
+"""NALABS — NAtural LAnguage Bad Smells for requirements.
+
+Python reproduction of the NALABS tool referenced in D2.7 §2.2.1:
+dictionary-based metrics that act as proxies for requirement smells
+(vagueness, referenceability, optionality, subjectivity, weakness,
+readability, over-complexity), applied to natural-language requirement
+statements.
+
+The public surface is:
+
+* :class:`~repro.nalabs.analyzer.RequirementText` — one requirement
+  (id + text) as the analyzer consumes it;
+* :class:`~repro.nalabs.analyzer.NalabsAnalyzer` — runs every metric
+  over a requirement or corpus and flags smells against thresholds;
+* :mod:`~repro.nalabs.metrics` — the individual metric classes, one per
+  C# metric file in the original repository;
+* :mod:`~repro.nalabs.corpus` — a synthetic corpus generator with
+  seeded smell injection and exact ground truth (experiment E4).
+"""
+
+from repro.nalabs.analyzer import (
+    CorpusReport,
+    NalabsAnalyzer,
+    RequirementReport,
+    RequirementText,
+)
+from repro.nalabs.corpus import CorpusGenerator, InjectionGroundTruth
+from repro.nalabs.report import render_html
+from repro.nalabs.metrics import (
+    ALL_METRICS,
+    ConjunctionMetric,
+    ContinuanceMetric,
+    ImperativeMetric,
+    IncompletenessMetric,
+    Metric,
+    MetricResult,
+    NonImperativeVerbMetric,
+    OptionalityMetric,
+    ReadabilityARIMetric,
+    ReferenceMetric,
+    SizeMetric,
+    SubjectivityMetric,
+    VaguenessMetric,
+    WeaknessMetric,
+)
+
+__all__ = [
+    "ALL_METRICS",
+    "ConjunctionMetric",
+    "ContinuanceMetric",
+    "CorpusGenerator",
+    "CorpusReport",
+    "ImperativeMetric",
+    "IncompletenessMetric",
+    "InjectionGroundTruth",
+    "Metric",
+    "MetricResult",
+    "NalabsAnalyzer",
+    "NonImperativeVerbMetric",
+    "OptionalityMetric",
+    "ReadabilityARIMetric",
+    "ReferenceMetric",
+    "RequirementReport",
+    "RequirementText",
+    "SizeMetric",
+    "SubjectivityMetric",
+    "VaguenessMetric",
+    "WeaknessMetric",
+    "render_html",
+]

@@ -1,0 +1,151 @@
+"""NALABS analyzer: run every metric over requirements and report smells.
+
+The original tool reads a requirements spreadsheet (REQ ID + Text
+columns) and shows per-requirement metric values with flagged cells.
+:class:`NalabsAnalyzer` is the library equivalent: feed it
+:class:`RequirementText` records, get :class:`RequirementReport` /
+:class:`CorpusReport` back.
+"""
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.nalabs.metrics import ALL_METRICS, Metric, MetricResult
+
+
+@dataclass(frozen=True)
+class RequirementText:
+    """One natural-language requirement as the analyzer consumes it."""
+
+    req_id: str
+    text: str
+
+    @staticmethod
+    def from_csv(csv_text: str, id_column: str = "REQ ID",
+                 text_column: str = "Text") -> "List[RequirementText]":
+        """Parse the spreadsheet-export format the original GUI opens.
+
+        The Edit/Settings dialog in NALABS asks the user to pick the
+        REQ ID and Text columns; here they are keyword parameters.
+        """
+        reader = csv.DictReader(io.StringIO(csv_text))
+        records = []
+        for row in reader:
+            if id_column not in row or text_column not in row:
+                raise KeyError(
+                    f"CSV lacks {id_column!r}/{text_column!r} columns; "
+                    f"found {list(row)}"
+                )
+            records.append(RequirementText(row[id_column], row[text_column]))
+        return records
+
+
+@dataclass
+class RequirementReport:
+    """All metric results for one requirement."""
+
+    req_id: str
+    text: str
+    results: Dict[str, MetricResult] = field(default_factory=dict)
+
+    @property
+    def flagged_metrics(self) -> List[str]:
+        return [name for name, r in self.results.items() if r.flagged]
+
+    @property
+    def smelly(self) -> bool:
+        return bool(self.flagged_metrics)
+
+    def value(self, metric_name: str) -> float:
+        return self.results[metric_name].value
+
+
+@dataclass
+class CorpusReport:
+    """Aggregate over a corpus: per-requirement reports plus summaries."""
+
+    reports: List[RequirementReport] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.reports)
+
+    @property
+    def smelly_count(self) -> int:
+        return sum(1 for r in self.reports if r.smelly)
+
+    def flagged_by_metric(self) -> Dict[str, List[str]]:
+        """metric name -> requirement ids flagged by it."""
+        table: Dict[str, List[str]] = {}
+        for report in self.reports:
+            for name in report.flagged_metrics:
+                table.setdefault(name, []).append(report.req_id)
+        return table
+
+    def mean_value(self, metric_name: str) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.value(metric_name) for r in self.reports) / len(self.reports)
+
+    def max_value(self, metric_name: str) -> float:
+        if not self.reports:
+            return 0.0
+        return max(r.value(metric_name) for r in self.reports)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per metric: mean, max, flagged count (the E4 table)."""
+        if not self.reports:
+            return []
+        metric_names = list(self.reports[0].results)
+        flagged = self.flagged_by_metric()
+        return [
+            {
+                "metric": name,
+                "mean": round(self.mean_value(name), 3),
+                "max": round(self.max_value(name), 3),
+                "flagged": len(flagged.get(name, [])),
+            }
+            for name in metric_names
+        ]
+
+
+class NalabsAnalyzer:
+    """Runs a metric suite over requirements.
+
+    Args:
+        metrics: Metric instances to run; defaults to one instance of
+            every class in :data:`~repro.nalabs.metrics.ALL_METRICS`.
+    """
+
+    def __init__(self, metrics: Optional[Sequence[Metric]] = None):
+        self.metrics: List[Metric] = (
+            list(metrics) if metrics is not None
+            else [cls() for cls in ALL_METRICS]
+        )
+        names = [m.name for m in self.metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate metric names: {names}")
+
+    def analyze(self, requirement: RequirementText) -> RequirementReport:
+        """Run every metric over one requirement."""
+        report = RequirementReport(req_id=requirement.req_id,
+                                   text=requirement.text)
+        for metric in self.metrics:
+            report.results[metric.name] = metric.measure(requirement.text)
+        return report
+
+    def analyze_corpus(self, requirements: Iterable[RequirementText]
+                       ) -> CorpusReport:
+        """Run the suite over a whole corpus."""
+        corpus = CorpusReport()
+        for requirement in requirements:
+            corpus.reports.append(self.analyze(requirement))
+        return corpus
+
+    def analyze_csv(self, csv_text: str, id_column: str = "REQ ID",
+                    text_column: str = "Text") -> CorpusReport:
+        """Convenience: parse the spreadsheet format and analyze it."""
+        records = RequirementText.from_csv(csv_text, id_column, text_column)
+        return self.analyze_corpus(records)

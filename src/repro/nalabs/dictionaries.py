@@ -1,0 +1,92 @@
+"""Smell dictionaries.
+
+NALABS "established a set of indicators for requirement flaws and defined
+dictionary-based metrics to automatically detect these smells" (D2.7
+§2.2.1).  The word lists below follow the requirements-quality literature
+the tool builds on (Wilson et al.'s ARM indicator categories plus the
+vagueness/subjectivity lexicons used in later studies).
+
+All entries are lower-case; multi-word phrases are matched as phrases.
+"""
+
+#: Vague terms: admit a latitude of interpretation with no testable bound.
+VAGUE_TERMS = (
+    "adequate", "appropriate", "as appropriate", "as required", "bad",
+    "clear", "close", "easy", "efficient", "fast", "flexible", "good",
+    "high", "large", "low", "maximize", "minimize", "normal", "quick",
+    "reasonable", "robust", "seamless", "significant", "simple", "slow",
+    "small", "strong", "sufficient", "suitable", "timely", "user-friendly",
+    "acceptable", "adaptable", "relevant", "convenient",
+)
+
+#: Weak phrases: introduce uncertainty, leaving room for interpretation.
+WEAK_PHRASES = (
+    "as a minimum", "as applicable", "as far as possible", "as much as possible",
+    "be able to", "be capable of", "capability of", "capability to",
+    "effective", "if practical", "normal", "provide for", "to the extent",
+    "to the extent possible", "where possible", "when necessary",
+    "if needed", "as needed", "where appropriate", "not limited to",
+)
+
+#: Optional words: give developers latitude to satisfy the statement.
+OPTIONAL_TERMS = (
+    "can", "may", "optionally", "eventually", "if appropriate",
+    "if needed", "possibly", "preferably", "might", "could",
+    "as desired", "at the discretion",
+)
+
+#: Subjective words: personal opinions or feelings.
+SUBJECTIVE_TERMS = (
+    "similar", "better", "worse", "best", "worst", "take into account",
+    "take into consideration", "as good as", "nice", "friendly",
+    "intuitive", "state of the art", "satisfactory", "pleasant",
+    "comfortable", "attractive", "easy to use",
+)
+
+#: Continuances: follow an imperative, signalling multiple-clause
+#: requirements (nesting; a complexity indicator, not forbidden).
+CONTINUANCES = (
+    "below", "as follows", "following", "listed", "in particular",
+    "support", "and", "or", "furthermore", "additionally", "moreover",
+    "in addition",
+)
+
+#: Imperatives: the verbs that make a statement binding.  Wilson's ARM
+#: counts these as a *positive* indicator (a requirement should have
+#: exactly one).
+IMPERATIVES = (
+    "shall", "must", "will", "should", "is required to",
+    "are applicable", "responsible for",
+)
+
+#: Non-imperative verb forms (NV): verbs that state behaviour without
+#: binding force; statements carried only by these are smells.
+NON_IMPERATIVE_VERBS = (
+    "is", "are", "was", "were", "has", "have", "had", "does", "do",
+    "supports", "handles", "allows", "provides", "performs", "enables",
+)
+
+#: Conjunctions: each one beyond the first suggests a compound
+#: requirement that should be split.
+CONJUNCTIONS = (
+    "and", "or", "but", "as well as", "both", "also", "then", "unless",
+    "whether", "meanwhile", "whereas", "on the other hand", "otherwise",
+)
+
+#: Incompleteness markers: placeholders signalling the statement is not
+#: finished (Wilson's "incomplete" indicator).
+INCOMPLETE_MARKERS = (
+    "tbd", "tba", "tbs", "tbr", "tbc",
+    "to be determined", "to be added", "to be specified",
+    "to be resolved", "to be confirmed", "to be defined",
+    "not defined", "not determined", "but not limited to",
+    "as a minimum",
+)
+
+#: Reference cues: demand additional reading to understand the statement.
+REFERENCE_CUES = (
+    "see section", "see table", "see figure", "as defined in",
+    "as specified in", "in accordance with", "refer to", "according to",
+    "as per", "defined in", "listed in", "per the", "described in",
+    "specified in",
+)

@@ -1,0 +1,302 @@
+"""NALABS metrics — one class per metric in the original repository.
+
+Each metric scans one requirement statement and returns a
+:class:`MetricResult` carrying a numeric value plus the matched
+occurrences (so reports can show *why* a requirement was flagged).
+Dictionary metrics match whole words/phrases case-insensitively; the
+readability and size metrics are computed from token statistics.
+
+The original C# files map as follows:
+
+==========================  ==================================
+C# file                     Python class
+==========================  ==================================
+``ConjunctionMetric.cs``    :class:`ConjunctionMetric`
+``ContinuancesMetric.cs``   :class:`ContinuanceMetric`
+``ImperativesMetric.cs``    :class:`ImperativeMetric`
+``NVMetric.cs``             :class:`NonImperativeVerbMetric`
+``OptionalityMetric.cs``    :class:`OptionalityMetric`
+``ReferencesMetric.cs``     :class:`ReferenceMetric` (dictionary cue)
+``References2.cs``          regex arm of :class:`ReferenceMetric`
+``SubjectivityMetric.cs``   :class:`SubjectivityMetric`
+``WeaknessMetric.cs``       :class:`WeaknessMetric`
+``ICountMetric.cs``         :class:`SizeMetric` (token counting)
+(ARI, D2.7 §2.2.2)          :class:`ReadabilityARIMetric`
+(vagueness, D2.7 §2.2.2)    :class:`VaguenessMetric`
+==========================  ==================================
+"""
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.nalabs import dictionaries as dicts
+
+
+@dataclass
+class MetricResult:
+    """Outcome of one metric on one requirement statement."""
+
+    metric: str
+    value: float
+    occurrences: List[str] = field(default_factory=list)
+    flagged: bool = False
+
+    def __repr__(self) -> str:
+        flag = " FLAG" if self.flagged else ""
+        return f"<{self.metric}={self.value:g}{flag}>"
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-cased word tokens (alphanumerics plus internal hyphens)."""
+    return re.findall(r"[a-z0-9]+(?:-[a-z0-9]+)*", text.lower())
+
+
+def sentences(text: str) -> List[str]:
+    """Crude sentence split on terminal punctuation; never empty."""
+    parts = [s.strip() for s in re.split(r"[.!?]+", text) if s.strip()]
+    return parts or [text.strip()]
+
+
+def phrase_occurrences(text: str, phrases: Sequence[str]) -> List[str]:
+    """All dictionary phrases found in *text* as whole words, with
+    multiplicity (two 'may's count twice)."""
+    lowered = text.lower()
+    found: List[str] = []
+    for phrase in phrases:
+        pattern = r"\b" + re.escape(phrase) + r"\b"
+        found.extend(phrase for _ in re.finditer(pattern, lowered))
+    return found
+
+
+class Metric(ABC):
+    """A requirement-statement metric with a flagging threshold.
+
+    ``threshold`` is the smallest value considered a smell; subclasses
+    choose defaults matching the NALABS settings dialog.
+    """
+
+    #: Stable metric identifier used in reports and ground-truth keys.
+    name: str = "metric"
+    #: Values >= threshold are flagged.
+    threshold: float = 1.0
+
+    def __init__(self, threshold: float = None):
+        if threshold is not None:
+            self.threshold = threshold
+
+    @abstractmethod
+    def measure(self, text: str) -> MetricResult:
+        """Compute the metric over one requirement statement."""
+
+    def _result(self, value: float, occurrences: List[str]) -> MetricResult:
+        return MetricResult(
+            metric=self.name,
+            value=value,
+            occurrences=occurrences,
+            flagged=value >= self.threshold,
+        )
+
+
+class _DictionaryMetric(Metric):
+    """Shared machinery for phrase-counting metrics."""
+
+    phrases: Tuple[str, ...] = ()
+
+    def measure(self, text: str) -> MetricResult:
+        occurrences = phrase_occurrences(text, self.phrases)
+        return self._result(float(len(occurrences)), occurrences)
+
+
+class VaguenessMetric(_DictionaryMetric):
+    """Counts vague terms — the canonical requirements-complexity smell."""
+
+    name = "vagueness"
+    phrases = dicts.VAGUE_TERMS
+    threshold = 1.0
+
+
+class WeaknessMetric(_DictionaryMetric):
+    """Counts weak phrases that leave room for multiple interpretations."""
+
+    name = "weakness"
+    phrases = dicts.WEAK_PHRASES
+    threshold = 1.0
+
+
+class OptionalityMetric(_DictionaryMetric):
+    """Counts optional words giving developers latitude of interpretation."""
+
+    name = "optionality"
+    phrases = dicts.OPTIONAL_TERMS
+    threshold = 1.0
+
+
+class SubjectivityMetric(_DictionaryMetric):
+    """Counts words expressing personal opinions or feelings."""
+
+    name = "subjectivity"
+    phrases = dicts.SUBJECTIVE_TERMS
+    threshold = 1.0
+
+
+class ContinuanceMetric(_DictionaryMetric):
+    """Counts continuances — indicators of multi-clause requirements."""
+
+    name = "continuances"
+    phrases = dicts.CONTINUANCES
+    threshold = 3.0
+
+
+class ImperativeMetric(_DictionaryMetric):
+    """Counts imperatives.
+
+    Flagging is inverted relative to the other dictionary metrics: a
+    requirement with *zero* imperatives is the smell (nothing binding),
+    so the result is flagged when the count falls below 1.
+    """
+
+    name = "imperatives"
+    phrases = dicts.IMPERATIVES
+    threshold = 1.0
+
+    def measure(self, text: str) -> MetricResult:
+        occurrences = phrase_occurrences(text, self.phrases)
+        value = float(len(occurrences))
+        result = MetricResult(
+            metric=self.name, value=value, occurrences=occurrences,
+            flagged=value < self.threshold,
+        )
+        return result
+
+
+class NonImperativeVerbMetric(Metric):
+    """NV ratio: non-imperative verb forms per imperative.
+
+    A statement whose behaviour is carried by plain verbs ("the system
+    handles errors") rather than imperatives reads as description, not
+    obligation.  Value is ``nv_count / max(1, imperative_count)``.
+    """
+
+    name = "nv_ratio"
+    threshold = 3.0
+
+    def measure(self, text: str) -> MetricResult:
+        nv = phrase_occurrences(text, dicts.NON_IMPERATIVE_VERBS)
+        imperative = phrase_occurrences(text, dicts.IMPERATIVES)
+        value = len(nv) / max(1, len(imperative))
+        return self._result(value, nv)
+
+
+class ConjunctionMetric(_DictionaryMetric):
+    """Counts conjunctions — each beyond the first hints the requirement
+    is compound and should be split."""
+
+    name = "conjunctions"
+    phrases = dicts.CONJUNCTIONS
+    threshold = 3.0
+
+
+class IncompletenessMetric(_DictionaryMetric):
+    """Counts placeholder markers (TBD, "to be determined", ...).
+
+    A requirement carrying any of these is by definition not ready for
+    formalization (the ``ICountMetric.cs`` sibling in the original
+    repository counts these "incomplete" indicators)."""
+
+    name = "incompleteness"
+    phrases = dicts.INCOMPLETE_MARKERS
+    threshold = 1.0
+
+
+class ReferenceMetric(Metric):
+    """Counts references to other documents/sections (referenceability).
+
+    Combines the dictionary cue list (``ReferencesMetric.cs``) with the
+    regex arm (``References2.cs``) that catches explicit section/figure
+    numbers like "section 3.4.1" or "[12]".
+    """
+
+    name = "references"
+    threshold = 1.0
+
+    _NUMBERED = re.compile(
+        r"(?:\b(?:section|table|figure|chapter|annex|appendix)\s+"
+        r"[0-9]+(?:\.[0-9]+)*)|(?:\[[0-9]+\])",
+        re.IGNORECASE,
+    )
+
+    def __init__(self, threshold: float = None, use_regex: bool = True):
+        super().__init__(threshold)
+        self.use_regex = use_regex
+
+    def measure(self, text: str) -> MetricResult:
+        occurrences = phrase_occurrences(text, dicts.REFERENCE_CUES)
+        if self.use_regex:
+            occurrences.extend(m.group(0) for m in self._NUMBERED.finditer(text))
+        return self._result(float(len(occurrences)), occurrences)
+
+
+class ReadabilityARIMetric(Metric):
+    """Automated Readability Index, as D2.7 defines it.
+
+    "ARI is calculated using WS + 9 × SW, where WS is the average number
+    of words per sentence and SW is the average number of letters per
+    word."  Higher is harder to read; the default threshold flags text
+    denser than roughly college level under this formulation.
+    """
+
+    name = "readability_ari"
+    threshold = 80.0
+
+    def measure(self, text: str) -> MetricResult:
+        words = tokenize(text)
+        if not words:
+            return self._result(0.0, [])
+        sentence_list = sentences(text)
+        words_per_sentence = len(words) / len(sentence_list)
+        letters_per_word = sum(len(w) for w in words) / len(words)
+        value = words_per_sentence + 9.0 * letters_per_word
+        return self._result(value, [])
+
+
+class SizeMetric(Metric):
+    """Over-complexity: requirement size in words.
+
+    D2.7 lists characters / words / paragraphs / lines as candidate size
+    definitions; words is the one the thresholds below are calibrated
+    for.  Character and line counts ride along in the occurrences slot
+    (as ``key=value`` strings) so reports can show all three.
+    """
+
+    name = "size"
+    threshold = 60.0
+
+    def measure(self, text: str) -> MetricResult:
+        words = tokenize(text)
+        characters = len(text)
+        lines = max(1, text.count("\n") + 1)
+        details = [
+            f"characters={characters}",
+            f"words={len(words)}",
+            f"lines={lines}",
+        ]
+        return self._result(float(len(words)), details)
+
+
+#: Metric classes in report order.
+ALL_METRICS = (
+    VaguenessMetric,
+    ReferenceMetric,
+    OptionalityMetric,
+    SubjectivityMetric,
+    WeaknessMetric,
+    IncompletenessMetric,
+    ReadabilityARIMetric,
+    SizeMetric,
+    ImperativeMetric,
+    NonImperativeVerbMetric,
+    ConjunctionMetric,
+    ContinuanceMetric,
+)

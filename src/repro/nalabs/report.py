@@ -1,0 +1,79 @@
+"""NALABS HTML report — the GUI's grid, as a file.
+
+The original NALABS is a Windows-Forms grid of requirements x metrics
+with flagged cells highlighted.  :func:`render_html` reproduces that
+view from a :class:`~repro.nalabs.analyzer.CorpusReport`: one row per
+requirement, one column per metric, flagged cells tinted, plus the
+summary table the E4 bench prints.
+"""
+
+from typing import List
+
+from repro.nalabs.analyzer import CorpusReport
+
+_FLAGGED_STYLE = "background:#ffcdd2"
+_CLEAN_STYLE = ""
+
+
+def render_html(report: CorpusReport,
+                title: str = "NALABS analysis") -> str:
+    """Render the corpus report as a standalone HTML document."""
+    if not report.reports:
+        body = "<p>(empty corpus)</p>"
+        return _document(title, body)
+
+    metric_names: List[str] = list(report.reports[0].results)
+
+    header_cells = "".join(
+        f"<th>{name}</th>" for name in ["REQ ID", "Text"] + metric_names)
+    rows = []
+    for requirement in report.reports:
+        cells = [f"<td>{requirement.req_id}</td>",
+                 f"<td>{_escape(requirement.text)}</td>"]
+        for name in metric_names:
+            result = requirement.results[name]
+            style = _FLAGGED_STYLE if result.flagged else _CLEAN_STYLE
+            cells.append(
+                f'<td style="{style}" title="{_escape(_tooltip(result))}">'
+                f"{result.value:g}</td>")
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+
+    summary_rows = "".join(
+        "<tr>"
+        f"<td>{row['metric']}</td><td>{row['mean']}</td>"
+        f"<td>{row['max']}</td><td>{row['flagged']}</td>"
+        "</tr>"
+        for row in report.summary_rows()
+    )
+    body = (
+        f"<p>{report.smelly_count}/{report.total} requirements carry at "
+        "least one smell.</p>\n"
+        "<h2>Requirements</h2>\n"
+        f"<table border='1'><tr>{header_cells}</tr>\n"
+        + "\n".join(rows) + "\n</table>\n"
+        "<h2>Metric summary</h2>\n"
+        "<table border='1'>"
+        "<tr><th>metric</th><th>mean</th><th>max</th><th>flagged</th></tr>"
+        f"{summary_rows}</table>"
+    )
+    return _document(title, body)
+
+
+def _tooltip(result) -> str:
+    if not result.occurrences:
+        return result.metric
+    shown = ", ".join(str(item) for item in result.occurrences[:5])
+    return f"{result.metric}: {shown}"
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _document(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        f"<html><head><title>{_escape(title)}</title></head>\n"
+        f"<body>\n<h1>{_escape(title)}</h1>\n{body}\n</body></html>\n"
+    )

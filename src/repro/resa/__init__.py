@@ -1,0 +1,51 @@
+"""RESA — boilerplate-constrained requirements specification.
+
+RESA "is focusing on requirements specification in constrained natural
+language ... renders natural language terms (words, phrases), and
+syntax ... [and] uses boilerplates to structure the construction of
+requirements specification" (D2.7 §2.2.1).  Documents live at one of
+the EAST-ADL abstraction levels, selected by file extension: ``.resa``
+(generic), ``.vl`` (vehicle), ``.al`` (analysis), ``.dl`` (design).
+
+* :mod:`repro.resa.ontology` — term store per slot category, with the
+  bundled security/automotive ontology.
+* :mod:`repro.resa.boilerplates` — the boilerplate grammar and the
+  structured-requirement records it produces.
+* :mod:`repro.resa.parser` — document parsing, level handling,
+  ontology validation diagnostics.
+* :mod:`repro.resa.export` — structured requirement -> specification
+  pattern (the bridge into PROPAS formalization).
+"""
+
+from repro.resa.boilerplates import (
+    BOILERPLATES,
+    Boilerplate,
+    BoilerplateMatchError,
+    StructuredRequirement,
+    match_boilerplate,
+)
+from repro.resa.ontology import Ontology, default_ontology
+from repro.resa.parser import (
+    Diagnostic,
+    EastAdlLevel,
+    ResaDocument,
+    level_for_extension,
+    parse_document,
+)
+from repro.resa.export import to_pattern
+
+__all__ = [
+    "BOILERPLATES",
+    "Boilerplate",
+    "BoilerplateMatchError",
+    "Diagnostic",
+    "EastAdlLevel",
+    "Ontology",
+    "ResaDocument",
+    "StructuredRequirement",
+    "default_ontology",
+    "level_for_extension",
+    "match_boilerplate",
+    "parse_document",
+    "to_pattern",
+]

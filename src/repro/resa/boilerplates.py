@@ -1,0 +1,150 @@
+"""RESA boilerplates: the constrained-sentence grammar.
+
+Each boilerplate is a sentence template with named slots; a requirement
+statement must match exactly one boilerplate.  The bundled set covers
+the shapes the VeriDevOps security requirements use:
+
+====  ==========================================================
+id    template
+====  ==========================================================
+B1    The <system> shall <action>.
+B2    The <system> shall <action> within <number> <unit>.
+B3    When <condition>, the <system> shall <action>.
+B4    When <condition>, the <system> shall <action> within
+      <number> <unit>.
+B5    The <system> shall not <action>.
+B6    While <condition>, the <system> shall <action>.
+====  ==========================================================
+
+Matching is most-specific-first (B4 before B3 before B1), so a timed
+conditional never degrades into an untimed match.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Boilerplate:
+    """One sentence template.
+
+    ``pattern`` is a compiled regex with named groups for each slot;
+    ``slot_categories`` maps slot name -> ontology category checked by
+    the validator (``number`` slots are unchecked).
+    """
+
+    boilerplate_id: str
+    description: str
+    pattern: "re.Pattern"
+    slot_categories: Dict[str, str]
+
+
+@dataclass
+class StructuredRequirement:
+    """A statement decomposed against its boilerplate."""
+
+    req_id: str
+    text: str
+    boilerplate_id: str
+    slots: Dict[str, str] = field(default_factory=dict)
+
+    def slot(self, name: str) -> Optional[str]:
+        return self.slots.get(name)
+
+
+class BoilerplateMatchError(ValueError):
+    """The statement matches no boilerplate in the catalogue."""
+
+    def __init__(self, text: str):
+        super().__init__(
+            f"statement matches no RESA boilerplate: {text!r}")
+        self.text = text
+
+
+def _compile(template: str) -> "re.Pattern":
+    return re.compile(template, re.IGNORECASE)
+
+
+BOILERPLATES: Tuple[Boilerplate, ...] = (
+    Boilerplate(
+        "B4",
+        "When <condition>, the <system> shall <action> within "
+        "<number> <unit>.",
+        _compile(
+            r"^When (?P<condition>.+?), the (?P<system>.+?) shall "
+            r"(?P<action>.+?) within (?P<number>\d+(?:\.\d+)?) "
+            r"(?P<unit>\w+)\.$"
+        ),
+        {"condition": "condition", "system": "system",
+         "action": "action", "unit": "unit"},
+    ),
+    Boilerplate(
+        "B3",
+        "When <condition>, the <system> shall <action>.",
+        _compile(
+            r"^When (?P<condition>.+?), the (?P<system>.+?) shall "
+            r"(?P<action>.+?)\.$"
+        ),
+        {"condition": "condition", "system": "system", "action": "action"},
+    ),
+    Boilerplate(
+        "B6",
+        "While <condition>, the <system> shall <action>.",
+        _compile(
+            r"^While (?P<condition>.+?), the (?P<system>.+?) shall "
+            r"(?P<action>.+?)\.$"
+        ),
+        {"condition": "condition", "system": "system", "action": "action"},
+    ),
+    Boilerplate(
+        "B2",
+        "The <system> shall <action> within <number> <unit>.",
+        _compile(
+            r"^The (?P<system>.+?) shall (?P<action>.+?) within "
+            r"(?P<number>\d+(?:\.\d+)?) (?P<unit>\w+)\.$"
+        ),
+        {"system": "system", "action": "action", "unit": "unit"},
+    ),
+    Boilerplate(
+        "B5",
+        "The <system> shall not <action>.",
+        _compile(
+            r"^The (?P<system>.+?) shall not (?P<action>.+?)\.$"
+        ),
+        {"system": "system", "action": "action"},
+    ),
+    Boilerplate(
+        "B1",
+        "The <system> shall <action>.",
+        _compile(
+            r"^The (?P<system>.+?) shall (?P<action>.+?)\.$"
+        ),
+        {"system": "system", "action": "action"},
+    ),
+)
+
+
+def match_boilerplate(req_id: str, text: str) -> StructuredRequirement:
+    """Match *text* against the catalogue (most specific first)."""
+    stripped = " ".join(text.split())
+    for boilerplate in BOILERPLATES:
+        match = boilerplate.pattern.match(stripped)
+        if match is None:
+            continue
+        slots = {name: value.strip()
+                 for name, value in match.groupdict().items()}
+        return StructuredRequirement(
+            req_id=req_id,
+            text=stripped,
+            boilerplate_id=boilerplate.boilerplate_id,
+            slots=slots,
+        )
+    raise BoilerplateMatchError(stripped)
+
+
+def boilerplate_by_id(boilerplate_id: str) -> Boilerplate:
+    for boilerplate in BOILERPLATES:
+        if boilerplate.boilerplate_id == boilerplate_id:
+            return boilerplate
+    raise KeyError(f"unknown boilerplate: {boilerplate_id!r}")

@@ -1,0 +1,97 @@
+"""Export: structured RESA requirements -> specification patterns.
+
+The bridge from constrained natural language into PROPAS formalization.
+The mapping is syntactic and total over the boilerplate catalogue:
+
+====  ==========================================================
+B1    ``The S shall A.``            -> Existence(A) — the behaviour
+      must be exhibited (verified as reachability / test obligation).
+B2    ``... within N U.``           -> TimedResponse(trigger=S-request,
+      response=A, bound=N) with the unit normalized to seconds.
+B3    ``When C, ... shall A.``      -> Response(p=C, s=A).
+B4    ``When C, ... within N U.``   -> TimedResponse(p=C, s=A, bound=N).
+B5    ``... shall not A.``          -> Absence(A).
+B6    ``While C, ... shall A.``     -> Universality(A) scoped
+      after C until not-C (rendered here as the AfterQUntilR scope).
+====  ==========================================================
+
+Events are slot texts normalized to snake_case identifiers, which is
+what the observer builder and LTL atoms expect.
+"""
+
+import re
+from typing import Tuple
+
+from repro.resa.boilerplates import StructuredRequirement
+from repro.specpatterns.patterns import (
+    Absence,
+    Existence,
+    Pattern,
+    Response,
+    TimedResponse,
+    Universality,
+)
+from repro.specpatterns.scopes import AfterQUntilR, Globally, Scope
+
+#: Unit name -> seconds multiplier.
+_UNIT_SECONDS = {
+    "ms": 0.001, "millisecond": 0.001, "milliseconds": 0.001,
+    "second": 1.0, "seconds": 1.0,
+    "minute": 60.0, "minutes": 60.0,
+    "hour": 3600.0, "hours": 3600.0,
+}
+
+
+def event_name(slot_text: str) -> str:
+    """Normalize a slot's text into an event identifier.
+
+    Identifiers must be valid LTL atoms: no hyphens, never starting
+    with a digit (``3 failures`` -> ``e_3_failures``).
+    """
+    words = re.findall(r"[a-z0-9]+", slot_text.lower())
+    name = "_".join(words) or "event"
+    if name[0].isdigit():
+        name = f"e_{name}"
+    return name
+
+
+def bound_in_seconds(number: str, unit: str) -> int:
+    """Normalize ``(number, unit)`` to integer seconds (ceil, min 1)."""
+    multiplier = _UNIT_SECONDS.get(unit.lower())
+    if multiplier is None:
+        raise ValueError(f"unknown time unit {unit!r}")
+    seconds = float(number) * multiplier
+    return max(1, int(seconds + 0.999999))
+
+
+def to_pattern(requirement: StructuredRequirement
+               ) -> Tuple[Pattern, Scope]:
+    """Map one structured requirement to (pattern, scope)."""
+    slots = requirement.slots
+    boilerplate = requirement.boilerplate_id
+    if boilerplate == "B1":
+        return Existence(p=event_name(slots["action"])), Globally()
+    if boilerplate == "B2":
+        return TimedResponse(
+            p=f"{event_name(slots['system'])}_request",
+            s=event_name(slots["action"]),
+            bound=bound_in_seconds(slots["number"], slots["unit"]),
+        ), Globally()
+    if boilerplate == "B3":
+        return Response(
+            p=event_name(slots["condition"]),
+            s=event_name(slots["action"]),
+        ), Globally()
+    if boilerplate == "B4":
+        return TimedResponse(
+            p=event_name(slots["condition"]),
+            s=event_name(slots["action"]),
+            bound=bound_in_seconds(slots["number"], slots["unit"]),
+        ), Globally()
+    if boilerplate == "B5":
+        return Absence(p=event_name(slots["action"])), Globally()
+    if boilerplate == "B6":
+        condition = event_name(slots["condition"])
+        return Universality(p=event_name(slots["action"])), AfterQUntilR(
+            q=condition, r=f"not_{condition}")
+    raise ValueError(f"unknown boilerplate {boilerplate!r}")

@@ -1,0 +1,88 @@
+"""Ontology: the controlled vocabulary behind RESA slots.
+
+Each boilerplate slot draws from a category of terms; validation flags
+slot fillers outside the ontology so requirements stay within the
+reviewed vocabulary ("renders natural language terms ... which gives
+readability of requirements specification").
+"""
+
+from typing import Dict, Iterable, List, Set
+
+
+class Ontology:
+    """Category -> term set, with case-insensitive membership."""
+
+    def __init__(self, terms: Dict[str, Iterable[str]] = None):
+        self._terms: Dict[str, Set[str]] = {}
+        if terms:
+            for category, values in terms.items():
+                self._terms[category] = {v.lower() for v in values}
+
+    def categories(self) -> List[str]:
+        return sorted(self._terms)
+
+    def terms(self, category: str) -> List[str]:
+        return sorted(self._terms.get(category, ()))
+
+    def add(self, category: str, term: str) -> None:
+        self._terms.setdefault(category, set()).add(term.lower())
+
+    def knows(self, category: str, term: str) -> bool:
+        """Membership; multi-word fillers match when every content word
+        or the full phrase is known."""
+        vocabulary = self._terms.get(category)
+        if vocabulary is None:
+            return False
+        lowered = term.lower().strip()
+        if lowered in vocabulary:
+            return True
+        words = [w for w in lowered.split()
+                 if w not in _STOPWORDS and not w.isdigit()]
+        return bool(words) and all(word in vocabulary for word in words)
+
+    def extend(self, category: str, terms: Iterable[str]) -> None:
+        for term in terms:
+            self.add(category, term)
+
+
+_STOPWORDS = {"the", "a", "an", "of", "to", "for", "with", "all", "any",
+              "every", "its", "be", "is", "are"}
+
+
+def default_ontology() -> Ontology:
+    """The bundled security-flavoured automotive ontology."""
+    return Ontology({
+        "system": (
+            "authentication service", "access-control module",
+            "audit subsystem", "session manager", "gateway",
+            "update client", "key-management service", "brake controller",
+            "engine controller", "door controller", "telematics unit",
+            "intrusion-detection component", "logging pipeline",
+            "configuration agent",
+        ),
+        "action": (
+            "lock", "unlock", "record", "log", "encrypt", "decrypt",
+            "reject", "accept", "terminate", "alert", "notify", "verify",
+            "validate", "rotate", "enforce", "disable", "enable",
+            "authenticate", "authorize", "revoke", "store", "transmit",
+            "account", "credentials", "session", "sessions", "event",
+            "events", "operation", "operations", "message", "messages",
+            "key", "keys", "access", "request", "requests", "password",
+            "passwords", "configuration", "baseline", "attempt",
+            "attempts", "failed", "privileged", "idle", "operator",
+            "audit", "trail", "stored", "approved", "algorithm",
+            "security", "invalid", "certificate", "certificates",
+        ),
+        "condition": (
+            "ignition", "on", "off", "failure", "failures", "detected",
+            "occurs", "received", "exceeds", "threshold", "consecutive",
+            "logon", "violation", "policy", "intrusion", "tamper", "occur",
+            "vehicle", "moving", "stationary", "session", "idle",
+            "attempt", "attempts", "invalid", "three", "repeated",
+            "request", "unauthorized", "access",
+        ),
+        "unit": (
+            "millisecond", "milliseconds", "ms", "second", "seconds",
+            "minute", "minutes", "hour", "hours",
+        ),
+    })

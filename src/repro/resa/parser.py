@@ -1,0 +1,153 @@
+"""RESA document parsing and validation.
+
+A RESA document is a plain-text file, one requirement per line::
+
+    REQ-1: The authentication service shall lock the account.
+    REQ-2: When 3 consecutive failures occur, the session manager
+           shall alert the operator within 5 seconds.
+
+The file extension picks the EAST-ADL abstraction level: ``.resa``
+generic, ``.vl`` vehicle level, ``.al`` analysis level, ``.dl`` design
+level (D2.7 §2.2.3).  Parsing produces structured requirements plus
+:class:`Diagnostic` records for statements that match no boilerplate or
+use terms outside the ontology.
+"""
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.resa.boilerplates import (
+    BoilerplateMatchError,
+    StructuredRequirement,
+    boilerplate_by_id,
+    match_boilerplate,
+)
+from repro.resa.ontology import Ontology, default_ontology
+
+
+class EastAdlLevel(enum.Enum):
+    """EAST-ADL abstraction levels, keyed by file extension."""
+
+    GENERIC = "resa"
+    VEHICLE = "vl"
+    ANALYSIS = "al"
+    DESIGN = "dl"
+
+
+def level_for_extension(filename: str) -> EastAdlLevel:
+    """Pick the level from a file name's extension."""
+    extension = filename.rsplit(".", 1)[-1].lower()
+    for level in EastAdlLevel:
+        if level.value == extension:
+            return level
+    raise ValueError(
+        f"unknown RESA extension {extension!r} "
+        f"(expected .resa, .vl, .al or .dl)"
+    )
+
+
+@dataclass
+class Diagnostic:
+    """One validation finding."""
+
+    req_id: str
+    severity: str  # "error" | "warning"
+    message: str
+
+
+@dataclass
+class ResaDocument:
+    """A parsed document: requirements plus diagnostics."""
+
+    level: EastAdlLevel
+    requirements: List[StructuredRequirement] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def valid(self) -> bool:
+        return not self.errors
+
+    def requirement(self, req_id: str) -> StructuredRequirement:
+        for requirement in self.requirements:
+            if requirement.req_id == req_id:
+                return requirement
+        raise KeyError(f"no requirement {req_id!r}")
+
+
+_LINE = re.compile(r"^\s*(?P<id>[A-Za-z][\w-]*)\s*:\s*(?P<text>.+)$")
+
+
+def parse_document(text: str, level: EastAdlLevel = EastAdlLevel.GENERIC,
+                   ontology: Optional[Ontology] = None) -> ResaDocument:
+    """Parse and validate one document's text.
+
+    Statements may wrap across lines; a new requirement starts at a
+    ``ID:`` prefix.  Unmatched statements yield *error* diagnostics;
+    slot fillers outside the ontology yield *warnings* (the statement
+    structure is sound, the vocabulary needs review).
+    """
+    ontology = ontology if ontology is not None else default_ontology()
+    document = ResaDocument(level=level)
+    pending: Optional[List[str]] = None
+    pending_id = ""
+
+    def flush() -> None:
+        if pending is None:
+            return
+        statement = " ".join(" ".join(pending).split())
+        try:
+            requirement = match_boilerplate(pending_id, statement)
+        except BoilerplateMatchError:
+            document.diagnostics.append(Diagnostic(
+                req_id=pending_id, severity="error",
+                message=f"matches no boilerplate: {statement!r}",
+            ))
+            return
+        document.requirements.append(requirement)
+        _validate_slots(requirement, ontology, document.diagnostics)
+
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line.strip() or line.strip().startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match and not line.startswith((" ", "\t")):
+            flush()
+            pending = [match.group("text")]
+            pending_id = match.group("id")
+        elif pending is not None:
+            pending.append(line.strip())
+        else:
+            document.diagnostics.append(Diagnostic(
+                req_id="-", severity="error",
+                message=f"text before any requirement id: {line.strip()!r}",
+            ))
+    flush()
+    return document
+
+
+def _validate_slots(requirement: StructuredRequirement, ontology: Ontology,
+                    diagnostics: List[Diagnostic]) -> None:
+    boilerplate = boilerplate_by_id(requirement.boilerplate_id)
+    for slot, category in boilerplate.slot_categories.items():
+        value = requirement.slots.get(slot)
+        if value is None:
+            continue
+        if not ontology.knows(category, value):
+            diagnostics.append(Diagnostic(
+                req_id=requirement.req_id, severity="warning",
+                message=(
+                    f"slot {slot!r} value {value!r} has terms outside "
+                    f"the {category!r} ontology"
+                ),
+            ))

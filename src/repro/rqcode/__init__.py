@@ -1,0 +1,67 @@
+"""RQCODE — Requirements as Code (Python port).
+
+RQCODE represents security requirements as classes, following the
+Seamless Object-Oriented Requirements paradigm (D2.7 §1.1).  A
+requirement class may:
+
+* carry multiple notations (textual STIG finding, LTL/TCTL formula);
+* include verification means (:class:`Checkable`) and enforcement means
+  (:class:`Enforceable`), giving a lightweight formalisation;
+* be extended and instantiated with parameters for massive reuse
+  (``UbuntuPackagePattern("nis", must_be_installed=False)``).
+
+Subpackage layout mirrors the Java repository described in D2.7 Annex 1:
+
+========================  =====================================
+Java package              Python module
+========================  =====================================
+``rqcode.concepts``       :mod:`repro.rqcode.concepts`
+``rqcode.patterns.temporal``  :mod:`repro.rqcode.temporal`
+``rqcode.patterns.win10``     :mod:`repro.rqcode.win10`
+``rqcode.stigs.win10``        :mod:`repro.rqcode.win10`
+``rqcode.stigs.ubuntu``       :mod:`repro.rqcode.ubuntu`
+(catalog — new)           :mod:`repro.rqcode.catalog`
+========================  =====================================
+"""
+
+from repro.rqcode.concepts import (
+    Checkable,
+    CheckableEnforceableRequirement,
+    CheckStatus,
+    Enforceable,
+    EnforcementStatus,
+    FindingMetadata,
+    PredicateCheckable,
+    Requirement,
+)
+from repro.rqcode.temporal import (
+    AfterUntilUniversality,
+    Eventually,
+    GlobalResponseTimed,
+    GlobalResponseUntil,
+    GlobalUniversality,
+    GlobalUniversalityTimed,
+    MonitoringLoop,
+)
+from repro.rqcode.catalog import StigCatalog, ComplianceReport, default_catalog
+
+__all__ = [
+    "AfterUntilUniversality",
+    "Checkable",
+    "CheckableEnforceableRequirement",
+    "CheckStatus",
+    "ComplianceReport",
+    "Enforceable",
+    "EnforcementStatus",
+    "Eventually",
+    "FindingMetadata",
+    "GlobalResponseTimed",
+    "GlobalResponseUntil",
+    "GlobalUniversality",
+    "GlobalUniversalityTimed",
+    "MonitoringLoop",
+    "PredicateCheckable",
+    "Requirement",
+    "StigCatalog",
+    "default_catalog",
+]

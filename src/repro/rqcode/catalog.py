@@ -1,0 +1,217 @@
+"""STIG catalogue: registry, batch operations, compliance reporting.
+
+D2.7 presents the patterns "from the end-user perspective": a user pulls
+a catalogue of finding classes, instantiates them against hosts, and runs
+check/enforce campaigns.  :class:`StigCatalog` is that surface, and
+:class:`ComplianceReport` is the row format experiment E3 tabulates.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from repro.environment.host import SimulatedHost
+from repro.rqcode.concepts import (
+    CheckableEnforceableRequirement,
+    CheckStatus,
+    EnforcementStatus,
+)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered finding class with its routing tags."""
+
+    finding_id: str
+    platform: str
+    severity: str
+    requirement_class: Type[CheckableEnforceableRequirement]
+
+    def instantiate(self, host: SimulatedHost) -> CheckableEnforceableRequirement:
+        return self.requirement_class(host)
+
+
+@dataclass
+class FindingResult:
+    """Outcome of the check/enforce/check transaction for one finding."""
+
+    finding_id: str
+    severity: str
+    before: CheckStatus
+    enforcement: Optional[EnforcementStatus]
+    after: CheckStatus
+
+    @property
+    def remediated(self) -> bool:
+        """True when enforcement flipped a failing finding to PASS."""
+        return (self.before is not CheckStatus.PASS
+                and self.after is CheckStatus.PASS)
+
+
+@dataclass
+class ComplianceReport:
+    """Aggregate of a check (or check/enforce/check) campaign on one host."""
+
+    host_name: str
+    platform: str
+    results: List[FindingResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def passing(self) -> int:
+        return sum(1 for r in self.results if r.after is CheckStatus.PASS)
+
+    @property
+    def failing(self) -> int:
+        return sum(1 for r in self.results if r.after is CheckStatus.FAIL)
+
+    @property
+    def remediated(self) -> int:
+        return sum(1 for r in self.results if r.remediated)
+
+    @property
+    def compliance_ratio(self) -> float:
+        """Fraction of findings passing after the campaign (1.0 if empty)."""
+        if not self.results:
+            return 1.0
+        return self.passing / self.total
+
+    def rows(self) -> List[Dict[str, str]]:
+        """Plain-data table rows (one per finding) for report printing."""
+        return [
+            {
+                "finding": r.finding_id,
+                "severity": r.severity,
+                "before": r.before.value,
+                "enforce": r.enforcement.value if r.enforcement else "-",
+                "after": r.after.value,
+            }
+            for r in self.results
+        ]
+
+    def summary(self) -> str:
+        return (
+            f"{self.host_name} ({self.platform}): "
+            f"{self.passing}/{self.total} passing, "
+            f"{self.remediated} remediated"
+        )
+
+
+class StigCatalog:
+    """Registry of finding classes, keyed by finding id.
+
+    The catalogue routes findings to hosts by platform tag and offers
+    the two campaign shapes the framework needs: an audit
+    (:meth:`check_host`) and a remediation (:meth:`harden_host`).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, finding_id: str) -> bool:
+        return finding_id in self._entries
+
+    def register(self, requirement_class: Type[CheckableEnforceableRequirement],
+                 platform: str) -> CatalogEntry:
+        """Register a finding class; finding id and severity are read
+        from a probe instance's metadata-free defaults where possible,
+        otherwise from the class name (``V_63447`` -> ``V-63447``)."""
+        finding_id = requirement_class.__name__.replace("_", "-")
+        severity = "medium"
+        doc = requirement_class.__doc__ or ""
+        if "high" in doc.split("\n")[0].lower():
+            severity = "high"
+        entry = CatalogEntry(
+            finding_id=finding_id,
+            platform=platform,
+            severity=severity,
+            requirement_class=requirement_class,
+        )
+        self._entries[finding_id] = entry
+        return entry
+
+    def get(self, finding_id: str) -> CatalogEntry:
+        if finding_id not in self._entries:
+            raise KeyError(f"finding not in catalogue: {finding_id!r}")
+        return self._entries[finding_id]
+
+    def finding_ids(self, platform: Optional[str] = None) -> List[str]:
+        return sorted(
+            fid for fid, entry in self._entries.items()
+            if platform is None or entry.platform == platform
+        )
+
+    def entries_for(self, platform: str) -> List[CatalogEntry]:
+        return [self._entries[fid] for fid in self.finding_ids(platform)]
+
+    def instantiate_for(self, host: SimulatedHost
+                        ) -> List[CheckableEnforceableRequirement]:
+        """Instantiate every finding matching the host's platform."""
+        return [e.instantiate(host) for e in self.entries_for(host.os_family)]
+
+    # -- campaigns -------------------------------------------------------------
+
+    def check_host(self, host: SimulatedHost) -> ComplianceReport:
+        """Audit: check every applicable finding without mutating the host."""
+        report = ComplianceReport(host_name=host.name, platform=host.os_family)
+        for entry in self.entries_for(host.os_family):
+            requirement = entry.instantiate(host)
+            status = requirement.check()
+            severity = _severity_of(requirement, entry)
+            report.results.append(FindingResult(
+                finding_id=entry.finding_id,
+                severity=severity,
+                before=status,
+                enforcement=None,
+                after=status,
+            ))
+        return report
+
+    def harden_host(self, host: SimulatedHost) -> ComplianceReport:
+        """Remediate: run check/enforce/check for every applicable finding."""
+        report = ComplianceReport(host_name=host.name, platform=host.os_family)
+        for entry in self.entries_for(host.os_family):
+            requirement = entry.instantiate(host)
+            before, enforcement, after = requirement.check_enforce_check()
+            severity = _severity_of(requirement, entry)
+            report.results.append(FindingResult(
+                finding_id=entry.finding_id,
+                severity=severity,
+                before=before,
+                enforcement=enforcement,
+                after=after,
+            ))
+        return report
+
+
+def _severity_of(requirement: CheckableEnforceableRequirement,
+                 entry: CatalogEntry) -> str:
+    """Prefer the instance's STIG metadata severity over the registry tag."""
+    severity = requirement.severity()
+    return severity if severity else entry.severity
+
+
+def default_catalog() -> StigCatalog:
+    """The bundled catalogue: every Win10 and Ubuntu finding in the repo."""
+    # Imported here to avoid a cycle (win10/ubuntu import concepts which
+    # sits beside this module in the package).
+    from repro.rqcode import ubuntu as ubuntu_mod
+    from repro.rqcode import win10 as win10_mod
+    from repro.rqcode import win10_accounts as accounts_mod
+    from repro.rqcode import win10_registry as registry_mod
+
+    catalog = StigCatalog()
+    for cls in win10_mod.Windows10SecurityTechnicalImplementationGuide.STIG_CLASSES:
+        catalog.register(cls, platform="windows")
+    for cls in registry_mod.REGISTRY_FINDINGS:
+        catalog.register(cls, platform="windows")
+    for cls in accounts_mod.ACCOUNT_FINDINGS:
+        catalog.register(cls, platform="windows")
+    for cls in ubuntu_mod.ALL_UBUNTU_FINDINGS:
+        catalog.register(cls, platform="ubuntu")
+    return catalog

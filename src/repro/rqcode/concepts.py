@@ -1,0 +1,208 @@
+"""RQCODE core concepts (D2.7 Annex 1, package ``rqcode.concepts``).
+
+The four concepts:
+
+* :class:`Checkable` — a requirement that can be *verified* against the
+  current environment (``check() -> CheckStatus``).
+* :class:`Enforceable` — a requirement that can be *imposed* on the
+  environment (``enforce() -> EnforcementStatus``).
+* :class:`Requirement` — the textual/metadata side of a requirement,
+  a direct mapping of the STIG finding structure on stigviewer.com.
+* :class:`CheckableEnforceableRequirement` — the combination, which is
+  what concrete STIG classes inherit.
+"""
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+class CheckStatus(enum.Enum):
+    """Outcome of verifying a requirement against the environment."""
+
+    PASS = "PASS"
+    FAIL = "FAIL"
+    INCOMPLETE = "INCOMPLETE"
+
+    def __bool__(self) -> bool:
+        """Truthiness follows compliance: only PASS is truthy."""
+        return self is CheckStatus.PASS
+
+
+class EnforcementStatus(enum.Enum):
+    """Outcome of enforcing a requirement on the environment."""
+
+    SUCCESS = "SUCCESS"
+    FAILURE = "FAILURE"
+    INCOMPLETE = "INCOMPLETE"
+
+    def __bool__(self) -> bool:
+        return self is EnforcementStatus.SUCCESS
+
+
+class Checkable(ABC):
+    """A requirement that can be checked programmatically.
+
+    Implementations must be side-effect free with respect to the hosting
+    environment: ``check`` observes, never mutates.
+    """
+
+    @abstractmethod
+    def check(self) -> CheckStatus:
+        """Check whether the current environment satisfies the requirement."""
+
+    def holds(self) -> bool:
+        """Convenience predicate: True iff ``check()`` returns PASS."""
+        return self.check() is CheckStatus.PASS
+
+
+class Enforceable(ABC):
+    """A requirement that can be enforced on the hosting environment."""
+
+    @abstractmethod
+    def enforce(self) -> EnforcementStatus:
+        """Modify the hosting environment to satisfy the requirement."""
+
+
+class PredicateCheckable(Checkable):
+    """Adapt a plain callable (or constant) into a :class:`Checkable`.
+
+    Temporal patterns take ``Checkable`` operands; this adapter lets
+    callers monitor arbitrary conditions (a sensor reading, a service
+    probe) without writing a class.  The callable may return a
+    :class:`CheckStatus` or a boolean.
+    """
+
+    def __init__(self, predicate: Callable[[], object], name: str = "p"):
+        self._predicate = predicate
+        self._name = name
+
+    def check(self) -> CheckStatus:
+        result = self._predicate()
+        if isinstance(result, CheckStatus):
+            return result
+        return CheckStatus.PASS if result else CheckStatus.FAIL
+
+    def __str__(self) -> str:
+        return self._name
+
+
+@dataclass(frozen=True)
+class FindingMetadata:
+    """STIG finding fields, mirroring stigviewer.com's layout.
+
+    These are exactly the accessors Annex 1 gives for class
+    ``Requirement`` (findingID, version, ruleID, iAControls, severity,
+    description, sTIG, date, checkText..., fixText...).
+    """
+
+    finding_id: str
+    version: str = ""
+    rule_id: str = ""
+    ia_controls: str = ""
+    severity: str = "medium"
+    description: str = ""
+    stig: str = ""
+    date: str = ""
+    check_text_code: str = ""
+    check_text: str = ""
+    fix_text_code: str = ""
+    fix_text: str = ""
+
+
+class Requirement:
+    """Textual requirement: a STIG finding rendered as an object.
+
+    Concrete requirement classes either pass a :class:`FindingMetadata`
+    to the constructor or override the accessor methods (the Java
+    catalogue does the latter; the Python port supports both styles).
+    """
+
+    def __init__(self, metadata: Optional[FindingMetadata] = None):
+        self._metadata = metadata or FindingMetadata(finding_id="")
+
+    # Accessors named after Annex 1's operations (snake_cased).
+
+    def finding_id(self) -> str:
+        return self._metadata.finding_id
+
+    def version(self) -> str:
+        return self._metadata.version
+
+    def rule_id(self) -> str:
+        return self._metadata.rule_id
+
+    def ia_controls(self) -> str:
+        return self._metadata.ia_controls
+
+    def severity(self) -> str:
+        return self._metadata.severity
+
+    def description(self) -> str:
+        return self._metadata.description
+
+    def stig(self) -> str:
+        return self._metadata.stig
+
+    def date(self) -> str:
+        return self._metadata.date
+
+    def check_text_code(self) -> str:
+        return self._metadata.check_text_code
+
+    def check_text(self) -> str:
+        return self._metadata.check_text
+
+    def fix_text_code(self) -> str:
+        return self._metadata.fix_text_code
+
+    def fix_text(self) -> str:
+        return self._metadata.fix_text
+
+    def to_document(self) -> str:
+        """Parse the finding into a readable document (Annex 1's
+        ``toString``: "a crude parsing of the finding specification")."""
+        sections = [
+            ("Finding ID", self.finding_id()),
+            ("Version", self.version()),
+            ("Rule ID", self.rule_id()),
+            ("IA Controls", self.ia_controls()),
+            ("Severity", self.severity()),
+            ("STIG", self.stig()),
+            ("Date", self.date()),
+            ("Description", self.description()),
+            ("Check Text", self.check_text()),
+            ("Fix Text", self.fix_text()),
+        ]
+        lines = [f"{label}: {value}" for label, value in sections if value]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_document()
+
+
+class CheckableEnforceableRequirement(Requirement, Checkable, Enforceable):
+    """A requirement that is both checkable and enforceable.
+
+    This is the base of every concrete STIG class.  Subclasses implement
+    :meth:`check` and :meth:`enforce` against a simulated host.
+    """
+
+    def check(self) -> CheckStatus:  # pragma: no cover - abstract default
+        raise NotImplementedError
+
+    def enforce(self) -> EnforcementStatus:  # pragma: no cover
+        raise NotImplementedError
+
+    def check_enforce_check(self) -> "tuple[CheckStatus, EnforcementStatus, CheckStatus]":
+        """The canonical remediation transaction: check, enforce if
+        failing, re-check.  Returns the three statuses; when the first
+        check already passes, enforcement is skipped and reported as
+        SUCCESS (nothing to do)."""
+        before = self.check()
+        if before is CheckStatus.PASS:
+            return before, EnforcementStatus.SUCCESS, before
+        enforcement = self.enforce()
+        after = self.check()
+        return before, enforcement, after

@@ -1,0 +1,341 @@
+"""RQCODE temporal patterns (D2.7 Annex 1, package ``rqcode.patterns.temporal``).
+
+The Java catalogue implements temporal requirements as subclasses of a
+``MonitoringLoop`` — "the monitoring service that periodically checks the
+temporal properties".  The loop is structured as a Hoare-style annotated
+loop: a *precondition* gating entry, an *invariant* checked every
+iteration, an *exit condition*, a *postcondition* judged at exit, and a
+*variant* bounding iteration count (``boundary``).
+
+Each pattern also renders itself as a TCTL formula (``tctl()``), giving
+the lightweight formalisation RQCODE promises: the same object is a
+runtime monitor and a model-checker query.
+
+The Python port replaces wall-clock sleeping with a deterministic *step
+hook*: after each polling iteration the loop calls ``step()``, which the
+caller uses to advance the simulated world (fire events, mutate the
+host).  ``sleep_milliseconds()`` is retained as the declared polling
+period, so the TCTL time bounds and the loop agree on the time unit:
+**one iteration = one time unit**.
+"""
+
+from typing import Callable, Optional
+
+from repro.ltl.formulas import (
+    Atom,
+    Eventually as LtlEventually,
+    Formula,
+    Globally as LtlGlobally,
+    TRUE,
+    WeakUntil,
+    implies,
+    lor,
+)
+from repro.rqcode.concepts import Checkable, CheckStatus
+
+StepHook = Callable[[int], None]
+
+
+def _noop_step(_iteration: int) -> None:
+    """Default step hook: the world does not change between polls."""
+
+
+class MonitoringLoop(Checkable):
+    """Base polling monitor (Annex 1, class ``MonitoringLoop``).
+
+    The :meth:`check` template method runs the annotated loop:
+
+    1. If :meth:`precondition` is false the property is not triggered;
+       the verdict is INCOMPLETE (nothing was observed either way).
+    2. Each iteration, :meth:`invariant` must hold, otherwise FAIL.
+    3. The loop leaves when :meth:`exit_condition` becomes true, and the
+       verdict is PASS iff :meth:`postcondition` holds at that point.
+    4. The loop is bounded by ``boundary`` iterations (the *variant*);
+       exhausting it without exiting yields the subclass's
+       :meth:`timeout_verdict`.
+
+    Args:
+        boundary: Maximum number of polling iterations (time bound T).
+        step: Hook invoked after every iteration with the iteration
+            index; used to advance the simulated environment.
+        sleep_ms: Declared polling period, purely descriptive here.
+    """
+
+    def __init__(self, boundary: int = 100,
+                 step: Optional[StepHook] = None,
+                 sleep_ms: int = 1000):
+        if boundary < 1:
+            raise ValueError("boundary must be at least 1")
+        self.boundary = boundary
+        self._step = step or _noop_step
+        self._sleep_ms = sleep_ms
+        self.iterations_run = 0
+
+    # -- template methods (Annex 1 operation set) ----------------------------
+
+    def sleep_milliseconds(self) -> int:
+        """Declared polling period in milliseconds."""
+        return self._sleep_ms
+
+    def variant(self, i: int) -> int:
+        """Loop variant: strictly decreasing, loop must stop at <= 0."""
+        return self.boundary - i
+
+    def precondition(self) -> bool:
+        """Gate: does the property apply right now?  Default: yes."""
+        return True
+
+    def invariant(self) -> bool:
+        """Must hold on every polled state.  Default: trivially true."""
+        return True
+
+    def exit_condition(self) -> bool:
+        """When true, polling stops and the postcondition is judged."""
+        return False
+
+    def postcondition(self) -> bool:
+        """Judged when the loop exits via :meth:`exit_condition`."""
+        return True
+
+    def timeout_verdict(self) -> CheckStatus:
+        """Verdict when ``boundary`` iterations elapse without exit.
+
+        Universality-style patterns treat surviving the bound as PASS;
+        eventuality-style patterns treat it as FAIL.  Default: PASS.
+        """
+        return CheckStatus.PASS
+
+    def tctl(self) -> str:
+        """The TCTL rendering of the monitored property."""
+        return "true"
+
+    def ltl(self) -> Formula:
+        """The LTL rendering, for the event-driven monitoring ablation.
+
+        Timed patterns render their untimed abstraction (LTL carries no
+        bounds); atoms are the operands' names, so operands should be
+        named with identifier-shaped strings when the formula will be
+        parsed back or fed to a monitor.
+        """
+        return TRUE
+
+    # -- the monitoring service ----------------------------------------------
+
+    def check(self) -> CheckStatus:
+        """Run the bounded polling loop and return the verdict."""
+        self.iterations_run = 0
+        if not self.precondition():
+            return CheckStatus.INCOMPLETE
+        for i in range(self.boundary):
+            if not self.invariant():
+                return CheckStatus.FAIL
+            if self.exit_condition():
+                return (CheckStatus.PASS if self.postcondition()
+                        else CheckStatus.FAIL)
+            self._step(i)
+            self.iterations_run = i + 1
+            if self.variant(i + 1) <= 0:
+                break
+        return self.timeout_verdict()
+
+    def __str__(self) -> str:
+        return self.tctl()
+
+
+class GlobalUniversality(MonitoringLoop):
+    """Globally, it is always the case that P holds (``A[] p``)."""
+
+    def __init__(self, p: Checkable, **kwargs):
+        super().__init__(**kwargs)
+        self.p = p
+
+    def invariant(self) -> bool:
+        return self.p.holds()
+
+    def tctl(self) -> str:
+        return f"A[] ({self.p})"
+
+    def ltl(self) -> Formula:
+        return LtlGlobally(Atom(str(self.p)))
+
+    def __str__(self) -> str:
+        return f"Globally, it is always the case that ({self.p}) holds."
+
+
+class Eventually(MonitoringLoop):
+    """P always eventually holds (``A<> p``).
+
+    The bounded monitor reports FAIL when P has not held within the
+    boundary — the finite-trace reading of liveness.
+    """
+
+    def __init__(self, p: Checkable, **kwargs):
+        super().__init__(**kwargs)
+        self.p = p
+
+    def exit_condition(self) -> bool:
+        return self.p.holds()
+
+    def postcondition(self) -> bool:
+        return self.p.holds()
+
+    def timeout_verdict(self) -> CheckStatus:
+        return CheckStatus.FAIL
+
+    def tctl(self) -> str:
+        return f"A<> ({self.p})"
+
+    def ltl(self) -> Formula:
+        return LtlEventually(Atom(str(self.p)))
+
+    def __str__(self) -> str:
+        return f"({self.p}) always eventually holds."
+
+
+class GlobalResponseTimed(MonitoringLoop):
+    """Globally, whenever S holds, R holds within ``boundary`` time units.
+
+    Annex 1: "Globally, it is always the case that if P holds, the S
+    eventually holds within T time units" (constructor order: stimulus,
+    response, boundary).  The monitor arms on the stimulus and then
+    requires the response before the bound elapses.
+    """
+
+    def __init__(self, s: Checkable, r: Checkable, boundary: int, **kwargs):
+        super().__init__(boundary=boundary, **kwargs)
+        self.s = s
+        self.r = r
+
+    def precondition(self) -> bool:
+        """The property is triggered only when the stimulus is observed."""
+        return self.s.holds()
+
+    def exit_condition(self) -> bool:
+        return self.r.holds()
+
+    def postcondition(self) -> bool:
+        return self.r.holds()
+
+    def timeout_verdict(self) -> CheckStatus:
+        return CheckStatus.FAIL
+
+    def tctl(self) -> str:
+        return f"A[] (({self.s}) imply A<>[0,{self.boundary}] ({self.r}))"
+
+    def ltl(self) -> Formula:
+        return LtlGlobally(implies(Atom(str(self.s)),
+                                   LtlEventually(Atom(str(self.r)))))
+
+    def __str__(self) -> str:
+        return (
+            f"Globally, it is always the case that if ({self.s}) holds, "
+            f"then ({self.r}) holds within {self.boundary} time units."
+        )
+
+
+class GlobalResponseUntil(MonitoringLoop):
+    """Globally, if P holds then, unless R holds, Q will eventually hold."""
+
+    def __init__(self, p: Checkable, q: Checkable, r: Checkable, **kwargs):
+        super().__init__(**kwargs)
+        self.p = p
+        self.q = q
+        self.r = r
+
+    def precondition(self) -> bool:
+        return self.p.holds()
+
+    def exit_condition(self) -> bool:
+        return self.q.holds() or self.r.holds()
+
+    def postcondition(self) -> bool:
+        """Exiting on either the response Q or the release R satisfies
+        the obligation; R waives it."""
+        return self.q.holds() or self.r.holds()
+
+    def timeout_verdict(self) -> CheckStatus:
+        return CheckStatus.FAIL
+
+    def tctl(self) -> str:
+        return (
+            f"A[] (({self.p}) imply "
+            f"A<> (({self.q}) or ({self.r})))"
+        )
+
+    def ltl(self) -> Formula:
+        return LtlGlobally(implies(
+            Atom(str(self.p)),
+            LtlEventually(lor(Atom(str(self.q)), Atom(str(self.r))))))
+
+    def __str__(self) -> str:
+        return (
+            f"Globally, it is always the case that if ({self.p}) holds "
+            f"then, unless ({self.r}) holds, ({self.q}) will eventually hold."
+        )
+
+
+class GlobalUniversalityTimed(GlobalUniversality):
+    """Timed universality: P must hold continuously for ``boundary`` units.
+
+    Annex 1 phrases this as "if P held for T time units, then S holds";
+    operationally the catalogue monitors P over a window of T units, and
+    the verdict is the windowed universality of P.
+    """
+
+    def __init__(self, p: Checkable, boundary: int, **kwargs):
+        super().__init__(p, boundary=boundary, **kwargs)
+
+    def tctl(self) -> str:
+        return f"A[][0,{self.boundary}] ({self.p})"
+
+    def ltl(self) -> Formula:
+        return LtlGlobally(Atom(str(self.p)))
+
+    def __str__(self) -> str:
+        return (
+            f"Globally, ({self.p}) holds continuously for "
+            f"{self.boundary} time units."
+        )
+
+
+class AfterUntilUniversality(MonitoringLoop):
+    """After Q, it is always the case that P holds until R holds."""
+
+    def __init__(self, q: Checkable, p: Checkable, r: Checkable, **kwargs):
+        super().__init__(**kwargs)
+        self.q = q
+        self.p = p
+        self.r = r
+
+    def precondition(self) -> bool:
+        """Scope opens only once Q has been observed."""
+        return self.q.holds()
+
+    def invariant(self) -> bool:
+        """Within the scope, P must hold (unless R closes the scope,
+        which the exit condition observes before the invariant can be
+        violated on that state)."""
+        return self.r.holds() or self.p.holds()
+
+    def exit_condition(self) -> bool:
+        return self.r.holds()
+
+    def postcondition(self) -> bool:
+        return True
+
+    def tctl(self) -> str:
+        return (
+            f"A[] (({self.q}) imply "
+            f"(({self.p}) W ({self.r})))"
+        )
+
+    def ltl(self) -> Formula:
+        return LtlGlobally(implies(
+            Atom(str(self.q)),
+            WeakUntil(Atom(str(self.p)), Atom(str(self.r)))))
+
+    def __str__(self) -> str:
+        return (
+            f"After ({self.q}), it is always the case that ({self.p}) "
+            f"holds until ({self.r}) holds."
+        )

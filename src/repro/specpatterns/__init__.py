@@ -1,0 +1,70 @@
+"""Specification patterns (PSP) with LTL/TCTL mappings and observers.
+
+PROPAS "provides the necessary means for generating formal system
+specifications (CTL, TCTL) based on Specification Patterns", drawing on
+the PSP-UPPAAL catalogue of Dwyer-style patterns implemented as observer
+automata (D2.7 §2.2.1).  This package reproduces that stack:
+
+* :mod:`repro.specpatterns.patterns` — the pattern taxonomy (occurrence
+  and order patterns, plus the timed-response extension).
+* :mod:`repro.specpatterns.scopes` — the five Dwyer scopes.
+* :mod:`repro.specpatterns.ltl_mappings` — pattern x scope -> LTL
+  formula (the published mapping table).
+* :mod:`repro.specpatterns.tctl_mappings` — pattern -> TCTL query
+  strings for the zone-graph checker.
+* :mod:`repro.specpatterns.observers` — observer timed automata per
+  pattern, composable with a system network for verification.
+"""
+
+from repro.specpatterns.patterns import (
+    Absence,
+    BoundedExistence,
+    Existence,
+    Pattern,
+    Precedence,
+    PrecedenceChain,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+)
+from repro.specpatterns.scopes import (
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    Globally,
+    Scope,
+)
+from repro.specpatterns.ltl_mappings import (
+    PatternScopeUnsupported,
+    supported_combinations,
+    to_ltl,
+)
+from repro.specpatterns.tctl_mappings import to_tctl
+from repro.specpatterns.observers import ObserverSpec, build_observer
+
+__all__ = [
+    "Absence",
+    "AfterQ",
+    "AfterQUntilR",
+    "BeforeR",
+    "BetweenQAndR",
+    "BoundedExistence",
+    "Existence",
+    "Globally",
+    "ObserverSpec",
+    "Pattern",
+    "PatternScopeUnsupported",
+    "Precedence",
+    "PrecedenceChain",
+    "Response",
+    "ResponseChain",
+    "Scope",
+    "TimedResponse",
+    "Universality",
+    "build_observer",
+    "supported_combinations",
+    "to_ltl",
+    "to_tctl",
+]

@@ -1,0 +1,286 @@
+"""Pattern x scope -> LTL, per Dwyer's published mapping table.
+
+Each supported combination returns a :class:`repro.ltl.formulas.Formula`
+so the result plugs straight into the runtime monitor
+(:class:`repro.ltl.monitor.LtlMonitor`) and LTLf evaluation — the same
+artifact serves formalization (WP2) and operations monitoring (WP3).
+
+Combinations the catalogue does not spell out (chains and bounded
+existence outside the *globally* scope) raise
+:class:`PatternScopeUnsupported`; the E5 coverage bench reports the
+support matrix rather than pretending completeness.
+"""
+
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.ltl.formulas import (
+    Atom,
+    Eventually as F,
+    Formula,
+    Globally as G,
+    Next as X,
+    Until,
+    WeakUntil,
+    implies,
+    land,
+    lnot,
+    lor,
+)
+from repro.specpatterns.patterns import (
+    Absence,
+    BoundedExistence,
+    Existence,
+    Pattern,
+    Precedence,
+    PrecedenceChain,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+)
+from repro.specpatterns.scopes import (
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    Globally as GloballyScope,
+    Scope,
+)
+
+
+class PatternScopeUnsupported(NotImplementedError):
+    """The catalogue has no LTL mapping for this pattern/scope pair."""
+
+    def __init__(self, pattern: Pattern, scope: Scope):
+        super().__init__(f"no LTL mapping for ({pattern}) ({scope})")
+        self.pattern = pattern
+        self.scope = scope
+
+
+def U(left: Formula, right: Formula) -> Formula:
+    return Until(left, right)
+
+
+def W(left: Formula, right: Formula) -> Formula:
+    return WeakUntil(left, right)
+
+
+def to_ltl(pattern: Pattern, scope: Scope) -> Formula:
+    """The LTL formula for *pattern* within *scope*."""
+    handler = _TABLE.get((type(pattern), type(scope)))
+    if handler is None:
+        raise PatternScopeUnsupported(pattern, scope)
+    return handler(pattern, scope)
+
+
+def supported_combinations() -> List[Tuple[Type[Pattern], Type[Scope]]]:
+    """All (pattern class, scope class) pairs with an LTL mapping."""
+    return sorted(_TABLE, key=lambda pair: (pair[0].__name__,
+                                            pair[1].__name__))
+
+
+# -- absence ---------------------------------------------------------------------
+
+def _absence_global(pat: Absence, _: Scope) -> Formula:
+    return G(lnot(Atom(pat.p)))
+
+
+def _absence_before(pat: Absence, scope: BeforeR) -> Formula:
+    p, r = Atom(pat.p), Atom(scope.r)
+    return implies(F(r), U(lnot(p), r))
+
+
+def _absence_after(pat: Absence, scope: AfterQ) -> Formula:
+    p, q = Atom(pat.p), Atom(scope.q)
+    return G(implies(q, G(lnot(p))))
+
+
+def _absence_between(pat: Absence, scope: BetweenQAndR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(land(q, lnot(r)), F(r)), U(lnot(p), r)))
+
+
+def _absence_until(pat: Absence, scope: AfterQUntilR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(q, lnot(r)), W(lnot(p), r)))
+
+
+# -- universality ------------------------------------------------------------------
+
+def _universality_global(pat: Universality, _: Scope) -> Formula:
+    return G(Atom(pat.p))
+
+
+def _universality_before(pat: Universality, scope: BeforeR) -> Formula:
+    p, r = Atom(pat.p), Atom(scope.r)
+    return implies(F(r), U(p, r))
+
+
+def _universality_after(pat: Universality, scope: AfterQ) -> Formula:
+    p, q = Atom(pat.p), Atom(scope.q)
+    return G(implies(q, G(p)))
+
+
+def _universality_between(pat: Universality, scope: BetweenQAndR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(land(q, lnot(r)), F(r)), U(p, r)))
+
+
+def _universality_until(pat: Universality, scope: AfterQUntilR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(q, lnot(r)), W(p, r)))
+
+
+# -- existence ----------------------------------------------------------------------
+
+def _existence_global(pat: Existence, _: Scope) -> Formula:
+    return F(Atom(pat.p))
+
+
+def _existence_before(pat: Existence, scope: BeforeR) -> Formula:
+    p, r = Atom(pat.p), Atom(scope.r)
+    return W(lnot(r), land(p, lnot(r)))
+
+
+def _existence_after(pat: Existence, scope: AfterQ) -> Formula:
+    p, q = Atom(pat.p), Atom(scope.q)
+    return lor(G(lnot(q)), F(land(q, F(p))))
+
+
+def _existence_between(pat: Existence, scope: BetweenQAndR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(q, lnot(r)), W(lnot(r), land(p, lnot(r)))))
+
+
+def _existence_until(pat: Existence, scope: AfterQUntilR) -> Formula:
+    p, q, r = Atom(pat.p), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(q, lnot(r)), U(lnot(r), land(p, lnot(r)))))
+
+
+# -- bounded existence (bound = 2, globally) -------------------------------------------
+
+def _bounded_existence_global(pat: BoundedExistence, _: Scope) -> Formula:
+    if pat.bound != 2:
+        raise PatternScopeUnsupported(pat, GloballyScope())
+    p = Atom(pat.p)
+    # (!p W (p W (!p W (p W G !p)))): at most two p-segments.
+    return W(lnot(p), W(p, W(lnot(p), W(p, G(lnot(p))))))
+
+
+# -- precedence ---------------------------------------------------------------------
+
+def _precedence_global(pat: Precedence, _: Scope) -> Formula:
+    p, s = Atom(pat.p), Atom(pat.s)
+    return W(lnot(p), s)
+
+
+def _precedence_before(pat: Precedence, scope: BeforeR) -> Formula:
+    p, s, r = Atom(pat.p), Atom(pat.s), Atom(scope.r)
+    return implies(F(r), U(lnot(p), lor(s, r)))
+
+
+def _precedence_after(pat: Precedence, scope: AfterQ) -> Formula:
+    p, s, q = Atom(pat.p), Atom(pat.s), Atom(scope.q)
+    return lor(G(lnot(q)), F(land(q, W(lnot(p), s))))
+
+
+def _precedence_between(pat: Precedence, scope: BetweenQAndR) -> Formula:
+    p, s, q, r = Atom(pat.p), Atom(pat.s), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(land(q, lnot(r)), F(r)), U(lnot(p), lor(s, r))))
+
+
+def _precedence_until(pat: Precedence, scope: AfterQUntilR) -> Formula:
+    p, s, q, r = Atom(pat.p), Atom(pat.s), Atom(scope.q), Atom(scope.r)
+    return G(implies(land(q, lnot(r)), W(lnot(p), lor(s, r))))
+
+
+# -- response -----------------------------------------------------------------------
+
+def _response_global(pat: Response, _: Scope) -> Formula:
+    p, s = Atom(pat.p), Atom(pat.s)
+    return G(implies(p, F(s)))
+
+
+def _response_before(pat: Response, scope: BeforeR) -> Formula:
+    p, s, r = Atom(pat.p), Atom(pat.s), Atom(scope.r)
+    inner = implies(p, U(lnot(r), land(s, lnot(r))))
+    return implies(F(r), U(inner, r))
+
+
+def _response_after(pat: Response, scope: AfterQ) -> Formula:
+    p, s, q = Atom(pat.p), Atom(pat.s), Atom(scope.q)
+    return G(implies(q, G(implies(p, F(s)))))
+
+
+def _response_between(pat: Response, scope: BetweenQAndR) -> Formula:
+    p, s, q, r = Atom(pat.p), Atom(pat.s), Atom(scope.q), Atom(scope.r)
+    inner = implies(p, U(lnot(r), land(s, lnot(r))))
+    return G(implies(land(land(q, lnot(r)), F(r)), U(inner, r)))
+
+
+def _response_until(pat: Response, scope: AfterQUntilR) -> Formula:
+    p, s, q, r = Atom(pat.p), Atom(pat.s), Atom(scope.q), Atom(scope.r)
+    inner = implies(p, U(lnot(r), land(s, lnot(r))))
+    return G(implies(land(q, lnot(r)), W(inner, r)))
+
+
+# -- chains (globally) -----------------------------------------------------------------
+
+def _precedence_chain_global(pat: PrecedenceChain, _: Scope) -> Formula:
+    p, s, t = Atom(pat.p), Atom(pat.s), Atom(pat.t)
+    # <>p -> (!p U (s & !p & X(!p U t)))
+    return implies(
+        F(p),
+        U(lnot(p), land(land(s, lnot(p)), X(U(lnot(p), t)))),
+    )
+
+
+def _response_chain_global(pat: ResponseChain, _: Scope) -> Formula:
+    p, s, t = Atom(pat.p), Atom(pat.s), Atom(pat.t)
+    # [](p -> <>(s & X<>t))
+    return G(implies(p, F(land(s, X(F(t))))))
+
+
+# -- timed response (LTL approximation: untimed response) ---------------------------------
+
+def _timed_response_global(pat: TimedResponse, _: Scope) -> Formula:
+    """Plain LTL cannot carry the bound; the untimed response is the
+    standard abstraction (the bound lives in the TCTL mapping and the
+    observer automaton)."""
+    p, s = Atom(pat.p), Atom(pat.s)
+    return G(implies(p, F(s)))
+
+
+Handler = Callable[[Pattern, Scope], Formula]
+
+_TABLE: Dict[Tuple[type, type], Handler] = {
+    (Absence, GloballyScope): _absence_global,
+    (Absence, BeforeR): _absence_before,
+    (Absence, AfterQ): _absence_after,
+    (Absence, BetweenQAndR): _absence_between,
+    (Absence, AfterQUntilR): _absence_until,
+    (Universality, GloballyScope): _universality_global,
+    (Universality, BeforeR): _universality_before,
+    (Universality, AfterQ): _universality_after,
+    (Universality, BetweenQAndR): _universality_between,
+    (Universality, AfterQUntilR): _universality_until,
+    (Existence, GloballyScope): _existence_global,
+    (Existence, BeforeR): _existence_before,
+    (Existence, AfterQ): _existence_after,
+    (Existence, BetweenQAndR): _existence_between,
+    (Existence, AfterQUntilR): _existence_until,
+    (BoundedExistence, GloballyScope): _bounded_existence_global,
+    (Precedence, GloballyScope): _precedence_global,
+    (Precedence, BeforeR): _precedence_before,
+    (Precedence, AfterQ): _precedence_after,
+    (Precedence, BetweenQAndR): _precedence_between,
+    (Precedence, AfterQUntilR): _precedence_until,
+    (Response, GloballyScope): _response_global,
+    (Response, BeforeR): _response_before,
+    (Response, AfterQ): _response_after,
+    (Response, BetweenQAndR): _response_between,
+    (Response, AfterQUntilR): _response_until,
+    (PrecedenceChain, GloballyScope): _precedence_chain_global,
+    (ResponseChain, GloballyScope): _response_chain_global,
+    (TimedResponse, GloballyScope): _timed_response_global,
+}

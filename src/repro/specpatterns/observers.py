@@ -1,0 +1,358 @@
+"""Observer timed automata for specification patterns (PROPAS-style).
+
+An observer is a timed automaton that listens to the system's event
+channels (the system emits ``p!`` where the pattern mentions event
+``p``) and moves to a distinguished location when the pattern's status
+changes.  Verification composes the observer with the system network and
+runs the query from
+:func:`repro.specpatterns.tctl_mappings.observer_query` — safety
+patterns check ``A[] not Obs.err``, existence checks ``A<> Obs.done``,
+response checks the leads-to ``Obs.waiting --> Obs.idle``.
+
+Every observer is *input-enabled*: each location carries receiving
+self-loops for all monitored channels it does not otherwise handle, so
+composing the observer never blocks a system emission (UPPAAL binary
+handshakes disable an emitting edge with no ready receiver).
+
+Supported templates (mirroring the PSP-UPPAAL ``observer_templates``
+set): Absence under all five scopes; Existence, Precedence, Response
+and TimedResponse under the global scope.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ta.automaton import Edge, Location, TimedAutomaton, parse_guard
+from repro.specpatterns.patterns import (
+    Absence,
+    BoundedExistence,
+    Existence,
+    Pattern,
+    Precedence,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+)
+from repro.specpatterns.scopes import (
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    Globally,
+    Scope,
+)
+from repro.specpatterns.tctl_mappings import observer_query
+
+
+@dataclass(frozen=True)
+class ObserverSpec:
+    """A generated observer plus how to use it."""
+
+    automaton: TimedAutomaton
+    query: str
+    channels: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.automaton.name
+
+
+class ObserverUnsupported(NotImplementedError):
+    """No observer template exists for this pattern/scope pair."""
+
+    def __init__(self, pattern: Pattern, scope: Scope):
+        super().__init__(f"no observer template for ({pattern}) ({scope})")
+
+
+def build_observer(pattern: Pattern, scope: Scope = None,
+                   name: str = "Obs",
+                   extra_channels: Sequence[str] = ()) -> ObserverSpec:
+    """Generate the observer automaton for *pattern* within *scope*.
+
+    ``extra_channels`` lists channels the system emits that the pattern
+    does not mention: the observer receives them with self-loops so the
+    binary handshake never blocks an unmonitored emission.  Pass every
+    system channel outside the pattern's event set here.
+    """
+    scope = scope if scope is not None else Globally()
+    spec = None
+    if isinstance(pattern, Absence):
+        spec = _absence_observer(pattern, scope, name)
+    elif isinstance(pattern, Response) and isinstance(scope, AfterQ):
+        spec = _response_after_observer(pattern, scope, name)
+    elif isinstance(pattern, Response) and isinstance(scope, AfterQUntilR):
+        spec = _response_after_until_observer(pattern, scope, name)
+    elif isinstance(scope, Globally):
+        if isinstance(pattern, Existence):
+            spec = _existence_observer(pattern, name)
+        elif isinstance(pattern, Precedence):
+            spec = _precedence_observer(pattern, name)
+        elif isinstance(pattern, ResponseChain):
+            spec = _response_chain_observer(pattern, name)
+        elif isinstance(pattern, Response):
+            spec = _response_observer(pattern, name)
+        elif isinstance(pattern, TimedResponse):
+            spec = _timed_response_observer(pattern, name)
+        elif isinstance(pattern, BoundedExistence):
+            spec = _bounded_existence_observer(pattern, name)
+        elif isinstance(pattern, Universality):
+            spec = _universality_observer(pattern, name)
+    if spec is None:
+        raise ObserverUnsupported(pattern, scope)
+    extras = [c for c in extra_channels if c not in spec.channels]
+    if extras:
+        spec = _with_extra_channels(spec, extras)
+    return spec
+
+
+def _with_extra_channels(spec: ObserverSpec,
+                         extras: Sequence[str]) -> ObserverSpec:
+    """Rebuild *spec* with receiving self-loops for *extras* everywhere."""
+    automaton = spec.automaton
+    edges = list(automaton.edges)
+    for location in automaton.locations.values():
+        for channel in extras:
+            edges.append(Edge(location.name, location.name,
+                              sync=f"{channel}?",
+                              action=f"ignore_{channel}"))
+    rebuilt = TimedAutomaton(
+        name=automaton.name,
+        clocks=automaton.clocks,
+        locations=list(automaton.locations.values()),
+        edges=edges,
+        initial=automaton.initial,
+    )
+    return ObserverSpec(
+        automaton=rebuilt,
+        query=spec.query,
+        channels=spec.channels + tuple(extras),
+    )
+
+
+def _make_observer(name: str, channels: Sequence[str],
+                   locations: Sequence[Location],
+                   edges: List[Edge],
+                   pattern: Pattern,
+                   clocks: Sequence[str] = ()) -> ObserverSpec:
+    """Assemble an observer, adding input-enabling self-loops."""
+    handled: Dict[Tuple[str, str], bool] = {}
+    for edge in edges:
+        if edge.sync is not None:
+            handled[(edge.source, edge.channel)] = True
+    completed = list(edges)
+    for location in locations:
+        for channel in channels:
+            if (location.name, channel) not in handled:
+                completed.append(Edge(
+                    location.name, location.name, sync=f"{channel}?",
+                    action=f"ignore_{channel}",
+                ))
+    automaton = TimedAutomaton(
+        name=name, clocks=clocks, locations=locations, edges=completed)
+    return ObserverSpec(
+        automaton=automaton,
+        query=observer_query(pattern, observer_name=name),
+        channels=tuple(channels),
+    )
+
+
+# -- absence under every scope ------------------------------------------------------
+
+def _absence_observer(pattern: Absence, scope: Scope, name: str
+                      ) -> ObserverSpec:
+    p = pattern.p
+    if isinstance(scope, Globally):
+        locations = [Location("idle"), Location("err")]
+        edges = [Edge("idle", "err", sync=f"{p}?", action=f"saw_{p}")]
+        return _make_observer(name, [p], locations, edges, pattern)
+    if isinstance(scope, BeforeR):
+        # p before the first r is only a violation if r indeed occurs.
+        r = scope.r
+        locations = [Location("idle"), Location("saw_p"), Location("closed"),
+                     Location("err")]
+        edges = [
+            Edge("idle", "saw_p", sync=f"{p}?", action=f"saw_{p}"),
+            Edge("idle", "closed", sync=f"{r}?", action="scope_closed"),
+            Edge("saw_p", "err", sync=f"{r}?", action="violation"),
+        ]
+        return _make_observer(name, [p, r], locations, edges, pattern)
+    if isinstance(scope, AfterQ):
+        q = scope.q
+        locations = [Location("idle"), Location("armed"), Location("err")]
+        edges = [
+            Edge("idle", "armed", sync=f"{q}?", action="scope_opened"),
+            Edge("armed", "err", sync=f"{p}?", action="violation"),
+        ]
+        return _make_observer(name, [p, q], locations, edges, pattern)
+    if isinstance(scope, BetweenQAndR):
+        # Violation needs the closing r after a p inside the segment.
+        q, r = scope.q, scope.r
+        locations = [Location("idle"), Location("armed"),
+                     Location("saw_p"), Location("err")]
+        edges = [
+            Edge("idle", "armed", sync=f"{q}?", action="scope_opened"),
+            Edge("armed", "idle", sync=f"{r}?", action="scope_closed"),
+            Edge("armed", "saw_p", sync=f"{p}?", action=f"saw_{p}"),
+            Edge("saw_p", "err", sync=f"{r}?", action="violation"),
+        ]
+        return _make_observer(name, [p, q, r], locations, edges, pattern)
+    if isinstance(scope, AfterQUntilR):
+        # Open-ended segment: a p inside is immediately a violation.
+        q, r = scope.q, scope.r
+        locations = [Location("idle"), Location("armed"), Location("err")]
+        edges = [
+            Edge("idle", "armed", sync=f"{q}?", action="scope_opened"),
+            Edge("armed", "idle", sync=f"{r}?", action="scope_closed"),
+            Edge("armed", "err", sync=f"{p}?", action="violation"),
+        ]
+        return _make_observer(name, [p, q, r], locations, edges, pattern)
+    raise ObserverUnsupported(pattern, scope)
+
+
+# -- global-scope order/occurrence observers -------------------------------------------
+
+def _existence_observer(pattern: Existence, name: str) -> ObserverSpec:
+    p = pattern.p
+    locations = [Location("idle"), Location("done")]
+    edges = [Edge("idle", "done", sync=f"{p}?", action=f"saw_{p}")]
+    return _make_observer(name, [p], locations, edges, pattern)
+
+
+def _precedence_observer(pattern: Precedence, name: str) -> ObserverSpec:
+    p, s = pattern.p, pattern.s
+    locations = [Location("init"), Location("safe"), Location("err")]
+    edges = [
+        Edge("init", "safe", sync=f"{s}?", action=f"saw_{s}"),
+        Edge("init", "err", sync=f"{p}?", action="violation"),
+    ]
+    return _make_observer(name, [p, s], locations, edges, pattern)
+
+
+def _response_observer(pattern: Response, name: str) -> ObserverSpec:
+    p, s = pattern.p, pattern.s
+    locations = [Location("idle"), Location("waiting")]
+    edges = [
+        Edge("idle", "waiting", sync=f"{p}?", action=f"saw_{p}"),
+        Edge("waiting", "idle", sync=f"{s}?", action=f"saw_{s}"),
+        Edge("waiting", "waiting", sync=f"{p}?", action=f"saw_{p}_again"),
+    ]
+    return _make_observer(name, [p, s], locations, edges, pattern)
+
+
+def _response_after_observer(pattern: Response, scope: AfterQ,
+                             name: str) -> ObserverSpec:
+    """S responds to P, after Q: the obligation arms at the first Q."""
+    p, s, q = pattern.p, pattern.s, scope.q
+    locations = [Location("pre"), Location("idle"), Location("waiting")]
+    edges = [
+        Edge("pre", "idle", sync=f"{q}?", action="scope_opened"),
+        Edge("idle", "waiting", sync=f"{p}?", action=f"saw_{p}"),
+        Edge("waiting", "idle", sync=f"{s}?", action=f"saw_{s}"),
+        Edge("waiting", "waiting", sync=f"{p}?", action=f"saw_{p}_again"),
+    ]
+    spec = _make_observer(name, [p, s, q], locations, edges, pattern)
+    return ObserverSpec(
+        automaton=spec.automaton,
+        query=f"{name}.waiting --> {name}.idle",
+        channels=spec.channels,
+    )
+
+
+def _response_after_until_observer(pattern: Response, scope: AfterQUntilR,
+                                   name: str) -> ObserverSpec:
+    """S responds to P, after Q until R.
+
+    Inside a Q..R segment every P needs an S strictly before the
+    closing R; an R arriving while a P is outstanding is a violation
+    (``err``), and a trailing outstanding P with no R is a violation
+    too (the leads-to conclusion excludes both ``waiting`` and
+    ``err``).
+    """
+    p, s, q, r = pattern.p, pattern.s, scope.q, scope.r
+    locations = [Location("idle"), Location("armed"),
+                 Location("waiting"), Location("err")]
+    edges = [
+        Edge("idle", "armed", sync=f"{q}?", action="scope_opened"),
+        Edge("armed", "idle", sync=f"{r}?", action="scope_closed"),
+        Edge("armed", "waiting", sync=f"{p}?", action=f"saw_{p}"),
+        Edge("waiting", "armed", sync=f"{s}?", action=f"saw_{s}"),
+        Edge("waiting", "err", sync=f"{r}?",
+             action="segment_closed_unanswered"),
+        Edge("waiting", "waiting", sync=f"{p}?", action=f"saw_{p}_again"),
+    ]
+    spec = _make_observer(name, [p, s, q, r], locations, edges, pattern)
+    return ObserverSpec(
+        automaton=spec.automaton,
+        query=f"{name}.waiting --> ({name}.armed or {name}.idle)",
+        channels=spec.channels,
+    )
+
+
+def _response_chain_observer(pattern: ResponseChain, name: str
+                             ) -> ObserverSpec:
+    """S then T must follow every P (1-cause-2-effect chain).
+
+    The observer walks waiting -> waiting_t -> idle as the chain
+    completes; a new P while a chain is outstanding restarts it.  The
+    leads-to query ``Obs.waiting --> Obs.idle`` covers both effects:
+    the chain only returns to idle through S followed by T.
+    """
+    p, s, t = pattern.p, pattern.s, pattern.t
+    locations = [Location("idle"), Location("waiting"),
+                 Location("waiting_t")]
+    edges = [
+        Edge("idle", "waiting", sync=f"{p}?", action=f"saw_{p}"),
+        Edge("waiting", "waiting_t", sync=f"{s}?", action=f"saw_{s}"),
+        Edge("waiting_t", "idle", sync=f"{t}?", action=f"saw_{t}"),
+        Edge("waiting", "waiting", sync=f"{p}?", action=f"saw_{p}_again"),
+        Edge("waiting_t", "waiting", sync=f"{p}?",
+             action=f"chain_restarted_by_{p}"),
+    ]
+    return _make_observer(name, [p, s, t], locations, edges, pattern)
+
+
+def _bounded_existence_observer(pattern: BoundedExistence, name: str
+                                ) -> ObserverSpec:
+    """At most ``bound`` occurrences of P: count P events into err."""
+    p, bound = pattern.p, pattern.bound
+    locations = [Location(f"seen_{i}") for i in range(bound + 1)]
+    locations.append(Location("err"))
+    edges = []
+    for i in range(bound):
+        edges.append(Edge(f"seen_{i}", f"seen_{i + 1}", sync=f"{p}?",
+                          action=f"saw_{p}_{i + 1}"))
+    edges.append(Edge(f"seen_{bound}", "err", sync=f"{p}?",
+                      action="bound_exceeded"))
+    return _make_observer(name, [p], locations, edges, pattern)
+
+
+def _universality_observer(pattern: Universality, name: str
+                           ) -> ObserverSpec:
+    """Universality over events uses the violation-event convention:
+    the system emits ``not_<p>`` whenever the state property P breaks,
+    and the observer is the absence observer on that event."""
+    violation = f"not_{pattern.p}"
+    locations = [Location("idle"), Location("err")]
+    edges = [Edge("idle", "err", sync=f"{violation}?",
+                  action=f"saw_{violation}")]
+    return _make_observer(name, [violation], locations, edges, pattern)
+
+
+def _timed_response_observer(pattern: TimedResponse, name: str
+                             ) -> ObserverSpec:
+    p, s, bound = pattern.p, pattern.s, pattern.bound
+    locations = [Location("idle"), Location("waiting"), Location("err")]
+    edges = [
+        Edge("idle", "waiting", sync=f"{p}?", resets=("c",),
+             action=f"saw_{p}"),
+        Edge("waiting", "idle", guard=parse_guard(f"c <= {bound}"),
+             sync=f"{s}?", action=f"saw_{s}_in_time"),
+        Edge("waiting", "err", guard=parse_guard(f"c > {bound}"),
+             action="timeout"),
+        Edge("waiting", "err", guard=parse_guard(f"c > {bound}"),
+             sync=f"{s}?", action=f"saw_{s}_late"),
+        Edge("waiting", "waiting", sync=f"{p}?", action=f"saw_{p}_again"),
+    ]
+    return _make_observer(name, [p, s], locations, edges, pattern,
+                          clocks=("c",))

@@ -1,0 +1,136 @@
+"""The specification-pattern taxonomy.
+
+Dwyer's property specification patterns, as adopted by the PSP-UPPAAL
+catalogue behind PROPAS.  Patterns are parameterized by atomic events
+(proposition names); the LTL/TCTL mappings and observer builders consume
+these records.
+
+Occurrence patterns: :class:`Absence`, :class:`Universality`,
+:class:`Existence`, :class:`BoundedExistence`.
+Order patterns: :class:`Precedence`, :class:`Response`,
+:class:`PrecedenceChain`, :class:`ResponseChain`.
+Real-time extension: :class:`TimedResponse` (MTL bound, the workhorse
+of security response requirements such as "alert within T of a
+violation").
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """Base class; concrete patterns are frozen dataclasses so they can
+    key mapping tables."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Absence(Pattern):
+    """P never occurs (within the scope)."""
+
+    p: str
+
+    def __str__(self) -> str:
+        return f"never {self.p}"
+
+
+@dataclass(frozen=True)
+class Universality(Pattern):
+    """P holds continuously (within the scope)."""
+
+    p: str
+
+    def __str__(self) -> str:
+        return f"always {self.p}"
+
+
+@dataclass(frozen=True)
+class Existence(Pattern):
+    """P occurs at least once (within the scope)."""
+
+    p: str
+
+    def __str__(self) -> str:
+        return f"eventually {self.p}"
+
+
+@dataclass(frozen=True)
+class BoundedExistence(Pattern):
+    """P occurs at most *bound* times (within the scope).
+
+    The catalogue (and this reproduction) fixes ``bound = 2``, the case
+    Dwyer's published table spells out.
+    """
+
+    p: str
+    bound: int = 2
+
+    def __str__(self) -> str:
+        return f"at most {self.bound} occurrences of {self.p}"
+
+
+@dataclass(frozen=True)
+class Precedence(Pattern):
+    """S precedes P: P cannot occur before S has occurred."""
+
+    p: str
+    s: str
+
+    def __str__(self) -> str:
+        return f"{self.s} precedes {self.p}"
+
+
+@dataclass(frozen=True)
+class Response(Pattern):
+    """S responds to P: every P is eventually followed by S."""
+
+    p: str
+    s: str
+
+    def __str__(self) -> str:
+        return f"{self.s} responds to {self.p}"
+
+
+@dataclass(frozen=True)
+class PrecedenceChain(Pattern):
+    """The chain S, T precedes P (2-cause-1-effect chain)."""
+
+    p: str
+    s: str
+    t: str
+
+    def __str__(self) -> str:
+        return f"{self.s},{self.t} precede {self.p}"
+
+
+@dataclass(frozen=True)
+class ResponseChain(Pattern):
+    """The chain S, T responds to P (1-cause-2-effect chain)."""
+
+    p: str
+    s: str
+    t: str
+
+    def __str__(self) -> str:
+        return f"{self.s},{self.t} respond to {self.p}"
+
+
+@dataclass(frozen=True)
+class TimedResponse(Pattern):
+    """S responds to P within *bound* time units (MTL/TCTL extension).
+
+    This is the formalization target of RQCODE's
+    :class:`~repro.rqcode.temporal.GlobalResponseTimed` and the classic
+    security-operations property ("raise an alert within T seconds of a
+    policy violation").
+    """
+
+    p: str
+    s: str
+    bound: int
+
+    def __str__(self) -> str:
+        return f"{self.s} responds to {self.p} within {self.bound}"

@@ -1,0 +1,69 @@
+"""The five Dwyer scopes.
+
+A scope delimits the trace segment over which a pattern must hold:
+globally, before the first R, after the first Q, between any Q and the
+following R, and after any Q until the following R (the open-ended
+variant of *between*).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Base class for scopes."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Globally(Scope):
+    """The whole trace."""
+
+    def __str__(self) -> str:
+        return "globally"
+
+
+@dataclass(frozen=True)
+class BeforeR(Scope):
+    """Up to (excluding) the first occurrence of R."""
+
+    r: str
+
+    def __str__(self) -> str:
+        return f"before {self.r}"
+
+
+@dataclass(frozen=True)
+class AfterQ(Scope):
+    """From the first occurrence of Q onwards."""
+
+    q: str
+
+    def __str__(self) -> str:
+        return f"after {self.q}"
+
+
+@dataclass(frozen=True)
+class BetweenQAndR(Scope):
+    """Every segment from a Q to the next R (the R must occur)."""
+
+    q: str
+    r: str
+
+    def __str__(self) -> str:
+        return f"between {self.q} and {self.r}"
+
+
+@dataclass(frozen=True)
+class AfterQUntilR(Scope):
+    """Every segment from a Q to the next R, or to the end of the trace
+    when no R follows (the obligation persists)."""
+
+    q: str
+    r: str
+
+    def __str__(self) -> str:
+        return f"after {self.q} until {self.r}"

@@ -1,0 +1,103 @@
+"""Pattern -> TCTL query strings (the PROPAS output format).
+
+PROPAS emits CTL/TCTL for "various model checkers such as UPPAAL".  The
+strings below use the observer convention: the system under verification
+emits the pattern's events as channels, the generated observer (see
+:mod:`repro.specpatterns.observers`) tracks them, and the query inspects
+the observer's locations — which is exactly how the PSP-UPPAAL templates
+are meant to be checked.
+
+Two flavours per pattern:
+
+* ``to_tctl(pattern, scope)`` — the direct TCTL formula over event
+  atoms, suitable for documentation and for checkers with full TCTL.
+* ``observer_query(pattern)`` — the query to run against the composed
+  observer network with this package's zone-graph checker.
+"""
+
+from typing import Optional
+
+from repro.specpatterns.patterns import (
+    Absence,
+    BoundedExistence,
+    Existence,
+    Pattern,
+    Precedence,
+    PrecedenceChain,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+)
+from repro.specpatterns.scopes import (
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    Globally,
+    Scope,
+)
+
+
+def to_tctl(pattern: Pattern, scope: Optional[Scope] = None) -> str:
+    """Render *pattern* (within *scope*, default globally) as TCTL text."""
+    scope = scope if scope is not None else Globally()
+    body = _pattern_body(pattern)
+    return _wrap_scope(body, scope)
+
+
+def _pattern_body(pattern: Pattern) -> str:
+    if isinstance(pattern, Absence):
+        return f"A[] not {pattern.p}"
+    if isinstance(pattern, Universality):
+        return f"A[] {pattern.p}"
+    if isinstance(pattern, Existence):
+        return f"A<> {pattern.p}"
+    if isinstance(pattern, BoundedExistence):
+        return f"A[] (count({pattern.p}) <= {pattern.bound})"
+    if isinstance(pattern, Precedence):
+        return f"A[] ({pattern.p} imply seen({pattern.s}))"
+    if isinstance(pattern, Response):
+        return f"{pattern.p} --> {pattern.s}"
+    if isinstance(pattern, TimedResponse):
+        return (
+            f"A[] ({pattern.p} imply A<>[0,{pattern.bound}] {pattern.s})"
+        )
+    if isinstance(pattern, PrecedenceChain):
+        return (
+            f"A[] ({pattern.p} imply seen({pattern.s}) and "
+            f"seen_after({pattern.t}, {pattern.s}))"
+        )
+    if isinstance(pattern, ResponseChain):
+        return f"{pattern.p} --> ({pattern.s} and A<> {pattern.t})"
+    raise TypeError(f"unknown pattern: {pattern!r}")
+
+
+def _wrap_scope(body: str, scope: Scope) -> str:
+    if isinstance(scope, Globally):
+        return body
+    if isinstance(scope, BeforeR):
+        return f"before({scope.r}): {body}"
+    if isinstance(scope, AfterQ):
+        return f"after({scope.q}): {body}"
+    if isinstance(scope, BetweenQAndR):
+        return f"between({scope.q},{scope.r}): {body}"
+    if isinstance(scope, AfterQUntilR):
+        return f"after_until({scope.q},{scope.r}): {body}"
+    raise TypeError(f"unknown scope: {scope!r}")
+
+
+def observer_query(pattern: Pattern, observer_name: str = "Obs") -> str:
+    """The zone-checker query for the composed observer network.
+
+    Safety-style patterns reduce to ``A[] not Obs.err``; existence
+    reduces to liveness on the observer's ``done`` location.
+    """
+    if isinstance(pattern, (Absence, Precedence, PrecedenceChain,
+                            TimedResponse, Universality, BoundedExistence)):
+        return f"A[] not {observer_name}.err"
+    if isinstance(pattern, Existence):
+        return f"A<> {observer_name}.done"
+    if isinstance(pattern, (Response, ResponseChain)):
+        return f"{observer_name}.waiting --> {observer_name}.idle"
+    raise TypeError(f"unknown pattern: {pattern!r}")

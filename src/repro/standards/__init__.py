@@ -1,0 +1,42 @@
+"""Security standards: IEC 62443 requirement slice and gap analysis.
+
+The paper names IEC 62443 as a source of security requirements ("as,
+for example, indicated in standards such as IEC 62443 and Security
+Technical Implementation Guides").  This package carries a slice of the
+IEC 62443-3-3 system requirements (SRs grouped under the seven
+foundational requirements, with security-level capability tags), a
+mapping from SRs onto the RQCODE STIG catalogue and specification-
+pattern families, and a gap analysis that grades a host against a
+target security level.
+
+* :mod:`repro.standards.iec62443` — the requirement records and the
+  bundled SR slice.
+* :mod:`repro.standards.mapping` — SR -> findings/patterns mapping and
+  :class:`~repro.standards.mapping.GapAnalysis`.
+"""
+
+from repro.standards.iec62443 import (
+    FoundationalRequirement,
+    IEC62443_SRS,
+    SecurityLevel,
+    SystemRequirement,
+    requirements_for_level,
+)
+from repro.standards.mapping import (
+    DEFAULT_SR_MAPPING,
+    GapAnalysis,
+    SrMapping,
+    SrStatus,
+)
+
+__all__ = [
+    "DEFAULT_SR_MAPPING",
+    "FoundationalRequirement",
+    "GapAnalysis",
+    "IEC62443_SRS",
+    "SecurityLevel",
+    "SrMapping",
+    "SrStatus",
+    "SystemRequirement",
+    "requirements_for_level",
+]

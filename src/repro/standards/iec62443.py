@@ -1,0 +1,171 @@
+"""IEC 62443-3-3 system requirements (slice).
+
+IEC 62443-3-3 organizes *system requirements* (SRs) under seven
+*foundational requirements* (FRs) and tags each SR with the security
+levels (SL 1-4) whose capability it contributes to.  The slice below
+covers the SRs that the VeriDevOps security patterns touch — identifi-
+cation/authentication, use control, system integrity, data confidenti-
+ality, restricted data flow, timely response to events, and resource
+availability — with paraphrased one-line intents (the full normative
+text is not reproduced).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class FoundationalRequirement(enum.Enum):
+    """The seven FRs of IEC 62443."""
+
+    IAC = "FR 1 - Identification and authentication control"
+    UC = "FR 2 - Use control"
+    SI = "FR 3 - System integrity"
+    DC = "FR 4 - Data confidentiality"
+    RDF = "FR 5 - Restricted data flow"
+    TRE = "FR 6 - Timely response to events"
+    RA = "FR 7 - Resource availability"
+
+
+class SecurityLevel(enum.IntEnum):
+    """Target security levels SL 1-4."""
+
+    SL1 = 1
+    SL2 = 2
+    SL3 = 3
+    SL4 = 4
+
+
+@dataclass(frozen=True)
+class SystemRequirement:
+    """One SR: id, FR, intent, and the lowest SL that requires it."""
+
+    sr_id: str
+    name: str
+    fr: FoundationalRequirement
+    baseline_level: SecurityLevel
+    intent: str
+
+    def required_at(self, level: SecurityLevel) -> bool:
+        return level >= self.baseline_level
+
+
+IEC62443_SRS: Tuple[SystemRequirement, ...] = (
+    # FR 1 — Identification and authentication control
+    SystemRequirement(
+        "SR 1.1", "Human user identification and authentication",
+        FoundationalRequirement.IAC, SecurityLevel.SL1,
+        "Identify and authenticate all human users on all interfaces."),
+    SystemRequirement(
+        "SR 1.5", "Authenticator management",
+        FoundationalRequirement.IAC, SecurityLevel.SL1,
+        "Initialize, change and protect all authenticators."),
+    SystemRequirement(
+        "SR 1.7", "Strength of password-based authentication",
+        FoundationalRequirement.IAC, SecurityLevel.SL1,
+        "Enforce configurable password strength."),
+    SystemRequirement(
+        "SR 1.11", "Unsuccessful login attempts",
+        FoundationalRequirement.IAC, SecurityLevel.SL1,
+        "Limit consecutive invalid access attempts and lock out."),
+    SystemRequirement(
+        "SR 1.13", "Access via untrusted networks",
+        FoundationalRequirement.IAC, SecurityLevel.SL1,
+        "Monitor and control all access over untrusted networks."),
+    SystemRequirement(
+        "SR 1.14", "Strength of symmetric-key authentication",
+        FoundationalRequirement.IAC, SecurityLevel.SL2,
+        "Protect symmetric keys used for authentication."),
+    # FR 2 — Use control
+    SystemRequirement(
+        "SR 2.1", "Authorization enforcement",
+        FoundationalRequirement.UC, SecurityLevel.SL1,
+        "Enforce authorizations on all users for all actions."),
+    SystemRequirement(
+        "SR 2.8", "Auditable events",
+        FoundationalRequirement.UC, SecurityLevel.SL1,
+        "Generate audit records for security-relevant events."),
+    SystemRequirement(
+        "SR 2.9", "Audit storage capacity",
+        FoundationalRequirement.UC, SecurityLevel.SL1,
+        "Allocate sufficient audit record storage."),
+    SystemRequirement(
+        "SR 2.10", "Response to audit processing failures",
+        FoundationalRequirement.UC, SecurityLevel.SL1,
+        "Respond to audit processing failures without losing events."),
+    SystemRequirement(
+        "SR 2.11", "Timestamps",
+        FoundationalRequirement.UC, SecurityLevel.SL1,
+        "Timestamp audit records from a reliable time source."),
+    SystemRequirement(
+        "SR 2.12", "Non-repudiation",
+        FoundationalRequirement.UC, SecurityLevel.SL3,
+        "Determine whether a given user took a given action."),
+    # FR 3 — System integrity
+    SystemRequirement(
+        "SR 3.1", "Communication integrity",
+        FoundationalRequirement.SI, SecurityLevel.SL1,
+        "Protect the integrity of transmitted information."),
+    SystemRequirement(
+        "SR 3.3", "Security functionality verification",
+        FoundationalRequirement.SI, SecurityLevel.SL1,
+        "Verify the intended operation of security functions."),
+    SystemRequirement(
+        "SR 3.4", "Software and information integrity",
+        FoundationalRequirement.SI, SecurityLevel.SL1,
+        "Detect unauthorized changes to software and information."),
+    SystemRequirement(
+        "SR 3.5", "Input validation",
+        FoundationalRequirement.SI, SecurityLevel.SL1,
+        "Validate the syntax and content of all inputs."),
+    # FR 4 — Data confidentiality
+    SystemRequirement(
+        "SR 4.1", "Information confidentiality",
+        FoundationalRequirement.DC, SecurityLevel.SL1,
+        "Protect the confidentiality of information at rest and in "
+        "transit."),
+    SystemRequirement(
+        "SR 4.3", "Use of cryptography",
+        FoundationalRequirement.DC, SecurityLevel.SL1,
+        "Use cryptographic mechanisms per accepted practice."),
+    # FR 5 — Restricted data flow
+    SystemRequirement(
+        "SR 5.1", "Network segmentation",
+        FoundationalRequirement.RDF, SecurityLevel.SL1,
+        "Segment control-system networks from other networks."),
+    SystemRequirement(
+        "SR 5.2", "Zone boundary protection",
+        FoundationalRequirement.RDF, SecurityLevel.SL1,
+        "Monitor and control communication at zone boundaries."),
+    # FR 6 — Timely response to events
+    SystemRequirement(
+        "SR 6.1", "Audit log accessibility",
+        FoundationalRequirement.TRE, SecurityLevel.SL1,
+        "Make audit logs accessible to authorized tools and users."),
+    SystemRequirement(
+        "SR 6.2", "Continuous monitoring",
+        FoundationalRequirement.TRE, SecurityLevel.SL2,
+        "Continuously monitor security mechanism behaviour to detect "
+        "and report breaches in a timely manner."),
+    # FR 7 — Resource availability
+    SystemRequirement(
+        "SR 7.1", "Denial-of-service protection",
+        FoundationalRequirement.RA, SecurityLevel.SL1,
+        "Operate in a degraded mode during a DoS event."),
+    SystemRequirement(
+        "SR 7.6", "Network and security configuration settings",
+        FoundationalRequirement.RA, SecurityLevel.SL1,
+        "Apply and report network/security configuration settings "
+        "per guidelines."),
+    SystemRequirement(
+        "SR 7.7", "Least functionality",
+        FoundationalRequirement.RA, SecurityLevel.SL1,
+        "Prohibit and restrict unnecessary functions, ports and "
+        "services."),
+)
+
+
+def requirements_for_level(level: SecurityLevel
+                           ) -> List[SystemRequirement]:
+    """The SRs a system targeting *level* must provide."""
+    return [sr for sr in IEC62443_SRS if sr.required_at(level)]

@@ -1,0 +1,190 @@
+"""SR -> catalogue mapping and gap analysis.
+
+An :class:`SrMapping` states how an IEC 62443 system requirement is
+*evidenced* in this framework: which STIG findings operationalize it on
+hosts, and which specification-pattern family formalizes it.  The
+:class:`GapAnalysis` grades a host (through the RQCODE catalogue)
+against a target security level:
+
+* SATISFIED — every mapped finding applicable to the host passes;
+* PARTIAL — some pass, some fail;
+* UNSATISFIED — mapped findings exist for the platform but all fail;
+* UNMAPPED — the SR has no machine-checkable evidence here (it still
+  counts against coverage, loudly, rather than disappearing).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.environment.host import SimulatedHost
+from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus
+from repro.standards.iec62443 import (
+    SecurityLevel,
+    SystemRequirement,
+    requirements_for_level,
+)
+
+
+class SrStatus(enum.Enum):
+    SATISFIED = "SATISFIED"
+    PARTIAL = "PARTIAL"
+    UNSATISFIED = "UNSATISFIED"
+    UNMAPPED = "UNMAPPED"
+
+
+@dataclass(frozen=True)
+class SrMapping:
+    """Evidence for one SR: finding ids + the pattern family."""
+
+    sr_id: str
+    finding_ids: Tuple[str, ...] = ()
+    pattern_family: str = ""
+
+
+#: The bundled mapping.  Finding ids reference the default catalogue;
+#: ids outside a host's platform are simply not applicable there.
+DEFAULT_SR_MAPPING: Dict[str, SrMapping] = {
+    mapping.sr_id: mapping for mapping in (
+        SrMapping("SR 1.1",
+                  ("V-219318", "V-219319"), "Precedence"),
+        SrMapping("SR 1.5", ("V-219177",), "Universality"),
+        SrMapping("SR 1.7", ("V-219177",), "Universality"),
+        SrMapping("SR 1.11", ("V-63447", "V-63449"), "Response"),
+        SrMapping("SR 1.13",
+                  ("V-219161", "V-219166", "V-219303", "V-219312"),
+                  "Universality"),
+        SrMapping("SR 1.14", (), "Universality"),
+        SrMapping("SR 2.1", ("V-63591",), "Precedence"),
+        SrMapping("SR 2.8",
+                  ("V-63447", "V-63449", "V-63463", "V-63467",
+                   "V-63483", "V-63487", "V-219149"), "Existence"),
+        SrMapping("SR 2.9", ("V-219150",), "Universality"),
+        SrMapping("SR 2.10", ("V-219150",), "TimedResponse"),
+        SrMapping("SR 2.11", (), "Universality"),
+        SrMapping("SR 2.12", ("V-63519",), "Existence"),
+        SrMapping("SR 3.1", ("V-63351",), "Universality"),
+        SrMapping("SR 3.3", ("V-219343",), "Existence"),
+        SrMapping("SR 3.4", ("V-219343",), "Absence"),
+        SrMapping("SR 3.5", (), "Absence"),
+        SrMapping("SR 4.1", ("V-219177", "V-63797"), "Universality"),
+        SrMapping("SR 4.3", ("V-219177", "V-63797"), "Universality"),
+        SrMapping("SR 5.1", (), "Absence"),
+        SrMapping("SR 5.2", (), "Absence"),
+        SrMapping("SR 6.1", ("V-219150",), "Existence"),
+        SrMapping("SR 6.2", ("V-219149", "V-219150"), "TimedResponse"),
+        SrMapping("SR 7.1", (), "TimedResponse"),
+        SrMapping("SR 7.6", ("V-219303", "V-219312"), "Universality"),
+        SrMapping("SR 7.7",
+                  ("V-219155", "V-219157", "V-219158"), "Absence"),
+    )
+}
+
+
+@dataclass
+class SrResult:
+    """Gap-analysis outcome for one SR on one host."""
+
+    requirement: SystemRequirement
+    status: SrStatus
+    applicable_findings: List[str] = field(default_factory=list)
+    passing_findings: List[str] = field(default_factory=list)
+
+    @property
+    def evidence(self) -> str:
+        if self.status is SrStatus.UNMAPPED:
+            return "no machine-checkable evidence"
+        return (f"{len(self.passing_findings)}/"
+                f"{len(self.applicable_findings)} findings pass")
+
+
+@dataclass
+class GapReport:
+    """All SR results for one host at one target level."""
+
+    host_name: str
+    level: SecurityLevel
+    results: List[SrResult] = field(default_factory=list)
+
+    def count(self, status: SrStatus) -> int:
+        return sum(1 for r in self.results if r.status is status)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of *evidenced* SRs that are fully satisfied."""
+        evidenced = [r for r in self.results
+                     if r.status is not SrStatus.UNMAPPED]
+        if not evidenced:
+            return 0.0
+        return (sum(1 for r in evidenced
+                    if r.status is SrStatus.SATISFIED) / len(evidenced))
+
+    def by_fr(self) -> Dict[str, Dict[str, int]]:
+        """FR -> status histogram."""
+        table: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            fr = result.requirement.fr.name
+            histogram = table.setdefault(
+                fr, {status.value: 0 for status in SrStatus})
+            histogram[result.status.value] += 1
+        return table
+
+    def rows(self) -> List[Dict[str, str]]:
+        return [
+            {
+                "sr": r.requirement.sr_id,
+                "fr": r.requirement.fr.name,
+                "name": r.requirement.name,
+                "status": r.status.value,
+                "evidence": r.evidence,
+            }
+            for r in self.results
+        ]
+
+
+class GapAnalysis:
+    """Grades hosts against IEC 62443 target levels via the catalogue."""
+
+    def __init__(self, catalog: StigCatalog,
+                 mapping: Optional[Dict[str, SrMapping]] = None):
+        self.catalog = catalog
+        self.mapping = mapping if mapping is not None else \
+            dict(DEFAULT_SR_MAPPING)
+
+    def analyze(self, host: SimulatedHost,
+                level: SecurityLevel = SecurityLevel.SL1) -> GapReport:
+        """Evaluate every SR required at *level* against *host*."""
+        report = GapReport(host_name=host.name, level=level)
+        platform_findings = set(self.catalog.finding_ids(host.os_family))
+        for requirement in requirements_for_level(level):
+            mapping = self.mapping.get(requirement.sr_id)
+            if mapping is None or not mapping.finding_ids:
+                report.results.append(SrResult(
+                    requirement=requirement, status=SrStatus.UNMAPPED))
+                continue
+            applicable = [fid for fid in mapping.finding_ids
+                          if fid in platform_findings]
+            if not applicable:
+                # Mapped, but nothing applies to this platform: treat
+                # as unmapped *for this host* rather than vacuously
+                # satisfied.
+                report.results.append(SrResult(
+                    requirement=requirement, status=SrStatus.UNMAPPED))
+                continue
+            passing = []
+            for finding_id in applicable:
+                instance = self.catalog.get(finding_id).instantiate(host)
+                if instance.check() is CheckStatus.PASS:
+                    passing.append(finding_id)
+            if len(passing) == len(applicable):
+                status = SrStatus.SATISFIED
+            elif passing:
+                status = SrStatus.PARTIAL
+            else:
+                status = SrStatus.UNSATISFIED
+            report.results.append(SrResult(
+                requirement=requirement, status=status,
+                applicable_findings=applicable,
+                passing_findings=passing))
+        return report

@@ -1,0 +1,53 @@
+"""Timed automata and a zone-based model checker (UPPAAL work-alike).
+
+PROPAS generates *observer timed automata* for specification patterns and
+verifies them with UPPAAL (D2.7 §2.2.1).  This package is the offline
+substitute: networks of timed automata with channel synchronization, DBM
+zone abstraction, and a TCTL-subset checker (``E<>``, ``A[]``, ``E[]``,
+``A<>``, leads-to).
+
+* :mod:`repro.ta.dbm` — difference bound matrices (the zone algebra).
+* :mod:`repro.ta.automaton` — locations, edges, guards, invariants,
+  clock declarations, a guard-expression parser.
+* :mod:`repro.ta.system` — networks (parallel composition on channels).
+* :mod:`repro.ta.checker` — zone-graph exploration, TCTL verdicts,
+  witness traces; plus a discrete-time engine for the E6 ablation.
+* :mod:`repro.ta.query` — text queries ("A[] not Obs.bad").
+"""
+
+from repro.ta.automaton import (
+    ClockConstraint,
+    Edge,
+    Location,
+    TimedAutomaton,
+    parse_guard,
+)
+from repro.ta.checker import (
+    CheckResult,
+    DiscreteTimeChecker,
+    ZoneGraphChecker,
+)
+from repro.ta.dbm import DBM, INF
+from repro.ta.query import Query, parse_query
+from repro.ta.simulator import SimRun, SimStep, Simulator
+from repro.ta.system import Network, NetworkState
+
+__all__ = [
+    "CheckResult",
+    "ClockConstraint",
+    "DBM",
+    "DiscreteTimeChecker",
+    "Edge",
+    "INF",
+    "Location",
+    "Network",
+    "NetworkState",
+    "Query",
+    "SimRun",
+    "SimStep",
+    "Simulator",
+    "TimedAutomaton",
+    "ZoneGraphChecker",
+    "parse_guard",
+    "parse_query",
+]

@@ -1,0 +1,232 @@
+"""Difference Bound Matrices — the zone algebra under the model checker.
+
+A zone over clocks ``x1..xn`` is a conjunction of constraints
+``xi - xj ≺ c`` with ``≺ ∈ {<, ≤}``; index 0 is the constant-zero
+reference clock.  Bounds are encoded as single integers so comparison
+and addition are primitive operations:
+
+    encode(c, strict)  =  2c      for  "< c"
+    encode(c, strict)  =  2c + 1  for  "≤ c"
+
+With this encoding a *smaller* integer is a *tighter* bound, and bound
+addition is ``b1 + b2 - ((b1 & 1) & (b2 & 1) ... )`` — implemented in
+:func:`bound_add`.  ``INF`` is a sentinel larger than any finite bound.
+
+The operations are the textbook set (Bengtsson & Yi, "Timed Automata:
+Semantics, Algorithms and Tools"): canonicalization (Floyd-Warshall),
+emptiness, ``up`` (delay), ``reset``, ``constrain`` (guard
+intersection), inclusion, and max-constant extrapolation for zone-graph
+termination.
+"""
+
+from typing import List, Optional, Tuple
+
+#: Infinity sentinel; must exceed any encoded finite bound we produce.
+INF = 2 ** 40
+
+#: Encoded "≤ 0": the tightest bound a canonical diagonal may carry.
+LE_ZERO = 1
+
+
+def encode(value: int, strict: bool) -> int:
+    """Encode the bound ``≺ value`` (``<`` when *strict*) as an integer."""
+    return 2 * value + (0 if strict else 1)
+
+
+def decode(bound: int) -> Tuple[int, bool]:
+    """Inverse of :func:`encode`: returns ``(value, strict)``."""
+    if bound >= INF:
+        raise ValueError("cannot decode the infinity sentinel")
+    strict = (bound & 1) == 0
+    return (bound - (0 if strict else 1)) // 2, strict
+
+
+def bound_add(b1: int, b2: int) -> int:
+    """Tightest bound implied by chaining two difference bounds."""
+    if b1 >= INF or b2 >= INF:
+        return INF
+    # (c1, ≤) + (c2, ≤) = (c1+c2, ≤); any strict operand makes it strict.
+    value = (b1 >> 1) + (b2 >> 1)
+    non_strict = (b1 & 1) and (b2 & 1)
+    return 2 * value + (1 if non_strict else 0)
+
+
+def bound_str(bound: int) -> str:
+    if bound >= INF:
+        return "<inf"
+    value, strict = decode(bound)
+    return f"{'<' if strict else '<='}{value}"
+
+
+class DBM:
+    """A canonical difference bound matrix over *n* clocks.
+
+    The matrix ``m[i][j]`` carries the encoded bound on ``xi - xj``.
+    All mutating operations keep the matrix canonical (shortest-path
+    closed); consumers may therefore read entries directly.
+    """
+
+    __slots__ = ("n", "m")
+
+    def __init__(self, n: int, matrix: Optional[List[List[int]]] = None):
+        self.n = n
+        size = n + 1
+        if matrix is not None:
+            self.m = [row[:] for row in matrix]
+        else:
+            # The zero zone: every clock equal to 0.
+            self.m = [[LE_ZERO] * size for _ in range(size)]
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int) -> "DBM":
+        """All clocks exactly zero (the initial valuation)."""
+        return cls(n)
+
+    @classmethod
+    def unconstrained(cls, n: int) -> "DBM":
+        """All clock valuations with non-negative clocks."""
+        zone = cls(n)
+        size = n + 1
+        for i in range(size):
+            for j in range(size):
+                if i == j:
+                    zone.m[i][j] = LE_ZERO
+                elif i == 0:
+                    zone.m[i][j] = LE_ZERO  # 0 - xj <= 0
+                else:
+                    zone.m[i][j] = INF
+        return zone
+
+    def copy(self) -> "DBM":
+        return DBM(self.n, self.m)
+
+    # -- canonical form and emptiness ------------------------------------------
+
+    def canonicalize(self) -> "DBM":
+        """Floyd-Warshall closure; returns self for chaining."""
+        size = self.n + 1
+        m = self.m
+        for k in range(size):
+            row_k = m[k]
+            for i in range(size):
+                mik = m[i][k]
+                if mik >= INF:
+                    continue
+                row_i = m[i]
+                for j in range(size):
+                    candidate = bound_add(mik, row_k[j])
+                    if candidate < row_i[j]:
+                        row_i[j] = candidate
+        return self
+
+    def is_empty(self) -> bool:
+        """A canonical DBM is empty iff some diagonal entry tightened
+        below ``≤ 0`` (a negative cycle)."""
+        return any(self.m[i][i] < LE_ZERO for i in range(self.n + 1))
+
+    # -- operations -------------------------------------------------------------
+
+    def up(self) -> "DBM":
+        """Delay: remove upper bounds (future closure).  Stays canonical."""
+        for i in range(1, self.n + 1):
+            self.m[i][0] = INF
+        return self
+
+    def down(self) -> "DBM":
+        """Past closure: remove lower bounds, then re-canonicalize."""
+        for j in range(1, self.n + 1):
+            self.m[0][j] = LE_ZERO
+            for i in range(1, self.n + 1):
+                if self.m[i][j] < self.m[0][j]:
+                    self.m[0][j] = self.m[i][j]
+        return self.canonicalize()
+
+    def reset(self, clock: int) -> "DBM":
+        """Set clock *clock* (1-based) to zero.  Stays canonical."""
+        size = self.n + 1
+        for j in range(size):
+            self.m[clock][j] = self.m[0][j]
+            self.m[j][clock] = self.m[j][0]
+        self.m[clock][clock] = LE_ZERO
+        return self
+
+    def constrain(self, i: int, j: int, bound: int) -> "DBM":
+        """Intersect with ``xi - xj ≺ c`` (encoded *bound*); re-close."""
+        if bound < self.m[i][j]:
+            self.m[i][j] = bound
+            self.canonicalize()
+        return self
+
+    def satisfies(self, i: int, j: int, bound: int) -> bool:
+        """Does every valuation in the zone satisfy ``xi - xj ≺ c``?
+
+        True iff adding the *negated* constraint empties the zone.
+        The negation of ``xi - xj ≺ c`` is ``xj - xi ≺' -c`` with
+        flipped strictness.
+        """
+        value, strict = decode(bound)
+        negated = encode(-value, not strict)
+        probe = self.copy().constrain(j, i, negated)
+        return probe.is_empty()
+
+    def intersects(self, i: int, j: int, bound: int) -> bool:
+        """Does some valuation in the zone satisfy ``xi - xj ≺ c``?"""
+        probe = self.copy().constrain(i, j, bound)
+        return not probe.is_empty()
+
+    def includes(self, other: "DBM") -> bool:
+        """Zone inclusion: every valuation of *other* is in self."""
+        size = self.n + 1
+        return all(
+            other.m[i][j] <= self.m[i][j]
+            for i in range(size) for j in range(size)
+        )
+
+    def extrapolate(self, max_constant: int) -> "DBM":
+        """Classic max-constant (k) extrapolation for termination.
+
+        Bounds above ``≤ k`` become infinite; lower bounds tighter than
+        ``< -k`` relax to ``< -k``.  Re-canonicalizes when changed.
+        """
+        k_upper = encode(max_constant, strict=False)   # ≤ k
+        k_lower = encode(-max_constant, strict=True)   # < -k
+        size = self.n + 1
+        changed = False
+        for i in range(size):
+            for j in range(size):
+                if i == j:
+                    continue
+                bound = self.m[i][j]
+                if bound >= INF:
+                    continue
+                if bound > k_upper:
+                    self.m[i][j] = INF
+                    changed = True
+                elif bound < k_lower:
+                    self.m[i][j] = k_lower
+                    changed = True
+        if changed:
+            self.canonicalize()
+        return self
+
+    # -- interop -----------------------------------------------------------------
+
+    def key(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable canonical representation for visited-state sets."""
+        return tuple(tuple(row) for row in self.m)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DBM) and self.n == other.n and self.m == other.m
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        rows = []
+        for i in range(self.n + 1):
+            rows.append(" ".join(f"{bound_str(b):>6}" for b in self.m[i]))
+        return "DBM(\n  " + "\n  ".join(rows) + "\n)"
+
+

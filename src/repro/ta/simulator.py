@@ -1,0 +1,144 @@
+"""Random simulation of timed-automata networks.
+
+Model checking answers "can it happen?"; simulation produces *concrete
+runs* — timed traces that feed the trace-judging side of the framework
+(TEARS guarded assertions, LTL monitors) and give model authors
+something to eyeball.  The simulator steps a network under integer
+time: at each state it randomly picks among the enabled discrete steps
+and an admissible one-unit delay, recording the run.
+
+Determinism: same network + seed => same run.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ta.automaton import ClockConstraint, TimedAutomaton
+from repro.ta.system import Network, NetworkState
+
+
+@dataclass(frozen=True)
+class SimStep:
+    """One step of a run: a delay tick or a discrete transition."""
+
+    time: int
+    kind: str          # "delay" | "action"
+    label: str         # "(delay)" or the composed step label
+    locations: Tuple[str, ...]
+
+
+@dataclass
+class SimRun:
+    """A finite run of the network."""
+
+    steps: List[SimStep] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        return self.steps[-1].time if self.steps else 0
+
+    def actions(self) -> List[str]:
+        return [step.label for step in self.steps
+                if step.kind == "action"]
+
+    def event_trace(self) -> List[set]:
+        """The run as an LTL-monitorable trace: one step per discrete
+        action, carrying the action label as its proposition."""
+        return [{step.label} for step in self.steps
+                if step.kind == "action"]
+
+    def timed_samples(self) -> List[Tuple[int, str]]:
+        """(time, action) pairs for TEARS-style post-processing."""
+        return [(step.time, step.label) for step in self.steps
+                if step.kind == "action"]
+
+
+class Simulator:
+    """Random-walk execution of a network under integer time."""
+
+    def __init__(self, network: Network, seed: int = 0):
+        self.network = network
+        self._rng = random.Random(seed)
+        self._cap = network.max_constant() + 1
+
+    # -- semantics (integer time, as the discrete checker) ---------------------
+
+    def _satisfies(self, valuation, automaton: TimedAutomaton,
+                   constraint: ClockConstraint) -> bool:
+        i, j = self.network.constraint_indices(automaton, constraint)
+        left = valuation[i - 1]
+        right = 0 if j == 0 else valuation[j - 1]
+        difference = left - right
+        if left >= self._cap and constraint.right is None:
+            difference = max(difference, self._cap)
+        op, value = constraint.op, constraint.value
+        return {
+            "<": difference < value, "<=": difference <= value,
+            ">": difference > value, ">=": difference >= value,
+            "==": difference == value,
+        }[op]
+
+    def _invariant_ok(self, state: NetworkState, valuation) -> bool:
+        return all(self._satisfies(valuation, automaton, constraint)
+                   for automaton, constraint
+                   in self.network.invariants_at(state))
+
+    def _enabled_steps(self, state: NetworkState, valuation):
+        enabled = []
+        for step in self.network.discrete_steps(state):
+            ok = True
+            for index, edge in step.edges:
+                automaton = self.network.automata[index]
+                if not all(self._satisfies(valuation, automaton, c)
+                           for c in edge.guard):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            values = list(valuation)
+            for index, edge in step.edges:
+                automaton = self.network.automata[index]
+                for clock in edge.resets:
+                    values[self.network.global_clock(
+                        automaton, clock) - 1] = 0
+            if self._invariant_ok(step.target, tuple(values)):
+                enabled.append((step, tuple(values)))
+        return enabled
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, max_actions: int = 50,
+            max_time: int = 1000) -> SimRun:
+        """Simulate until *max_actions* discrete steps, *max_time*
+        ticks, or a state with nothing to do (deadlock/time-lock)."""
+        state = self.network.initial_state()
+        valuation = tuple([0] * self.network.clock_count)
+        time = 0
+        run = SimRun()
+        actions_taken = 0
+        while actions_taken < max_actions and time < max_time:
+            choices = []
+            enabled = self._enabled_steps(state, valuation)
+            choices.extend(("action", item) for item in enabled)
+            if not self.network.is_urgent(state):
+                delayed = tuple(min(v + 1, self._cap) for v in valuation)
+                if self._invariant_ok(state, delayed):
+                    choices.append(("delay", delayed))
+            if not choices:
+                break
+            kind, payload = choices[self._rng.randrange(len(choices))]
+            if kind == "delay":
+                valuation = payload
+                time += 1
+                run.steps.append(SimStep(
+                    time=time, kind="delay", label="(delay)",
+                    locations=state.locations))
+            else:
+                step, valuation = payload
+                state = step.target
+                actions_taken += 1
+                run.steps.append(SimStep(
+                    time=time, kind="action", label=step.label,
+                    locations=state.locations))
+        return run

@@ -1,0 +1,150 @@
+"""Networks of timed automata: parallel composition on channels.
+
+A :class:`Network` owns the global clock index (clock names are
+namespaced ``"Automaton.clock"``) and enumerates the composed discrete
+steps: internal edges interleave, and an emitting edge (``chan!``)
+pairs with exactly one receiving edge (``chan?``) in another automaton
+— UPPAAL's binary handshake semantics.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.ta.automaton import ClockConstraint, Edge, TimedAutomaton
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """A discrete network state: one location name per automaton."""
+
+    locations: Tuple[str, ...]
+
+    def location_of(self, index: int) -> str:
+        return self.locations[index]
+
+
+@dataclass(frozen=True)
+class ComposedStep:
+    """One discrete step of the network.
+
+    ``edges`` holds (automaton_index, edge) pairs — one pair for an
+    internal step, two for a channel handshake (emitter first).
+    """
+
+    edges: Tuple[Tuple[int, Edge], ...]
+    target: NetworkState
+
+    @property
+    def label(self) -> str:
+        parts = []
+        for _, edge in self.edges:
+            parts.append(edge.action or edge.sync or
+                         f"{edge.source}->{edge.target}")
+        return " / ".join(parts)
+
+
+class Network:
+    """Parallel composition of timed automata.
+
+    Args:
+        automata: Component automata; names must be unique.
+    """
+
+    def __init__(self, automata: Sequence[TimedAutomaton]):
+        names = [a.name for a in automata]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate automaton names: {names}")
+        self.automata: Tuple[TimedAutomaton, ...] = tuple(automata)
+        # Global clock index: 1-based (0 is the DBM reference clock).
+        self.clock_index: Dict[str, int] = {}
+        for automaton in self.automata:
+            for clock in automaton.clocks:
+                self.clock_index[f"{automaton.name}.{clock}"] = (
+                    len(self.clock_index) + 1)
+
+    @property
+    def clock_count(self) -> int:
+        return len(self.clock_index)
+
+    def initial_state(self) -> NetworkState:
+        return NetworkState(tuple(a.initial for a in self.automata))
+
+    def automaton_index(self, name: str) -> int:
+        for index, automaton in enumerate(self.automata):
+            if automaton.name == name:
+                return index
+        raise KeyError(f"no automaton named {name!r}")
+
+    def global_clock(self, automaton: TimedAutomaton, clock: str) -> int:
+        return self.clock_index[f"{automaton.name}.{clock}"]
+
+    def constraint_indices(self, automaton: TimedAutomaton,
+                           constraint: ClockConstraint) -> Tuple[int, int]:
+        """Map a constraint's clock names to global (i, j) DBM indices."""
+        i = self.global_clock(automaton, constraint.left)
+        j = (0 if constraint.right is None
+             else self.global_clock(automaton, constraint.right))
+        return i, j
+
+    def max_constant(self) -> int:
+        return max(a.max_constant() for a in self.automata)
+
+    def invariants_at(self, state: NetworkState
+                      ) -> List[Tuple[TimedAutomaton, ClockConstraint]]:
+        """All invariant constraints active in *state*."""
+        active = []
+        for index, automaton in enumerate(self.automata):
+            location = automaton.locations[state.location_of(index)]
+            for constraint in location.invariant:
+                active.append((automaton, constraint))
+        return active
+
+    def is_urgent(self, state: NetworkState) -> bool:
+        """Time may not elapse when any component is in an urgent location."""
+        return any(
+            automaton.locations[state.location_of(index)].urgent
+            for index, automaton in enumerate(self.automata)
+        )
+
+    def discrete_steps(self, state: NetworkState) -> Iterator[ComposedStep]:
+        """Enumerate internal steps and channel handshakes from *state*."""
+        # Internal edges.
+        for index, automaton in enumerate(self.automata):
+            for edge in automaton.outgoing(state.location_of(index)):
+                if edge.sync is None:
+                    yield ComposedStep(
+                        edges=((index, edge),),
+                        target=self._advance(state, [(index, edge)]),
+                    )
+        # Handshakes: every emit pairs with every matching receive in a
+        # *different* automaton.
+        emits: List[Tuple[int, Edge]] = []
+        receives: List[Tuple[int, Edge]] = []
+        for index, automaton in enumerate(self.automata):
+            for edge in automaton.outgoing(state.location_of(index)):
+                if edge.is_emit:
+                    emits.append((index, edge))
+                elif edge.is_receive:
+                    receives.append((index, edge))
+        for emit_index, emit_edge in emits:
+            for recv_index, recv_edge in receives:
+                if emit_index == recv_index:
+                    continue
+                if emit_edge.channel != recv_edge.channel:
+                    continue
+                pairs = [(emit_index, emit_edge), (recv_index, recv_edge)]
+                yield ComposedStep(
+                    edges=tuple(pairs),
+                    target=self._advance(state, pairs),
+                )
+
+    def _advance(self, state: NetworkState,
+                 moves: Sequence[Tuple[int, Edge]]) -> NetworkState:
+        locations = list(state.locations)
+        for index, edge in moves:
+            locations[index] = edge.target
+        return NetworkState(tuple(locations))
+
+    def __repr__(self) -> str:
+        names = ", ".join(a.name for a in self.automata)
+        return f"Network([{names}], {self.clock_count} clocks)"

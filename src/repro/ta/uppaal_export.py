@@ -1,0 +1,119 @@
+"""UPPAAL 4.x XML export for networks of timed automata.
+
+PROPAS emits models "used in various model checkers such as UPPAAL";
+this module renders a :class:`~repro.ta.system.Network` as an UPPAAL
+``<nta>`` document (templates, locations, transitions, guards,
+synchronizations, a system declaration) plus a ``.q`` query file, so a
+model built or generated here can be loaded into the real tool.
+
+The export covers the subset our automata use: clocks, conjunctive
+guards, invariants, resets, binary channels, urgent locations.
+"""
+
+from typing import Iterable, List, Sequence
+from xml.sax.saxutils import escape
+
+from repro.ta.automaton import ClockConstraint, TimedAutomaton
+from repro.ta.system import Network
+
+
+def _render_constraints(constraints: Iterable[ClockConstraint]) -> str:
+    return " && ".join(str(c) for c in constraints)
+
+
+def _template_xml(automaton: TimedAutomaton) -> List[str]:
+    lines = ["  <template>",
+             f"    <name>{escape(automaton.name)}</name>"]
+    if automaton.clocks:
+        declaration = "clock " + ", ".join(automaton.clocks) + ";"
+        lines.append(f"    <declaration>{escape(declaration)}"
+                     "</declaration>")
+    location_ids = {name: f"id_{automaton.name}_{index}"
+                    for index, name in enumerate(automaton.locations)}
+    for name, location in automaton.locations.items():
+        lines.append(f'    <location id="{location_ids[name]}">')
+        lines.append(f"      <name>{escape(name)}</name>")
+        if location.invariant:
+            invariant = _render_constraints(location.invariant)
+            lines.append(
+                f'      <label kind="invariant">{escape(invariant)}'
+                "</label>")
+        if location.urgent:
+            lines.append("      <urgent/>")
+        lines.append("    </location>")
+    lines.append(
+        f'    <init ref="{location_ids[automaton.initial]}"/>')
+    for edge in automaton.edges:
+        lines.append("    <transition>")
+        lines.append(f'      <source ref="{location_ids[edge.source]}"/>')
+        lines.append(f'      <target ref="{location_ids[edge.target]}"/>')
+        if edge.guard:
+            guard = _render_constraints(edge.guard)
+            lines.append(
+                f'      <label kind="guard">{escape(guard)}</label>')
+        if edge.sync is not None:
+            lines.append(
+                f'      <label kind="synchronisation">'
+                f"{escape(edge.sync)}</label>")
+        if edge.resets:
+            assignment = ", ".join(f"{clock} = 0"
+                                   for clock in edge.resets)
+            lines.append(
+                f'      <label kind="assignment">{escape(assignment)}'
+                "</label>")
+        lines.append("    </transition>")
+    lines.append("  </template>")
+    return lines
+
+
+def _channels_of(network: Network) -> List[str]:
+    channels = set()
+    for automaton in network.automata:
+        for edge in automaton.edges:
+            if edge.channel is not None:
+                channels.add(edge.channel)
+    return sorted(channels)
+
+
+def to_uppaal_xml(network: Network) -> str:
+    """Render *network* as an UPPAAL ``<nta>`` XML document."""
+    channels = _channels_of(network)
+    global_declaration = ""
+    if channels:
+        global_declaration = "chan " + ", ".join(channels) + ";"
+    lines = [
+        '<?xml version="1.0" encoding="utf-8"?>',
+        "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' "
+        "'http://www.it.uu.se/research/group/darts/uppaal/flat-1_2.dtd'>",
+        "<nta>",
+        f"  <declaration>{escape(global_declaration)}</declaration>",
+    ]
+    for automaton in network.automata:
+        lines.extend(_template_xml(automaton))
+    instantiations = [
+        f"P_{automaton.name} = {automaton.name}();"
+        for automaton in network.automata
+    ]
+    system_line = "system " + ", ".join(
+        f"P_{automaton.name}" for automaton in network.automata) + ";"
+    system_block = "\n".join(instantiations + [system_line])
+    lines.append(f"  <system>{escape(system_block)}</system>")
+    lines.append("</nta>")
+    return "\n".join(lines)
+
+
+def to_uppaal_queries(queries: Sequence[str],
+                      network: Network) -> str:
+    """Render query strings as an UPPAAL ``.q`` file.
+
+    Location atoms are rewritten from ``Name.loc`` to the instantiated
+    process name ``P_Name.loc`` used by :func:`to_uppaal_xml`.
+    """
+    rewritten = []
+    for query in queries:
+        text = query
+        for automaton in network.automata:
+            text = text.replace(f"{automaton.name}.",
+                                f"P_{automaton.name}.")
+        rewritten.append(text)
+    return "\n".join(rewritten) + "\n"

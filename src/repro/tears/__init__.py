@@ -1,0 +1,38 @@
+"""TEARS — independent guarded assertions (G/As) over timed logs.
+
+TEARS "was introduced as a specification syntax for independent guarded
+assertions" evaluated in the NAPKIN environment (D2.7 §2.2.1).  A G/A
+pairs a *guard* (when does the requirement apply?) with an *assertion*
+(what must hold?), both boolean expressions over logged signals; G/As
+are independent — each is judged on its own against a log, post-hoc.
+
+* :mod:`repro.tears.expr` — the signal-expression language (arithmetic,
+  comparisons, boolean connectives) and its parser.
+* :mod:`repro.tears.ga` — :class:`GuardedAssertion` with WITHIN/FOR
+  timing modifiers, verdicts (PASSED/FAILED/VACUOUS) and failure detail.
+* :mod:`repro.tears.trace` — timed traces (samples of signal values).
+* :mod:`repro.tears.parser` — the G/A text syntax
+  (``GA "name": WHEN <expr> THEN <expr> [WITHIN t] [FOR t]``).
+* :mod:`repro.tears.session` — the NAPKIN session-directory layout
+  (``GA/``, ``generated/``, ``log/``) and the ANALYSIS overview report.
+"""
+
+from repro.tears.expr import Expr, ExprParseError, parse_expr
+from repro.tears.ga import GaResult, GaVerdict, GuardedAssertion
+from repro.tears.parser import parse_ga, parse_ga_file
+from repro.tears.session import SessionDirectory
+from repro.tears.trace import Sample, TimedTrace
+
+__all__ = [
+    "Expr",
+    "ExprParseError",
+    "GaResult",
+    "GaVerdict",
+    "GuardedAssertion",
+    "Sample",
+    "SessionDirectory",
+    "TimedTrace",
+    "parse_expr",
+    "parse_ga",
+    "parse_ga_file",
+]

@@ -1,0 +1,235 @@
+"""Signal-expression language for TEARS guards and assertions.
+
+Expressions are evaluated against one sample (a mapping of signal name
+to numeric value).  Grammar::
+
+    or_expr   := and_expr ( 'or' and_expr )*
+    and_expr  := not_expr ( 'and' not_expr )*
+    not_expr  := 'not' not_expr | comparison
+    comparison:= sum ( ('=='|'!='|'<='|'>='|'<'|'>') sum )?
+    sum       := term ( ('+'|'-') term )*
+    term      := factor ( ('*'|'/') factor )*
+    factor    := NUMBER | IDENT | 'abs' '(' or_expr ')' | '(' or_expr ')'
+                 | '-' factor
+
+Booleans are numbers (0 is false); comparisons yield 0/1, so guards and
+assertions compose arithmetically the way test engineers expect from
+measurement tooling.
+"""
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+Number = float
+
+
+class ExprParseError(ValueError):
+    """Malformed expression text."""
+
+
+class Expr:
+    """A parsed expression: evaluate against a sample mapping.
+
+    Unknown signals raise :class:`KeyError` with the signal name, so a
+    typo in a G/A fails loudly instead of silently passing.
+    """
+
+    def __init__(self, source: str, root):
+        self.source = source
+        self._root = root
+
+    def evaluate(self, sample: Dict[str, Number]) -> Number:
+        return _eval(self._root, sample)
+
+    def holds(self, sample: Dict[str, Number]) -> bool:
+        return bool(self.evaluate(sample))
+
+    def signals(self) -> Tuple[str, ...]:
+        """All signal names referenced, sorted."""
+        names = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node[0] == "signal":
+                names.add(node[1])
+            else:
+                stack.extend(child for child in node[1:]
+                             if isinstance(child, tuple))
+        return tuple(sorted(names))
+
+    def __str__(self) -> str:
+        return self.source
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)"
+    r"|(?P<op>==|!=|<=|>=|<|>|\+|-|\*|/|\(|\))"
+    r"|(?P<word>[A-Za-z_]\w*))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise ExprParseError(
+                    f"bad expression near {text[position:]!r}")
+            break
+        for kind in ("num", "op", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ExprParseError(f"unexpected end of expression: {self.text!r}")
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, *values: str) -> Optional[str]:
+        token = self.peek()
+        if token is not None and token[0] == kind and token[1] in values:
+            self.index += 1
+            return token[1]
+        return None
+
+    # grammar
+
+    def parse(self):
+        node = self.or_expr()
+        if self.peek() is not None:
+            raise ExprParseError(
+                f"trailing tokens in expression: {self.text!r}")
+        return node
+
+    def or_expr(self):
+        node = self.and_expr()
+        while self.accept("word", "or"):
+            node = ("or", node, self.and_expr())
+        return node
+
+    def and_expr(self):
+        node = self.not_expr()
+        while self.accept("word", "and"):
+            node = ("and", node, self.not_expr())
+        return node
+
+    def not_expr(self):
+        if self.accept("word", "not"):
+            return ("not", self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        node = self.sum_()
+        operator = self.accept("op", "==", "!=", "<=", ">=", "<", ">")
+        if operator:
+            return ("cmp", operator, node, self.sum_())
+        return node
+
+    def sum_(self):
+        node = self.term()
+        while True:
+            operator = self.accept("op", "+", "-")
+            if not operator:
+                return node
+            node = ("arith", operator, node, self.term())
+
+    def term(self):
+        node = self.factor()
+        while True:
+            operator = self.accept("op", "*", "/")
+            if not operator:
+                return node
+            node = ("arith", operator, node, self.factor())
+
+    def factor(self):
+        if self.accept("op", "-"):
+            return ("neg", self.factor())
+        if self.accept("op", "("):
+            node = self.or_expr()
+            if not self.accept("op", ")"):
+                raise ExprParseError(f"missing ')' in {self.text!r}")
+            return node
+        kind, value = self.next()
+        if kind == "num":
+            return ("const", float(value))
+        if kind == "word":
+            if value == "abs":
+                if not self.accept("op", "("):
+                    raise ExprParseError("abs requires parentheses")
+                node = self.or_expr()
+                if not self.accept("op", ")"):
+                    raise ExprParseError(f"missing ')' in {self.text!r}")
+                return ("abs", node)
+            if value in ("true", "false"):
+                return ("const", 1.0 if value == "true" else 0.0)
+            return ("signal", value)
+        raise ExprParseError(f"unexpected token {value!r} in {self.text!r}")
+
+
+def _eval(node, sample: Dict[str, Number]) -> Number:
+    kind = node[0]
+    if kind == "const":
+        return node[1]
+    if kind == "signal":
+        if node[1] not in sample:
+            raise KeyError(node[1])
+        return float(sample[node[1]])
+    if kind == "neg":
+        return -_eval(node[1], sample)
+    if kind == "abs":
+        return abs(_eval(node[1], sample))
+    if kind == "not":
+        return 0.0 if _eval(node[1], sample) else 1.0
+    if kind == "and":
+        return 1.0 if (_eval(node[1], sample) and _eval(node[2], sample)) \
+            else 0.0
+    if kind == "or":
+        return 1.0 if (_eval(node[1], sample) or _eval(node[2], sample)) \
+            else 0.0
+    if kind == "cmp":
+        left, right = _eval(node[2], sample), _eval(node[3], sample)
+        return 1.0 if {
+            "==": left == right,
+            "!=": left != right,
+            "<=": left <= right,
+            ">=": left >= right,
+            "<": left < right,
+            ">": left > right,
+        }[node[1]] else 0.0
+    if kind == "arith":
+        left, right = _eval(node[2], sample), _eval(node[3], sample)
+        if node[1] == "+":
+            return left + right
+        if node[1] == "-":
+            return left - right
+        if node[1] == "*":
+            return left * right
+        if right == 0:
+            raise ZeroDivisionError(f"division by zero in expression")
+        return left / right
+    raise TypeError(f"unknown node kind {kind!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse *text* into an :class:`Expr`."""
+    return Expr(text.strip(), _Parser(text).parse())

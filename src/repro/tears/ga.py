@@ -1,0 +1,146 @@
+"""Guarded assertions and their evaluation semantics.
+
+A :class:`GuardedAssertion` is judged against a
+:class:`~repro.tears.trace.TimedTrace` post-hoc:
+
+* find every *rising edge* of the guard (a sample where the guard holds
+  and it did not hold on the previous sample);
+* for each activation, the assertion must hold — immediately when no
+  timing modifier is present; within ``within`` time units (at some
+  sample) when WITHIN is given; and continuously for ``hold_for`` time
+  units after it first holds when FOR is given.
+
+Verdicts:
+
+* ``PASSED`` — at least one activation, all obligations met;
+* ``FAILED`` — some obligation violated (details carried);
+* ``VACUOUS`` — the guard never rose, so nothing was tested.  Vacuity
+  is reported explicitly because a suite of all-vacuous G/As is the
+  classic silent-testing failure.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.tears.expr import Expr
+from repro.tears.trace import Sample, TimedTrace
+
+
+class GaVerdict(enum.Enum):
+    PASSED = "PASSED"
+    FAILED = "FAILED"
+    VACUOUS = "VACUOUS"
+
+
+@dataclass
+class GaFailure:
+    """One violated obligation: where the guard rose and why it failed."""
+
+    activation_time: float
+    reason: str
+
+
+@dataclass
+class GaResult:
+    """Evaluation outcome of one G/A on one trace."""
+
+    name: str
+    verdict: GaVerdict
+    activations: int
+    failures: List[GaFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict is GaVerdict.PASSED
+
+
+@dataclass
+class GuardedAssertion:
+    """One independent guarded assertion.
+
+    Attributes:
+        name: Identifier for reports.
+        guard: When the requirement applies (rising-edge triggered).
+        assertion: What must hold.
+        within: Optional response window — the assertion must hold at
+            some sample within this many time units of the activation.
+        hold_for: Optional hold window — once the assertion holds it
+            must keep holding for this many time units.
+    """
+
+    name: str
+    guard: Expr
+    assertion: Expr
+    within: Optional[float] = None
+    hold_for: Optional[float] = None
+
+    def evaluate(self, trace: TimedTrace) -> GaResult:
+        """Judge this G/A against *trace*."""
+        activations = self._rising_edges(trace)
+        if not activations:
+            return GaResult(name=self.name, verdict=GaVerdict.VACUOUS,
+                            activations=0)
+        failures: List[GaFailure] = []
+        for index, sample in activations:
+            failure = self._check_activation(trace, index, sample)
+            if failure is not None:
+                failures.append(failure)
+        verdict = GaVerdict.FAILED if failures else GaVerdict.PASSED
+        return GaResult(name=self.name, verdict=verdict,
+                        activations=len(activations), failures=failures)
+
+    # -- internals -------------------------------------------------------------
+
+    def _rising_edges(self, trace: TimedTrace):
+        edges = []
+        previous = False
+        for index, sample in enumerate(trace):
+            current = self.guard.holds(sample.values)
+            if current and not previous:
+                edges.append((index, sample))
+            previous = current
+        return edges
+
+    def _check_activation(self, trace: TimedTrace, index: int,
+                          activation: Sample) -> Optional[GaFailure]:
+        deadline = (activation.time + self.within
+                    if self.within is not None else activation.time)
+        satisfied_at: Optional[int] = None
+        for j in range(index, len(trace)):
+            sample = trace[j]
+            if sample.time > deadline:
+                break
+            if self.assertion.holds(sample.values):
+                satisfied_at = j
+                break
+        if satisfied_at is None:
+            window = (f"within {self.within}" if self.within is not None
+                      else "at activation")
+            return GaFailure(
+                activation_time=activation.time,
+                reason=f"assertion never held {window}",
+            )
+        if self.hold_for is not None:
+            hold_end = trace[satisfied_at].time + self.hold_for
+            for j in range(satisfied_at, len(trace)):
+                sample = trace[j]
+                if sample.time > hold_end:
+                    break
+                if not self.assertion.holds(sample.values):
+                    return GaFailure(
+                        activation_time=activation.time,
+                        reason=(
+                            f"assertion broke at t={sample.time:g} before "
+                            f"holding for {self.hold_for}"
+                        ),
+                    )
+        return None
+
+    def __str__(self) -> str:
+        text = f'GA "{self.name}": WHEN {self.guard} THEN {self.assertion}'
+        if self.within is not None:
+            text += f" WITHIN {self.within:g}"
+        if self.hold_for is not None:
+            text += f" FOR {self.hold_for:g}"
+        return text

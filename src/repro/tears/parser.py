@@ -1,0 +1,98 @@
+"""TEARS G/A text syntax.
+
+One G/A per declaration::
+
+    GA "brake_response":
+        WHEN speed > 50 and brake == 1
+        THEN deceleration >= 2
+        WITHIN 3
+        FOR 1.5
+
+Keywords are case-insensitive; the clauses after ``WHEN``/``THEN`` are
+signal expressions (:mod:`repro.tears.expr`); ``WITHIN`` and ``FOR``
+take numeric time offsets and are optional.  A file may hold any number
+of declarations plus blank lines and ``#`` comments — this is the format
+stored in the session's ``GA/`` directory.
+"""
+
+import re
+from typing import List
+
+from repro.tears.expr import parse_expr
+from repro.tears.ga import GuardedAssertion
+
+_HEADER = re.compile(r'^\s*GA\s+"(?P<name>[^"]+)"\s*:\s*$', re.IGNORECASE)
+_CLAUSE = re.compile(
+    r"^\s*(?P<keyword>WHEN|THEN|WITHIN|FOR)\b\s*(?P<body>.*?)\s*$",
+    re.IGNORECASE,
+)
+
+
+class GaSyntaxError(ValueError):
+    """Malformed G/A declaration, with the offending line number."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def parse_ga_file(text: str) -> List[GuardedAssertion]:
+    """Parse every G/A declaration in *text*."""
+    declarations: List[GuardedAssertion] = []
+    current = None  # (name, clauses dict, header line)
+    line_number = 0
+
+    def finish(pending, at_line: int) -> None:
+        if pending is None:
+            return
+        name, clauses, header_line = pending
+        if "WHEN" not in clauses:
+            raise GaSyntaxError(f'GA "{name}" lacks a WHEN clause',
+                                header_line)
+        if "THEN" not in clauses:
+            raise GaSyntaxError(f'GA "{name}" lacks a THEN clause',
+                                header_line)
+        declarations.append(GuardedAssertion(
+            name=name,
+            guard=parse_expr(clauses["WHEN"]),
+            assertion=parse_expr(clauses["THEN"]),
+            within=float(clauses["WITHIN"]) if "WITHIN" in clauses else None,
+            hold_for=float(clauses["FOR"]) if "FOR" in clauses else None,
+        ))
+
+    for raw_line in text.splitlines():
+        line_number += 1
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        header = _HEADER.match(raw_line)
+        if header:
+            finish(current, line_number)
+            current = (header.group("name"), {}, line_number)
+            continue
+        clause = _CLAUSE.match(raw_line)
+        if clause:
+            if current is None:
+                raise GaSyntaxError(
+                    f"{clause.group('keyword')} outside a GA declaration",
+                    line_number)
+            keyword = clause.group("keyword").upper()
+            name, clauses, header_line = current
+            if keyword in clauses:
+                raise GaSyntaxError(
+                    f'duplicate {keyword} in GA "{name}"', line_number)
+            clauses[keyword] = clause.group("body")
+            continue
+        raise GaSyntaxError(f"unrecognized line: {line!r}", line_number)
+    finish(current, line_number)
+    return declarations
+
+
+def parse_ga(text: str) -> GuardedAssertion:
+    """Parse exactly one G/A declaration."""
+    declarations = parse_ga_file(text)
+    if len(declarations) != 1:
+        raise ValueError(
+            f"expected exactly one GA declaration, found {len(declarations)}"
+        )
+    return declarations[0]

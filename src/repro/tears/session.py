@@ -1,0 +1,157 @@
+"""The NAPKIN session directory.
+
+D2.7 §2.2.2 documents the layout the TEARS back end works against::
+
+    session
+    ├── GA
+    │   └── TEARS requirements.txt
+    ├── generated
+    │   └── ANALYSIS_overview.html
+    ├── log
+    │   └── Expert-Sessions
+    │       └── LOGDATA.TXT
+    ├── main_definitions.ga
+    └── req
+
+:class:`SessionDirectory` creates and round-trips that structure on a
+real filesystem path, evaluates every stored G/A against every stored
+log, and renders the ANALYSIS overview.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.tears.ga import GaResult, GaVerdict, GuardedAssertion
+from repro.tears.parser import parse_ga_file
+from repro.tears.trace import TimedTrace
+
+
+class SessionDirectory:
+    """A TEARS working session rooted at a directory."""
+
+    GA_FILE = "TEARS requirements.txt"
+    OVERVIEW_FILE = "ANALYSIS_overview.html"
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    # -- layout -------------------------------------------------------------------
+
+    @property
+    def ga_dir(self) -> Path:
+        return self.root / "GA"
+
+    @property
+    def generated_dir(self) -> Path:
+        return self.root / "generated"
+
+    @property
+    def log_dir(self) -> Path:
+        return self.root / "log" / "Expert-Sessions"
+
+    @property
+    def req_dir(self) -> Path:
+        return self.root / "req"
+
+    def initialize(self) -> "SessionDirectory":
+        """Create the directory skeleton (idempotent)."""
+        for directory in (self.ga_dir, self.generated_dir, self.log_dir,
+                          self.req_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        definitions = self.root / "main_definitions.ga"
+        if not definitions.exists():
+            definitions.write_text("# TEARS main definitions\n")
+        return self
+
+    # -- G/As ------------------------------------------------------------------------
+
+    def write_gas(self, gas: Sequence[GuardedAssertion]) -> Path:
+        """Store G/As in the session's requirements file."""
+        path = self.ga_dir / self.GA_FILE
+        path.write_text("\n\n".join(_render_ga(ga) for ga in gas) + "\n")
+        return path
+
+    def load_gas(self) -> List[GuardedAssertion]:
+        path = self.ga_dir / self.GA_FILE
+        if not path.exists():
+            return []
+        return parse_ga_file(path.read_text())
+
+    # -- logs -------------------------------------------------------------------------
+
+    def write_log(self, name: str, trace: TimedTrace) -> Path:
+        path = self.log_dir / f"{name}.TXT"
+        path.write_text(trace.to_logdata() + "\n")
+        return path
+
+    def load_logs(self) -> Dict[str, TimedTrace]:
+        logs = {}
+        if self.log_dir.exists():
+            for path in sorted(self.log_dir.glob("*.TXT")):
+                logs[path.stem] = TimedTrace.from_logdata(path.read_text())
+        return logs
+
+    # -- analysis ----------------------------------------------------------------------
+
+    def analyze(self) -> Dict[str, List[GaResult]]:
+        """Evaluate every stored G/A against every stored log.
+
+        Returns log name -> per-G/A results, and writes the ANALYSIS
+        overview into ``generated/``.
+        """
+        gas = self.load_gas()
+        logs = self.load_logs()
+        results = {
+            log_name: [ga.evaluate(trace) for ga in gas]
+            for log_name, trace in logs.items()
+        }
+        overview = render_overview(results)
+        self.generated_dir.mkdir(parents=True, exist_ok=True)
+        (self.generated_dir / self.OVERVIEW_FILE).write_text(overview)
+        return results
+
+
+def _render_ga(ga: GuardedAssertion) -> str:
+    lines = [f'GA "{ga.name}":',
+             f"    WHEN {ga.guard}",
+             f"    THEN {ga.assertion}"]
+    if ga.within is not None:
+        lines.append(f"    WITHIN {ga.within:g}")
+    if ga.hold_for is not None:
+        lines.append(f"    FOR {ga.hold_for:g}")
+    return "\n".join(lines)
+
+
+_VERDICT_COLOR = {
+    GaVerdict.PASSED: "#2e7d32",
+    GaVerdict.FAILED: "#c62828",
+    GaVerdict.VACUOUS: "#f9a825",
+}
+
+
+def render_overview(results: Dict[str, List[GaResult]]) -> str:
+    """Render the ANALYSIS_overview.html table."""
+    rows = []
+    for log_name in sorted(results):
+        for result in results[log_name]:
+            color = _VERDICT_COLOR[result.verdict]
+            detail = "; ".join(f.reason for f in result.failures) or "-"
+            rows.append(
+                "<tr>"
+                f"<td>{log_name}</td>"
+                f"<td>{result.name}</td>"
+                f"<td style='color:{color}'>{result.verdict.value}</td>"
+                f"<td>{result.activations}</td>"
+                f"<td>{detail}</td>"
+                "</tr>"
+            )
+    body = "\n".join(rows)
+    return (
+        "<!DOCTYPE html>\n<html><head><title>TEARS analysis overview"
+        "</title></head><body>\n"
+        "<h1>ANALYSIS overview</h1>\n"
+        "<table border='1'>\n"
+        "<tr><th>Log</th><th>G/A</th><th>Verdict</th>"
+        "<th>Activations</th><th>Detail</th></tr>\n"
+        f"{body}\n</table>\n</body></html>\n"
+    )

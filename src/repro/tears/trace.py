@@ -1,0 +1,110 @@
+"""Timed traces: the logs that G/As are evaluated against.
+
+A trace is an ordered sequence of :class:`Sample` records — a timestamp
+plus a snapshot of signal values.  The NAPKIN back end reads these from
+``session/log``; here they are built in memory or loaded from the same
+simple ``LOGDATA`` text format (one ``time signal=value ...`` line per
+sample).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One log record: timestamp plus signal snapshot."""
+
+    time: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, signal: str) -> float:
+        return self.values[signal]
+
+
+class TimedTrace:
+    """Ordered samples with monotone non-decreasing timestamps."""
+
+    def __init__(self, samples: Sequence[Sample] = ()):
+        self._samples: List[Sample] = []
+        for sample in samples:
+            self.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index):
+        return self._samples[index]
+
+    def append(self, sample: Sample) -> None:
+        if self._samples and sample.time < self._samples[-1].time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {sample.time} after "
+                f"{self._samples[-1].time}"
+            )
+        self._samples.append(sample)
+
+    def record(self, time: float, **values: float) -> Sample:
+        """Convenience append: ``trace.record(1.5, speed=52, brake=1)``."""
+        sample = Sample(time=time, values={k: float(v) for k, v in
+                                           values.items()})
+        self.append(sample)
+        return sample
+
+    def window(self, start: float, end: float) -> List[Sample]:
+        """Samples with ``start <= time <= end``."""
+        return [s for s in self._samples if start <= s.time <= end]
+
+    @property
+    def duration(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].time - self._samples[0].time
+
+    def signals(self) -> List[str]:
+        names = set()
+        for sample in self._samples:
+            names.update(sample.values)
+        return sorted(names)
+
+    # -- LOGDATA text round-trip ---------------------------------------------
+
+    def to_logdata(self) -> str:
+        """Serialize in the ``LOGDATA`` line format."""
+        lines = []
+        for sample in self._samples:
+            pairs = " ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(sample.values.items())
+            )
+            lines.append(f"{sample.time:g} {pairs}".rstrip())
+        return "\n".join(lines)
+
+    @classmethod
+    def from_logdata(cls, text: str) -> "TimedTrace":
+        """Parse the ``LOGDATA`` line format; blank lines and ``#``
+        comments are skipped."""
+        trace = cls()
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            try:
+                time = float(parts[0])
+            except ValueError as error:
+                raise ValueError(
+                    f"line {line_number}: bad timestamp {parts[0]!r}"
+                ) from error
+            values = {}
+            for pair in parts[1:]:
+                name, _, raw = pair.partition("=")
+                if not raw:
+                    raise ValueError(
+                        f"line {line_number}: bad pair {pair!r}")
+                values[name] = float(raw)
+            trace.append(Sample(time=time, values=values))
+        return trace

@@ -1,0 +1,42 @@
+"""Vulnerability database and security-requirement generation.
+
+WP2 "investigates automatic extraction, formalization and verification
+of the security requirements from natural language requirements,
+vulnerability databases and standards" (D2.7 §1).  Real CVE/NVD feeds
+need network access; this package ships an offline CVE-like record
+store with a realistic shape (CWE classification, CVSS scores, affected
+products) and the extraction logic that turns matched vulnerabilities
+into security requirements bound to RQCODE patterns.
+
+* :mod:`repro.vulndb.records` — record types and the CWE slice.
+* :mod:`repro.vulndb.database` — the store, queries, and the bundled
+  dataset (curated entries + deterministic synthetic expansion).
+* :mod:`repro.vulndb.generator` — vulnerability -> requirement mapping.
+"""
+
+from repro.vulndb.records import (
+    AffectedProduct,
+    CWE_CATALOG,
+    CweEntry,
+    Severity,
+    VulnRecord,
+)
+from repro.vulndb.database import VulnerabilityDatabase, bundled_database
+from repro.vulndb.generator import (
+    GeneratedRequirement,
+    RequirementGenerator,
+    SoftwareInventory,
+)
+
+__all__ = [
+    "AffectedProduct",
+    "CWE_CATALOG",
+    "CweEntry",
+    "GeneratedRequirement",
+    "RequirementGenerator",
+    "Severity",
+    "SoftwareInventory",
+    "VulnRecord",
+    "VulnerabilityDatabase",
+    "bundled_database",
+]

@@ -1,0 +1,182 @@
+"""Vulnerability -> security-requirement generation.
+
+The WP2 extraction path: scan a software inventory against the
+vulnerability database; for each matched record, emit a
+:class:`GeneratedRequirement` — a natural-language security requirement
+plus its formal binding: the specification-pattern family the CWE
+category maps to, and (where applicable) the RQCODE pattern that can
+check/enforce it on a host.
+
+The CWE-category -> pattern mapping is the heart of the generator; it
+is deliberately explicit (a table, not heuristics) so case-study
+partners can review and extend it.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.vulndb.database import VulnerabilityDatabase
+from repro.vulndb.records import Severity, VulnRecord
+
+
+@dataclass(frozen=True)
+class SoftwareInventory:
+    """What a host runs: (product, version) pairs plus a platform tag."""
+
+    host_name: str
+    platform: str  # "windows" | "ubuntu"
+    products: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def of(cls, host_name: str, platform: str,
+           products: Dict[str, str]) -> "SoftwareInventory":
+        return cls(host_name=host_name, platform=platform,
+                   products=tuple(sorted(products.items())))
+
+
+@dataclass
+class GeneratedRequirement:
+    """One extracted requirement with its formal bindings."""
+
+    req_id: str
+    text: str
+    source_cve: str
+    severity: Severity
+    cwe_category: str
+    #: Specification-pattern family recommended for formalization.
+    pattern_family: str
+    #: RQCODE pattern kind that can check/enforce it ("package",
+    #: "config", "audit", "monitor"), or None when it needs bespoke code.
+    rqcode_binding: Optional[str] = None
+    rationale: str = ""
+
+
+#: CWE category -> (pattern family, RQCODE binding, requirement template).
+_CATEGORY_MAPPING: Dict[str, Tuple[str, Optional[str], str]] = {
+    "input-validation": (
+        "Absence",
+        "monitor",
+        "The system shall reject and log inputs to {product} that fail "
+        "validation against the declared interface contract.",
+    ),
+    "memory-safety": (
+        "Absence",
+        "package",
+        "The system shall run {product} at a version not affected by "
+        "{cve} (upgrade beyond the fixed-in release).",
+    ),
+    "authentication": (
+        "Precedence",
+        "config",
+        "The system shall require successful multifactor authentication "
+        "before granting access to {product} functions exposed by {cve}.",
+    ),
+    "authorization": (
+        "Precedence",
+        "audit",
+        "The system shall verify an explicit authorization decision "
+        "before {product} performs the privileged operation affected by "
+        "{cve}, and shall audit every use.",
+    ),
+    "cryptography": (
+        "Universality",
+        "config",
+        "The system shall protect data handled by {product} with "
+        "approved algorithms at all times (mitigating {cve}).",
+    ),
+    "auditing": (
+        "Existence",
+        "audit",
+        "The system shall record every security-relevant operation of "
+        "{product} in the audit trail (closing the gap behind {cve}).",
+    ),
+    "availability": (
+        "TimedResponse",
+        "monitor",
+        "The system shall detect resource exhaustion in {product} and "
+        "restore service within the recovery-time objective "
+        "(mitigating {cve}).",
+    ),
+    "configuration": (
+        "Universality",
+        "config",
+        "The system shall maintain the hardened configuration baseline "
+        "for {product} continuously (preventing regressions like {cve}).",
+    ),
+}
+
+
+@dataclass
+class GenerationReport:
+    """Outcome of one extraction run."""
+
+    inventory: SoftwareInventory
+    scanned: int
+    matched: List[VulnRecord] = field(default_factory=list)
+    requirements: List[GeneratedRequirement] = field(default_factory=list)
+
+    def pattern_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for requirement in self.requirements:
+            histogram[requirement.pattern_family] = (
+                histogram.get(requirement.pattern_family, 0) + 1)
+        return histogram
+
+    def by_severity(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for requirement in self.requirements:
+            histogram[requirement.severity.value] = (
+                histogram.get(requirement.severity.value, 0) + 1)
+        return histogram
+
+
+class RequirementGenerator:
+    """Scans inventories and emits requirements with formal bindings."""
+
+    def __init__(self, database: VulnerabilityDatabase,
+                 min_severity: Severity = Severity.LOW):
+        self.database = database
+        self.min_severity = min_severity
+
+    def generate(self, inventory: SoftwareInventory) -> GenerationReport:
+        """Extract requirements for one host inventory.
+
+        One requirement per matched (vulnerability, product) pair;
+        duplicate texts from the same CWE category on the same product
+        are collapsed to the highest-severity representative.
+        """
+        order = [Severity.LOW, Severity.MEDIUM, Severity.HIGH,
+                 Severity.CRITICAL]
+        report = GenerationReport(inventory=inventory,
+                                  scanned=len(self.database))
+        best: Dict[Tuple[str, str], Tuple[VulnRecord, str]] = {}
+        for record in self.database.all():
+            if order.index(record.severity) < order.index(self.min_severity):
+                continue
+            for product, version in inventory.products:
+                if not record.affects(product, version):
+                    continue
+                report.matched.append(record)
+                cwe = record.cwe
+                if cwe is None:
+                    continue
+                key = (product, cwe.category)
+                incumbent = best.get(key)
+                if incumbent is None or \
+                        order.index(record.severity) > \
+                        order.index(incumbent[0].severity):
+                    best[key] = (record, product)
+        for index, ((product, category), (record, _)) in enumerate(
+                sorted(best.items()), start=1):
+            family, binding, template = _CATEGORY_MAPPING[category]
+            report.requirements.append(GeneratedRequirement(
+                req_id=f"GEN-{inventory.host_name}-{index:03d}",
+                text=template.format(product=product, cve=record.cve_id),
+                source_cve=record.cve_id,
+                severity=record.severity,
+                cwe_category=category,
+                pattern_family=family,
+                rqcode_binding=binding,
+                rationale=record.summary,
+            ))
+        return report

@@ -1,0 +1,147 @@
+"""Vulnerability record types and the CWE taxonomy slice.
+
+Records follow the NVD shape closely enough that the extraction logic
+(CPE-style product matching, CWE-driven requirement mapping) is the
+same code one would run against the real feed.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """CVSS v3 qualitative severity bands."""
+
+    LOW = "LOW"
+    MEDIUM = "MEDIUM"
+    HIGH = "HIGH"
+    CRITICAL = "CRITICAL"
+
+    @classmethod
+    def from_score(cls, score: float) -> "Severity":
+        if score >= 9.0:
+            return cls.CRITICAL
+        if score >= 7.0:
+            return cls.HIGH
+        if score >= 4.0:
+            return cls.MEDIUM
+        return cls.LOW
+
+
+@dataclass(frozen=True)
+class CweEntry:
+    """One Common Weakness Enumeration entry."""
+
+    cwe_id: str
+    name: str
+    category: str  # coarse grouping used by the requirement mapper
+
+
+#: The CWE slice the generator maps; categories drive the
+#: requirement-pattern choice in :mod:`repro.vulndb.generator`.
+CWE_CATALOG: Dict[str, CweEntry] = {
+    entry.cwe_id: entry for entry in (
+        CweEntry("CWE-79", "Cross-site Scripting", "input-validation"),
+        CweEntry("CWE-89", "SQL Injection", "input-validation"),
+        CweEntry("CWE-20", "Improper Input Validation", "input-validation"),
+        CweEntry("CWE-78", "OS Command Injection", "input-validation"),
+        CweEntry("CWE-119", "Buffer Overflow", "memory-safety"),
+        CweEntry("CWE-125", "Out-of-bounds Read", "memory-safety"),
+        CweEntry("CWE-787", "Out-of-bounds Write", "memory-safety"),
+        CweEntry("CWE-416", "Use After Free", "memory-safety"),
+        CweEntry("CWE-287", "Improper Authentication", "authentication"),
+        CweEntry("CWE-306", "Missing Authentication for Critical Function",
+                 "authentication"),
+        CweEntry("CWE-798", "Use of Hard-coded Credentials",
+                 "authentication"),
+        CweEntry("CWE-521", "Weak Password Requirements", "authentication"),
+        CweEntry("CWE-307", "Improper Restriction of Excessive "
+                 "Authentication Attempts", "authentication"),
+        CweEntry("CWE-269", "Improper Privilege Management",
+                 "authorization"),
+        CweEntry("CWE-284", "Improper Access Control", "authorization"),
+        CweEntry("CWE-862", "Missing Authorization", "authorization"),
+        CweEntry("CWE-863", "Incorrect Authorization", "authorization"),
+        CweEntry("CWE-311", "Missing Encryption of Sensitive Data",
+                 "cryptography"),
+        CweEntry("CWE-327", "Use of a Broken Crypto Algorithm",
+                 "cryptography"),
+        CweEntry("CWE-916", "Use of Password Hash With Insufficient "
+                 "Computational Effort", "cryptography"),
+        CweEntry("CWE-532", "Insertion of Sensitive Information into "
+                 "Log File", "auditing"),
+        CweEntry("CWE-778", "Insufficient Logging", "auditing"),
+        CweEntry("CWE-400", "Uncontrolled Resource Consumption",
+                 "availability"),
+        CweEntry("CWE-770", "Allocation of Resources Without Limits",
+                 "availability"),
+        CweEntry("CWE-319", "Cleartext Transmission of Sensitive "
+                 "Information", "cryptography"),
+        CweEntry("CWE-1188", "Insecure Default Initialization of Resource",
+                 "configuration"),
+        CweEntry("CWE-16", "Configuration", "configuration"),
+        CweEntry("CWE-250", "Execution with Unnecessary Privileges",
+                 "authorization"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class AffectedProduct:
+    """CPE-like product range: vendor/product plus version interval.
+
+    ``version_end`` is exclusive ("fixed in"); ``None`` bounds are
+    open.  Version strings compare component-wise numerically.
+    """
+
+    vendor: str
+    product: str
+    version_start: Optional[str] = None
+    version_end: Optional[str] = None
+
+    def matches(self, product: str, version: str) -> bool:
+        if product != self.product:
+            return False
+        key = _version_key(version)
+        if self.version_start is not None and \
+                key < _version_key(self.version_start):
+            return False
+        if self.version_end is not None and \
+                key >= _version_key(self.version_end):
+            return False
+        return True
+
+
+def _version_key(version: str) -> Tuple[Tuple[int, str], ...]:
+    """Component-wise version key; openssl-style letter suffixes
+    ("1.0.1g") order after their bare numeric component ("1.0.1")."""
+    parts = []
+    for chunk in version.lower().replace("-", ".").split("."):
+        digits = "".join(ch for ch in chunk if ch.isdigit())
+        letters = "".join(ch for ch in chunk if ch.isalpha())
+        parts.append((int(digits) if digits else 0, letters))
+    return tuple(parts)
+
+
+@dataclass(frozen=True)
+class VulnRecord:
+    """One vulnerability entry (NVD-shaped)."""
+
+    cve_id: str
+    summary: str
+    cwe_id: str
+    cvss: float
+    affected: Tuple[AffectedProduct, ...] = field(default_factory=tuple)
+    published: str = ""
+
+    @property
+    def severity(self) -> Severity:
+        return Severity.from_score(self.cvss)
+
+    @property
+    def cwe(self) -> Optional[CweEntry]:
+        return CWE_CATALOG.get(self.cwe_id)
+
+    def affects(self, product: str, version: str) -> bool:
+        return any(p.matches(product, version) for p in self.affected)

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.environment import (
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+
+@pytest.fixture
+def win_default():
+    return default_windows_host()
+
+
+@pytest.fixture
+def win_hardened():
+    return hardened_windows_host()
+
+
+@pytest.fixture
+def win_adversarial():
+    return adversarial_windows_host()
+
+
+@pytest.fixture
+def ubuntu_default():
+    return default_ubuntu_host()
+
+
+@pytest.fixture
+def ubuntu_hardened():
+    return hardened_ubuntu_host()
+
+
+@pytest.fixture
+def ubuntu_adversarial():
+    return adversarial_ubuntu_host()
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()

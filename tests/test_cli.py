@@ -1,0 +1,164 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestAudit:
+    def test_hardened_profile_exits_zero(self):
+        code, output = run_cli("audit", "--profile", "ubuntu-hardened")
+        assert code == 0
+        assert "14/14 passing" in output
+
+    def test_default_profile_exits_nonzero(self):
+        code, output = run_cli("audit", "--profile", "ubuntu-default")
+        assert code == 1
+        assert "FAIL" in output
+
+    def test_unknown_profile_aborts(self):
+        with pytest.raises(SystemExit):
+            run_cli("audit", "--profile", "solaris")
+
+
+class TestHarden:
+    def test_adversarial_profile_remediated(self):
+        code, output = run_cli("harden", "--profile", "ubuntu-adversarial")
+        assert code == 0
+        assert "14 remediated" in output
+
+    def test_windows_adversarial(self):
+        code, output = run_cli("harden", "--profile", "win10-adversarial")
+        assert code == 0
+        assert "12 remediated" in output
+
+
+class TestSmells:
+    CSV = (
+        "REQ ID,Text\n"
+        "R1,The system shall lock the account after 3 attempts.\n"
+        "R2,The system may be adequate where possible.\n"
+    )
+
+    def test_flags_smelly_rows(self, tmp_path):
+        csv_path = tmp_path / "reqs.csv"
+        csv_path.write_text(self.CSV)
+        code, output = run_cli("smells", str(csv_path))
+        assert code == 1  # 1/2 smelly > default 0.2 ratio
+        assert "vagueness" in output
+        assert "1/2 requirements smelly" in output
+
+    def test_threshold_can_be_relaxed(self, tmp_path):
+        csv_path = tmp_path / "reqs.csv"
+        csv_path.write_text(self.CSV)
+        code, _ = run_cli("smells", str(csv_path),
+                          "--max-smelly-ratio", "0.6")
+        assert code == 0
+
+
+class TestFormalize:
+    def test_timed_conditional(self):
+        code, output = run_cli(
+            "formalize",
+            "When intrusion is detected, the gateway shall alert the "
+            "operator within 5 seconds.")
+        assert code == 0
+        assert "boilerplate: B4" in output
+        assert "A<>[0,5]" in output
+
+    def test_prose_fails(self):
+        code, output = run_cli("formalize", "security is nice to have")
+        assert code == 1
+        assert "no boilerplate match" in output
+
+
+class TestScan:
+    def test_vulnerable_inventory(self):
+        code, output = run_cli(
+            "scan", "--product", "bash=4.3", "--product", "openssl=1.0.1f")
+        assert code == 0
+        assert "requirements" in output
+        assert "CVE-" in output
+
+    def test_fail_on_findings(self):
+        code, _ = run_cli(
+            "scan", "--product", "bash=4.3", "--fail-on-findings")
+        assert code == 1
+
+    def test_patched_inventory_clean(self):
+        code, output = run_cli(
+            "scan", "--product", "bash=5.2", "--fail-on-findings")
+        assert code == 0
+        assert "0 requirements" in output
+
+    def test_bad_product_spec_aborts(self):
+        with pytest.raises(SystemExit):
+            run_cli("scan", "--product", "bash")
+
+
+class TestPipeline:
+    def test_default_host_pipeline_passes(self):
+        code, output = run_cli("pipeline", "--profile", "ubuntu-default")
+        assert code == 0
+        assert "pipeline passed" in output
+        assert "stig-compliance" in output
+
+    def test_extra_requirements_flow_in(self):
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default",
+            "--requirement",
+            "The audit subsystem shall not transmit passwords.")
+        assert code == 0
+
+    def test_smelly_extra_requirement_fails_gate(self):
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default",
+            "--requirement", "The system may be adequate where possible.",
+            "--requirement", "It could possibly react in a timely manner.",
+            "--requirement", "Behaviour should be as good as possible.",
+            "--requirement", "Results may be satisfactory if practical.",
+            "--requirement", "Users might find it nice and friendly.",
+            "--requirement", "Optionally it can be robust and flexible.",
+            "--requirement", "Possibly it might be efficient and simple.",
+            "--requirement", "Where possible it may remain adequate.",
+        )
+        assert code == 1
+        assert "requirements-quality" in output
+
+
+class TestGap:
+    def test_hardened_full_coverage(self):
+        code, output = run_cli("gap", "--profile", "ubuntu-hardened",
+                               "--level", "2")
+        assert code == 0
+        assert "coverage (evidenced SRs): 100%" in output
+        assert "UNMAPPED" in output  # gaps stay visible
+
+    def test_default_profile_has_gaps(self):
+        code, output = run_cli("gap", "--profile", "ubuntu-default")
+        assert code == 1
+        assert "UNSATISFIED" in output or "PARTIAL" in output
+
+
+class TestReport:
+    def test_report_to_stdout(self):
+        code, output = run_cli("report", "--profile", "ubuntu-default")
+        assert code == 0
+        assert "# ubuntu-default security report" in output
+        assert "## Pipeline: PASSED" in output
+
+    def test_report_to_file(self, tmp_path):
+        target = tmp_path / "report.md"
+        code, output = run_cli("report", "--profile", "ubuntu-default",
+                               "--output", str(target))
+        assert code == 0
+        assert target.exists()
+        assert "## Requirements" in target.read_text()

@@ -1,0 +1,122 @@
+"""Unit tests for fleet management and fleet-wide protection."""
+
+import pytest
+
+from repro.core.fleet import Fleet, FleetProtection
+from repro.environment import (
+    adversarial_ubuntu_host,
+    default_ubuntu_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+
+@pytest.fixture
+def fleet(catalog):
+    fleet = Fleet("prod", catalog)
+    fleet.add(hardened_ubuntu_host("web-1"))
+    fleet.add(hardened_ubuntu_host("web-2"))
+    fleet.add(hardened_windows_host("ops-console"))
+    return fleet
+
+
+class TestFleet:
+    def test_membership(self, fleet):
+        assert len(fleet) == 3
+        assert fleet.host("web-1").os_family == "ubuntu"
+        assert [h.name for h in fleet.hosts("windows")] == ["ops-console"]
+
+    def test_duplicate_names_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.add(hardened_ubuntu_host("web-1"))
+
+    def test_audit_posture(self, fleet):
+        posture = fleet.audit()
+        assert posture.host_count == 3
+        assert posture.fully_compliant_hosts == 3
+        assert posture.worst_ratio == 1.0
+
+    def test_mixed_posture(self, catalog):
+        fleet = Fleet("mixed", catalog)
+        fleet.add(hardened_ubuntu_host("good"))
+        fleet.add(adversarial_ubuntu_host("bad"))
+        posture = fleet.audit()
+        assert posture.fully_compliant_hosts == 1
+        assert posture.worst_ratio == 0.0
+        assert 0.0 < posture.mean_ratio < 1.0
+
+    def test_harden_lifts_the_fleet(self, catalog):
+        fleet = Fleet("mixed", catalog)
+        fleet.add(adversarial_ubuntu_host("bad-1"))
+        fleet.add(default_ubuntu_host("meh-1"))
+        posture = fleet.harden()
+        assert posture.worst_ratio == 1.0
+
+    def test_posture_rows(self, fleet):
+        rows = fleet.audit().rows()
+        assert len(rows) == 3
+        assert rows[0]["ratio"] == "100%"
+
+    def test_empty_fleet_posture(self, catalog):
+        posture = Fleet("empty", catalog).audit()
+        assert posture.worst_ratio == 1.0
+        assert posture.rows() == []
+
+
+class TestFleetProtection:
+    def test_drift_on_any_host_repaired(self, fleet):
+        protection = FleetProtection(fleet).start()
+        fleet.host("web-1").drift_install_package("nis")
+        fleet.host("web-2").drift_install_package("rsh-server")
+        fleet.host("ops-console").drift_audit_policy("Logon")
+
+        # The audit drift breaks both Logon findings (success+failure),
+        # so four effective repairs across the three drift events.
+        assert protection.effective_repairs() >= 3
+        assert not fleet.host("web-1").dpkg.is_installed("nis")
+        assert not fleet.host("web-2").dpkg.is_installed("rsh-server")
+        assert fleet.host("ops-console").audit_store.get(
+            "Logon").render() == "Success and Failure"
+
+    def test_incidents_merged_in_time_order(self, fleet):
+        protection = FleetProtection(fleet).start()
+        fleet.host("web-2").drift_install_package("nis")
+        fleet.host("web-1").drift_install_package("nis")
+        incidents = protection.incidents()
+        assert incidents
+        times = [incident.detected_at for incident in incidents]
+        assert times == sorted(times)
+
+    def test_incidents_by_host(self, fleet):
+        protection = FleetProtection(fleet).start()
+        fleet.host("web-1").drift_install_package("nis")
+        by_host = protection.incidents_by_host()
+        assert any(i.effective for i in by_host["web-1"])
+        assert not any(i.effective for i in by_host["web-2"])
+
+    def test_cross_platform_bindings_filtered(self, fleet):
+        """A Windows finding must never be enforced on an Ubuntu box:
+        the ubuntu loops carry only ubuntu bindings."""
+        protection = FleetProtection(fleet).start()
+        ubuntu_loop = protection.loop_for("web-1")
+        ubuntu_findings = {
+            fid for binding in ubuntu_loop.bindings.values()
+            for fid in binding
+        }
+        assert ubuntu_findings
+        assert all(fid.startswith("V-219") for fid in ubuntu_findings)
+
+    def test_account_policy_drift_repaired(self, fleet):
+        protection = FleetProtection(fleet).start()
+        console = fleet.host("ops-console")
+        console.drift_account_policy(threshold=0)
+        assert console.accounts.policy.threshold == 3
+        assert console.accounts.policy.duration_minutes >= 15
+
+    def test_start_is_idempotent(self, fleet):
+        protection = FleetProtection(fleet).start().start()
+        assert len(protection.incidents()) == 0
+        protection.stop()
+        fleet.host("web-1").drift_install_package("nis")
+        assert protection.effective_repairs() == 0

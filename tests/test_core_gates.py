@@ -1,0 +1,174 @@
+"""Unit tests for the five security gates."""
+
+import pytest
+
+from repro.core.gates import (
+    ComplianceGate,
+    FormalizationGate,
+    MonitoringGate,
+    RequirementsQualityGate,
+    VerificationGate,
+)
+from repro.core.pipeline import PipelineContext
+from repro.core.repository import (
+    RequirementRecord,
+    RequirementRepository,
+    RequirementSource,
+    RequirementStatus,
+)
+from repro.rqcode import default_catalog
+from repro.specpatterns import Absence, Globally, Response
+from repro.ta import Edge, Location, Network, TimedAutomaton
+
+
+def repository_with(*texts, pattern=None):
+    repository = RequirementRepository()
+    for index, text in enumerate(texts, start=1):
+        repository.add(RequirementRecord(
+            req_id=f"R-{index}", text=text,
+            source=RequirementSource.NATURAL_LANGUAGE,
+            pattern=pattern, scope=Globally() if pattern else None))
+    return repository
+
+
+class TestRequirementsQualityGate:
+    def test_passes_clean_requirements(self):
+        context = PipelineContext(repository=repository_with(
+            "The system shall lock the account after 3 attempts.",
+            "The system shall record every privileged operation.",
+        ))
+        result = RequirementsQualityGate(max_smelly_ratio=0.2).evaluate(
+            context)
+        assert result.passed
+        assert context.get("nalabs_report").total == 2
+
+    def test_fails_smelly_requirements(self):
+        context = PipelineContext(repository=repository_with(
+            "The system may be adequate where possible.",
+            "The system could possibly react in a timely manner.",
+        ))
+        result = RequirementsQualityGate(max_smelly_ratio=0.2).evaluate(
+            context)
+        assert not result.passed
+        assert result.metrics["smelly_ratio"] == 1.0
+
+    def test_attaches_flags_and_advances_status(self):
+        repository = repository_with("The system may be adequate.")
+        context = PipelineContext(repository=repository)
+        RequirementsQualityGate(max_smelly_ratio=1.0).evaluate(context)
+        record = repository.get("R-1")
+        assert "vagueness" in record.quality_flags
+        assert record.status is RequirementStatus.ANALYZED
+
+    def test_empty_repository_passes(self):
+        context = PipelineContext(repository=RequirementRepository())
+        assert RequirementsQualityGate().evaluate(context).passed
+
+
+class TestFormalizationGate:
+    def test_renders_ltl_and_tctl(self):
+        repository = repository_with(
+            "No exploit shall occur.", pattern=Absence(p="exploit"))
+        context = PipelineContext(repository=repository)
+        result = FormalizationGate(min_formalized_ratio=1.0).evaluate(
+            context)
+        assert result.passed
+        record = repository.get("R-1")
+        assert record.ltl == "G (!(exploit))"
+        assert record.tctl == "A[] not exploit"
+        assert record.status is RequirementStatus.FORMALIZED
+
+    def test_fails_below_threshold(self):
+        repository = repository_with("Free prose without a pattern.")
+        context = PipelineContext(repository=repository)
+        result = FormalizationGate(min_formalized_ratio=0.5).evaluate(
+            context)
+        assert not result.passed
+
+
+class TestVerificationGate:
+    def _network(self, safe):
+        target = "safe" if safe else "err"
+        automaton = TimedAutomaton(
+            "M", [], [Location("start"), Location("safe"),
+                      Location("err")],
+            [Edge("start", target, action="go")],
+        )
+        return Network([automaton])
+
+    def test_all_tasks_hold(self):
+        context = PipelineContext(verification_tasks=[
+            ("safety", self._network(safe=True), "A[] not M.err"),
+        ])
+        result = VerificationGate().evaluate(context)
+        assert result.passed
+        assert context.get("verification_results")[0][1].satisfied
+
+    def test_failing_task_reports_label(self):
+        context = PipelineContext(verification_tasks=[
+            ("safety", self._network(safe=False), "A[] not M.err"),
+        ])
+        result = VerificationGate().evaluate(context)
+        assert not result.passed
+        assert "safety" in result.detail
+
+    def test_no_tasks_is_vacuous_pass(self):
+        assert VerificationGate().evaluate(PipelineContext()).passed
+
+    def test_advances_formalized_records(self):
+        repository = repository_with("x", pattern=Absence(p="e"))
+        FormalizationGate().evaluate(PipelineContext(repository=repository))
+        context = PipelineContext(repository=repository,
+                                  verification_tasks=[])
+        VerificationGate().evaluate(context)
+        assert repository.get("R-1").status is RequirementStatus.VERIFIED
+
+
+class TestComplianceGate:
+    def test_auto_remediates_adversarial_host(self, ubuntu_adversarial):
+        gate = ComplianceGate(default_catalog(), auto_remediate=True)
+        context = PipelineContext(hosts=[ubuntu_adversarial])
+        result = gate.evaluate(context)
+        assert result.passed
+        assert context.get("compliance_reports")[0].compliance_ratio == 1.0
+
+    def test_check_only_fails_on_drifted_host(self, ubuntu_adversarial):
+        gate = ComplianceGate(default_catalog(), auto_remediate=False)
+        context = PipelineContext(hosts=[ubuntu_adversarial])
+        result = gate.evaluate(context)
+        assert not result.passed
+        assert result.metrics["worst_compliance"] < 1.0
+
+    def test_no_hosts_passes(self):
+        gate = ComplianceGate(default_catalog())
+        assert gate.evaluate(PipelineContext()).passed
+
+    def test_multiple_hosts_worst_case(self, ubuntu_hardened,
+                                       ubuntu_adversarial):
+        gate = ComplianceGate(default_catalog(), auto_remediate=False,
+                              min_compliance=0.9)
+        context = PipelineContext(
+            hosts=[ubuntu_hardened, ubuntu_adversarial])
+        result = gate.evaluate(context)
+        assert not result.passed  # the adversarial host drags it down
+
+
+class TestMonitoringGate:
+    def test_arms_monitors_for_ltl_records(self):
+        repository = repository_with(
+            "responses", pattern=Response(p="req", s="ack"))
+        FormalizationGate().evaluate(PipelineContext(repository=repository))
+        context = PipelineContext(repository=repository)
+        result = MonitoringGate().evaluate(context)
+        assert result.passed
+        monitors = context.get("monitors")
+        assert "R-1" in monitors
+
+    def test_unparseable_ltl_fails_gate(self):
+        repository = repository_with("x", pattern=Absence(p="e"))
+        FormalizationGate().evaluate(PipelineContext(repository=repository))
+        repository.get("R-1").ltl = "G (("  # corrupt the artifact
+        context = PipelineContext(repository=repository)
+        result = MonitoringGate().evaluate(context)
+        assert not result.passed
+        assert "R-1" in result.detail

@@ -1,0 +1,140 @@
+"""Unit tests for the operations-time protection loops."""
+
+import pytest
+
+from repro.core.protection import (
+    PollingProtection,
+    ProtectionLoop,
+    event_propositions,
+)
+from repro.environment.events import Event
+from repro.ltl import LtlMonitor, parse_ltl
+from repro.rqcode import default_catalog
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+
+
+class TestEventPropositions:
+    def test_prefix_expansion(self):
+        event = Event(time=0, kind="drift.package")
+        assert event_propositions(event) == ["drift", "drift.package"]
+
+    def test_single_segment(self):
+        assert event_propositions(Event(time=0, kind="boot")) == ["boot"]
+
+
+@pytest.fixture
+def armed_loop(ubuntu_hardened):
+    catalog = default_catalog()
+    monitors = {
+        "REQ-NIS": LtlMonitor(parse_ltl("G !drift.package")),
+        "REQ-CONF": LtlMonitor(parse_ltl("G !drift.config")),
+    }
+    bindings = {"REQ-NIS": ["V-219157"], "REQ-CONF": ["V-219312"]}
+    loop = ProtectionLoop(ubuntu_hardened, catalog, monitors, bindings)
+    return loop.start()
+
+
+class TestProtectionLoop:
+    def test_detects_and_repairs_package_drift(self, armed_loop,
+                                               ubuntu_hardened):
+        ubuntu_hardened.drift_install_package("nis")
+        assert armed_loop.incident_count() == 1
+        incident = armed_loop.incidents[0]
+        assert incident.req_id == "REQ-NIS"
+        assert incident.detection_latency == 0
+        assert incident.effective
+        assert not ubuntu_hardened.dpkg.is_installed("nis")
+
+    def test_unrelated_monitor_not_triggered(self, armed_loop,
+                                             ubuntu_hardened):
+        ubuntu_hardened.drift_install_package("nis")
+        req_ids = {incident.req_id for incident in armed_loop.incidents}
+        assert "REQ-CONF" not in req_ids
+
+    def test_config_drift_repaired(self, armed_loop, ubuntu_hardened):
+        ubuntu_hardened.drift_config_value(
+            "/etc/ssh/sshd_config", "PermitEmptyPasswords", "yes")
+        assert ubuntu_hardened.config.get(
+            "/etc/ssh/sshd_config", "PermitEmptyPasswords") == "no"
+        assert armed_loop.repaired_count() == 1
+
+    def test_monitor_rearms_after_incident(self, armed_loop,
+                                           ubuntu_hardened):
+        ubuntu_hardened.drift_install_package("nis")
+        ubuntu_hardened.drift_install_package("rsh-server")
+        assert armed_loop.incident_count() == 2
+        # rsh-server is not bound to REQ-NIS, so the second repair
+        # re-checks V-219157 (already compliant after repair #1).
+        second = armed_loop.incidents[1]
+        assert second.repairs[0].finding_id == "V-219157"
+
+    def test_repair_events_do_not_retrigger(self, armed_loop,
+                                            ubuntu_hardened):
+        ubuntu_hardened.drift_install_package("nis")
+        # The repair emitted package.removed while detached; only the
+        # drift event itself produced an incident.
+        assert armed_loop.incident_count() == 1
+
+    def test_stop_detaches(self, armed_loop, ubuntu_hardened):
+        armed_loop.stop()
+        ubuntu_hardened.drift_install_package("nis")
+        assert armed_loop.incident_count() == 0
+        # nis stays installed: nobody is watching.
+        assert ubuntu_hardened.dpkg.is_installed("nis")
+
+    def test_unknown_binding_reports_failure(self, ubuntu_hardened):
+        loop = ProtectionLoop(
+            ubuntu_hardened, default_catalog(),
+            {"R": LtlMonitor(parse_ltl("G !drift"))},
+            {"R": ["V-00000"]},
+        ).start()
+        ubuntu_hardened.drift_install_package("nis")
+        repair = loop.incidents[0].repairs[0]
+        assert repair.status is EnforcementStatus.FAILURE
+        assert "not in catalogue" in repair.detail
+
+
+class TestPollingProtection:
+    def test_poll_repairs_all_drift(self, ubuntu_hardened):
+        protection = PollingProtection(ubuntu_hardened, default_catalog())
+        ubuntu_hardened.drift_install_package("nis")
+        ubuntu_hardened.drift_config_value(
+            "/etc/ssh/sshd_config", "PermitEmptyPasswords", "yes")
+        incidents = protection.poll()
+        assert {i.req_id for i in incidents} == {"V-219157", "V-219312"}
+        assert not ubuntu_hardened.dpkg.is_installed("nis")
+
+    def test_poll_latency_positive(self, ubuntu_hardened):
+        protection = PollingProtection(ubuntu_hardened, default_catalog())
+        ubuntu_hardened.drift_install_package("nis")
+        ubuntu_hardened.events.advance(10)  # time passes before the poll
+        incident = protection.poll()[0]
+        assert incident.detection_latency >= 10
+
+    def test_clean_poll_detects_nothing(self, ubuntu_hardened):
+        protection = PollingProtection(ubuntu_hardened, default_catalog())
+        assert protection.poll() == []
+        assert protection.polls == 1
+
+    def test_event_driven_beats_polling_latency(self, ubuntu_hardened):
+        """The E2 ablation in miniature: polling latency is bounded
+        below by the poll period, event-driven detection is immediate."""
+        catalog = default_catalog()
+        loop = ProtectionLoop(
+            ubuntu_hardened, catalog,
+            {"R": LtlMonitor(parse_ltl("G !drift.package"))},
+            {"R": ["V-219157"]},
+        ).start()
+        polling_host_events = ubuntu_hardened.events
+        ubuntu_hardened.drift_install_package("nis")
+        event_latency = loop.incidents[0].detection_latency
+        assert event_latency == 0
+
+        # Polling on a second host with the same drift plus idle time.
+        from repro.environment import hardened_ubuntu_host
+        other = hardened_ubuntu_host("poll-host")
+        polling = PollingProtection(other, catalog)
+        other.drift_install_package("nis")
+        other.events.advance(25)
+        poll_latency = polling.poll()[0].detection_latency
+        assert poll_latency > event_latency

@@ -1,0 +1,125 @@
+"""Unit tests for the account store and the lockout STIG findings."""
+
+import pytest
+
+from repro.environment import SimulatedHost
+from repro.environment.accounts import AccountStore, LockoutPolicy
+from repro.environment.events import EventLog
+from repro.rqcode.concepts import CheckStatus
+from repro.rqcode.win10_accounts import V_63405, V_63409
+
+
+@pytest.fixture
+def store():
+    return AccountStore(EventLog(), LockoutPolicy(threshold=3))
+
+
+class TestAccountStore:
+    def test_add_and_get(self, store):
+        store.add("alice", privileged=True)
+        assert store.get("alice").privileged
+        assert store.names() == ["alice"]
+
+    def test_duplicate_add_rejected(self, store):
+        store.add("alice")
+        with pytest.raises(ValueError):
+            store.add("alice")
+
+    def test_unknown_account_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("ghost")
+
+    def test_successful_logon_resets_counter(self, store):
+        store.add("alice")
+        store.logon("alice", success=False)
+        store.logon("alice", success=False)
+        assert store.logon("alice", success=True)
+        assert store.get("alice").failed_attempts == 0
+
+    def test_lockout_at_threshold(self, store):
+        store.add("alice")
+        for _ in range(3):
+            store.logon("alice", success=False)
+        assert store.get("alice").locked
+        # Even a correct password is refused now.
+        assert not store.logon("alice", success=True)
+
+    def test_threshold_zero_never_locks(self):
+        store = AccountStore(EventLog(), LockoutPolicy(threshold=0))
+        store.add("alice")
+        for _ in range(50):
+            store.logon("alice", success=False)
+        assert not store.get("alice").locked
+
+    def test_admin_unlock(self, store):
+        store.add("alice")
+        for _ in range(3):
+            store.logon("alice", success=False)
+        store.unlock("alice")
+        assert not store.get("alice").locked
+        assert store.logon("alice", success=True)
+
+    def test_events_emitted(self):
+        log = EventLog()
+        store = AccountStore(log, LockoutPolicy(threshold=2))
+        store.add("alice")
+        store.logon("alice", success=False)
+        store.logon("alice", success=False)
+        kinds = [event.kind for event in log]
+        assert kinds == ["account.created", "logon.failure",
+                         "logon.failure", "account.locked"]
+        assert log.last("account.locked").payload["after_attempts"] == 2
+
+
+class TestLockoutFindings:
+    def test_v63409_threshold_band(self, win_default):
+        finding = V_63409(win_default)
+        # Default policy has lockout disabled: a finding.
+        assert finding.check() is CheckStatus.FAIL
+        win_default.accounts.policy.threshold = 3
+        assert finding.check() is CheckStatus.PASS
+        win_default.accounts.policy.threshold = 5  # too lenient
+        assert finding.check() is CheckStatus.FAIL
+
+    def test_v63405_duration_minimum(self, win_default):
+        finding = V_63405(win_default)
+        assert finding.check() is CheckStatus.FAIL
+        win_default.accounts.policy.duration_minutes = 30
+        assert finding.check() is CheckStatus.PASS
+
+    def test_hardened_profile_compliant(self, win_hardened):
+        assert V_63409(win_hardened).check() is CheckStatus.PASS
+        assert V_63405(win_hardened).check() is CheckStatus.PASS
+
+    def test_enforcement_changes_real_behaviour(self, win_default):
+        """The point of the behavioural substrate: before enforcement a
+        password-guessing attack runs forever; after enforcement the
+        third failure locks the account."""
+        host = win_default
+        host.accounts.add("admin", privileged=True)
+
+        for _ in range(10):
+            host.accounts.logon("admin", success=False)
+        assert not host.accounts.get("admin").locked  # attack unnoticed
+
+        V_63409(host).enforce()
+        host.accounts.unlock("admin")
+        for _ in range(3):
+            host.accounts.logon("admin", success=False)
+        assert host.accounts.get("admin").locked       # attack stopped
+        assert host.events.last("account.locked") is not None
+
+    def test_lockout_event_feeds_protection_monitors(self, win_hardened):
+        """The lockout event stream is monitorable: an LTL response
+        monitor concludes once the lockout follows the failures."""
+        from repro.ltl import LtlMonitor, Verdict, parse_ltl
+
+        host = win_hardened
+        host.accounts.add("admin")
+        monitor = LtlMonitor(parse_ltl("F account.locked"))
+        host.events.subscribe(
+            lambda event: monitor.observe(
+                [event.kind, event.kind.split(".")[0]]))
+        for _ in range(3):
+            host.accounts.logon("admin", success=False)
+        assert monitor.verdict is Verdict.TRUE

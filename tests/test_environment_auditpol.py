@@ -1,0 +1,153 @@
+"""Unit tests for the simulated auditpol tool and policy store."""
+
+import pytest
+
+from repro.environment.auditpol import (
+    AuditPolicyStore,
+    AuditSetting,
+    SimulatedAuditPol,
+)
+from repro.environment.errors import CommandError, UnknownSubcategoryError
+from repro.environment.events import EventLog
+
+
+class TestAuditSetting:
+    @pytest.mark.parametrize("success,failure,expected", [
+        (False, False, "No Auditing"),
+        (True, False, "Success"),
+        (False, True, "Failure"),
+        (True, True, "Success and Failure"),
+    ])
+    def test_render(self, success, failure, expected):
+        assert AuditSetting(success, failure).render() == expected
+
+    @pytest.mark.parametrize("text", [
+        "No Auditing", "Success", "Failure", "Success and Failure",
+        "  success and failure  ",
+    ])
+    def test_parse_round_trip(self, text):
+        setting = AuditSetting.parse(text)
+        reparsed = AuditSetting.parse(setting.render())
+        assert reparsed == setting
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AuditSetting.parse("Sometimes")
+
+
+class TestAuditPolicyStore:
+    def test_defaults_to_no_auditing(self):
+        store = AuditPolicyStore()
+        assert store.get("Logon").render() == "No Auditing"
+
+    def test_set_and_get(self):
+        store = AuditPolicyStore()
+        store.set("Logon", success=True)
+        assert store.get("Logon").render() == "Success"
+        store.set("Logon", failure=True)
+        assert store.get("Logon").render() == "Success and Failure"
+
+    def test_set_none_leaves_flag(self):
+        store = AuditPolicyStore()
+        store.set("Logon", success=True, failure=True)
+        store.set("Logon", failure=False)
+        assert store.get("Logon").render() == "Success"
+
+    def test_unknown_subcategory_raises(self):
+        store = AuditPolicyStore()
+        with pytest.raises(UnknownSubcategoryError):
+            store.get("Totally Made Up")
+
+    def test_category_of(self):
+        store = AuditPolicyStore()
+        assert store.category_of("Logon") == "Logon/Logoff"
+        assert store.category_of("User Account Management") == \
+            "Account Management"
+
+    def test_snapshot_covers_all_subcategories(self):
+        store = AuditPolicyStore()
+        snapshot = store.snapshot()
+        assert "Logon" in snapshot
+        assert "Sensitive Privilege Use" in snapshot
+        assert all(value == "No Auditing" for value in snapshot.values())
+
+
+class TestSimulatedAuditPol:
+    def test_get_subcategory_output_format(self):
+        tool = SimulatedAuditPol()
+        tool.store.set("Logon", success=True, failure=True)
+        output = tool.run('/get /subcategory:"Logon"')
+        assert output.splitlines()[0] == "System audit policy"
+        assert "Logon/Logoff" in output
+        assert "Success and Failure" in output
+
+    def test_set_then_get_round_trip(self):
+        tool = SimulatedAuditPol()
+        result = tool.run(
+            '/set /subcategory:"Logon" /success:enable /failure:enable')
+        assert "successfully" in result
+        output = tool.run('/get /subcategory:"Logon"')
+        assert "Success and Failure" in output
+
+    def test_get_category_lists_all_subcategories(self):
+        tool = SimulatedAuditPol()
+        output = tool.run('/get /category:"Privilege Use"')
+        assert "Sensitive Privilege Use" in output
+        assert "Non Sensitive Privilege Use" in output
+
+    def test_get_star_lists_everything(self):
+        tool = SimulatedAuditPol()
+        output = tool.run("/get /category:*")
+        assert "Account Management" in output
+        assert "System" in output
+
+    def test_accepts_argv_list_and_tool_name(self):
+        tool = SimulatedAuditPol()
+        output = tool.run(["auditpol", "/get", '/subcategory:"Logon"'])
+        assert "Logon" in output
+
+    def test_set_disable(self):
+        tool = SimulatedAuditPol()
+        tool.run('/set /subcategory:"Logon" /success:enable')
+        tool.run('/set /subcategory:"Logon" /success:disable')
+        assert tool.store.get("Logon").render() == "No Auditing"
+
+    def test_missing_verb_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(CommandError):
+            tool.run("")
+
+    def test_bad_verb_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(CommandError):
+            tool.run("/delete /subcategory:Logon")
+
+    def test_get_without_target_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(CommandError):
+            tool.run("/get")
+
+    def test_set_without_flags_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(CommandError):
+            tool.run('/set /subcategory:"Logon"')
+
+    def test_set_bad_flag_value_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(CommandError):
+            tool.run('/set /subcategory:"Logon" /success:maybe')
+
+    def test_unknown_subcategory_raises(self):
+        tool = SimulatedAuditPol()
+        with pytest.raises(UnknownSubcategoryError):
+            tool.run('/get /subcategory:"Nonexistent"')
+
+    def test_set_emits_event(self):
+        log = EventLog()
+        tool = SimulatedAuditPol(event_log=log)
+        tool.run('/set /subcategory:"Logon" /success:enable')
+        event = log.last("audit.policy_changed")
+        assert event is not None
+        assert event.payload["subcategory"] == "Logon"
+        assert event.payload["before"] == "No Auditing"
+        assert event.payload["after"] == "Success"

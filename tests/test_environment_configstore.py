@@ -1,0 +1,92 @@
+"""Unit tests for the configuration-file store."""
+
+from repro.environment.configstore import ConfigFileStore
+
+
+class TestFileLevel:
+    def test_exists_and_ensure(self):
+        store = ConfigFileStore()
+        assert not store.exists("/etc/ssh/sshd_config")
+        store.ensure("/etc/ssh/sshd_config")
+        assert store.exists("/etc/ssh/sshd_config")
+
+    def test_remove_file(self):
+        store = ConfigFileStore()
+        store.set("/f", "Key", "v")
+        store.remove_file("/f")
+        assert not store.exists("/f")
+        store.remove_file("/f")  # idempotent
+
+    def test_paths_sorted(self):
+        store = ConfigFileStore()
+        store.ensure("/b")
+        store.ensure("/a")
+        assert store.paths() == ["/a", "/b"]
+
+
+class TestKeyLevel:
+    def test_get_missing_returns_default(self):
+        store = ConfigFileStore()
+        assert store.get("/f", "Key") is None
+        assert store.get("/f", "Key", "fallback") == "fallback"
+
+    def test_set_then_get(self):
+        store = ConfigFileStore()
+        store.set("/f", "PermitRootLogin", "no")
+        assert store.get("/f", "PermitRootLogin") == "no"
+
+    def test_lookup_is_case_insensitive(self):
+        store = ConfigFileStore()
+        store.set("/f", "PermitRootLogin", "no")
+        assert store.get("/f", "permitrootlogin") == "no"
+
+    def test_set_replaces_in_place_preserving_order(self):
+        store = ConfigFileStore()
+        store.set("/f", "A", "1")
+        store.set("/f", "B", "2")
+        store.set("/f", "A", "99")
+        assert store.keys("/f") == ["A", "B"]
+        assert store.get("/f", "A") == "99"
+
+    def test_unset(self):
+        store = ConfigFileStore()
+        store.set("/f", "A", "1")
+        assert store.unset("/f", "a") is True
+        assert store.get("/f", "A") is None
+        assert store.unset("/f", "A") is False
+        assert store.unset("/missing", "A") is False
+
+
+class TestTextRoundTrip:
+    SSHD = "Protocol 2\n# comment\n\nPermitRootLogin no\nUsePAM yes\n"
+
+    def test_load_text_skips_comments_and_blanks(self):
+        store = ConfigFileStore()
+        store.load_text("/f", self.SSHD)
+        assert store.keys("/f") == ["Protocol", "PermitRootLogin", "UsePAM"]
+
+    def test_render_round_trip(self):
+        store = ConfigFileStore()
+        store.load_text("/f", self.SSHD)
+        rendered = store.render("/f")
+        second = ConfigFileStore()
+        second.load_text("/f", rendered)
+        assert second.snapshot() == store.snapshot()
+
+    def test_grep_case_insensitive(self):
+        store = ConfigFileStore()
+        store.load_text("/f", self.SSHD)
+        assert store.grep("/f", "permitroot") == ["PermitRootLogin no"]
+        assert store.grep("/f", "nonexistent") == []
+
+    def test_snapshot_plain_data(self):
+        store = ConfigFileStore()
+        store.set("/f", "A", "1")
+        assert store.snapshot() == {"/f": {"A": "1"}}
+
+    def test_load_text_replaces_content(self):
+        store = ConfigFileStore()
+        store.set("/f", "Old", "x")
+        store.load_text("/f", "New y")
+        assert store.get("/f", "Old") is None
+        assert store.get("/f", "New") == "y"

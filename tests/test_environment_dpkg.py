@@ -1,0 +1,96 @@
+"""Unit tests for the simulated dpkg/apt package manager."""
+
+import pytest
+
+from repro.environment.dpkg import DEFAULT_PACKAGE_UNIVERSE, SimulatedDpkg
+from repro.environment.errors import UnknownPackageError
+from repro.environment.events import EventLog
+
+
+class TestQueries:
+    def test_nothing_installed_initially(self):
+        dpkg = SimulatedDpkg()
+        assert dpkg.installed_packages() == []
+        assert not dpkg.is_installed("nis")
+
+    def test_known_versus_installed(self):
+        dpkg = SimulatedDpkg()
+        assert dpkg.known("nis")
+        assert not dpkg.is_installed("nis")
+
+    def test_unknown_package_is_not_installed(self):
+        dpkg = SimulatedDpkg()
+        assert not dpkg.is_installed("not-a-package")
+
+    def test_list_output_not_installed(self):
+        dpkg = SimulatedDpkg()
+        output = dpkg.list_output("nis")
+        assert "un  nis" in output
+
+    def test_list_output_installed(self):
+        dpkg = SimulatedDpkg()
+        dpkg.install("nis")
+        output = dpkg.list_output("nis")
+        assert "ii  nis" in output
+        assert DEFAULT_PACKAGE_UNIVERSE["nis"] in output
+
+    def test_list_output_unknown_raises(self):
+        dpkg = SimulatedDpkg()
+        with pytest.raises(UnknownPackageError):
+            dpkg.list_output("not-a-package")
+
+
+class TestMutations:
+    def test_install_and_remove(self):
+        dpkg = SimulatedDpkg()
+        dpkg.install("auditd")
+        assert dpkg.is_installed("auditd")
+        dpkg.remove("auditd")
+        assert not dpkg.is_installed("auditd")
+
+    def test_install_is_idempotent(self):
+        log = EventLog()
+        dpkg = SimulatedDpkg(event_log=log)
+        dpkg.install("auditd")
+        dpkg.install("auditd")
+        assert len(log.of_kind("package.installed")) == 1
+
+    def test_remove_is_idempotent(self):
+        log = EventLog()
+        dpkg = SimulatedDpkg(event_log=log)
+        dpkg.install("auditd")
+        dpkg.remove("auditd")
+        dpkg.remove("auditd")
+        assert len(log.of_kind("package.removed")) == 1
+
+    def test_install_unknown_raises(self):
+        dpkg = SimulatedDpkg()
+        with pytest.raises(UnknownPackageError):
+            dpkg.install("not-a-package")
+
+    def test_seed_installed_emits_no_events(self):
+        log = EventLog()
+        dpkg = SimulatedDpkg(event_log=log)
+        dpkg.seed_installed(["auditd", "ufw"])
+        assert len(log) == 0
+        assert dpkg.installed_packages() == ["auditd", "ufw"]
+
+    def test_seed_unknown_raises(self):
+        dpkg = SimulatedDpkg()
+        with pytest.raises(UnknownPackageError):
+            dpkg.seed_installed(["nonexistent"])
+
+    def test_custom_universe(self):
+        dpkg = SimulatedDpkg(universe={"custom-pkg": "1.0"})
+        assert dpkg.known("custom-pkg")
+        assert not dpkg.known("nis")
+        dpkg.install("custom-pkg")
+        assert dpkg.is_installed("custom-pkg")
+
+    def test_events_carry_version(self):
+        log = EventLog()
+        dpkg = SimulatedDpkg(event_log=log)
+        dpkg.install("nis")
+        event = log.last("package.installed")
+        assert event.payload["name"] == "nis"
+        assert event.payload["version"] == DEFAULT_PACKAGE_UNIVERSE["nis"]

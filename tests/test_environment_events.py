@@ -1,0 +1,112 @@
+"""Unit tests for the host event log."""
+
+import pytest
+
+from repro.environment.events import Event, EventLog
+
+
+class TestEvent:
+    def test_matches_exact_kind(self):
+        event = Event(time=0, kind="package.removed")
+        assert event.matches("package.removed")
+
+    def test_matches_prefix(self):
+        event = Event(time=0, kind="package.removed")
+        assert event.matches("package")
+
+    def test_does_not_match_partial_word(self):
+        event = Event(time=0, kind="packages.removed")
+        assert not event.matches("package")
+
+    def test_does_not_match_sibling(self):
+        event = Event(time=0, kind="package.removed")
+        assert not event.matches("service")
+
+
+class TestEventLog:
+    def test_starts_empty(self):
+        log = EventLog()
+        assert len(log) == 0
+        assert log.clock == 0
+        assert log.last() is None
+
+    def test_emit_assigns_increasing_times(self):
+        log = EventLog()
+        first = log.emit("a")
+        second = log.emit("b")
+        assert first.time == 0
+        assert second.time == 1
+        assert log.clock == 2
+
+    def test_emit_carries_payload(self):
+        log = EventLog()
+        event = log.emit("package.removed", name="nis", version="3.17")
+        assert event.payload == {"name": "nis", "version": "3.17"}
+
+    def test_advance_moves_clock_without_events(self):
+        log = EventLog()
+        log.advance(5)
+        assert log.clock == 5
+        assert len(log) == 0
+        event = log.emit("late")
+        assert event.time == 5
+
+    def test_advance_rejects_negative(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.advance(-1)
+
+    def test_since_filters_by_time(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("c")
+        assert [e.kind for e in log.since(1)] == ["b", "c"]
+
+    def test_of_kind_prefix_and_since(self):
+        log = EventLog()
+        log.emit("package.removed")
+        log.emit("service.stopped")
+        log.emit("package.installed")
+        kinds = [e.kind for e in log.of_kind("package")]
+        assert kinds == ["package.removed", "package.installed"]
+        assert [e.kind for e in log.of_kind("package", since=1)] == [
+            "package.installed"]
+
+    def test_last_with_kind(self):
+        log = EventLog()
+        log.emit("package.removed")
+        log.emit("service.stopped")
+        assert log.last("package").kind == "package.removed"
+        assert log.last().kind == "service.stopped"
+        assert log.last("missing") is None
+
+    def test_subscribers_receive_events(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit("a")
+        log.emit("b")
+        assert [e.kind for e in seen] == ["a", "b"]
+
+    def test_unsubscribe_stops_delivery(self):
+        log = EventLog()
+        seen = []
+        unsubscribe = log.subscribe(seen.append)
+        log.emit("a")
+        unsubscribe()
+        log.emit("b")
+        assert [e.kind for e in seen] == ["a"]
+
+    def test_unsubscribe_is_idempotent(self):
+        log = EventLog()
+        unsubscribe = log.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()  # must not raise
+
+    def test_getitem_and_iteration(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        assert log[0].kind == "a"
+        assert [e.kind for e in log] == ["a", "b"]

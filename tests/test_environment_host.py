@@ -1,0 +1,111 @@
+"""Unit tests for SimulatedHost and the profile factories."""
+
+import pytest
+
+from repro.environment import SimulatedHost
+from repro.environment.profiles import (
+    UBUNTU_PROHIBITED_PACKAGES,
+    UBUNTU_REQUIRED_PACKAGES,
+)
+
+
+class TestSimulatedHost:
+    def test_rejects_unknown_os_family(self):
+        with pytest.raises(ValueError):
+            SimulatedHost("h", "macos")
+
+    def test_settings_round_trip_and_event(self):
+        host = SimulatedHost("h", "windows")
+        host.set_setting("registry.Foo", "1")
+        assert host.get_setting("registry.Foo") == "1"
+        event = host.events.last("setting.changed")
+        assert event.payload == {"key": "registry.Foo",
+                                 "before": None, "after": "1"}
+
+    def test_setting_rewrite_same_value_emits_nothing(self):
+        host = SimulatedHost("h", "windows")
+        host.set_setting("k", "v")
+        before = len(host.events)
+        host.set_setting("k", "v")
+        assert len(host.events) == before
+
+    def test_get_setting_default(self):
+        host = SimulatedHost("h", "ubuntu")
+        assert host.get_setting("missing", "d") == "d"
+
+    def test_drift_audit_policy(self):
+        host = SimulatedHost("h", "windows")
+        host.audit_store.set("Logon", success=True, failure=True)
+        host.drift_audit_policy("Logon")
+        assert host.audit_store.get("Logon").render() == "No Auditing"
+        event = host.events.last("drift.audit")
+        assert event.payload["subcategory"] == "Logon"
+        assert event.payload["before"] == "Success and Failure"
+
+    def test_drift_install_and_remove_package(self):
+        host = SimulatedHost("h", "ubuntu")
+        host.drift_install_package("nis")
+        assert host.dpkg.is_installed("nis")
+        assert host.events.last("drift.package") is not None
+        host.drift_remove_package("nis")
+        assert not host.dpkg.is_installed("nis")
+
+    def test_drift_config_value(self):
+        host = SimulatedHost("h", "ubuntu")
+        host.config.set("/f", "K", "good")
+        host.drift_config_value("/f", "K", "bad")
+        assert host.config.get("/f", "K") == "bad"
+        event = host.events.last("drift.config")
+        assert event.payload["before"] == "good"
+
+    def test_drift_stop_service(self):
+        host = SimulatedHost("h", "ubuntu")
+        host.services.register("ssh", enabled=True, active=True)
+        host.drift_stop_service("ssh")
+        assert not host.services.is_active("ssh")
+        assert host.events.last("drift.service") is not None
+
+    def test_windows_host_has_package_db_too(self):
+        host = SimulatedHost("h", "windows")
+        assert not host.dpkg.is_installed("nis")
+
+
+class TestProfiles:
+    def test_hardened_windows_meets_audit_requirements(self, win_hardened):
+        assert win_hardened.audit_store.get(
+            "User Account Management").render() == "Success and Failure"
+        assert win_hardened.audit_store.get(
+            "Sensitive Privilege Use").render() == "Success and Failure"
+
+    def test_adversarial_windows_audits_nothing(self, win_adversarial):
+        snapshot = win_adversarial.audit_store.snapshot()
+        assert all(value == "No Auditing" for value in snapshot.values())
+
+    def test_default_windows_partial_auditing(self, win_default):
+        assert win_default.audit_store.get("Logon").render() == "Success"
+        assert win_default.audit_store.get(
+            "Sensitive Privilege Use").render() == "No Auditing"
+
+    def test_hardened_ubuntu_has_required_packages(self, ubuntu_hardened):
+        for package in UBUNTU_REQUIRED_PACKAGES:
+            assert ubuntu_hardened.dpkg.is_installed(package), package
+
+    def test_hardened_ubuntu_lacks_prohibited_packages(self, ubuntu_hardened):
+        for package in UBUNTU_PROHIBITED_PACKAGES:
+            assert not ubuntu_hardened.dpkg.is_installed(package), package
+
+    def test_adversarial_ubuntu_violates_everything(self, ubuntu_adversarial):
+        for package in UBUNTU_PROHIBITED_PACKAGES:
+            assert ubuntu_adversarial.dpkg.is_installed(package), package
+        assert ubuntu_adversarial.config.get(
+            "/etc/ssh/sshd_config", "PermitEmptyPasswords") == "yes"
+
+    def test_default_ubuntu_has_legacy_package(self, ubuntu_default):
+        assert ubuntu_default.dpkg.is_installed("nis")
+
+    def test_profiles_have_distinct_names(self, ubuntu_default,
+                                          ubuntu_hardened,
+                                          ubuntu_adversarial):
+        names = {ubuntu_default.name, ubuntu_hardened.name,
+                 ubuntu_adversarial.name}
+        assert len(names) == 3

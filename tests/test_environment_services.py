@@ -1,0 +1,103 @@
+"""Unit tests for the service manager."""
+
+import pytest
+
+from repro.environment.errors import UnknownServiceError
+from repro.environment.events import EventLog
+from repro.environment.services import ServiceManager, ServiceState
+
+
+@pytest.fixture
+def manager():
+    return ServiceManager()
+
+
+class TestRegistration:
+    def test_register_defaults(self, manager):
+        record = manager.register("ssh")
+        assert not record.enabled
+        assert record.state is ServiceState.INACTIVE
+        assert not record.masked
+
+    def test_register_active_enabled(self, manager):
+        manager.register("ssh", enabled=True, active=True)
+        assert manager.is_active("ssh")
+        assert manager.is_enabled("ssh")
+
+    def test_unknown_service_raises(self, manager):
+        with pytest.raises(UnknownServiceError):
+            manager.get("ghost")
+
+    def test_is_active_on_unknown_is_false(self, manager):
+        assert not manager.is_active("ghost")
+
+    def test_names_sorted(self, manager):
+        manager.register("zz")
+        manager.register("aa")
+        assert manager.names() == ["aa", "zz"]
+
+
+class TestVerbs:
+    def test_start_stop(self, manager):
+        manager.register("ssh")
+        manager.start("ssh")
+        assert manager.is_active("ssh")
+        manager.stop("ssh")
+        assert not manager.is_active("ssh")
+
+    def test_enable_disable(self, manager):
+        manager.register("ssh")
+        manager.enable("ssh")
+        assert manager.is_enabled("ssh")
+        manager.disable("ssh")
+        assert not manager.is_enabled("ssh")
+
+    def test_mask_stops_and_disables(self, manager):
+        manager.register("rsh", enabled=True, active=True)
+        manager.mask("rsh")
+        assert manager.is_masked("rsh")
+        assert not manager.is_active("rsh")
+        assert not manager.is_enabled("rsh")
+
+    def test_masked_service_cannot_start(self, manager):
+        manager.register("rsh", masked=True)
+        with pytest.raises(UnknownServiceError):
+            manager.start("rsh")
+
+    def test_masked_service_cannot_enable(self, manager):
+        manager.register("rsh", masked=True)
+        with pytest.raises(UnknownServiceError):
+            manager.enable("rsh")
+
+    def test_unmask_allows_start(self, manager):
+        manager.register("rsh", masked=True)
+        manager.unmask("rsh")
+        manager.start("rsh")
+        assert manager.is_active("rsh")
+
+    def test_fail_sets_failed_state(self, manager):
+        manager.register("ssh", active=True)
+        manager.fail("ssh")
+        assert manager.get("ssh").state is ServiceState.FAILED
+        assert not manager.is_active("ssh")
+
+
+class TestEvents:
+    def test_lifecycle_emits_events(self):
+        log = EventLog()
+        manager = ServiceManager(event_log=log)
+        manager.register("ssh")
+        manager.enable("ssh")
+        manager.start("ssh")
+        manager.stop("ssh")
+        kinds = [e.kind for e in log]
+        assert kinds == ["service.enabled", "service.started",
+                         "service.stopped"]
+
+    def test_idempotent_verbs_emit_once(self):
+        log = EventLog()
+        manager = ServiceManager(event_log=log)
+        manager.register("ssh")
+        manager.start("ssh")
+        manager.start("ssh")
+        assert len(log.of_kind("service.started")) == 1

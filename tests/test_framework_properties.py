@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for framework-level invariants.
+
+The invariants a downstream user implicitly relies on:
+
+* hardening is total and idempotent under *any* sequence of drift;
+* the protection loop restores compliance after any package drift mix;
+* auditpol's text interface round-trips any flag combination;
+* random walks only ever take edges the model has;
+* the RESA -> pattern -> LTL chain never emits an unparseable formula.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.environment import hardened_ubuntu_host, hardened_windows_host
+from repro.environment.auditpol import SimulatedAuditPol
+from repro.gwt.graph import GraphModel, random_walk
+from repro.ltl.parser import parse_ltl
+from repro.rqcode import default_catalog
+from repro.rqcode.concepts import CheckStatus
+
+CATALOG = default_catalog()
+
+_UBUNTU_DRIFTS = st.lists(
+    st.sampled_from([
+        ("install", "nis"),
+        ("install", "rsh-server"),
+        ("install", "telnetd"),
+        ("remove", "aide"),
+        ("remove", "vlock"),
+        ("remove", "libpam-pkcs11"),
+        ("config", ("/etc/ssh/sshd_config", "PermitEmptyPasswords",
+                    "yes")),
+        ("config", ("/etc/login.defs", "ENCRYPT_METHOD", "MD5")),
+        ("service", "rsyslog"),
+        ("service", "ssh"),
+    ]),
+    max_size=8,
+)
+
+
+def _apply_drift(host, drift):
+    kind, payload = drift
+    if kind == "install":
+        host.drift_install_package(payload)
+    elif kind == "remove":
+        host.drift_remove_package(payload)
+    elif kind == "config":
+        host.drift_config_value(*payload)
+    elif kind == "service":
+        host.drift_stop_service(payload)
+
+
+@settings(max_examples=40, deadline=None)
+@given(drifts=_UBUNTU_DRIFTS)
+def test_hardening_is_total_under_any_drift(drifts):
+    host = hardened_ubuntu_host()
+    for drift in drifts:
+        _apply_drift(host, drift)
+    report = CATALOG.harden_host(host)
+    assert report.compliance_ratio == 1.0
+    # Idempotence: a second campaign changes nothing.
+    second = CATALOG.harden_host(host)
+    assert second.remediated == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(drifts=_UBUNTU_DRIFTS)
+def test_protection_loop_restores_compliance(drifts):
+    from repro.core import VeriDevOpsOrchestrator
+
+    host = hardened_ubuntu_host()
+    orchestrator = VeriDevOpsOrchestrator()
+    orchestrator.ingest_standards("ubuntu")
+    loop = orchestrator.start_protection(host)
+    for drift in drifts:
+        _apply_drift(host, drift)
+    report = orchestrator.catalog.check_host(host)
+    assert report.compliance_ratio == 1.0, [
+        r.finding_id for r in report.results
+        if r.after is not CheckStatus.PASS]
+    loop.stop()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    subcategory=st.sampled_from(
+        ["Logon", "User Account Management", "Sensitive Privilege Use",
+         "Account Lockout", "Special Logon"]),
+    success=st.booleans(),
+    failure=st.booleans(),
+)
+def test_auditpol_text_interface_round_trips(subcategory, success, failure):
+    tool = SimulatedAuditPol()
+    flags = []
+    flags.append(f"/success:{'enable' if success else 'disable'}")
+    flags.append(f"/failure:{'enable' if failure else 'disable'}")
+    tool.run(f'/set /subcategory:"{subcategory}" ' + " ".join(flags))
+    output = tool.run(f'/get /subcategory:"{subcategory}"')
+    expected = tool.store.get(subcategory).render()
+    assert expected in output
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       max_steps=st.integers(min_value=0, max_value=60))
+def test_random_walk_stays_inside_the_model(seed, max_steps):
+    model = GraphModel("m", "a")
+    model.add_state("b")
+    model.add_state("c")
+    model.add_action("a", "b", "ab")
+    model.add_action("b", "c", "bc")
+    model.add_action("c", "a", "ca")
+    model.add_action("b", "a", "ba")
+    case = random_walk(model, seed=seed, max_steps=max_steps)
+    assert len(case.steps) <= max_steps
+    valid_actions = {action for _, _, action in model.actions}
+    assert all(step.action in valid_actions for step in case.steps)
+    # The action sequence must trace a connected path from the start.
+    current = model.start
+    for step in case.steps:
+        targets = [
+            v for u, v, data in model.graph.edges(data=True)
+            if u == current and data["action"] == step.action
+        ]
+        assert targets, (current, step.action)
+        current = targets[0]
+
+
+_SYSTEMS = st.sampled_from([
+    "authentication service", "session manager", "audit subsystem",
+    "gateway", "update client",
+])
+_ACTIONS = st.sampled_from([
+    "lock the account", "record the event", "alert the operator",
+    "encrypt stored credentials", "terminate the session",
+])
+_CONDITIONS = st.sampled_from([
+    "intrusion is detected", "3 consecutive failures occur",
+    "a policy violation occurs", "the session is idle",
+])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    system=_SYSTEMS, action=_ACTIONS, condition=_CONDITIONS,
+    shape=st.sampled_from(["B1", "B3", "B4", "B5"]),
+    bound=st.integers(min_value=1, max_value=600),
+)
+def test_resa_to_ltl_never_emits_unparseable_formulas(
+        system, action, condition, shape, bound):
+    from repro.resa import match_boilerplate, to_pattern
+    from repro.specpatterns import to_ltl
+    from repro.specpatterns.ltl_mappings import PatternScopeUnsupported
+
+    if shape == "B1":
+        text = f"The {system} shall {action}."
+    elif shape == "B3":
+        text = f"When {condition}, the {system} shall {action}."
+    elif shape == "B4":
+        text = (f"When {condition}, the {system} shall {action} "
+                f"within {bound} seconds.")
+    else:
+        text = f"The {system} shall not {action}."
+    structured = match_boilerplate("R", text)
+    pattern, scope = to_pattern(structured)
+    try:
+        formula = to_ltl(pattern, scope)
+    except PatternScopeUnsupported:
+        return  # outside the LTL table is acceptable; crashing is not
+    # The rendered formula must parse back.
+    assert parse_ltl(str(formula)) == formula

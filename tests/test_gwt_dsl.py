@@ -1,0 +1,104 @@
+"""Unit tests for the GraphWalker generator/stop-condition DSL."""
+
+import pytest
+
+from repro.gwt.dsl import GeneratorDslError, generate, parse_generator
+from repro.gwt.graph import GraphModel, edge_coverage_of
+
+
+@pytest.fixture
+def model():
+    model = GraphModel("m", "a")
+    for state in ("b", "c"):
+        model.add_state(state)
+    model.add_action("a", "b", "ab")
+    model.add_action("b", "c", "bc")
+    model.add_action("c", "a", "ca")
+    model.add_action("b", "a", "ba")
+    return model
+
+
+class TestParsing:
+    def test_random_edge_coverage(self):
+        spec = parse_generator("random(edge_coverage(100))")
+        assert spec.generator == "random"
+        assert spec.condition == "edge_coverage"
+        assert spec.argument == "100"
+
+    def test_aliases_normalize(self):
+        assert parse_generator(
+            "weighted_random(edge_coverage(80))").generator == "random"
+        assert parse_generator(
+            "quick_random(length(10))").generator == "random"
+
+    def test_a_star(self):
+        spec = parse_generator("a_star(reached_vertex(c))")
+        assert spec.generator == "a_star"
+        assert spec.argument == "c"
+
+    def test_whitespace_tolerated(self):
+        spec = parse_generator("  random ( length ( 5 ) ) ")
+        assert spec.condition == "length"
+
+    @pytest.mark.parametrize("bad", [
+        "random", "random()", "random(edge_coverage)", "nonsense(x(1))",
+        "random(reached_vertex(v))", "a_star(length(5))",
+    ])
+    def test_malformed_or_unsupported_raises(self, bad):
+        with pytest.raises(GeneratorDslError):
+            parse_generator(bad)
+
+    def test_round_trip_str(self):
+        spec = parse_generator("random(edge_coverage(100))")
+        assert str(spec) == "random(edge_coverage(100))"
+
+
+class TestDispatch:
+    def test_random_edge_coverage_hits_target(self, model):
+        case = generate(model, "random(edge_coverage(100))", seed=1)
+        assert edge_coverage_of(model, [case]) == 1.0
+
+    def test_random_partial_edge_coverage(self, model):
+        case = generate(model, "random(edge_coverage(50))", seed=1)
+        assert edge_coverage_of(model, [case]) >= 0.5
+
+    def test_random_length(self, model):
+        case = generate(model, "random(length(7))", seed=2)
+        assert len(case.steps) <= 7
+
+    def test_random_vertex_coverage(self, model):
+        case = generate(model, "random(vertex_coverage(100))", seed=3)
+        visited = {model.start}
+        current = model.start
+        for step in case.steps:
+            for u, v, data in model.graph.edges(data=True):
+                if u == current and data["action"] == step.action:
+                    current = v
+                    visited.add(v)
+                    break
+        assert visited == set(model.states)
+
+    def test_a_star_reaches_vertex(self, model):
+        case = generate(model, "a_star(reached_vertex(c))")
+        assert case.actions == ["ab", "bc"]
+
+    def test_directed_edge_coverage(self, model):
+        case = generate(model, "directed(edge_coverage(100))")
+        assert edge_coverage_of(model, [case]) == 1.0
+
+    def test_directed_requires_full_coverage(self, model):
+        with pytest.raises(GeneratorDslError):
+            generate(model, "directed(edge_coverage(80))")
+
+    def test_percentage_bounds_checked(self, model):
+        with pytest.raises(GeneratorDslError):
+            generate(model, "random(edge_coverage(150))")
+
+    def test_deterministic_by_seed(self, model):
+        first = generate(model, "random(length(20))", seed=9)
+        second = generate(model, "random(length(20))", seed=9)
+        assert first.actions == second.actions
+
+    def test_case_name_records_expression(self, model):
+        case = generate(model, "random(edge_coverage(100))", seed=1)
+        assert case.name == "random(edge_coverage(100))"

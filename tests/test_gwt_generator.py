@@ -1,0 +1,136 @@
+"""Unit tests for TIGER-style concretization (rules, generator, scripts)."""
+
+import pytest
+
+from repro.gwt import (
+    MappingRule,
+    ScriptCreator,
+    Signal,
+    read_signals_xml,
+)
+from repro.gwt import TestGenerator as TigerGenerator
+from repro.gwt.generator import ConcreteTest, read_datamodels_json
+from repro.gwt.model import AbstractStep, DataModel
+
+SIGNALS_XML = """
+<signals>
+  <signal name="attempts" kind="input" type="int" min="0" max="10"/>
+  <signal name="locked" kind="output" type="bool" unit=""/>
+</signals>
+"""
+
+
+class TestXmlReader:
+    def test_parses_signals(self):
+        signals = read_signals_xml(SIGNALS_XML)
+        assert [s.name for s in signals] == ["attempts", "locked"]
+        assert signals[0].maximum == 10
+        assert signals[1].kind == "output"
+
+    def test_defaults(self):
+        signals = read_signals_xml('<signals><signal name="x"/></signals>')
+        assert signals[0].data_type == "float"
+        assert signals[0].kind == "input"
+
+
+class TestJsonReading:
+    def test_list_payload(self):
+        cases = read_datamodels_json(
+            '[{"id": 1, "name": "t", "steps": [{"action": "a"}]}]')
+        assert cases[0].test_id == "1"
+
+    def test_wrapped_payload(self):
+        cases = read_datamodels_json('{"tests": [{"id": "x", "steps": []}]}')
+        assert cases[0].test_id == "x"
+
+
+class TestMappingRule:
+    def test_binding_placeholder(self):
+        rule = MappingRule("fail_n_times",
+                           ["for _ in range(int({param1})): fail()"])
+        lines = rule.render({"param1": 3.0}, {})
+        assert lines == ["for _ in range(int(3)): fail()"]
+
+    def test_signal_placeholder(self):
+        rule = MappingRule("probe", ["read('{signal:attempts}')"])
+        signals = {"attempts": Signal("attempts")}
+        assert rule.render({}, signals) == ["read('attempts')"]
+
+    def test_unbound_placeholder_raises(self):
+        rule = MappingRule("a", ["use {missing}"])
+        with pytest.raises(KeyError):
+            rule.render({}, {})
+
+    def test_unknown_signal_raises(self):
+        rule = MappingRule("a", ["use {signal:ghost}"])
+        with pytest.raises(KeyError):
+            rule.render({}, {})
+
+    def test_unclosed_placeholder_raises(self):
+        rule = MappingRule("a", ["use {oops"])
+        with pytest.raises(ValueError):
+            rule.render({}, {})
+
+
+class TestTigerGenerator:
+    def _generator(self):
+        rules = [
+            MappingRule("login", ["system.login()"]),
+            MappingRule("fail", ["system.fail({param1})"]),
+        ]
+        return TigerGenerator(rules, read_signals_xml(SIGNALS_XML))
+
+    def test_concretize(self):
+        generator = self._generator()
+        case = DataModel("t1", "demo", [
+            AbstractStep("login"),
+            AbstractStep("fail", {"param1": 2.0}),
+        ])
+        concrete = generator.concretize(case)
+        assert concrete.lines == ["system.login()", "system.fail(2)"]
+
+    def test_unmapped_action_raises(self):
+        generator = self._generator()
+        case = DataModel("t1", "demo", [AbstractStep("ghost")])
+        with pytest.raises(KeyError):
+            generator.concretize(case)
+
+    def test_duplicate_rules_rejected(self):
+        with pytest.raises(ValueError):
+            TigerGenerator([MappingRule("a", []), MappingRule("a", [])])
+
+    def test_concretize_all(self):
+        generator = self._generator()
+        cases = [DataModel("t1", "x", [AbstractStep("login")]),
+                 DataModel("t2", "y", [AbstractStep("login")])]
+        assert len(generator.concretize_all(cases)) == 2
+
+
+class TestScriptCreator:
+    def test_default_pytest_script(self):
+        creator = ScriptCreator()
+        script = creator.render([
+            ConcreteTest("case-1", "demo", ["system.login()",
+                                            "assert system.ok"]),
+        ])
+        assert "import pytest" in script
+        assert "def test_case_1(system):" in script
+        assert "    system.login()" in script
+        compile(script, "<generated>", "exec")  # must be valid Python
+
+    def test_empty_test_gets_pass(self):
+        script = ScriptCreator().render([ConcreteTest("e", "empty", [])])
+        assert "    pass" in script
+
+    def test_customised_creator(self):
+        class ShellCreator(ScriptCreator):
+            def header(self):
+                return ["#!/bin/sh"]
+
+            def render_test(self, test):
+                return [f"# {test.test_id}"] + test.lines
+
+        script = ShellCreator().render(
+            [ConcreteTest("t", "x", ["echo hello"])])
+        assert script.splitlines()[0] == "#!/bin/sh"
+        assert "echo hello" in script

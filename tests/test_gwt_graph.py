@@ -1,0 +1,157 @@
+"""Unit tests for graph models and abstract test generation."""
+
+import pytest
+
+from repro.gwt.graph import (
+    GraphModel,
+    edge_coverage_of,
+    edge_coverage_paths,
+    random_walk,
+    shortest_path_to,
+    vertex_coverage_paths,
+)
+
+
+@pytest.fixture
+def login_model():
+    model = GraphModel("login", "logged_out")
+    model.add_state("logged_in")
+    model.add_state("locked")
+    model.add_action("logged_out", "logged_in", "login_ok")
+    model.add_action("logged_out", "logged_out", "login_fail")
+    model.add_action("logged_out", "locked", "lockout", param1=3)
+    model.add_action("locked", "logged_out", "unlock")
+    model.add_action("logged_in", "logged_out", "logout")
+    return model
+
+
+class TestGraphModel:
+    def test_states_and_actions(self, login_model):
+        assert login_model.states == ["locked", "logged_in", "logged_out"]
+        assert len(login_model.actions) == 5
+
+    def test_validate_detects_unreachable(self):
+        model = GraphModel("m", "a")
+        model.add_state("island")
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_json_round_trip(self, login_model):
+        text = login_model.to_json()
+        reloaded = GraphModel.from_json(text)
+        assert reloaded.states == login_model.states
+        assert reloaded.actions == login_model.actions
+        # Bindings survive the round trip.
+        case = shortest_path_to(reloaded, "locked")
+        assert case.steps[0].bindings == {"param1": 3.0}
+
+    def test_from_graphml(self):
+        graphml = """<?xml version="1.0" encoding="UTF-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="action" for="edge" attr.name="action" attr.type="string"/>
+  <graph edgedefault="directed">
+    <node id="a"/><node id="b"/>
+    <edge source="a" target="b"><data key="action">go</data></edge>
+    <edge source="b" target="a"><data key="action">back</data></edge>
+  </graph>
+</graphml>"""
+        model = GraphModel.from_graphml(graphml, name="m", start="a")
+        assert model.states == ["a", "b"]
+        assert {action for _, _, action in model.actions} == {"go", "back"}
+
+
+class TestGenerators:
+    def test_edge_coverage_reaches_all_edges(self, login_model):
+        case = edge_coverage_paths(login_model)
+        assert edge_coverage_of(login_model, [case]) == 1.0
+
+    def test_edge_coverage_is_deterministic(self, login_model):
+        first = edge_coverage_paths(login_model)
+        second = edge_coverage_paths(login_model)
+        assert first.actions == second.actions
+
+    def test_edge_coverage_is_connected_path(self, login_model):
+        case = edge_coverage_paths(login_model)
+        current = login_model.start
+        by_action = {}
+        for u, v, data in login_model.graph.edges(data=True):
+            by_action.setdefault(data["action"], []).append((u, v))
+        for step in case.steps:
+            candidates = [t for s, t in by_action[step.action]
+                          if s == current]
+            assert candidates, (current, step.action)
+            current = candidates[0]
+
+    def test_vertex_coverage_visits_all_states(self, login_model):
+        case = vertex_coverage_paths(login_model)
+        visited = {login_model.start}
+        current = login_model.start
+        for step in case.steps:
+            edges = [
+                (u, v) for u, v, data in login_model.graph.edges(data=True)
+                if data["action"] == step.action and u == current
+            ]
+            current = edges[0][1]
+            visited.add(current)
+        assert visited == set(login_model.states)
+
+    def test_random_walk_deterministic_by_seed(self, login_model):
+        first = random_walk(login_model, seed=5, max_steps=30)
+        second = random_walk(login_model, seed=5, max_steps=30)
+        assert first.actions == second.actions
+
+    def test_random_walk_stops_at_coverage(self, login_model):
+        case = random_walk(login_model, seed=1, max_steps=10_000,
+                           edge_coverage=1.0)
+        assert len(case.steps) < 10_000
+        assert edge_coverage_of(login_model, [case]) == 1.0
+
+    def test_random_walk_respects_step_budget(self, login_model):
+        case = random_walk(login_model, seed=1, max_steps=7)
+        assert len(case.steps) <= 7
+
+    def test_random_walk_stops_at_sink(self):
+        model = GraphModel("m", "a")
+        model.add_state("sink")
+        model.add_action("a", "sink", "go")
+        case = random_walk(model, seed=0, max_steps=100)
+        assert case.actions == ["go"]
+
+    def test_shortest_path(self, login_model):
+        case = shortest_path_to(login_model, "locked")
+        assert case.actions == ["lockout"]
+
+    def test_coverage_of_empty_case_list(self, login_model):
+        assert edge_coverage_of(login_model, []) == 0.0
+
+    def test_parallel_edges_with_same_action_count_once(self):
+        model = GraphModel("m", "a")
+        model.add_state("b")
+        model.add_action("a", "b", "go")
+        model.add_action("a", "b", "go")  # parallel duplicate
+        model.add_action("b", "a", "back")
+        case = edge_coverage_paths(model)
+        assert edge_coverage_of(model, [case]) == 1.0
+
+
+class TestEdgeCoverageSuite:
+    def test_tree_model_needs_restarts(self):
+        from repro.gwt.graph import edge_coverage_suite
+
+        model = GraphModel("tree", "root")
+        for state in ("l", "r", "ll", "lr"):
+            model.add_state(state)
+        model.add_action("root", "l", "go_l")
+        model.add_action("root", "r", "go_r")
+        model.add_action("l", "ll", "go_ll")
+        model.add_action("l", "lr", "go_lr")
+        cases = edge_coverage_suite(model)
+        assert len(cases) >= 2
+        assert edge_coverage_of(model, cases) == 1.0
+
+    def test_strongly_connected_model_single_case(self, login_model):
+        from repro.gwt.graph import edge_coverage_suite
+
+        cases = edge_coverage_suite(login_model)
+        assert len(cases) == 1
+        assert edge_coverage_of(login_model, cases) == 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the GWT feature parser and domain model."""
+
+import pytest
+
+from repro.gwt import GherkinParseError, Signal, parse_feature
+from repro.gwt.model import DataModel
+
+FEATURE = """
+Feature: Account lockout
+  Locks accounts after repeated failures.
+
+  @security @logon
+  Scenario: lock after three failures
+    Given the account "alice" is active
+    When 3 consecutive logons fail
+    Then the account is locked
+    And an "account.locked" event is emitted within 5 seconds
+
+  Scenario: unlock by administrator
+    Given the account "bob" is locked
+    When the administrator unlocks it
+    Then the account is active
+"""
+
+
+class TestParser:
+    def test_feature_name_and_description(self):
+        feature = parse_feature(FEATURE)
+        assert feature.name == "Account lockout"
+        assert "repeated failures" in feature.description
+
+    def test_scenarios_and_tags(self):
+        feature = parse_feature(FEATURE)
+        assert len(feature.scenarios) == 2
+        assert feature.scenarios[0].tags == ["security", "logon"]
+        assert feature.scenarios[1].tags == []
+
+    def test_steps_with_keywords(self):
+        scenario = parse_feature(FEATURE).scenarios[0]
+        assert [step.keyword for step in scenario.steps] == \
+            ["Given", "When", "Then", "And"]
+
+    def test_and_resolves_to_preceding_keyword(self):
+        scenario = parse_feature(FEATURE).scenarios[0]
+        then_steps = scenario.steps_for("Then")
+        assert len(then_steps) == 2
+
+    def test_numeric_bindings_extracted(self):
+        scenario = parse_feature(FEATURE).scenarios[0]
+        when = scenario.steps_for("When")[0]
+        assert when.bindings["param1"] == 3.0
+
+    def test_scenario_lookup(self):
+        feature = parse_feature(FEATURE)
+        assert feature.scenario("unlock by administrator").steps
+        with pytest.raises(KeyError):
+            feature.scenario("missing")
+
+    def test_comments_ignored(self):
+        feature = parse_feature(
+            "Feature: X\n# comment\nScenario: s\nGiven a thing\n")
+        assert len(feature.scenarios) == 1
+
+    def test_missing_feature_raises(self):
+        with pytest.raises(GherkinParseError):
+            parse_feature("Scenario: orphan\nGiven x\n")
+
+    def test_step_outside_scenario_raises(self):
+        with pytest.raises(GherkinParseError):
+            parse_feature("Feature: X\nGiven early step\nScenario: s\n")
+
+    def test_empty_scenario_raises(self):
+        with pytest.raises(GherkinParseError):
+            parse_feature("Feature: X\nScenario: empty\n")
+
+    def test_scenario_starting_with_and_raises(self):
+        with pytest.raises(GherkinParseError):
+            parse_feature("Feature: X\nScenario: s\nAnd dangling\n")
+
+
+class TestSignal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Signal("s", kind="both")
+        with pytest.raises(ValueError):
+            Signal("s", data_type="string")
+        with pytest.raises(ValueError):
+            Signal("s", minimum=2, maximum=1)
+
+    def test_clamp(self):
+        signal = Signal("s", minimum=0, maximum=10)
+        assert signal.clamp(-5) == 0
+        assert signal.clamp(5) == 5
+        assert signal.clamp(50) == 10
+
+
+class TestDataModel:
+    def test_json_round_trip(self):
+        case = DataModel.from_json_obj({
+            "id": "t1", "name": "demo",
+            "steps": [{"action": "login", "bindings": {"param1": 3}}],
+        })
+        assert case.actions == ["login"]
+        assert case.steps[0].bindings == {"param1": 3.0}
+        assert DataModel.from_json_obj(case.to_json_obj()).actions == \
+            case.actions

@@ -1,0 +1,129 @@
+"""Unit tests for LTL monitoring (progression) and LTLf evaluation."""
+
+import pytest
+
+from repro.ltl import LtlMonitor, Verdict, evaluate_ltlf, parse_ltl
+
+
+class TestMonitorVerdicts:
+    def test_eventually_concludes_true(self):
+        monitor = LtlMonitor(parse_ltl("F done"))
+        assert monitor.observe(set()) is Verdict.INCONCLUSIVE
+        assert monitor.observe({"done"}) is Verdict.TRUE
+
+    def test_globally_concludes_false(self):
+        monitor = LtlMonitor(parse_ltl("G !alarm"))
+        assert monitor.observe(set()) is Verdict.INCONCLUSIVE
+        assert monitor.observe({"alarm"}) is Verdict.FALSE
+
+    def test_globally_never_concludes_true(self):
+        monitor = LtlMonitor(parse_ltl("G ok"))
+        for _ in range(10):
+            assert monitor.observe({"ok"}) is Verdict.INCONCLUSIVE
+
+    def test_next_requires_second_step(self):
+        monitor = LtlMonitor(parse_ltl("X p"))
+        assert monitor.observe(set()) is Verdict.INCONCLUSIVE
+        assert monitor.observe({"p"}) is Verdict.TRUE
+
+    def test_until_satisfied(self):
+        monitor = LtlMonitor(parse_ltl("p U q"))
+        assert monitor.observe({"p"}) is Verdict.INCONCLUSIVE
+        assert monitor.observe({"q"}) is Verdict.TRUE
+
+    def test_until_violated(self):
+        monitor = LtlMonitor(parse_ltl("p U q"))
+        assert monitor.observe(set()) is Verdict.FALSE
+
+    def test_verdict_freezes_after_conclusion(self):
+        monitor = LtlMonitor(parse_ltl("F done"))
+        monitor.observe({"done"})
+        steps = monitor.steps_observed
+        assert monitor.observe(set()) is Verdict.TRUE
+        assert monitor.steps_observed == steps
+
+    def test_observe_trace_stops_early(self):
+        monitor = LtlMonitor(parse_ltl("F done"))
+        verdict = monitor.observe_trace([set(), {"done"}, set(), set()])
+        assert verdict is Verdict.TRUE
+        assert monitor.steps_observed == 2
+
+    def test_reset_rearms(self):
+        monitor = LtlMonitor(parse_ltl("G !alarm"))
+        monitor.observe({"alarm"})
+        assert monitor.verdict is Verdict.FALSE
+        monitor.reset()
+        assert monitor.verdict is Verdict.INCONCLUSIVE
+        assert monitor.observe(set()) is Verdict.INCONCLUSIVE
+
+    def test_response_property_lifecycle(self):
+        monitor = LtlMonitor(parse_ltl("G (req -> F ack)"))
+        verdict = monitor.observe_trace([{"req"}, set(), {"ack"}, set()])
+        assert verdict is Verdict.INCONCLUSIVE  # G never closes
+
+
+class TestLtlfEvaluation:
+    def test_atom_at_first_position(self):
+        assert evaluate_ltlf(parse_ltl("p"), [{"p"}])
+        assert not evaluate_ltlf(parse_ltl("p"), [set()])
+
+    def test_empty_trace_semantics(self):
+        assert evaluate_ltlf(parse_ltl("G p"), [])      # vacuous
+        assert not evaluate_ltlf(parse_ltl("F p"), [])
+        assert not evaluate_ltlf(parse_ltl("p"), [])
+
+    def test_next_is_strong_at_trace_end(self):
+        assert not evaluate_ltlf(parse_ltl("X p"), [{"p"}])
+
+    def test_globally_over_suffix(self):
+        trace = [{"p"}, {"p"}, {"p"}]
+        assert evaluate_ltlf(parse_ltl("G p"), trace)
+        assert not evaluate_ltlf(parse_ltl("G p"), trace + [set()])
+
+    def test_until_needs_witness(self):
+        assert evaluate_ltlf(parse_ltl("p U q"), [{"p"}, {"q"}])
+        assert not evaluate_ltlf(parse_ltl("p U q"), [{"p"}, {"p"}])
+
+    def test_weak_until_tolerates_no_witness(self):
+        assert evaluate_ltlf(parse_ltl("p W q"), [{"p"}, {"p"}])
+        assert not evaluate_ltlf(parse_ltl("p W q"), [{"p"}, set()])
+
+    def test_release(self):
+        # q must hold until (and including when) p releases it.
+        assert evaluate_ltlf(parse_ltl("p R q"), [{"q"}, {"q", "p"}, set()])
+        assert evaluate_ltlf(parse_ltl("p R q"), [{"q"}, {"q"}])
+        assert not evaluate_ltlf(parse_ltl("p R q"), [{"q"}, set()])
+
+    def test_response_pattern(self):
+        formula = parse_ltl("G (req -> F ack)")
+        assert evaluate_ltlf(formula, [{"req"}, set(), {"ack"}])
+        assert not evaluate_ltlf(formula, [{"req"}, set()])
+
+    def test_position_argument(self):
+        trace = [set(), {"p"}]
+        assert evaluate_ltlf(parse_ltl("p"), trace, position=1)
+
+
+class TestMonitorAgreesWithLtlf:
+    """Impartiality: a concluded monitor verdict must agree with LTLf on
+    any completed trace extending the observed prefix."""
+
+    CASES = [
+        ("F done", [set(), {"done"}]),
+        ("G !alarm", [set(), {"alarm"}]),
+        ("p U q", [{"p"}, {"q"}]),
+        ("p U q", [set()]),
+        ("X p", [set(), {"p"}]),
+        ("a & b", [{"a", "b"}]),
+        ("a | b", [set()]),
+    ]
+
+    @pytest.mark.parametrize("text,trace", CASES)
+    def test_agreement(self, text, trace):
+        formula = parse_ltl(text)
+        monitor = LtlMonitor(formula)
+        verdict = monitor.observe_trace(trace)
+        if verdict is Verdict.TRUE:
+            assert evaluate_ltlf(formula, trace)
+        elif verdict is Verdict.FALSE:
+            assert not evaluate_ltlf(formula, trace)

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the LTL substrate.
+
+The central invariant: the progression monitor is *impartial* — once it
+concludes TRUE/FALSE on a prefix, exact LTLf evaluation on any completed
+trace extending that prefix agrees.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltl import LtlMonitor, Verdict, evaluate_ltlf, parse_ltl
+from repro.ltl.formulas import (
+    Atom,
+    Eventually,
+    Globally,
+    Next,
+    Until,
+    WeakUntil,
+    implies,
+    land,
+    lnot,
+    lor,
+)
+from repro.ltl.monitor import progress
+
+ATOMS = ("a", "b", "c")
+
+
+def formulas(max_depth=4):
+    atoms = st.sampled_from([Atom(name) for name in ATOMS])
+
+    def extend(children):
+        return st.one_of(
+            children.map(lnot),
+            children.map(Next),
+            children.map(Eventually),
+            children.map(Globally),
+            st.tuples(children, children).map(lambda pair: land(*pair)),
+            st.tuples(children, children).map(lambda pair: lor(*pair)),
+            st.tuples(children, children).map(lambda pair: implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Until(*pair)),
+            st.tuples(children, children).map(lambda pair: WeakUntil(*pair)),
+        )
+
+    return st.recursive(atoms, extend, max_leaves=max_depth)
+
+
+def steps():
+    return st.frozensets(st.sampled_from(ATOMS), max_size=len(ATOMS))
+
+
+def traces(max_size=6):
+    return st.lists(steps(), min_size=0, max_size=max_size)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formula=formulas(), trace=traces())
+def test_concluded_monitor_agrees_with_ltlf(formula, trace):
+    monitor = LtlMonitor(formula)
+    consumed = []
+    for step in trace:
+        consumed.append(step)
+        if monitor.observe(step) is not Verdict.INCONCLUSIVE:
+            break
+    if monitor.verdict is Verdict.TRUE:
+        # TRUE means satisfied on every extension; check several.
+        assert evaluate_ltlf(formula, consumed + [frozenset()] * 3)
+        assert evaluate_ltlf(formula, consumed + [frozenset(ATOMS)] * 3)
+    elif monitor.verdict is Verdict.FALSE:
+        assert not evaluate_ltlf(formula, consumed + [frozenset()] * 3)
+        assert not evaluate_ltlf(formula, consumed + [frozenset(ATOMS)] * 3)
+
+
+@settings(max_examples=200, deadline=None)
+@given(formula=formulas(), trace=traces(max_size=5))
+def test_negation_duality_in_ltlf(formula, trace):
+    assert evaluate_ltlf(lnot(formula), trace) == \
+        (not evaluate_ltlf(formula, trace))
+
+
+@settings(max_examples=150, deadline=None)
+@given(formula=formulas(), step=steps(),
+       trace=st.lists(steps(), min_size=1, max_size=4))
+def test_progression_preserves_ltlf_semantics(formula, step, trace):
+    """LTLf(φ, step·σ) == LTLf(progress(φ, step), σ) — the defining
+    equation of formula progression.
+
+    σ is required non-empty: progression targets infinite-trace
+    semantics, and at the very end of a finite trace LTLf's strong-Next
+    convention legitimately diverges (e.g. ``X (a -> a)`` is false on a
+    one-step trace but progresses to a tautology).
+    """
+    progressed = progress(formula, step)
+    assert evaluate_ltlf(formula, [step] + trace) == \
+        evaluate_ltlf(progressed, trace)
+
+
+@settings(max_examples=100, deadline=None)
+@given(left=formulas(max_depth=3), right=formulas(max_depth=3),
+       trace=traces(max_size=5))
+def test_weak_until_decomposition(left, right, trace):
+    """p W q  ==  (p U q) | G p, pointwise on finite traces."""
+    weak = WeakUntil(left, right)
+    strong_or_global = lor(Until(left, right), Globally(left))
+    assert evaluate_ltlf(weak, trace) == \
+        evaluate_ltlf(strong_or_global, trace)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operand=formulas(max_depth=3), trace=traces(max_size=5))
+def test_eventually_globally_duality(operand, trace):
+    assert evaluate_ltlf(Eventually(operand), trace) == \
+        (not evaluate_ltlf(Globally(lnot(operand)), trace))
+
+
+@settings(max_examples=100, deadline=None)
+@given(formula=formulas(), trace=traces())
+def test_monitor_verdict_is_monotone(formula, trace):
+    """Once TRUE/FALSE, the verdict never changes on further input."""
+    monitor = LtlMonitor(formula)
+    concluded = None
+    for step in trace:
+        monitor.observe(step)
+        if concluded is not None:
+            assert monitor.verdict is concluded
+        elif monitor.verdict is not Verdict.INCONCLUSIVE:
+            concluded = monitor.verdict

@@ -1,0 +1,140 @@
+"""Unit tests for the NALABS analyzer and corpus generator."""
+
+import pytest
+
+from repro.nalabs import (
+    CorpusGenerator,
+    NalabsAnalyzer,
+    RequirementText,
+    VaguenessMetric,
+)
+
+
+class TestRequirementTextCsv:
+    CSV = (
+        "REQ ID,Text,Owner\n"
+        "R1,The system shall log events.,alice\n"
+        "R2,The system may possibly react.,bob\n"
+    )
+
+    def test_parses_rows(self):
+        records = RequirementText.from_csv(self.CSV)
+        assert [r.req_id for r in records] == ["R1", "R2"]
+        assert records[0].text == "The system shall log events."
+
+    def test_custom_columns(self):
+        csv_text = "id,body\nX,Some text.\n"
+        records = RequirementText.from_csv(csv_text, id_column="id",
+                                           text_column="body")
+        assert records[0].req_id == "X"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            RequirementText.from_csv("a,b\n1,2\n")
+
+
+class TestAnalyzer:
+    def test_analyze_runs_all_metrics(self):
+        report = NalabsAnalyzer().analyze(
+            RequirementText("R1", "The system shall lock the account."))
+        assert len(report.results) == 12
+        assert "vagueness" in report.results
+
+    def test_flagged_metrics_and_smelly(self):
+        report = NalabsAnalyzer().analyze(
+            RequirementText("R1", "The system may be adequate."))
+        assert "vagueness" in report.flagged_metrics
+        assert "optionality" in report.flagged_metrics
+        assert report.smelly
+
+    def test_clean_requirement_not_smelly(self):
+        report = NalabsAnalyzer().analyze(RequirementText(
+            "R1", "The system shall lock the account after 3 attempts."))
+        assert not report.smelly
+
+    def test_custom_metric_set(self):
+        analyzer = NalabsAnalyzer(metrics=[VaguenessMetric()])
+        report = analyzer.analyze(RequirementText("R1", "adequate"))
+        assert list(report.results) == ["vagueness"]
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(ValueError):
+            NalabsAnalyzer(metrics=[VaguenessMetric(), VaguenessMetric()])
+
+    def test_analyze_csv_end_to_end(self):
+        report = NalabsAnalyzer().analyze_csv(
+            "REQ ID,Text\nR1,The system shall work where possible.\n")
+        assert report.total == 1
+        assert report.reports[0].value("weakness") == 1
+
+    def test_corpus_summaries(self):
+        analyzer = NalabsAnalyzer()
+        corpus = analyzer.analyze_corpus([
+            RequirementText("R1", "The system shall log events."),
+            RequirementText("R2", "The system may be adequate."),
+        ])
+        assert corpus.total == 2
+        assert corpus.smelly_count == 1
+        assert corpus.mean_value("optionality") == 0.5
+        assert corpus.max_value("vagueness") == 1.0
+        rows = corpus.summary_rows()
+        assert {row["metric"] for row in rows} >= {"vagueness", "size"}
+
+    def test_empty_corpus(self):
+        corpus = NalabsAnalyzer().analyze_corpus([])
+        assert corpus.total == 0
+        assert corpus.summary_rows() == []
+        assert corpus.mean_value("vagueness") == 0.0
+
+
+class TestCorpusGenerator:
+    def test_deterministic_by_seed(self):
+        a_reqs, a_truth = CorpusGenerator(seed=7).generate(50)
+        b_reqs, b_truth = CorpusGenerator(seed=7).generate(50)
+        assert [r.text for r in a_reqs] == [r.text for r in b_reqs]
+        assert a_truth.injected == b_truth.injected
+
+    def test_different_seed_differs(self):
+        a_reqs, _ = CorpusGenerator(seed=1).generate(50)
+        b_reqs, _ = CorpusGenerator(seed=2).generate(50)
+        assert [r.text for r in a_reqs] != [r.text for r in b_reqs]
+
+    def test_injection_subsets_disjoint(self):
+        _, truth = CorpusGenerator(seed=3).generate(200, injection_rate=0.05)
+        all_ids = []
+        for ids in truth.injected.values():
+            all_ids.extend(ids)
+        assert len(all_ids) == len(set(all_ids))
+
+    def test_injection_rate_bounds(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator().generate(10, injection_rate=1.5)
+        with pytest.raises(ValueError):
+            CorpusGenerator().generate(10, injection_rate=0.9)
+
+    def test_detectors_perfect_on_injected_corpus(self):
+        """The calibration contract behind experiment E4: per-smell
+        precision and recall are exactly 1.0 against injected truth."""
+        reqs, truth = CorpusGenerator(seed=0).generate(
+            300, injection_rate=0.05)
+        report = NalabsAnalyzer().analyze_corpus(reqs)
+        flagged = report.flagged_by_metric()
+        for smell in ("vagueness", "weakness", "optionality",
+                      "subjectivity", "references", "imperatives",
+                      "conjunctions", "incompleteness"):
+            precision, recall = truth.precision_recall(
+                smell, flagged.get(smell, []))
+            assert precision == 1.0, smell
+            assert recall == 1.0, smell
+
+    def test_precision_recall_empty_flags(self):
+        _, truth = CorpusGenerator(seed=0).generate(40, injection_rate=0.05)
+        precision, recall = truth.precision_recall("vagueness", [])
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_imperative_injection_removes_shall(self):
+        generator = CorpusGenerator(seed=0)
+        statement = generator.clean_statement()
+        degraded = generator.inject(statement, "imperatives")
+        assert " shall " not in degraded

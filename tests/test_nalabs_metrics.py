@@ -1,0 +1,196 @@
+"""Unit tests for the NALABS smell metrics."""
+
+import pytest
+
+from repro.nalabs.metrics import (
+    ConjunctionMetric,
+    ContinuanceMetric,
+    ImperativeMetric,
+    NonImperativeVerbMetric,
+    OptionalityMetric,
+    ReadabilityARIMetric,
+    ReferenceMetric,
+    SizeMetric,
+    SubjectivityMetric,
+    VaguenessMetric,
+    WeaknessMetric,
+    phrase_occurrences,
+    sentences,
+    tokenize,
+)
+
+CLEAN = "The system shall lock the account after 3 failed attempts."
+
+
+class TestTokenizer:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("The System SHALL lock.") == \
+            ["the", "system", "shall", "lock"]
+
+    def test_tokenize_keeps_hyphenated_words(self):
+        assert "user-friendly" in tokenize("A user-friendly tool")
+
+    def test_sentences_split_on_terminators(self):
+        assert len(sentences("One. Two! Three?")) == 3
+
+    def test_sentences_never_empty(self):
+        assert sentences("no terminator") == ["no terminator"]
+
+    def test_phrase_occurrences_counts_multiplicity(self):
+        found = phrase_occurrences("may do this and may do that", ("may",))
+        assert found == ["may", "may"]
+
+    def test_phrase_occurrences_whole_words_only(self):
+        assert phrase_occurrences("mayhem", ("may",)) == []
+
+    def test_phrase_occurrences_multiword(self):
+        found = phrase_occurrences("do this as far as possible now",
+                                   ("as far as possible",))
+        assert found == ["as far as possible"]
+
+
+class TestDictionaryMetrics:
+    def test_vagueness_detects_and_reports(self):
+        result = VaguenessMetric().measure(
+            "Provide adequate performance with reasonable latency.")
+        assert result.value == 2
+        assert result.flagged
+        assert "adequate" in result.occurrences
+
+    def test_vagueness_clean_statement(self):
+        result = VaguenessMetric().measure(CLEAN)
+        assert result.value == 0
+        assert not result.flagged
+
+    def test_weakness(self):
+        result = WeaknessMetric().measure(
+            "The parser shall be capable of recovery where possible.")
+        assert result.value == 2
+        assert result.flagged
+
+    def test_optionality(self):
+        result = OptionalityMetric().measure(
+            "The client may retry and could preferably warn the user.")
+        assert result.value >= 3
+        assert result.flagged
+
+    def test_subjectivity(self):
+        result = SubjectivityMetric().measure(
+            "The UI shall be intuitive and pleasant.")
+        assert result.value == 2
+
+    def test_continuances_threshold(self):
+        low = ContinuanceMetric().measure("A and B.")
+        assert not low.flagged
+        high = ContinuanceMetric().measure(
+            "Support the following: A and B and C, in particular D.")
+        assert high.flagged
+
+    def test_custom_threshold_overrides_default(self):
+        metric = VaguenessMetric(threshold=3)
+        result = metric.measure("adequate and reasonable")
+        assert result.value == 2
+        assert not result.flagged
+
+
+class TestImperatives:
+    def test_clean_statement_has_imperative(self):
+        result = ImperativeMetric().measure(CLEAN)
+        assert result.value == 1
+        assert not result.flagged
+
+    def test_missing_imperative_is_flagged(self):
+        result = ImperativeMetric().measure("The system locks the account.")
+        assert result.value == 0
+        assert result.flagged
+
+    def test_nv_ratio(self):
+        result = NonImperativeVerbMetric().measure(
+            "The system is available and handles errors and provides logs.")
+        assert result.value == 3.0
+        assert result.flagged
+
+    def test_nv_ratio_with_imperative_divides(self):
+        result = NonImperativeVerbMetric().measure(
+            "The system shall ensure the log is complete.")
+        assert result.value == 1.0
+        assert not result.flagged
+
+
+class TestReferences:
+    def test_dictionary_cues(self):
+        result = ReferenceMetric().measure(
+            "Operate in accordance with the standard, refer to the manual.")
+        assert result.value == 2
+        assert result.flagged
+
+    def test_numbered_references_regex(self):
+        result = ReferenceMetric().measure(
+            "See details in section 3.4.1 and in [12].")
+        assert result.value >= 2
+
+    def test_regex_can_be_disabled(self):
+        metric = ReferenceMetric(use_regex=False)
+        result = metric.measure("Described in section 3.4.1.")
+        # "described in" remains a dictionary cue; the bare number match
+        # from References2 is gone.
+        assert "section 3.4.1" not in result.occurrences
+
+
+class TestReadabilityAndSize:
+    def test_ari_formula(self):
+        # One sentence, 4 words, average word length (3+6+5+4)/4 = 4.5:
+        # ARI = 4 + 9 * 4.5 = 44.5
+        result = ReadabilityARIMetric().measure("The system shall lock.")
+        assert result.value == pytest.approx(44.5)
+
+    def test_ari_empty_text(self):
+        assert ReadabilityARIMetric().measure("").value == 0.0
+
+    def test_ari_flags_dense_text(self):
+        dense = ("The multifunctional interoperability synchronization "
+                 "infrastructure necessitates comprehensive "
+                 "parameterization notwithstanding organizational "
+                 "heterogeneity considerations")
+        assert ReadabilityARIMetric().measure(dense).flagged
+
+    def test_size_counts_words(self):
+        result = SizeMetric().measure(CLEAN)
+        assert result.value == 10
+        assert not result.flagged
+        assert f"characters={len(CLEAN)}" in result.occurrences
+
+    def test_size_flags_long_requirements(self):
+        text = " ".join(["word"] * 70) + "."
+        assert SizeMetric().measure(text).flagged
+
+    def test_conjunction_metric(self):
+        result = ConjunctionMetric().measure(
+            "Do A and B or C but not D, otherwise E and F.")
+        assert result.value >= 4
+        assert result.flagged
+
+
+class TestIncompleteness:
+    def test_markers_detected(self):
+        from repro.nalabs.metrics import IncompletenessMetric
+
+        result = IncompletenessMetric().measure(
+            "Thresholds are TBD and limits are to be determined.")
+        assert result.value == 2
+        assert result.flagged
+        assert "tbd" in result.occurrences
+
+    def test_clean_statement_unflagged(self):
+        from repro.nalabs.metrics import IncompletenessMetric
+
+        result = IncompletenessMetric().measure(CLEAN)
+        assert result.value == 0
+        assert not result.flagged
+
+    def test_tbd_requires_word_boundary(self):
+        from repro.nalabs.metrics import IncompletenessMetric
+
+        # 'TBD' inside another token must not match.
+        result = IncompletenessMetric().measure("the outbound channel")
+        assert result.value == 0

@@ -1,0 +1,48 @@
+"""Unit tests for the NALABS HTML report."""
+
+from repro.nalabs import NalabsAnalyzer, RequirementText
+from repro.nalabs.report import render_html
+
+
+def analyze(*texts):
+    records = [RequirementText(f"R{i}", text)
+               for i, text in enumerate(texts, start=1)]
+    return NalabsAnalyzer().analyze_corpus(records)
+
+
+class TestRenderHtml:
+    def test_document_structure(self):
+        html = render_html(analyze("The system shall log events."))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<h1>NALABS analysis</h1>" in html
+        assert "Metric summary" in html
+
+    def test_flagged_cells_highlighted(self):
+        html = render_html(analyze("The system may be adequate."))
+        assert "background:#ffcdd2" in html
+
+    def test_clean_corpus_not_highlighted(self):
+        html = render_html(analyze(
+            "The system shall lock the account after 3 attempts."))
+        assert "background:#ffcdd2" not in html
+
+    def test_occurrences_in_tooltips(self):
+        html = render_html(analyze("The system may be adequate."))
+        assert 'title="vagueness: adequate"' in html
+
+    def test_text_escaped(self):
+        html = render_html(analyze(
+            'The system shall reject <script> & "quotes".'))
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_corpus(self):
+        html = render_html(analyze())
+        assert "(empty corpus)" in html
+
+    def test_smelly_count_line(self):
+        html = render_html(analyze(
+            "The system shall log events.",
+            "The system may be adequate.",
+        ))
+        assert "1/2 requirements carry at least one smell" in html

@@ -1,0 +1,185 @@
+"""Unit tests for RESA: boilerplates, ontology, parser, pattern export."""
+
+import pytest
+
+from repro.resa import (
+    BoilerplateMatchError,
+    EastAdlLevel,
+    Ontology,
+    default_ontology,
+    level_for_extension,
+    match_boilerplate,
+    parse_document,
+    to_pattern,
+)
+from repro.resa.export import bound_in_seconds, event_name
+from repro.specpatterns import (
+    Absence,
+    AfterQUntilR,
+    Existence,
+    Globally,
+    Response,
+    TimedResponse,
+    Universality,
+)
+
+
+class TestBoilerplates:
+    def test_b1_simple_shall(self):
+        req = match_boilerplate("R", "The audit subsystem shall log events.")
+        assert req.boilerplate_id == "B1"
+        assert req.slots["system"] == "audit subsystem"
+        assert req.slots["action"] == "log events"
+
+    def test_b2_timed(self):
+        req = match_boilerplate(
+            "R", "The gateway shall reject the request within 5 seconds.")
+        assert req.boilerplate_id == "B2"
+        assert req.slots["number"] == "5"
+        assert req.slots["unit"] == "seconds"
+
+    def test_b3_conditional(self):
+        req = match_boilerplate(
+            "R", "When intrusion is detected, the gateway shall alert "
+                 "the operator.")
+        assert req.boilerplate_id == "B3"
+        assert req.slots["condition"] == "intrusion is detected"
+
+    def test_b4_beats_b3(self):
+        req = match_boilerplate(
+            "R", "When intrusion is detected, the gateway shall alert "
+                 "the operator within 2 seconds.")
+        assert req.boilerplate_id == "B4"
+
+    def test_b5_negative(self):
+        req = match_boilerplate(
+            "R", "The gateway shall not transmit passwords.")
+        assert req.boilerplate_id == "B5"
+
+    def test_b6_while(self):
+        req = match_boilerplate(
+            "R", "While the vehicle is moving, the door controller shall "
+                 "lock the doors.")
+        assert req.boilerplate_id == "B6"
+
+    def test_whitespace_normalized(self):
+        req = match_boilerplate("R", "The   gateway  shall   log events.")
+        assert req.text == "The gateway shall log events."
+
+    def test_no_match_raises(self):
+        with pytest.raises(BoilerplateMatchError):
+            match_boilerplate("R", "Logging is generally good practice")
+
+
+class TestOntology:
+    def test_default_knows_systems(self):
+        ontology = default_ontology()
+        assert ontology.knows("system", "authentication service")
+        assert not ontology.knows("system", "flux capacitor")
+
+    def test_multiword_with_stopwords(self):
+        ontology = default_ontology()
+        assert ontology.knows("action", "lock the account")
+
+    def test_numbers_are_transparent(self):
+        ontology = default_ontology()
+        assert ontology.knows("condition", "3 consecutive failures occur")
+
+    def test_extend(self):
+        ontology = Ontology()
+        ontology.extend("system", ["reactor core"])
+        assert ontology.knows("system", "Reactor Core")
+
+    def test_unknown_category(self):
+        assert not Ontology().knows("nope", "term")
+
+
+class TestDocumentParsing:
+    DOC = """
+# security requirements
+REQ-1: The authentication service shall lock the account.
+REQ-2: When 3 consecutive failures occur, the session manager
+       shall alert the operator within 5 seconds.
+REQ-3: This text matches nothing structured
+"""
+
+    def test_parse_with_continuation_lines(self):
+        document = parse_document(self.DOC)
+        assert [r.req_id for r in document.requirements] == ["REQ-1",
+                                                             "REQ-2"]
+        assert document.requirements[1].boilerplate_id == "B4"
+
+    def test_unmatched_statement_is_error(self):
+        document = parse_document(self.DOC)
+        assert len(document.errors) == 1
+        assert document.errors[0].req_id == "REQ-3"
+        assert not document.valid
+
+    def test_unknown_terms_are_warnings(self):
+        document = parse_document(
+            "REQ-1: The flux capacitor shall frobnicate the widget.")
+        assert document.valid  # structure fine, vocabulary warned
+        assert len(document.warnings) >= 1
+
+    def test_requirement_lookup(self):
+        document = parse_document("REQ-1: The gateway shall log events.")
+        assert document.requirement("REQ-1").boilerplate_id == "B1"
+        with pytest.raises(KeyError):
+            document.requirement("REQ-9")
+
+    def test_levels_by_extension(self):
+        assert level_for_extension("spec.resa") is EastAdlLevel.GENERIC
+        assert level_for_extension("spec.vl") is EastAdlLevel.VEHICLE
+        assert level_for_extension("spec.al") is EastAdlLevel.ANALYSIS
+        assert level_for_extension("spec.dl") is EastAdlLevel.DESIGN
+        with pytest.raises(ValueError):
+            level_for_extension("spec.txt")
+
+
+class TestPatternExport:
+    def test_b1_existence(self):
+        req = match_boilerplate("R", "The gateway shall log events.")
+        pattern, scope = to_pattern(req)
+        assert pattern == Existence(p="log_events")
+        assert scope == Globally()
+
+    def test_b2_timed_response(self):
+        req = match_boilerplate(
+            "R", "The gateway shall reject the request within 2 minutes.")
+        pattern, _ = to_pattern(req)
+        assert isinstance(pattern, TimedResponse)
+        assert pattern.bound == 120
+
+    def test_b3_response(self):
+        req = match_boilerplate(
+            "R", "When intrusion is detected, the gateway shall alert "
+                 "the operator.")
+        pattern, _ = to_pattern(req)
+        assert pattern == Response(p="intrusion_is_detected",
+                                   s="alert_the_operator")
+
+    def test_b5_absence(self):
+        req = match_boilerplate(
+            "R", "The gateway shall not transmit passwords.")
+        pattern, _ = to_pattern(req)
+        assert pattern == Absence(p="transmit_passwords")
+
+    def test_b6_scoped_universality(self):
+        req = match_boilerplate(
+            "R", "While the vehicle is moving, the door controller shall "
+                 "lock the doors.")
+        pattern, scope = to_pattern(req)
+        assert isinstance(pattern, Universality)
+        assert isinstance(scope, AfterQUntilR)
+
+    def test_event_name_sanitization(self):
+        assert event_name("3 failures occur") == "e_3_failures_occur"
+        assert event_name("Lock-The Account!") == "lock_the_account"
+        assert event_name("") == "event"
+
+    def test_bound_conversion(self):
+        assert bound_in_seconds("5", "seconds") == 5
+        assert bound_in_seconds("2", "minutes") == 120
+        assert bound_in_seconds("500", "ms") == 1
+        with pytest.raises(ValueError):
+            bound_in_seconds("5", "fortnights")

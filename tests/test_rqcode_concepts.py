@@ -1,0 +1,122 @@
+"""Unit tests for RQCODE core concepts."""
+
+import pytest
+
+from repro.rqcode.concepts import (
+    CheckableEnforceableRequirement,
+    CheckStatus,
+    EnforcementStatus,
+    FindingMetadata,
+    PredicateCheckable,
+    Requirement,
+)
+
+
+class TestStatuses:
+    def test_check_status_truthiness(self):
+        assert CheckStatus.PASS
+        assert not CheckStatus.FAIL
+        assert not CheckStatus.INCOMPLETE
+
+    def test_enforcement_status_truthiness(self):
+        assert EnforcementStatus.SUCCESS
+        assert not EnforcementStatus.FAILURE
+        assert not EnforcementStatus.INCOMPLETE
+
+
+class TestPredicateCheckable:
+    def test_boolean_callable(self):
+        flag = {"value": False}
+        checkable = PredicateCheckable(lambda: flag["value"], name="flag")
+        assert checkable.check() is CheckStatus.FAIL
+        flag["value"] = True
+        assert checkable.check() is CheckStatus.PASS
+        assert checkable.holds()
+
+    def test_checkstatus_callable_passthrough(self):
+        checkable = PredicateCheckable(lambda: CheckStatus.INCOMPLETE)
+        assert checkable.check() is CheckStatus.INCOMPLETE
+
+    def test_str_uses_name(self):
+        assert str(PredicateCheckable(lambda: True, name="p")) == "p"
+
+
+class TestRequirement:
+    METADATA = FindingMetadata(
+        finding_id="V-0001",
+        version="WN10-XX-000001",
+        rule_id="SV-1r1_rule",
+        severity="high",
+        description="Test finding.",
+        stig="Test STIG",
+        date="2021-01-01",
+        check_text="Check something.",
+        fix_text="Fix something.",
+    )
+
+    def test_accessors(self):
+        requirement = Requirement(self.METADATA)
+        assert requirement.finding_id() == "V-0001"
+        assert requirement.severity() == "high"
+        assert requirement.stig() == "Test STIG"
+        assert requirement.check_text() == "Check something."
+        assert requirement.fix_text() == "Fix something."
+
+    def test_to_document_includes_populated_fields(self):
+        document = Requirement(self.METADATA).to_document()
+        assert "Finding ID: V-0001" in document
+        assert "Severity: high" in document
+        assert "Fix Text: Fix something." in document
+
+    def test_to_document_omits_empty_fields(self):
+        requirement = Requirement(FindingMetadata(finding_id="V-2"))
+        document = requirement.to_document()
+        assert "Check Text" not in document
+
+    def test_default_metadata(self):
+        requirement = Requirement()
+        assert requirement.finding_id() == ""
+        assert requirement.severity() == "medium"
+
+
+class _ToggleRequirement(CheckableEnforceableRequirement):
+    """Fails until enforced; counts enforcement calls."""
+
+    def __init__(self, enforce_succeeds=True):
+        super().__init__()
+        self.compliant = False
+        self.enforce_calls = 0
+        self.enforce_succeeds = enforce_succeeds
+
+    def check(self):
+        return CheckStatus.PASS if self.compliant else CheckStatus.FAIL
+
+    def enforce(self):
+        self.enforce_calls += 1
+        if self.enforce_succeeds:
+            self.compliant = True
+            return EnforcementStatus.SUCCESS
+        return EnforcementStatus.FAILURE
+
+
+class TestCheckEnforceCheck:
+    def test_remediates_failing_requirement(self):
+        requirement = _ToggleRequirement()
+        before, enforcement, after = requirement.check_enforce_check()
+        assert before is CheckStatus.FAIL
+        assert enforcement is EnforcementStatus.SUCCESS
+        assert after is CheckStatus.PASS
+
+    def test_skips_enforcement_when_already_passing(self):
+        requirement = _ToggleRequirement()
+        requirement.compliant = True
+        before, enforcement, after = requirement.check_enforce_check()
+        assert before is CheckStatus.PASS
+        assert requirement.enforce_calls == 0
+        assert enforcement is EnforcementStatus.SUCCESS
+
+    def test_reports_failed_enforcement(self):
+        requirement = _ToggleRequirement(enforce_succeeds=False)
+        before, enforcement, after = requirement.check_enforce_check()
+        assert enforcement is EnforcementStatus.FAILURE
+        assert after is CheckStatus.FAIL

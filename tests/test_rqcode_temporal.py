@@ -1,0 +1,277 @@
+"""Unit tests for the RQCODE temporal patterns (monitoring loops)."""
+
+import pytest
+
+from repro.rqcode.concepts import CheckStatus, PredicateCheckable
+from repro.rqcode.temporal import (
+    AfterUntilUniversality,
+    Eventually,
+    GlobalResponseTimed,
+    GlobalResponseUntil,
+    GlobalUniversality,
+    GlobalUniversalityTimed,
+    MonitoringLoop,
+)
+
+
+class _Scripted:
+    """A checkable whose truth follows a scripted timeline.
+
+    Index 0 is the value at the first poll; the final value persists.
+    """
+
+    def __init__(self, timeline):
+        self.timeline = list(timeline)
+        self.index = 0
+
+    def probe(self):
+        value = self.timeline[min(self.index, len(self.timeline) - 1)]
+        return value
+
+    def step(self, _iteration):
+        self.index += 1
+
+    def checkable(self, name="p"):
+        return PredicateCheckable(self.probe, name=name)
+
+
+class TestMonitoringLoopBase:
+    def test_boundary_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MonitoringLoop(boundary=0)
+
+    def test_default_loop_passes_at_timeout(self):
+        loop = MonitoringLoop(boundary=5)
+        assert loop.check() is CheckStatus.PASS
+        assert loop.iterations_run == 5
+
+    def test_variant_decreases(self):
+        loop = MonitoringLoop(boundary=10)
+        assert loop.variant(0) == 10
+        assert loop.variant(10) == 0
+
+    def test_sleep_milliseconds_configurable(self):
+        assert MonitoringLoop(sleep_ms=250).sleep_milliseconds() == 250
+
+
+class TestGlobalUniversality:
+    def test_passes_when_p_always_holds(self):
+        script = _Scripted([True] * 5)
+        loop = GlobalUniversality(script.checkable(), boundary=5,
+                                  step=script.step)
+        assert loop.check() is CheckStatus.PASS
+
+    def test_fails_on_first_violation(self):
+        script = _Scripted([True, True, False, True])
+        loop = GlobalUniversality(script.checkable(), boundary=10,
+                                  step=script.step)
+        assert loop.check() is CheckStatus.FAIL
+        assert loop.iterations_run == 2
+
+    def test_tctl_rendering(self):
+        loop = GlobalUniversality(PredicateCheckable(lambda: True, "p"))
+        assert loop.tctl() == "A[] (p)"
+
+
+class TestEventually:
+    def test_passes_when_p_becomes_true(self):
+        script = _Scripted([False, False, True])
+        loop = Eventually(script.checkable(), boundary=10, step=script.step)
+        assert loop.check() is CheckStatus.PASS
+
+    def test_fails_at_boundary_without_p(self):
+        script = _Scripted([False])
+        loop = Eventually(script.checkable(), boundary=4, step=script.step)
+        assert loop.check() is CheckStatus.FAIL
+        assert loop.iterations_run == 4
+
+    def test_tctl_rendering(self):
+        loop = Eventually(PredicateCheckable(lambda: True, "p"))
+        assert loop.tctl() == "A<> (p)"
+
+
+class TestGlobalResponseTimed:
+    def test_response_within_bound_passes(self):
+        stimulus = PredicateCheckable(lambda: True, "s")
+        script = _Scripted([False, False, True])
+        loop = GlobalResponseTimed(stimulus, script.checkable("r"),
+                                   boundary=5, step=script.step)
+        assert loop.check() is CheckStatus.PASS
+
+    def test_response_after_bound_fails(self):
+        stimulus = PredicateCheckable(lambda: True, "s")
+        script = _Scripted([False] * 10 + [True])
+        loop = GlobalResponseTimed(stimulus, script.checkable("r"),
+                                   boundary=3, step=script.step)
+        assert loop.check() is CheckStatus.FAIL
+
+    def test_without_stimulus_is_incomplete(self):
+        stimulus = PredicateCheckable(lambda: False, "s")
+        response = PredicateCheckable(lambda: True, "r")
+        loop = GlobalResponseTimed(stimulus, response, boundary=3)
+        assert loop.check() is CheckStatus.INCOMPLETE
+
+    def test_tctl_includes_bound(self):
+        loop = GlobalResponseTimed(
+            PredicateCheckable(lambda: True, "s"),
+            PredicateCheckable(lambda: True, "r"), boundary=7)
+        assert loop.tctl() == "A[] ((s) imply A<>[0,7] (r))"
+
+
+class TestGlobalResponseUntil:
+    def _loop(self, q_timeline, r_timeline, boundary=10):
+        q_script = _Scripted(q_timeline)
+        r_script = _Scripted(r_timeline)
+
+        def step(i):
+            q_script.step(i)
+            r_script.step(i)
+
+        return GlobalResponseUntil(
+            PredicateCheckable(lambda: True, "p"),
+            q_script.checkable("q"),
+            r_script.checkable("r"),
+            boundary=boundary, step=step)
+
+    def test_q_eventually_holds(self):
+        loop = self._loop([False, False, True], [False])
+        assert loop.check() is CheckStatus.PASS
+
+    def test_release_waives_obligation(self):
+        loop = self._loop([False], [False, True])
+        assert loop.check() is CheckStatus.PASS
+
+    def test_neither_q_nor_r_fails(self):
+        loop = self._loop([False], [False], boundary=4)
+        assert loop.check() is CheckStatus.FAIL
+
+    def test_unsatisfied_premise_is_incomplete(self):
+        loop = GlobalResponseUntil(
+            PredicateCheckable(lambda: False, "p"),
+            PredicateCheckable(lambda: True, "q"),
+            PredicateCheckable(lambda: True, "r"))
+        assert loop.check() is CheckStatus.INCOMPLETE
+
+
+class TestGlobalUniversalityTimed:
+    def test_holds_for_window(self):
+        script = _Scripted([True] * 3)
+        loop = GlobalUniversalityTimed(script.checkable(), boundary=3,
+                                       step=script.step)
+        assert loop.check() is CheckStatus.PASS
+
+    def test_breaks_inside_window(self):
+        script = _Scripted([True, False])
+        loop = GlobalUniversalityTimed(script.checkable(), boundary=3,
+                                       step=script.step)
+        assert loop.check() is CheckStatus.FAIL
+
+    def test_tctl_includes_window(self):
+        loop = GlobalUniversalityTimed(
+            PredicateCheckable(lambda: True, "p"), boundary=9)
+        assert loop.tctl() == "A[][0,9] (p)"
+
+
+class TestAfterUntilUniversality:
+    def _loop(self, p_timeline, r_timeline, q_value=True, boundary=10):
+        p_script = _Scripted(p_timeline)
+        r_script = _Scripted(r_timeline)
+
+        def step(i):
+            p_script.step(i)
+            r_script.step(i)
+
+        return AfterUntilUniversality(
+            PredicateCheckable(lambda: q_value, "q"),
+            p_script.checkable("p"),
+            r_script.checkable("r"),
+            boundary=boundary, step=step)
+
+    def test_scope_not_opened_is_incomplete(self):
+        loop = self._loop([True], [False], q_value=False)
+        assert loop.check() is CheckStatus.INCOMPLETE
+
+    def test_p_holds_until_r_closes(self):
+        loop = self._loop([True, True, True], [False, False, True])
+        assert loop.check() is CheckStatus.PASS
+
+    def test_p_violated_before_r_fails(self):
+        loop = self._loop([True, False], [False])
+        assert loop.check() is CheckStatus.FAIL
+
+    def test_p_holds_forever_without_r_passes(self):
+        loop = self._loop([True], [False], boundary=5)
+        assert loop.check() is CheckStatus.PASS
+
+    def test_tctl_weak_until(self):
+        loop = self._loop([True], [False])
+        assert "W" in loop.tctl()
+
+
+class TestStepHookDrivesEnvironment:
+    def test_loop_observes_environment_changes(self, ubuntu_default):
+        """The step hook is how the monitor sees the world move: here a
+        package is removed between polls and Eventually turns PASS."""
+        host = ubuntu_default
+
+        def step(iteration):
+            if iteration == 2:
+                host.dpkg.remove("nis")
+
+        loop = Eventually(
+            PredicateCheckable(lambda: not host.dpkg.is_installed("nis"),
+                               name="nis_absent"),
+            boundary=10, step=step)
+        assert loop.check() is CheckStatus.PASS
+        assert loop.iterations_run == 3
+
+
+class TestLtlBridge:
+    """The event-driven ablation: each pattern's ltl() agrees with its
+    polling verdict on the same scripted timeline."""
+
+    def test_global_universality_agrees_with_ltlf(self):
+        from repro.ltl import evaluate_ltlf
+
+        timeline = [True, True, False]
+        script = _Scripted(timeline)
+        loop = GlobalUniversality(script.checkable("p"), boundary=3,
+                                  step=script.step)
+        polling = loop.check()
+        trace = [{"p"} if value else set() for value in timeline]
+        assert (polling is CheckStatus.PASS) == \
+            evaluate_ltlf(loop.ltl(), trace)
+
+    def test_eventually_agrees_with_ltlf(self):
+        from repro.ltl import evaluate_ltlf
+
+        for timeline in ([False, True], [False, False]):
+            script = _Scripted(timeline)
+            loop = Eventually(script.checkable("p"), boundary=2,
+                              step=script.step)
+            polling = loop.check()
+            trace = [{"p"} if value else set() for value in timeline]
+            assert (polling is CheckStatus.PASS) == \
+                evaluate_ltlf(loop.ltl(), trace), timeline
+
+    def test_ltl_formulas_parse_back(self):
+        from repro.ltl import parse_ltl
+
+        p = PredicateCheckable(lambda: True, "p")
+        s = PredicateCheckable(lambda: True, "s")
+        r = PredicateCheckable(lambda: True, "r")
+        for loop in (
+            GlobalUniversality(p),
+            Eventually(p),
+            GlobalResponseTimed(s, r, boundary=5),
+            GlobalResponseUntil(p, s, r),
+            GlobalUniversalityTimed(p, boundary=5),
+            AfterUntilUniversality(s, p, r),
+        ):
+            formula = loop.ltl()
+            assert parse_ltl(str(formula)) == formula
+
+    def test_base_loop_ltl_is_true(self):
+        from repro.ltl.formulas import TRUE
+
+        assert MonitoringLoop(boundary=1).ltl() is TRUE

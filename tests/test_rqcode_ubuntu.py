@@ -1,0 +1,145 @@
+"""Unit tests for the Ubuntu STIG requirement classes."""
+
+import pytest
+
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+from repro.rqcode.ubuntu import (
+    ALL_UBUNTU_FINDINGS,
+    D27_FINDINGS,
+    UbuntuConfigPattern,
+    UbuntuPackagePattern,
+    UbuntuServicePattern,
+    V_219157,
+    V_219158,
+    V_219161,
+    V_219177,
+    V_219304,
+    instantiate_all,
+)
+
+
+class TestUbuntuPackagePattern:
+    def test_prohibited_package_absent_passes(self, ubuntu_hardened):
+        pattern = UbuntuPackagePattern(ubuntu_hardened, "nis",
+                                       must_be_installed=False)
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_prohibited_package_present_fails(self, ubuntu_default):
+        pattern = UbuntuPackagePattern(ubuntu_default, "nis",
+                                       must_be_installed=False)
+        assert pattern.check() is CheckStatus.FAIL
+
+    def test_required_package_enforce_installs(self, ubuntu_default):
+        pattern = UbuntuPackagePattern(ubuntu_default, "aide",
+                                       must_be_installed=True)
+        assert pattern.check() is CheckStatus.FAIL
+        assert pattern.enforce() is EnforcementStatus.SUCCESS
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_prohibited_package_enforce_removes(self, ubuntu_default):
+        pattern = UbuntuPackagePattern(ubuntu_default, "nis",
+                                       must_be_installed=False)
+        pattern.enforce()
+        assert not ubuntu_default.dpkg.is_installed("nis")
+
+    def test_enforce_unknown_package_reports_failure(self, ubuntu_default):
+        pattern = UbuntuPackagePattern(ubuntu_default, "no-such-package",
+                                       must_be_installed=True)
+        assert pattern.enforce() is EnforcementStatus.FAILURE
+
+    def test_str_mentions_polarity(self, ubuntu_default):
+        required = UbuntuPackagePattern(ubuntu_default, "aide", True)
+        prohibited = UbuntuPackagePattern(ubuntu_default, "nis", False)
+        assert "must be installed" in str(required)
+        assert "not installed" in str(prohibited)
+
+
+class TestUbuntuConfigPattern:
+    def test_matching_value_passes(self, ubuntu_hardened):
+        pattern = UbuntuConfigPattern(ubuntu_hardened, "/etc/login.defs",
+                                      "ENCRYPT_METHOD", "SHA512")
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_value_comparison_case_insensitive(self, ubuntu_hardened):
+        pattern = UbuntuConfigPattern(ubuntu_hardened, "/etc/login.defs",
+                                      "ENCRYPT_METHOD", "sha512")
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_missing_key_fails(self, ubuntu_default):
+        pattern = UbuntuConfigPattern(ubuntu_default, "/etc/ssh/sshd_config",
+                                      "PermitEmptyPasswords", "no")
+        assert pattern.check() is CheckStatus.FAIL
+
+    def test_enforce_writes_value_and_event(self, ubuntu_default):
+        pattern = UbuntuConfigPattern(ubuntu_default, "/etc/ssh/sshd_config",
+                                      "PermitEmptyPasswords", "no")
+        assert pattern.enforce() is EnforcementStatus.SUCCESS
+        assert pattern.check() is CheckStatus.PASS
+        assert ubuntu_default.events.last("config.enforced") is not None
+
+
+class TestUbuntuServicePattern:
+    def test_active_enabled_service_passes(self, ubuntu_default):
+        pattern = UbuntuServicePattern(ubuntu_default, "ssh")
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_unknown_service_fails_then_enforce_registers(self,
+                                                          ubuntu_default):
+        pattern = UbuntuServicePattern(ubuntu_default, "auditd")
+        assert pattern.check() is CheckStatus.FAIL
+        assert pattern.enforce() is EnforcementStatus.SUCCESS
+        assert pattern.check() is CheckStatus.PASS
+
+    def test_enforce_unmasks_masked_service(self, ubuntu_default):
+        ubuntu_default.services.register("auditd", masked=True)
+        pattern = UbuntuServicePattern(ubuntu_default, "auditd")
+        assert pattern.enforce() is EnforcementStatus.SUCCESS
+        assert ubuntu_default.services.is_active("auditd")
+
+
+class TestConcreteFindings:
+    def test_d27_list_matches_deliverable(self):
+        ids = [cls.__name__ for cls in D27_FINDINGS]
+        assert ids == ["V_219157", "V_219158", "V_219161", "V_219177",
+                       "V_219304", "V_219318", "V_219319", "V_219343"]
+
+    def test_v219157_targets_nis(self, ubuntu_default):
+        finding = V_219157(ubuntu_default)
+        assert finding.package_name == "nis"
+        assert not finding.must_be_installed
+        assert finding.finding_id() == "V-219157"
+
+    def test_v219158_is_high_severity(self, ubuntu_default):
+        assert V_219158(ubuntu_default).severity() == "high"
+
+    def test_v219161_requires_openssh(self, ubuntu_default):
+        finding = V_219161(ubuntu_default)
+        assert finding.package_name == "openssh-server"
+        assert finding.check() is CheckStatus.PASS
+
+    def test_v219177_login_defs(self, ubuntu_adversarial):
+        finding = V_219177(ubuntu_adversarial)
+        assert finding.check() is CheckStatus.FAIL
+        finding.enforce()
+        assert ubuntu_adversarial.config.get(
+            "/etc/login.defs", "ENCRYPT_METHOD") == "SHA512"
+
+    def test_v219304_requires_vlock(self, ubuntu_hardened):
+        assert V_219304(ubuntu_hardened).check() is CheckStatus.PASS
+
+    def test_all_findings_pass_on_hardened(self, ubuntu_hardened):
+        for requirement in instantiate_all(ubuntu_hardened):
+            assert requirement.check() is CheckStatus.PASS, \
+                requirement.finding_id()
+
+    def test_all_findings_remediable_on_adversarial(self, ubuntu_adversarial):
+        for requirement in instantiate_all(ubuntu_adversarial):
+            before, enforcement, after = requirement.check_enforce_check()
+            assert after is CheckStatus.PASS, requirement.finding_id()
+
+    def test_metadata_consistent(self, ubuntu_default):
+        for cls in ALL_UBUNTU_FINDINGS:
+            requirement = cls(ubuntu_default)
+            assert requirement.finding_id().startswith("V-")
+            assert requirement.stig().startswith("Canonical Ubuntu")
+            assert requirement.description()

@@ -1,0 +1,104 @@
+"""Unit tests for the Windows 10 STIG requirement classes."""
+
+import pytest
+
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+from repro.rqcode.win10 import (
+    V_63447,
+    V_63449,
+    V_63463,
+    V_63467,
+    V_63483,
+    V_63487,
+    Windows10SecurityTechnicalImplementationGuide,
+)
+
+
+class TestPatternHierarchy:
+    def test_categories_and_subcategories(self, win_default):
+        assert V_63447(win_default).get_category() == "Account Management"
+        assert V_63447(win_default).get_subcategory() == \
+            "User Account Management"
+        assert V_63463(win_default).get_category() == "Logon/Logoff"
+        assert V_63463(win_default).get_subcategory() == "Logon"
+        assert V_63483(win_default).get_category() == "Privilege Use"
+        assert V_63483(win_default).get_subcategory() == \
+            "Sensitive Privilege Use"
+
+    def test_inclusion_settings(self, win_default):
+        assert V_63447(win_default).get_inclusion_setting() == "Failure"
+        assert V_63449(win_default).get_inclusion_setting() == "Success"
+
+    def test_texts_mention_subcategory(self, win_default):
+        requirement = V_63467(win_default)
+        assert "Logon" in requirement.check_text()
+        assert "Success" in requirement.fix_text()
+        assert "audit trail" in requirement.description().lower()
+
+    def test_metadata(self, win_default):
+        requirement = V_63487(win_default)
+        assert requirement.finding_id() == "V-63487"
+        assert requirement.stig().startswith("Windows 10")
+        assert requirement.severity() == "medium"
+
+
+class TestCheckSemantics:
+    def test_fails_on_default_host(self, win_default):
+        # Default Windows audits Logon Success only, so the Failure
+        # finding fails and the Success finding passes.
+        assert V_63463(win_default).check() is CheckStatus.FAIL
+        assert V_63467(win_default).check() is CheckStatus.PASS
+
+    def test_passes_on_hardened_host(self, win_hardened):
+        for cls in Windows10SecurityTechnicalImplementationGuide.STIG_CLASSES:
+            assert cls(win_hardened).check() is CheckStatus.PASS, cls
+
+    def test_fails_on_adversarial_host(self, win_adversarial):
+        for cls in Windows10SecurityTechnicalImplementationGuide.STIG_CLASSES:
+            assert cls(win_adversarial).check() is CheckStatus.FAIL, cls
+
+    def test_covering_setting_satisfies_weaker_requirement(self, win_default):
+        # Success and Failure covers a Failure-only finding.
+        win_default.audit_store.set("Sensitive Privilege Use",
+                                    success=True, failure=True)
+        assert V_63483(win_default).check() is CheckStatus.PASS
+        assert V_63487(win_default).check() is CheckStatus.PASS
+
+
+class TestEnforceSemantics:
+    def test_enforce_fixes_failing_finding(self, win_adversarial):
+        requirement = V_63447(win_adversarial)
+        assert requirement.check() is CheckStatus.FAIL
+        assert requirement.enforce() is EnforcementStatus.SUCCESS
+        assert requirement.check() is CheckStatus.PASS
+
+    def test_enforce_goes_through_auditpol_events(self, win_adversarial):
+        V_63449(win_adversarial).enforce()
+        event = win_adversarial.events.last("audit.policy_changed")
+        assert event.payload["subcategory"] == "User Account Management"
+
+    def test_enforce_preserves_other_flag(self, win_default):
+        # Default host audits UAM Success; enforcing the Failure finding
+        # must not clear Success.
+        V_63447(win_default).enforce()
+        setting = win_default.audit_store.get("User Account Management")
+        assert setting.render() == "Success and Failure"
+
+
+class TestAggregate:
+    def test_all_stigs_order(self, win_default):
+        guide = Windows10SecurityTechnicalImplementationGuide(win_default)
+        ids = [r.finding_id() for r in guide.all_stigs()]
+        assert ids == ["V-63447", "V-63449", "V-63463",
+                       "V-63467", "V-63483", "V-63487"]
+
+    def test_check_all(self, win_hardened):
+        guide = Windows10SecurityTechnicalImplementationGuide(win_hardened)
+        results = guide.check_all()
+        assert set(results.values()) == {CheckStatus.PASS}
+
+    def test_enforce_all_remediates_everything(self, win_adversarial):
+        guide = Windows10SecurityTechnicalImplementationGuide(win_adversarial)
+        statuses = guide.enforce_all()
+        assert set(statuses.values()) == {EnforcementStatus.SUCCESS}
+        assert set(guide.check_all().values()) == {CheckStatus.PASS}

@@ -1,0 +1,92 @@
+"""Unit tests for the Win10 registry-value STIG patterns."""
+
+import pytest
+
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+from repro.rqcode.win10_registry import (
+    REGISTRY_FINDINGS,
+    RegistryValueRequirement,
+    V_63351,
+    V_63519,
+    V_63591,
+    V_63797,
+)
+
+
+class TestCheckSemantics:
+    def test_missing_value_fails(self, win_default):
+        assert V_63351(win_default).check() is CheckStatus.FAIL
+
+    def test_exact_match_passes(self, win_hardened):
+        assert V_63519(win_hardened).check() is CheckStatus.PASS
+        assert V_63351(win_hardened).check() is CheckStatus.PASS
+
+    def test_exact_mismatch_fails(self, win_adversarial):
+        assert V_63519(win_adversarial).check() is CheckStatus.FAIL
+
+    def test_minimum_comparison(self, win_default):
+        finding = V_63797(win_default)
+        # Default profile sets LmCompatibilityLevel=3 < 5.
+        assert finding.check() is CheckStatus.FAIL
+        win_default.set_setting("registry.LmCompatibilityLevel", "5")
+        assert finding.check() is CheckStatus.PASS
+        # Exceeding the minimum also passes.
+        win_default.set_setting("registry.LmCompatibilityLevel", "6")
+        assert finding.check() is CheckStatus.PASS
+
+    def test_minimum_with_garbage_is_incomplete(self, win_default):
+        win_default.set_setting("registry.LmCompatibilityLevel", "high")
+        assert V_63797(win_default).check() is CheckStatus.INCOMPLETE
+
+
+class TestEnforceSemantics:
+    def test_enforce_writes_value(self, win_adversarial):
+        finding = V_63591(win_adversarial)
+        assert finding.check() is CheckStatus.FAIL
+        assert finding.enforce() is EnforcementStatus.SUCCESS
+        assert finding.check() is CheckStatus.PASS
+        assert win_adversarial.get_setting(
+            "registry.RestrictAnonymous") == "1"
+
+    def test_enforce_emits_setting_event(self, win_adversarial):
+        V_63519(win_adversarial).enforce()
+        event = win_adversarial.events.last("setting.changed")
+        assert event.payload["key"] == "registry.LegalNoticeText"
+
+    def test_all_registry_findings_remediable(self, win_adversarial):
+        for cls in REGISTRY_FINDINGS:
+            finding = cls(win_adversarial)
+            before, enforcement, after = finding.check_enforce_check()
+            assert after is CheckStatus.PASS, finding.finding_id()
+
+
+class TestCatalogIntegration:
+    def test_registered_in_default_catalog(self, catalog):
+        for cls in REGISTRY_FINDINGS:
+            finding_id = cls.__name__.replace("_", "-")
+            assert finding_id in catalog
+
+    def test_hardened_windows_passes_registry_slice(self, catalog,
+                                                    win_hardened):
+        report = catalog.check_host(win_hardened)
+        assert report.compliance_ratio == 1.0
+
+    def test_severity_from_metadata(self, win_default):
+        assert V_63797(win_default).severity() == "high"
+        assert V_63519(win_default).severity() == "medium"
+
+
+class TestProtectionIntegration:
+    def test_registry_drift_detected_and_repaired(self, win_hardened):
+        from repro.core import VeriDevOpsOrchestrator
+
+        orchestrator = VeriDevOpsOrchestrator()
+        orchestrator.ingest_standards("windows")
+        run = orchestrator.run_prevention([win_hardened])
+        assert run.passed
+        loop = orchestrator.start_protection(win_hardened, run)
+        win_hardened.drift_registry_value("LmCompatibilityLevel", "0")
+        effective = [i for i in loop.incidents if i.effective]
+        assert effective
+        assert win_hardened.get_setting(
+            "registry.LmCompatibilityLevel") == "5"

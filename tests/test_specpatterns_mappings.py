@@ -1,0 +1,184 @@
+"""Unit tests for the pattern x scope LTL/TCTL mappings.
+
+The LTL mappings are validated *semantically*: each formula is checked
+with exact LTLf evaluation against satisfying and violating traces,
+which is far stronger than comparing formula strings.
+"""
+
+import pytest
+
+from repro.ltl import evaluate_ltlf
+from repro.specpatterns import (
+    Absence,
+    AfterQ,
+    AfterQUntilR,
+    BeforeR,
+    BetweenQAndR,
+    BoundedExistence,
+    Existence,
+    Globally,
+    PatternScopeUnsupported,
+    Precedence,
+    PrecedenceChain,
+    Response,
+    ResponseChain,
+    TimedResponse,
+    Universality,
+    supported_combinations,
+    to_ltl,
+    to_tctl,
+)
+
+
+def T(*names):
+    """One trace step with the given events true."""
+    return set(names)
+
+
+class TestCoverage:
+    def test_support_matrix_size(self):
+        combos = supported_combinations()
+        assert len(combos) == 29
+        # Five core patterns x five scopes...
+        core = [c for c in combos if c[0].__name__ in
+                ("Absence", "Universality", "Existence", "Precedence",
+                 "Response")]
+        assert len(core) == 25
+
+    def test_unsupported_combination_raises(self):
+        with pytest.raises(PatternScopeUnsupported):
+            to_ltl(BoundedExistence(p="p"), BeforeR(r="r"))
+        with pytest.raises(PatternScopeUnsupported):
+            to_ltl(ResponseChain(p="p", s="s", t="t"), AfterQ(q="q"))
+
+
+class TestAbsence:
+    def test_globally(self):
+        formula = to_ltl(Absence(p="p"), Globally())
+        assert evaluate_ltlf(formula, [T(), T()])
+        assert not evaluate_ltlf(formula, [T(), T("p")])
+
+    def test_before_r(self):
+        formula = to_ltl(Absence(p="p"), BeforeR(r="r"))
+        assert evaluate_ltlf(formula, [T(), T("r"), T("p")])  # p after r ok
+        assert not evaluate_ltlf(formula, [T("p"), T("r")])
+        assert evaluate_ltlf(formula, [T("p")])  # r never occurs: vacuous
+
+    def test_after_q(self):
+        formula = to_ltl(Absence(p="p"), AfterQ(q="q"))
+        assert evaluate_ltlf(formula, [T("p"), T("q"), T()])
+        assert not evaluate_ltlf(formula, [T("q"), T("p")])
+
+    def test_between(self):
+        formula = to_ltl(Absence(p="p"), BetweenQAndR(q="q", r="r"))
+        assert evaluate_ltlf(formula, [T("q"), T(), T("r")])
+        assert not evaluate_ltlf(formula, [T("q"), T("p"), T("r")])
+        # Interval never closes: no obligation.
+        assert evaluate_ltlf(formula, [T("q"), T("p")])
+
+    def test_after_until(self):
+        formula = to_ltl(Absence(p="p"), AfterQUntilR(q="q", r="r"))
+        # Open-ended: p inside the unclosed segment violates.
+        assert not evaluate_ltlf(formula, [T("q"), T("p")])
+        assert evaluate_ltlf(formula, [T("q"), T("r"), T("p")])
+
+
+class TestUniversality:
+    def test_globally(self):
+        formula = to_ltl(Universality(p="p"), Globally())
+        assert evaluate_ltlf(formula, [T("p"), T("p")])
+        assert not evaluate_ltlf(formula, [T("p"), T()])
+
+    def test_between(self):
+        formula = to_ltl(Universality(p="p"), BetweenQAndR(q="q", r="r"))
+        assert evaluate_ltlf(formula, [T("q", "p"), T("p"), T("r")])
+        assert not evaluate_ltlf(formula, [T("q", "p"), T(), T("r")])
+
+
+class TestExistence:
+    def test_globally(self):
+        formula = to_ltl(Existence(p="p"), Globally())
+        assert evaluate_ltlf(formula, [T(), T("p")])
+        assert not evaluate_ltlf(formula, [T(), T()])
+
+    def test_before_r(self):
+        formula = to_ltl(Existence(p="p"), BeforeR(r="r"))
+        assert evaluate_ltlf(formula, [T("p"), T("r")])
+        assert not evaluate_ltlf(formula, [T(), T("r"), T("p")])
+
+    def test_after_q(self):
+        formula = to_ltl(Existence(p="p"), AfterQ(q="q"))
+        assert evaluate_ltlf(formula, [T("q"), T(), T("p")])
+        assert not evaluate_ltlf(formula, [T("q"), T()])
+        assert evaluate_ltlf(formula, [T(), T()])  # q never occurs
+
+
+class TestPrecedence:
+    def test_globally(self):
+        formula = to_ltl(Precedence(p="p", s="s"), Globally())
+        assert evaluate_ltlf(formula, [T("s"), T("p")])
+        assert not evaluate_ltlf(formula, [T("p")])
+        assert evaluate_ltlf(formula, [T(), T()])  # p never occurs
+
+    def test_simultaneous_counts(self):
+        formula = to_ltl(Precedence(p="p", s="s"), Globally())
+        # p and s at the same instant: s has not strictly preceded,
+        # but Dwyer's weak-until form accepts the simultaneous case.
+        assert evaluate_ltlf(formula, [T("p", "s")])
+
+
+class TestResponse:
+    def test_globally(self):
+        formula = to_ltl(Response(p="p", s="s"), Globally())
+        assert evaluate_ltlf(formula, [T("p"), T(), T("s")])
+        assert not evaluate_ltlf(formula, [T("p"), T()])
+        assert evaluate_ltlf(formula, [T(), T()])
+
+    def test_after_q(self):
+        formula = to_ltl(Response(p="p", s="s"), AfterQ(q="q"))
+        assert not evaluate_ltlf(formula, [T("q"), T("p")])
+        assert evaluate_ltlf(formula, [T("p"), T("q")])  # p before scope
+
+
+class TestChains:
+    def test_response_chain(self):
+        formula = to_ltl(ResponseChain(p="p", s="s", t="t"), Globally())
+        assert evaluate_ltlf(formula, [T("p"), T("s"), T("t")])
+        assert not evaluate_ltlf(formula, [T("p"), T("s")])
+        # t must come strictly after s.
+        assert not evaluate_ltlf(formula, [T("p"), T("s", "t")])
+
+    def test_precedence_chain(self):
+        formula = to_ltl(PrecedenceChain(p="p", s="s", t="t"), Globally())
+        assert evaluate_ltlf(formula, [T("s"), T("t"), T("p")])
+        assert not evaluate_ltlf(formula, [T("s"), T("p")])
+        assert evaluate_ltlf(formula, [T(), T()])  # p never occurs
+
+
+class TestBoundedExistence:
+    def test_at_most_two_segments(self):
+        formula = to_ltl(BoundedExistence(p="p"), Globally())
+        assert evaluate_ltlf(formula, [T("p"), T(), T("p"), T()])
+        assert not evaluate_ltlf(
+            formula, [T("p"), T(), T("p"), T(), T("p")])
+
+    def test_non_default_bound_unsupported(self):
+        with pytest.raises(PatternScopeUnsupported):
+            to_ltl(BoundedExistence(p="p", bound=3), Globally())
+
+
+class TestTctl:
+    def test_timed_response_carries_bound(self):
+        text = to_tctl(TimedResponse(p="v", s="a", bound=30))
+        assert "A<>[0,30]" in text
+
+    def test_response_is_leads_to(self):
+        assert to_tctl(Response(p="p", s="s")) == "p --> s"
+
+    def test_scope_wrapping(self):
+        text = to_tctl(Absence(p="p"), BetweenQAndR(q="q", r="r"))
+        assert text.startswith("between(q,r):")
+
+    def test_untimed_ltl_abstraction_of_timed_response(self):
+        formula = to_ltl(TimedResponse(p="p", s="s", bound=5), Globally())
+        assert evaluate_ltlf(formula, [T("p"), T("s")])

@@ -1,0 +1,110 @@
+"""Unit tests for the IEC 62443 slice and gap analysis."""
+
+import pytest
+
+from repro.standards import (
+    DEFAULT_SR_MAPPING,
+    FoundationalRequirement,
+    GapAnalysis,
+    IEC62443_SRS,
+    SecurityLevel,
+    SrStatus,
+    requirements_for_level,
+)
+
+
+class TestRequirementSlice:
+    def test_all_seven_frs_represented(self):
+        frs = {sr.fr for sr in IEC62443_SRS}
+        assert frs == set(FoundationalRequirement)
+
+    def test_sr_ids_unique(self):
+        ids = [sr.sr_id for sr in IEC62443_SRS]
+        assert len(ids) == len(set(ids))
+
+    def test_levels_are_cumulative(self):
+        sl1 = requirements_for_level(SecurityLevel.SL1)
+        sl2 = requirements_for_level(SecurityLevel.SL2)
+        sl4 = requirements_for_level(SecurityLevel.SL4)
+        assert set(sr.sr_id for sr in sl1) <= \
+            set(sr.sr_id for sr in sl2) <= \
+            set(sr.sr_id for sr in sl4)
+        assert len(sl4) == len(IEC62443_SRS)
+
+    def test_sl2_adds_requirements(self):
+        sl1_ids = {sr.sr_id for sr in
+                   requirements_for_level(SecurityLevel.SL1)}
+        assert "SR 6.2" not in sl1_ids
+        assert "SR 6.2" in {
+            sr.sr_id for sr in requirements_for_level(SecurityLevel.SL2)}
+
+    def test_mapping_references_known_srs(self):
+        known = {sr.sr_id for sr in IEC62443_SRS}
+        assert set(DEFAULT_SR_MAPPING) <= known
+
+
+class TestGapAnalysis:
+    def test_mapping_finding_ids_exist_in_catalog(self, catalog):
+        all_ids = set(catalog.finding_ids())
+        for mapping in DEFAULT_SR_MAPPING.values():
+            for finding_id in mapping.finding_ids:
+                assert finding_id in all_ids, (mapping.sr_id, finding_id)
+
+    def test_hardened_hosts_satisfy_every_evidenced_sr(
+            self, catalog, ubuntu_hardened, win_hardened):
+        analysis = GapAnalysis(catalog)
+        for host in (ubuntu_hardened, win_hardened):
+            report = analysis.analyze(host, SecurityLevel.SL2)
+            assert report.count(SrStatus.UNSATISFIED) == 0, report.rows()
+            assert report.count(SrStatus.PARTIAL) == 0
+            assert report.coverage == 1.0
+
+    def test_adversarial_host_fails_evidenced_srs(self, catalog,
+                                                  ubuntu_adversarial):
+        report = GapAnalysis(catalog).analyze(ubuntu_adversarial)
+        assert report.count(SrStatus.UNSATISFIED) > 0
+        assert report.coverage < 1.0
+
+    def test_default_host_is_partial(self, catalog, ubuntu_default):
+        report = GapAnalysis(catalog).analyze(ubuntu_default)
+        statuses = {r.status for r in report.results}
+        assert SrStatus.SATISFIED in statuses
+        assert (SrStatus.PARTIAL in statuses
+                or SrStatus.UNSATISFIED in statuses)
+
+    def test_unmapped_srs_reported_not_hidden(self, catalog,
+                                              ubuntu_hardened):
+        report = GapAnalysis(catalog).analyze(ubuntu_hardened)
+        unmapped = [r.requirement.sr_id for r in report.results
+                    if r.status is SrStatus.UNMAPPED]
+        assert "SR 5.1" in unmapped  # network segmentation: no evidence
+
+    def test_cross_platform_findings_filtered(self, catalog,
+                                              ubuntu_hardened):
+        # SR 3.1 maps only to a Windows finding; on Ubuntu it must be
+        # UNMAPPED rather than vacuously satisfied.
+        report = GapAnalysis(catalog).analyze(ubuntu_hardened)
+        sr_31 = next(r for r in report.results
+                     if r.requirement.sr_id == "SR 3.1")
+        assert sr_31.status is SrStatus.UNMAPPED
+
+    def test_hardening_improves_gap_report(self, catalog,
+                                           ubuntu_adversarial):
+        analysis = GapAnalysis(catalog)
+        before = analysis.analyze(ubuntu_adversarial)
+        catalog.harden_host(ubuntu_adversarial)
+        after = analysis.analyze(ubuntu_adversarial)
+        assert after.coverage > before.coverage
+        assert after.count(SrStatus.UNSATISFIED) == 0
+
+    def test_by_fr_histogram(self, catalog, ubuntu_hardened):
+        report = GapAnalysis(catalog).analyze(ubuntu_hardened)
+        table = report.by_fr()
+        assert set(table) == {fr.name for fr in FoundationalRequirement}
+        total = sum(sum(h.values()) for h in table.values())
+        assert total == len(report.results)
+
+    def test_rows_shape(self, catalog, ubuntu_hardened):
+        rows = GapAnalysis(catalog).analyze(ubuntu_hardened).rows()
+        assert rows
+        assert set(rows[0]) == {"sr", "fr", "name", "status", "evidence"}

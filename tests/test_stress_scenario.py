@@ -1,0 +1,121 @@
+"""Long-horizon stress scenario: a fleet under sustained random abuse.
+
+One seeded pseudo-random campaign interleaves every kind of drift, tool
+breakage and repair across a mixed fleet for hundreds of events, then
+asserts the global invariants the framework promises:
+
+* with working tooling, the fleet always converges back to 100%
+  compliance;
+* every effective incident has zero detection latency;
+* monitors stay armed (a later drift is still detected);
+* the repository and reports remain renderable throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.core import VeriDevOpsOrchestrator, report_for_cycle
+from repro.core.fleet import Fleet, FleetProtection
+from repro.environment import (
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+UBUNTU_PACKAGE_DRIFT = ("nis", "rsh-server", "telnetd")
+UBUNTU_REMOVALS = ("aide", "vlock", "auditd")
+CONFIG_DRIFT = (
+    ("/etc/ssh/sshd_config", "PermitEmptyPasswords", "yes"),
+    ("/etc/ssh/sshd_config", "ClientAliveInterval", "0"),
+    ("/etc/login.defs", "ENCRYPT_METHOD", "MD5"),
+)
+WIN_AUDIT_DRIFT = ("Logon", "User Account Management",
+                   "Sensitive Privilege Use")
+WIN_REGISTRY_DRIFT = (("LmCompatibilityLevel", "0"),
+                      ("RestrictAnonymous", "0"))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_fleet_survives_sustained_drift_storm(seed):
+    rng = random.Random(seed)
+    catalog = default_catalog()
+    fleet = Fleet("stress", catalog)
+    for index in range(3):
+        fleet.add(hardened_ubuntu_host(f"u{index}"))
+    fleet.add(hardened_windows_host("w0"))
+    protection = FleetProtection(fleet).start()
+
+    broken_hosts = set()
+    for round_index in range(120):
+        host = rng.choice(fleet.hosts())
+        action = rng.randrange(8)
+        if action == 0 and host.os_family == "ubuntu" \
+                and not host.dpkg.broken:
+            host.drift_install_package(rng.choice(UBUNTU_PACKAGE_DRIFT))
+        elif action == 1 and host.os_family == "ubuntu" \
+                and not host.dpkg.broken:
+            host.drift_remove_package(rng.choice(UBUNTU_REMOVALS))
+        elif action == 2 and host.os_family == "ubuntu":
+            host.drift_config_value(*rng.choice(CONFIG_DRIFT))
+        elif action == 3 and host.os_family == "ubuntu":
+            host.drift_stop_service(rng.choice(("ssh", "rsyslog")))
+        elif action == 4 and host.os_family == "windows":
+            host.drift_audit_policy(rng.choice(WIN_AUDIT_DRIFT))
+        elif action == 5 and host.os_family == "windows":
+            host.drift_registry_value(*rng.choice(WIN_REGISTRY_DRIFT))
+        elif action == 6 and host.os_family == "windows":
+            host.drift_account_policy(threshold=0)
+        elif action == 7:
+            # Occasionally wedge and un-wedge the package manager.
+            if host.name in broken_hosts:
+                host.dpkg.repair_tool()
+                broken_hosts.discard(host.name)
+            elif rng.random() < 0.3:
+                host.dpkg.break_tool()
+                broken_hosts.add(host.name)
+
+    # Un-wedge everything and run one remediation sweep for whatever
+    # failed to repair while tooling was broken.
+    for name in list(broken_hosts):
+        fleet.host(name).dpkg.repair_tool()
+    posture = fleet.harden()
+    assert posture.worst_ratio == 1.0, posture.rows()
+
+    incidents = protection.incidents()
+    effective = [i for i in incidents if i.effective]
+    assert effective, "the storm must have caused real repairs"
+    assert all(i.detection_latency == 0 for i in effective)
+
+    # Monitors are still armed: one more drift is detected and fixed.
+    probe = fleet.host("u0")
+    before = len(protection.incidents())
+    probe.drift_install_package("nis")
+    assert len(protection.incidents()) > before
+    assert not probe.dpkg.is_installed("nis")
+
+    # Reporting still renders end-to-end.
+    orchestrator = protection.orchestrator
+    markdown = report_for_cycle(
+        orchestrator, _dummy_run(), protection.loop_for("u0")).render()
+    assert "Operations incidents" in markdown
+
+
+def _dummy_run():
+    from repro.core.pipeline import Pipeline, Stage
+
+    return Pipeline([Stage("noop")]).run()
+
+
+def test_storm_with_permanently_broken_tooling_reports_honestly():
+    """With the package manager wedged for good, the framework must
+    report the failure, not mask it."""
+    catalog = default_catalog()
+    host = hardened_ubuntu_host("wedged")
+    host.drift_install_package("nis")
+    host.dpkg.break_tool()
+    report = catalog.harden_host(host)
+    assert report.compliance_ratio < 1.0
+    failing = [r for r in report.results if r.finding_id == "V-219157"]
+    assert failing[0].after.value == "FAIL"
+    assert failing[0].enforcement.value == "FAILURE"

@@ -1,0 +1,316 @@
+"""Unit tests for automata, networks, queries, and the model checkers."""
+
+import pytest
+
+from repro.ta import (
+    DiscreteTimeChecker,
+    Edge,
+    Location,
+    Network,
+    TimedAutomaton,
+    ZoneGraphChecker,
+    parse_guard,
+    parse_query,
+)
+from repro.ta.query import parse_state_formula
+
+
+# -- shared models -----------------------------------------------------------------
+
+def door_automaton():
+    """A door that stays open at most 8 units and needs 2 to close."""
+    return TimedAutomaton(
+        name="Door", clocks=["c"],
+        locations=[
+            Location("closed"),
+            Location("open", invariant=parse_guard("c <= 8")),
+        ],
+        edges=[
+            Edge("closed", "open", resets=("c",), action="open"),
+            Edge("open", "closed", guard=parse_guard("c >= 2"),
+                 action="close"),
+        ],
+    )
+
+
+def lamp_network():
+    lamp = TimedAutomaton(
+        name="Lamp", clocks=["y"],
+        locations=[Location("off"), Location("low"), Location("bright")],
+        edges=[
+            Edge("off", "low", sync="press?", resets=("y",)),
+            Edge("low", "bright", guard=parse_guard("y < 5"), sync="press?"),
+            Edge("low", "off", guard=parse_guard("y >= 5"), sync="press?"),
+            Edge("bright", "off", sync="press?"),
+        ],
+    )
+    user = TimedAutomaton(
+        name="User", clocks=["x"],
+        locations=[Location("idle")],
+        edges=[Edge("idle", "idle", sync="press!", resets=("x",),
+                    action="press")],
+    )
+    return Network([lamp, user])
+
+
+class TestAutomatonConstruction:
+    def test_guard_parsing(self):
+        constraints = parse_guard("x <= 5 & x - y < 3")
+        assert len(constraints) == 2
+        assert constraints[0].left == "x"
+        assert constraints[1].right == "y"
+        assert str(constraints[1]) == "x - y < 3"
+
+    def test_empty_guard(self):
+        assert parse_guard("  ") == ()
+
+    def test_bad_guard_raises(self):
+        with pytest.raises(ValueError):
+            parse_guard("x ~ 5")
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ValueError):
+            TimedAutomaton("A", [], [Location("a"), Location("a")], [])
+
+    def test_edge_to_unknown_location_rejected(self):
+        with pytest.raises(ValueError):
+            TimedAutomaton("A", [], [Location("a")],
+                           [Edge("a", "ghost")])
+
+    def test_undeclared_clock_rejected(self):
+        with pytest.raises(ValueError):
+            TimedAutomaton("A", [], [Location("a")],
+                           [Edge("a", "a", guard=parse_guard("x < 1"))])
+
+    def test_bad_sync_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("a", "b", sync="press")
+
+    def test_max_constant(self):
+        assert door_automaton().max_constant() == 8
+
+
+class TestNetwork:
+    def test_clock_namespacing(self):
+        network = lamp_network()
+        assert network.clock_index == {"Lamp.y": 1, "User.x": 2}
+
+    def test_duplicate_names_rejected(self):
+        door = door_automaton()
+        with pytest.raises(ValueError):
+            Network([door, door_automaton()])
+
+    def test_handshake_requires_both_sides(self):
+        # A lone emitter has no discrete steps.
+        user = TimedAutomaton(
+            "User", [], [Location("idle")],
+            [Edge("idle", "idle", sync="press!")])
+        network = Network([user])
+        steps = list(network.discrete_steps(network.initial_state()))
+        assert steps == []
+
+    def test_internal_steps_interleave(self):
+        network = Network([door_automaton()])
+        steps = list(network.discrete_steps(network.initial_state()))
+        assert [s.label for s in steps] == ["open"]
+
+
+class TestQueryParsing:
+    def test_forms(self):
+        assert parse_query("E<> Door.open").operator == "E<>"
+        assert parse_query("A[] not Door.open").operator == "A[]"
+        assert parse_query("A<> Door.closed").operator == "A<>"
+        assert parse_query("E[] Door.closed").operator == "E[]"
+        leads = parse_query("Door.open --> Door.closed")
+        assert leads.operator == "-->"
+        assert str(leads.conclusion) == "Door.closed"
+
+    def test_clock_atom(self):
+        query = parse_query("E<> Door.open and Door.c >= 3")
+        assert not query.formula.location_only()
+
+    def test_negation_flips_comparison(self):
+        formula = parse_state_formula("not Door.c > 5")
+        assert str(formula) == "Door.c <= 5"
+
+    def test_negated_equality_splits(self):
+        formula = parse_state_formula("not Door.c == 5")
+        assert "or" in str(formula)
+
+    def test_de_morgan(self):
+        formula = parse_state_formula("not (Door.open and Door.closed)")
+        assert "or" in str(formula)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_query("sometimes Door.open")
+        with pytest.raises(ValueError):
+            parse_query("E<> open")  # atom without automaton prefix
+
+
+class TestZoneGraphChecker:
+    def test_reachability_with_witness(self):
+        checker = ZoneGraphChecker(lamp_network())
+        result = checker.check(parse_query("E<> Lamp.bright"))
+        assert result.satisfied
+        assert len(result.witness) == 2
+
+    def test_timed_reachability_boundary(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        at_bound = checker.check(parse_query("E<> Door.open and Door.c >= 8"))
+        assert at_bound.satisfied
+        past_bound = checker.check(
+            parse_query("E<> Door.open and Door.c > 8"))
+        assert not past_bound.satisfied
+
+    def test_invariant_never_violated(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        result = checker.check(
+            parse_query("A[] not (Door.open and Door.c > 8)"))
+        assert result.satisfied
+
+    def test_safety_counterexample(self):
+        checker = ZoneGraphChecker(lamp_network())
+        result = checker.check(parse_query("A[] not Lamp.bright"))
+        assert not result.satisfied
+        assert result.witness  # path to the violation
+
+    def test_guard_blocks_unreachable_branch(self):
+        # Fast presses only: bright requires y < 5 which is reachable;
+        # but a guard y > 90 on a fresh clock is not.
+        auto = TimedAutomaton(
+            "A", ["x"],
+            [Location("s", invariant=parse_guard("x <= 10")),
+             Location("t")],
+            [Edge("s", "t", guard=parse_guard("x > 90"))],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        assert not checker.check(parse_query("E<> A.t")).satisfied
+
+    def test_liveness_holds(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        # The door may stay closed forever, so A<> open fails...
+        result = checker.check(parse_query("A<> Door.open"))
+        assert not result.satisfied
+
+    def test_leads_to(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        # ...but whenever it opens, the invariant forces a close.
+        result = checker.check(parse_query("Door.open --> Door.closed"))
+        assert result.satisfied
+
+    def test_leads_to_counterexample(self):
+        # A trap state: once in 'stuck' nothing happens; open never
+        # leads back to closed.
+        auto = TimedAutomaton(
+            "T", [],
+            [Location("a"), Location("stuck")],
+            [Edge("a", "stuck", action="fall")],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        result = checker.check(parse_query("T.stuck --> T.a"))
+        assert not result.satisfied
+        # The clockless trap state can idle forever without reaching a.
+        assert result.witness[-1] in ("(deadlock)", "(time divergence)")
+
+    def test_liveness_rejects_clock_formulas(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        with pytest.raises(ValueError):
+            checker.check(parse_query("A<> Door.c > 3"))
+
+    def test_possibly_always(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        result = checker.check(parse_query("E[] Door.closed"))
+        assert result.satisfied
+
+    def test_urgent_location_blocks_delay(self):
+        auto = TimedAutomaton(
+            "U", ["x"],
+            [Location("go", urgent=True), Location("done")],
+            [Edge("go", "done", action="move")],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        # No delay in the urgent location: x stays 0 until the move.
+        result = checker.check(parse_query("E<> U.go and U.x > 0"))
+        assert not result.satisfied
+
+
+class TestDiscreteTimeChecker:
+    def test_agrees_with_zone_checker_on_reachability(self):
+        network = lamp_network()
+        zone = ZoneGraphChecker(network)
+        discrete = DiscreteTimeChecker(network)
+        for text in ("E<> Lamp.bright", "E<> Lamp.low and Lamp.y > 3"):
+            query = parse_query(text)
+            assert zone.check(query).satisfied == \
+                discrete.reachable(query.formula).satisfied, text
+
+    def test_agrees_on_safety(self):
+        network = Network([door_automaton()])
+        zone = ZoneGraphChecker(network)
+        discrete = DiscreteTimeChecker(network)
+        query = parse_query("A[] not (Door.open and Door.c > 8)")
+        assert zone.check(query).satisfied
+        assert discrete.invariantly(query.formula).satisfied
+
+    def test_discrete_explores_more_states(self):
+        network = Network([door_automaton()])
+        zone_states = ZoneGraphChecker(network).check(
+            parse_query("E<> Door.open and Door.c > 100"))
+        discrete_states = DiscreteTimeChecker(network).reachable(
+            parse_query("E<> Door.open and Door.c > 100").formula)
+        assert not zone_states.satisfied
+        assert not discrete_states.satisfied
+        assert discrete_states.states_explored > zone_states.states_explored
+
+
+class TestDeadlockAtom:
+    def test_deadlock_reachable_in_trap_model(self):
+        auto = TimedAutomaton(
+            "T", [], [Location("a"), Location("trap")],
+            [Edge("a", "trap", action="fall")],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        result = checker.check(parse_query("E<> deadlock"))
+        assert result.satisfied
+        assert result.witness == ["fall"]
+
+    def test_deadlock_free_model(self):
+        checker = ZoneGraphChecker(Network([door_automaton()]))
+        result = checker.check(parse_query("A[] not deadlock"))
+        assert result.satisfied
+
+    def test_deadlock_with_location_conjunction(self):
+        auto = TimedAutomaton(
+            "T", [], [Location("a"), Location("trap")],
+            [Edge("a", "trap", action="fall")],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        assert checker.check(
+            parse_query("E<> T.trap and deadlock")).satisfied
+        assert not checker.check(
+            parse_query("E<> T.a and deadlock")).satisfied
+
+    def test_discrete_engine_agrees(self):
+        auto = TimedAutomaton(
+            "T", [], [Location("a"), Location("trap")],
+            [Edge("a", "trap", action="fall")],
+        )
+        network = Network([auto])
+        query = parse_query("E<> deadlock")
+        assert DiscreteTimeChecker(network).reachable(
+            query.formula).satisfied
+        deadlock_free = Network([door_automaton()])
+        assert not DiscreteTimeChecker(deadlock_free).reachable(
+            query.formula).satisfied
+
+    def test_deadlock_is_liveness_safe(self):
+        auto = TimedAutomaton(
+            "T", [], [Location("a"), Location("trap")],
+            [Edge("a", "trap", action="fall")],
+        )
+        checker = ZoneGraphChecker(Network([auto]))
+        # A<> deadlock: the only maximal behaviour falls into the trap
+        # eventually... but the clockless 'a' state can idle forever.
+        result = checker.check(parse_query("A<> deadlock"))
+        assert not result.satisfied

@@ -1,0 +1,149 @@
+"""Unit tests for the DBM zone algebra."""
+
+import pytest
+
+from repro.ta.dbm import DBM, INF, LE_ZERO, bound_add, bound_str, decode, encode
+
+
+class TestBoundEncoding:
+    @pytest.mark.parametrize("value,strict", [
+        (0, False), (0, True), (5, False), (-3, True), (100, False),
+    ])
+    def test_encode_decode_round_trip(self, value, strict):
+        assert decode(encode(value, strict)) == (value, strict)
+
+    def test_strict_is_tighter_than_non_strict(self):
+        assert encode(5, True) < encode(5, False)
+
+    def test_le_is_tighter_than_lt_of_next(self):
+        assert encode(5, False) < encode(6, True)
+
+    def test_bound_add_strictness(self):
+        le2, le3 = encode(2, False), encode(3, False)
+        lt2 = encode(2, True)
+        assert bound_add(le2, le3) == encode(5, False)
+        assert bound_add(lt2, le3) == encode(5, True)
+
+    def test_bound_add_infinity(self):
+        assert bound_add(INF, encode(1, False)) == INF
+
+    def test_decode_infinity_raises(self):
+        with pytest.raises(ValueError):
+            decode(INF)
+
+    def test_bound_str(self):
+        assert bound_str(encode(4, False)) == "<=4"
+        assert bound_str(encode(4, True)) == "<4"
+        assert bound_str(INF) == "<inf"
+
+
+class TestZoneBasics:
+    def test_zero_zone_is_nonempty_point(self):
+        zone = DBM.zero(2)
+        assert not zone.is_empty()
+        # Every clock is exactly 0: x1 <= 0 and x1 >= 0.
+        assert zone.satisfies(1, 0, encode(0, False))
+        assert zone.satisfies(0, 1, encode(0, False))
+
+    def test_unconstrained_allows_large_values(self):
+        zone = DBM.unconstrained(2)
+        assert zone.intersects(1, 0, encode(10 ** 6, False))
+        # But clocks stay non-negative: no valuation has x1 <= -1.
+        assert not zone.intersects(1, 0, encode(-1, False))
+
+    def test_up_removes_upper_bounds(self):
+        zone = DBM.zero(2).up()
+        assert zone.intersects(1, 0, encode(100, False))
+        # Delay keeps differences: x1 - x2 stays 0.
+        assert zone.satisfies(1, 2, encode(0, False))
+        assert zone.satisfies(2, 1, encode(0, False))
+
+    def test_constrain_then_empty(self):
+        zone = DBM.zero(1)
+        # x1 >= 5 contradicts x1 == 0.
+        zone.constrain(0, 1, encode(-5, False))
+        assert zone.is_empty()
+
+    def test_reset_after_delay(self):
+        zone = DBM.zero(2).up()
+        zone.constrain(1, 0, encode(10, False))   # x1 <= 10
+        zone.reset(2)
+        # x2 == 0 now, x1 unchanged.
+        assert zone.satisfies(2, 0, encode(0, False))
+        assert zone.intersects(1, 0, encode(10, False))
+
+    def test_copy_is_independent(self):
+        zone = DBM.zero(1)
+        copy = zone.copy()
+        copy.up()
+        assert zone.satisfies(1, 0, encode(0, False))
+        assert copy.intersects(1, 0, encode(50, False))
+
+
+class TestInclusionAndSatisfaction:
+    def test_zero_included_in_up(self):
+        zero = DBM.zero(2)
+        delayed = DBM.zero(2).up()
+        assert delayed.includes(zero)
+        assert not zero.includes(delayed)
+
+    def test_includes_self(self):
+        zone = DBM.zero(2).up()
+        assert zone.includes(zone.copy())
+
+    def test_satisfies_versus_intersects(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(1, 0, encode(10, False))    # 0 <= x1 <= 10
+        assert zone.satisfies(1, 0, encode(10, False))     # all <= 10
+        assert not zone.satisfies(1, 0, encode(5, False))  # not all <= 5
+        assert zone.intersects(1, 0, encode(5, False))     # some <= 5
+        assert not zone.intersects(0, 1, encode(-11, False))  # none >= 11
+
+    def test_down_restores_past(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(0, 1, encode(-5, False))   # x1 >= 5
+        zone.down()
+        # The past of x1 >= 5 reaches x1 = 0.
+        assert zone.intersects(1, 0, encode(0, False))
+
+
+class TestExtrapolation:
+    def test_bounds_above_k_become_infinite(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(1, 0, encode(100, False))  # x1 <= 100
+        zone.extrapolate(10)
+        assert zone.m[1][0] == INF
+
+    def test_lower_bounds_below_minus_k_relax(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(0, 1, encode(-100, False))  # x1 >= 100
+        zone.extrapolate(10)
+        # Now only x1 > 10 is remembered.
+        assert zone.intersects(1, 0, encode(11, False))
+        assert not zone.intersects(1, 0, encode(10, False))
+
+    def test_small_bounds_untouched(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(1, 0, encode(5, False))
+        key_before = zone.key()
+        zone.extrapolate(10)
+        assert zone.key() == key_before
+
+    def test_extrapolation_enlarges(self):
+        zone = DBM.zero(1).up()
+        zone.constrain(1, 0, encode(100, False))
+        original = zone.copy()
+        zone.extrapolate(10)
+        assert zone.includes(original)
+
+
+class TestHashability:
+    def test_equal_zones_share_key(self):
+        a = DBM.zero(2).up()
+        b = DBM.zero(2).up()
+        assert a == b
+        assert a.key() == b.key()
+        assert hash(a) == hash(b)
+
+    def test_repr_renders(self):
+        assert "DBM" in repr(DBM.zero(1))

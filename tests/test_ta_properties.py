@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the DBM zone algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ta.dbm import DBM, INF, encode
+
+N_CLOCKS = 2
+
+
+def constraints():
+    """Random single constraints (i, j, bound) over N_CLOCKS clocks."""
+    indices = st.integers(min_value=0, max_value=N_CLOCKS)
+    values = st.integers(min_value=-10, max_value=10)
+    return st.tuples(indices, indices, values, st.booleans()).filter(
+        lambda t: t[0] != t[1])
+
+
+def zones():
+    """Random non-empty zones built by constraining the delayed origin."""
+
+    @st.composite
+    def build(draw):
+        zone = DBM.zero(N_CLOCKS).up()
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            i, j, value, strict = draw(constraints())
+            probe = zone.copy().constrain(i, j, encode(value, strict))
+            if not probe.is_empty():
+                zone = probe
+        return zone
+
+    return build()
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones())
+def test_up_enlarges(zone):
+    delayed = zone.copy().up()
+    assert delayed.includes(zone)
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones())
+def test_up_is_idempotent(zone):
+    once = zone.copy().up()
+    twice = once.copy().up()
+    assert once == twice
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), clock=st.integers(min_value=1, max_value=N_CLOCKS))
+def test_reset_is_idempotent(zone, clock):
+    once = zone.copy().reset(clock)
+    twice = once.copy().reset(clock)
+    assert once == twice
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), clock=st.integers(min_value=1, max_value=N_CLOCKS))
+def test_reset_pins_clock_to_zero(zone, clock):
+    reset = zone.copy().reset(clock)
+    assert not reset.is_empty()
+    assert reset.satisfies(clock, 0, encode(0, False))
+    assert reset.satisfies(0, clock, encode(0, False))
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), constraint=constraints())
+def test_constrain_shrinks(zone, constraint):
+    i, j, value, strict = constraint
+    tightened = zone.copy().constrain(i, j, encode(value, strict))
+    if not tightened.is_empty():
+        assert zone.includes(tightened)
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), k=st.integers(min_value=1, max_value=15))
+def test_extrapolation_enlarges(zone, k):
+    extrapolated = zone.copy().extrapolate(k)
+    assert extrapolated.includes(zone)
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), k=st.integers(min_value=1, max_value=15))
+def test_extrapolation_is_idempotent(zone, k):
+    once = zone.copy().extrapolate(k)
+    twice = once.copy().extrapolate(k)
+    assert once == twice
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones(), constraint=constraints())
+def test_satisfies_implies_intersects(zone, constraint):
+    i, j, value, strict = constraint
+    bound = encode(value, strict)
+    if zone.satisfies(i, j, bound):
+        assert zone.intersects(i, j, bound)
+
+
+@settings(max_examples=200, deadline=None)
+@given(zone=zones())
+def test_inclusion_is_reflexive_and_key_stable(zone):
+    assert zone.includes(zone.copy())
+    assert zone.key() == zone.copy().key()
+
+
+@settings(max_examples=200, deadline=None)
+@given(first=zones(), second=zones())
+def test_inclusion_antisymmetry(first, second):
+    if first.includes(second) and second.includes(first):
+        assert first.key() == second.key()

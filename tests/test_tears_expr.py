@@ -1,0 +1,71 @@
+"""Unit tests for the TEARS signal-expression language."""
+
+import pytest
+
+from repro.tears.expr import ExprParseError, parse_expr
+
+
+class TestArithmetic:
+    def test_constants_and_operators(self):
+        assert parse_expr("2 + 3 * 4").evaluate({}) == 14
+        assert parse_expr("(2 + 3) * 4").evaluate({}) == 20
+        assert parse_expr("10 / 4").evaluate({}) == 2.5
+        assert parse_expr("-3 + 5").evaluate({}) == 2
+
+    def test_signals(self):
+        assert parse_expr("speed * 2").evaluate({"speed": 21}) == 42
+
+    def test_abs(self):
+        assert parse_expr("abs(a - b)").evaluate({"a": 3, "b": 10}) == 7
+
+    def test_unknown_signal_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            parse_expr("ghost + 1").evaluate({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            parse_expr("1 / x").evaluate({"x": 0})
+
+
+class TestComparisonsAndBooleans:
+    @pytest.mark.parametrize("text,expected", [
+        ("3 < 4", 1.0), ("4 < 3", 0.0), ("3 <= 3", 1.0), ("3 >= 4", 0.0),
+        ("3 == 3", 1.0), ("3 != 3", 0.0),
+    ])
+    def test_comparisons(self, text, expected):
+        assert parse_expr(text).evaluate({}) == expected
+
+    def test_and_or_not(self):
+        sample = {"a": 1, "b": 0}
+        assert parse_expr("a and not b").holds(sample)
+        assert parse_expr("b or a").holds(sample)
+        assert not parse_expr("a and b").holds(sample)
+
+    def test_true_false_keywords(self):
+        assert parse_expr("true").holds({})
+        assert not parse_expr("false").holds({})
+
+    def test_precedence_not_over_and_over_or(self):
+        # not a and b or c == ((not a) and b) or c
+        assert parse_expr("not a and b or c").holds({"a": 0, "b": 1, "c": 0})
+        assert parse_expr("not a and b or c").holds({"a": 1, "b": 0, "c": 1})
+        assert not parse_expr("not a and b or c").holds(
+            {"a": 1, "b": 1, "c": 0})
+
+    def test_comparison_of_expressions(self):
+        assert parse_expr("speed - limit > 10").holds(
+            {"speed": 100, "limit": 80})
+
+
+class TestParsing:
+    def test_signals_listing(self):
+        expr = parse_expr("speed > 50 and brake == 1")
+        assert expr.signals() == ("brake", "speed")
+
+    def test_str_round_trip_source(self):
+        assert str(parse_expr("  a + b  ")) == "a + b"
+
+    @pytest.mark.parametrize("bad", ["", "a +", "(a", "a ? b", "1 2 3"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ExprParseError):
+            parse_expr(bad)

@@ -1,0 +1,189 @@
+"""Unit tests for guarded assertions, traces, and the G/A parser."""
+
+import pytest
+
+from repro.tears import (
+    GaVerdict,
+    GuardedAssertion,
+    Sample,
+    TimedTrace,
+    parse_expr,
+    parse_ga,
+    parse_ga_file,
+)
+from repro.tears.parser import GaSyntaxError
+
+
+def make_ga(within=None, hold_for=None):
+    return GuardedAssertion(
+        name="brake",
+        guard=parse_expr("speed > 50 and brake == 1"),
+        assertion=parse_expr("decel >= 2"),
+        within=within,
+        hold_for=hold_for,
+    )
+
+
+class TestTimedTrace:
+    def test_record_and_window(self):
+        trace = TimedTrace()
+        trace.record(0, a=1)
+        trace.record(2, a=2)
+        trace.record(5, a=3)
+        assert [s.values["a"] for s in trace.window(1, 4)] == [2]
+        assert trace.duration == 5
+
+    def test_rejects_time_regression(self):
+        trace = TimedTrace()
+        trace.record(5, a=1)
+        with pytest.raises(ValueError):
+            trace.record(4, a=1)
+
+    def test_logdata_round_trip(self):
+        trace = TimedTrace()
+        trace.record(0, speed=40.5, brake=0)
+        trace.record(1.5, speed=60, brake=1)
+        parsed = TimedTrace.from_logdata(trace.to_logdata())
+        assert len(parsed) == 2
+        assert parsed[1].values == {"speed": 60.0, "brake": 1.0}
+        assert parsed[1].time == 1.5
+
+    def test_logdata_skips_comments(self):
+        trace = TimedTrace.from_logdata("# header\n\n0 a=1\n1 a=2\n")
+        assert len(trace) == 2
+
+    def test_logdata_bad_timestamp(self):
+        with pytest.raises(ValueError):
+            TimedTrace.from_logdata("abc a=1")
+
+    def test_logdata_bad_pair(self):
+        with pytest.raises(ValueError):
+            TimedTrace.from_logdata("0 a")
+
+    def test_signals_union(self):
+        trace = TimedTrace()
+        trace.record(0, a=1)
+        trace.record(1, b=2)
+        assert trace.signals() == ["a", "b"]
+
+
+class TestGaEvaluation:
+    def test_vacuous_when_guard_never_rises(self):
+        trace = TimedTrace()
+        trace.record(0, speed=30, brake=0, decel=0)
+        result = make_ga().evaluate(trace)
+        assert result.verdict is GaVerdict.VACUOUS
+        assert result.activations == 0
+
+    def test_immediate_assertion_passes(self):
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=3)
+        result = make_ga().evaluate(trace)
+        assert result.verdict is GaVerdict.PASSED
+        assert result.activations == 1
+
+    def test_immediate_assertion_fails(self):
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=0)
+        result = make_ga().evaluate(trace)
+        assert result.verdict is GaVerdict.FAILED
+        assert "at activation" in result.failures[0].reason
+
+    def test_within_window_pass_and_fail(self):
+        ga = make_ga(within=3)
+        passing = TimedTrace()
+        passing.record(0, speed=60, brake=1, decel=0)
+        passing.record(2.5, speed=55, brake=1, decel=3)
+        assert ga.evaluate(passing).verdict is GaVerdict.PASSED
+
+        failing = TimedTrace()
+        failing.record(0, speed=60, brake=1, decel=0)
+        failing.record(5, speed=55, brake=1, decel=3)  # too late
+        assert ga.evaluate(failing).verdict is GaVerdict.FAILED
+
+    def test_hold_for_breaks(self):
+        ga = make_ga(within=1, hold_for=2)
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=3)
+        trace.record(1, speed=60, brake=1, decel=0)  # breaks inside hold
+        result = ga.evaluate(trace)
+        assert result.verdict is GaVerdict.FAILED
+        assert "broke" in result.failures[0].reason
+
+    def test_hold_for_sustained(self):
+        ga = make_ga(within=1, hold_for=2)
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=3)
+        trace.record(1, speed=60, brake=1, decel=3)
+        trace.record(2, speed=60, brake=1, decel=3)
+        assert ga.evaluate(trace).verdict is GaVerdict.PASSED
+
+    def test_multiple_activations_counted(self):
+        ga = make_ga()
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=3)   # rise 1: ok
+        trace.record(1, speed=60, brake=0, decel=0)   # guard falls
+        trace.record(2, speed=60, brake=1, decel=0)   # rise 2: fails
+        result = ga.evaluate(trace)
+        assert result.activations == 2
+        assert result.verdict is GaVerdict.FAILED
+        assert len(result.failures) == 1
+
+    def test_sustained_guard_is_one_activation(self):
+        ga = make_ga()
+        trace = TimedTrace()
+        trace.record(0, speed=60, brake=1, decel=3)
+        trace.record(1, speed=60, brake=1, decel=3)
+        assert ga.evaluate(trace).activations == 1
+
+
+class TestGaParser:
+    TEXT = '''
+# braking requirements
+GA "brake_response":
+    WHEN speed > 50 and brake == 1
+    THEN decel >= 2
+    WITHIN 3
+
+GA "no_overspeed":
+    WHEN engine == 1
+    THEN speed <= 120
+'''
+
+    def test_parse_file_multiple(self):
+        gas = parse_ga_file(self.TEXT)
+        assert [ga.name for ga in gas] == ["brake_response", "no_overspeed"]
+        assert gas[0].within == 3
+        assert gas[1].within is None
+
+    def test_parse_single(self):
+        ga = parse_ga('GA "x":\n WHEN a == 1\n THEN b == 1\n FOR 2')
+        assert ga.hold_for == 2
+
+    def test_missing_when_raises(self):
+        with pytest.raises(GaSyntaxError):
+            parse_ga('GA "x":\n THEN b == 1')
+
+    def test_missing_then_raises(self):
+        with pytest.raises(GaSyntaxError):
+            parse_ga('GA "x":\n WHEN a == 1')
+
+    def test_duplicate_clause_raises(self):
+        with pytest.raises(GaSyntaxError):
+            parse_ga('GA "x":\n WHEN a == 1\n WHEN b == 1\n THEN c == 1')
+
+    def test_clause_outside_ga_raises(self):
+        with pytest.raises(GaSyntaxError):
+            parse_ga_file("WHEN a == 1")
+
+    def test_unrecognized_line_raises(self):
+        with pytest.raises(GaSyntaxError):
+            parse_ga_file('GA "x":\n WHEN a == 1\n THEN b == 1\n garbage')
+
+    def test_round_trip_through_str(self):
+        ga = parse_ga('GA "x":\n WHEN a == 1\n THEN b >= 2\n WITHIN 5')
+        reparsed = parse_ga(str(ga).replace(": WHEN", ":\nWHEN")
+                            .replace(" THEN", "\nTHEN")
+                            .replace(" WITHIN", "\nWITHIN"))
+        assert reparsed.name == ga.name
+        assert reparsed.within == ga.within

@@ -1,0 +1,120 @@
+"""Property-based tests for the TEARS expression evaluator.
+
+The evaluator is cross-checked against Python's own semantics on
+randomly generated expression trees, layered the way the language is
+meant to be used: arithmetic over signals, comparisons over arithmetic,
+boolean connectives over comparisons.  (Nesting booleans *inside*
+arithmetic diverges from Python by design: TEARS booleans are strictly
+0/1 where Python's ``and``/``or`` return an operand.)
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tears.expr import parse_expr
+
+SIGNALS = ("a", "b", "c")
+
+
+@st.composite
+def arithmetic_trees(draw, depth=0):
+    """(tears_text, python_text) pairs of pure arithmetic."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            value = draw(st.integers(min_value=0, max_value=20))
+            return (str(value), str(value))
+        name = draw(st.sampled_from(SIGNALS))
+        return (name, name)
+    kind = draw(st.sampled_from(["add", "sub", "mul", "abs", "neg"]))
+    if kind == "abs":
+        tears, python = draw(arithmetic_trees(depth=depth + 1))
+        return (f"abs({tears})", f"abs({python})")
+    if kind == "neg":
+        tears, python = draw(arithmetic_trees(depth=depth + 1))
+        return (f"-({tears})", f"-({python})")
+    left_t, left_p = draw(arithmetic_trees(depth=depth + 1))
+    right_t, right_p = draw(arithmetic_trees(depth=depth + 1))
+    symbol = {"add": "+", "sub": "-", "mul": "*"}[kind]
+    return (f"({left_t}) {symbol} ({right_t})",
+            f"(({left_p}) {symbol} ({right_p}))")
+
+
+@st.composite
+def comparison_trees(draw):
+    left_t, left_p = draw(arithmetic_trees())
+    right_t, right_p = draw(arithmetic_trees())
+    operator = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    return (f"({left_t}) {operator} ({right_t})",
+            f"(({left_p}) {operator} ({right_p}))")
+
+
+@st.composite
+def boolean_trees(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        return draw(comparison_trees())
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        tears, python = draw(boolean_trees(depth=depth + 1))
+        return (f"not ({tears})", f"(not ({python}))")
+    left_t, left_p = draw(boolean_trees(depth=depth + 1))
+    right_t, right_p = draw(boolean_trees(depth=depth + 1))
+    return (f"({left_t}) {kind} ({right_t})",
+            f"(({left_p}) {kind} ({right_p}))")
+
+
+def samples():
+    return st.fixed_dictionaries({
+        name: st.integers(min_value=0, max_value=9).map(float)
+        for name in SIGNALS
+    })
+
+
+def py_eval(text, sample):
+    return eval(  # noqa: S307 - sealed namespace, test only
+        text, {"__builtins__": {"abs": abs}}, dict(sample))
+
+
+@settings(max_examples=300, deadline=None)
+@given(tree=arithmetic_trees(), sample=samples())
+def test_arithmetic_matches_python(tree, sample):
+    tears_text, python_text = tree
+    assert math.isclose(parse_expr(tears_text).evaluate(sample),
+                        py_eval(python_text, sample))
+
+
+@settings(max_examples=300, deadline=None)
+@given(tree=comparison_trees(), sample=samples())
+def test_comparisons_match_python(tree, sample):
+    tears_text, python_text = tree
+    actual = parse_expr(tears_text).evaluate(sample)
+    assert actual in (0.0, 1.0)
+    assert bool(actual) == py_eval(python_text, sample)
+
+
+@settings(max_examples=300, deadline=None)
+@given(tree=boolean_trees(), sample=samples())
+def test_boolean_connectives_match_python(tree, sample):
+    tears_text, python_text = tree
+    actual = parse_expr(tears_text).evaluate(sample)
+    assert actual in (0.0, 1.0)
+    assert bool(actual) == bool(py_eval(python_text, sample))
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree=boolean_trees())
+def test_signal_listing_is_sound(tree):
+    tears_text, _ = tree
+    expr = parse_expr(tears_text)
+    listed = set(expr.signals())
+    # Evaluating with exactly the listed signals must not raise.
+    expr.evaluate({name: 1.0 for name in listed})
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree=boolean_trees(), sample=samples())
+def test_parse_is_deterministic(tree, sample):
+    tears_text, _ = tree
+    first = parse_expr(tears_text).evaluate(sample)
+    second = parse_expr(tears_text).evaluate(sample)
+    assert first == second

@@ -1,0 +1,110 @@
+"""Unit tests for the TEARS session directory and analysis overview."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tears import (
+    GaVerdict,
+    SessionDirectory,
+    TimedTrace,
+    parse_ga,
+)
+from repro.tears.session import render_overview
+
+
+@pytest.fixture
+def session(tmp_path):
+    return SessionDirectory(tmp_path / "session").initialize()
+
+
+@pytest.fixture
+def brake_ga():
+    return parse_ga(
+        'GA "brake_response":\n'
+        " WHEN speed > 50 and brake == 1\n"
+        " THEN decel >= 2\n"
+        " WITHIN 3"
+    )
+
+
+def passing_trace():
+    trace = TimedTrace()
+    trace.record(0, speed=60, brake=1, decel=0)
+    trace.record(2, speed=55, brake=1, decel=3)
+    return trace
+
+
+def failing_trace():
+    trace = TimedTrace()
+    trace.record(0, speed=60, brake=1, decel=0)
+    trace.record(9, speed=60, brake=1, decel=0)
+    return trace
+
+
+class TestLayout:
+    def test_initialize_creates_structure(self, session):
+        assert session.ga_dir.is_dir()
+        assert session.generated_dir.is_dir()
+        assert session.log_dir.is_dir()
+        assert session.req_dir.is_dir()
+        assert (session.root / "main_definitions.ga").exists()
+
+    def test_initialize_is_idempotent(self, session):
+        definitions = session.root / "main_definitions.ga"
+        definitions.write_text("# customized\n")
+        session.initialize()
+        assert definitions.read_text() == "# customized\n"
+
+    def test_expected_napkin_paths(self, session):
+        assert session.log_dir == session.root / "log" / "Expert-Sessions"
+
+
+class TestGaStorage:
+    def test_write_and_load_round_trip(self, session, brake_ga):
+        session.write_gas([brake_ga])
+        loaded = session.load_gas()
+        assert len(loaded) == 1
+        assert loaded[0].name == "brake_response"
+        assert loaded[0].within == 3
+
+    def test_load_without_file_returns_empty(self, session):
+        assert session.load_gas() == []
+
+
+class TestLogStorage:
+    def test_write_and_load_logs(self, session):
+        session.write_log("LOGDATA", passing_trace())
+        logs = session.load_logs()
+        assert list(logs) == ["LOGDATA"]
+        assert len(logs["LOGDATA"]) == 2
+
+
+class TestAnalysis:
+    def test_analyze_passing_and_failing_logs(self, session, brake_ga):
+        session.write_gas([brake_ga])
+        session.write_log("GOOD", passing_trace())
+        session.write_log("BAD", failing_trace())
+        results = session.analyze()
+        assert results["GOOD"][0].verdict is GaVerdict.PASSED
+        assert results["BAD"][0].verdict is GaVerdict.FAILED
+
+    def test_analyze_writes_overview(self, session, brake_ga):
+        session.write_gas([brake_ga])
+        session.write_log("GOOD", passing_trace())
+        session.analyze()
+        overview = (session.generated_dir /
+                    "ANALYSIS_overview.html").read_text()
+        assert "brake_response" in overview
+        assert "PASSED" in overview
+
+    def test_overview_renders_failures_and_vacuity(self, brake_ga):
+        idle = TimedTrace()
+        idle.record(0, speed=10, brake=0, decel=0)
+        html = render_overview({
+            "BAD": [brake_ga.evaluate(failing_trace())],
+            "IDLE": [brake_ga.evaluate(idle)],
+        })
+        assert "FAILED" in html
+        assert "VACUOUS" in html
+        assert "never held" in html

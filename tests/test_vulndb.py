@@ -1,0 +1,158 @@
+"""Unit tests for the vulnerability database and requirement generation."""
+
+import pytest
+
+from repro.vulndb import (
+    AffectedProduct,
+    CWE_CATALOG,
+    RequirementGenerator,
+    Severity,
+    SoftwareInventory,
+    VulnRecord,
+    VulnerabilityDatabase,
+    bundled_database,
+)
+
+
+class TestSeverity:
+    @pytest.mark.parametrize("score,expected", [
+        (10.0, Severity.CRITICAL), (9.0, Severity.CRITICAL),
+        (8.9, Severity.HIGH), (7.0, Severity.HIGH),
+        (6.9, Severity.MEDIUM), (4.0, Severity.MEDIUM),
+        (3.9, Severity.LOW), (0.0, Severity.LOW),
+    ])
+    def test_from_score(self, score, expected):
+        assert Severity.from_score(score) is expected
+
+
+class TestAffectedProduct:
+    RANGE = AffectedProduct("openssl", "openssl", "1.0.1", "1.0.1g")
+
+    def test_inside_range(self):
+        assert self.RANGE.matches("openssl", "1.0.1f")
+
+    def test_start_inclusive_end_exclusive(self):
+        assert self.RANGE.matches("openssl", "1.0.1")
+        assert not self.RANGE.matches("openssl", "1.0.1g")
+
+    def test_wrong_product(self):
+        assert not self.RANGE.matches("gnutls", "1.0.1f")
+
+    def test_open_bounds(self):
+        any_version = AffectedProduct("v", "p")
+        assert any_version.matches("p", "0.0.1")
+        assert any_version.matches("p", "99.99")
+
+    def test_numeric_version_comparison(self):
+        # 1.0.10 > 1.0.9 numerically, not lexicographically.
+        bounded = AffectedProduct("v", "p", None, "1.0.10")
+        assert bounded.matches("p", "1.0.9")
+        assert not bounded.matches("p", "1.0.10")
+
+
+class TestDatabase:
+    def test_bundled_size_and_histogram(self):
+        database = bundled_database()
+        assert len(database) == 120
+        histogram = database.severity_histogram()
+        assert sum(histogram.values()) == 120
+        assert all(count > 0 for count in histogram.values())
+
+    def test_bundled_is_deterministic(self):
+        first = bundled_database()
+        second = bundled_database()
+        assert [r.cve_id for r in first.all()] == \
+            [r.cve_id for r in second.all()]
+
+    def test_duplicate_cve_rejected(self):
+        database = VulnerabilityDatabase()
+        record = VulnRecord("CVE-2020-0001", "x", "CWE-79", 5.0)
+        database.add(record)
+        with pytest.raises(ValueError):
+            database.add(record)
+
+    def test_unknown_cwe_rejected(self):
+        with pytest.raises(ValueError):
+            VulnerabilityDatabase([
+                VulnRecord("CVE-2020-0002", "x", "CWE-99999", 5.0)])
+
+    def test_query_by_product_and_version(self):
+        database = bundled_database()
+        hits = database.query(product="bash", version="4.2")
+        assert any(r.cve_id == "CVE-2014-6271" for r in hits)
+        fixed = database.query(product="bash", version="4.4")
+        assert not any(r.cve_id == "CVE-2014-6271" for r in fixed)
+
+    def test_query_by_min_severity(self):
+        database = bundled_database()
+        high = database.query(min_severity=Severity.HIGH)
+        assert high
+        assert all(r.severity in (Severity.HIGH, Severity.CRITICAL)
+                   for r in high)
+
+    def test_query_by_cwe_category(self):
+        database = bundled_database()
+        crypto = database.query(cwe_category="cryptography")
+        assert crypto
+        assert all(r.cwe.category == "cryptography" for r in crypto)
+
+    def test_cwe_catalog_shape(self):
+        assert "CWE-79" in CWE_CATALOG
+        categories = {entry.category for entry in CWE_CATALOG.values()}
+        assert "authentication" in categories
+        assert "auditing" in categories
+
+
+class TestRequirementGenerator:
+    @pytest.fixture
+    def inventory(self):
+        return SoftwareInventory.of("host-a", "ubuntu", {
+            "bash": "4.3",
+            "openssl": "1.0.1f",
+            "nis": "3.17",
+        })
+
+    def test_generates_requirements_with_bindings(self, inventory):
+        report = RequirementGenerator(bundled_database()).generate(inventory)
+        assert report.requirements
+        for requirement in report.requirements:
+            assert requirement.pattern_family in (
+                "Absence", "Existence", "Universality", "Precedence",
+                "TimedResponse")
+            assert requirement.text
+            assert requirement.source_cve.startswith("CVE-")
+
+    def test_dedupes_by_product_and_category(self, inventory):
+        report = RequirementGenerator(bundled_database()).generate(inventory)
+        keys = [(r.text) for r in report.requirements]
+        assert len(keys) == len(set(keys))
+
+    def test_min_severity_filters(self, inventory):
+        all_reqs = RequirementGenerator(
+            bundled_database(), min_severity=Severity.LOW).generate(inventory)
+        critical_only = RequirementGenerator(
+            bundled_database(),
+            min_severity=Severity.CRITICAL).generate(inventory)
+        assert len(critical_only.requirements) < len(all_reqs.requirements)
+        assert all(r.severity is Severity.CRITICAL
+                   for r in critical_only.requirements)
+
+    def test_empty_inventory_yields_nothing(self):
+        inventory = SoftwareInventory.of("bare", "ubuntu", {})
+        report = RequirementGenerator(bundled_database()).generate(inventory)
+        assert report.requirements == []
+        assert report.scanned == 120
+
+    def test_histograms(self, inventory):
+        report = RequirementGenerator(bundled_database()).generate(inventory)
+        assert sum(report.pattern_histogram().values()) == \
+            len(report.requirements)
+        assert sum(report.by_severity().values()) == \
+            len(report.requirements)
+
+    def test_shellshock_maps_to_input_validation(self, inventory):
+        report = RequirementGenerator(bundled_database()).generate(inventory)
+        shellshock = [r for r in report.requirements
+                      if r.source_cve == "CVE-2014-6271"]
+        if shellshock:  # may be shadowed by a higher-severity synth record
+            assert shellshock[0].cwe_category == "input-validation"
