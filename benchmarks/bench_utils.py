@@ -1,0 +1,27 @@
+"""Machine-readable benchmark output.
+
+Headline benches dump a small JSON document at the repository root
+(``BENCH_<name>.json``) so CI — and the next session — can diff
+performance numbers without scraping pytest output.
+"""
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path."""
+    document = {
+        "bench": name,
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    }
+    document.update(payload)
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

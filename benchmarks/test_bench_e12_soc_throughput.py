@@ -1,0 +1,144 @@
+"""E12 — SOC runtime throughput vs the serial protection loop.
+
+The serial :class:`ProtectionLoop` steps *every* armed monitor on
+*every* host event, inline on the emitting thread.  The SOC runtime
+shards hosts across workers and routes each event only to the monitors
+whose obligations can actually change on it (sound selective routing:
+a monitor is skipped iff progressing its obligation over an atom-free
+step is a fixed point).
+
+This bench drives the same fleet-wide drift-plus-noise scenario
+through both runtimes — 20 hosts, benign heartbeat traffic around
+every drift, exactly as an operations event stream looks — and
+measures end-to-end throughput (scenario events per second, emission
+through repair) and detection lag.  SOC results are swept over shard
+counts {1, 2, 4, 8}.  Headline numbers land in ``BENCH_soc.json`` at
+the repo root.
+
+Expected shape: routing makes the SOC faster than the serial loop even
+at 1 shard on noise-heavy streams; the gap holds as shards scale.
+"""
+
+import time
+
+from repro.core.fleet import Fleet, FleetProtection
+from repro.environment import hardened_ubuntu_host
+from repro.rqcode import default_catalog
+
+from bench_utils import write_bench_json
+from conftest import print_table
+
+HOSTS = 20
+ROUNDS = 2
+NOISE_PER_DRIFT = 30
+DRIFT_PACKAGES = ("nis", "rsh-server", "telnetd")
+# Per drift: NOISE heartbeats + package.installed + drift.package.
+SCENARIO_EVENTS = HOSTS * ROUNDS * (NOISE_PER_DRIFT + 2)
+REPS = 2  # best-of-N to damp scheduler noise
+
+
+def build_fleet():
+    fleet = Fleet("e12", default_catalog())
+    for index in range(HOSTS):
+        fleet.add(hardened_ubuntu_host(f"node-{index:02d}"))
+    return fleet
+
+
+def inject_storm(fleet):
+    """Noise-wrapped drift on every host, ROUNDS times over."""
+    drifts = 0
+    for round_index in range(ROUNDS):
+        for host_index, host in enumerate(fleet.hosts()):
+            for _ in range(NOISE_PER_DRIFT):
+                host.events.emit("app.heartbeat")
+            host.drift_install_package(
+                DRIFT_PACKAGES[(round_index + host_index)
+                               % len(DRIFT_PACKAGES)])
+            drifts += 1
+    return drifts
+
+
+def run_serial():
+    fleet = build_fleet()
+    protection = FleetProtection(fleet).start()
+    started = time.perf_counter()
+    drifts = inject_storm(fleet)          # handled inline, synchronously
+    elapsed = time.perf_counter() - started
+    protection.stop()
+    effective = sum(1 for i in protection.incidents() if i.effective)
+    assert effective >= drifts
+    assert fleet.audit().worst_ratio == 1.0
+    return elapsed
+
+
+def run_soc(shards):
+    fleet = build_fleet()
+    service = fleet.arm_soc(shards=shards, queue_capacity=4096)
+    try:
+        started = time.perf_counter()
+        drifts = inject_storm(fleet)
+        service.drain()                   # barrier: every repair landed
+        elapsed = time.perf_counter() - started
+    finally:
+        service.stop()
+    assert service.effective_repairs() >= drifts
+    assert fleet.audit().worst_ratio == 1.0
+    snapshot = service.metrics_snapshot()
+    lag = snapshot["histograms"]["soc.detection_lag_events"]
+    return elapsed, lag
+
+
+def test_bench_e12_soc_vs_serial_throughput():
+    serial_seconds = min(run_serial() for _ in range(REPS))
+    serial_tp = SCENARIO_EVENTS / serial_seconds
+
+    rows = [{
+        "runtime": "serial-loop",
+        "shards": "-",
+        "events_per_sec": f"{serial_tp:,.0f}",
+        "seconds": f"{serial_seconds:.4f}",
+        "lag_mean_events": "0.00",
+    }]
+    soc_results = {}
+    for shards in (1, 2, 4, 8):
+        timed = [run_soc(shards) for _ in range(REPS)]
+        seconds, lag = min(timed, key=lambda pair: pair[0])
+        throughput = SCENARIO_EVENTS / seconds
+        soc_results[shards] = {
+            "seconds": round(seconds, 6),
+            "events_per_sec": round(throughput, 1),
+            "detection_lag_mean_events": round(lag["mean"], 3),
+            "detection_lag_max_events": lag["max"],
+        }
+        rows.append({
+            "runtime": "soc",
+            "shards": shards,
+            "events_per_sec": f"{throughput:,.0f}",
+            "seconds": f"{seconds:.4f}",
+            "lag_mean_events": f"{lag['mean']:.2f}",
+        })
+    print_table(
+        f"E12 SOC throughput ({HOSTS} hosts, "
+        f"{SCENARIO_EVENTS} events)", rows)
+
+    path = write_bench_json("soc", {
+        "scenario": {
+            "hosts": HOSTS,
+            "rounds": ROUNDS,
+            "noise_per_drift": NOISE_PER_DRIFT,
+            "events": SCENARIO_EVENTS,
+        },
+        "serial": {
+            "seconds": round(serial_seconds, 6),
+            "events_per_sec": round(serial_tp, 1),
+        },
+        "soc": {str(shards): result
+                for shards, result in soc_results.items()},
+    })
+    print(f"wrote {path}")
+
+    # The acceptance bar: at operational shard counts the concurrent
+    # runtime must at least match the serial loop on the same stream.
+    for shards in (4, 8):
+        assert soc_results[shards]["events_per_sec"] >= serial_tp, (
+            f"SOC at {shards} shards slower than serial loop")

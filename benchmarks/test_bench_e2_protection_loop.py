@@ -18,6 +18,7 @@ from repro.core.protection import PollingProtection
 from repro.environment import hardened_ubuntu_host
 from repro.rqcode import default_catalog
 
+from bench_utils import write_bench_json
 from conftest import print_table
 
 DRIFTABLE_PACKAGES = ("nis", "rsh-server", "telnetd")
@@ -72,6 +73,7 @@ def test_bench_e2_latency_table():
             "poll_latency_max": poll_latency,
         })
     print_table("E2 detection latency: event-driven vs polling", rows)
+    write_bench_json("e2", {"latency_table": rows})
     # Shape: event-driven always immediate, polling >= poll period.
     assert all(row["event_latency_max"] == 0 for row in rows)
     assert all(row["poll_latency_max"] >= 20 for row in rows)

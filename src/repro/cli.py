@@ -196,6 +196,65 @@ def cmd_report(args, out) -> int:
     return 0 if run.passed else 1
 
 
+def cmd_soc(args, out) -> int:
+    """Run the SOC runtime over a synthetic fleet drift scenario.
+
+    Builds a hardened fleet, arms the sharded concurrent protection
+    service, injects a seeded storm of drift (and benign) events,
+    drains deterministically, and prints the incident + metrics report.
+    """
+    import random
+
+    from repro.core.fleet import Fleet
+    from repro.environment import (
+        hardened_ubuntu_host as ubuntu,
+        hardened_windows_host as windows,
+    )
+    from repro.rqcode import default_catalog
+    from repro.soc import Backpressure, render_report
+
+    if args.hosts < 1:
+        raise SystemExit("repro soc: --hosts must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("repro soc: --shards must be >= 1")
+    fleet = Fleet("soc-cli", default_catalog())
+    for index in range(args.hosts):
+        if args.windows_every and index % args.windows_every == 0:
+            fleet.add(windows(f"win-{index:02d}"))
+        else:
+            fleet.add(ubuntu(f"host-{index:02d}"))
+    service = fleet.arm_soc(
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        policy=Backpressure(args.policy),
+        seed=args.seed,
+    )
+    rng = random.Random(args.seed)
+    ubuntu_drifts = ("nis", "rsh-server", "telnetd")
+    windows_subcategories = ("Logon", "Account Lockout", "Special Logon")
+    try:
+        for _ in range(args.drifts):
+            host = rng.choice(fleet.hosts())
+            for _ in range(args.noise):
+                host.events.emit("app.heartbeat")
+            if host.os_family == "windows":
+                host.drift_audit_policy(rng.choice(windows_subcategories))
+            else:
+                host.drift_install_package(rng.choice(ubuntu_drifts))
+            # Drain between injections: a host is never re-drifted
+            # while its own repair is in flight, so event timestamps
+            # (and the incident table) are a pure function of the seed.
+            service.drain()
+    finally:
+        service.stop()
+    print(render_report(service, title=f"SOC run over {len(fleet)} hosts "
+                                       f"/ {args.shards} shards"), file=out)
+    posture = fleet.audit()
+    print(f"posture after run: worst {posture.worst_ratio:.0%}, "
+          f"mean {posture.mean_ratio:.0%}", file=out)
+    return 0 if posture.worst_ratio >= 1.0 else 1
+
+
 def cmd_pipeline(args, out) -> int:
     """Run the full prevention pipeline against a host profile."""
     from repro.core import VeriDevOpsOrchestrator
@@ -271,6 +330,25 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="-",
                         help="output path, or - for stdout")
     report.set_defaults(func=cmd_report)
+
+    soc = subparsers.add_parser(
+        "soc", help="run the concurrent SOC runtime on a synthetic fleet")
+    soc.add_argument("--hosts", type=int, default=6,
+                     help="fleet size (default 6)")
+    soc.add_argument("--shards", type=int, default=4,
+                     help="worker shard count (default 4)")
+    soc.add_argument("--drifts", type=int, default=12,
+                     help="drift injections across the fleet (default 12)")
+    soc.add_argument("--noise", type=int, default=3,
+                     help="benign events emitted before each drift")
+    soc.add_argument("--queue-capacity", type=int, default=256)
+    soc.add_argument("--policy", default="block",
+                     choices=("block", "drop-oldest", "reject"),
+                     help="backpressure when a shard queue is full")
+    soc.add_argument("--seed", type=int, default=0)
+    soc.add_argument("--windows-every", type=int, default=3, metavar="N",
+                     help="every Nth host is Windows (0 = all Ubuntu)")
+    soc.set_defaults(func=cmd_soc)
 
     pipeline = subparsers.add_parser(
         "pipeline", help="run the prevention pipeline on a host profile")

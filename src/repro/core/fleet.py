@@ -96,6 +96,24 @@ class Fleet:
         return FleetPosture(reports=[
             self.catalog.harden_host(host) for host in self.hosts()])
 
+    # -- operations -----------------------------------------------------------
+
+    def arm_soc(self, orchestrator: Optional[VeriDevOpsOrchestrator] = None,
+                **kwargs):
+        """Arm the concurrent SOC runtime over this fleet and start it.
+
+        The fleet-scale successor to :class:`FleetProtection`: the same
+        per-host monitors, but progressed on sharded worker threads
+        with an incident pipeline and metrics.  Keyword arguments pass
+        through to :class:`~repro.soc.service.SocService` (``shards``,
+        ``queue_capacity``, ``policy``, ``seed``, ...).  Returns the
+        started service; callers own its ``drain``/``stop``.
+        """
+        from repro.soc.service import SocService
+
+        return SocService.for_fleet(
+            self, orchestrator=orchestrator, **kwargs).start()
+
 
 class FleetProtection:
     """One protection loop per fleet host, with fleet-wide telemetry."""

@@ -286,15 +286,16 @@ class VeriDevOpsOrchestrator:
 
     # -- WP3: protection -----------------------------------------------------------------
 
-    def start_protection(self, host: SimulatedHost,
-                         run: Optional[PipelineRun] = None
-                         ) -> ProtectionLoop:
-        """Arm the event-driven protection loop on a deployed host.
+    def protection_plan(self, host: SimulatedHost,
+                        run: Optional[PipelineRun] = None):
+        """The monitors and RQCODE bindings protecting *host*.
 
         Uses the monitors the pipeline produced (when *run* is given)
         and always adds drift detectors for every standard-sourced
         requirement bound to catalogue findings: ``G !drift`` tied to
-        the finding's enforcement.
+        the finding's enforcement.  Returns ``(monitors, bindings)`` —
+        the plan both the serial :class:`ProtectionLoop` and the
+        concurrent SOC runtime arm.
         """
         monitors: Dict[str, LtlMonitor] = {}
         bindings: Dict[str, List[str]] = {}
@@ -322,6 +323,13 @@ class VeriDevOpsOrchestrator:
             atom = self._drift_atom(applicable)
             monitors[drift_id] = LtlMonitor(parse_ltl(f"G !{atom}"))
             bindings[drift_id] = applicable
+        return monitors, bindings
+
+    def start_protection(self, host: SimulatedHost,
+                         run: Optional[PipelineRun] = None
+                         ) -> ProtectionLoop:
+        """Arm the event-driven protection loop on a deployed host."""
+        monitors, bindings = self.protection_plan(host, run)
         loop = ProtectionLoop(host, self.catalog, monitors, bindings)
         return loop.start()
 

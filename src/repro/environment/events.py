@@ -7,6 +7,7 @@ record format is deliberately small and stable: a monotonically increasing
 logical timestamp, a dotted event type, and a free-form payload mapping.
 """
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -32,18 +33,52 @@ class Event:
         return self.kind == kind or self.kind.startswith(kind + ".")
 
 
+class Subscription:
+    """Handle for one :class:`EventLog` subscriber.
+
+    Cancel with :meth:`cancel` — or by calling the handle, which keeps
+    the original ``unsubscribe = log.subscribe(cb); unsubscribe()``
+    idiom working.  Cancellation is idempotent and safe from any
+    thread, including from inside a dispatch.
+    """
+
+    def __init__(self, log: "EventLog",
+                 callback: Callable[[Event], None]) -> None:
+        self._log = log
+        self.callback = callback
+
+    @property
+    def active(self) -> bool:
+        return self._log.is_subscribed(self)
+
+    def cancel(self) -> None:
+        self._log.unsubscribe(self)
+
+    def __call__(self) -> None:
+        self.cancel()
+
+
 class EventLog:
     """Append-only sequence of :class:`Event` with subscription support.
 
     Subscribers are called synchronously on every append; a subscriber
     raising propagates to the emitter, which keeps failure modes visible
     in tests instead of being swallowed.
+
+    The log is safe to share across threads (the SOC runtime appends
+    repair events from shard workers while scenario threads inject
+    drift): timestamp assignment is atomic, and dispatch iterates a
+    snapshot of the subscriber list, so subscribing or unsubscribing —
+    even from inside a running dispatch — can never corrupt iteration.
+    Every subscriber registered at emit time is invoked exactly once
+    unless its subscription was cancelled before its turn came.
     """
 
     def __init__(self) -> None:
         self._events: List[Event] = []
         self._clock = 0
-        self._subscribers: List[Callable[[Event], None]] = []
+        self._subscriptions: List[Subscription] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -67,27 +102,52 @@ class EventLog:
         """
         if ticks < 0:
             raise ValueError("ticks must be non-negative")
-        self._clock += ticks
-        return self._clock
+        with self._lock:
+            self._clock += ticks
+            return self._clock
 
     def emit(self, kind: str, **payload: Any) -> Event:
-        """Record an event at the current logical time and advance it."""
-        event = Event(time=self._clock, kind=kind, payload=dict(payload))
-        self._events.append(event)
-        self._clock += 1
-        for subscriber in self._subscribers:
-            subscriber(event)
+        """Record an event at the current logical time and advance it.
+
+        The append and timestamp are taken under the log's lock;
+        subscribers run *outside* it (against a snapshot of the
+        subscriber list), so a subscriber may emit, subscribe, or
+        unsubscribe without deadlocking or corrupting dispatch.
+        """
+        with self._lock:
+            event = Event(time=self._clock, kind=kind,
+                          payload=dict(payload))
+            self._events.append(event)
+            self._clock += 1
+            snapshot = tuple(self._subscriptions)
+        for subscription in snapshot:
+            if subscription.active:
+                subscription.callback(event)
         return event
 
-    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
-        """Register *callback* for future events; returns an unsubscriber."""
-        self._subscribers.append(callback)
+    def subscribe(self, callback: Callable[[Event], None]) -> Subscription:
+        """Register *callback* for future events.
 
-        def unsubscribe() -> None:
-            if callback in self._subscribers:
-                self._subscribers.remove(callback)
+        Returns a :class:`Subscription` handle; call it (or its
+        :meth:`~Subscription.cancel`) to detach.
+        """
+        subscription = Subscription(self, callback)
+        with self._lock:
+            self._subscriptions.append(subscription)
+        return subscription
 
-        return unsubscribe
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach *subscription* (idempotent; no-op when unknown)."""
+        with self._lock:
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+
+    def is_subscribed(self, subscription: Subscription) -> bool:
+        return subscription in self._subscriptions
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
 
     def since(self, time: int) -> List[Event]:
         """Events with ``event.time >= time``, oldest first."""

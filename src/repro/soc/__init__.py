@@ -1,0 +1,57 @@
+"""Security Operations Center runtime (operations-time, fleet-scale).
+
+The paper's WP3 — reactive protection at operations — reproduced as a
+long-running concurrent service instead of a synchronous per-host loop:
+
+* :mod:`repro.soc.sharding` — consistent hashing of hosts onto shards;
+* :mod:`repro.soc.queues` — bounded shard queues with backpressure
+  (block / drop-oldest / reject);
+* :mod:`repro.soc.sessions` — per-host monitor state, progressed off
+  the emitting thread with sound atom-indexed routing;
+* :mod:`repro.soc.incidents` — the incident pipeline: retry with
+  exponential backoff + jitter, per-finding circuit breakers;
+* :mod:`repro.soc.breaker` — the three-state breaker itself;
+* :mod:`repro.soc.metrics` — counters / gauges / histograms,
+  snapshotable as plain dicts;
+* :mod:`repro.soc.workers` — the shard worker threads;
+* :mod:`repro.soc.service` — :class:`SocService`: ingress, lifecycle
+  (start / drain / stop), results;
+* :mod:`repro.soc.report` — human-readable run reports.
+
+Entry points: ``Fleet.arm_soc(...)`` from :mod:`repro.core.fleet`, the
+``repro soc`` CLI subcommand, and benchmark E12.
+"""
+
+from repro.soc.breaker import BreakerState, CircuitBreaker
+from repro.soc.incidents import IncidentPipeline, RetryPolicy
+from repro.soc.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.soc.queues import Backpressure, PutResult, QueueClosed, ShardQueue
+from repro.soc.report import render_report
+from repro.soc.service import SocService, arm_soc
+from repro.soc.sessions import Detection, MonitorSession, formula_atoms
+from repro.soc.sharding import HashRing, stable_hash
+from repro.soc.workers import ShardWorker
+
+__all__ = [
+    "Backpressure",
+    "BreakerState",
+    "CircuitBreaker",
+    "Counter",
+    "Detection",
+    "Gauge",
+    "HashRing",
+    "Histogram",
+    "IncidentPipeline",
+    "MetricsRegistry",
+    "MonitorSession",
+    "PutResult",
+    "QueueClosed",
+    "RetryPolicy",
+    "ShardQueue",
+    "ShardWorker",
+    "SocService",
+    "arm_soc",
+    "formula_atoms",
+    "render_report",
+    "stable_hash",
+]

@@ -1,0 +1,71 @@
+"""Per-finding circuit breaker for repeatedly failing enforcements.
+
+An enforcement that keeps failing (a finding whose backend is broken,
+a host that re-drifts faster than it can be repaired) must not consume
+the shard worker forever.  The breaker follows the classic three-state
+protocol, with the cooldown measured in *skipped requests* rather than
+wall-clock time so SOC runs are deterministic:
+
+* ``CLOSED`` — enforcements flow; consecutive failures are counted.
+* ``OPEN`` — after ``failure_threshold`` consecutive failures the
+  breaker trips: enforcement attempts are skipped (and counted) until
+  ``cooldown`` of them have been absorbed.
+* ``HALF_OPEN`` — one trial enforcement is admitted; success closes
+  the breaker, failure re-opens it for a fresh cooldown.
+"""
+
+import enum
+import threading
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Three-state breaker with request-count cooldown."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 2):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0            # times the breaker opened (monotonic)
+        self.skipped = 0          # requests absorbed while open (monotonic)
+        self._cooldown_left = 0
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """Should the next enforcement run?  Skips are counted here."""
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return True
+            if self.state is BreakerState.HALF_OPEN:
+                return True
+            # OPEN: absorb this request; move to HALF_OPEN once cooled.
+            self.skipped += 1
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = BreakerState.HALF_OPEN
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = BreakerState.CLOSED
+            self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if (self.state is BreakerState.HALF_OPEN
+                    or self.consecutive_failures >= self.failure_threshold):
+                if self.state is not BreakerState.OPEN:
+                    self.trips += 1
+                self.state = BreakerState.OPEN
+                self._cooldown_left = self.cooldown

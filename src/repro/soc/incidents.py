@@ -1,0 +1,204 @@
+"""The SOC incident pipeline: detect -> enforce, with failure budget.
+
+Detections arrive from shard workers; the pipeline turns each into an
+:class:`~repro.core.protection.Incident` and enforces the requirement's
+bound RQCODE findings, hardened for operations:
+
+* **retry with exponential backoff + jitter** — transient enforcement
+  failures are retried up to ``RetryPolicy.max_attempts`` times, the
+  wait doubling each round with seeded jitter so simultaneous repairs
+  across shards do not thundering-herd one backend;
+* **per-finding circuit breaker** — a finding whose enforcement keeps
+  failing is skipped for a cooldown instead of burning the worker;
+* **per-host serialization** — hosts are pinned to shards, so one
+  host's incidents are handled strictly in detection order on one
+  thread, while different hosts repair concurrently.
+
+Repair actions mutate the host, which emits events back into the very
+log being monitored.  Workers flag themselves *in repair* for the
+duration (thread-local), and ingress suppresses the same-thread echo so
+repairs never re-trigger the monitors doing the repairing — the
+concurrent analogue of the serial loop's detach-while-enforcing.
+"""
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.protection import Incident, RepairAction
+from repro.environment.host import SimulatedHost
+from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+from repro.soc.breaker import BreakerState, CircuitBreaker
+from repro.soc.metrics import MetricsRegistry
+from repro.soc.sessions import Detection
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for failing enforcements."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.001     # seconds before the first retry
+    backoff_factor: float = 2.0
+    jitter: float = 0.5             # +-fraction of the computed delay
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """Seconds to wait before retry *retry_index* (0-based)."""
+        base = self.backoff_base * (self.backoff_factor ** retry_index)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class IncidentPipeline:
+    """Turns detections into incidents and repairs, with a failure budget."""
+
+    def __init__(self, catalog: StigCatalog, metrics: MetricsRegistry,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: int = 2,
+                 seed: int = 0,
+                 sleeper: Callable[[float], None] = time.sleep):
+        self.catalog = catalog
+        self.metrics = metrics
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.seed = seed
+        self.sleeper = sleeper
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._rngs: Dict[str, random.Random] = {}
+        self._incidents: Dict[str, List[Incident]] = {}
+        self._local = threading.local()
+
+    # -- repair-echo suppression ---------------------------------------------------
+
+    def in_repair(self) -> bool:
+        """True when the *calling thread* is currently enforcing."""
+        return getattr(self._local, "repairing", False)
+
+    # -- deterministic per-host state ----------------------------------------------
+
+    def _rng_for(self, host_name: str) -> random.Random:
+        # One seeded stream per host: jitter sequences are reproducible
+        # regardless of how hosts interleave across shards.
+        if host_name not in self._rngs:
+            self._rngs[host_name] = random.Random(f"{self.seed}:{host_name}")
+        return self._rngs[host_name]
+
+    def breaker_for(self, host_name: str, finding_id: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            key = (host_name, finding_id)
+            if key not in self._breakers:
+                self._breakers[key] = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown)
+            return self._breakers[key]
+
+    def register_host(self, host_name: str) -> None:
+        """Pre-create per-host stores so handling needs no locking."""
+        self._incidents.setdefault(host_name, [])
+        self._rng_for(host_name)
+
+    # -- the pipeline --------------------------------------------------------------
+
+    def handle(self, host: SimulatedHost, detection: Detection,
+               finding_ids: List[str]) -> Incident:
+        """Process one detection: build the incident, enforce bindings."""
+        incident = Incident(
+            req_id=detection.req_id,
+            detected_at=detection.event.time,
+            trigger_kind=detection.event.kind,
+            violation_time=detection.event.time,
+        )
+        self.metrics.counter("soc.incidents").inc()
+        self._local.repairing = True
+        try:
+            for finding_id in finding_ids:
+                incident.repairs.append(
+                    self._enforce_with_budget(host, finding_id))
+        finally:
+            self._local.repairing = False
+        self._incidents.setdefault(host.name, []).append(incident)
+        return incident
+
+    def _enforce_with_budget(self, host: SimulatedHost,
+                             finding_id: str) -> RepairAction:
+        breaker = self.breaker_for(host.name, finding_id)
+        if not breaker.allow():
+            self.metrics.counter("soc.enforce.skipped_by_breaker").inc()
+            return RepairAction(
+                finding_id=finding_id,
+                status=EnforcementStatus.INCOMPLETE,
+                detail="circuit breaker open; enforcement skipped",
+            )
+        try:
+            entry = self.catalog.get(finding_id)
+        except KeyError:
+            breaker.record_failure()
+            self._note_breaker(breaker)
+            self.metrics.counter("soc.enforce.failure").inc()
+            return RepairAction(
+                finding_id=finding_id,
+                status=EnforcementStatus.FAILURE,
+                detail="finding not in catalogue",
+            )
+        requirement = entry.instantiate(host)
+        if requirement.check() is CheckStatus.PASS:
+            breaker.record_success()
+            self.metrics.counter("soc.enforce.success").inc()
+            return RepairAction(
+                finding_id=finding_id,
+                status=EnforcementStatus.SUCCESS,
+                detail="already compliant",
+            )
+        rng = self._rng_for(host.name)
+        status = EnforcementStatus.FAILURE
+        after = CheckStatus.FAIL
+        attempts = 0
+        for attempt in range(self.retry.max_attempts):
+            attempts = attempt + 1
+            status = requirement.enforce()
+            after = requirement.check()
+            if after is CheckStatus.PASS:
+                break
+            self.metrics.counter("soc.enforce.retries").inc()
+            if attempt + 1 < self.retry.max_attempts:
+                self.sleeper(self.retry.delay(attempt, rng))
+        self.metrics.histogram("soc.repair_attempts").observe(attempts)
+        if after is CheckStatus.PASS:
+            breaker.record_success()
+            self.metrics.counter("soc.enforce.success").inc()
+        else:
+            breaker.record_failure()
+            self._note_breaker(breaker)
+            self.metrics.counter("soc.enforce.failure").inc()
+        detail = f"enforced; attempts={attempts}; re-check {after.value}"
+        return RepairAction(finding_id=finding_id, status=status,
+                            detail=detail)
+
+    def _note_breaker(self, breaker: CircuitBreaker) -> None:
+        if breaker.state is BreakerState.OPEN:
+            self.metrics.counter("soc.breaker.trips").inc()
+
+    # -- results -------------------------------------------------------------------
+
+    def incidents_for(self, host_name: str) -> List[Incident]:
+        return list(self._incidents.get(host_name, ()))
+
+    def incidents(self) -> List[Incident]:
+        """All incidents, ordered by detection time then host."""
+        merged: List[Tuple[int, str, Incident]] = []
+        for host_name, incidents in self._incidents.items():
+            for incident in incidents:
+                merged.append((incident.detected_at, host_name, incident))
+        merged.sort(key=lambda item: (item[0], item[1], item[2].req_id))
+        return [incident for _, _, incident in merged]
+
+    def breaker_states(self) -> Dict[str, str]:
+        with self._breaker_lock:
+            return {f"{host}/{finding}": breaker.state.value
+                    for (host, finding), breaker
+                    in sorted(self._breakers.items())}

@@ -1,0 +1,148 @@
+"""SOC metrics: counters, gauges, and latency histograms.
+
+The runtime is observable by construction: every shard, queue, and
+enforcement path reports into one :class:`MetricsRegistry`, and the
+whole registry snapshots to plain dicts so reports, tests, and the
+benchmark JSON writers consume the same numbers.  All metric types are
+thread-safe; the registry hands out one instance per name so concurrent
+workers share a metric by naming it.
+"""
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+#: Default histogram buckets, in host logical events (detection lag) or
+#: attempts (repair effort).  The last bucket is unbounded.
+DEFAULT_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 250)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, breaker states)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative upper bounds (``value <= bound``); anything
+    above the last bound lands in the implicit ``+Inf`` bucket.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds: List[float] = sorted(buckets)
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            buckets = {}
+            cumulative = 0
+            for bound, n in zip(self.bounds, self._bucket_counts):
+                cumulative += n
+                buckets[f"le_{bound:g}"] = cumulative
+            buckets["le_inf"] = cumulative + self._bucket_counts[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(buckets))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as plain dicts (JSON-serializable)."""
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value
+                           for name, g in sorted(self._gauges.items())},
+                "histograms": {name: h.snapshot()
+                               for name, h in sorted(self._histograms.items())},
+            }

@@ -1,0 +1,145 @@
+"""Bounded shard queues with selectable backpressure.
+
+Every shard owns one :class:`ShardQueue`.  Ingress threads (host event
+emitters) ``put``; the shard's worker ``get``s.  When the queue is full
+the configured :class:`Backpressure` policy decides what gives:
+
+* ``BLOCK`` — the emitter waits until the worker frees a slot (lossless,
+  propagates pressure to the event source);
+* ``DROP_OLDEST`` — the oldest queued item is evicted to admit the new
+  one (bounded staleness, favours fresh events);
+* ``REJECT`` — the new item is refused (bounded work, favours the
+  backlog already accepted).
+
+The queue tracks unfinished work like :class:`queue.Queue` so
+``join()`` gives the SOC a deterministic drain barrier.
+"""
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Optional
+
+
+class Backpressure(enum.Enum):
+    """What a full queue does to the *next* put."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    REJECT = "reject"
+
+
+class PutResult(enum.Enum):
+    """Outcome of one :meth:`ShardQueue.put`."""
+
+    ACCEPTED = "accepted"
+    DISPLACED = "displaced"   # accepted, but evicted the oldest item
+    REJECTED = "rejected"
+
+
+class QueueClosed(RuntimeError):
+    """Raised when putting into a closed queue."""
+
+
+class ShardQueue:
+    """Bounded FIFO with backpressure policy and drain support."""
+
+    def __init__(self, capacity: int = 256,
+                 policy: Backpressure = Backpressure.BLOCK):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._all_done = threading.Condition(self._lock)
+        self._unfinished = 0
+        self._closed = False
+        #: Items evicted by DROP_OLDEST (monotonic).
+        self.dropped = 0
+        #: Puts refused by REJECT (monotonic).
+        self.rejected = 0
+        #: High-water mark of queue depth.
+        self.peak_depth = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- producer side -----------------------------------------------------------
+
+    def put(self, item: Any) -> PutResult:
+        """Enqueue *item* under the configured backpressure policy."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("put into closed queue")
+            if len(self._items) >= self.capacity:
+                if self.policy is Backpressure.BLOCK:
+                    while len(self._items) >= self.capacity \
+                            and not self._closed:
+                        self._not_full.wait()
+                    if self._closed:
+                        raise QueueClosed("queue closed while blocked")
+                elif self.policy is Backpressure.DROP_OLDEST:
+                    self._items.popleft()
+                    self.dropped += 1
+                    self._task_done_locked()
+                    self._append(item)
+                    return PutResult.DISPLACED
+                else:  # REJECT
+                    self.rejected += 1
+                    return PutResult.REJECTED
+            self._append(item)
+            return PutResult.ACCEPTED
+
+    def _append(self, item: Any) -> None:
+        self._items.append(item)
+        self._unfinished += 1
+        self.peak_depth = max(self.peak_depth, len(self._items))
+        self._not_empty.notify()
+
+    # -- consumer side -----------------------------------------------------------
+
+    def get(self) -> Optional[Any]:
+        """Blocking dequeue; ``None`` once the queue is closed and empty."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def task_done(self) -> None:
+        """Mark one dequeued item fully processed (for :meth:`join`)."""
+        with self._lock:
+            self._task_done_locked()
+
+    def _task_done_locked(self) -> None:
+        if self._unfinished <= 0:
+            raise ValueError("task_done() called too many times")
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            self._all_done.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def join(self) -> None:
+        """Block until every accepted item has been processed."""
+        with self._lock:
+            while self._unfinished:
+                self._all_done.wait()
+
+    def close(self) -> None:
+        """Stop accepting puts and wake every blocked thread."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

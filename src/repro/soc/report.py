@@ -1,0 +1,87 @@
+"""SOC reporting: incident and metrics summaries for humans.
+
+The CLI's ``repro soc`` subcommand (and anything else that wants a
+readable digest of a run) renders through here; everything machine-
+readable comes from :meth:`SocService.metrics_snapshot` instead.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.core.protection import Incident
+from repro.soc.service import SocService
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Align a list of row dicts into a text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows))
+              for c in columns}
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def incident_rows(incidents_by_host: Dict[str, List[Incident]]
+                  ) -> List[Dict[str, object]]:
+    rows = []
+    for host_name, incidents in sorted(incidents_by_host.items()):
+        for incident in incidents:
+            rows.append({
+                "host": host_name,
+                "requirement": incident.req_id,
+                "trigger": incident.trigger_kind,
+                "detected_at": incident.detected_at,
+                "repairs": len(incident.repairs),
+                "effective": "yes" if incident.effective else "no",
+            })
+    return rows
+
+
+def render_report(service: SocService, title: str = "SOC run") -> str:
+    """Full text report: incidents, shard stats, headline metrics."""
+    snapshot = service.metrics_snapshot()
+    counters = snapshot["counters"]
+    lag = snapshot["histograms"].get("soc.detection_lag_events", {})
+    lines = [f"=== {title} ==="]
+    lines.append("")
+    lines.append("-- incidents --")
+    lines.append(format_table(incident_rows(service.incidents_by_host())))
+    lines.append("")
+    lines.append("-- shards --")
+    lines.append(format_table(service.queue_stats()))
+    lines.append("")
+    lines.append("-- metrics --")
+    incidents = service.incidents()
+    effective = service.effective_repairs()
+    summary_rows = [{
+        "events_ingested": counters.get("soc.events.ingested", 0),
+        "suppressed": counters.get("soc.events.suppressed", 0),
+        "dropped": counters.get("soc.events.dropped", 0),
+        "rejected": counters.get("soc.events.rejected", 0),
+        "incidents": len(incidents),
+        "effective": effective,
+        "enforce_ok": counters.get("soc.enforce.success", 0),
+        "enforce_fail": counters.get("soc.enforce.failure", 0),
+        "retries": counters.get("soc.enforce.retries", 0),
+        "breaker_trips": counters.get("soc.breaker.trips", 0),
+    }]
+    lines.append(format_table(summary_rows))
+    if lag.get("count"):
+        lines.append("")
+        lines.append(
+            f"detection lag (host events): mean={lag['mean']:.2f} "
+            f"max={lag['max']:g} over {lag['count']} detections")
+    open_breakers = {key: state
+                     for key, state in service.pipeline.breaker_states()
+                     .items() if state != "closed"}
+    if open_breakers:
+        lines.append("")
+        lines.append("-- non-closed breakers --")
+        for key, state in sorted(open_breakers.items()):
+            lines.append(f"{key}: {state}")
+    return "\n".join(lines)

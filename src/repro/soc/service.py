@@ -1,0 +1,221 @@
+"""The SOC service: sharded, concurrent fleet protection.
+
+:class:`SocService` is the operations-time runtime the serial
+:class:`~repro.core.protection.ProtectionLoop` grows into:
+
+* **ingress** — subscribes to every protected host's event log; each
+  event is routed by consistent hash of the host id onto one of N
+  bounded shard queues (:mod:`repro.soc.queues` backpressure policies);
+* **workers** — one thread per shard progresses the per-host
+  :class:`~repro.soc.sessions.MonitorSession` off the emitting thread;
+* **incident pipeline** — detections become incidents with
+  retry/backoff/jitter enforcement and per-finding circuit breakers
+  (:mod:`repro.soc.incidents`);
+* **metrics** — every stage reports into one
+  :class:`~repro.soc.metrics.MetricsRegistry`;
+* **lifecycle** — ``start`` / ``drain`` / ``stop``.  ``drain()`` is a
+  deterministic flush barrier: after it returns, every accepted event
+  has been fully processed (monitors progressed, repairs applied), which
+  is what makes concurrent runs reproducible enough to assert on.
+
+Because a host is pinned to exactly one shard, its events are processed
+in emission order and its incidents handled serially, while distinct
+hosts proceed in parallel — the same per-host semantics as the serial
+loop, at fleet scale.
+"""
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.protection import Incident
+from repro.environment.events import Event
+from repro.environment.host import SimulatedHost
+from repro.ltl.monitor import LtlMonitor
+from repro.rqcode.catalog import StigCatalog
+from repro.soc.incidents import IncidentPipeline, RetryPolicy
+from repro.soc.metrics import MetricsRegistry
+from repro.soc.queues import Backpressure, PutResult, ShardQueue
+from repro.soc.sessions import MonitorSession
+from repro.soc.sharding import HashRing
+from repro.soc.workers import ShardWorker
+
+#: One host's armed monitors and their RQCODE bindings.
+ProtectionPlan = Tuple[Dict[str, LtlMonitor], Dict[str, List[str]]]
+
+
+class SocService:
+    """Sharded concurrent protection over a set of hosts."""
+
+    def __init__(self, hosts: Sequence[SimulatedHost], catalog: StigCatalog,
+                 plans: Dict[str, ProtectionPlan],
+                 shards: int = 4,
+                 queue_capacity: int = 256,
+                 policy: Backpressure = Backpressure.BLOCK,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: int = 2,
+                 seed: int = 0,
+                 sleeper=None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.hosts = {host.name: host for host in hosts}
+        missing = set(self.hosts) - set(plans)
+        if missing:
+            raise ValueError(f"no protection plan for: {sorted(missing)}")
+        self.catalog = catalog
+        self.shards = shards
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        pipeline_kwargs = dict(
+            retry=retry, breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown, seed=seed)
+        if sleeper is not None:
+            pipeline_kwargs["sleeper"] = sleeper
+        self.pipeline = IncidentPipeline(catalog, self.metrics,
+                                         **pipeline_kwargs)
+        self.ring = HashRing(shards)
+        policy = Backpressure(policy)   # accept "block" etc. verbatim
+        self.queues = [ShardQueue(queue_capacity, policy)
+                       for _ in range(shards)]
+        self.sessions: Dict[str, MonitorSession] = {}
+        self._placement: Dict[str, int] = {}
+        for name, host in sorted(self.hosts.items()):
+            monitors, bindings = plans[name]
+            self.sessions[name] = MonitorSession(host, monitors, bindings)
+            self._placement[name] = self.ring.shard_for(name)
+            self.pipeline.register_host(name)
+        self.workers: List[ShardWorker] = []
+        self._subscriptions = []
+        self._running = False
+        self._lock = threading.Lock()
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def for_fleet(cls, fleet, orchestrator=None, **kwargs) -> "SocService":
+        """Build a service for a :class:`~repro.core.fleet.Fleet`,
+        deriving each host's plan from the orchestrator's standards
+        ingest (the same monitors ``FleetProtection`` would arm)."""
+        from repro.core.orchestrator import VeriDevOpsOrchestrator
+
+        if orchestrator is None:
+            orchestrator = VeriDevOpsOrchestrator(catalog=fleet.catalog)
+            for platform in sorted({host.os_family
+                                    for host in fleet.hosts()}):
+                orchestrator.ingest_standards(platform)
+        plans = {host.name: orchestrator.protection_plan(host)
+                 for host in fleet.hosts()}
+        return cls(fleet.hosts(), fleet.catalog, plans, **kwargs)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "SocService":
+        """Spin up shard workers and attach ingress (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            shard_sessions: Dict[int, Dict[str, MonitorSession]] = {
+                index: {} for index in range(self.shards)}
+            for name, session in self.sessions.items():
+                shard_sessions[self._placement[name]][name] = session
+            self.workers = [
+                ShardWorker(index, self.queues[index],
+                            shard_sessions[index], self.pipeline,
+                            self.metrics)
+                for index in range(self.shards)
+            ]
+            for worker in self.workers:
+                worker.start()
+            for name, host in sorted(self.hosts.items()):
+                self._subscriptions.append(
+                    host.events.subscribe(self._ingress_for(name)))
+            self.metrics.gauge("soc.shards").set(self.shards)
+            self.metrics.gauge("soc.hosts").set(len(self.hosts))
+            self._running = True
+        return self
+
+    def _ingress_for(self, host_name: str):
+        queue = self.queues[self._placement[host_name]]
+        ingested = self.metrics.counter("soc.events.ingested")
+        suppressed = self.metrics.counter("soc.events.suppressed")
+        dropped = self.metrics.counter("soc.events.dropped")
+        rejected = self.metrics.counter("soc.events.rejected")
+
+        def ingress(event: Event) -> None:
+            # Repair echo: events this very thread is emitting while
+            # enforcing must not re-enter the monitors (see incidents.py).
+            if self.pipeline.in_repair():
+                suppressed.inc()
+                return
+            result = queue.put((host_name, event))
+            if result is PutResult.REJECTED:
+                rejected.inc()
+                return
+            if result is PutResult.DISPLACED:
+                dropped.inc()
+            ingested.inc()
+
+        return ingress
+
+    def drain(self) -> "SocService":
+        """Block until every accepted event has been fully processed."""
+        for queue in self.queues:
+            queue.join()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Detach ingress, optionally flush, then stop the workers."""
+        with self._lock:
+            if not self._running:
+                return
+            for subscription in self._subscriptions:
+                subscription.cancel()
+            self._subscriptions = []
+            self._running = False
+        if drain:
+            self.drain()
+        for queue in self.queues:
+            queue.close()
+        for worker in self.workers:
+            worker.join(timeout=5.0)
+
+    def __enter__(self) -> "SocService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- results ---------------------------------------------------------------------
+
+    def incidents(self) -> List[Incident]:
+        return self.pipeline.incidents()
+
+    def incidents_by_host(self) -> Dict[str, List[Incident]]:
+        return {name: self.pipeline.incidents_for(name)
+                for name in sorted(self.hosts)}
+
+    def effective_repairs(self) -> int:
+        return sum(1 for incident in self.incidents() if incident.effective)
+
+    def placement(self) -> Dict[str, int]:
+        """Host -> shard assignment (stable across runs)."""
+        return dict(self._placement)
+
+    def queue_stats(self) -> List[Dict[str, object]]:
+        return [
+            {"shard": index, "depth": queue.depth,
+             "peak_depth": queue.peak_depth, "dropped": queue.dropped,
+             "rejected": queue.rejected}
+            for index, queue in enumerate(self.queues)
+        ]
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        return self.metrics.snapshot()
+
+
+def arm_soc(hosts: Iterable[SimulatedHost], catalog: StigCatalog,
+            plans: Dict[str, ProtectionPlan], **kwargs) -> SocService:
+    """Convenience: build and start a service over explicit plans."""
+    return SocService(list(hosts), catalog, plans, **kwargs).start()

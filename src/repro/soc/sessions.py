@@ -1,0 +1,126 @@
+"""Per-host monitor sessions: verdicts computed off the emitting thread.
+
+A :class:`MonitorSession` owns one host's armed :class:`LtlMonitor`
+set.  The serial :class:`~repro.core.protection.ProtectionLoop` runs
+every monitor on every event *inside* the emit call; a session instead
+consumes events on its shard's worker thread and — crucially for fleet
+throughput — routes each event only to the monitors that can possibly
+react to it.
+
+Routing is sound, not heuristic: a monitor is *skippable* on an event
+iff its current obligation is a fixed point of progression under a step
+containing none of the obligation's atoms (``progress(ob, {}) == ob``).
+Drift detectors (``G !drift.x``) have that property permanently, so a
+benign event touches only the handful of monitors actually watching its
+kind; monitors whose obligation is empty-step-sensitive (``X p`` tails,
+pending ``U`` obligations) are kept on the run-every-event list until
+their obligation stabilises again.  Sessions are single-threaded by
+construction (one host -> one shard -> one worker) and need no locks.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.environment.events import Event
+from repro.environment.host import SimulatedHost
+from repro.core.protection import event_propositions
+from repro.ltl.formulas import (
+    And,
+    Atom,
+    Eventually,
+    Formula,
+    Globally,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+    WeakUntil,
+)
+from repro.ltl.monitor import LtlMonitor, Verdict, progress
+
+_EMPTY_STEP = frozenset()
+
+
+def formula_atoms(formula: Formula) -> Set[str]:
+    """All atom names mentioned in *formula*."""
+    if isinstance(formula, Atom):
+        return {formula.name}
+    if isinstance(formula, (Not, Next, Eventually, Globally)):
+        return formula_atoms(formula.operand)
+    if isinstance(formula, (And, Or, Implies, Until, WeakUntil, Release)):
+        return formula_atoms(formula.left) | formula_atoms(formula.right)
+    return set()  # TRUE / FALSE
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One monitor going FALSE on one event."""
+
+    req_id: str
+    event: Event
+
+
+class MonitorSession:
+    """One host's armed monitors, indexed for selective progression."""
+
+    def __init__(self, host: SimulatedHost,
+                 monitors: Dict[str, LtlMonitor],
+                 bindings: Dict[str, Sequence[str]]):
+        self.host = host
+        self.monitors = dict(monitors)
+        self.bindings = {req_id: list(finding_ids)
+                         for req_id, finding_ids in bindings.items()}
+        self.events_seen = 0
+        self.monitors_stepped = 0
+        #: atom name -> req_ids whose obligation mentions it (skippable set)
+        self._watch: Dict[str, Set[str]] = {}
+        #: req_ids that must see every event (empty-step-sensitive)
+        self._always: Set[str] = set()
+        for req_id in self.monitors:
+            self._classify(req_id)
+
+    # -- routing index -----------------------------------------------------------
+
+    def _classify(self, req_id: str) -> None:
+        """(Re)index one monitor by its *current* obligation."""
+        obligation = self.monitors[req_id].obligation
+        self._always.discard(req_id)
+        for watchers in self._watch.values():
+            watchers.discard(req_id)
+        if progress(obligation, _EMPTY_STEP) == obligation:
+            for atom in formula_atoms(obligation):
+                self._watch.setdefault(atom, set()).add(req_id)
+        else:
+            self._always.add(req_id)
+
+    def _relevant(self, propositions: Iterable[str]) -> Set[str]:
+        relevant = set(self._always)
+        for proposition in propositions:
+            relevant.update(self._watch.get(proposition, ()))
+        return relevant
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(self, event: Event) -> List[Detection]:
+        """Feed one event to the monitors that can react to it.
+
+        FALSE verdicts become :class:`Detection`\\ s; the tripped monitor
+        is reset and re-armed so the session keeps protecting.
+        """
+        self.events_seen += 1
+        propositions = event_propositions(event)
+        step = frozenset(propositions)
+        detections: List[Detection] = []
+        for req_id in sorted(self._relevant(propositions)):
+            monitor = self.monitors[req_id]
+            before = monitor.obligation
+            verdict = monitor.observe(step)
+            self.monitors_stepped += 1
+            if verdict is Verdict.FALSE:
+                detections.append(Detection(req_id=req_id, event=event))
+                monitor.reset()
+            if monitor.obligation != before:
+                self._classify(req_id)
+        return detections

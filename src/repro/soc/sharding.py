@@ -1,0 +1,57 @@
+"""Consistent hashing of host ids onto worker shards.
+
+Host-to-shard placement must be (a) stable across runs — the SOC's
+determinism guarantee hangs on it — and (b) minimally disruptive when
+the shard count changes, so a fleet can be re-sharded without moving
+every host.  A classic consistent-hash ring over a keyed digest gives
+both; Python's builtin ``hash`` is salted per process and is therefore
+explicitly *not* used.
+"""
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash of *key*."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to shard indices."""
+
+    def __init__(self, shard_count: int, replicas: int = 64):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shard_count = shard_count
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shard_count):
+            for replica in range(replicas):
+                points.append((stable_hash(f"shard-{shard}#{replica}"),
+                               shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning *key* (first ring point at/after its hash)."""
+        index = bisect.bisect_left(self._hashes, stable_hash(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._shards[index]
+
+    def assignment(self, keys) -> Dict[str, int]:
+        """Placement for a batch of keys (diagnostics, tests)."""
+        return {key: self.shard_for(key) for key in keys}
+
+    def load(self, keys) -> Dict[int, int]:
+        """Keys per shard — how even the placement is."""
+        counts = {shard: 0 for shard in range(self.shard_count)}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

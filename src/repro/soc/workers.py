@@ -1,0 +1,59 @@
+"""Shard workers: the threads that drain shard queues.
+
+One :class:`ShardWorker` per shard.  A worker owns the monitor sessions
+of every host placed on its shard, so all per-host state it touches is
+single-threaded and lock-free; cross-shard state (metrics, breakers)
+is thread-safe by construction.
+"""
+
+import threading
+from typing import Dict
+
+from repro.soc.incidents import IncidentPipeline
+from repro.soc.metrics import MetricsRegistry
+from repro.soc.queues import ShardQueue
+from repro.soc.sessions import MonitorSession
+
+
+class ShardWorker(threading.Thread):
+    """Drains one shard queue: progress monitors, run the pipeline."""
+
+    def __init__(self, index: int, queue: ShardQueue,
+                 sessions: Dict[str, MonitorSession],
+                 pipeline: IncidentPipeline,
+                 metrics: MetricsRegistry):
+        super().__init__(name=f"soc-shard-{index}", daemon=True)
+        self.index = index
+        self.queue = queue
+        self.sessions = sessions
+        self.pipeline = pipeline
+        self.metrics = metrics
+        self.processed = 0
+
+    def run(self) -> None:
+        processed_counter = self.metrics.counter(
+            f"soc.shard.{self.index}.processed")
+        depth_gauge = self.metrics.gauge(
+            f"soc.shard.{self.index}.queue_depth")
+        lag_histogram = self.metrics.histogram("soc.detection_lag_events")
+        while True:
+            item = self.queue.get()
+            if item is None:        # queue closed and fully drained
+                break
+            host_name, event = item
+            try:
+                session = self.sessions[host_name]
+                detections = session.observe(event)
+                for detection in detections:
+                    # Lag: host events emitted between this event and the
+                    # worker getting to it — the price of the queue.
+                    lag_histogram.observe(
+                        max(0, session.host.events.clock - 1 - event.time))
+                    self.pipeline.handle(
+                        session.host, detection,
+                        session.bindings.get(detection.req_id, []))
+            finally:
+                self.processed += 1
+                processed_counter.inc()
+                depth_gauge.set(self.queue.depth)
+                self.queue.task_done()

@@ -134,6 +134,43 @@ class TestPipeline:
         assert "requirements-quality" in output
 
 
+class TestSoc:
+    def test_drift_scenario_runs_end_to_end(self):
+        code, output = run_cli(
+            "soc", "--hosts", "4", "--shards", "2", "--drifts", "6",
+            "--seed", "3")
+        assert code == 0
+        assert "SOC run over 4 hosts / 2 shards" in output
+        assert "-- incidents --" in output
+        assert "events_ingested" in output
+        assert "posture after run: worst 100%" in output
+
+    def test_seed_makes_incidents_reproducible(self):
+        # Queue-lag numbers vary with thread timing, but the incident
+        # set (and exit code) must be a pure function of the seed.
+        def incidents_section(output):
+            return output.split("-- incidents --")[1] \
+                .split("-- shards --")[0]
+
+        args = ("soc", "--hosts", "3", "--shards", "2", "--drifts", "5",
+                "--seed", "11")
+        first_code, first_out = run_cli(*args)
+        second_code, second_out = run_cli(*args)
+        assert first_code == second_code == 0
+        assert incidents_section(first_out) == incidents_section(second_out)
+
+    def test_policy_flag_is_validated(self):
+        with pytest.raises(SystemExit):
+            run_cli("soc", "--policy", "bogus")
+
+    def test_all_ubuntu_fleet(self):
+        code, output = run_cli(
+            "soc", "--hosts", "3", "--windows-every", "0",
+            "--drifts", "4", "--shards", "1")
+        assert code == 0
+        assert "win-" not in output
+
+
 class TestGap:
     def test_hardened_full_coverage(self):
         code, output = run_cli("gap", "--profile", "ubuntu-hardened",

@@ -1,8 +1,10 @@
 """Unit tests for the host event log."""
 
+import threading
+
 import pytest
 
-from repro.environment.events import Event, EventLog
+from repro.environment.events import Event, EventLog, Subscription
 
 
 class TestEvent:
@@ -110,3 +112,138 @@ class TestEventLog:
         log.emit("b")
         assert log[0].kind == "a"
         assert [e.kind for e in log] == ["a", "b"]
+
+
+class TestSubscriptionHandle:
+    def test_subscribe_returns_a_handle(self):
+        log = EventLog()
+        subscription = log.subscribe(lambda e: None)
+        assert isinstance(subscription, Subscription)
+        assert subscription.active
+        assert log.subscriber_count == 1
+
+    def test_cancel_detaches(self):
+        log = EventLog()
+        seen = []
+        subscription = log.subscribe(seen.append)
+        subscription.cancel()
+        assert not subscription.active
+        assert log.subscriber_count == 0
+        log.emit("a")
+        assert seen == []
+
+    def test_unsubscribe_method_accepts_handle(self):
+        log = EventLog()
+        subscription = log.subscribe(lambda e: None)
+        log.unsubscribe(subscription)
+        log.unsubscribe(subscription)  # idempotent
+        assert log.subscriber_count == 0
+
+
+class TestDispatchHardening:
+    """Mutating the subscriber list *during* dispatch must never skip,
+    double-call, or corrupt iteration — the concurrent SOC runtime
+    subscribes and cancels while hosts keep emitting."""
+
+    def test_unsubscribing_a_peer_mid_dispatch_skips_it(self):
+        log = EventLog()
+        calls = []
+        late = None
+
+        def early(event):
+            calls.append("early")
+            late.cancel()
+
+        log.subscribe(early)
+        late = log.subscribe(lambda e: calls.append("late"))
+        log.emit("a")
+        # ``late`` was cancelled before its turn in a's dispatch: it
+        # must be skipped for a and for every later event, and the
+        # remaining iteration must not be corrupted.
+        log.emit("b")
+        assert calls == ["early", "early"]
+
+    def test_subscriber_added_during_dispatch_misses_current_event(self):
+        log = EventLog()
+        seen = []
+
+        def adder(event):
+            log.subscribe(seen.append)
+
+        log.subscribe(adder)
+        log.emit("first")
+        assert seen == []          # snapshot: not called for "first"
+        log.emit("second")
+        assert [e.kind for e in seen] == ["second"]
+
+    def test_self_unsubscribe_during_dispatch(self):
+        log = EventLog()
+        seen = []
+
+        def once(event):
+            seen.append(event.kind)
+            subscription.cancel()
+
+        subscription = log.subscribe(once)
+        log.emit("a")
+        log.emit("b")
+        assert seen == ["a"]
+
+    def test_subscriber_emitting_reentrantly_does_not_deadlock(self):
+        log = EventLog()
+        kinds = []
+
+        def chain(event):
+            kinds.append(event.kind)
+            if event.kind == "trigger":
+                log.emit("echo")
+
+        log.subscribe(chain)
+        log.emit("trigger")
+        assert kinds == ["trigger", "echo"]
+        assert [e.kind for e in log] == ["trigger", "echo"]
+
+    def test_concurrent_subscribe_unsubscribe_and_emit(self):
+        log = EventLog()
+        received = []
+        log.subscribe(received.append)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    subscription = log.subscribe(lambda e: None)
+                    subscription.cancel()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, daemon=True)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for index in range(200):
+            log.emit("tick", index=index)
+        stop.set()
+        for thread in threads:
+            thread.join(2.0)
+        assert not errors
+        # The stable subscriber saw every event exactly once, in order.
+        assert [e.payload["index"] for e in received] == list(range(200))
+
+    def test_emit_from_many_threads_keeps_timestamps_unique(self):
+        log = EventLog()
+
+        def emitter():
+            for _ in range(100):
+                log.emit("t")
+
+        threads = [threading.Thread(target=emitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        times = [event.time for event in log]
+        assert len(times) == 400
+        assert len(set(times)) == 400
+        assert log.clock == 400

@@ -1,0 +1,94 @@
+"""Unit tests for the host profile factories (environment/profiles.py)."""
+
+import pytest
+
+from repro.environment.profiles import (
+    UBUNTU_PROHIBITED_PACKAGES,
+    UBUNTU_REQUIRED_PACKAGES,
+    adversarial_ubuntu_host,
+    adversarial_windows_host,
+    default_ubuntu_host,
+    default_windows_host,
+    hardened_ubuntu_host,
+    hardened_windows_host,
+)
+from repro.rqcode import default_catalog
+
+
+class TestUbuntuProfiles:
+    def test_hardened_is_fully_compliant(self):
+        report = default_catalog().check_host(hardened_ubuntu_host())
+        assert report.compliance_ratio == 1.0
+
+    def test_hardened_has_required_packages_and_services(self):
+        host = hardened_ubuntu_host()
+        for package in UBUNTU_REQUIRED_PACKAGES:
+            assert host.dpkg.is_installed(package), package
+        for prohibited in UBUNTU_PROHIBITED_PACKAGES:
+            assert not host.dpkg.is_installed(prohibited), prohibited
+        assert host.services.known("ssh")
+
+    def test_default_is_partially_compliant(self):
+        report = default_catalog().check_host(default_ubuntu_host())
+        assert 0.0 < report.compliance_ratio < 1.0
+        # The stock image ships a legacy prohibited package.
+        assert default_ubuntu_host().dpkg.is_installed("nis")
+
+    def test_adversarial_violates_and_hardens_back(self):
+        host = adversarial_ubuntu_host()
+        catalog = default_catalog()
+        before = catalog.check_host(host)
+        assert before.compliance_ratio == 0.0
+        after = catalog.harden_host(host)
+        assert after.compliance_ratio == 1.0
+
+    def test_profiles_accept_custom_names(self):
+        assert hardened_ubuntu_host("edge-1").name == "edge-1"
+        assert default_ubuntu_host("edge-2").name == "edge-2"
+
+
+class TestWindowsProfiles:
+    def test_hardened_is_fully_compliant(self):
+        report = default_catalog().check_host(hardened_windows_host())
+        assert report.compliance_ratio == 1.0
+
+    def test_default_audits_out_of_box_subcategories(self):
+        host = default_windows_host()
+        setting = host.audit_store.get("Logon")
+        assert setting.success and not setting.failure
+        report = default_catalog().check_host(host)
+        assert report.compliance_ratio < 1.0
+
+    def test_adversarial_disables_all_auditing(self):
+        host = adversarial_windows_host()
+        assert all(not setting.success and not setting.failure
+                   for _, _, setting in host.audit_store.items())
+
+    def test_adversarial_hardens_back(self):
+        host = adversarial_windows_host()
+        report = default_catalog().harden_host(host)
+        assert report.compliance_ratio == 1.0
+
+
+class TestProfileIndependence:
+    def test_factories_return_fresh_hosts(self):
+        first = hardened_ubuntu_host()
+        second = hardened_ubuntu_host()
+        assert first is not second
+        first.drift_install_package("nis")
+        assert not second.dpkg.is_installed("nis")
+
+    def test_os_families(self):
+        assert hardened_ubuntu_host().os_family == "ubuntu"
+        assert hardened_windows_host().os_family == "windows"
+
+    @pytest.mark.parametrize("factory", [
+        default_ubuntu_host, hardened_ubuntu_host, adversarial_ubuntu_host,
+        default_windows_host, hardened_windows_host,
+        adversarial_windows_host,
+    ])
+    def test_every_profile_starts_with_quiet_monitoring_state(self, factory):
+        host = factory()
+        # Building a profile must not leave drift events behind — the
+        # protection loop would otherwise fire on arm.
+        assert not host.events.of_kind("drift")

@@ -1,0 +1,75 @@
+"""Unit tests for host telemetry sampling (environment/telemetry.py)."""
+
+from repro.environment import hardened_ubuntu_host
+from repro.environment.telemetry import HostSampler, signal_name
+from repro.rqcode import default_catalog
+from repro.tears.trace import TimedTrace
+
+
+class TestSignalName:
+    def test_dashes_become_underscores(self):
+        assert signal_name("V-219157") == "ok_V_219157"
+
+    def test_plain_id_is_prefixed(self):
+        assert signal_name("X1") == "ok_X1"
+
+
+class TestHostSampler:
+    def test_sample_snapshots_every_platform_finding(self):
+        host = hardened_ubuntu_host()
+        catalog = default_catalog()
+        sampler = HostSampler(host, catalog)
+        values = sampler.sample()
+        findings = catalog.finding_ids("ubuntu")
+        assert set(values) == ({signal_name(fid) for fid in findings}
+                               | {"compliance"})
+        assert values["compliance"] == 1.0
+        assert all(values[signal_name(fid)] == 1.0 for fid in findings)
+
+    def test_sample_reflects_drift_and_repair(self):
+        host = hardened_ubuntu_host()
+        catalog = default_catalog()
+        sampler = HostSampler(host, catalog)
+        sampler.sample()
+        host.drift_install_package("nis")
+        drifted = sampler.sample()
+        assert drifted["compliance"] < 1.0
+        host.dpkg.remove("nis")
+        repaired = sampler.sample()
+        assert repaired["compliance"] == 1.0
+        assert len(sampler.trace) == 3
+
+    def test_sample_appends_to_supplied_trace(self):
+        host = hardened_ubuntu_host()
+        trace = TimedTrace()
+        sampler = HostSampler(host, default_catalog(), trace=trace)
+        sampler.sample(time=1.0)
+        sampler.sample(time=2.0)
+        assert sampler.trace is trace
+        assert [s.time for s in trace] == [1.0, 2.0]
+
+    def test_default_timestamp_is_host_clock(self):
+        host = hardened_ubuntu_host()
+        host.events.advance(7)
+        sampler = HostSampler(host, default_catalog())
+        sample = sampler.sample()
+        assert sampler.trace[-1].time == 7.0
+        assert sample["compliance"] == 1.0
+
+    def test_stalled_clock_still_yields_monotone_trace(self):
+        host = hardened_ubuntu_host()
+        sampler = HostSampler(host, default_catalog())
+        sampler.sample()
+        sampler.sample()   # clock did not advance between samples
+        first, second = sampler.trace[0].time, sampler.trace[1].time
+        assert second > first
+
+    def test_windows_host_samples_windows_findings_only(self):
+        from repro.environment import hardened_windows_host
+
+        host = hardened_windows_host()
+        catalog = default_catalog()
+        values = HostSampler(host, catalog).sample()
+        expected = {signal_name(fid)
+                    for fid in catalog.finding_ids("windows")}
+        assert set(values) == expected | {"compliance"}

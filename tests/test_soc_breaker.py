@@ -1,0 +1,72 @@
+"""Unit tests for the per-finding circuit breaker."""
+
+from repro.soc.breaker import BreakerState, CircuitBreaker
+
+
+class TestClosedState:
+    def test_allows_while_closed(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # streak broken
+
+
+class TestTripping:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_open_skips_and_counts(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=2)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.skipped == 1
+
+
+class TestRecovery:
+    def _tripped(self, cooldown=2):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=cooldown)
+        breaker.record_failure()
+        return breaker
+
+    def test_half_open_after_cooldown(self):
+        breaker = self._tripped(cooldown=2)
+        assert not breaker.allow()
+        assert not breaker.allow()   # cooldown absorbed
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()       # the trial request
+
+    def test_trial_success_closes(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.allow()              # absorbs cooldown -> HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trial_failure_reopens(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.allow()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)

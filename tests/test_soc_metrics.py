@@ -1,0 +1,96 @@
+"""Unit tests for the SOC metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.soc.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram(buckets=(1, 5, 10))
+        for value in (0, 1, 3, 7, 100):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 111
+        assert snap["min"] == 0
+        assert snap["max"] == 100
+        assert snap["buckets"] == {
+            "le_1": 2, "le_5": 3, "le_10": 4, "le_inf": 5}
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["min"] is None
+
+    def test_mean(self):
+        histogram = Histogram()
+        histogram.observe(2)
+        histogram.observe(4)
+        assert histogram.mean == 3.0
+
+
+class TestMetricsRegistry:
+    def test_same_name_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("lag").observe(2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"events": 3}
+        assert snap["gauges"] == {"depth": 7}
+        assert snap["histograms"]["lag"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_snapshot_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zulu").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()["counters"]) == ["alpha", "zulu"]

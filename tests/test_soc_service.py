@@ -1,0 +1,276 @@
+"""End-to-end tests for the SOC service: lifecycle, determinism,
+backpressure, and fleet integration."""
+
+import threading
+
+from repro.core.fleet import Fleet
+from repro.environment import hardened_ubuntu_host, hardened_windows_host
+from repro.ltl.monitor import LtlMonitor
+from repro.ltl.parser import parse_ltl
+from repro.rqcode import default_catalog
+from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus, EnforcementStatus
+from repro.soc import Backpressure, SocService, render_report
+
+
+DRIFT_PACKAGES = ("nis", "rsh-server", "telnetd")
+
+
+def build_fleet(ubuntu=4, windows=1):
+    fleet = Fleet("soc-test", default_catalog())
+    for index in range(ubuntu):
+        fleet.add(hardened_ubuntu_host(f"web-{index:02d}"))
+    for index in range(windows):
+        fleet.add(hardened_windows_host(f"console-{index:02d}"))
+    return fleet
+
+
+def inject_drift(fleet, rounds=1, service=None):
+    """Deterministic drift storm; returns the number of injections.
+
+    When *service* is given the SOC is drained after every round:
+    hosts within a round still race across shards, but a host is never
+    re-drifted while its own repair is in flight, which pins every
+    event timestamp (and so the whole incident set) to the scenario.
+    """
+    injected = 0
+    for round_index in range(rounds):
+        for host in fleet.hosts():
+            if host.os_family == "windows":
+                host.drift_audit_policy("Logon")
+            else:
+                host.drift_install_package(
+                    DRIFT_PACKAGES[(round_index + injected)
+                                   % len(DRIFT_PACKAGES)])
+            injected += 1
+        if service is not None:
+            service.drain()
+    return injected
+
+
+class TestFleetProtection:
+    def test_drift_storm_is_repaired_across_the_fleet(self):
+        fleet = build_fleet(ubuntu=4, windows=1)
+        service = fleet.arm_soc(shards=4, seed=1)
+        try:
+            injected = inject_drift(fleet, rounds=2, service=service)
+        finally:
+            service.stop()
+        assert service.effective_repairs() >= injected
+        assert fleet.audit().worst_ratio == 1.0
+        for host in fleet.hosts("ubuntu"):
+            for package in DRIFT_PACKAGES:
+                assert not host.dpkg.is_installed(package)
+
+    def test_metrics_account_for_every_event(self):
+        fleet = build_fleet(ubuntu=3, windows=0)
+        service = fleet.arm_soc(shards=2)
+        try:
+            injected = inject_drift(fleet)
+            service.drain()
+        finally:
+            service.stop()
+        counters = service.metrics_snapshot()["counters"]
+        # Each ubuntu drift emits two events: package.installed from
+        # dpkg plus the drift.package marker.
+        emitted = 2 * injected
+        assert counters["soc.events.ingested"] == emitted
+        assert counters["soc.events.dropped"] == 0
+        assert counters["soc.events.rejected"] == 0
+        # Repairs emit events back into the logs; all suppressed.
+        assert counters["soc.events.suppressed"] > 0
+        processed = sum(counters[f"soc.shard.{i}.processed"]
+                        for i in range(2))
+        assert processed == emitted
+        assert counters["soc.incidents"] == len(service.incidents())
+
+    def test_incidents_by_host_partition_matches_placement(self):
+        fleet = build_fleet(ubuntu=3, windows=1)
+        service = fleet.arm_soc(shards=2)
+        try:
+            inject_drift(fleet)
+            service.drain()
+        finally:
+            service.stop()
+        by_host = service.incidents_by_host()
+        assert set(by_host) == {host.name for host in fleet.hosts()}
+        assert sum(len(v) for v in by_host.values()) == \
+            len(service.incidents())
+        assert set(service.placement().values()) <= {0, 1}
+
+    def test_report_renders(self):
+        fleet = build_fleet(ubuntu=2, windows=0)
+        service = fleet.arm_soc(shards=2)
+        try:
+            inject_drift(fleet)
+            service.drain()
+        finally:
+            service.stop()
+        report = render_report(service, title="test run")
+        assert "=== test run ===" in report
+        assert "events_ingested" in report
+        assert "web-00" in report
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        fleet = build_fleet(ubuntu=5, windows=2)
+        service = fleet.arm_soc(shards=4, seed=seed)
+        try:
+            inject_drift(fleet, rounds=3, service=service)
+        finally:
+            service.stop()
+        signature = [
+            (incident.detected_at, incident.req_id,
+             incident.trigger_kind,
+             tuple((r.finding_id, r.status.value, r.detail)
+                   for r in incident.repairs))
+            for incident in service.incidents()
+        ]
+        return signature, service.metrics_snapshot()["counters"]
+
+    def test_same_scenario_and_seed_same_incidents_and_counts(self):
+        first_incidents, first_counters = self._run(seed=42)
+        second_incidents, second_counters = self._run(seed=42)
+        assert first_incidents == second_incidents
+        assert first_counters == second_counters
+
+
+class GatedRequirement:
+    """Test finding whose enforcement blocks until released."""
+
+    entered = None   # type: threading.Event
+    release = None   # type: threading.Event
+
+    def __init__(self, host):
+        self.host = host
+
+    def check(self):
+        if self.release is not None and self.release.is_set():
+            return CheckStatus.PASS
+        return CheckStatus.FAIL
+
+    def enforce(self):
+        type(self).entered.set()
+        type(self).release.wait(timeout=5.0)
+        return EnforcementStatus.SUCCESS
+
+
+def gated_service(policy, capacity=1):
+    """One host, one shard, one gated finding: lets tests hold the
+    worker mid-repair so the queue fills deterministically."""
+
+    class V_GATE(GatedRequirement):
+        entered = threading.Event()
+        release = threading.Event()
+
+    catalog = StigCatalog()
+    catalog.register(V_GATE, "ubuntu")
+    host = hardened_ubuntu_host("gated-host")
+    plans = {host.name: ({"R/drift": LtlMonitor(parse_ltl("G !drift"))},
+                         {"R/drift": ["V-GATE"]})}
+    service = SocService([host], catalog, plans, shards=1,
+                         queue_capacity=capacity, policy=policy,
+                         sleeper=lambda _s: None).start()
+    return service, host, V_GATE
+
+
+class TestBackpressure:
+    def test_block_policy_loses_nothing(self):
+        service, host, gate = gated_service(Backpressure.BLOCK)
+        host.events.emit("drift.config")        # worker picks this up
+        assert gate.entered.wait(2.0)           # worker now held
+        host.events.emit("drift.config")        # fills the queue
+        emitted = threading.Event()
+
+        def emitter():
+            host.events.emit("drift.config")    # must block: queue full
+            emitted.set()
+
+        thread = threading.Thread(target=emitter, daemon=True)
+        thread.start()
+        assert not emitted.wait(0.05)
+        gate.release.set()                      # un-hold the worker
+        assert emitted.wait(2.0)
+        thread.join(2.0)
+        service.drain()
+        service.stop()
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["soc.events.ingested"] == 3
+        assert counters["soc.events.dropped"] == 0
+        assert counters["soc.events.rejected"] == 0
+        assert len(service.incidents()) == 3
+
+    def test_drop_oldest_policy_keeps_freshest(self):
+        service, host, gate = gated_service(Backpressure.DROP_OLDEST)
+        host.events.emit("drift.config")
+        assert gate.entered.wait(2.0)
+        host.events.emit("drift.config")        # queued (time 1)
+        host.events.emit("drift.config")        # displaces time 1
+        host.events.emit("drift.config")        # displaces time 2
+        gate.release.set()
+        service.drain()
+        service.stop()
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["soc.events.dropped"] == 2
+        # Time 0 (in flight) and time 3 (freshest) were processed.
+        assert [i.detected_at for i in service.incidents()] == [0, 3]
+
+    def test_reject_policy_keeps_backlog(self):
+        service, host, gate = gated_service(Backpressure.REJECT)
+        host.events.emit("drift.config")
+        assert gate.entered.wait(2.0)
+        host.events.emit("drift.config")        # queued (time 1)
+        host.events.emit("drift.config")        # rejected
+        host.events.emit("drift.config")        # rejected
+        gate.release.set()
+        service.drain()
+        service.stop()
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["soc.events.rejected"] == 2
+        assert counters["soc.events.ingested"] == 2
+        # Time 0 (in flight) and time 1 (accepted backlog) processed.
+        assert [i.detected_at for i in service.incidents()] == [0, 1]
+
+
+class TestLifecycle:
+    def test_stop_detaches_ingress(self):
+        fleet = build_fleet(ubuntu=2, windows=0)
+        service = fleet.arm_soc(shards=2)
+        service.stop()
+        host = fleet.hosts()[0]
+        assert host.events.subscriber_count == 0
+        host.events.emit("drift.package")       # must not raise
+        counters = service.metrics_snapshot()["counters"]
+        assert counters.get("soc.events.ingested", 0) == 0
+
+    def test_stop_is_idempotent_and_start_after_init_is(self):
+        fleet = build_fleet(ubuntu=1, windows=0)
+        service = fleet.arm_soc(shards=1)
+        assert service.running
+        assert service.start() is service       # idempotent
+        service.stop()
+        service.stop()                          # second stop is a no-op
+        assert not service.running
+
+    def test_context_manager(self):
+        fleet = build_fleet(ubuntu=2, windows=0)
+        with SocService.for_fleet(fleet, shards=2) as service:
+            inject_drift(fleet)
+            service.drain()
+            assert service.running
+        assert not service.running
+        assert fleet.audit().worst_ratio == 1.0
+
+    def test_policy_accepts_plain_string_values(self):
+        fleet = build_fleet(ubuntu=1, windows=0)
+        service = fleet.arm_soc(shards=1, policy="drop-oldest")
+        service.stop()
+        assert service.queues[0].policy is Backpressure.DROP_OLDEST
+
+    def test_missing_plan_is_rejected(self):
+        import pytest
+
+        host = hardened_ubuntu_host("planless")
+        with pytest.raises(ValueError):
+            SocService([host], default_catalog(), plans={})

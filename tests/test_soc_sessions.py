@@ -1,0 +1,101 @@
+"""Unit tests for per-host monitor sessions and their sound routing."""
+
+from repro.environment.events import Event
+from repro.environment.host import SimulatedHost
+from repro.ltl.monitor import LtlMonitor, Verdict
+from repro.ltl.parser import parse_ltl
+from repro.soc.sessions import MonitorSession, formula_atoms
+
+
+def make_session(formulas, bindings=None):
+    host = SimulatedHost("s-host", "ubuntu")
+    monitors = {req_id: LtlMonitor(parse_ltl(text))
+                for req_id, text in formulas.items()}
+    return host, MonitorSession(host, monitors, bindings or {})
+
+
+def event(time, kind):
+    return Event(time=time, kind=kind)
+
+
+class TestFormulaAtoms:
+    def test_collects_all_atoms(self):
+        formula = parse_ltl("G (a -> (b U c))")
+        assert formula_atoms(formula) == {"a", "b", "c"}
+
+    def test_constants_have_no_atoms(self):
+        assert formula_atoms(parse_ltl("true")) == set()
+
+
+class TestSelectiveRouting:
+    def test_benign_event_skips_stable_monitors(self):
+        _, session = make_session({"R1/drift": "G !drift.package"})
+        session.observe(event(0, "app.heartbeat"))
+        assert session.monitors_stepped == 0
+        assert session.events_seen == 1
+
+    def test_matching_event_reaches_the_monitor(self):
+        _, session = make_session({"R1/drift": "G !drift.package"})
+        detections = session.observe(event(0, "drift.package"))
+        assert [d.req_id for d in detections] == ["R1/drift"]
+
+    def test_prefix_proposition_reaches_coarse_monitor(self):
+        # ``G !drift`` must trip on the nested kind drift.config.
+        _, session = make_session({"R1/drift": "G !drift"})
+        detections = session.observe(event(0, "drift.config"))
+        assert len(detections) == 1
+
+    def test_tripped_monitor_is_rearmed(self):
+        _, session = make_session({"R1/drift": "G !drift.package"})
+        session.observe(event(0, "drift.package"))
+        assert session.monitors[
+            "R1/drift"].verdict is Verdict.INCONCLUSIVE
+        detections = session.observe(event(1, "drift.package"))
+        assert len(detections) == 1  # detects again after re-arm
+
+
+class TestRoutingSoundness:
+    """Selective routing must agree with running every monitor on
+    every event — including formulas whose obligation becomes
+    empty-step-sensitive mid-trace."""
+
+    def test_next_obligation_sees_unrelated_event(self):
+        # G(a -> X b): after an ``a`` event the obligation demands b at
+        # the very next step; an unrelated event must falsify it even
+        # though it mentions neither a nor b.
+        _, session = make_session({"R": "G (a -> X b)"})
+        assert session.observe(event(0, "a")) == []
+        detections = session.observe(event(1, "unrelated"))
+        assert [d.req_id for d in detections] == ["R"]
+
+    def test_agrees_with_unindexed_monitor_on_mixed_trace(self):
+        trace = ["a", "noise", "b", "drift.package", "noise", "a", "b"]
+        reference = LtlMonitor(parse_ltl("G (a -> X b)"))
+        _, session = make_session({"R": "G (a -> X b)"})
+        for time, kind in enumerate(trace):
+            session_detected = bool(session.observe(event(time, kind)))
+            parts = kind.split(".")
+            step = {".".join(parts[:i + 1]) for i in range(len(parts))}
+            reference_detected = reference.observe(step) is Verdict.FALSE
+            if reference_detected:
+                reference.reset()
+            assert session_detected == reference_detected, kind
+
+    def test_eventually_monitor_stays_stable(self):
+        # F x is a fixed point under irrelevant steps: no work, no
+        # verdict, until x arrives.
+        _, session = make_session({"R": "F x"})
+        for time in range(5):
+            assert session.observe(event(time, "noise")) == []
+        assert session.monitors_stepped == 0
+        session.observe(event(5, "x"))
+        assert session.monitors["R"].verdict is Verdict.TRUE
+
+
+class TestBindings:
+    def test_bindings_are_copied_per_session(self):
+        host = SimulatedHost("b-host", "ubuntu")
+        bindings = {"R": ["V-1"]}
+        session = MonitorSession(host, {}, bindings)
+        bindings["R"].append("V-2")
+        assert session.bindings == {"R": ["V-1"]}
