@@ -2,22 +2,42 @@
 
 Headline benches dump a small JSON document at the repository root
 (``BENCH_<name>.json``) so CI — and the next session — can diff
-performance numbers without scraping pytest output.
+performance numbers without scraping pytest output.  Every document is
+stamped with the git commit it was produced from, so the perf
+trajectory stays traceable across PRs.
 """
 
 import json
 import platform
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+_COMMIT = None
+
+
+def git_commit() -> str:
+    """The repo's HEAD commit hash, or ``unknown`` outside a checkout."""
+    global _COMMIT
+    if _COMMIT is None:
+        try:
+            _COMMIT = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.CalledProcessError):
+            _COMMIT = "unknown"
+    return _COMMIT
+
 
 def write_bench_json(name: str, payload: Dict[str, object]) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root and return its path."""
     document = {
         "bench": name,
+        "commit": git_commit(),
         "python": sys.version.split()[0],
         "machine": platform.machine(),
     }

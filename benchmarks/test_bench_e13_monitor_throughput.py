@@ -1,0 +1,191 @@
+"""E13 — compiled monitor stepping vs formula progression.
+
+The SOC's fleet win (E12) came from *skipping* monitors; this bench
+measures making the unskippable steps cheap.  `LtlMonitor` rewrites its
+obligation tree on every event; `CompiledMonitor` memoizes progression
+behind a shared per-formula transition table, so a warmed step is one
+set intersection plus one dict probe.
+
+Workloads sweep formula families (absence drift detector, response,
+next-chain, precedence, and a conjunction of patterns) and noise ratios
+(fraction of events carrying none of the formula's atoms — operational
+streams are noise-heavy).  The headline *steady-state* row arms one
+monitor per family — a miniature host monitor bank — and drives the
+noise=0.9 stream through all of them per event, tables pre-warmed; this
+is the regime the SOC sits in after the first few seconds of traffic.
+
+Monitors that trip FALSE are reset and re-armed inline, exactly as the
+protection loop does, so the stream never goes dead.  Headline numbers
+land in ``BENCH_ltl.json``.
+
+Expected shape: compiled stepping is >= 5x progression on the warmed
+steady-state workload; the gap widens with formula size and survives
+across noise ratios.
+"""
+
+import random
+import time
+
+from repro.ltl import CompiledMonitor, LtlMonitor, Verdict, parse_ltl
+from repro.ltl.compile import transition_table
+
+from bench_utils import write_bench_json
+from conftest import print_table
+
+FAMILIES = {
+    "absence": "G !drift.package",
+    "response": "G (auth.request -> F auth.grant)",
+    "next-chain": "G (deploy.start -> X deploy.verify)",
+    "precedence": "(!session.open) W auth.grant",
+    "conjunction": ("G !drift.package & G (auth.request -> F auth.grant) "
+                    "& G (deploy.start -> X deploy.verify) "
+                    "& F audit.enabled"),
+}
+
+#: Event kinds that can appear on the stream (relevant + pure noise).
+RELEVANT = ("drift.package", "auth.request", "auth.grant", "deploy.start",
+            "deploy.verify", "session.open", "audit.enabled")
+NOISE_KINDS = ("app.heartbeat", "net.flow", "cron.tick", "disk.io")
+
+EVENTS = 20000
+NOISE_RATIOS = (0.5, 0.9, 0.99)
+STEADY_STATE_NOISE = 0.9
+REPS = 3  # best-of-N to damp scheduler noise
+SEED = 20210426
+
+
+def make_trace(noise_ratio, events=EVENTS, seed=SEED):
+    """A stream of steps: mostly noise, sprinkled with relevant kinds."""
+    rng = random.Random(seed)
+    trace = []
+    for _ in range(events):
+        if rng.random() < noise_ratio:
+            kind = NOISE_KINDS[rng.randrange(len(NOISE_KINDS))]
+        else:
+            kind = RELEVANT[rng.randrange(len(RELEVANT))]
+        parts = kind.split(".")
+        trace.append(frozenset(
+            ".".join(parts[:i]) for i in range(1, len(parts) + 1)))
+    return trace
+
+
+def drive(monitors, trace):
+    """Step every monitor on every event, re-arming on FALSE — the
+    protection-loop contract.  Returns elapsed seconds."""
+    started = time.perf_counter()
+    for step in trace:
+        for monitor in monitors:
+            if monitor.observe(step) is Verdict.FALSE:
+                monitor.reset()
+    return time.perf_counter() - started
+
+
+def bank(engine):
+    """One armed monitor per formula family."""
+    return [engine(parse_ltl(text)) for text in FAMILIES.values()]
+
+
+def measure(build_monitors, trace, reps=REPS):
+    """Best-of-*reps* monitor-steps per second for a monitor set."""
+    best = min(drive(build_monitors(), trace) for _ in range(reps))
+    stepped = len(trace) * len(build_monitors())
+    return stepped / best, best
+
+
+def test_bench_e13_monitor_stepping_throughput():
+    rows = []
+    families_json = {}
+    for name, text in FAMILIES.items():
+        formula = parse_ltl(text)
+        families_json[name] = {"formula": text, "noise": {}}
+        for noise in NOISE_RATIOS:
+            trace = make_trace(noise)
+            # Warm the shared transition table before timing compiled.
+            CompiledMonitor(formula).observe_many(trace)
+            compiled_tp, _ = measure(
+                lambda: [CompiledMonitor(formula)], trace)
+            progression_tp, _ = measure(
+                lambda: [LtlMonitor(formula)], trace)
+            speedup = compiled_tp / progression_tp
+            families_json[name]["noise"][str(noise)] = {
+                "progression_steps_per_sec": round(progression_tp, 1),
+                "compiled_steps_per_sec": round(compiled_tp, 1),
+                "speedup": round(speedup, 2),
+            }
+            rows.append({
+                "family": name,
+                "noise": noise,
+                "progression/s": f"{progression_tp:,.0f}",
+                "compiled/s": f"{compiled_tp:,.0f}",
+                "speedup": f"{speedup:.2f}x",
+            })
+        table = transition_table(formula)
+        families_json[name]["table"] = {
+            "transitions": len(table),
+            "misses": table.misses,
+        }
+    print_table(
+        f"E13 per-family monitor stepping ({EVENTS:,} events)", rows)
+
+    # Steady-state workload: the full family bank over the noise-heavy
+    # stream, tables warmed — the SOC's post-warmup regime.
+    trace = make_trace(STEADY_STATE_NOISE)
+    for monitor in bank(CompiledMonitor):
+        monitor.observe_many(trace)          # warm every shared table
+    compiled_tp, compiled_s = measure(lambda: bank(CompiledMonitor), trace)
+    progression_tp, progression_s = measure(lambda: bank(LtlMonitor), trace)
+    steady_speedup = compiled_tp / progression_tp
+    print_table("E13 steady-state bank (5 monitors, noise=0.9, warmed)", [{
+        "engine": "progression",
+        "monitor-steps/s": f"{progression_tp:,.0f}",
+        "seconds": f"{progression_s:.4f}",
+    }, {
+        "engine": "compiled",
+        "monitor-steps/s": f"{compiled_tp:,.0f}",
+        "seconds": f"{compiled_s:.4f}",
+    }, {
+        "engine": "speedup",
+        "monitor-steps/s": f"{steady_speedup:.2f}x",
+        "seconds": "-",
+    }])
+
+    path = write_bench_json("ltl", {
+        "scenario": {
+            "events": EVENTS,
+            "noise_ratios": list(NOISE_RATIOS),
+            "families": list(FAMILIES),
+            "reps": REPS,
+        },
+        "families": families_json,
+        "steady_state": {
+            "noise": STEADY_STATE_NOISE,
+            "monitors": len(FAMILIES),
+            "progression_steps_per_sec": round(progression_tp, 1),
+            "compiled_steps_per_sec": round(compiled_tp, 1),
+            "speedup": round(steady_speedup, 2),
+        },
+    })
+    print(f"wrote {path}")
+
+    # Acceptance bar: warmed compiled stepping is >= 5x progression on
+    # the steady-state workload.
+    assert steady_speedup >= 5.0, (
+        f"compiled engine only {steady_speedup:.2f}x progression")
+
+
+def test_bench_e13_verdict_parity_on_bench_traces():
+    """The timed workloads themselves are verdict-checked: both engines
+    must produce identical trip sequences on every bench trace."""
+    for noise in NOISE_RATIOS:
+        trace = make_trace(noise, events=2000)
+        for text in FAMILIES.values():
+            formula = parse_ltl(text)
+            compiled = CompiledMonitor(formula)
+            reference = LtlMonitor(formula)
+            for step in trace:
+                cv = compiled.observe(step)
+                rv = reference.observe(step)
+                assert cv is rv
+                if cv is Verdict.FALSE:
+                    compiled.reset()
+                    reference.reset()

@@ -24,6 +24,7 @@ from repro.core.repository import (
     RequirementRepository,
     RequirementStatus,
 )
+from repro.ltl.compile import CompiledMonitor
 from repro.ltl.monitor import LtlMonitor
 from repro.ltl.parser import parse_ltl
 from repro.nalabs.analyzer import NalabsAnalyzer, RequirementText
@@ -243,7 +244,8 @@ class MonitoringGate(SecurityGate):
             if not record.ltl:
                 continue
             try:
-                monitors[record.req_id] = LtlMonitor(parse_ltl(record.ltl))
+                monitors[record.req_id] = CompiledMonitor(
+                    parse_ltl(record.ltl))
             except Exception:  # noqa: BLE001 - collect, report below
                 broken.append(record.req_id)
         context.put("monitors", monitors)

@@ -38,6 +38,7 @@ from repro.core.repository import (
     RequirementSource,
 )
 from repro.environment.host import SimulatedHost
+from repro.ltl.compile import CompiledMonitor
 from repro.ltl.monitor import LtlMonitor
 from repro.ltl.parser import parse_ltl
 from repro.resa.boilerplates import BoilerplateMatchError, match_boilerplate
@@ -321,7 +322,7 @@ class VeriDevOpsOrchestrator:
                 continue
             drift_id = f"{record.req_id}/drift"
             atom = self._drift_atom(applicable)
-            monitors[drift_id] = LtlMonitor(parse_ltl(f"G !{atom}"))
+            monitors[drift_id] = CompiledMonitor(parse_ltl(f"G !{atom}"))
             bindings[drift_id] = applicable
         return monitors, bindings
 

@@ -15,11 +15,12 @@ between the violation and its detection — the E2 metric.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.environment.events import Event
 from repro.environment.host import SimulatedHost
-from repro.ltl.monitor import LtlMonitor, Verdict
+from repro.ltl.compile import step_monitors
+from repro.ltl.monitor import LtlMonitor
 from repro.rqcode.catalog import StigCatalog
 from repro.rqcode.concepts import CheckStatus, EnforcementStatus
 
@@ -61,14 +62,35 @@ class Incident:
         )
 
 
+#: kind -> its proposition list / step, computed once per event kind.
+_PROPOSITIONS: Dict[str, List[str]] = {}
+_STEPS: Dict[str, FrozenSet[str]] = {}
+
+
 def event_propositions(event: Event) -> List[str]:
     """Propositions an event contributes to a monitoring step.
 
     The full kind plus every dotted prefix, so ``drift.audit`` satisfies
-    atoms ``drift.audit`` and ``drift``.
+    atoms ``drift.audit`` and ``drift``.  Memoized per kind (event kinds
+    form a small closed vocabulary); treat the result as read-only.
     """
-    parts = event.kind.split(".")
-    return [".".join(parts[:i]) for i in range(1, len(parts) + 1)]
+    propositions = _PROPOSITIONS.get(event.kind)
+    if propositions is None:
+        parts = event.kind.split(".")
+        propositions = [".".join(parts[:i])
+                        for i in range(1, len(parts) + 1)]
+        _PROPOSITIONS[event.kind] = propositions
+    return propositions
+
+
+def event_step(event: Event) -> FrozenSet[str]:
+    """The event's propositions as a monitoring step, memoized per kind
+    so the hot paths never rebuild the frozenset."""
+    step = _STEPS.get(event.kind)
+    if step is None:
+        step = frozenset(event_propositions(event))
+        _STEPS[event.kind] = step
+    return step
 
 
 class ProtectionLoop:
@@ -103,13 +125,14 @@ class ProtectionLoop:
     # -- detection ----------------------------------------------------------------
 
     def _on_event(self, event: Event) -> None:
-        step = set(event_propositions(event))
-        for req_id, monitor in list(self.monitors.items()):
-            verdict = monitor.observe(step)
-            if verdict is Verdict.FALSE:
-                self._respond(req_id, event)
-                monitor.reset()
-                self._armed_since[req_id] = event.time + 1
+        # Batch stepping: the step is normalized once and fed to every
+        # armed monitor; responses run after the sweep (equivalent —
+        # the loop is detached during enforcement either way, so later
+        # monitors never see repair events mid-sweep).
+        for req_id in step_monitors(self.monitors, event_step(event)):
+            self._respond(req_id, event)
+            self.monitors[req_id].reset()
+            self._armed_since[req_id] = event.time + 1
 
     def _respond(self, req_id: str, event: Event) -> None:
         incident = Incident(

@@ -11,8 +11,19 @@ experiment E2).
 * :mod:`repro.ltl.monitor` — progression-based impartial monitor with
   TRUE / FALSE / INCONCLUSIVE verdicts, plus exact LTLf evaluation on
   completed traces.
+* :mod:`repro.ltl.compile` — the compiled engine: hash-consed
+  obligations, shared per-formula transition tables, and
+  :class:`CompiledMonitor`, whose warmed ``observe()`` is a dict
+  lookup instead of a recursive rewrite.
 """
 
+from repro.ltl.compile import (
+    CompiledMonitor,
+    TransitionTable,
+    empty_step_stable,
+    step_monitors,
+    transition_table,
+)
 from repro.ltl.formulas import (
     And,
     Atom,
@@ -35,6 +46,7 @@ from repro.ltl.parser import LtlParseError, parse_ltl
 __all__ = [
     "And",
     "Atom",
+    "CompiledMonitor",
     "Eventually",
     "FALSE",
     "Formula",
@@ -47,9 +59,13 @@ __all__ = [
     "Or",
     "Release",
     "TRUE",
+    "TransitionTable",
     "Until",
     "Verdict",
     "WeakUntil",
+    "empty_step_stable",
     "evaluate_ltlf",
     "parse_ltl",
+    "step_monitors",
+    "transition_table",
 ]

@@ -1,36 +1,87 @@
-"""LTL formula AST.
+"""LTL formula AST with hash-consing (interning).
 
-Formulas are immutable and hash-consed by value (frozen dataclasses), so
-progression-based monitoring can fold constants and detect fixpoints by
-equality.  Smart constructors (:func:`land`, :func:`lor`, :func:`lnot`)
-perform the constant folding; the class constructors build raw nodes.
+Every node is **interned**: constructing a node whose field values match
+an already-built node returns the canonical instance, so structural
+equality *is* object identity (``==`` degenerates to ``is``) and hashing
+is the O(1) identity hash.  That makes obligations produced by formula
+progression cheap to compare, deduplicate, and memoize — the substrate
+the compiled monitor (:mod:`repro.ltl.compile`) builds its transition
+tables on.
 
-Temporal operators follow the usual abbreviations: ``X`` next, ``U``
-until (strong), ``W`` weak until, ``R`` release, ``F`` eventually,
-``G`` globally.
+Interning also lets each node carry its derived data exactly once:
+:meth:`Formula.atoms` is computed at construction (children are already
+interned, so it is a union of cached child sets) and returned from a
+cache thereafter.
+
+Smart constructors (:func:`land`, :func:`lor`, :func:`lnot`,
+:func:`implies`) perform constant folding; the class constructors build
+raw (but still interned) nodes.  Temporal operators follow the usual
+abbreviations: ``X`` next, ``U`` until (strong), ``W`` weak until,
+``R`` release, ``F`` eventually, ``G`` globally.
 """
 
 from dataclasses import dataclass
 from typing import FrozenSet, Tuple, Union
 
+_NO_ATOMS: FrozenSet[str] = frozenset()
 
-class Formula:
-    """Base class; all nodes render to the parser's concrete syntax."""
+
+class _InternMeta(type):
+    """Hash-consing metaclass for formula nodes.
+
+    Each concrete node class owns a construction cache keyed by its
+    field values; instantiating the class first consults the cache.
+    ``setdefault`` keeps the canonical-instance invariant even when two
+    threads race to build the same node (SOC workers progress monitors
+    concurrently).
+    """
+
+    def __new__(mcls, name, bases, namespace, **kwargs):
+        cls = super().__new__(mcls, name, bases, namespace, **kwargs)
+        cls._intern = {}
+        return cls
+
+    def __call__(cls, *args, **kwargs):
+        if kwargs:  # normalize keyword construction onto field order
+            args = args + tuple(kwargs[name]
+                                for name in cls.__match_args__[len(args):])
+        node = cls._intern.get(args)
+        if node is None:
+            fresh = super().__call__(*args)
+            object.__setattr__(fresh, "_atoms", fresh._compute_atoms())
+            node = cls._intern.setdefault(args, fresh)
+        return node
+
+
+class Formula(metaclass=_InternMeta):
+    """Base class; all nodes render to the parser's concrete syntax.
+
+    Nodes are interned (see :class:`_InternMeta`), immutable, and carry
+    their atom set in ``_atoms`` from the moment of construction.
+    """
+
+    _atoms: FrozenSet[str] = _NO_ATOMS
 
     def atoms(self) -> FrozenSet[str]:
-        """The atomic proposition names appearing in the formula."""
-        names = set()
-        stack = [self]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, Atom):
-                names.add(node.name)
-            for child in getattr(node, "_children", lambda: ())():
-                stack.append(child)
-        return frozenset(names)
+        """The atomic proposition names appearing in the formula.
+
+        Computed once per interned node at construction; this accessor
+        is an attribute read.
+        """
+        return self._atoms
+
+    def _compute_atoms(self) -> FrozenSet[str]:
+        atoms = _NO_ATOMS
+        for child in self._children():
+            atoms = atoms | child._atoms
+        return atoms
 
     def _children(self) -> Tuple["Formula", ...]:
         return ()
+
+    # Interning makes structural equality coincide with identity; the
+    # inherited object ``__eq__``/``__hash__`` are exactly right (and
+    # O(1)), so the dataclasses below are declared with ``eq=False``.
 
     # Operator sugar, so tests can write ``p >> q`` style combinations.
 
@@ -47,7 +98,7 @@ class Formula:
         return implies(self, other)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class _Constant(Formula):
     value: bool
 
@@ -59,18 +110,21 @@ TRUE = _Constant(True)
 FALSE = _Constant(False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Atom(Formula):
     """Atomic proposition, true on a step when its name is in the step's
     proposition set."""
 
     name: str
 
+    def _compute_atoms(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Not(Formula):
     operand: Formula
 
@@ -81,7 +135,7 @@ class Not(Formula):
         return f"!({self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class And(Formula):
     left: Formula
     right: Formula
@@ -93,7 +147,7 @@ class And(Formula):
         return f"({self.left} & {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Or(Formula):
     left: Formula
     right: Formula
@@ -105,7 +159,7 @@ class Or(Formula):
         return f"({self.left} | {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Implies(Formula):
     left: Formula
     right: Formula
@@ -117,7 +171,7 @@ class Implies(Formula):
         return f"({self.left} -> {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Next(Formula):
     operand: Formula
 
@@ -128,7 +182,7 @@ class Next(Formula):
         return f"X ({self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Until(Formula):
     left: Formula
     right: Formula
@@ -140,7 +194,7 @@ class Until(Formula):
         return f"({self.left} U {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class WeakUntil(Formula):
     left: Formula
     right: Formula
@@ -152,7 +206,7 @@ class WeakUntil(Formula):
         return f"({self.left} W {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Release(Formula):
     left: Formula
     right: Formula
@@ -164,7 +218,7 @@ class Release(Formula):
         return f"({self.left} R {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Eventually(Formula):
     operand: Formula
 
@@ -175,7 +229,7 @@ class Eventually(Formula):
         return f"F ({self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Globally(Formula):
     operand: Formula
 
@@ -207,7 +261,7 @@ def land(left: Formula, right: Formula) -> Formula:
         return right
     if right is TRUE:
         return left
-    if left == right:
+    if left is right:
         return left
     return And(left, right)
 
@@ -220,7 +274,7 @@ def lor(left: Formula, right: Formula) -> Formula:
         return right
     if right is FALSE:
         return left
-    if left == right:
+    if left is right:
         return left
     return Or(left, right)
 
@@ -242,4 +296,6 @@ Step = Union[FrozenSet[str], set]
 
 def as_step(propositions) -> FrozenSet[str]:
     """Normalize any iterable of proposition names into a step."""
+    if type(propositions) is frozenset:
+        return propositions
     return frozenset(propositions)

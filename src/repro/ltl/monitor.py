@@ -123,6 +123,12 @@ class LtlMonitor:
                 break
         return self.verdict
 
+    def observe_many(self, steps: Sequence[Iterable[str]]) -> Verdict:
+        """Batch form of :meth:`observe` (same early-stop contract as
+        :meth:`observe_trace`); the compiled engine overrides this with
+        a tighter loop."""
+        return self.observe_trace(steps)
+
     def reset(self) -> None:
         self.obligation = self.formula
         self.steps_observed = 0

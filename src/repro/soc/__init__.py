@@ -28,7 +28,7 @@ from repro.soc.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.soc.queues import Backpressure, PutResult, QueueClosed, ShardQueue
 from repro.soc.report import render_report
 from repro.soc.service import SocService, arm_soc
-from repro.soc.sessions import Detection, MonitorSession, formula_atoms
+from repro.soc.sessions import Detection, MonitorSession
 from repro.soc.sharding import HashRing, stable_hash
 from repro.soc.workers import ShardWorker
 
@@ -51,7 +51,6 @@ __all__ = [
     "ShardWorker",
     "SocService",
     "arm_soc",
-    "formula_atoms",
     "render_report",
     "stable_hash",
 ]

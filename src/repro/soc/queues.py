@@ -18,7 +18,7 @@ The queue tracks unfinished work like :class:`queue.Queue` so
 import enum
 import threading
 from collections import deque
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 
 class Backpressure(enum.Enum):
@@ -117,10 +117,34 @@ class ShardQueue:
             self._not_full.notify()
             return item
 
+    def get_batch(self, max_items: int) -> Optional[List[Any]]:
+        """Blocking dequeue of up to *max_items* under one lock round.
+
+        Blocks like :meth:`get` until at least one item is available,
+        then drains whatever is queued (capped at *max_items*) so the
+        worker pays the condition-variable handshake once per batch
+        instead of once per event.  ``None`` once closed and empty.
+        """
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            take = min(max_items, len(self._items))
+            batch = [self._items.popleft() for _ in range(take)]
+            self._not_full.notify(take)
+            return batch
+
     def task_done(self) -> None:
         """Mark one dequeued item fully processed (for :meth:`join`)."""
         with self._lock:
             self._task_done_locked()
+
+    def task_done_many(self, count: int) -> None:
+        """Mark *count* dequeued items processed in one lock round."""
+        with self._lock:
+            for _ in range(count):
+                self._task_done_locked()
 
     def _task_done_locked(self) -> None:
         if self._unfinished <= 0:

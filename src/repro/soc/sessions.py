@@ -9,13 +9,18 @@ react to it.
 
 Routing is sound, not heuristic: a monitor is *skippable* on an event
 iff its current obligation is a fixed point of progression under a step
-containing none of the obligation's atoms (``progress(ob, {}) == ob``).
-Drift detectors (``G !drift.x``) have that property permanently, so a
-benign event touches only the handful of monitors actually watching its
-kind; monitors whose obligation is empty-step-sensitive (``X p`` tails,
+containing none of the obligation's atoms
+(:func:`~repro.ltl.compile.empty_step_stable` — with interned formulas
+the probe is a memoized identity check).  Drift detectors
+(``G !drift.x``) have that property permanently, so a benign event
+touches only the handful of monitors actually watching its kind;
+monitors whose obligation is empty-step-sensitive (``X p`` tails,
 pending ``U`` obligations) are kept on the run-every-event list until
-their obligation stabilises again.  Sessions are single-threaded by
-construction (one host -> one shard -> one worker) and need no locks.
+their obligation stabilises again.  The monitors themselves are
+typically :class:`~repro.ltl.compile.CompiledMonitor`\\ s, so every
+session on the same requirement shares one warmed transition table.
+Sessions are single-threaded by construction (one host -> one shard ->
+one worker) and need no locks.
 """
 
 from dataclasses import dataclass
@@ -23,35 +28,9 @@ from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.environment.events import Event
 from repro.environment.host import SimulatedHost
-from repro.core.protection import event_propositions
-from repro.ltl.formulas import (
-    And,
-    Atom,
-    Eventually,
-    Formula,
-    Globally,
-    Implies,
-    Next,
-    Not,
-    Or,
-    Release,
-    Until,
-    WeakUntil,
-)
-from repro.ltl.monitor import LtlMonitor, Verdict, progress
-
-_EMPTY_STEP = frozenset()
-
-
-def formula_atoms(formula: Formula) -> Set[str]:
-    """All atom names mentioned in *formula*."""
-    if isinstance(formula, Atom):
-        return {formula.name}
-    if isinstance(formula, (Not, Next, Eventually, Globally)):
-        return formula_atoms(formula.operand)
-    if isinstance(formula, (And, Or, Implies, Until, WeakUntil, Release)):
-        return formula_atoms(formula.left) | formula_atoms(formula.right)
-    return set()  # TRUE / FALSE
+from repro.core.protection import event_step
+from repro.ltl.compile import empty_step_stable
+from repro.ltl.monitor import LtlMonitor, Verdict
 
 
 @dataclass(frozen=True)
@@ -89,8 +68,8 @@ class MonitorSession:
         self._always.discard(req_id)
         for watchers in self._watch.values():
             watchers.discard(req_id)
-        if progress(obligation, _EMPTY_STEP) == obligation:
-            for atom in formula_atoms(obligation):
+        if empty_step_stable(obligation):
+            for atom in obligation.atoms():
                 self._watch.setdefault(atom, set()).add(req_id)
         else:
             self._always.add(req_id)
@@ -110,10 +89,9 @@ class MonitorSession:
         is reset and re-armed so the session keeps protecting.
         """
         self.events_seen += 1
-        propositions = event_propositions(event)
-        step = frozenset(propositions)
+        step = event_step(event)
         detections: List[Detection] = []
-        for req_id in sorted(self._relevant(propositions)):
+        for req_id in sorted(self._relevant(step)):
             monitor = self.monitors[req_id]
             before = monitor.obligation
             verdict = monitor.observe(step)
@@ -121,6 +99,8 @@ class MonitorSession:
             if verdict is Verdict.FALSE:
                 detections.append(Detection(req_id=req_id, event=event))
                 monitor.reset()
-            if monitor.obligation != before:
+            # Interning makes obligation change detection an identity
+            # check — no structural comparison.
+            if monitor.obligation is not before:
                 self._classify(req_id)
         return detections

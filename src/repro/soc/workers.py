@@ -18,6 +18,9 @@ from repro.soc.sessions import MonitorSession
 class ShardWorker(threading.Thread):
     """Drains one shard queue: progress monitors, run the pipeline."""
 
+    #: Max events pulled per lock round; also the metrics flush grain.
+    BATCH = 64
+
     def __init__(self, index: int, queue: ShardQueue,
                  sessions: Dict[str, MonitorSession],
                  pipeline: IncidentPipeline,
@@ -37,23 +40,27 @@ class ShardWorker(threading.Thread):
             f"soc.shard.{self.index}.queue_depth")
         lag_histogram = self.metrics.histogram("soc.detection_lag_events")
         while True:
-            item = self.queue.get()
-            if item is None:        # queue closed and fully drained
+            batch = self.queue.get_batch(self.BATCH)
+            if batch is None:       # queue closed and fully drained
                 break
-            host_name, event = item
             try:
-                session = self.sessions[host_name]
-                detections = session.observe(event)
-                for detection in detections:
-                    # Lag: host events emitted between this event and the
-                    # worker getting to it — the price of the queue.
-                    lag_histogram.observe(
-                        max(0, session.host.events.clock - 1 - event.time))
-                    self.pipeline.handle(
-                        session.host, detection,
-                        session.bindings.get(detection.req_id, []))
+                for host_name, event in batch:
+                    session = self.sessions[host_name]
+                    detections = session.observe(event)
+                    for detection in detections:
+                        # Lag: host events emitted between this event and
+                        # the worker getting to it — the queue's price.
+                        lag_histogram.observe(max(
+                            0, session.host.events.clock - 1 - event.time))
+                        self.pipeline.handle(
+                            session.host, detection,
+                            session.bindings.get(detection.req_id, []))
             finally:
-                self.processed += 1
-                processed_counter.inc()
+                # task_done only after processing, so join() stays a
+                # true drain barrier; one lock round per batch.  Every
+                # dequeued item is credited even on an exception — no
+                # other worker can ever finish it.
+                self.processed += len(batch)
+                processed_counter.inc(len(batch))
                 depth_gauge.set(self.queue.depth)
-                self.queue.task_done()
+                self.queue.task_done_many(len(batch))

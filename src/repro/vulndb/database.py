@@ -19,10 +19,17 @@ from repro.vulndb.records import (
 
 
 class VulnerabilityDatabase:
-    """In-memory store with the query surface the generator uses."""
+    """In-memory store with the query surface the generator uses.
+
+    Maintains a product-name inverted index alongside the primary map,
+    so inventory scans touch only the records that mention a product
+    instead of walking the whole corpus per product.
+    """
 
     def __init__(self, records: Iterable[VulnRecord] = ()):
         self._records: Dict[str, VulnRecord] = {}
+        #: product name -> records with an affected range on it.
+        self._by_product: Dict[str, List[VulnRecord]] = {}
         for record in records:
             self.add(record)
 
@@ -38,6 +45,12 @@ class VulnerabilityDatabase:
         if record.cwe_id not in CWE_CATALOG:
             raise ValueError(f"{record.cve_id}: unknown CWE {record.cwe_id}")
         self._records[record.cve_id] = record
+        indexed = set()
+        for affected in record.affected:
+            if affected.product not in indexed:
+                indexed.add(affected.product)
+                self._by_product.setdefault(affected.product,
+                                            []).append(record)
 
     def get(self, cve_id: str) -> VulnRecord:
         return self._records[cve_id]
@@ -45,23 +58,29 @@ class VulnerabilityDatabase:
     def all(self) -> List[VulnRecord]:
         return sorted(self._records.values(), key=lambda r: r.cve_id)
 
+    def for_product(self, product: str) -> List[VulnRecord]:
+        """Records carrying an affected range on *product*, sorted by
+        CVE id — the sub-linear entry point for inventory scans."""
+        return sorted(self._by_product.get(product, ()),
+                      key=lambda r: r.cve_id)
+
     def query(self, product: Optional[str] = None,
               version: Optional[str] = None,
               min_severity: Optional[Severity] = None,
               cwe_category: Optional[str] = None) -> List[VulnRecord]:
-        """Filter records; all criteria are conjunctive."""
+        """Filter records; all criteria are conjunctive.
+
+        A product criterion narrows the candidate set through the
+        inverted index before any per-record work."""
         order = [Severity.LOW, Severity.MEDIUM, Severity.HIGH,
                  Severity.CRITICAL]
+        candidates = self.all() if product is None \
+            else self.for_product(product)
         results = []
-        for record in self.all():
-            if product is not None:
-                probe_version = version if version is not None else "0"
-                if version is None:
-                    # Product-only match: any affected range on it.
-                    if not any(p.product == product for p in record.affected):
-                        continue
-                elif not record.affects(product, probe_version):
-                    continue
+        for record in candidates:
+            if product is not None and version is not None \
+                    and not record.affects(product, version):
+                continue
             if min_severity is not None and \
                     order.index(record.severity) < order.index(min_severity):
                 continue

@@ -149,23 +149,33 @@ class RequirementGenerator:
                  Severity.CRITICAL]
         report = GenerationReport(inventory=inventory,
                                   scanned=len(self.database))
-        best: Dict[Tuple[str, str], Tuple[VulnRecord, str]] = {}
-        for record in self.database.all():
-            if order.index(record.severity) < order.index(self.min_severity):
-                continue
-            for product, version in inventory.products:
+        # The product-name inverted index narrows each inventory entry
+        # to the records that mention it; matches are then replayed in
+        # (cve_id, product) order — exactly the order the full
+        # record-major scan produced — so downstream output (matched
+        # list, tie-breaking in ``best``) is unchanged.
+        floor = order.index(self.min_severity)
+        matches: List[Tuple[str, str, VulnRecord]] = []
+        for product, version in inventory.products:
+            for record in self.database.for_product(product):
+                if order.index(record.severity) < floor:
+                    continue
                 if not record.affects(product, version):
                     continue
-                report.matched.append(record)
-                cwe = record.cwe
-                if cwe is None:
-                    continue
-                key = (product, cwe.category)
-                incumbent = best.get(key)
-                if incumbent is None or \
-                        order.index(record.severity) > \
-                        order.index(incumbent[0].severity):
-                    best[key] = (record, product)
+                matches.append((record.cve_id, product, record))
+        matches.sort(key=lambda match: (match[0], match[1]))
+        best: Dict[Tuple[str, str], Tuple[VulnRecord, str]] = {}
+        for _, product, record in matches:
+            report.matched.append(record)
+            cwe = record.cwe
+            if cwe is None:
+                continue
+            key = (product, cwe.category)
+            incumbent = best.get(key)
+            if incumbent is None or \
+                    order.index(record.severity) > \
+                    order.index(incumbent[0].severity):
+                best[key] = (record, product)
         for index, ((product, category), (record, _)) in enumerate(
                 sorted(best.items()), start=1):
             family, binding, template = _CATEGORY_MAPPING[category]

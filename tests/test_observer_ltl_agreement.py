@@ -5,11 +5,21 @@ exactly that sequence and then idles.  The zone-graph verdict of the
 composed observer must equal the LTLf verdict of the pattern's mapped
 formula on the same sequence — two independently implemented semantics
 (DBM zone exploration vs finite-trace evaluation) checking each other.
+
+The runtime monitors ride the same suite: the compiled engine must be
+pointwise identical to progression on every pattern trace, and a
+concluded monitor verdict must agree with the exact LTLf verdict —
+three monitoring semantics cross-checked per example.
 """
 
 from hypothesis import given, settings, strategies as st
 
-from repro.ltl import evaluate_ltlf
+from repro.ltl import (
+    CompiledMonitor,
+    LtlMonitor,
+    Verdict,
+    evaluate_ltlf,
+)
 from repro.specpatterns import (
     Absence,
     AfterQ,
@@ -86,3 +96,30 @@ def test_observer_agrees_with_ltlf(case_index, actions):
     pattern, scope = CASES[case_index]
     assert observer_verdict(pattern, scope, actions) == \
         ltlf_verdict(pattern, scope, actions), (pattern, scope, actions)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    case_index=st.integers(min_value=0, max_value=len(CASES) - 1),
+    actions=st.lists(st.sampled_from(ALPHABET), min_size=0, max_size=6),
+)
+def test_compiled_agrees_with_progression_and_ltlf(case_index, actions):
+    """Compiled verdicts == progression verdicts == exact LTLf on the
+    cross-validation suite (monitors are impartial, so LTLf agreement
+    is checked where the prefix verdict concluded; padding steps stand
+    in for "any extension")."""
+    pattern, scope = CASES[case_index]
+    formula = to_ltl(pattern, scope)
+    trace = [frozenset({action}) for action in actions]
+    compiled = CompiledMonitor(formula)
+    reference = LtlMonitor(formula)
+    for step in trace:
+        assert compiled.observe(step) is reference.observe(step)
+        assert compiled.obligation is reference.obligation
+    verdict = compiled.verdict
+    assert verdict is reference.verdict
+    padding = [frozenset()] * 3
+    if verdict is Verdict.TRUE:
+        assert evaluate_ltlf(formula, trace + padding)
+    elif verdict is Verdict.FALSE:
+        assert not evaluate_ltlf(formula, trace + padding)

@@ -4,7 +4,7 @@ from repro.environment.events import Event
 from repro.environment.host import SimulatedHost
 from repro.ltl.monitor import LtlMonitor, Verdict
 from repro.ltl.parser import parse_ltl
-from repro.soc.sessions import MonitorSession, formula_atoms
+from repro.soc.sessions import MonitorSession
 
 
 def make_session(formulas, bindings=None):
@@ -19,12 +19,20 @@ def event(time, kind):
 
 
 class TestFormulaAtoms:
+    """Sessions lean on the cached ``Formula.atoms()`` (the old local
+    ``formula_atoms`` re-implementation is gone)."""
+
     def test_collects_all_atoms(self):
         formula = parse_ltl("G (a -> (b U c))")
-        assert formula_atoms(formula) == {"a", "b", "c"}
+        assert formula.atoms() == {"a", "b", "c"}
 
     def test_constants_have_no_atoms(self):
-        assert formula_atoms(parse_ltl("true")) == set()
+        assert parse_ltl("true").atoms() == frozenset()
+
+    def test_atoms_are_cached_per_interned_node(self):
+        formula = parse_ltl("G (a -> (b U c))")
+        assert formula.atoms() is formula.atoms()
+        assert formula is parse_ltl("G (a -> (b U c))")
 
 
 class TestSelectiveRouting:
