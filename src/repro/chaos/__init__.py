@@ -1,0 +1,49 @@
+"""Chaos plane: deterministic fault injection for the SOC runtime.
+
+Seeded, replayable fault injection at every SOC seam (workers, repairs,
+ingress, config reads), plus the invariant checker and scenario harness
+that turn chaos runs into conservation-law tests.  See
+:mod:`repro.chaos.plan` for how determinism is achieved.
+"""
+
+from repro.chaos.controller import (
+    ChaosController,
+    InjectedRepairError,
+    InjectedSessionError,
+    InjectedWorkerCrash,
+    RepairFault,
+    WorkerFault,
+)
+from repro.chaos.harness import (
+    ChaosRunResult,
+    build_chaos_fleet,
+    inject_storm,
+    run_chaos_scenario,
+)
+from repro.chaos.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    check_invariants,
+)
+from repro.chaos.plan import RATE_FIELDS, FaultPlan, FaultPlanError
+
+__all__ = [
+    "ChaosController",
+    "ChaosRunResult",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedRepairError",
+    "InjectedSessionError",
+    "InjectedWorkerCrash",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "RATE_FIELDS",
+    "RepairFault",
+    "WorkerFault",
+    "build_chaos_fleet",
+    "check_invariants",
+    "inject_storm",
+    "run_chaos_scenario",
+]

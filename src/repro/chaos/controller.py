@@ -1,0 +1,360 @@
+"""The chaos controller: deterministic fault decisions at every seam.
+
+The controller is the single authority every instrumented seam asks
+before failing: shard workers (crash / hang / session error), the
+incident pipeline (repairs that raise or silently no-op), SOC ingress
+(duplicated, reordered, delayed events), and host config stores (slow
+reads).  Each decision is a pure function of
+``(plan.seed, site, key)`` where *key* identifies the subject by
+stable content — host name, event time, strike count, attempt index —
+never by call order.  Two runs of the same scenario under the same
+plan therefore draw identical decisions regardless of thread
+interleaving, which is what makes chaos runs replayable and the
+invariant checker able to compare them byte-for-byte
+(:meth:`ChaosController.decisions_digest`).
+
+Injected failures are real exceptions (:class:`InjectedWorkerCrash`,
+:class:`InjectedSessionError`, :class:`InjectedRepairError`) raised at
+the same program points genuine failures would occur, so the hardening
+they exercise — supervisor restarts, poison quarantine, breaker
+escalation — is the production path, not a test double.
+"""
+
+import enum
+import hashlib
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.plan import FaultPlan
+from repro.environment.events import Event
+
+
+class WorkerFault(enum.Enum):
+    """What the controller tells a shard worker to do with one event."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    SESSION_ERROR = "session-error"
+
+
+class RepairFault(enum.Enum):
+    """What the controller tells the pipeline about one repair attempt."""
+
+    RAISE = "raise"
+    NOOP = "noop"
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Chaos killed a shard worker mid-dequeue."""
+
+
+class InjectedSessionError(RuntimeError):
+    """Chaos made a monitor session blow up on an event."""
+
+
+class InjectedRepairError(RuntimeError):
+    """Chaos made an enforcement attempt raise."""
+
+
+#: Decision slot of each fault site inside its seam's 24-byte digest:
+#: byte slice ``[8*slot, 8*slot + 8)`` is the site's uniform.  Sites of
+#: one seam share a single hash per subject key, which matters because
+#: the E14 bench's faulted runs pay for every draw and the fault-free
+#: baseline pays for none.  The seam helpers (``worker_fault``,
+#: ``repair_fault``, ``ingress_events``) inline these slices; keep
+#: them in agreement with this table.
+SITE_SLOTS = {
+    "worker.crash": 0, "worker.hang": 1, "session.error": 2,
+    "repair.raise": 0, "repair.noop": 1,
+    "ingress.reorder": 0, "ingress.duplicate": 1, "ingress.delay": 2,
+    "config.slow": 0,
+}
+
+
+class ChaosController:
+    """Draws every fault decision for one chaos run.
+
+    Thread-safe: workers, emitters, and the reconcile sweep may all
+    consult it concurrently.  The decision ledger records every *hit*
+    (site, key) pair; since decisions are order-independent, the ledger
+    of two identical runs is identical as a set, and
+    :meth:`decisions_digest` hashes the sorted ledger into a single
+    replay fingerprint.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 sleeper: Callable[[float], None] = time.sleep):
+        self.plan = plan
+        self.sleeper = sleeper
+        #: Bound by SocService at construction so chaos counters land
+        #: in the same registry as the SOC's own.
+        self.metrics = None
+        #: Per-thread hit buffers, merged on read: recording a hit is a
+        #: lock-free (GIL-atomic) list append on the hot path, and the
+        #: merged ledger is a set — identical no matter how threads
+        #: interleaved, which is all replay comparison needs.
+        self._hit_local = threading.local()
+        self._hit_buffers: List[list] = []
+        self._site_counters: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        self._stash: Dict[str, Event] = {}
+        self._repair_attempts: Dict[str, int] = {}
+        self._config_reads: Dict[str, int] = {}
+        self._seed_prefix = f"{plan.seed}:".encode("utf-8")
+        self._rates = {site: plan.rate(site) for site in SITE_SLOTS}
+
+    # -- the decision primitive ---------------------------------------------
+
+    def _digest(self, key: str) -> bytes:
+        """The 24-byte decision digest for subject *key* — one hash
+        serves every site of a seam via :data:`SITE_SLOTS` slices."""
+        return hashlib.blake2b(self._seed_prefix + key.encode("utf-8"),
+                               digest_size=24).digest()
+
+    def decide(self, site: str, key: str,
+               digest: Optional[bytes] = None) -> bool:
+        """True when fault *site* fires for subject *key*.
+
+        Pure in ``(plan.seed, site, key)``: the subject's digest is
+        sliced at the site's fixed slot and read as a uniform in
+        ``[0, 1)``, so the same ``(site, key)`` draws the same value no
+        matter who asks, in what order, or whether the caller passed a
+        precomputed *digest*.  A zero-rate site never draws.  Hits are
+        recorded in the ledger and counted in the metrics registry as
+        ``chaos.<site>``.
+        """
+        rate = self._rates.get(site)
+        if rate is None:                 # unknown site: plan's error
+            rate = self.plan.rate(site)
+        if rate <= 0.0:
+            return False
+        if digest is None:
+            digest = self._digest(key)
+        slot = SITE_SLOTS[site]
+        draw = int.from_bytes(digest[8 * slot:8 * slot + 8],
+                              "big") / 2.0 ** 64
+        hit = draw < rate
+        if hit:
+            self._record(site, key, draw)
+        return hit
+
+    def _record(self, site: str, key: str, draw: float) -> None:
+        """Ledger + metrics for one hit (lock-free on the hot path)."""
+        buffer = getattr(self._hit_local, "buffer", None)
+        if buffer is None:
+            buffer = []
+            with self._lock:
+                self._hit_buffers.append(buffer)
+            self._hit_local.buffer = buffer
+        buffer.append((site, key, draw))
+        metrics = self.metrics
+        if metrics is not None:
+            counter = self._site_counters.get(site)
+            if counter is None:
+                # Racing creators get the same registry-owned counter
+                # back, so the cache store is idempotent.
+                counter = self._site_counters[site] = \
+                    metrics.counter(f"chaos.{site}")
+            counter.inc()
+
+    # -- worker seam ----------------------------------------------------------
+
+    def worker_fault(self, host_name: str, event: Event,
+                     strikes: int) -> Optional[WorkerFault]:
+        """Fault (if any) for one event delivery on a shard worker.
+
+        Keyed by the event's stable identity plus its strike count, so
+        a redelivered event draws a *fresh* decision — a crash loop
+        terminates once a delivery draws clean (or the quarantine
+        parks the event).
+        """
+        rates = self._rates
+        crash = rates["worker.crash"]
+        hang = rates["worker.hang"]
+        error = rates["session.error"]
+        if not (crash or hang or error):
+            return None
+        # Inlined decide(): this runs once per delivery at nonzero
+        # rates, so the seam slices its digest directly (slots per
+        # SITE_SLOTS) instead of paying three calls' worth of lookups.
+        key = f"{host_name}:{event.time}:{strikes}"
+        digest = self._digest(key)
+        if crash:
+            draw = int.from_bytes(digest[0:8], "big") / 2.0 ** 64
+            if draw < crash:
+                self._record("worker.crash", key, draw)
+                return WorkerFault.CRASH
+        if hang:
+            draw = int.from_bytes(digest[8:16], "big") / 2.0 ** 64
+            if draw < hang:
+                self._record("worker.hang", key, draw)
+                return WorkerFault.HANG
+        if error:
+            draw = int.from_bytes(digest[16:24], "big") / 2.0 ** 64
+            if draw < error:
+                self._record("session.error", key, draw)
+                return WorkerFault.SESSION_ERROR
+        return None
+
+    def hang(self) -> None:
+        """Serve one injected hang (the worker calls this inline).
+
+        A zero-length hang skips the sleep entirely: even ``sleep(0)``
+        surrenders the GIL and costs a reacquisition wait, which would
+        bill pure scheduler noise to the benchmark's fault ledger.
+        """
+        if self.plan.hang_seconds > 0:
+            self.sleeper(self.plan.hang_seconds)
+
+    # -- repair seam ----------------------------------------------------------
+
+    def repair_fault(self, host_name: str,
+                     finding_id: str) -> Optional[RepairFault]:
+        """Fault (if any) for the next enforcement attempt.
+
+        Attempts are numbered per ``(host, finding)``; per-host repair
+        serialization makes the numbering deterministic.
+        """
+        rates = self._rates
+        raise_rate = rates["repair.raise"]
+        noop_rate = rates["repair.noop"]
+        if not (raise_rate or noop_rate):
+            return None
+        with self._lock:
+            counter_key = f"{host_name}:{finding_id}"
+            attempt = self._repair_attempts.get(counter_key, 0)
+            self._repair_attempts[counter_key] = attempt + 1
+        key = f"{host_name}:{finding_id}:{attempt}"
+        digest = self._digest(key)
+        if raise_rate:
+            draw = int.from_bytes(digest[0:8], "big") / 2.0 ** 64
+            if draw < raise_rate:
+                self._record("repair.raise", key, draw)
+                return RepairFault.RAISE
+        if noop_rate:
+            draw = int.from_bytes(digest[8:16], "big") / 2.0 ** 64
+            if draw < noop_rate:
+                self._record("repair.noop", key, draw)
+                return RepairFault.NOOP
+        return None
+
+    # -- ingress seam ---------------------------------------------------------
+
+    def ingress_events(self, host_name: str, event: Event) -> List[Event]:
+        """The events to actually enqueue for one emitted event.
+
+        May duplicate the event, stash it to swap with its successor
+        (reordering), or return it unchanged; an independent decision
+        may also stall the emitter ``delay_seconds`` (latency, not
+        loss).  Stashes must be flushed via :meth:`flush_stash` before
+        a drain barrier, or the invariant checker will flag the loss.
+        """
+        rates = self._rates
+        reorder = rates["ingress.reorder"]
+        duplicate = rates["ingress.duplicate"]
+        delay = rates["ingress.delay"]
+        if not (reorder or duplicate or delay):
+            return [event]               # stash stays empty at rate 0
+        key = f"{host_name}:{event.time}"
+        digest = self._digest(key)
+        ordered: List[Event] = []
+        stashed = None
+        if self._stash:
+            # Unlocked emptiness peek is sound: a host's events are
+            # emitted by one thread, so its own stash entry can only
+            # have been planted by this thread's previous call.
+            with self._lock:
+                stashed = self._stash.pop(host_name, None)
+        if stashed is not None:
+            # The successor overtakes the stashed event: an adjacent swap.
+            ordered.append(event)
+            ordered.append(stashed)
+        else:
+            held = False
+            if reorder:
+                draw = int.from_bytes(digest[0:8], "big") / 2.0 ** 64
+                if draw < reorder:
+                    self._record("ingress.reorder", key, draw)
+                    with self._lock:
+                        self._stash[host_name] = event
+                    held = True
+            if not held:
+                ordered.append(event)
+        expanded: List[Event] = []
+        for item in ordered:
+            expanded.append(item)
+            if not duplicate:
+                continue
+            if item.time == event.time:
+                item_key, item_digest = key, digest
+            else:
+                item_key = f"{host_name}:{item.time}"
+                item_digest = self._digest(item_key)
+            draw = int.from_bytes(item_digest[8:16], "big") / 2.0 ** 64
+            if draw < duplicate:
+                self._record("ingress.duplicate", item_key, draw)
+                expanded.append(item)
+        if delay:
+            draw = int.from_bytes(digest[16:24], "big") / 2.0 ** 64
+            if draw < delay:
+                self._record("ingress.delay", key, draw)
+                if self.plan.delay_seconds > 0:
+                    self.sleeper(self.plan.delay_seconds)
+        return expanded
+
+    def flush_stash(self, host_name: str) -> List[Event]:
+        """Release any event held back for reordering on *host_name*."""
+        with self._lock:
+            stashed = self._stash.pop(host_name, None)
+        return [stashed] if stashed is not None else []
+
+    def pending_stash(self) -> int:
+        with self._lock:
+            return len(self._stash)
+
+    # -- config seam ----------------------------------------------------------
+
+    def config_read_hook(self, host_name: str) -> Callable[[str, str], None]:
+        """A :class:`ConfigFileStore` read hook that injects slow reads.
+
+        Reads are numbered per host (repairs touching the config store
+        are serialized per host, so the numbering is deterministic).
+        """
+
+        def hook(path: str, key: str) -> None:
+            with self._lock:
+                index = self._config_reads.get(host_name, 0)
+                self._config_reads[host_name] = index + 1
+            if self.decide("config.slow", f"{host_name}:{index}") \
+                    and self.plan.config_delay_seconds > 0:
+                self.sleeper(self.plan.config_delay_seconds)
+
+        return hook
+
+    # -- replay fingerprint ---------------------------------------------------
+
+    def decisions(self) -> Dict[str, str]:
+        """Every fault that fired: ``"site|key" -> draw``, sorted.
+
+        Merges the per-thread hit buffers into one deduplicated map
+        (the same ``(site, key)`` may legitimately be decided more than
+        once; it always draws the same value)."""
+        with self._lock:
+            buffers = list(self._hit_buffers)
+        merged: Dict[str, str] = {}
+        for buffer in buffers:
+            for site, key, draw in list(buffer):
+                merged[f"{site}|{key}"] = f"{draw:.12f}"
+        return dict(sorted(merged.items()))
+
+    def decisions_digest(self) -> str:
+        """SHA-256 over the sorted decision ledger — the replay
+        fingerprint two identical runs must share byte-for-byte."""
+        payload = json.dumps(self.decisions(), sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def injection_count(self) -> int:
+        return len(self.decisions())

@@ -1,0 +1,207 @@
+"""Fault plans: serialized, seeded descriptions of a chaos run.
+
+A :class:`FaultPlan` is the *entire* specification of a chaos
+experiment: which fault sites fire, at what rate, with what knobs
+(hang lengths, quarantine thresholds, queue overrides) — plus the seed
+every probabilistic decision derives from.  The
+:class:`~repro.chaos.controller.ChaosController` draws each decision
+from ``Random(f"{seed}:{site}:{key}")`` where *key* is a stable
+identity of the fault site's subject (host name + event time + strike
+count, never call order), so a chaos run replays byte-identically from
+its serialized plan no matter how threads interleave.
+
+Plans round-trip through :meth:`to_json` / :meth:`from_json`;
+malformed documents are rejected with errors naming the offending
+field, which is what the CLI's ``--chaos-plan`` leans on.
+"""
+
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan document failed validation."""
+
+
+#: Fault-site name -> FaultPlan rate field.  The controller consults
+#: this table; anything not listed here is not a fault site.
+RATE_FIELDS = {
+    "worker.crash": "worker_crash",
+    "worker.hang": "worker_hang",
+    "session.error": "session_error",
+    "repair.raise": "repair_raise",
+    "repair.noop": "repair_noop",
+    "ingress.duplicate": "event_duplicate",
+    "ingress.reorder": "event_reorder",
+    "ingress.delay": "event_delay",
+    "config.slow": "config_slow",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of every fault a chaos run may inject.
+
+    Rates are per-decision probabilities in ``[0, 1]``:
+
+    * ``worker_crash`` — the shard worker dies before processing an
+      event (the event and the rest of its batch are requeued; the
+      supervisor restarts the worker);
+    * ``worker_hang`` — the worker stalls ``hang_seconds`` before
+      processing an event (deposable via ``hang_timeout``);
+    * ``session_error`` — progressing the event through the monitor
+      session raises (the poison-quarantine path);
+    * ``repair_raise`` — an enforcement attempt raises instead of
+      repairing (escalates through the circuit breaker);
+    * ``repair_noop`` — an enforcement attempt silently does nothing
+      (the re-check fails, burning a retry);
+    * ``event_duplicate`` / ``event_reorder`` / ``event_delay`` —
+      ingress stream perturbations (dup, adjacent swap, latency);
+    * ``config_slow`` — host config reads stall
+      ``config_delay_seconds``.
+    """
+
+    seed: int = 0
+    worker_crash: float = 0.0
+    worker_hang: float = 0.0
+    session_error: float = 0.0
+    repair_raise: float = 0.0
+    repair_noop: float = 0.0
+    event_duplicate: float = 0.0
+    event_reorder: float = 0.0
+    event_delay: float = 0.0
+    config_slow: float = 0.0
+    hang_seconds: float = 0.001
+    delay_seconds: float = 0.0005
+    config_delay_seconds: float = 0.0005
+    max_deliveries: int = 3
+    dead_letter_capacity: int = 64
+    queue_capacity: Optional[int] = None
+    hang_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in RATE_FIELDS.values():
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise FaultPlanError(f"{name} must be a number, "
+                                     f"got {value!r}")
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be a rate in [0, 1], got {value!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise FaultPlanError(f"seed must be an int, got {self.seed!r}")
+        for name in ("hang_seconds", "delay_seconds",
+                     "config_delay_seconds"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value < 0:
+                raise FaultPlanError(
+                    f"{name} must be a non-negative number, got {value!r}")
+        for name in ("max_deliveries", "dead_letter_capacity"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise FaultPlanError(
+                    f"{name} must be an int >= 1, got {value!r}")
+        if self.queue_capacity is not None and (
+                not isinstance(self.queue_capacity, int)
+                or isinstance(self.queue_capacity, bool)
+                or self.queue_capacity < 1):
+            raise FaultPlanError(
+                f"queue_capacity must be an int >= 1 or null, "
+                f"got {self.queue_capacity!r}")
+        if self.hang_timeout is not None and (
+                not isinstance(self.hang_timeout, (int, float))
+                or isinstance(self.hang_timeout, bool)
+                or self.hang_timeout <= 0):
+            raise FaultPlanError(
+                f"hang_timeout must be a positive number or null, "
+                f"got {self.hang_timeout!r}")
+
+    # -- derived views ------------------------------------------------------
+
+    def rate(self, site: str) -> float:
+        """The rate configured for fault *site* (raises on unknown)."""
+        try:
+            return getattr(self, RATE_FIELDS[site])
+        except KeyError:
+            raise FaultPlanError(f"unknown fault site: {site!r}")
+
+    @property
+    def active_sites(self) -> Dict[str, float]:
+        """Sites with a non-zero rate (what this plan can inject)."""
+        return {site: getattr(self, field_name)
+                for site, field_name in sorted(RATE_FIELDS.items())
+                if getattr(self, field_name) > 0.0}
+
+    @property
+    def quiet(self) -> bool:
+        """True when the plan injects nothing (all rates zero)."""
+        return not self.active_sites
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(document, dict):
+            raise FaultPlanError(
+                f"fault plan must be a JSON object, "
+                f"got {type(document).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault plan field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}")
+        return cls(**document)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}")
+        return cls.from_dict(document)
+
+    # -- randomized plans ---------------------------------------------------
+
+    @classmethod
+    def randomized(cls, seed: int, max_rate: float = 0.2) -> "FaultPlan":
+        """A randomized-but-reproducible plan for property harnesses.
+
+        Every rate is drawn from ``[0, max_rate]`` with roughly half
+        the sites switched off entirely, so the invariant suite sweeps
+        both sparse and dense fault mixes.  The draw itself is a pure
+        function of *seed*.
+        """
+        rng = random.Random(f"fault-plan:{seed}")
+        rates = {
+            field_name: (round(rng.uniform(0.0, max_rate), 4)
+                         if rng.random() < 0.5 else 0.0)
+            for field_name in RATE_FIELDS.values()
+        }
+        return cls(
+            seed=seed,
+            max_deliveries=rng.choice((2, 3, 4)),
+            dead_letter_capacity=rng.choice((8, 16, 64)),
+            queue_capacity=rng.choice((None, None, 32, 128)),
+            **rates,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (CLI banner, test ids)."""
+        active = self.active_sites
+        if not active:
+            return f"quiet plan (seed {self.seed})"
+        parts = ", ".join(f"{site}={rate:g}"
+                          for site, rate in active.items())
+        return f"seed {self.seed}: {parts}"

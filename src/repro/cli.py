@@ -202,6 +202,8 @@ def cmd_soc(args, out) -> int:
     Builds a hardened fleet, arms the sharded concurrent protection
     service, injects a seeded storm of drift (and benign) events,
     drains deterministically, and prints the incident + metrics report.
+    With ``--chaos-plan`` the run additionally injects the plan's
+    deterministic faults and finishes with a reconcile sweep.
     """
     import random
 
@@ -211,12 +213,33 @@ def cmd_soc(args, out) -> int:
         hardened_windows_host as windows,
     )
     from repro.rqcode import default_catalog
-    from repro.soc import Backpressure, render_report
+    from repro.soc import Backpressure, render_json, render_report
 
     if args.hosts < 1:
         raise SystemExit("repro soc: --hosts must be >= 1")
     if args.shards < 1:
         raise SystemExit("repro soc: --shards must be >= 1")
+    chaos = None
+    if args.chaos_plan:
+        from repro.chaos import ChaosController, FaultPlan, FaultPlanError
+
+        try:
+            with open(args.chaos_plan) as handle:
+                plan = FaultPlan.from_json(handle.read())
+        except OSError as exc:
+            raise SystemExit(
+                f"repro soc: cannot read chaos plan "
+                f"{args.chaos_plan!r}: {exc.strerror or exc}")
+        except FaultPlanError as exc:
+            raise SystemExit(
+                f"repro soc: invalid chaos plan {args.chaos_plan!r}: "
+                f"{exc}")
+        chaos = ChaosController(plan)
+    # With --json, stdout is the machine-readable document alone;
+    # human status lines move to stderr so the output pipes cleanly.
+    status = sys.stderr if args.json else out
+    if chaos is not None:
+        print(f"chaos plan: {plan.describe()}", file=status)
     fleet = Fleet("soc-cli", default_catalog())
     for index in range(args.hosts):
         if args.windows_every and index % args.windows_every == 0:
@@ -228,6 +251,7 @@ def cmd_soc(args, out) -> int:
         queue_capacity=args.queue_capacity,
         policy=Backpressure(args.policy),
         seed=args.seed,
+        chaos=chaos,
     )
     rng = random.Random(args.seed)
     ubuntu_drifts = ("nis", "rsh-server", "telnetd")
@@ -247,11 +271,23 @@ def cmd_soc(args, out) -> int:
             service.drain()
     finally:
         service.stop()
-    print(render_report(service, title=f"SOC run over {len(fleet)} hosts "
-                                       f"/ {args.shards} shards"), file=out)
+    if chaos is not None:
+        # The degradation ladder's last rung: sweep hosts whose
+        # event-driven repair was eaten by injected faults.
+        repaired = service.reconcile()
+        print(f"reconcile: {repaired} repair(s); "
+              f"{chaos.injection_count()} fault(s) injected; "
+              f"decisions digest {chaos.decisions_digest()[:16]}",
+              file=status)
+    if args.json:
+        print(render_json(service), file=out)
+    else:
+        print(render_report(service,
+                            title=f"SOC run over {len(fleet)} hosts "
+                                  f"/ {args.shards} shards"), file=out)
     posture = fleet.audit()
     print(f"posture after run: worst {posture.worst_ratio:.0%}, "
-          f"mean {posture.mean_ratio:.0%}", file=out)
+          f"mean {posture.mean_ratio:.0%}", file=status)
     return 0 if posture.worst_ratio >= 1.0 else 1
 
 
@@ -348,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
     soc.add_argument("--seed", type=int, default=0)
     soc.add_argument("--windows-every", type=int, default=3, metavar="N",
                      help="every Nth host is Windows (0 = all Ubuntu)")
+    soc.add_argument("--chaos-plan", metavar="PATH", default=None,
+                     help="JSON fault plan: inject its deterministic "
+                          "faults and reconcile afterwards")
+    soc.add_argument("--json", action="store_true",
+                     help="emit the machine-readable JSON run summary "
+                          "instead of the text report")
     soc.set_defaults(func=cmd_soc)
 
     pipeline = subparsers.add_parser(

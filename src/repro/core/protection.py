@@ -161,14 +161,24 @@ class ProtectionLoop:
                 detail="finding not in catalogue",
             )
         requirement = entry.instantiate(self.host)
-        if requirement.check() is CheckStatus.PASS:
+        # A requirement whose backend raises must degrade to a FAILURE
+        # repair action, not tear down the loop: the serial analogue of
+        # the SOC pipeline's exception escalation.
+        try:
+            if requirement.check() is CheckStatus.PASS:
+                return RepairAction(
+                    finding_id=finding_id,
+                    status=EnforcementStatus.SUCCESS,
+                    detail="already compliant",
+                )
+            status = requirement.enforce()
+            after = requirement.check()
+        except Exception as exc:
             return RepairAction(
                 finding_id=finding_id,
-                status=EnforcementStatus.SUCCESS,
-                detail="already compliant",
+                status=EnforcementStatus.FAILURE,
+                detail=f"enforcement raised {type(exc).__name__}: {exc}",
             )
-        status = requirement.enforce()
-        after = requirement.check()
         detail = f"enforced; re-check {after.value}"
         return RepairAction(finding_id=finding_id, status=status,
                             detail=detail)

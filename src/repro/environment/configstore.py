@@ -7,7 +7,7 @@ with sshd_config-style serialization, which is what the STIG check text
 greps for.
 """
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class ConfigFileStore:
@@ -17,10 +17,25 @@ class ConfigFileStore:
     preserve their original spelling on render.  Repeated ``set`` calls
     replace the value in place, keeping line order stable — mirroring how
     hardening scripts edit rather than append.
+
+    Reads accept an optional hook (:meth:`set_read_hook`) invoked before
+    every :meth:`get` — the seam the chaos plane uses to model slow
+    config backends (NFS-mounted ``/etc``, a wedged configuration
+    service) without the store knowing anything about fault injection.
     """
 
     def __init__(self) -> None:
         self._files: Dict[str, List[Tuple[str, str]]] = {}
+        self._read_hook: Optional[Callable[[str, str], None]] = None
+
+    def set_read_hook(
+            self, hook: Optional[Callable[[str, str], None]]) -> None:
+        """Install (or clear, with ``None``) a pre-read callback.
+
+        The hook receives ``(path, key)`` before each lookup; it may
+        delay, record, or raise — the store itself never interprets it.
+        """
+        self._read_hook = hook
 
     # -- file-level ---------------------------------------------------------
 
@@ -42,6 +57,8 @@ class ConfigFileStore:
     def get(self, path: str, key: str, default: Optional[str] = None
             ) -> Optional[str]:
         """Value of *key* in *path*, or *default* when file/key is absent."""
+        if self._read_hook is not None:
+            self._read_hook(path, key)
         entries = self._files.get(path)
         if entries is None:
             return default

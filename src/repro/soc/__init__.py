@@ -14,9 +14,13 @@ long-running concurrent service instead of a synchronous per-host loop:
 * :mod:`repro.soc.metrics` — counters / gauges / histograms,
   snapshotable as plain dicts;
 * :mod:`repro.soc.workers` — the shard worker threads;
+* :mod:`repro.soc.supervisor` — restarts dead workers, deposes hung
+  ones, without losing queued events;
+* :mod:`repro.soc.quarantine` — poison-event strikes and the bounded
+  dead-letter queue;
 * :mod:`repro.soc.service` — :class:`SocService`: ingress, lifecycle
-  (start / drain / stop), results;
-* :mod:`repro.soc.report` — human-readable run reports.
+  (start / drain / stop), reconcile sweep, results;
+* :mod:`repro.soc.report` — human-readable and JSON run reports.
 
 Entry points: ``Fleet.arm_soc(...)`` from :mod:`repro.core.fleet`, the
 ``repro soc`` CLI subcommand, and benchmark E12.
@@ -25,11 +29,13 @@ Entry points: ``Fleet.arm_soc(...)`` from :mod:`repro.core.fleet`, the
 from repro.soc.breaker import BreakerState, CircuitBreaker
 from repro.soc.incidents import IncidentPipeline, RetryPolicy
 from repro.soc.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.soc.quarantine import DeadLetter, DeadLetterQueue, Quarantine
 from repro.soc.queues import Backpressure, PutResult, QueueClosed, ShardQueue
-from repro.soc.report import render_report
+from repro.soc.report import render_json, render_report, run_summary
 from repro.soc.service import SocService, arm_soc
 from repro.soc.sessions import Detection, MonitorSession
 from repro.soc.sharding import HashRing, stable_hash
+from repro.soc.supervisor import WorkerSupervisor
 from repro.soc.workers import ShardWorker
 
 __all__ = [
@@ -37,6 +43,8 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "Counter",
+    "DeadLetter",
+    "DeadLetterQueue",
     "Detection",
     "Gauge",
     "HashRing",
@@ -45,12 +53,16 @@ __all__ = [
     "MetricsRegistry",
     "MonitorSession",
     "PutResult",
+    "Quarantine",
     "QueueClosed",
     "RetryPolicy",
     "ShardQueue",
     "ShardWorker",
     "SocService",
+    "WorkerSupervisor",
     "arm_soc",
+    "render_json",
     "render_report",
+    "run_summary",
     "stable_hash",
 ]

@@ -10,8 +10,10 @@ wall-clock time so SOC runs are deterministic:
 * ``OPEN`` — after ``failure_threshold`` consecutive failures the
   breaker trips: enforcement attempts are skipped (and counted) until
   ``cooldown`` of them have been absorbed.
-* ``HALF_OPEN`` — one trial enforcement is admitted; success closes
-  the breaker, failure re-opens it for a fresh cooldown.
+* ``HALF_OPEN`` — exactly one trial enforcement is admitted (a probe
+  already in flight makes concurrent :meth:`allow` calls skip, so two
+  shards can never double-probe one backend); success closes the
+  breaker, failure re-opens it for a fresh, full cooldown.
 """
 
 import enum
@@ -39,6 +41,7 @@ class CircuitBreaker:
         self.trips = 0            # times the breaker opened (monotonic)
         self.skipped = 0          # requests absorbed while open (monotonic)
         self._cooldown_left = 0
+        self._probe_in_flight = False
         self._lock = threading.Lock()
 
     def allow(self) -> bool:
@@ -47,6 +50,12 @@ class CircuitBreaker:
             if self.state is BreakerState.CLOSED:
                 return True
             if self.state is BreakerState.HALF_OPEN:
+                # Exactly one probe: concurrent callers are absorbed
+                # until the in-flight trial records its outcome.
+                if self._probe_in_flight:
+                    self.skipped += 1
+                    return False
+                self._probe_in_flight = True
                 return True
             # OPEN: absorb this request; move to HALF_OPEN once cooled.
             self.skipped += 1
@@ -59,10 +68,12 @@ class CircuitBreaker:
         with self._lock:
             self.state = BreakerState.CLOSED
             self.consecutive_failures = 0
+            self._probe_in_flight = False
 
     def record_failure(self) -> None:
         with self._lock:
             self.consecutive_failures += 1
+            self._probe_in_flight = False
             if (self.state is BreakerState.HALF_OPEN
                     or self.consecutive_failures >= self.failure_threshold):
                 if self.state is not BreakerState.OPEN:

@@ -12,7 +12,11 @@ bound RQCODE findings, hardened for operations:
   failing is skipped for a cooldown instead of burning the worker;
 * **per-host serialization** — hosts are pinned to shards, so one
   host's incidents are handled strictly in detection order on one
-  thread, while different hosts repair concurrently.
+  thread, while different hosts repair concurrently;
+* **exception escalation** — an enforcement that *raises* (a broken
+  backend, an injected chaos fault) is contained here: it counts as a
+  failed attempt against the retry budget and the circuit breaker
+  instead of propagating up and killing the shard worker.
 
 Repair actions mutate the host, which emits events back into the very
 log being monitored.  Workers flag themselves *in repair* for the
@@ -21,6 +25,7 @@ repairs never re-trigger the monitors doing the repairing — the
 concurrent analogue of the serial loop's detach-while-enforcing.
 """
 
+import contextlib
 import random
 import threading
 import time
@@ -59,7 +64,8 @@ class IncidentPipeline:
                  breaker_threshold: int = 3,
                  breaker_cooldown: int = 2,
                  seed: int = 0,
-                 sleeper: Callable[[float], None] = time.sleep):
+                 sleeper: Callable[[float], None] = time.sleep,
+                 chaos=None):
         self.catalog = catalog
         self.metrics = metrics
         self.retry = retry if retry is not None else RetryPolicy()
@@ -67,6 +73,7 @@ class IncidentPipeline:
         self.breaker_cooldown = breaker_cooldown
         self.seed = seed
         self.sleeper = sleeper
+        self.chaos = chaos
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
         self._rngs: Dict[str, random.Random] = {}
@@ -78,6 +85,22 @@ class IncidentPipeline:
     def in_repair(self) -> bool:
         """True when the *calling thread* is currently enforcing."""
         return getattr(self._local, "repairing", False)
+
+    @contextlib.contextmanager
+    def repairing(self):
+        """Mark the calling thread as enforcing for the duration.
+
+        Ingress suppresses repair echoes by asking :meth:`in_repair`;
+        anything that repairs outside :meth:`handle` (the reconcile
+        sweep) must run inside this context or its own repair events
+        feed straight back into the monitors.
+        """
+        previous = getattr(self._local, "repairing", False)
+        self._local.repairing = True
+        try:
+            yield
+        finally:
+            self._local.repairing = previous
 
     # -- deterministic per-host state ----------------------------------------------
 
@@ -114,15 +137,23 @@ class IncidentPipeline:
             violation_time=detection.event.time,
         )
         self.metrics.counter("soc.incidents").inc()
-        self._local.repairing = True
-        try:
+        with self.repairing():
             for finding_id in finding_ids:
                 incident.repairs.append(
                     self._enforce_with_budget(host, finding_id))
-        finally:
-            self._local.repairing = False
         self._incidents.setdefault(host.name, []).append(incident)
         return incident
+
+    def enforce_finding(self, host: SimulatedHost,
+                        finding_id: str) -> RepairAction:
+        """Enforce one finding outside a detection (reconcile sweep).
+
+        Runs the same budgeted path as incident handling — breaker,
+        retries, exception escalation — with repair-echo suppression
+        armed for the calling thread.
+        """
+        with self.repairing():
+            return self._enforce_with_budget(host, finding_id)
 
     def _enforce_with_budget(self, host: SimulatedHost,
                              finding_id: str) -> RepairAction:
@@ -146,7 +177,12 @@ class IncidentPipeline:
                 detail="finding not in catalogue",
             )
         requirement = entry.instantiate(host)
-        if requirement.check() is CheckStatus.PASS:
+        try:
+            already_compliant = requirement.check() is CheckStatus.PASS
+        except Exception:
+            self.metrics.counter("soc.enforce.exception").inc()
+            already_compliant = False
+        if already_compliant:
             breaker.record_success()
             self.metrics.counter("soc.enforce.success").inc()
             return RepairAction(
@@ -160,13 +196,37 @@ class IncidentPipeline:
         attempts = 0
         for attempt in range(self.retry.max_attempts):
             attempts = attempt + 1
-            status = requirement.enforce()
-            after = requirement.check()
+            # An enforcement that raises — genuinely broken backend or
+            # an injected chaos fault — burns this attempt and, if the
+            # budget runs out, escalates through the breaker below.
+            # The shard worker never sees the exception.
+            try:
+                fault = (self.chaos.repair_fault(host.name, finding_id)
+                         if self.chaos is not None else None)
+                if fault is not None and fault.value == "raise":
+                    from repro.chaos.controller import InjectedRepairError
+                    raise InjectedRepairError(
+                        f"{host.name}/{finding_id} attempt {attempt}")
+                if fault is not None and fault.value == "noop":
+                    # The repair silently does nothing: the re-check
+                    # below observes the still-drifted host.
+                    status = EnforcementStatus.SUCCESS
+                else:
+                    status = requirement.enforce()
+                after = requirement.check()
+            except Exception:
+                self.metrics.counter("soc.enforce.exception").inc()
+                status = EnforcementStatus.FAILURE
+                after = CheckStatus.FAIL
             if after is CheckStatus.PASS:
                 break
             self.metrics.counter("soc.enforce.retries").inc()
             if attempt + 1 < self.retry.max_attempts:
-                self.sleeper(self.retry.delay(attempt, rng))
+                delay = self.retry.delay(attempt, rng)
+                # A zero-base schedule means "retry immediately"; even
+                # sleep(0) surrenders the GIL, so skip the call.
+                if delay > 0:
+                    self.sleeper(delay)
         self.metrics.histogram("soc.repair_attempts").observe(attempts)
         if after is CheckStatus.PASS:
             breaker.record_success()

@@ -122,18 +122,33 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
+    # Lookups are hot (every fault site, every credit): the common
+    # already-exists case is a plain GIL-atomic dict read with no lock
+    # and no speculative metric construction; only first use of a name
+    # takes the slow double-checked path.
+
     def counter(self, name: str) -> Counter:
-        with self._lock:
-            return self._counters.setdefault(name, Counter())
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
 
     def gauge(self, name: str) -> Gauge:
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge())
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
+        return gauge
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        with self._lock:
-            return self._histograms.setdefault(name, Histogram(buckets))
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(buckets))
+        return histogram
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """The whole registry as plain dicts (JSON-serializable)."""

@@ -1,0 +1,123 @@
+"""Poison-event quarantine and the bounded dead-letter queue.
+
+An event that keeps crashing its monitor session (or keeps taking its
+worker down) must not wedge the shard: after ``max_deliveries``
+strikes the event is *parked* — removed from the processing path,
+recorded with its reason and strike count, and reported — instead of
+being retried forever.  The dead-letter queue is bounded; overflow
+evicts the oldest parked entry (counted, never silent), so a poison
+storm cannot grow memory without bound either.
+
+One :class:`Quarantine` per shard (strike counts are touched only by
+that shard's worker — its successors after a restart included — so a
+plain dict under the queue's ordering discipline would do, but a lock
+keeps the depose path honest).  One :class:`DeadLetterQueue` per
+service, shared by every shard.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.environment.events import Event
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One parked event and why it was given up on."""
+
+    host: str
+    event: Event
+    reason: str
+    strikes: int
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "host": self.host,
+            "time": self.event.time,
+            "kind": self.event.kind,
+            "reason": self.reason,
+            "strikes": self.strikes,
+        }
+
+
+class Quarantine:
+    """Per-shard strike ledger for events that keep failing."""
+
+    def __init__(self, max_deliveries: int = 3):
+        if max_deliveries < 1:
+            raise ValueError("max_deliveries must be >= 1")
+        self.max_deliveries = max_deliveries
+        self._strikes: Dict[Tuple[str, int, str], int] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(host_name: str, event: Event) -> Tuple[str, int, str]:
+        return (host_name, event.time, event.kind)
+
+    def strikes(self, host_name: str, event: Event) -> int:
+        with self._lock:
+            return self._strikes.get(self._key(host_name, event), 0)
+
+    def strike(self, host_name: str, event: Event) -> int:
+        """Record one failure against the event; returns the new count."""
+        with self._lock:
+            key = self._key(host_name, event)
+            count = self._strikes.get(key, 0) + 1
+            self._strikes[key] = count
+            return count
+
+    def poisoned(self, host_name: str, event: Event) -> bool:
+        """True once the event has exhausted its delivery budget."""
+        return self.strikes(host_name, event) >= self.max_deliveries
+
+    def clear(self, host_name: str, event: Event) -> None:
+        """Forget an event that finally processed cleanly."""
+        with self._lock:
+            self._strikes.pop(self._key(host_name, event), None)
+
+    def pending(self) -> int:
+        """Events currently carrying at least one strike."""
+        with self._lock:
+            return len(self._strikes)
+
+
+class DeadLetterQueue:
+    """Bounded store of parked events, oldest evicted on overflow."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._letters: List[DeadLetter] = []
+        self._lock = threading.Lock()
+        #: Every park ever (monotonic; survives eviction).
+        self.parked_total = 0
+        #: Letters evicted to stay within capacity (monotonic).
+        self.evicted = 0
+
+    def park(self, host_name: str, event: Event, reason: str,
+             strikes: int) -> DeadLetter:
+        letter = DeadLetter(host=host_name, event=event, reason=reason,
+                            strikes=strikes)
+        with self._lock:
+            self.parked_total += 1
+            self._letters.append(letter)
+            while len(self._letters) > self.capacity:
+                self._letters.pop(0)
+                self.evicted += 1
+        return letter
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._letters)
+
+    def letters(self) -> List[DeadLetter]:
+        with self._lock:
+            return list(self._letters)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Plain-data view for reports (sorted: host, then time)."""
+        return [letter.row() for letter in
+                sorted(self.letters(),
+                       key=lambda l: (l.host, l.event.time, l.event.kind))]

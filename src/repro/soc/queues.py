@@ -18,7 +18,7 @@ The queue tracks unfinished work like :class:`queue.Queue` so
 import enum
 import threading
 from collections import deque
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence
 
 
 class Backpressure(enum.Enum):
@@ -71,6 +71,11 @@ class ShardQueue:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def unfinished(self) -> int:
+        """Accepted items not yet credited via ``task_done``."""
+        return self._unfinished
 
     # -- producer side -----------------------------------------------------------
 
@@ -135,6 +140,24 @@ class ShardQueue:
             self._not_full.notify(take)
             return batch
 
+    def requeue_front(self, items: Sequence[Any]) -> None:
+        """Return dequeued-but-unprocessed *items* to the head.
+
+        The crash/retry path: a worker that dies (or gives up on) part
+        of a batch puts the unprocessed suffix back, in order, so a
+        replacement worker picks up exactly where it left off.  The
+        items are still accounted as unfinished (they were never
+        ``task_done``'d), so ``join()`` keeps waiting for them; the
+        capacity bound is deliberately ignored — these items were
+        already admitted once and dropping them here would silently
+        break event conservation.
+        """
+        if not items:
+            return
+        with self._lock:
+            self._items.extendleft(reversed(list(items)))
+            self._not_empty.notify(len(items))
+
     def task_done(self) -> None:
         """Mark one dequeued item fully processed (for :meth:`join`)."""
         with self._lock:
@@ -155,11 +178,24 @@ class ShardQueue:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def join(self) -> None:
-        """Block until every accepted item has been processed."""
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted item has been processed.
+
+        With a *timeout* (seconds) the wait is bounded and the return
+        value reports whether the queue actually drained — the hook
+        that lets :meth:`SocService.drain` interleave dead-worker
+        detection with the flush barrier instead of deadlocking on a
+        crashed shard.
+        """
         with self._lock:
-            while self._unfinished:
-                self._all_done.wait()
+            if timeout is None:
+                while self._unfinished:
+                    self._all_done.wait()
+                return True
+            deadline = threading.TIMEOUT_MAX if timeout <= 0 else timeout
+            if self._unfinished:
+                self._all_done.wait(deadline)
+            return self._unfinished == 0
 
     def close(self) -> None:
         """Stop accepting puts and wake every blocked thread."""

@@ -7,16 +7,28 @@
   event is routed by consistent hash of the host id onto one of N
   bounded shard queues (:mod:`repro.soc.queues` backpressure policies);
 * **workers** — one thread per shard progresses the per-host
-  :class:`~repro.soc.sessions.MonitorSession` off the emitting thread;
+  :class:`~repro.soc.sessions.MonitorSession` off the emitting thread,
+  under a :class:`~repro.soc.supervisor.WorkerSupervisor` that restarts
+  dead workers and deposes hung ones without losing queued events;
 * **incident pipeline** — detections become incidents with
-  retry/backoff/jitter enforcement and per-finding circuit breakers
-  (:mod:`repro.soc.incidents`);
+  retry/backoff/jitter enforcement, per-finding circuit breakers, and
+  repair-exception escalation (:mod:`repro.soc.incidents`);
+* **quarantine** — events that repeatedly fail are parked in a bounded
+  dead-letter queue (:mod:`repro.soc.quarantine`) instead of wedging
+  their shard;
 * **metrics** — every stage reports into one
   :class:`~repro.soc.metrics.MetricsRegistry`;
-* **lifecycle** — ``start`` / ``drain`` / ``stop``.  ``drain()`` is a
+* **lifecycle** — ``start`` / ``drain`` / ``stop``, all idempotent and
+  safe to call from concurrent threads.  ``drain()`` is a
   deterministic flush barrier: after it returns, every accepted event
-  has been fully processed (monitors progressed, repairs applied), which
-  is what makes concurrent runs reproducible enough to assert on.
+  has been fully processed or dead-lettered, and dead workers
+  discovered mid-drain are restarted rather than deadlocking the
+  barrier.
+* **chaos** — an optional
+  :class:`~repro.chaos.controller.ChaosController` wraps every seam
+  above with seeded, replayable fault injection; ``reconcile()`` is
+  the degradation ladder's last rung, sweeping hosts back to
+  compliance when faults ate the event-driven path.
 
 Because a host is pinned to exactly one shard, its events are processed
 in emission order and its incidents handled serially, while distinct
@@ -32,11 +44,14 @@ from repro.environment.events import Event
 from repro.environment.host import SimulatedHost
 from repro.ltl.monitor import LtlMonitor
 from repro.rqcode.catalog import StigCatalog
+from repro.rqcode.concepts import CheckStatus
 from repro.soc.incidents import IncidentPipeline, RetryPolicy
 from repro.soc.metrics import MetricsRegistry
-from repro.soc.queues import Backpressure, PutResult, ShardQueue
+from repro.soc.quarantine import DeadLetterQueue, Quarantine
+from repro.soc.queues import Backpressure, PutResult, QueueClosed, ShardQueue
 from repro.soc.sessions import MonitorSession
 from repro.soc.sharding import HashRing
+from repro.soc.supervisor import WorkerSupervisor
 from repro.soc.workers import ShardWorker
 
 #: One host's armed monitors and their RQCODE bindings.
@@ -56,7 +71,11 @@ class SocService:
                  breaker_cooldown: int = 2,
                  seed: int = 0,
                  sleeper=None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 chaos=None,
+                 max_deliveries: int = 3,
+                 dead_letter_capacity: int = 64,
+                 supervisor_interval: float = 0.02):
         self.hosts = {host.name: host for host in hosts}
         missing = set(self.hosts) - set(plans)
         if missing:
@@ -64,9 +83,18 @@ class SocService:
         self.catalog = catalog
         self.shards = shards
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.chaos = chaos
+        hang_timeout = None
+        if chaos is not None:
+            chaos.metrics = self.metrics
+            if chaos.plan.queue_capacity is not None:
+                queue_capacity = chaos.plan.queue_capacity
+            max_deliveries = chaos.plan.max_deliveries
+            dead_letter_capacity = chaos.plan.dead_letter_capacity
+            hang_timeout = chaos.plan.hang_timeout
         pipeline_kwargs = dict(
             retry=retry, breaker_threshold=breaker_threshold,
-            breaker_cooldown=breaker_cooldown, seed=seed)
+            breaker_cooldown=breaker_cooldown, seed=seed, chaos=chaos)
         if sleeper is not None:
             pipeline_kwargs["sleeper"] = sleeper
         self.pipeline = IncidentPipeline(catalog, self.metrics,
@@ -75,6 +103,9 @@ class SocService:
         policy = Backpressure(policy)   # accept "block" etc. verbatim
         self.queues = [ShardQueue(queue_capacity, policy)
                        for _ in range(shards)]
+        self.dead_letters = DeadLetterQueue(dead_letter_capacity)
+        self.quarantines = [Quarantine(max_deliveries)
+                            for _ in range(shards)]
         self.sessions: Dict[str, MonitorSession] = {}
         self._placement: Dict[str, int] = {}
         for name, host in sorted(self.hosts.items()):
@@ -82,9 +113,19 @@ class SocService:
             self.sessions[name] = MonitorSession(host, monitors, bindings)
             self._placement[name] = self.ring.shard_for(name)
             self.pipeline.register_host(name)
+        self._shard_sessions: Dict[int, Dict[str, MonitorSession]] = {
+            index: {} for index in range(shards)}
+        for name, session in self.sessions.items():
+            self._shard_sessions[self._placement[name]][name] = session
         self.workers: List[ShardWorker] = []
+        self.supervisor = WorkerSupervisor(
+            self, interval=supervisor_interval, hang_timeout=hang_timeout)
         self._subscriptions = []
+        self._config_hooks: List[Tuple[SimulatedHost, object]] = []
         self._running = False
+        self._stop_started = False
+        self._terminated = False
+        self._stopped_event = threading.Event()
         self._lock = threading.Lock()
 
     # -- construction helpers ------------------------------------------------------
@@ -111,37 +152,72 @@ class SocService:
     def running(self) -> bool:
         return self._running
 
+    @property
+    def accepts_restarts(self) -> bool:
+        """The supervisor may spawn replacement workers (until the
+        service has fully terminated)."""
+        return not self._terminated
+
+    def _make_worker(self, index: int, generation: int = 0) -> ShardWorker:
+        return ShardWorker(index, self.queues[index],
+                           self._shard_sessions[index], self.pipeline,
+                           self.metrics, chaos=self.chaos,
+                           quarantine=self.quarantines[index],
+                           dead_letters=self.dead_letters,
+                           generation=generation,
+                           on_death=self.supervisor.note_death)
+
     def start(self) -> "SocService":
         """Spin up shard workers and attach ingress (idempotent)."""
         with self._lock:
             if self._running:
                 return self
-            shard_sessions: Dict[int, Dict[str, MonitorSession]] = {
-                index: {} for index in range(self.shards)}
-            for name, session in self.sessions.items():
-                shard_sessions[self._placement[name]][name] = session
-            self.workers = [
-                ShardWorker(index, self.queues[index],
-                            shard_sessions[index], self.pipeline,
-                            self.metrics)
-                for index in range(self.shards)
-            ]
+            if self._terminated:
+                raise RuntimeError("service already stopped; "
+                                   "build a fresh SocService")
+            self.workers = [self._make_worker(index)
+                            for index in range(self.shards)]
             for worker in self.workers:
                 worker.start()
             for name, host in sorted(self.hosts.items()):
                 self._subscriptions.append(
                     host.events.subscribe(self._ingress_for(name)))
+                if self.chaos is not None \
+                        and self.chaos.plan.rate("config.slow") > 0:
+                    hook = self.chaos.config_read_hook(name)
+                    host.config.set_read_hook(hook)
+                    self._config_hooks.append((host, hook))
             self.metrics.gauge("soc.shards").set(self.shards)
             self.metrics.gauge("soc.hosts").set(len(self.hosts))
             self._running = True
+        self.supervisor.start()
         return self
+
+    def _put(self, host_name: str, queue: ShardQueue, event: Event,
+             counters) -> None:
+        """Enqueue one (possibly chaos-expanded) event with accounting."""
+        ingested, dropped, rejected = counters
+        try:
+            result = queue.put((host_name, event))
+        except QueueClosed:
+            # Racing a concurrent stop(): the event is refused, counted.
+            rejected.inc()
+            return
+        if result is PutResult.REJECTED:
+            rejected.inc()
+            return
+        if result is PutResult.DISPLACED:
+            dropped.inc()
+        ingested.inc()
 
     def _ingress_for(self, host_name: str):
         queue = self.queues[self._placement[host_name]]
-        ingested = self.metrics.counter("soc.events.ingested")
+        offered = self.metrics.counter("soc.events.offered")
         suppressed = self.metrics.counter("soc.events.suppressed")
-        dropped = self.metrics.counter("soc.events.dropped")
-        rejected = self.metrics.counter("soc.events.rejected")
+        counters = (self.metrics.counter("soc.events.ingested"),
+                    self.metrics.counter("soc.events.dropped"),
+                    self.metrics.counter("soc.events.rejected"))
+        chaos = self.chaos
 
         def ingress(event: Event) -> None:
             # Repair echo: events this very thread is emitting while
@@ -149,43 +225,138 @@ class SocService:
             if self.pipeline.in_repair():
                 suppressed.inc()
                 return
-            result = queue.put((host_name, event))
-            if result is PutResult.REJECTED:
-                rejected.inc()
-                return
-            if result is PutResult.DISPLACED:
-                dropped.inc()
-            ingested.inc()
+            if chaos is not None:
+                for item in chaos.ingress_events(host_name, event):
+                    offered.inc()
+                    self._put(host_name, queue, item, counters)
+            else:
+                offered.inc()
+                self._put(host_name, queue, event, counters)
 
         return ingress
 
+    def _flush_chaos_stashes(self) -> None:
+        """Release reorder-stashed events so the barrier sees them."""
+        if self.chaos is None:
+            return
+        offered = self.metrics.counter("soc.events.offered")
+        counters = (self.metrics.counter("soc.events.ingested"),
+                    self.metrics.counter("soc.events.dropped"),
+                    self.metrics.counter("soc.events.rejected"))
+        for host_name in sorted(self.hosts):
+            queue = self.queues[self._placement[host_name]]
+            for event in self.chaos.flush_stash(host_name):
+                offered.inc()
+                self._put(host_name, queue, event, counters)
+
     def drain(self) -> "SocService":
-        """Block until every accepted event has been fully processed."""
+        """Block until every accepted event has been fully processed.
+
+        The barrier interleaves with the supervisor: a worker that
+        crashed (or was deposed) while holding part of the backlog is
+        replaced mid-drain, so the flush always terminates instead of
+        deadlocking on a dead shard.
+        """
+        self._flush_chaos_stashes()
         for queue in self.queues:
-            queue.join()
+            while not queue.join(timeout=0.05):
+                self.supervisor.ensure_alive()
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Detach ingress, optionally flush, then stop the workers."""
+        """Detach ingress, optionally flush, then stop the workers.
+
+        Idempotent and thread-safe: concurrent calls from two threads
+        are serialized — the first performs the shutdown, the rest
+        block until it completes and return with the service stopped.
+        """
         with self._lock:
-            if not self._running:
-                return
-            for subscription in self._subscriptions:
-                subscription.cancel()
-            self._subscriptions = []
-            self._running = False
-        if drain:
-            self.drain()
-        for queue in self.queues:
-            queue.close()
-        for worker in self.workers:
-            worker.join(timeout=5.0)
+            if self._stop_started or not self._running:
+                if not self._stop_started:
+                    # Never started (or already fully stopped): nothing
+                    # to wind down.
+                    self._stopped_event.set()
+                    self._terminated = True
+                first = False
+            else:
+                self._stop_started = True
+                first = True
+            if first:
+                for subscription in self._subscriptions:
+                    subscription.cancel()
+                self._subscriptions = []
+                for host, _hook in self._config_hooks:
+                    host.config.set_read_hook(None)
+                self._config_hooks = []
+                self._running = False
+        if not first:
+            self._stopped_event.wait(timeout=30.0)
+            return
+        try:
+            if drain:
+                self.drain()
+            for queue in self.queues:
+                queue.close()
+            for worker in list(self.workers):
+                worker.join(timeout=5.0)
+            self.supervisor.stop()
+        finally:
+            self._terminated = True
+            self._stopped_event.set()
 
     def __enter__(self) -> "SocService":
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+    # -- degradation ladder: last rung ---------------------------------------------
+
+    def reconcile(self, max_sweeps: int = 25) -> int:
+        """Sweep hosts back to full compliance (bounded, breaker-aware).
+
+        The event-driven path can legitimately lose a detection under
+        degradation — a drift event dead-lettered, dropped by policy,
+        or its repair budget burned by faults.  ``reconcile`` is the
+        ladder's final rung: re-check every bound finding on every
+        host and enforce what fails, through the same budgeted pipeline
+        path (so open breakers keep absorbing cooldown and eventually
+        re-probe).  Sweeps repeat until a sweep repairs nothing more or
+        *max_sweeps* is hit.  Returns the number of effective repairs.
+        """
+        repaired_total = 0
+        for _sweep in range(max_sweeps):
+            self.metrics.counter("soc.reconcile.sweeps").inc()
+            repaired = 0
+            clean = True
+            for name in sorted(self.hosts):
+                host = self.hosts[name]
+                session = self.sessions[name]
+                finding_ids = sorted({finding_id
+                                      for ids in session.bindings.values()
+                                      for finding_id in ids})
+                for finding_id in finding_ids:
+                    try:
+                        entry = self.catalog.get(finding_id)
+                    except KeyError:
+                        continue
+                    requirement = entry.instantiate(host)
+                    try:
+                        compliant = requirement.check() is CheckStatus.PASS
+                    except Exception:
+                        compliant = False
+                    if compliant:
+                        continue
+                    clean = False
+                    action = self.pipeline.enforce_finding(host, finding_id)
+                    if action.detail.endswith(CheckStatus.PASS.value):
+                        repaired += 1
+            if repaired:
+                self.metrics.counter("soc.reconcile.repairs").inc(repaired)
+                repaired_total += repaired
+            if clean:
+                break
+        return repaired_total
 
     # -- results ---------------------------------------------------------------------
 

@@ -44,6 +44,13 @@ class Detection:
 class MonitorSession:
     """One host's armed monitors, indexed for selective progression."""
 
+    #: Seen-set pruning: when the set outgrows the limit, times more
+    #: than KEEP behind the newest are discarded.  Reordering is
+    #: adjacent-swap at worst, so an event that far behind the
+    #: watermark cannot legitimately arrive for the first time.
+    _SEEN_LIMIT = 4096
+    _SEEN_KEEP = 1024
+
     def __init__(self, host: SimulatedHost,
                  monitors: Dict[str, LtlMonitor],
                  bindings: Dict[str, Sequence[str]]):
@@ -53,6 +60,10 @@ class MonitorSession:
                          for req_id, finding_ids in bindings.items()}
         self.events_seen = 0
         self.monitors_stepped = 0
+        #: Per-host log times already fully observed — the idempotent
+        #: delivery guard.  Host log times are unique per event, so a
+        #: redelivered time is a duplicate by construction.
+        self._seen: Set[int] = set()
         #: atom name -> req_ids whose obligation mentions it (skippable set)
         self._watch: Dict[str, Set[str]] = {}
         #: req_ids that must see every event (empty-step-sensitive)
@@ -82,25 +93,56 @@ class MonitorSession:
 
     # -- observation -------------------------------------------------------------
 
+    def already_observed(self, event: Event) -> bool:
+        """True when this exact event was already fully observed.
+
+        Ingress is at-least-once under chaos (duplicated events,
+        redelivered batches); delivery to the monitors is made
+        exactly-once here.  An event enters the seen-set only after a
+        *successful* :meth:`observe` — a rolled-back failure leaves it
+        unseen, so the retry is not mistaken for a duplicate.
+        """
+        return event.time in self._seen
+
     def observe(self, event: Event) -> List[Detection]:
         """Feed one event to the monitors that can react to it.
 
         FALSE verdicts become :class:`Detection`\\ s; the tripped monitor
         is reset and re-armed so the session keeps protecting.
+
+        Observation is transactional: if any monitor raises mid-sweep,
+        every obligation already advanced for this event is rolled back
+        before the exception propagates, so the worker's retry of the
+        same event cannot double-step the monitors that had already
+        seen it.
         """
         self.events_seen += 1
         step = event_step(event)
         detections: List[Detection] = []
-        for req_id in sorted(self._relevant(step)):
-            monitor = self.monitors[req_id]
-            before = monitor.obligation
-            verdict = monitor.observe(step)
-            self.monitors_stepped += 1
-            if verdict is Verdict.FALSE:
-                detections.append(Detection(req_id=req_id, event=event))
-                monitor.reset()
-            # Interning makes obligation change detection an identity
-            # check — no structural comparison.
-            if monitor.obligation is not before:
+        undo = []
+        try:
+            for req_id in sorted(self._relevant(step)):
+                monitor = self.monitors[req_id]
+                before = monitor.obligation
+                undo.append((req_id, monitor, before,
+                             monitor.steps_observed))
+                verdict = monitor.observe(step)
+                self.monitors_stepped += 1
+                if verdict is Verdict.FALSE:
+                    detections.append(Detection(req_id=req_id, event=event))
+                    monitor.reset()
+                # Interning makes obligation change detection an identity
+                # check — no structural comparison.
+                if monitor.obligation is not before:
+                    self._classify(req_id)
+        except Exception:
+            for req_id, monitor, obligation, steps in reversed(undo):
+                monitor.obligation = obligation
+                monitor.steps_observed = steps
                 self._classify(req_id)
+            raise
+        self._seen.add(event.time)
+        if len(self._seen) > self._SEEN_LIMIT:
+            horizon = max(self._seen) - self._SEEN_KEEP
+            self._seen = {t for t in self._seen if t >= horizon}
         return detections

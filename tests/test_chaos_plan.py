@@ -1,0 +1,107 @@
+"""Unit tests for fault plans: validation, serialization, randomization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import RATE_FIELDS, FaultPlan, FaultPlanError
+
+
+class TestValidation:
+    def test_default_plan_is_quiet(self):
+        plan = FaultPlan()
+        assert plan.quiet
+        assert plan.active_sites == {}
+
+    @pytest.mark.parametrize("field_name", sorted(RATE_FIELDS.values()))
+    def test_rate_out_of_range_names_the_field(self, field_name):
+        with pytest.raises(FaultPlanError, match=field_name):
+            FaultPlan(**{field_name: 1.5})
+        with pytest.raises(FaultPlanError, match=field_name):
+            FaultPlan(**{field_name: -0.1})
+
+    def test_rate_must_be_numeric(self):
+        with pytest.raises(FaultPlanError, match="worker_crash"):
+            FaultPlan(worker_crash="high")
+        with pytest.raises(FaultPlanError, match="worker_crash"):
+            FaultPlan(worker_crash=True)
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan(seed="zero")
+
+    def test_knob_validation(self):
+        with pytest.raises(FaultPlanError, match="hang_seconds"):
+            FaultPlan(hang_seconds=-1)
+        with pytest.raises(FaultPlanError, match="max_deliveries"):
+            FaultPlan(max_deliveries=0)
+        with pytest.raises(FaultPlanError, match="dead_letter_capacity"):
+            FaultPlan(dead_letter_capacity=0)
+        with pytest.raises(FaultPlanError, match="queue_capacity"):
+            FaultPlan(queue_capacity=0)
+        with pytest.raises(FaultPlanError, match="hang_timeout"):
+            FaultPlan(hang_timeout=0)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultPlan().rate("disk.full")
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=9, worker_crash=0.05, repair_noop=0.2,
+                         max_deliveries=2, queue_capacity=32,
+                         hang_timeout=0.5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_fields_rejected_by_name(self):
+        with pytest.raises(FaultPlanError, match="disk_full"):
+            FaultPlan.from_dict({"seed": 1, "disk_full": 0.3})
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{seed: nope")
+
+    def test_bad_value_surfaces_through_from_json(self):
+        with pytest.raises(FaultPlanError, match="worker_crash"):
+            FaultPlan.from_json('{"worker_crash": 3.0}')
+
+
+class TestRandomized:
+    def test_pure_function_of_seed(self):
+        assert FaultPlan.randomized(5) == FaultPlan.randomized(5)
+        assert FaultPlan.randomized(5) != FaultPlan.randomized(6)
+
+    def test_rates_bounded_by_max_rate(self):
+        for seed in range(50):
+            plan = FaultPlan.randomized(seed, max_rate=0.2)
+            for field_name in RATE_FIELDS.values():
+                assert 0.0 <= getattr(plan, field_name) <= 0.2
+
+    def test_sweeps_both_sparse_and_dense_mixes(self):
+        site_counts = [len(FaultPlan.randomized(seed).active_sites)
+                       for seed in range(50)]
+        assert min(site_counts) <= 2
+        assert max(site_counts) >= 6
+
+    def test_describe_mentions_active_sites(self):
+        plan = FaultPlan(seed=3, worker_crash=0.1)
+        assert "worker.crash" in plan.describe()
+        assert "quiet" in FaultPlan(seed=3).describe()
+
+
+@given(st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31),
+    **{name: st.floats(min_value=0.0, max_value=1.0)
+       for name in RATE_FIELDS.values()},
+))
+@settings(max_examples=50, deadline=None)
+def test_every_valid_plan_survives_a_round_trip(plan):
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert restored.active_sites == plan.active_sites

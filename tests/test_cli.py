@@ -170,6 +170,76 @@ class TestSoc:
         assert code == 0
         assert "win-" not in output
 
+    def test_unrepaired_fleet_exits_nonzero(self, tmp_path):
+        # A chaos plan whose repairs always raise leaves the fleet
+        # non-compliant; the CLI must fail the job, not shrug.
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text('{"seed": 1, "repair_raise": 1.0}')
+        code, output = run_cli(
+            "soc", "--hosts", "2", "--windows-every", "0",
+            "--drifts", "2", "--shards", "1",
+            "--chaos-plan", str(plan_path))
+        assert code == 1
+        assert "chaos plan: seed 1: repair.raise=1" in output
+        assert "reconcile:" in output
+        assert "worst 100%" not in output
+
+    def test_chaos_plan_reconciles_and_reports_digest(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            '{"seed": 5, "session_error": 1.0, "max_deliveries": 1}')
+        code, output = run_cli(
+            "soc", "--hosts", "2", "--windows-every", "0",
+            "--drifts", "3", "--shards", "2",
+            "--chaos-plan", str(plan_path))
+        # Every event dead-letters, but the reconcile sweep restores
+        # full compliance: exit zero.
+        assert code == 0
+        assert "decisions digest" in output
+        assert "-- degradation --" in output
+        assert "posture after run: worst 100%" in output
+
+    def test_json_report_round_trips(self, tmp_path):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text('{"seed": 2, "event_duplicate": 0.5}')
+        code, output = run_cli(
+            "soc", "--hosts", "2", "--windows-every", "0",
+            "--drifts", "3", "--shards", "1", "--json",
+            "--chaos-plan", str(plan_path))
+        assert code == 0
+        # --json stdout is the document alone (status lines go to
+        # stderr), so it must parse as-is — pipeable to jq.
+        document = json.loads(output)
+        # Lossless round trip through json, and self-consistent.
+        assert json.loads(json.dumps(document)) == document
+        assert document["hosts"] == 2
+        assert document["events"]["offered"] == \
+            document["events"]["ingested"] + document["events"]["rejected"]
+        assert document["chaos"]["plan"]["seed"] == 2
+        assert len(document["chaos"]["decisions_digest"]) == 64
+
+    def test_malformed_chaos_plan_rejected_with_usable_error(self,
+                                                             tmp_path):
+        plan_path = tmp_path / "bad.json"
+        plan_path.write_text('{"worker_crash": 7}')
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("soc", "--chaos-plan", str(plan_path))
+        message = str(excinfo.value)
+        assert "invalid chaos plan" in message
+        assert "worker_crash" in message
+
+    def test_unknown_chaos_field_named_in_error(self, tmp_path):
+        plan_path = tmp_path / "bad.json"
+        plan_path.write_text('{"disk_full": 0.5}')
+        with pytest.raises(SystemExit, match="disk_full"):
+            run_cli("soc", "--chaos-plan", str(plan_path))
+
+    def test_unreadable_chaos_plan_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read chaos plan"):
+            run_cli("soc", "--chaos-plan", str(tmp_path / "missing.json"))
+
 
 class TestGap:
     def test_hardened_full_coverage(self):

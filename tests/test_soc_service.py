@@ -274,3 +274,78 @@ class TestLifecycle:
         host = hardened_ubuntu_host("planless")
         with pytest.raises(ValueError):
             SocService([host], default_catalog(), plans={})
+
+
+class TestStopSafety:
+    """stop()/drain() under concurrency and degradation: the fixes the
+    chaos plane depends on."""
+
+    def test_two_threads_stopping_concurrently_both_return(self):
+        fleet = build_fleet(ubuntu=3, windows=0)
+        service = fleet.arm_soc(shards=2)
+        inject_drift(fleet)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def stopper():
+            barrier.wait()
+            try:
+                service.stop()
+            except Exception as exc:       # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=stopper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        assert not service.running
+        # The single shutdown still drained: posture is clean.
+        assert fleet.audit().worst_ratio == 1.0
+
+    def test_stop_after_stop_returns_immediately(self):
+        fleet = build_fleet(ubuntu=1, windows=0)
+        service = fleet.arm_soc(shards=1)
+        service.stop()
+        service.stop()
+        service.stop(drain=False)
+        assert not service.running
+
+    def test_restart_after_stop_is_refused(self):
+        import pytest
+
+        fleet = build_fleet(ubuntu=1, windows=0)
+        service = fleet.arm_soc(shards=1)
+        service.stop()
+        with pytest.raises(RuntimeError, match="fresh SocService"):
+            service.start()
+
+    def test_dead_worker_during_drain_does_not_deadlock(self):
+        # A worker that crashes while holding queued events must be
+        # replaced from inside the drain barrier itself: before the
+        # supervisor hook, join() waited forever on credits only a dead
+        # thread could supply.
+        from repro.chaos import ChaosController, FaultPlan
+
+        plan = FaultPlan(seed=21, worker_crash=1.0, max_deliveries=2)
+        fleet = build_fleet(ubuntu=2, windows=0)
+        # Slow background supervisor: the drain loop itself must do
+        # the restarting for this to terminate quickly.
+        service = fleet.arm_soc(shards=1, chaos=ChaosController(plan),
+                                supervisor_interval=5.0)
+        done = threading.Event()
+
+        def run():
+            inject_drift(fleet)
+            service.drain()
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert done.wait(timeout=10.0), "drain deadlocked on dead worker"
+        service.stop()
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["soc.worker.crashes"] >= 1
+        assert counters["soc.events.dead_lettered"] >= 1

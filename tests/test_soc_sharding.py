@@ -1,5 +1,8 @@
 """Unit tests for consistent hashing of hosts onto shards."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.soc.sharding import HashRing, stable_hash
 
 
@@ -53,3 +56,52 @@ class TestHashRing:
             HashRing(0)
         with pytest.raises(ValueError):
             HashRing(2, replicas=0)
+
+
+#: Host-name-shaped keys: arbitrary text, deduplicated.
+_KEYS = st.lists(
+    st.text(alphabet=st.characters(codec="utf-8",
+                                   blacklist_categories=("Cs",)),
+            min_size=1, max_size=32),
+    min_size=1, max_size=80, unique=True)
+
+
+class TestPlacementProperties:
+    """Property tests for the two guarantees the SOC leans on:
+    placement is a pure function of (key, ring config), and growing
+    the ring relocates only a small fraction of keys — all of them
+    onto the new shard."""
+
+    @given(keys=_KEYS, shards=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_placement_is_deterministic_across_instances(self, keys,
+                                                         shards):
+        first = HashRing(shards).assignment(keys)
+        second = HashRing(shards).assignment(sorted(keys, reverse=True))
+        assert first == second
+        assert set(first.values()) <= set(range(shards))
+
+    @given(keys=_KEYS, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_growing_the_ring_moves_keys_only_onto_the_new_shard(
+            self, keys, shards):
+        before = HashRing(shards).assignment(keys)
+        after = HashRing(shards + 1).assignment(keys)
+        moved = [key for key in keys if before[key] != after[key]]
+        # The defining consistent-hashing property: a key either keeps
+        # its shard or is captured by the ring's newest member — keys
+        # never shuffle between pre-existing shards.
+        assert all(after[key] == shards for key in moved)
+
+    def test_relocation_fraction_is_bounded(self):
+        # Expected relocation when going N -> N+1 is ~1/(N+1); with
+        # 2000 keys allow 2x slack for hash-placement variance.
+        keys = [f"host-{index:04d}" for index in range(2000)]
+        for shards in (2, 4, 8):
+            before = HashRing(shards).assignment(keys)
+            after = HashRing(shards + 1).assignment(keys)
+            moved = sum(1 for key in keys if before[key] != after[key])
+            assert moved <= 2 * len(keys) / (shards + 1), (
+                f"{moved} of {len(keys)} keys moved going "
+                f"{shards} -> {shards + 1} shards")
+            assert moved > 0    # the new shard took *something*
