@@ -292,16 +292,58 @@ def cmd_soc(args, out) -> int:
 
 
 def cmd_pipeline(args, out) -> int:
-    """Run the full prevention pipeline against a host profile."""
-    from repro.core import VeriDevOpsOrchestrator
+    """Run the full prevention pipeline against a host profile.
 
+    ``--jobs N`` wave-schedules pipeline jobs and fans the verification
+    queries out to N threads; ``--cache DIR`` makes re-runs incremental
+    through the content-addressed verdict cache; ``--json`` emits the
+    machine-readable run summary (cache stats included) on stdout with
+    status lines on stderr, like ``repro soc --json``.
+    """
+    import json as json_mod
+
+    from repro.core import VeriDevOpsOrchestrator
+    from repro.prevention import bundled_verification_tasks
+
+    if args.jobs < 1:
+        raise SystemExit("repro pipeline: --jobs must be >= 1")
     host = _host_for(args.profile)
     orchestrator = VeriDevOpsOrchestrator()
     orchestrator.ingest_standards(host.os_family)
     if args.requirement:
         orchestrator.ingest_natural_language(args.requirement)
-    run = orchestrator.run_prevention([host])
+    cache = None
+    if args.cache:
+        from repro.prevention import VerificationCache
+
+        cache = VerificationCache(args.cache)
+    run = orchestrator.run_prevention(
+        [host],
+        verification_tasks=bundled_verification_tasks(),
+        max_workers=args.jobs if args.jobs > 1 else None,
+        cache=cache,
+    )
+    if args.json:
+        status = sys.stderr
+        document = {
+            "profile": args.profile,
+            "passed": run.passed,
+            "failed_stage": run.failed_stage,
+            "gates": run.gate_rows(),
+            "jobs": args.jobs,
+            "cache": (run.context.get("verification_cache_stats")
+                      if cache is not None else None),
+        }
+        print(json_mod.dumps(document, indent=1, sort_keys=True), file=out)
+        print(run.summary(), file=status)
+        return 0 if run.passed else 1
     _print_rows(run.gate_rows(), out)
+    if cache is not None:
+        stats = run.context.get("verification_cache_stats") or {}
+        print("verification cache: "
+              + ", ".join(f"{key}={value}"
+                          for key, value in sorted(stats.items())),
+              file=out)
     print(run.summary(), file=out)
     return 0 if run.passed else 1
 
@@ -397,6 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--profile", default="ubuntu-default")
     pipeline.add_argument("--requirement", action="append", default=[],
                           help="extra NL requirement (repeatable)")
+    pipeline.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="parallel workers for stage jobs and "
+                               "verification queries (default 1: serial)")
+    pipeline.add_argument("--cache", metavar="DIR", default=None,
+                          help="content-addressed verification cache "
+                               "directory; re-runs only re-verify "
+                               "changed artifacts")
+    pipeline.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JSON run "
+                               "summary (cache stats included) instead "
+                               "of the text table")
     pipeline.set_defaults(func=cmd_pipeline)
 
     return parser

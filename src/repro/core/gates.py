@@ -16,6 +16,7 @@ one-to-one to the framework's promises:
   formalized requirement before deployment completes (WP3 handoff).
 """
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -31,7 +32,7 @@ from repro.nalabs.analyzer import NalabsAnalyzer, RequirementText
 from repro.rqcode.catalog import StigCatalog
 from repro.specpatterns.ltl_mappings import PatternScopeUnsupported, to_ltl
 from repro.specpatterns.tctl_mappings import to_tctl
-from repro.ta.checker import ZoneGraphChecker
+from repro.ta.checker import CheckResult, ZoneGraphChecker
 from repro.ta.query import parse_query
 
 
@@ -135,6 +136,25 @@ class FormalizationGate(SecurityGate):
         )
 
 
+def _verdict_to_dict(result: CheckResult) -> Dict:
+    """A check result as plain data — what the verdict cache persists."""
+    return {
+        "satisfied": result.satisfied,
+        "query": result.query,
+        "states_explored": result.states_explored,
+        "witness": list(result.witness),
+    }
+
+
+def _verdict_from_dict(verdict: Dict) -> CheckResult:
+    return CheckResult(
+        satisfied=verdict["satisfied"],
+        query=verdict["query"],
+        states_explored=verdict["states_explored"],
+        witness=list(verdict.get("witness", [])),
+    )
+
+
 class VerificationGate(SecurityGate):
     """Runs the model-checking tasks; fails on any unsatisfied query.
 
@@ -142,19 +162,69 @@ class VerificationGate(SecurityGate):
     triples (query text for :func:`repro.ta.query.parse_query`).
     Writes ``verification_results``.  Formalized requirements advance
     to VERIFIED when the gate passes.
+
+    With a :class:`~repro.prevention.VerificationCache` attached, each
+    task is content-addressed first: a fingerprint hit returns the
+    stored verdict without touching the model checker, and only the
+    misses run.  ``max_workers > 1`` fans the misses out to a thread
+    pool (queries are independent by construction).  Cache counters
+    land in the gate metrics and in ``verification_cache_stats``.
     """
 
     name = "verification"
 
+    def __init__(self, cache=None, max_workers: Optional[int] = None):
+        self.cache = cache
+        self.max_workers = max_workers
+
+    @staticmethod
+    def _check(network, query_text: str) -> CheckResult:
+        return ZoneGraphChecker(network).check(parse_query(query_text))
+
     def evaluate(self, context: PipelineContext) -> GateResult:
         tasks = context.get("verification_tasks", [])
-        results = []
+        results: List[Optional[tuple]] = [None] * len(tasks)
+        pending = []  # (index, label, network, query_text, fingerprint)
+        if self.cache is not None:
+            from repro.prevention.fingerprint import fingerprint_task
+
+            for index, (label, network, query_text) in enumerate(tasks):
+                fp = fingerprint_task(network, query_text)
+                verdict = self.cache.lookup(label, fp)
+                if verdict is not None:
+                    results[index] = (label, _verdict_from_dict(verdict))
+                else:
+                    pending.append((index, label, network, query_text, fp))
+        else:
+            pending = [(index, label, network, query_text, None)
+                       for index, (label, network, query_text)
+                       in enumerate(tasks)]
+
+        workers = self.max_workers or 1
+        if workers > 1 and len(pending) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(pending))) as pool:
+                futures = [
+                    (index, label, fp,
+                     pool.submit(self._check, network, query_text))
+                    for index, label, network, query_text, fp in pending
+                ]
+                fresh = [(index, label, fp, future.result())
+                         for index, label, fp, future in futures]
+        else:
+            fresh = [(index, label, fp, self._check(network, query_text))
+                     for index, label, network, query_text, fp in pending]
+        for index, label, fp, result in fresh:
+            results[index] = (label, result)
+            if self.cache is not None:
+                self.cache.store(label, fp, _verdict_to_dict(result))
+        if self.cache is not None:
+            self.cache.save()
+            context.put("verification_cache_stats", self.cache.stats_dict())
+
         failures = []
         total_states = 0
-        for label, network, query_text in tasks:
-            checker = ZoneGraphChecker(network)
-            result = checker.check(parse_query(query_text))
-            results.append((label, result))
+        for label, result in results:
             total_states += result.states_explored
             if not result.satisfied:
                 failures.append(label)
@@ -173,8 +243,13 @@ class VerificationGate(SecurityGate):
                 f"tasks hold"
                 + (f"; failing: {failures}" if failures else "")
             ),
-            metrics={"tasks": float(len(tasks)),
-                     "states_explored": float(total_states)},
+            metrics={
+                "tasks": float(len(tasks)),
+                "states_explored": float(total_states),
+                **({f"cache_{key}": float(value)
+                    for key, value in self.cache.stats_dict().items()}
+                   if self.cache is not None else {}),
+            },
         )
 
 

@@ -235,9 +235,18 @@ class VeriDevOpsOrchestrator:
                        max_smelly_ratio: float = 0.35,
                        min_formalized_ratio: float = 0.5,
                        min_compliance: float = 1.0,
-                       verification_tasks: Optional[list] = None
+                       verification_tasks: Optional[list] = None,
+                       max_workers: Optional[int] = None,
+                       cache=None
                        ) -> Pipeline:
-        """Assemble the staged prevention pipeline."""
+        """Assemble the staged prevention pipeline.
+
+        ``max_workers`` parallelizes stage jobs (wave-scheduled on the
+        keys they declare) and the verification gate's per-requirement
+        queries; ``cache`` (a :class:`~repro.prevention.
+        VerificationCache`) makes re-runs incremental — only tasks
+        whose fingerprints changed are re-checked.
+        """
         def load_requirements(context: PipelineContext) -> str:
             context.put("repository", self.repository)
             return f"{len(self.repository)} requirements loaded"
@@ -250,7 +259,8 @@ class VeriDevOpsOrchestrator:
         return Pipeline([
             Stage(
                 name="requirements",
-                jobs=[Job("load-requirements", load_requirements)],
+                jobs=[Job("load-requirements", load_requirements,
+                          writes=("repository",))],
                 gates=[RequirementsQualityGate(
                     max_smelly_ratio=max_smelly_ratio)],
             ),
@@ -262,8 +272,10 @@ class VeriDevOpsOrchestrator:
             ),
             Stage(
                 name="verification",
-                jobs=[Job("load-verification-tasks", load_verification)],
-                gates=[VerificationGate()],
+                jobs=[Job("load-verification-tasks", load_verification,
+                          writes=("verification_tasks",))],
+                gates=[VerificationGate(cache=cache,
+                                        max_workers=max_workers)],
             ),
             Stage(
                 name="deployment",
@@ -274,14 +286,17 @@ class VeriDevOpsOrchestrator:
                     MonitoringGate(),
                 ],
             ),
-        ])
+        ], max_workers=max_workers)
 
     def run_prevention(self, hosts: Sequence[SimulatedHost],
                        verification_tasks: Optional[list] = None,
+                       max_workers: Optional[int] = None,
+                       cache=None,
                        **thresholds) -> PipelineRun:
         """Run the full prevention pipeline against *hosts*."""
         pipeline = self.build_pipeline(
-            verification_tasks=verification_tasks, **thresholds)
+            verification_tasks=verification_tasks,
+            max_workers=max_workers, cache=cache, **thresholds)
         context = PipelineContext(hosts=list(hosts))
         return pipeline.run(context)
 

@@ -2,44 +2,109 @@
 
 The paper's contribution is *what the security gates do*, not the CI
 vendor, so the engine is minimal and deterministic: stages run in
-order; each stage runs its jobs in order; after a stage's jobs, its
-gates evaluate against the shared :class:`PipelineContext`.  A failing
-job or gate stops the pipeline (fail-fast, like a protected branch).
+order; each stage runs its jobs, then its gates evaluate against the
+shared :class:`PipelineContext`.  A failing job or gate stops the
+pipeline (fail-fast, like a protected branch).
 
 Jobs and gates communicate exclusively through context artifacts, which
 keeps every gate independently testable.
+
+Parallel execution: with ``max_workers > 1`` a stage fans independent
+jobs out to a thread pool.  Jobs opt in by declaring the context keys
+they ``reads``/``writes``; the scheduler partitions a stage's job list
+into in-order *waves* where every pair of jobs is disjoint (no
+write/write, read/write or write/read overlap).  Jobs that declare
+nothing are scheduled as solo barriers — exactly the serial behavior —
+so parallelism is never inferred, only declared.  A job that writes a
+key another job in the same wave already wrote (i.e. it lied about its
+write set) is stopped with :class:`ConcurrentWriteError` rather than
+silently interleaving.
 """
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class ConcurrentWriteError(RuntimeError):
+    """Two jobs in one parallel wave wrote the same context key."""
 
 
 class PipelineContext:
-    """Shared artifact store for one pipeline run."""
+    """Shared artifact store for one pipeline run (thread-safe)."""
 
     def __init__(self, **initial: Any):
         self._artifacts: Dict[str, Any] = dict(initial)
+        self._lock = threading.Lock()
 
     def __contains__(self, key: str) -> bool:
-        return key in self._artifacts
+        with self._lock:
+            return key in self._artifacts
 
     def get(self, key: str, default: Any = None) -> Any:
-        return self._artifacts.get(key, default)
+        with self._lock:
+            return self._artifacts.get(key, default)
 
     def require(self, key: str) -> Any:
-        if key not in self._artifacts:
-            raise KeyError(
-                f"pipeline artifact {key!r} missing; produced artifacts: "
-                f"{sorted(self._artifacts)}"
-            )
-        return self._artifacts[key]
+        with self._lock:
+            if key not in self._artifacts:
+                raise KeyError(
+                    f"pipeline artifact {key!r} missing; produced artifacts: "
+                    f"{sorted(self._artifacts)}"
+                )
+            return self._artifacts[key]
 
     def put(self, key: str, value: Any) -> None:
-        self._artifacts[key] = value
+        with self._lock:
+            self._artifacts[key] = value
 
     def keys(self) -> List[str]:
-        return sorted(self._artifacts)
+        with self._lock:
+            return sorted(self._artifacts)
+
+
+class _GuardedContext:
+    """Per-job context proxy for one parallel wave.
+
+    Delegates everything to the real context but registers each write
+    in the wave's shared ledger; a second job writing the same key in
+    the same wave is a scheduling lie and raises
+    :class:`ConcurrentWriteError` instead of silently interleaving.
+    """
+
+    def __init__(self, context: PipelineContext, job_name: str,
+                 ledger: Dict[str, str], ledger_lock: threading.Lock):
+        self._context = context
+        self._job_name = job_name
+        self._ledger = ledger
+        self._ledger_lock = ledger_lock
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._context
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._context.get(key, default)
+
+    def require(self, key: str) -> Any:
+        return self._context.require(key)
+
+    def keys(self) -> List[str]:
+        return self._context.keys()
+
+    def put(self, key: str, value: Any) -> None:
+        with self._ledger_lock:
+            earlier = self._ledger.get(key)
+            if earlier is not None and earlier != self._job_name:
+                raise ConcurrentWriteError(
+                    f"jobs {earlier!r} and {self._job_name!r} both wrote "
+                    f"context key {key!r} in the same parallel wave; "
+                    f"declare the key in their writes= so the scheduler "
+                    f"serializes them"
+                )
+            self._ledger[key] = self._job_name
+        self._context.put(key, value)
 
 
 @dataclass
@@ -57,16 +122,27 @@ class Job:
     """A named unit of work: ``run(context) -> detail string``.
 
     The callable raises to fail the job; its return value (or the
-    exception text) lands in the result detail.
+    exception text) lands in the result detail.  ``reads``/``writes``
+    declare the context keys the job touches — the parallel scheduler
+    only co-schedules jobs with disjoint declarations, and a job
+    declaring neither runs alone (a barrier).
     """
 
     name: str
     run: Callable[[PipelineContext], Optional[str]]
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
 
-    def execute(self, context: PipelineContext) -> JobResult:
+    @property
+    def declared(self) -> bool:
+        return bool(self.reads or self.writes)
+
+    def execute(self, context: Any) -> JobResult:
         started = time.perf_counter()
         try:
             detail = self.run(context) or ""
+        except ConcurrentWriteError:
+            raise  # a scheduling bug, not a job failure: stop the world
         except Exception as error:  # noqa: BLE001 - report, don't crash CI
             return JobResult(
                 name=self.name, passed=False,
@@ -154,26 +230,78 @@ class PipelineRun:
         return f"pipeline {verdict} ({stages} stages run)"
 
 
-class Pipeline:
-    """An ordered list of stages, executed fail-fast."""
+def plan_waves(jobs: Sequence[Job]) -> List[List[Job]]:
+    """Partition *jobs* into in-order waves of pairwise-disjoint jobs.
 
-    def __init__(self, stages: Sequence[Stage]):
+    Greedy in declaration order: a job joins the current wave when its
+    declared reads/writes conflict with nothing already in the wave
+    (write/write, read/write, write/read); otherwise it starts the next
+    wave.  Undeclared jobs are solo barriers.  Order within a wave is
+    irrelevant by construction; order across waves preserves the
+    declaration order.
+    """
+    waves: List[List[Job]] = []
+    current: List[Job] = []
+    wave_reads: set = set()
+    wave_writes: set = set()
+
+    def flush():
+        nonlocal current, wave_reads, wave_writes
+        if current:
+            waves.append(current)
+        current, wave_reads, wave_writes = [], set(), set()
+
+    for job in jobs:
+        if not job.declared:
+            flush()
+            waves.append([job])
+            continue
+        reads, writes = set(job.reads), set(job.writes)
+        conflict = (writes & wave_writes or writes & wave_reads
+                    or reads & wave_writes)
+        if current and conflict:
+            flush()
+        current.append(job)
+        wave_reads |= reads
+        wave_writes |= writes
+    flush()
+    return waves
+
+
+class Pipeline:
+    """An ordered list of stages, executed fail-fast.
+
+    ``max_workers`` (here or per-:meth:`run`) enables the wave
+    scheduler; the default of ``None`` (or ``1``) runs every job in
+    declaration order on the calling thread — byte-for-byte the serial
+    engine.
+    """
+
+    def __init__(self, stages: Sequence[Stage],
+                 max_workers: Optional[int] = None):
         names = [stage.name for stage in stages]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate stage names: {names}")
         self.stages = list(stages)
+        self.max_workers = max_workers
 
-    def run(self, context: Optional[PipelineContext] = None) -> PipelineRun:
+    def run(self, context: Optional[PipelineContext] = None,
+            max_workers: Optional[int] = None) -> PipelineRun:
         """Execute all stages against *context* (created when omitted)."""
+        workers = max_workers if max_workers is not None else self.max_workers
         context = context if context is not None else PipelineContext()
         run = PipelineRun(context=context)
         for stage in self.stages:
             result = StageResult(name=stage.name)
             run.stage_results.append(result)
-            for job in stage.jobs:
-                job_result = job.execute(context)
-                result.job_results.append(job_result)
-                if not job_result.passed:
+            if workers is None or workers <= 1:
+                for job in stage.jobs:
+                    job_result = job.execute(context)
+                    result.job_results.append(job_result)
+                    if not job_result.passed:
+                        return run
+            else:
+                if not self._run_waves(stage, context, workers, result):
                     return run
             for gate in stage.gates:
                 gate_result = gate.evaluate(context)
@@ -185,3 +313,30 @@ class Pipeline:
                 if not gate_result.passed:
                     return run
         return run
+
+    @staticmethod
+    def _run_waves(stage: Stage, context: PipelineContext, workers: int,
+                   result: StageResult) -> bool:
+        """Run one stage's jobs wave by wave; False stops the pipeline."""
+        for wave in plan_waves(stage.jobs):
+            if len(wave) == 1:
+                job_result = wave[0].execute(context)
+                result.job_results.append(job_result)
+                if not job_result.passed:
+                    return False
+                continue
+            ledger: Dict[str, str] = {}
+            ledger_lock = threading.Lock()
+            guarded = [
+                _GuardedContext(context, job.name, ledger, ledger_lock)
+                for job in wave
+            ]
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(wave))) as pool:
+                futures = [pool.submit(job.execute, proxy)
+                           for job, proxy in zip(wave, guarded)]
+                wave_results = [future.result() for future in futures]
+            result.job_results.extend(wave_results)
+            if not all(job_result.passed for job_result in wave_results):
+                return False
+        return True

@@ -1,0 +1,35 @@
+"""The incremental prevention plane: content-addressed verification.
+
+Re-running a CI pipeline re-verifies every requirement from scratch —
+the "security tooling slows the pipeline" friction DevSecOps surveys
+report.  This package makes prevention incremental: every verification
+input (network of timed automata, query, requirement record) gets a
+content address — a blake2b fingerprint over a canonical serialization
+— and :class:`VerificationCache` persists verdicts keyed by task label
+so a re-run only re-checks tasks whose formal artifacts actually
+changed.  Mutating any ingested artifact changes its fingerprint and
+invalidates exactly the affected entries.
+"""
+
+from repro.prevention.cache import CacheStats, VerificationCache
+from repro.prevention.fingerprint import (
+    canonical_network,
+    canonical_query,
+    canonical_requirement,
+    fingerprint,
+    fingerprint_requirement,
+    fingerprint_task,
+)
+from repro.prevention.tasks import bundled_verification_tasks
+
+__all__ = [
+    "CacheStats",
+    "VerificationCache",
+    "bundled_verification_tasks",
+    "canonical_network",
+    "canonical_query",
+    "canonical_requirement",
+    "fingerprint",
+    "fingerprint_requirement",
+    "fingerprint_task",
+]

@@ -1,0 +1,124 @@
+"""Persistent content-addressed verdict store.
+
+One JSON file maps task labels to ``{fingerprint, verdict}`` entries.
+Lookup semantics make the CI story precise:
+
+* label present, fingerprint matches — **hit**: the stored verdict is
+  returned and no model checking runs;
+* label present, fingerprint differs — **invalidation**: the stale
+  entry is dropped (counted) and the lookup reports a miss;
+* label absent — **miss**.
+
+The store is written atomically (temp file + rename) and only when
+dirty, so a fully-warm run leaves the file untouched.  All operations
+take an internal lock: the parallel verification gate fans its misses
+out to a thread pool and stores results back concurrently.
+"""
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache lifetime (since load or last reset)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+        }
+
+
+class VerificationCache:
+    """JSON-backed verdict cache keyed by task label + fingerprint."""
+
+    FILENAME = "verification-cache.json"
+
+    def __init__(self, path: Union[str, Path]):
+        path = Path(path)
+        # A directory (existing, or path with no suffix) gets the
+        # canonical file name inside it — `--cache DIR` ergonomics.
+        if path.is_dir() or not path.suffix:
+            path = path / self.FILENAME
+        self.path = path
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._dirty = False
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            try:
+                raw = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                raw = {}
+            entries = raw.get("entries", {}) if isinstance(raw, dict) else {}
+            for label, entry in entries.items():
+                if (isinstance(entry, dict)
+                        and isinstance(entry.get("fingerprint"), str)):
+                    self._entries[label] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, label: str, fp: str) -> Optional[Dict[str, Any]]:
+        """The stored verdict for *label* at content address *fp*.
+
+        Returns the verdict dict on a hit; ``None`` on a miss.  A stale
+        entry (same label, different fingerprint) is dropped and counted
+        as an invalidation plus a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(label)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry["fingerprint"] != fp:
+                del self._entries[label]
+                self._dirty = True
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return entry["verdict"]
+
+    def store(self, label: str, fp: str, verdict: Dict[str, Any]) -> None:
+        """Record *verdict* for *label* at content address *fp*."""
+        with self._lock:
+            self._entries[label] = {"fingerprint": fp, "verdict": verdict}
+            self._dirty = True
+            self.stats.stores += 1
+
+    def save(self) -> bool:
+        """Write the store if dirty; returns whether a write happened."""
+        with self._lock:
+            if not self._dirty:
+                return False
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                {"entries": self._entries}, sort_keys=True, indent=1)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(payload)
+            os.replace(tmp, self.path)
+            self._dirty = False
+            return True
+
+    def labels(self) -> list:
+        with self._lock:
+            return sorted(self._entries)
+
+    def stats_dict(self) -> Dict[str, int]:
+        with self._lock:
+            stats = self.stats.as_dict()
+            stats["entries"] = len(self._entries)
+            return stats

@@ -1,0 +1,94 @@
+"""Bundled verification tasks: the CLI pipeline's model-checking load.
+
+`repro pipeline` needs real verification work for its cache and
+parallelism flags to mean anything, so this module ships a small,
+deterministic task set modelling the deployment environment's timing
+requirements: a token ring of services passing a health token (mutual
+exclusion + liveness of the last station) and an intrusion watchdog
+that must raise and clear alerts within its deadlines.  Every task is
+``(label, network, query_text)`` — exactly the triple
+:class:`~repro.core.gates.VerificationGate` consumes.
+"""
+
+from typing import List, Tuple
+
+from repro.ta.automaton import Edge, Location, TimedAutomaton, parse_guard
+from repro.ta.system import Network
+
+
+def _token_ring(size: int, hold: int = 4) -> Network:
+    """A ring of stations passing one token (cf. the E6 ablation)."""
+    stations = []
+    for index in range(size):
+        take = f"tok{index}"
+        give = f"tok{(index + 1) % size}"
+        stations.append(TimedAutomaton(
+            name=f"S{index}",
+            clocks=["c"],
+            locations=[
+                Location("idle"),
+                Location("busy", invariant=parse_guard(f"c <= {hold}")),
+            ],
+            edges=[
+                Edge("idle", "busy", sync=f"{take}?", resets=("c",),
+                     action=f"take{index}"),
+                Edge("busy", "idle", guard=parse_guard(f"c >= {hold // 2}"),
+                     sync=f"{give}!", action=f"give{index}"),
+            ],
+            initial="busy" if index == 0 else "idle",
+        ))
+    return Network(stations)
+
+
+def _watchdog(deadline: int) -> Network:
+    """An intrusion sensor and the watchdog that must answer it."""
+    sensor = TimedAutomaton(
+        name="Sensor",
+        clocks=["s"],
+        locations=[
+            Location("calm", invariant=parse_guard("s <= 10")),
+            Location("raised"),
+        ],
+        edges=[
+            Edge("calm", "raised", guard=parse_guard("s >= 1"),
+                 sync="alert!", action="raise"),
+            Edge("raised", "calm", sync="ack?", resets=("s",),
+                 action="rearm"),
+        ],
+    )
+    watchdog = TimedAutomaton(
+        name="Watchdog",
+        clocks=["w"],
+        locations=[
+            Location("watch"),
+            Location("respond",
+                     invariant=parse_guard(f"w <= {deadline}")),
+        ],
+        edges=[
+            Edge("watch", "respond", sync="alert?", resets=("w",),
+                 action="engage"),
+            Edge("respond", "watch", guard=parse_guard("w >= 1"),
+                 sync="ack!", action="resolve"),
+        ],
+    )
+    return Network([sensor, watchdog])
+
+
+def bundled_verification_tasks(ring_size: int = 4,
+                               deadline: int = 5
+                               ) -> List[Tuple[str, Network, str]]:
+    """The default verification workload for `repro pipeline`."""
+    ring = _token_ring(ring_size)
+    last = f"S{ring_size - 1}"
+    watchdog = _watchdog(deadline)
+    return [
+        ("ring-token-reaches-last", ring, f"E<> {last}.busy"),
+        ("ring-mutual-exclusion", ring,
+         "A[] not (S0.busy and S1.busy)"),
+        ("ring-station-returns-idle", ring, "E<> S0.idle"),
+        ("watchdog-engages", watchdog, "E<> Watchdog.respond"),
+        ("watchdog-never-stuck", watchdog,
+         "A[] not (Sensor.raised and Watchdog.watch)"),
+        ("watchdog-alert-handled", watchdog,
+         "Sensor.raised --> Watchdog.watch"),
+    ]

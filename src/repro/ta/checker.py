@@ -19,6 +19,18 @@ valuation in the zone satisfies the atom"), matching UPPAAL's ``E<>``;
 ``A[]`` queries negate into that existential form.  Liveness queries are
 restricted to location-based formulas, where zone semantics are crisp.
 
+Fast paths (the E15 prevention-plane optimization): guards, invariants
+and resets are pre-resolved at construction into flat ``(i, j, encoded
+bound)`` operation lists (no per-visit name lookups); discrete-step
+enumeration, urgency and per-state invariant lists are memoized by
+:class:`NetworkState`; zone intersection uses the DBM's O(n²)
+incremental re-closure; and the visited store keys zones by their
+canonical hash for O(1) exact-duplicate pruning before the inclusion
+scan.  Construct with ``fast=False`` to get the unoptimized reference
+paths — full Floyd-Warshall per constraint, fresh enumeration per
+visit, linear inclusion scans — which the E15 bench measures the fast
+engine against and the equivalence tests compare verdicts with.
+
 :class:`DiscreteTimeChecker` is the ablation engine (experiment E6): it
 enumerates integer clock valuations capped at ``max_constant + 1`` and
 answers the same reachability/safety queries by explicit-state BFS.
@@ -28,7 +40,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.ta.dbm import DBM, encode
+from repro.ta.dbm import DBM, INF, encode
 from repro.ta.automaton import ClockConstraint, TimedAutomaton
 from repro.ta.query import Atom, Query, StateFormula
 from repro.ta.system import ComposedStep, Network, NetworkState
@@ -54,69 +66,181 @@ class CheckResult:
         )
 
 
-class ZoneGraphChecker:
-    """Model checker over one network's zone graph."""
+def _constraint_ops(network: Network, automaton: TimedAutomaton,
+                    constraint: ClockConstraint
+                    ) -> Tuple[Tuple[int, int, int], ...]:
+    """Resolve one textual constraint to ``(i, j, encoded bound)`` ops.
 
-    def __init__(self, network: Network):
+    Equality expands into both difference bounds; the op tuples feed
+    :meth:`DBM.constrain` directly with no further lookups.
+    """
+    i, j = network.constraint_indices(automaton, constraint)
+    op, value = constraint.op, constraint.value
+    if op in ("<", "<="):
+        return ((i, j, encode(value, strict=(op == "<"))),)
+    if op in (">", ">="):
+        return ((j, i, encode(-value, strict=(op == ">"))),)
+    return ((i, j, encode(value, strict=False)),
+            (j, i, encode(-value, strict=False)))
+
+
+class ZoneGraphChecker:
+    """Model checker over one network's zone graph.
+
+    ``fast`` (default) enables the precomputed-table + memoization +
+    incremental-closure engine; ``fast=False`` keeps the reference
+    implementation for ablation benchmarks and equivalence tests.
+    """
+
+    def __init__(self, network: Network, fast: bool = True):
         self.network = network
         self._k = network.max_constant()
+        self._fast = fast
+        if fast:
+            automata = network.automata
+            # Pre-resolved guard ops and global reset indices per edge.
+            self._guard_ops: Dict[Tuple[int, "object"], tuple] = {}
+            self._reset_ids: Dict[Tuple[int, "object"], tuple] = {}
+            for index, automaton in enumerate(automata):
+                for edge in automaton.edges:
+                    key = (index, edge)
+                    self._guard_ops[key] = tuple(
+                        op for constraint in edge.guard
+                        for op in _constraint_ops(network, automaton,
+                                                  constraint))
+                    self._reset_ids[key] = tuple(
+                        network.global_clock(automaton, clock)
+                        for clock in edge.resets)
+            # Pre-resolved invariant ops per (automaton, location).
+            self._loc_inv: List[Dict[str, tuple]] = []
+            for automaton in automata:
+                table = {}
+                for name, location in automaton.locations.items():
+                    table[name] = tuple(
+                        op for constraint in location.invariant
+                        for op in _constraint_ops(network, automaton,
+                                                  constraint))
+                self._loc_inv.append(table)
+            # Per-NetworkState memos, filled lazily during exploration.
+            self._state_inv: Dict[NetworkState, tuple] = {}
+            self._steps: Dict[NetworkState, Tuple[ComposedStep, ...]] = {}
+            self._urgent: Dict[NetworkState, bool] = {}
+            # Successor memo: symbolic states are immutable once built,
+            # so repeated checks over the same network walk cached edges
+            # instead of redoing the DBM algebra.
+            self._succ: Dict[Tuple[NetworkState, tuple], tuple] = {}
 
     # -- symbolic semantics ----------------------------------------------------
 
     def _apply_constraint(self, zone: DBM, automaton: TimedAutomaton,
                           constraint: ClockConstraint) -> None:
-        """Intersect *zone* with one constraint, in place."""
-        i, j = self.network.constraint_indices(automaton, constraint)
-        op, value = constraint.op, constraint.value
-        if op in ("<", "<="):
-            zone.constrain(i, j, encode(value, strict=(op == "<")))
-        elif op in (">", ">="):
-            zone.constrain(j, i, encode(-value, strict=(op == ">")))
-        else:  # ==
-            zone.constrain(i, j, encode(value, strict=False))
-            zone.constrain(j, i, encode(-value, strict=False))
+        """Reference path: intersect *zone* with one constraint via full
+        re-canonicalization (``fast=False`` mode only)."""
+        for i, j, bound in _constraint_ops(self.network, automaton,
+                                           constraint):
+            zone.constrain_full(i, j, bound)
+
+    def _invariant_ops(self, state: NetworkState) -> tuple:
+        ops = self._state_inv.get(state)
+        if ops is None:
+            parts = []
+            for index, table in enumerate(self._loc_inv):
+                parts.extend(table[state.location_of(index)])
+            ops = tuple(parts)
+            self._state_inv[state] = ops
+        return ops
 
     def _apply_invariants(self, zone: DBM, state: NetworkState) -> None:
-        for automaton, constraint in self.network.invariants_at(state):
-            self._apply_constraint(zone, automaton, constraint)
+        if self._fast:
+            for i, j, bound in self._invariant_ops(state):
+                zone.constrain(i, j, bound)
+        else:
+            for automaton, constraint in self.network.invariants_at(state):
+                self._apply_constraint(zone, automaton, constraint)
+
+    def _steps_from(self, state: NetworkState) -> Tuple[ComposedStep, ...]:
+        if not self._fast:
+            return tuple(self.network.discrete_steps(state))
+        steps = self._steps.get(state)
+        if steps is None:
+            steps = tuple(self.network.discrete_steps(state))
+            self._steps[state] = steps
+        return steps
+
+    def _is_urgent(self, state: NetworkState) -> bool:
+        if not self._fast:
+            return self.network.is_urgent(state)
+        urgent = self._urgent.get(state)
+        if urgent is None:
+            urgent = self.network.is_urgent(state)
+            self._urgent[state] = urgent
+        return urgent
 
     def _initial(self) -> Tuple[NetworkState, DBM]:
         state = self.network.initial_state()
         zone = DBM.zero(self.network.clock_count)
-        if not self.network.is_urgent(state):
+        if not self._is_urgent(state):
             zone.up()
         self._apply_invariants(zone, state)
-        zone.extrapolate(self._k)
+        if self._fast:
+            zone.extrapolate_fast(self._k)
+        else:
+            zone.extrapolate(self._k)
         return state, zone
 
     def _successors(self, state: NetworkState, zone: DBM
                     ) -> Iterable[Tuple[ComposedStep, NetworkState, DBM]]:
-        for step in self.network.discrete_steps(state):
+        if not self._fast:
+            return self._compute_successors(state, zone)
+        memo_key = (state, zone.key())
+        cached = self._succ.get(memo_key)
+        if cached is None:
+            cached = tuple(self._compute_successors(state, zone))
+            self._succ[memo_key] = cached
+        return cached
+
+    def _compute_successors(self, state: NetworkState, zone: DBM
+                            ) -> Iterable[Tuple[ComposedStep, NetworkState,
+                                                DBM]]:
+        fast = self._fast
+        for step in self._steps_from(state):
             successor = zone.copy()
             feasible = True
             for index, edge in step.edges:
-                automaton = self.network.automata[index]
-                for constraint in edge.guard:
-                    self._apply_constraint(successor, automaton, constraint)
+                if fast:
+                    for i, j, bound in self._guard_ops[(index, edge)]:
+                        successor.constrain(i, j, bound)
+                else:
+                    automaton = self.network.automata[index]
+                    for constraint in edge.guard:
+                        self._apply_constraint(successor, automaton,
+                                               constraint)
                 if successor.is_empty():
                     feasible = False
                     break
             if not feasible:
                 continue
             for index, edge in step.edges:
-                automaton = self.network.automata[index]
-                for clock in edge.resets:
-                    successor.reset(
-                        self.network.global_clock(automaton, clock))
+                if fast:
+                    for clock_id in self._reset_ids[(index, edge)]:
+                        successor.reset(clock_id)
+                else:
+                    automaton = self.network.automata[index]
+                    for clock in edge.resets:
+                        successor.reset(
+                            self.network.global_clock(automaton, clock))
             self._apply_invariants(successor, step.target)
             if successor.is_empty():
                 continue
-            if not self.network.is_urgent(step.target):
+            if not self._is_urgent(step.target):
                 successor.up()
                 self._apply_invariants(successor, step.target)
                 if successor.is_empty():
                     continue
-            successor.extrapolate(self._k)
+            if fast:
+                successor.extrapolate_fast(self._k)
+            else:
+                successor.extrapolate(self._k)
             yield step, step.target, successor
 
     def _holds(self, formula: StateFormula, state: NetworkState,
@@ -136,6 +260,13 @@ class ZoneGraphChecker:
         constraint = atom.constraint
         i, j = self.network.constraint_indices(automaton, constraint)
         op, value = constraint.op, constraint.value
+        if not self._fast:
+            # Reference path: probe with full re-canonicalization.
+            probe = zone.copy()
+            for pi, pj, bound in _constraint_ops(self.network, automaton,
+                                                 constraint):
+                probe.constrain_full(pi, pj, bound)
+            return not probe.is_empty()
         if op in ("<", "<="):
             return zone.intersects(i, j, encode(value, strict=(op == "<")))
         if op in (">", ">="):
@@ -151,9 +282,15 @@ class ZoneGraphChecker:
         """Lazily enumerate reachable symbolic states with witness paths.
 
         Inclusion-checking: a new zone subsumed by an already-stored
-        zone at the same discrete state is pruned.
+        zone at the same discrete state is pruned.  In fast mode each
+        discrete state's zones live in a dict keyed by the zone's
+        canonical hash key — repeat zones (the common case) prune in
+        O(1) before the inclusion scan runs.
         """
         initial_state, initial_zone = self._initial()
+        if self._fast:
+            yield from self._explore_fast(initial_state, initial_zone)
+            return
         stored: Dict[NetworkState, List[DBM]] = {
             initial_state: [initial_zone]}
         queue = deque([(initial_state, initial_zone, [])])
@@ -167,6 +304,31 @@ class ZoneGraphChecker:
                 existing[:] = [old for old in existing
                                if not next_zone.includes(old)]
                 existing.append(next_zone)
+                next_path = path + [step.label]
+                yield next_state, next_zone, next_path
+                queue.append((next_state, next_zone, next_path))
+
+    def _explore_fast(self, initial_state: NetworkState, initial_zone: DBM
+                      ) -> Iterable[Tuple[NetworkState, DBM, List[str]]]:
+        stored: Dict[NetworkState, Dict[tuple, DBM]] = {
+            initial_state: {initial_zone.key(): initial_zone}}
+        queue = deque([(initial_state, initial_zone, [])])
+        yield initial_state, initial_zone, []
+        while queue:
+            state, zone, path = queue.popleft()
+            for step, next_state, next_zone in self._successors(state, zone):
+                bucket = stored.setdefault(next_state, {})
+                zone_key = next_zone.key()
+                if zone_key in bucket:
+                    continue
+                zones = bucket.values()
+                if any(old.includes(next_zone) for old in zones):
+                    continue
+                subsumed = [key for key, old in bucket.items()
+                            if next_zone.includes(old)]
+                for key in subsumed:
+                    del bucket[key]
+                bucket[zone_key] = next_zone
                 next_path = path + [step.label]
                 yield next_state, next_zone, next_path
                 queue.append((next_state, next_zone, next_path))
@@ -323,13 +485,12 @@ class ZoneGraphChecker:
         Invariant bounds never exceed the extrapolation constant, so
         extrapolation cannot fake unboundedness here.
         """
-        if self.network.is_urgent(state):
+        if self._is_urgent(state):
             return False
         n = zone.n
         if n == 0:
             return True  # no clocks: delay is always possible
-        from repro.ta.dbm import INF
-        return all(zone.m[i][0] >= INF for i in range(1, n + 1))
+        return all(zone.bound(i, 0) >= INF for i in range(1, n + 1))
 
 
 class DiscreteTimeChecker:

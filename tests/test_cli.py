@@ -133,6 +133,59 @@ class TestPipeline:
         assert code == 1
         assert "requirements-quality" in output
 
+    def test_json_output_is_pure_json(self):
+        import json
+
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json")
+        assert code == 0
+        document = json.loads(output)  # parses as-is: pipeable to jq
+        assert document["passed"] is True
+        assert document["cache"] is None
+        assert any(row["gate"] == "verification"
+                   for row in document["gates"])
+
+    def test_cache_cold_then_warm(self, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "vcache")
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json",
+            "--cache", cache_dir)
+        assert code == 0
+        cold = json.loads(output)["cache"]
+        assert cold["misses"] > 0
+        assert cold["hits"] == 0
+        assert cold["stores"] == cold["misses"]
+
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json",
+            "--cache", cache_dir)
+        assert code == 0
+        warm = json.loads(output)["cache"]
+        # A warm re-run performs zero model-checking calls.
+        assert warm["misses"] == 0
+        assert warm["invalidations"] == 0
+        assert warm["hits"] == cold["misses"]
+
+    def test_jobs_flag_runs_parallel_pipeline(self):
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--jobs", "4")
+        assert code == 0
+        assert "pipeline passed" in output
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            run_cli("pipeline", "--jobs", "0")
+
+    def test_cache_stats_in_text_output(self, tmp_path):
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default",
+            "--cache", str(tmp_path))
+        assert code == 0
+        assert "verification cache:" in output
+        assert "misses=6" in output
+
 
 class TestSoc:
     def test_drift_scenario_runs_end_to_end(self):

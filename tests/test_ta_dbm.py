@@ -112,7 +112,7 @@ class TestExtrapolation:
         zone = DBM.zero(1).up()
         zone.constrain(1, 0, encode(100, False))  # x1 <= 100
         zone.extrapolate(10)
-        assert zone.m[1][0] == INF
+        assert zone.bound(1, 0) == INF
 
     def test_lower_bounds_below_minus_k_relax(self):
         zone = DBM.zero(1).up()
@@ -135,6 +135,105 @@ class TestExtrapolation:
         original = zone.copy()
         zone.extrapolate(10)
         assert zone.includes(original)
+
+
+def random_canonical_dbm(rng, n):
+    """A random non-empty canonical DBM built from feasible constraints."""
+    zone = DBM.unconstrained(n)
+    for _ in range(rng.randrange(0, 3 * n)):
+        i = rng.randrange(0, n + 1)
+        j = rng.randrange(0, n + 1)
+        if i == j:
+            continue
+        bound = encode(rng.randrange(-6, 12), strict=bool(rng.getrandbits(1)))
+        probe = zone.copy().constrain_full(i, j, bound)
+        if not probe.is_empty():
+            zone = probe
+    return zone
+
+
+class TestIncrementalClosure:
+    """The incremental re-closures must match full Floyd-Warshall."""
+
+    def test_constrain_matches_constrain_full_randomized(self):
+        import random
+        rng = random.Random(0xD811)
+        for trial in range(300):
+            n = rng.randrange(1, 5)
+            zone = random_canonical_dbm(rng, n)
+            i = rng.randrange(0, n + 1)
+            j = rng.randrange(0, n + 1)
+            if i == j:
+                continue
+            bound = encode(rng.randrange(-8, 12),
+                           strict=bool(rng.getrandbits(1)))
+            fast = zone.copy().constrain(i, j, bound)
+            full = zone.copy().constrain_full(i, j, bound)
+            assert fast.is_empty() == full.is_empty(), \
+                f"trial {trial}: emptiness diverged"
+            if not full.is_empty():
+                assert fast.key() == full.key(), \
+                    f"trial {trial}: closure diverged"
+
+    def test_down_matches_full_floyd_warshall_randomized(self):
+        import random
+        rng = random.Random(0xD822)
+        for trial in range(200):
+            n = rng.randrange(1, 5)
+            zone = random_canonical_dbm(rng, n)
+            fast = zone.copy().down()
+            # Reference: same row-0 recompute, then a full closure.
+            slow = zone.copy()
+            dim = slow.dim
+            for j in range(1, dim):
+                lowest = LE_ZERO
+                for i in range(1, dim):
+                    if slow.m[i * dim + j] < lowest:
+                        lowest = slow.m[i * dim + j]
+                slow.m[j] = lowest
+            slow.canonicalize()
+            assert fast.key() == slow.key(), f"trial {trial}: down diverged"
+
+    def test_extrapolate_fast_matches_full_randomized(self):
+        import random
+        rng = random.Random(0xD844)
+        for trial in range(300):
+            n = rng.randrange(1, 5)
+            zone = random_canonical_dbm(rng, n)
+            k = rng.randrange(1, 8)
+            fast = zone.copy().extrapolate_fast(k)
+            full = zone.copy().extrapolate(k)
+            assert fast.key() == full.key(), \
+                f"trial {trial}: extrapolation diverged (k={k})"
+
+    def test_chained_operations_stay_canonical(self):
+        import random
+        rng = random.Random(0xD833)
+        for trial in range(100):
+            n = rng.randrange(1, 4)
+            zone = random_canonical_dbm(rng, n)
+            for _ in range(rng.randrange(1, 6)):
+                op = rng.choice(["up", "down", "reset", "constrain"])
+                if op == "up":
+                    zone.up()
+                elif op == "down":
+                    zone.down()
+                elif op == "reset":
+                    zone.reset(rng.randrange(1, n + 1))
+                else:
+                    i = rng.randrange(0, n + 1)
+                    j = rng.randrange(0, n + 1)
+                    if i == j:
+                        continue
+                    bound = encode(rng.randrange(-6, 12),
+                                   strict=bool(rng.getrandbits(1)))
+                    probe = zone.copy().constrain(i, j, bound)
+                    if probe.is_empty():
+                        continue
+                    zone = probe
+            reference = zone.copy().canonicalize()
+            assert zone.key() == reference.key(), \
+                f"trial {trial}: non-canonical after chained ops"
 
 
 class TestHashability:
