@@ -52,6 +52,22 @@ def _print_rows(rows: Sequence[dict], out) -> None:
               file=out)
 
 
+def _print_json(document, out, status_line: str = "") -> None:
+    """Emit one machine-readable JSON document on *out*.
+
+    The document is stdout's only content — stable key order, trailing
+    newline — so ``--json`` output pipes cleanly into ``jq`` or the
+    schema validator; any human status line moves to stderr.  Every
+    ``--json`` code path goes through here (``pipeline``, ``reqs``),
+    keeping the JSON contract in one place.
+    """
+    import json as json_mod
+
+    print(json_mod.dumps(document, indent=1, sort_keys=True), file=out)
+    if status_line:
+        print(status_line, file=sys.stderr)
+
+
 def _host_for(profile: str) -> SimulatedHost:
     try:
         return PROFILES[profile]()
@@ -300,8 +316,6 @@ def cmd_pipeline(args, out) -> int:
     machine-readable run summary (cache stats included) on stdout with
     status lines on stderr, like ``repro soc --json``.
     """
-    import json as json_mod
-
     from repro.core import VeriDevOpsOrchestrator
     from repro.prevention import bundled_verification_tasks
 
@@ -324,7 +338,6 @@ def cmd_pipeline(args, out) -> int:
         cache=cache,
     )
     if args.json:
-        status = sys.stderr
         document = {
             "profile": args.profile,
             "passed": run.passed,
@@ -334,8 +347,7 @@ def cmd_pipeline(args, out) -> int:
             "cache": (run.context.get("verification_cache_stats")
                       if cache is not None else None),
         }
-        print(json_mod.dumps(document, indent=1, sort_keys=True), file=out)
-        print(run.summary(), file=status)
+        _print_json(document, out, status_line=run.summary())
         return 0 if run.passed else 1
     _print_rows(run.gate_rows(), out)
     if cache is not None:
@@ -346,6 +358,157 @@ def cmd_pipeline(args, out) -> int:
               file=out)
     print(run.summary(), file=out)
     return 0 if run.passed else 1
+
+
+def _reqs_corpora(registry, frontend: Optional[str]) -> Dict[str, list]:
+    """Bundled IR per front-end (one, or all registered)."""
+    if frontend:
+        try:
+            return {frontend: registry.lower_bundled(frontend)}
+        except KeyError:
+            raise SystemExit(
+                f"repro reqs: unknown front-end {frontend!r}; "
+                f"registered: {', '.join(registry.names())}")
+    return registry.lower_all_bundled()
+
+
+def _reqs_find(registry, frontend: Optional[str], rid: str):
+    """Locate one IR record by id across the bundled corpora."""
+    for name, irs in sorted(_reqs_corpora(registry, frontend).items()):
+        for ir in irs:
+            if ir.rid == rid:
+                return name, ir
+    raise SystemExit(f"repro reqs: no requirement {rid!r} in the "
+                     f"bundled corpora")
+
+
+def cmd_reqs(args, out) -> int:
+    """Inspect the unified requirements plane.
+
+    ``list`` lowers every registered front-end's bundled corpus into
+    the IR and tabulates it; ``show`` prints one record in full;
+    ``lower`` dumps one front-end's IR with fingerprints; ``trace``
+    walks source -> IR -> enforceable artifacts for one record.  All
+    actions accept ``--json``; its output is schema-valid against
+    ``schemas/requirement-ir.schema.json`` (the CI smoke pipes
+    ``list --json`` straight into the validator).
+    """
+    from repro.reqs import default_registry
+
+    registry = default_registry()
+
+    if args.action == "list":
+        corpora = _reqs_corpora(registry, args.frontend)
+        records = [ir for _, irs in sorted(corpora.items()) for ir in irs]
+        if args.json:
+            _print_json([ir.to_dict() for ir in records], out,
+                        status_line=f"{len(records)} requirements from "
+                                    f"{len(corpora)} front-end(s)")
+            return 0
+        rows = [
+            {"rid": ir.rid, "frontend": ir.source,
+             "target": ir.target_kind, "severity": ir.severity,
+             "pattern": (ir.formalization.pattern_kind or "-")
+             if ir.formalization else "-",
+             "title": ir.title[:48]}
+            for ir in records
+        ]
+        _print_rows(rows, out)
+        print(f"{len(records)} requirements from {len(corpora)} "
+              f"front-end(s): "
+              + ", ".join(f"{name}={len(irs)}"
+                          for name, irs in sorted(corpora.items())),
+              file=out)
+        return 0
+
+    if args.action == "lower":
+        try:
+            irs = registry.lower_bundled(args.frontend)
+        except KeyError:
+            raise SystemExit(
+                f"repro reqs: unknown front-end {args.frontend!r}; "
+                f"registered: {', '.join(registry.names())}")
+        if args.json:
+            _print_json([dict(ir.to_dict(),
+                              fingerprint=ir.fingerprint()) for ir in irs],
+                        out,
+                        status_line=f"{len(irs)} requirements lowered "
+                                    f"from {args.frontend!r}")
+            return 0
+        rows = [
+            {"rid": ir.rid, "fingerprint": ir.fingerprint(),
+             "content": ir.content_fingerprint()}
+            for ir in irs
+        ]
+        _print_rows(rows, out)
+        print(f"{len(irs)} requirements lowered from "
+              f"{args.frontend!r}", file=out)
+        return 0
+
+    frontend, ir = _reqs_find(registry, args.frontend, args.rid)
+
+    if args.action == "show":
+        if args.json:
+            _print_json(ir.to_dict(), out)
+            return 0
+        print(f"rid       : {ir.rid}", file=out)
+        print(f"frontend  : {frontend}", file=out)
+        print(f"title     : {ir.title}", file=out)
+        print(f"text      : {ir.text}", file=out)
+        print(f"target    : {ir.target_kind}", file=out)
+        print(f"severity  : {ir.severity}", file=out)
+        if ir.formalization is not None:
+            pattern, scope = ir.pattern_scope()
+            print(f"pattern   : ({pattern}) ({scope})", file=out)
+            print(f"LTL       : {ir.formalization.ltl or '-'}", file=out)
+            print(f"TCTL      : {ir.formalization.tctl or '-'}", file=out)
+        else:
+            print("pattern   : -", file=out)
+        print(f"tags      : {', '.join(ir.tags) or '-'}", file=out)
+        print(f"bindings  : {', '.join(ir.bindings) or '-'}", file=out)
+        for index, link in enumerate(ir.provenance):
+            print(f"source #{index} : {link.render()}", file=out)
+        return 0
+
+    # trace: source -> IR -> enforceable artifacts.  Bindings are
+    # RQCODE finding ids by IR contract, so any bound record can raise
+    # through the rqcode adapter even if its own front-end cannot.
+    host = _host_for(args.profile)
+    artifacts = []
+    for name in (frontend, "rqcode"):
+        try:
+            artifacts = [type(artifact).__name__ for artifact
+                         in registry.get(name).raise_artifacts(ir, host)]
+        except Exception:  # noqa: BLE001 - not every front-end raises
+            continue
+        break
+    document = {
+        "rid": ir.rid,
+        "frontend": frontend,
+        "provenance": [link.to_dict() for link in ir.provenance],
+        "fingerprint": ir.fingerprint(),
+        "content_fingerprint": ir.content_fingerprint(),
+        "ltl": ir.formalization.ltl if ir.formalization else "",
+        "tctl": ir.formalization.tctl if ir.formalization else "",
+        "bindings": list(ir.bindings),
+        "profile": args.profile,
+        "artifacts": artifacts,
+    }
+    if args.json:
+        _print_json(document, out)
+        return 0
+    print(f"{ir.rid} ({frontend})", file=out)
+    for index, link in enumerate(ir.provenance):
+        print(f"  source #{index}   : {link.render()}", file=out)
+    print(f"  IR digest   : {document['fingerprint']}", file=out)
+    print(f"  content     : {document['content_fingerprint']}", file=out)
+    print(f"  LTL         : {document['ltl'] or '-'}", file=out)
+    print(f"  TCTL        : {document['tctl'] or '-'}", file=out)
+    print(f"  bindings    : {', '.join(ir.bindings) or '-'}", file=out)
+    print(f"  artifacts   : "
+          + (", ".join(artifacts) if artifacts
+             else f"none raised for {args.profile}"), file=out)
+    return 0
 
 
 # -- parser ----------------------------------------------------------------------
@@ -451,6 +614,42 @@ def build_parser() -> argparse.ArgumentParser:
                                "summary (cache stats included) instead "
                                "of the text table")
     pipeline.set_defaults(func=cmd_pipeline)
+
+    reqs = subparsers.add_parser(
+        "reqs", help="inspect the unified requirements plane (IR)")
+    reqs_actions = reqs.add_subparsers(dest="action", required=True)
+
+    reqs_list = reqs_actions.add_parser(
+        "list", help="lower every bundled front-end corpus and tabulate")
+    reqs_list.add_argument("--frontend", default=None,
+                           help="restrict to one registered front-end")
+    reqs_list.add_argument("--json", action="store_true",
+                           help="emit the IR records as a JSON array "
+                                "(schema-valid; see schemas/)")
+    reqs_list.set_defaults(func=cmd_reqs)
+
+    reqs_show = reqs_actions.add_parser(
+        "show", help="print one bundled IR record in full")
+    reqs_show.add_argument("rid", help="requirement id (see reqs list)")
+    reqs_show.add_argument("--frontend", default=None)
+    reqs_show.add_argument("--json", action="store_true")
+    reqs_show.set_defaults(func=cmd_reqs)
+
+    reqs_lower = reqs_actions.add_parser(
+        "lower", help="lower one front-end's corpus, with fingerprints")
+    reqs_lower.add_argument("frontend",
+                            help="registered front-end name")
+    reqs_lower.add_argument("--json", action="store_true")
+    reqs_lower.set_defaults(func=cmd_reqs)
+
+    reqs_trace = reqs_actions.add_parser(
+        "trace", help="walk source -> IR -> artifacts for one record")
+    reqs_trace.add_argument("rid")
+    reqs_trace.add_argument("--frontend", default=None)
+    reqs_trace.add_argument("--profile", default="ubuntu-default",
+                            help="host profile for artifact raising")
+    reqs_trace.add_argument("--json", action="store_true")
+    reqs_trace.set_defaults(func=cmd_reqs)
 
     return parser
 

@@ -38,6 +38,7 @@ from repro.core.gates import (
     RequirementsQualityGate,
     SecurityGate,
     VerificationGate,
+    gate_repository,
 )
 from repro.core.repository import (
     RequirementRecord,
@@ -88,6 +89,7 @@ __all__ = [
     "StageResult",
     "VeriDevOpsOrchestrator",
     "VerificationGate",
+    "gate_repository",
     "repository_from_json",
     "repository_to_json",
 ]

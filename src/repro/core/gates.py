@@ -14,6 +14,12 @@ one-to-one to the framework's promises:
   optionally auto-remediating (WP4 hardening / deployment).
 * :class:`MonitoringGate` — runtime monitors are instantiated for every
   formalized requirement before deployment completes (WP3 handoff).
+
+Gates read requirements through :func:`gate_repository`: a context may
+carry a ready ``repository`` or, equivalently, a ``requirements_ir``
+collection of canonical :class:`~repro.reqs.ir.Requirement` records —
+the IR is materialized into a repository on first access, so callers
+holding only front-end-lowered IR can run the pipeline directly.
 """
 
 from concurrent.futures import ThreadPoolExecutor
@@ -34,6 +40,30 @@ from repro.specpatterns.ltl_mappings import PatternScopeUnsupported, to_ltl
 from repro.specpatterns.tctl_mappings import to_tctl
 from repro.ta.checker import CheckResult, ZoneGraphChecker
 from repro.ta.query import parse_query
+
+
+def gate_repository(context: PipelineContext,
+                    required: bool = True
+                    ) -> Optional[RequirementRepository]:
+    """The context's repository, materializing ``requirements_ir``.
+
+    Precedence: an explicit ``repository`` artifact wins; otherwise a
+    ``requirements_ir`` collection (IR records from any front-end) is
+    lowered into a fresh repository and cached back on the context so
+    every gate sees the same mutable records.  With ``required`` the
+    absence of both raises, mirroring ``context.require``.
+    """
+    repository = context.get("repository")
+    if repository is not None:
+        return repository
+    irs = context.get("requirements_ir")
+    if irs is not None:
+        repository = RequirementRepository.from_irs(irs)
+        context.put("repository", repository)
+        return repository
+    if required:
+        return context.require("repository")
+    return None
 
 
 @dataclass
@@ -69,7 +99,7 @@ class RequirementsQualityGate(SecurityGate):
         self.analyzer = analyzer if analyzer is not None else NalabsAnalyzer()
 
     def evaluate(self, context: PipelineContext) -> GateResult:
-        repository: RequirementRepository = context.require("repository")
+        repository: RequirementRepository = gate_repository(context)
         records = repository.all()
         if not records:
             return GateResult(passed=True, detail="no requirements to check")
@@ -107,7 +137,7 @@ class FormalizationGate(SecurityGate):
         self.min_formalized_ratio = min_formalized_ratio
 
     def evaluate(self, context: PipelineContext) -> GateResult:
-        repository: RequirementRepository = context.require("repository")
+        repository: RequirementRepository = gate_repository(context)
         records = repository.all()
         if not records:
             return GateResult(passed=True, detail="no requirements")
@@ -231,7 +261,7 @@ class VerificationGate(SecurityGate):
         context.put("verification_results", results)
         passed = not failures
         if passed:
-            repository: RequirementRepository = context.get("repository")
+            repository = gate_repository(context, required=False)
             if repository is not None:
                 for record in repository.formalized():
                     if record.status is RequirementStatus.FORMALIZED:
@@ -285,7 +315,7 @@ class ComplianceGate(SecurityGate):
         worst = min(report.compliance_ratio for report in reports)
         passed = worst >= self.min_compliance
         if passed:
-            repository: RequirementRepository = context.get("repository")
+            repository = gate_repository(context, required=False)
             if repository is not None:
                 for record in repository.all():
                     if record.rqcode_findings and \
@@ -312,7 +342,7 @@ class MonitoringGate(SecurityGate):
     name = "monitoring-deployment"
 
     def evaluate(self, context: PipelineContext) -> GateResult:
-        repository: RequirementRepository = context.require("repository")
+        repository: RequirementRepository = gate_repository(context)
         monitors: Dict[str, LtlMonitor] = {}
         broken: List[str] = []
         for record in repository.formalized():

@@ -3,10 +3,17 @@
 ``VeriDevOpsOrchestrator`` owns a requirement repository and builds the
 prevention pipeline around it:
 
-1. **Ingestion (WP2)** — :meth:`ingest_natural_language` (RESA
+1. **Ingestion (WP2)** — every ingestion method lowers its native
+   objects through the registered front-end adapter
+   (:mod:`repro.reqs.adapters`) into the canonical Requirement IR and
+   stores the result: :meth:`ingest_natural_language` (RESA
    boilerplate matching attaches patterns), :meth:`ingest_standards`
    (one requirement per catalogue finding, with its RQCODE binding),
-   :meth:`ingest_vulnerabilities` (the vulndb generator).
+   :meth:`ingest_vulnerabilities` (the vulndb generator), plus the
+   source-agnostic :meth:`ingest_ir` / :meth:`ingest_frontend` for IR
+   produced elsewhere.  A record ingested through a native method and
+   one lowered externally through the registry are field-for-field
+   identical, so prevention-cache fingerprints agree across paths.
 2. **Prevention (WP4)** — :meth:`build_pipeline` assembles the staged
    pipeline with the five security gates; :meth:`run_prevention`
    executes it against target hosts.
@@ -41,8 +48,8 @@ from repro.environment.host import SimulatedHost
 from repro.ltl.compile import CompiledMonitor
 from repro.ltl.monitor import LtlMonitor
 from repro.ltl.parser import parse_ltl
-from repro.resa.boilerplates import BoilerplateMatchError, match_boilerplate
-from repro.resa.export import to_pattern
+from repro.reqs.ir import Requirement
+from repro.reqs.registry import FrontendRegistry, default_registry
 from repro.rqcode.catalog import StigCatalog, default_catalog
 from repro.vulndb.database import VulnerabilityDatabase
 from repro.vulndb.generator import RequirementGenerator, SoftwareInventory
@@ -63,9 +70,12 @@ def _event_compatible(monitor: LtlMonitor) -> bool:
 class VeriDevOpsOrchestrator:
     """End-to-end driver for the framework."""
 
-    def __init__(self, catalog: Optional[StigCatalog] = None):
+    def __init__(self, catalog: Optional[StigCatalog] = None,
+                 registry: Optional[FrontendRegistry] = None):
         self.repository = RequirementRepository()
         self.catalog = catalog if catalog is not None else default_catalog()
+        self.registry = registry if registry is not None \
+            else default_registry()
         self._counter = 0
 
     # -- WP2: ingestion -------------------------------------------------------------
@@ -73,6 +83,30 @@ class VeriDevOpsOrchestrator:
     def _next_id(self, prefix: str) -> str:
         self._counter += 1
         return f"{prefix}-{self._counter:03d}"
+
+    def _ids(self, prefix: str):
+        """An id allocator adapters can draw from (shared counter)."""
+        return lambda: self._next_id(prefix)
+
+    def ingest_ir(self, irs: Sequence[Requirement]
+                  ) -> List[RequirementRecord]:
+        """Store IR records lowered elsewhere (any front-end)."""
+        return self.repository.extend_ir(irs)
+
+    def ingest_frontend(self, name: str,
+                        natives: Optional[Sequence] = None
+                        ) -> List[RequirementRecord]:
+        """Lower one registered front-end and store the result.
+
+        With *natives* omitted, the adapter's bundled corpus is
+        lowered — the uniform path ``repro reqs`` and the SOC's
+        front-end arming use.
+        """
+        if natives is None:
+            irs = self.registry.lower_bundled(name)
+        else:
+            irs = self.registry.lower(name, natives)
+        return self.ingest_ir(irs)
 
     def ingest_natural_language(self, statements: Sequence[str]
                                 ) -> List[RequirementRecord]:
@@ -82,21 +116,8 @@ class VeriDevOpsOrchestrator:
         (the quality gate will judge them); they simply carry no
         pattern and stay at the textual level.
         """
-        records = []
-        for text in statements:
-            record = RequirementRecord(
-                req_id=self._next_id("NL"),
-                text=text,
-                source=RequirementSource.NATURAL_LANGUAGE,
-            )
-            try:
-                structured = match_boilerplate(record.req_id, text)
-                record.pattern, record.scope = to_pattern(structured)
-                record.provenance = f"boilerplate {structured.boilerplate_id}"
-            except BoilerplateMatchError:
-                record.provenance = "free-form (no boilerplate match)"
-            records.append(self.repository.add(record))
-        return records
+        return self.ingest_ir(self.registry.lower(
+            "resa", list(statements), ids=self._ids("NL")))
 
     def ingest_resa_document(self, text: str) -> List[RequirementRecord]:
         """Ingest a RESA document (``ID: statement`` lines).
@@ -107,44 +128,16 @@ class VeriDevOpsOrchestrator:
         ids are preserved in provenance.
         """
         from repro.resa import parse_document
-        from repro.resa.export import to_pattern as export_pattern
 
         document = parse_document(text)
-        records = []
-        for structured in document.requirements:
-            record = RequirementRecord(
-                req_id=self._next_id("NL"),
-                text=structured.text,
-                source=RequirementSource.NATURAL_LANGUAGE,
-                provenance=(f"{structured.req_id} "
-                            f"(boilerplate {structured.boilerplate_id})"),
-            )
-            record.pattern, record.scope = export_pattern(structured)
-            records.append(self.repository.add(record))
-        return records
+        return self.ingest_ir(self.registry.lower(
+            "resa", document.requirements, ids=self._ids("NL")))
 
     def ingest_standards(self, platform: str) -> List[RequirementRecord]:
         """One requirement per catalogue finding for *platform*."""
-        from repro.specpatterns.patterns import Universality
-        from repro.specpatterns.scopes import Globally
-
-        records = []
-        for entry in self.catalog.entries_for(platform):
-            atom = f"compliant_{entry.finding_id}".replace("-", "_")
-            record = RequirementRecord(
-                req_id=self._next_id("STD"),
-                text=(
-                    f"The system shall satisfy STIG finding "
-                    f"{entry.finding_id} continuously."
-                ),
-                source=RequirementSource.STANDARD,
-                pattern=Universality(p=atom),
-                scope=Globally(),
-                rqcode_findings=[entry.finding_id],
-                provenance=f"STIG {entry.finding_id} ({platform})",
-            )
-            records.append(self.repository.add(record))
-        return records
+        return self.ingest_ir(self.registry.lower(
+            "rqcode", self.catalog.entries_for(platform),
+            ids=self._ids("STD")))
 
     def ingest_iec62443(self, platform: str,
                         level=None) -> List[RequirementRecord]:
@@ -154,8 +147,6 @@ class VeriDevOpsOrchestrator:
         bindings (and so reach deployment and protection); unmapped SRs
         are still recorded, keeping the gap visible in traceability.
         """
-        from repro.specpatterns.patterns import Universality
-        from repro.specpatterns.scopes import Globally
         from repro.standards import (
             DEFAULT_SR_MAPPING,
             SecurityLevel,
@@ -164,70 +155,24 @@ class VeriDevOpsOrchestrator:
 
         level = level if level is not None else SecurityLevel.SL1
         platform_findings = set(self.catalog.finding_ids(platform))
-        records = []
+        natives = []
         for sr in requirements_for_level(level):
             mapping = DEFAULT_SR_MAPPING.get(sr.sr_id)
-            bindings = []
+            bindings = ()
             if mapping is not None:
-                bindings = [fid for fid in mapping.finding_ids
-                            if fid in platform_findings]
-            atom = ("satisfied_" + sr.sr_id.replace(" ", "_")
-                    .replace(".", "_"))
-            record = RequirementRecord(
-                req_id=self._next_id("IEC"),
-                text=(f"The system shall satisfy {sr.sr_id} "
-                      f"({sr.name}) continuously."),
-                source=RequirementSource.STANDARD,
-                pattern=Universality(p=atom),
-                scope=Globally(),
-                rqcode_findings=bindings,
-                provenance=(f"IEC 62443-3-3 {sr.sr_id}, baseline "
-                            f"SL{sr.baseline_level.value}: {sr.intent}"),
-            )
-            records.append(self.repository.add(record))
-        return records
+                bindings = tuple(fid for fid in mapping.finding_ids
+                                 if fid in platform_findings)
+            natives.append((sr, bindings))
+        return self.ingest_ir(self.registry.lower(
+            "standards", natives, ids=self._ids("IEC")))
 
     def ingest_vulnerabilities(self, database: VulnerabilityDatabase,
                                inventory: SoftwareInventory
                                ) -> List[RequirementRecord]:
         """Run the vulndb generator and record its requirements."""
-        from repro.specpatterns import patterns as pat
-        from repro.specpatterns.scopes import Globally
-
-        def atom(prefix: str, cve: str) -> str:
-            return f"{prefix}_{cve}".replace("-", "_")
-
-        factory = {
-            "Absence": lambda r: pat.Absence(
-                p=atom("exploit", r.source_cve)),
-            "Existence": lambda r: pat.Existence(
-                p=atom("audited", r.source_cve)),
-            "Universality": lambda r: pat.Universality(
-                p=atom("hardened", r.source_cve)),
-            "Precedence": lambda r: pat.Precedence(
-                p=atom("access", r.source_cve),
-                s=atom("authz", r.source_cve)),
-            "TimedResponse": lambda r: pat.TimedResponse(
-                p=atom("exhaustion", r.source_cve),
-                s=atom("recovered", r.source_cve), bound=60),
-        }
         report = RequirementGenerator(database).generate(inventory)
-        records = []
-        for generated in report.requirements:
-            record = RequirementRecord(
-                req_id=self._next_id("VDB"),
-                text=generated.text,
-                source=RequirementSource.VULNERABILITY_DB,
-                pattern=factory[generated.pattern_family](generated),
-                scope=Globally(),
-                provenance=(
-                    f"{generated.source_cve} "
-                    f"({generated.cwe_category}, "
-                    f"{generated.severity.value})"
-                ),
-            )
-            records.append(self.repository.add(record))
-        return records
+        return self.ingest_ir(self.registry.lower(
+            "vulndb", report.requirements, ids=self._ids("VDB")))
 
     # -- WP4: prevention ---------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.core.repository import (
     RequirementSource,
     RequirementStatus,
 )
+from repro.reqs.ir import Provenance
 from repro.specpatterns import patterns as pattern_module
 from repro.specpatterns import scopes as scope_module
 from repro.specpatterns.patterns import Pattern
@@ -66,6 +67,13 @@ def record_to_dict(record: RequirementRecord) -> Dict[str, Any]:
         "tctl": record.tctl,
         "rqcode_findings": list(record.rqcode_findings),
         "provenance": record.provenance,
+        "title": record.title,
+        "frontend": record.frontend,
+        "target_kind": record.target_kind,
+        "severity": record.severity,
+        "tags": list(record.tags),
+        "provenance_chain": [link.to_dict()
+                             for link in record.provenance_chain],
     }
 
 
@@ -85,6 +93,13 @@ def record_from_dict(payload: Dict[str, Any]) -> RequirementRecord:
         tctl=payload.get("tctl", ""),
         rqcode_findings=list(payload.get("rqcode_findings", [])),
         provenance=payload.get("provenance", ""),
+        title=payload.get("title", ""),
+        frontend=payload.get("frontend", ""),
+        target_kind=payload.get("target_kind", ""),
+        severity=payload.get("severity", "medium"),
+        tags=list(payload.get("tags", [])),
+        provenance_chain=[Provenance.from_dict(link)
+                          for link in payload.get("provenance_chain", [])],
     )
 
 

@@ -1,17 +1,24 @@
 """Requirement repository with lifecycle and traceability.
 
 Every security requirement the framework handles — whatever its source
-— becomes a :class:`RequirementRecord` that carries its lifecycle
-status, its formalization artifacts (specification pattern, LTL and
-TCTL renderings), and its bindings to enforcement mechanisms (RQCODE
-finding ids).  The repository is the traceability backbone: experiment
-E1's end-to-end table is a walk over these records.
+— is canonically a :class:`~repro.reqs.ir.Requirement` (the immutable
+IR every front-end lowers into).  The repository stores each IR record
+wrapped in a :class:`RequirementRecord`: the IR's normative content
+plus the *mutable* pipeline bookkeeping (lifecycle status, quality
+flags, rendered formulas) the gates advance.  :meth:`RequirementRecord.
+to_ir` re-canonicalizes a record at any point — that serialization is
+what the prevention plane fingerprints, so cache keys are front-end
+agnostic.
+
+The repository is the traceability backbone: experiment E1's
+end-to-end table is a walk over these records.
 """
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
+from repro.reqs.ir import Formalization, Provenance, Requirement
 from repro.specpatterns.patterns import Pattern
 from repro.specpatterns.scopes import Scope
 
@@ -22,6 +29,23 @@ class RequirementSource(enum.Enum):
     NATURAL_LANGUAGE = "natural-language"
     VULNERABILITY_DB = "vulnerability-db"
     STANDARD = "standard"
+
+
+#: Front-end registry name -> coarse WP2 source, and a fallback the
+#: other way for records predating the IR (no front-end recorded).
+FRONTEND_SOURCES: Dict[str, RequirementSource] = {
+    "nalabs": RequirementSource.NATURAL_LANGUAGE,
+    "resa": RequirementSource.NATURAL_LANGUAGE,
+    "rqcode": RequirementSource.STANDARD,
+    "standards": RequirementSource.STANDARD,
+    "vulndb": RequirementSource.VULNERABILITY_DB,
+}
+
+_DEFAULT_FRONTENDS: Dict[RequirementSource, str] = {
+    RequirementSource.NATURAL_LANGUAGE: "resa",
+    RequirementSource.VULNERABILITY_DB: "vulndb",
+    RequirementSource.STANDARD: "rqcode",
+}
 
 
 class RequirementStatus(enum.Enum):
@@ -50,7 +74,15 @@ _STATUS_ORDER = [
 
 @dataclass
 class RequirementRecord:
-    """One requirement with full traceability."""
+    """One requirement with full traceability.
+
+    The identity/content fields mirror the IR; ``status``,
+    ``quality_flags``, ``ltl`` and ``tctl`` are the mutable pipeline
+    state layered on top.  ``provenance`` keeps the legacy one-line
+    string; ``provenance_chain`` carries the full typed source chain
+    (IR-ingested records always have one; hand-built records fall back
+    to wrapping the string at canonicalization time).
+    """
 
     req_id: str
     text: str
@@ -67,6 +99,13 @@ class RequirementRecord:
     rqcode_findings: List[str] = field(default_factory=list)
     #: Free-form provenance (CVE id, STIG id, document section).
     provenance: str = ""
+    #: IR content carried alongside the legacy fields.
+    title: str = ""
+    frontend: str = ""
+    target_kind: str = ""
+    severity: str = "medium"
+    tags: List[str] = field(default_factory=list)
+    provenance_chain: List[Provenance] = field(default_factory=list)
 
     def advance_to(self, status: RequirementStatus) -> None:
         """Move the lifecycle forward; regression raises.
@@ -80,6 +119,62 @@ class RequirementRecord:
                 f"to {status.value}"
             )
         self.status = status
+
+    # -- IR canonicalization -------------------------------------------------------
+
+    @classmethod
+    def from_ir(cls, ir: Requirement) -> "RequirementRecord":
+        """Lower an IR record into a fresh (ELICITED) repository record."""
+        pattern, scope = ir.pattern_scope()
+        formalization = ir.formalization
+        return cls(
+            req_id=ir.rid,
+            text=ir.text,
+            source=FRONTEND_SOURCES.get(
+                ir.source, RequirementSource.NATURAL_LANGUAGE),
+            pattern=pattern,
+            scope=scope,
+            ltl=formalization.ltl if formalization else "",
+            tctl=formalization.tctl if formalization else "",
+            rqcode_findings=list(ir.bindings),
+            provenance=ir.legacy_provenance(),
+            title=ir.title,
+            frontend=ir.source,
+            target_kind=ir.target_kind,
+            severity=ir.severity,
+            tags=list(ir.tags),
+            provenance_chain=list(ir.provenance),
+        )
+
+    def to_ir(self) -> Requirement:
+        """The record's canonical IR form, *as of now*.
+
+        Mutable pipeline bookkeeping (status, quality flags) is
+        deliberately excluded; the rendered formulas are included
+        because they are verification inputs.  Records built through
+        :meth:`from_ir` round-trip exactly.
+        """
+        chain = tuple(self.provenance_chain)
+        if not chain and self.provenance:
+            chain = (Provenance("legacy", self.req_id, self.provenance),)
+        formalization = None
+        if self.pattern is not None or self.ltl or self.tctl:
+            formalization = Formalization.from_objects(
+                self.pattern, self.scope, ltl=self.ltl, tctl=self.tctl)
+        return Requirement(
+            rid=self.req_id,
+            title=self.title,
+            text=self.text,
+            source=self.frontend or _DEFAULT_FRONTENDS[self.source],
+            provenance=chain,
+            target_kind=self.target_kind or (
+                "host" if self.rqcode_findings
+                else "monitor" if self.pattern is not None else "document"),
+            severity=self.severity,
+            formalization=formalization,
+            tags=tuple(self.tags),
+            bindings=tuple(self.rqcode_findings),
+        )
 
 
 class RequirementRepository:
@@ -103,11 +198,34 @@ class RequirementRepository:
         self._records[record.req_id] = record
         return record
 
+    def add_ir(self, ir: Requirement) -> RequirementRecord:
+        """Store one IR record (the native ingestion path)."""
+        return self.add(RequirementRecord.from_ir(ir))
+
+    def extend_ir(self, irs: Iterable[Requirement]
+                  ) -> List[RequirementRecord]:
+        return [self.add_ir(ir) for ir in irs]
+
+    @classmethod
+    def from_irs(cls, irs: Iterable[Requirement]) -> "RequirementRepository":
+        """Build a repository from an IR collection (any front-end)."""
+        repository = cls()
+        repository.extend_ir(irs)
+        return repository
+
     def get(self, req_id: str) -> RequirementRecord:
         return self._records[req_id]
 
+    def get_ir(self, req_id: str) -> Requirement:
+        """The canonical IR of one stored record."""
+        return self._records[req_id].to_ir()
+
     def all(self) -> List[RequirementRecord]:
         return sorted(self._records.values(), key=lambda r: r.req_id)
+
+    def irs(self) -> List[Requirement]:
+        """Every record canonicalized, sorted by id."""
+        return [record.to_ir() for record in self.all()]
 
     def with_status(self, status: RequirementStatus
                     ) -> List[RequirementRecord]:
@@ -120,8 +238,26 @@ class RequirementRepository:
                     ) -> List[RequirementRecord]:
         return [r for r in self.all() if r.source is source]
 
+    def from_frontend(self, frontend: str) -> List[RequirementRecord]:
+        """Records lowered from one registered front-end."""
+        return [r for r in self.all() if r.to_ir().source == frontend]
+
     def formalized(self) -> List[RequirementRecord]:
         return [r for r in self.all() if r.pattern is not None]
+
+    def duplicate_groups(self) -> Dict[str, List[str]]:
+        """Content fingerprint -> ids sharing it (cross-source dedup).
+
+        Only groups with more than one member are returned; the digest
+        ignores ids and provenance, so the same normative requirement
+        reached through two front-ends lands in one group.
+        """
+        groups: Dict[str, List[str]] = {}
+        for record in self.all():
+            groups.setdefault(
+                record.to_ir().content_fingerprint(), []).append(
+                record.req_id)
+        return {key: ids for key, ids in groups.items() if len(ids) > 1}
 
     def status_histogram(self) -> Dict[str, int]:
         histogram = {status.value: 0 for status in RequirementStatus}

@@ -17,6 +17,7 @@ from repro.prevention.fingerprint import (
     canonical_query,
     canonical_requirement,
     fingerprint,
+    fingerprint_ir,
     fingerprint_requirement,
     fingerprint_task,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "canonical_query",
     "canonical_requirement",
     "fingerprint",
+    "fingerprint_ir",
     "fingerprint_requirement",
     "fingerprint_task",
 ]

@@ -85,13 +85,26 @@ def canonical_query(query_text: str) -> dict:
 
 
 def canonical_requirement(record: Any) -> dict:
-    """A requirement record's verification-relevant content.
+    """A requirement's verification-relevant content — its canonical IR.
 
-    Covers everything that feeds formalization and verification: the
-    text, source, pattern/scope rendering, formal artifacts and RQCODE
-    bindings.  Mutating any of these changes the fingerprint; mutable
+    Repository records and IR records alike serialize through the
+    unified Requirement IR (:mod:`repro.reqs.ir`), so cache keys are
+    front-end agnostic: the same normative requirement fingerprints
+    identically whether it was ingested through a native orchestrator
+    method or lowered externally through the front-end registry.
+    Mutating any normative content changes the fingerprint; mutable
     pipeline bookkeeping (status, quality flags) deliberately does not.
+
+    Objects that are neither IR nor IR-convertible fall back to a
+    duck-typed serialization of the legacy fields.
     """
+    from repro.reqs.ir import Requirement
+
+    if isinstance(record, Requirement):
+        return record.to_dict()
+    to_ir = getattr(record, "to_ir", None)
+    if callable(to_ir):
+        return to_ir().to_dict()
     return {
         "req_id": record.req_id,
         "text": record.text,
@@ -123,5 +136,11 @@ def fingerprint_task(network: Network, query_text: str,
 
 
 def fingerprint_requirement(record: Any) -> str:
-    """Content address of one requirement record."""
+    """Content address of one requirement record (via its IR form)."""
     return fingerprint(canonical_requirement(record))
+
+
+def fingerprint_ir(ir: Any) -> str:
+    """Content address of an IR record — same digest the IR itself
+    computes (:meth:`repro.reqs.ir.Requirement.fingerprint`)."""
+    return fingerprint(ir.to_dict())

@@ -1,0 +1,46 @@
+"""The unified requirements plane.
+
+One typed, immutable, hash-stable Requirement IR behind every
+front-end: NALABS prose, RESA boilerplates, RQCODE catalogue findings,
+vulnerability-database records and IEC 62443 standard entries all
+lower into :class:`~repro.reqs.ir.Requirement` through registered
+adapters, and all consumers (repository, pipeline gates, prevention
+cache, SOC routing, CLI) operate on that one shape.
+"""
+
+from repro.reqs.ir import (
+    Formalization,
+    IrError,
+    Provenance,
+    Requirement,
+    SEVERITIES,
+    TARGET_KINDS,
+    dedupe,
+)
+from repro.reqs.registry import (
+    AdapterContractError,
+    FrontendAdapter,
+    FrontendRegistry,
+    ProvenanceError,
+    default_registry,
+    lint_requirements,
+)
+from repro.reqs.schema import IR_SCHEMA, validate_record
+
+__all__ = [
+    "AdapterContractError",
+    "Formalization",
+    "FrontendAdapter",
+    "FrontendRegistry",
+    "IR_SCHEMA",
+    "IrError",
+    "Provenance",
+    "ProvenanceError",
+    "Requirement",
+    "SEVERITIES",
+    "TARGET_KINDS",
+    "dedupe",
+    "default_registry",
+    "lint_requirements",
+    "validate_record",
+]

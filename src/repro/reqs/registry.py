@@ -1,0 +1,161 @@
+"""Front-end registry: where native requirement shapes meet the IR.
+
+A *front-end* is anything that produces requirements in its own
+vocabulary — the NALABS analyzer, the RESA boilerplate matcher, the
+RQCODE catalogue, the vulnerability database, a standard.  Each one
+registers a :class:`FrontendAdapter` that lowers its native objects
+into :class:`~repro.reqs.ir.Requirement` records; consumers then never
+special-case sources again, they iterate IR.
+
+Every lowering passes through :func:`lint_requirements` on the way out:
+an adapter emitting a record without a provenance chain (or with blank
+chain links, or duplicate ids) is a contract violation and raises
+:class:`ProvenanceError` / :class:`AdapterContractError` immediately,
+at the adapter boundary, instead of surfacing as an untraceable
+artifact three stages later.
+"""
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.reqs.ir import Requirement
+
+
+class AdapterContractError(ValueError):
+    """An adapter emitted records violating the IR contract."""
+
+
+class ProvenanceError(AdapterContractError):
+    """An adapter emitted records without a usable provenance chain."""
+
+
+class FrontendAdapter:
+    """Base contract for front-end adapters.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`native`
+    (a one-line description of the native shape), and implement:
+
+    * :meth:`lower` — native objects -> list of IR records.  ``ids``
+      is an optional callable allocating requirement ids (the
+      orchestrator passes its counter so records ingested through the
+      native API and through the IR path are literally identical);
+      omitted, the adapter uses its deterministic source-derived ids.
+    * :meth:`discover` — the bundled native corpus, so registry-wide
+      operations (``repro reqs list``, the CI smoke) have data without
+      external inputs.
+
+    Adapters whose sources are enforceable also implement
+    :meth:`raise_artifacts`, the inverse direction: IR -> the
+    checkable/enforceable objects for a host.
+    """
+
+    name = "adapter"
+    native = ""
+
+    def lower(self, natives: Sequence,
+              ids: Optional[Callable[[], str]] = None
+              ) -> List[Requirement]:
+        raise NotImplementedError
+
+    def discover(self) -> Sequence:
+        return ()
+
+    def raise_artifacts(self, record: Requirement, host):
+        """IR -> native enforceable artifacts for *host* (default: none)."""
+        raise AdapterContractError(
+            f"front-end {self.name!r} cannot raise IR back into "
+            f"enforceable artifacts")
+
+
+def lint_requirements(records: Iterable[Requirement],
+                      frontend: str = "") -> List[Requirement]:
+    """Reject records that would be untraceable or collide.
+
+    Checks every record carries a non-empty provenance chain whose
+    links all have a kind and a ref, and that no two records share an
+    id.  Returns the records as a list when clean.
+    """
+    label = f"front-end {frontend!r}: " if frontend else ""
+    records = list(records)
+    seen: Dict[str, int] = {}
+    for record in records:
+        if not record.provenance:
+            raise ProvenanceError(
+                f"{label}record {record.rid!r} has an empty provenance "
+                f"chain; every IR record must say where it came from")
+        for index, link in enumerate(record.provenance):
+            if not link.kind or not link.ref:
+                raise ProvenanceError(
+                    f"{label}record {record.rid!r} provenance link "
+                    f"#{index} lacks kind/ref: {link!r}")
+        if record.rid in seen:
+            raise AdapterContractError(
+                f"{label}duplicate requirement id {record.rid!r}")
+        seen[record.rid] = 1
+    return records
+
+
+class FrontendRegistry:
+    """Named adapters, with linted lowering across all of them."""
+
+    def __init__(self) -> None:
+        self._adapters: Dict[str, FrontendAdapter] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._adapters
+
+    def __len__(self) -> int:
+        return len(self._adapters)
+
+    def register(self, adapter: FrontendAdapter) -> FrontendAdapter:
+        if not adapter.name or adapter.name == FrontendAdapter.name:
+            raise AdapterContractError(
+                f"adapter {type(adapter).__name__} must set a name")
+        if adapter.name in self._adapters:
+            raise AdapterContractError(
+                f"duplicate front-end name: {adapter.name!r}")
+        self._adapters[adapter.name] = adapter
+        return adapter
+
+    def get(self, name: str) -> FrontendAdapter:
+        if name not in self._adapters:
+            raise KeyError(
+                f"no front-end {name!r}; registered: {self.names()}")
+        return self._adapters[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._adapters)
+
+    def lower(self, name: str, natives: Sequence,
+              ids: Optional[Callable[[], str]] = None
+              ) -> List[Requirement]:
+        """Lower *natives* through the named adapter, linted."""
+        adapter = self.get(name)
+        return lint_requirements(adapter.lower(natives, ids=ids), name)
+
+    def lower_bundled(self, name: str) -> List[Requirement]:
+        """Lower the adapter's bundled corpus, linted."""
+        adapter = self.get(name)
+        return lint_requirements(adapter.lower(adapter.discover()), name)
+
+    def lower_all_bundled(self) -> Dict[str, List[Requirement]]:
+        """Every registered front-end's bundled corpus as IR."""
+        return {name: self.lower_bundled(name) for name in self.names()}
+
+
+def default_registry() -> FrontendRegistry:
+    """A registry with the five bundled front-ends registered."""
+    from repro.reqs.adapters import (
+        NalabsAdapter,
+        ResaAdapter,
+        RqcodeAdapter,
+        StandardsAdapter,
+        VulndbAdapter,
+    )
+
+    registry = FrontendRegistry()
+    registry.register(NalabsAdapter())
+    registry.register(ResaAdapter())
+    registry.register(RqcodeAdapter())
+    registry.register(VulndbAdapter())
+    registry.register(StandardsAdapter())
+    return registry

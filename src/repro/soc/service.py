@@ -131,10 +131,19 @@ class SocService:
     # -- construction helpers ------------------------------------------------------
 
     @classmethod
-    def for_fleet(cls, fleet, orchestrator=None, **kwargs) -> "SocService":
+    def for_fleet(cls, fleet, orchestrator=None,
+                  frontends: Optional[Sequence[str]] = None,
+                  **kwargs) -> "SocService":
         """Build a service for a :class:`~repro.core.fleet.Fleet`,
         deriving each host's plan from the orchestrator's standards
-        ingest (the same monitors ``FleetProtection`` would arm)."""
+        ingest (the same monitors ``FleetProtection`` would arm).
+
+        ``frontends`` names additional registered front-ends (e.g.
+        ``["standards"]``) whose bundled corpora are lowered into the
+        IR and ingested as well; their host-targeted records route
+        drift monitors onto matching hosts exactly like the native
+        standards ingest — SOC monitor routing is front-end agnostic.
+        """
         from repro.core.orchestrator import VeriDevOpsOrchestrator
 
         if orchestrator is None:
@@ -142,6 +151,8 @@ class SocService:
             for platform in sorted({host.os_family
                                     for host in fleet.hosts()}):
                 orchestrator.ingest_standards(platform)
+        for name in frontends or ():
+            orchestrator.ingest_frontend(name)
         plans = {host.name: orchestrator.protection_plan(host)
                  for host in fleet.hosts()}
         return cls(fleet.hosts(), fleet.catalog, plans, **kwargs)

@@ -1,0 +1,115 @@
+"""The ``repro reqs`` subcommand and the shared ``--json`` contract."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reqs.schema import validate_record
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestReqsList:
+    def test_tabulates_all_frontends(self):
+        code, output = run_cli("reqs", "list")
+        assert code == 0
+        assert "71 requirements from 5 front-end(s)" in output
+        for name in ("nalabs=10", "resa=4", "rqcode=26",
+                     "standards=25", "vulndb=6"):
+            assert name in output
+
+    def test_json_is_schema_valid(self):
+        code, output = run_cli("reqs", "list", "--json")
+        assert code == 0
+        records = json.loads(output)
+        assert len(records) == 71
+        for payload in records:
+            assert validate_record(payload) == []
+
+    def test_frontend_filter(self):
+        code, output = run_cli("reqs", "list", "--frontend", "vulndb",
+                               "--json")
+        assert code == 0
+        records = json.loads(output)
+        assert records and all(r["source"] == "vulndb" for r in records)
+
+    def test_unknown_frontend_aborts(self):
+        with pytest.raises(SystemExit, match="unknown front-end"):
+            run_cli("reqs", "list", "--frontend", "cwe")
+
+
+class TestReqsShow:
+    def test_shows_one_record(self):
+        code, output = run_cli("reqs", "show", "RQC-V-219149")
+        assert code == 0
+        assert "rid       : RQC-V-219149" in output
+        assert "stig:V-219149" in output
+        assert "G (compliant_V_219149)" in output
+
+    def test_json_round_trips(self):
+        code, output = run_cli("reqs", "show", "RQC-V-219149", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert validate_record(payload) == []
+        assert payload["bindings"] == ["V-219149"]
+
+    def test_unknown_rid_aborts(self):
+        with pytest.raises(SystemExit, match="no requirement"):
+            run_cli("reqs", "show", "NOPE-999")
+
+
+class TestReqsLower:
+    def test_prints_fingerprints(self):
+        code, output = run_cli("reqs", "lower", "vulndb")
+        assert code == 0
+        assert "6 requirements lowered from 'vulndb'" in output
+
+    def test_fingerprints_stable_across_invocations(self):
+        _, first = run_cli("reqs", "lower", "standards", "--json")
+        _, second = run_cli("reqs", "lower", "standards", "--json")
+        assert first == second
+        for payload in json.loads(first):
+            assert len(payload["fingerprint"]) == 32
+
+    def test_unknown_frontend_aborts(self):
+        with pytest.raises(SystemExit, match="unknown front-end"):
+            run_cli("reqs", "lower", "cwe")
+
+
+class TestReqsTrace:
+    def test_traces_source_to_artifact(self):
+        code, output = run_cli("reqs", "trace", "RQC-V-219149")
+        assert code == 0
+        assert "stig:V-219149" in output
+        assert "IR digest" in output
+        assert "artifacts" in output
+
+    def test_json_names_raised_artifacts(self):
+        code, output = run_cli("reqs", "trace", "RQC-V-219149", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["artifacts"] == ["V_219149"]
+        assert payload["provenance"][0]["kind"] == "stig"
+
+    def test_monitor_record_raises_no_host_artifacts(self):
+        code, output = run_cli("reqs", "trace", "RESA-002", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["artifacts"] == []
+        assert payload["ltl"]
+
+
+class TestSharedJsonHelper:
+    def test_pipeline_json_still_clean(self):
+        code, output = run_cli("pipeline", "--profile", "ubuntu-default",
+                               "--json")
+        assert code == 0
+        document = json.loads(output)
+        assert document["passed"] is True
+        assert len(document["gates"]) == 5

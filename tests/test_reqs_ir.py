@@ -1,0 +1,248 @@
+"""Property tests for the canonical Requirement IR.
+
+The IR's load-bearing promises: adapter-lowered records serialize and
+deserialize byte-identically, fingerprints are a pure function of
+content (dict insertion order and process identity never leak in), the
+content fingerprint ignores exactly id + provenance, and the registry
+lint rejects provenance-free records at the adapter boundary.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.reqs.ir import (
+    Formalization,
+    IrError,
+    Provenance,
+    Requirement,
+    SEVERITIES,
+    TARGET_KINDS,
+    dedupe,
+)
+from repro.reqs.registry import (
+    AdapterContractError,
+    ProvenanceError,
+    default_registry,
+    lint_requirements,
+)
+from repro.reqs.schema import IR_SCHEMA, schema_drift, validate_record
+from repro.specpatterns.patterns import TimedResponse, Universality
+from repro.specpatterns.scopes import Globally
+
+
+def golden_requirement() -> Requirement:
+    return Requirement(
+        rid="GOLD-001",
+        title="Golden requirement",
+        text="The system shall remain compliant continuously.",
+        source="rqcode",
+        provenance=(Provenance("stig", "V-000001", "golden fixture"),),
+        target_kind="host",
+        severity="high",
+        formalization=Formalization.from_objects(
+            Universality(p="compliant_golden"), Globally(),
+            ltl="G (compliant_golden)", tctl="A[] compliant_golden"),
+        tags=("fixture",),
+        bindings=("V-000001",),
+    )
+
+
+def shuffled_payload(payload, rng):
+    """The same payload with every dict's insertion order permuted."""
+    if isinstance(payload, dict):
+        keys = list(payload)
+        rng.shuffle(keys)
+        return {key: shuffled_payload(payload[key], rng) for key in keys}
+    if isinstance(payload, list):
+        return [shuffled_payload(item, rng) for item in payload]
+    return payload
+
+
+class TestRoundTrip:
+    """Lower -> serialize -> deserialize -> serialize is the identity."""
+
+    def test_every_bundled_record_round_trips_byte_identically(self):
+        corpora = default_registry().lower_all_bundled()
+        assert sorted(corpora) == [
+            "nalabs", "resa", "rqcode", "standards", "vulndb"]
+        for irs in corpora.values():
+            assert irs, "bundled corpus must not be empty"
+            for record in irs:
+                wire = record.canonical_json()
+                restored = Requirement.from_dict(json.loads(wire))
+                assert restored.canonical_json() == wire
+                assert restored == record
+                assert restored.fingerprint() == record.fingerprint()
+
+    def test_round_trip_through_to_dict(self):
+        record = golden_requirement()
+        assert Requirement.from_dict(record.to_dict()) == record
+
+    def test_formalization_objects_round_trip(self):
+        pattern = TimedResponse(p="a", s="b", bound=60)
+        formalization = Formalization.from_objects(pattern, Globally())
+        raised_pattern, raised_scope = formalization.to_objects()
+        assert raised_pattern == pattern
+        assert raised_scope == Globally()
+
+
+class TestFingerprintStability:
+    # Recorded once; a change here means previously cached verdicts
+    # and persisted fingerprints silently stop matching across runs.
+    GOLDEN_FULL = "3e4791a0d0a719c119c1b44c82434480"
+    GOLDEN_CONTENT = "605c3549bef7c3bacbc95f69d38c37f7"
+
+    def test_fingerprint_survives_process_restarts(self):
+        record = golden_requirement()
+        assert record.fingerprint() == self.GOLDEN_FULL
+        assert record.content_fingerprint() == self.GOLDEN_CONTENT
+
+    def test_fingerprint_ignores_dict_insertion_order(self):
+        rng = random.Random(7)
+        for record in default_registry().lower_bundled("vulndb"):
+            for _ in range(5):
+                scrambled = Requirement.from_dict(
+                    shuffled_payload(record.to_dict(), rng))
+                assert scrambled.fingerprint() == record.fingerprint()
+
+    def test_fingerprint_ignores_tuple_construction_route(self):
+        record = golden_requirement()
+        rebuilt = Requirement(
+            rid=record.rid, title=record.title, text=record.text,
+            source=record.source,
+            provenance=list(record.provenance),     # list, not tuple
+            target_kind=record.target_kind, severity=record.severity,
+            formalization=record.formalization,
+            tags=list(record.tags), bindings=list(record.bindings))
+        assert rebuilt.fingerprint() == record.fingerprint()
+
+    def test_content_changes_change_the_fingerprint(self):
+        record = golden_requirement()
+        for mutation in (
+            {"text": "The system shall do something else."},
+            {"severity": "low"},
+            {"bindings": ("V-999999",)},
+            {"tags": ("other",)},
+        ):
+            payload = record.to_dict()
+            payload.update(mutation)
+            assert Requirement.from_dict(payload).fingerprint() \
+                != record.fingerprint()
+
+
+class TestContentFingerprint:
+    def test_excludes_rid_and_provenance_only(self):
+        record = golden_requirement()
+        payload = record.to_dict()
+        payload["rid"] = "OTHER-999"
+        payload["provenance"] = [
+            {"kind": "cve", "ref": "CVE-2014-0160", "detail": "same req"}]
+        twin = Requirement.from_dict(payload)
+        assert twin.fingerprint() != record.fingerprint()
+        assert twin.content_fingerprint() == record.content_fingerprint()
+
+    def test_normative_differences_separate(self):
+        record = golden_requirement()
+        payload = record.to_dict()
+        payload["text"] = "A different obligation."
+        assert Requirement.from_dict(payload).content_fingerprint() \
+            != record.content_fingerprint()
+
+    def test_dedupe_is_order_preserving_and_cross_source(self):
+        record = golden_requirement()
+        payload = record.to_dict()
+        payload["rid"] = "DUP-001"
+        payload["provenance"] = [{"kind": "cve", "ref": "CVE-1", "detail": ""}]
+        twin = Requirement.from_dict(payload)
+        other_payload = record.to_dict()
+        other_payload["rid"] = "UNIQ-001"
+        other_payload["text"] = "A genuinely different obligation."
+        other = Requirement.from_dict(other_payload)
+        assert dedupe([record, twin, other]) == [record, other]
+
+
+class TestValidation:
+    def test_empty_rid_rejected(self):
+        with pytest.raises(IrError):
+            Requirement(rid="", title="t", text="x", source="resa")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(IrError):
+            Requirement(rid="R-1", title="t", text="", source="resa")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(IrError):
+            Requirement(rid="R-1", title="t", text="x", source="resa",
+                        severity="catastrophic")
+
+    def test_bad_target_kind_rejected(self):
+        with pytest.raises(IrError):
+            Requirement(rid="R-1", title="t", text="x", source="resa",
+                        target_kind="cloud")
+
+    def test_vocabularies_are_closed(self):
+        assert SEVERITIES == ("low", "medium", "high", "critical")
+        assert TARGET_KINDS == ("host", "monitor", "document", "system")
+
+
+class TestProvenanceLint:
+    def ok(self):
+        return golden_requirement()
+
+    def test_clean_records_pass_through(self):
+        records = [self.ok()]
+        assert lint_requirements(records) == records
+
+    def test_empty_chain_rejected(self):
+        bare = Requirement(rid="R-1", title="t", text="x", source="resa")
+        with pytest.raises(ProvenanceError, match="empty provenance"):
+            lint_requirements([bare], frontend="resa")
+
+    def test_blank_link_rejected(self):
+        record = Requirement(
+            rid="R-1", title="t", text="x", source="resa",
+            provenance=(Provenance("", "", ""),))
+        with pytest.raises(ProvenanceError, match="lacks kind/ref"):
+            lint_requirements([record])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(AdapterContractError, match="duplicate"):
+            lint_requirements([self.ok(), self.ok()])
+
+    def test_legacy_provenance_string(self):
+        assert self.ok().legacy_provenance() == "golden fixture"
+        detail_free = Requirement(
+            rid="R-1", title="t", text="x", source="resa",
+            provenance=(Provenance("resa", "REQ-9"),))
+        assert detail_free.legacy_provenance() == "resa:REQ-9"
+
+
+class TestSchema:
+    def test_every_bundled_record_is_schema_valid(self):
+        for irs in default_registry().lower_all_bundled().values():
+            for record in irs:
+                assert validate_record(record.to_dict()) == []
+
+    def test_missing_required_key_reported(self):
+        payload = golden_requirement().to_dict()
+        del payload["provenance"]
+        assert any("provenance" in error
+                   for error in validate_record(payload))
+
+    def test_wrong_type_reported(self):
+        payload = golden_requirement().to_dict()
+        payload["tags"] = "not-a-list"
+        assert validate_record(payload)
+
+    def test_enum_violation_reported(self):
+        payload = golden_requirement().to_dict()
+        payload["severity"] = "catastrophic"
+        assert validate_record(payload)
+
+    def test_checked_in_schema_matches_embedded(self):
+        with open("schemas/requirement-ir.schema.json") as handle:
+            checked_in = json.load(handle)
+        assert not schema_drift(checked_in)
+        assert checked_in == IR_SCHEMA
