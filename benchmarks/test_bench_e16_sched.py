@@ -1,0 +1,178 @@
+"""E16 — the unified event-sourced scheduler vs the bespoke executor.
+
+The scheduler replaced two bespoke parallel executors (the pipeline's
+wave runner and the verification gate's thread-pool fan-out).  This
+bench holds the replacement to the issue's bar:
+
+1. **Throughput parity.**  A latency-bound parallel stage (one job per
+   bundled verification task, each paying an external-tool invocation
+   latency) run through the scheduler-backed pipeline vs the deleted
+   wave+ThreadPoolExecutor engine, reconstructed here as the baseline.
+   Verdicts must be identical and the scheduled run's wall-clock within
+   5% of the bespoke executor's (measured best-of-N; the in-test gate
+   is slightly looser to absorb CI noise).
+2. **Crash-resume economics.**  A journaled run crashed mid-way and
+   resumed must (a) reach verdicts byte-identical to an uninterrupted
+   run with no duplicated effective completions, and (b) spend less
+   wall-clock on resume than a fresh run, because journaled verdicts
+   are adopted instead of re-checked.
+
+Results land in ``BENCH_sched.json`` stamped with the git commit.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.gates import _verdict_to_dict
+from repro.core.pipeline import (Job, Pipeline, PipelineContext, Stage,
+                                 plan_waves)
+from repro.prevention import bundled_verification_tasks
+from repro.sched.journal import Journal
+from repro.sched.runner import JournaledPreventionRun
+from repro.sched.scheduler import SchedulerCrash
+from repro.ta.checker import ZoneGraphChecker
+from repro.ta.query import parse_query
+
+from bench_utils import write_bench_json
+from conftest import print_table
+
+TOOL_LATENCY_S = 0.03
+ROUNDS = 3
+PARITY_GATE = 1.10      # in-test bar; the JSON records the real ratio
+
+
+def _verification_jobs():
+    """One latency-bound job per bundled verification task."""
+    jobs = []
+    for label, network, query_text in bundled_verification_tasks():
+        def run(context, network=network, query_text=query_text,
+                label=label):
+            time.sleep(TOOL_LATENCY_S)  # external tool round trip
+            result = ZoneGraphChecker(network).check(
+                parse_query(query_text))
+            context.put(f"verdict:{label}", _verdict_to_dict(result))
+            return label
+        jobs.append(Job(f"verify-{label}", run,
+                        writes=(f"verdict:{label}",)))
+    return jobs
+
+
+def _bespoke_wave_run(jobs, workers):
+    """The deleted executor, reconstructed as the baseline: greedy
+    waves, one ThreadPoolExecutor per multi-job wave."""
+    context = PipelineContext()
+    for wave in plan_waves(jobs):
+        if len(wave) == 1 or workers == 1:
+            results = [job.execute(context) for job in wave]
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(wave))) as pool:
+                results = list(pool.map(
+                    lambda job: job.execute(context), wave))
+        assert all(result.passed for result in results)
+    return context
+
+
+def _scheduled_run(jobs, workers):
+    run = Pipeline([Stage("verification", jobs=jobs)]).run(
+        PipelineContext(), max_workers=workers)
+    assert run.passed
+    return run.context
+
+
+def _verdicts(context):
+    return sorted((key, context.get(key)) for key in context.keys()
+                  if key.startswith("verdict:"))
+
+
+def _best_of(rounds, thunk):
+    best, last = None, None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        last = thunk()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, last
+
+
+def test_bench_e16_scheduler_parity():
+    workers = 4
+    bespoke_s, bespoke_context = _best_of(
+        ROUNDS, lambda: _bespoke_wave_run(_verification_jobs(), workers))
+    scheduled_s, scheduled_context = _best_of(
+        ROUNDS, lambda: _scheduled_run(_verification_jobs(), workers))
+
+    # Byte-identical verdicts, scheduler vs bespoke executor.
+    assert _verdicts(scheduled_context) == _verdicts(bespoke_context)
+
+    ratio = scheduled_s / bespoke_s
+    print_table(f"E16 scheduler vs bespoke waves ({workers} workers)", [
+        {"engine": "bespoke waves", "seconds": round(bespoke_s, 4)},
+        {"engine": "scheduler", "seconds": round(scheduled_s, 4)},
+        {"engine": "ratio", "seconds": round(ratio, 3)},
+    ])
+    assert ratio <= PARITY_GATE, (
+        f"scheduled run {ratio:.2f}x the bespoke executor "
+        f"(gate {PARITY_GATE}x)")
+    test_bench_e16_scheduler_parity.result = {
+        "bespoke_s": bespoke_s, "scheduled_s": scheduled_s,
+        "ratio": ratio, "workers": workers,
+        "jobs": len(bundled_verification_tasks()),
+        "tool_latency_s": TOOL_LATENCY_S, "rounds": ROUNDS,
+    }
+
+
+def test_bench_e16_crash_resume(tmp_path):
+    from repro.cli import PROFILES
+
+    profile = "ubuntu-hardened"
+
+    started = time.perf_counter()
+    reference = JournaledPreventionRun(
+        str(tmp_path / "reference.jsonl"), PROFILES[profile](), profile,
+        jobs=2).execute()
+    fresh_s = time.perf_counter() - started
+
+    journal_path = str(tmp_path / "crashy.jsonl")
+    crashes = 0
+    try:
+        JournaledPreventionRun(journal_path, PROFILES[profile](),
+                               profile, jobs=2, crash_after=3).execute()
+    except SchedulerCrash:
+        crashes += 1
+    assert crashes == 1, "the crash seam did not fire"
+
+    started = time.perf_counter()
+    resumed = JournaledPreventionRun(
+        journal_path, PROFILES[profile](), profile, jobs=2).execute()
+    resume_s = time.perf_counter() - started
+
+    # Byte-identical verdicts and exactly-once effective completions.
+    assert resumed["gates"] == reference["gates"]
+    assert resumed["passed"] == reference["passed"]
+    counts = Journal(journal_path).completion_counts()
+    assert counts and all(count == 1 for count in counts.values())
+
+    print_table("E16 journaled crash-resume (ubuntu-hardened)", [
+        {"mode": "fresh run", "seconds": round(fresh_s, 4),
+         "adopted": 0},
+        {"mode": "resume", "seconds": round(resume_s, 4),
+         "adopted": resumed["adopted"]},
+    ])
+    test_bench_e16_crash_resume.result = {
+        "fresh_s": fresh_s, "resume_s": resume_s,
+        "adopted": resumed["adopted"], "resumes": resumed["resumes"],
+        "effective_completions": len(counts),
+        "duplicated_completions": 0, "profile": profile,
+    }
+
+
+def test_bench_e16_write_json():
+    """Collect both measurements into BENCH_sched.json (runs last)."""
+    payload = {
+        "parity": test_bench_e16_scheduler_parity.result,
+        "crash_resume": test_bench_e16_crash_resume.result,
+        "gates": {"parity_ratio_max": 1.05},
+    }
+    path = write_bench_json("sched", payload)
+    assert path.exists()

@@ -46,6 +46,13 @@ class RepairFault(enum.Enum):
     NOOP = "noop"
 
 
+class SchedFault(enum.Enum):
+    """What the controller tells the work scheduler after a completion."""
+
+    CRASH = "crash"
+    CRASH_TORN = "crash-torn"   # crash AND tear the fresh journal tail
+
+
 class InjectedWorkerCrash(RuntimeError):
     """Chaos killed a shard worker mid-dequeue."""
 
@@ -70,6 +77,7 @@ SITE_SLOTS = {
     "repair.raise": 0, "repair.noop": 1,
     "ingress.reorder": 0, "ingress.duplicate": 1, "ingress.delay": 2,
     "config.slow": 0,
+    "sched.crash": 0, "sched.truncate": 1,
 }
 
 
@@ -239,6 +247,38 @@ class ChaosController:
                 self._record("repair.noop", key, draw)
                 return RepairFault.NOOP
         return None
+
+    # -- scheduler seam -------------------------------------------------------
+
+    def sched_fault(self, key: str) -> Optional[SchedFault]:
+        """Fault (if any) right after one journaled task completion.
+
+        The scheduler keys this by ``generation:task`` — generation
+        being the resume count — so a resumed run draws *fresh*
+        decisions instead of deterministically re-crashing at the same
+        completion forever; each resume makes at least one fresh
+        completion before its first draw, so chaos'd runs always
+        terminate.  ``sched.truncate`` is drawn only given a crash: it
+        decides whether the freshly journaled tail is also torn
+        mid-line (fsync issued, blocks never landed).
+        """
+        rates = self._rates
+        crash = rates["sched.crash"]
+        torn = rates["sched.truncate"]
+        if not crash:
+            return None
+        full_key = f"sched:{key}"
+        digest = self._digest(full_key)
+        draw = int.from_bytes(digest[0:8], "big") / 2.0 ** 64
+        if draw >= crash:
+            return None
+        self._record("sched.crash", full_key, draw)
+        if torn:
+            torn_draw = int.from_bytes(digest[8:16], "big") / 2.0 ** 64
+            if torn_draw < torn:
+                self._record("sched.truncate", full_key, torn_draw)
+                return SchedFault.CRASH_TORN
+        return SchedFault.CRASH
 
     # -- ingress seam ---------------------------------------------------------
 

@@ -37,6 +37,11 @@ RATE_FIELDS = {
     "ingress.reorder": "event_reorder",
     "ingress.delay": "event_delay",
     "config.slow": "config_slow",
+    # Scheduler sites are appended last and excluded from
+    # :meth:`FaultPlan.randomized`, so pre-existing randomized plans
+    # keep drawing byte-identical rates.
+    "sched.crash": "sched_crash",
+    "sched.truncate": "sched_truncate",
 }
 
 
@@ -60,7 +65,11 @@ class FaultPlan:
     * ``event_duplicate`` / ``event_reorder`` / ``event_delay`` —
       ingress stream perturbations (dup, adjacent swap, latency);
     * ``config_slow`` — host config reads stall
-      ``config_delay_seconds``.
+      ``config_delay_seconds``;
+    * ``sched_crash`` — the work scheduler dies immediately after
+      journaling an effective task completion (resume from the
+      journal); ``sched_truncate`` — given a crash, the probability
+      the journal's freshly written tail is torn mid-line too.
     """
 
     seed: int = 0
@@ -73,6 +82,8 @@ class FaultPlan:
     event_reorder: float = 0.0
     event_delay: float = 0.0
     config_slow: float = 0.0
+    sched_crash: float = 0.0
+    sched_truncate: float = 0.0
     hang_seconds: float = 0.001
     delay_seconds: float = 0.0005
     config_delay_seconds: float = 0.0005
@@ -187,7 +198,12 @@ class FaultPlan:
         rates = {
             field_name: (round(rng.uniform(0.0, max_rate), 4)
                          if rng.random() < 0.5 else 0.0)
-            for field_name in RATE_FIELDS.values()
+            # Scheduler sites are deliberately left out (and so stay
+            # 0.0): they crash the run instead of perturbing it, and
+            # skipping them keeps the rng draw sequence — hence every
+            # historical randomized plan — byte-identical.
+            for site, field_name in RATE_FIELDS.items()
+            if not site.startswith("sched.")
         }
         return cls(
             seed=seed,

@@ -482,10 +482,12 @@ def cmd_reqs(args, out) -> int:
         except Exception:  # noqa: BLE001 - not every front-end raises
             continue
         break
+    chain_digests = ir.provenance_digests()
     document = {
         "rid": ir.rid,
         "frontend": frontend,
         "provenance": [link.to_dict() for link in ir.provenance],
+        "provenance_chain": list(chain_digests),
         "fingerprint": ir.fingerprint(),
         "content_fingerprint": ir.content_fingerprint(),
         "ltl": ir.formalization.ltl if ir.formalization else "",
@@ -499,7 +501,10 @@ def cmd_reqs(args, out) -> int:
         return 0
     print(f"{ir.rid} ({frontend})", file=out)
     for index, link in enumerate(ir.provenance):
-        print(f"  source #{index}   : {link.render()}", file=out)
+        print(f"  source #{index}   : {link.render()} "
+              f"[{chain_digests[index][:12]}]", file=out)
+    print(f"  chain       : "
+          + (chain_digests[-1] if chain_digests else "-"), file=out)
     print(f"  IR digest   : {document['fingerprint']}", file=out)
     print(f"  content     : {document['content_fingerprint']}", file=out)
     print(f"  LTL         : {document['ltl'] or '-'}", file=out)
@@ -509,6 +514,140 @@ def cmd_reqs(args, out) -> int:
           + (", ".join(artifacts) if artifacts
              else f"none raised for {args.profile}"), file=out)
     return 0
+
+
+def _sched_journal(path: str):
+    from repro.sched.journal import Journal, JournalError
+
+    try:
+        return Journal(path)
+    except JournalError as exc:
+        raise SystemExit(f"repro sched: {exc}")
+
+
+def _sched_chaos(path):
+    if not path:
+        return None
+    from repro.chaos import ChaosController, FaultPlan, FaultPlanError
+
+    try:
+        with open(path) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"repro sched: cannot read chaos plan "
+                         f"{path!r}: {exc.strerror or exc}")
+    except FaultPlanError as exc:
+        raise SystemExit(f"repro sched: invalid chaos plan {path!r}: {exc}")
+    return ChaosController(plan)
+
+
+def cmd_sched(args, out) -> int:
+    """Journaled, crash-resumable scheduled runs.
+
+    ``run`` drives the prevention pipeline through a journal-attached
+    scheduler (``--crash-after`` / ``--chaos-plan`` inject crashes);
+    ``resume`` continues a crashed run from its journal, adopting every
+    journaled verdict instead of re-verifying; ``status`` and
+    ``replay`` inspect a journal without executing anything.  An
+    injected crash exits 3 and leaves the journal resumable.
+    """
+    if args.action in ("status", "replay"):
+        journal = _sched_journal(args.journal)
+        if args.action == "status":
+            plan = journal.plan() or {}
+            finished = journal.finished()
+            duplicated = sorted(
+                name for name, count
+                in journal.completion_counts().items() if count > 1)
+            document = {
+                "journal": args.journal,
+                "entries": len(journal),
+                "head": journal.head_digest(),
+                "chain_ok": journal.verify(),
+                "torn_tail": journal.torn_tail,
+                "profile": plan.get("profile"),
+                "jobs": plan.get("jobs"),
+                "requirements": len((plan.get("ir") or {})
+                                    .get("fingerprints", [])),
+                "resumes": journal.resumes(),
+                "completions": len(journal.completions()),
+                "duplicated_completions": duplicated,
+                "finished": finished is not None,
+                "passed": finished.get("passed") if finished else None,
+            }
+            if args.json:
+                _print_json(document, out)
+                return 0
+            for key in ("journal", "entries", "head", "chain_ok",
+                        "torn_tail", "profile", "jobs", "requirements",
+                        "resumes", "completions",
+                        "duplicated_completions", "finished", "passed"):
+                print(f"{key:24}: {document[key]}", file=out)
+            return 0
+        # replay: the chain-validated entry history, in order.
+        if args.json:
+            _print_json([entry.to_dict() for entry in journal.entries],
+                        out,
+                        status_line=f"{len(journal)} entries; chain "
+                                    f"{'ok' if journal.verify() else 'BROKEN'}")
+            return 0
+        rows = [{"seq": entry.seq, "kind": entry.kind,
+                 "task": entry.task or "-", "digest": entry.digest[:12]}
+                for entry in journal.entries]
+        _print_rows(rows, out)
+        print(f"{len(journal)} entries; chain "
+              f"{'ok' if journal.verify() else 'BROKEN'}; "
+              f"head {journal.head_digest()[:12]}"
+              + ("; torn tail dropped" if journal.torn_tail else ""),
+              file=out)
+        return 0
+
+    # run / resume: build (or rebuild) the journaled prevention run.
+    from repro.sched.runner import JournaledPreventionRun, RunPlanError
+    from repro.sched.scheduler import SchedulerCrash
+
+    if args.action == "resume":
+        journal = _sched_journal(args.journal)
+        plan = journal.plan()
+        if plan is None:
+            raise SystemExit(
+                f"repro sched: journal {args.journal!r} has no recorded "
+                f"plan; nothing to resume")
+        profile = plan.get("profile")
+        jobs = int(plan.get("jobs") or 1)
+    else:
+        if args.jobs < 1:
+            raise SystemExit("repro sched: --jobs must be >= 1")
+        profile, jobs = args.profile, args.jobs
+
+    host = _host_for(profile)
+    runner = JournaledPreventionRun(
+        args.journal, host, profile, jobs=jobs,
+        chaos=_sched_chaos(args.chaos_plan),
+        crash_after=args.crash_after)
+    try:
+        verdict = runner.execute()
+    except RunPlanError as exc:
+        raise SystemExit(f"repro sched: {exc}")
+    except SchedulerCrash as exc:
+        print(f"repro sched: {exc}", file=sys.stderr)
+        print(f"repro sched: journal {args.journal!r} is resumable: "
+              f"repro sched resume --journal {args.journal}",
+              file=sys.stderr)
+        return 3
+
+    status_line = (
+        f"sched {'replayed' if verdict['replayed'] else args.action}: "
+        f"{'passed' if verdict['passed'] else 'failed'}; "
+        f"resumes={verdict['resumes']} adopted={verdict['adopted']}")
+    if args.json:
+        document = dict(verdict, profile=profile, jobs=jobs,
+                        journal=args.journal)
+        _print_json(document, out, status_line=status_line)
+        return 0 if verdict["passed"] else 1
+    _print_rows(verdict["gates"], out)
+    print(status_line, file=out)
+    return 0 if verdict["passed"] else 1
 
 
 # -- parser ----------------------------------------------------------------------
@@ -650,6 +789,50 @@ def build_parser() -> argparse.ArgumentParser:
                             help="host profile for artifact raising")
     reqs_trace.add_argument("--json", action="store_true")
     reqs_trace.set_defaults(func=cmd_reqs)
+
+    sched = subparsers.add_parser(
+        "sched", help="journaled, crash-resumable scheduled runs")
+    sched_actions = sched.add_subparsers(dest="action", required=True)
+
+    sched_run = sched_actions.add_parser(
+        "run", help="run the prevention pipeline under a journaled "
+                    "scheduler")
+    sched_run.add_argument("--journal", required=True, metavar="PATH",
+                           help="journal file (created if absent)")
+    sched_run.add_argument("--profile", default="ubuntu-default")
+    sched_run.add_argument("--jobs", type=int, default=1, metavar="N")
+    sched_run.add_argument("--crash-after", type=int, default=None,
+                           metavar="N",
+                           help="inject a scheduler crash after N fresh "
+                                "journaled completions (exit 3)")
+    sched_run.add_argument("--chaos-plan", metavar="PATH", default=None,
+                           help="JSON fault plan with sched.crash / "
+                                "sched.truncate rates")
+    sched_run.add_argument("--json", action="store_true")
+    sched_run.set_defaults(func=cmd_sched)
+
+    sched_resume = sched_actions.add_parser(
+        "resume", help="resume a crashed run from its journal "
+                       "(profile and jobs come from the recorded plan)")
+    sched_resume.add_argument("--journal", required=True, metavar="PATH")
+    sched_resume.add_argument("--crash-after", type=int, default=None,
+                              metavar="N")
+    sched_resume.add_argument("--chaos-plan", metavar="PATH",
+                              default=None)
+    sched_resume.add_argument("--json", action="store_true")
+    sched_resume.set_defaults(func=cmd_sched)
+
+    sched_status = sched_actions.add_parser(
+        "status", help="summarize a journal (plan, chain, completions)")
+    sched_status.add_argument("--journal", required=True, metavar="PATH")
+    sched_status.add_argument("--json", action="store_true")
+    sched_status.set_defaults(func=cmd_sched)
+
+    sched_replay = sched_actions.add_parser(
+        "replay", help="print the chain-validated journal history")
+    sched_replay.add_argument("--journal", required=True, metavar="PATH")
+    sched_replay.add_argument("--json", action="store_true")
+    sched_replay.set_defaults(func=cmd_sched)
 
     return parser
 

@@ -22,7 +22,6 @@ the IR is materialized into a repository on first access, so callers
 holding only front-end-lowered IR can run the pipeline directly.
 """
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -36,6 +35,8 @@ from repro.ltl.monitor import LtlMonitor
 from repro.ltl.parser import parse_ltl
 from repro.nalabs.analyzer import NalabsAnalyzer, RequirementText
 from repro.rqcode.catalog import StigCatalog
+from repro.sched.scheduler import Scheduler
+from repro.sched.task import Task as SchedTask
 from repro.specpatterns.ltl_mappings import PatternScopeUnsupported, to_ltl
 from repro.specpatterns.tctl_mappings import to_tctl
 from repro.ta.checker import CheckResult, ZoneGraphChecker
@@ -89,6 +90,12 @@ class RequirementsQualityGate(SecurityGate):
 
     Reads ``repository`` (RequirementRepository); writes
     ``nalabs_report``.  Requirements passing move to ANALYZED.
+
+    Metrics include the repository's cross-front-end duplicate
+    accounting (``duplicate_groups``/``duplicate_requirements`` from
+    :meth:`RequirementRepository.duplicate_groups`): two sources
+    stating the same content fingerprint are one obligation, and the
+    gate is where that first becomes visible.
     """
 
     name = "requirements-quality"
@@ -113,13 +120,20 @@ class RequirementsQualityGate(SecurityGate):
             record.advance_to(RequirementStatus.ANALYZED)
         ratio = report.smelly_count / report.total
         passed = ratio <= self.max_smelly_ratio
+        duplicates = repository.duplicate_groups()
         return GateResult(
             passed=passed,
             detail=(
                 f"{report.smelly_count}/{report.total} requirements "
                 f"smelly (max ratio {self.max_smelly_ratio:.0%})"
             ),
-            metrics={"smelly_ratio": ratio, "total": float(report.total)},
+            metrics={
+                "smelly_ratio": ratio,
+                "total": float(report.total),
+                "duplicate_groups": float(len(duplicates)),
+                "duplicate_requirements": float(
+                    sum(len(ids) for ids in duplicates.values())),
+            },
         )
 
 
@@ -196,9 +210,14 @@ class VerificationGate(SecurityGate):
     With a :class:`~repro.prevention.VerificationCache` attached, each
     task is content-addressed first: a fingerprint hit returns the
     stored verdict without touching the model checker, and only the
-    misses run.  ``max_workers > 1`` fans the misses out to a thread
-    pool (queries are independent by construction).  Cache counters
-    land in the gate metrics and in ``verification_cache_stats``.
+    misses run.  Misses execute as *effective* tasks on the unified
+    scheduler — the run's own scheduler when the pipeline attached one
+    to the context (journaled runs adopt already-verified verdicts on
+    crash-resume instead of re-checking), otherwise an ephemeral
+    scheduler sized by ``max_workers`` (queries are independent by
+    construction).  Cache counters — plus the repository's
+    content-fingerprint dedup accounting — land in the gate metrics
+    and in ``verification_cache_stats``.
     """
 
     name = "verification"
@@ -230,27 +249,42 @@ class VerificationGate(SecurityGate):
                        for index, (label, network, query_text)
                        in enumerate(tasks)]
 
-        workers = self.max_workers or 1
-        if workers > 1 and len(pending) > 1:
-            with ThreadPoolExecutor(
-                    max_workers=min(workers, len(pending))) as pool:
-                futures = [
-                    (index, label, fp,
-                     pool.submit(self._check, network, query_text))
-                    for index, label, network, query_text, fp in pending
-                ]
-                fresh = [(index, label, fp, future.result())
-                         for index, label, fp, future in futures]
-        else:
-            fresh = [(index, label, fp, self._check(network, query_text))
-                     for index, label, network, query_text, fp in pending]
+        fresh: List[tuple] = []
+        if pending:
+            scheduler = getattr(context, "scheduler", None)
+            if scheduler is None:
+                scheduler = Scheduler(workers=self.max_workers or 1)
+            sched_tasks = [
+                SchedTask(
+                    name=f"verify:{label}",
+                    run=(lambda n=network, q=query_text:
+                         _verdict_to_dict(self._check(n, q))),
+                    effective=True,
+                )
+                for index, label, network, query_text, fp in pending
+            ]
+            report = scheduler.run_batch(sched_tasks, fail_fast=False)
+            report.raise_errors()
+            fresh = [
+                (index, label, fp, _verdict_from_dict(task_result.value))
+                for (index, label, network, query_text, fp), task_result
+                in zip(pending, report.results)
+            ]
         for index, label, fp, result in fresh:
             results[index] = (label, result)
             if self.cache is not None:
                 self.cache.store(label, fp, _verdict_to_dict(result))
+        cache_stats = None
         if self.cache is not None:
             self.cache.save()
-            context.put("verification_cache_stats", self.cache.stats_dict())
+            cache_stats = self.cache.stats_dict()
+            repository = gate_repository(context, required=False)
+            if repository is not None:
+                groups = repository.duplicate_groups()
+                cache_stats["dedup_groups"] = len(groups)
+                cache_stats["dedup_requirements"] = sum(
+                    len(ids) for ids in groups.values())
+            context.put("verification_cache_stats", cache_stats)
 
         failures = []
         total_states = 0
@@ -277,8 +311,8 @@ class VerificationGate(SecurityGate):
                 "tasks": float(len(tasks)),
                 "states_explored": float(total_states),
                 **({f"cache_{key}": float(value)
-                    for key, value in self.cache.stats_dict().items()}
-                   if self.cache is not None else {}),
+                    for key, value in cache_stats.items()}
+                   if cache_stats is not None else {}),
             },
         )
 

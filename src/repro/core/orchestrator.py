@@ -237,13 +237,20 @@ class VeriDevOpsOrchestrator:
                        verification_tasks: Optional[list] = None,
                        max_workers: Optional[int] = None,
                        cache=None,
+                       scheduler=None,
                        **thresholds) -> PipelineRun:
-        """Run the full prevention pipeline against *hosts*."""
+        """Run the full prevention pipeline against *hosts*.
+
+        An explicit *scheduler* (:class:`repro.sched.Scheduler`) routes
+        the whole run — stage jobs and verification fan-out — through
+        that scheduler, which is how journaled, crash-resumable runs
+        are driven (see :mod:`repro.sched.runner`).
+        """
         pipeline = self.build_pipeline(
             verification_tasks=verification_tasks,
             max_workers=max_workers, cache=cache, **thresholds)
         context = PipelineContext(hosts=list(hosts))
-        return pipeline.run(context)
+        return pipeline.run(context, scheduler=scheduler)
 
     # -- WP3: protection -----------------------------------------------------------------
 

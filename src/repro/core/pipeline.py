@@ -9,35 +9,50 @@ pipeline (fail-fast, like a protected branch).
 Jobs and gates communicate exclusively through context artifacts, which
 keeps every gate independently testable.
 
-Parallel execution: with ``max_workers > 1`` a stage fans independent
-jobs out to a thread pool.  Jobs opt in by declaring the context keys
-they ``reads``/``writes``; the scheduler partitions a stage's job list
-into in-order *waves* where every pair of jobs is disjoint (no
-write/write, read/write or write/read overlap).  Jobs that declare
-nothing are scheduled as solo barriers — exactly the serial behavior —
-so parallelism is never inferred, only declared.  A job that writes a
-key another job in the same wave already wrote (i.e. it lied about its
-write set) is stopped with :class:`ConcurrentWriteError` rather than
+Parallel execution is delegated to the unified work scheduler
+(:mod:`repro.sched`): with ``max_workers > 1`` — or an explicit
+``scheduler=`` — each stage's jobs become scheduler tasks.  Jobs opt in
+by declaring the context keys they ``reads``/``writes``; the
+scheduler's dependency linker applies the same conflict rules the wave
+partitioner used (no write/write, read/write or write/read overlap),
+but as a DAG, so a slow job only holds back its true dependents.  Jobs
+that declare nothing are barriers — exactly the serial behavior — so
+parallelism is never inferred, only declared.  A job that writes a key
+another, unordered job already wrote (i.e. it lied about its write
+set) is stopped with :class:`ConcurrentWriteError` rather than
 silently interleaving.
+
+``plan_waves`` remains as the declarative view of the same conflict
+rules (and the reference for what the scheduler must serialize).
 """
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sched.scheduler import Scheduler
+from repro.sched.task import Task as SchedTask
+from repro.sched.task import link as sched_link
 
 
 class ConcurrentWriteError(RuntimeError):
-    """Two jobs in one parallel wave wrote the same context key."""
+    """Two unordered parallel jobs wrote the same context key."""
 
 
 class PipelineContext:
-    """Shared artifact store for one pipeline run (thread-safe)."""
+    """Shared artifact store for one pipeline run (thread-safe).
+
+    ``scheduler`` rides along as a plain attribute, *not* an artifact:
+    gates use it to fan work out through the same scheduler (and
+    journal) as the run itself, but it must never show up in
+    :meth:`keys` — artifacts are data, the scheduler is machinery.
+    """
 
     def __init__(self, **initial: Any):
         self._artifacts: Dict[str, Any] = dict(initial)
         self._lock = threading.Lock()
+        self.scheduler: Optional[Scheduler] = None
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -65,21 +80,50 @@ class PipelineContext:
             return sorted(self._artifacts)
 
 
+class _WriteGuard:
+    """Write ledger for one scheduled stage.
+
+    Records which task wrote each context key.  A task writing a key
+    previously written by a job that is *not* among its ancestors in
+    the stage DAG lied about its write set — the two could have
+    interleaved — so the run is stopped with
+    :class:`ConcurrentWriteError` instead of silently racing.
+    """
+
+    def __init__(self, ancestors: List[Set[int]]):
+        self._ancestors = ancestors
+        self._writes: Dict[str, Tuple[int, str]] = {}
+        self._lock = threading.Lock()
+
+    def note(self, key: str, index: int, job_name: str) -> None:
+        with self._lock:
+            earlier = self._writes.get(key)
+            if earlier is not None:
+                earlier_index, earlier_name = earlier
+                if (earlier_name != job_name
+                        and earlier_index not in self._ancestors[index]):
+                    raise ConcurrentWriteError(
+                        f"jobs {earlier_name!r} and {job_name!r} both wrote "
+                        f"context key {key!r} in the same parallel wave; "
+                        f"declare the key in their writes= so the scheduler "
+                        f"serializes them"
+                    )
+            self._writes[key] = (index, job_name)
+
+
 class _GuardedContext:
-    """Per-job context proxy for one parallel wave.
+    """Per-job context proxy for one scheduled stage.
 
     Delegates everything to the real context but registers each write
-    in the wave's shared ledger; a second job writing the same key in
-    the same wave is a scheduling lie and raises
-    :class:`ConcurrentWriteError` instead of silently interleaving.
+    with the stage's :class:`_WriteGuard`.
     """
 
     def __init__(self, context: PipelineContext, job_name: str,
-                 ledger: Dict[str, str], ledger_lock: threading.Lock):
+                 index: int, guard: _WriteGuard):
         self._context = context
         self._job_name = job_name
-        self._ledger = ledger
-        self._ledger_lock = ledger_lock
+        self._index = index
+        self._guard = guard
 
     def __contains__(self, key: str) -> bool:
         return key in self._context
@@ -94,16 +138,7 @@ class _GuardedContext:
         return self._context.keys()
 
     def put(self, key: str, value: Any) -> None:
-        with self._ledger_lock:
-            earlier = self._ledger.get(key)
-            if earlier is not None and earlier != self._job_name:
-                raise ConcurrentWriteError(
-                    f"jobs {earlier!r} and {self._job_name!r} both wrote "
-                    f"context key {key!r} in the same parallel wave; "
-                    f"declare the key in their writes= so the scheduler "
-                    f"serializes them"
-                )
-            self._ledger[key] = self._job_name
+        self._guard.note(key, self._index, self._job_name)
         self._context.put(key, value)
 
 
@@ -123,9 +158,9 @@ class Job:
 
     The callable raises to fail the job; its return value (or the
     exception text) lands in the result detail.  ``reads``/``writes``
-    declare the context keys the job touches — the parallel scheduler
-    only co-schedules jobs with disjoint declarations, and a job
-    declaring neither runs alone (a barrier).
+    declare the context keys the job touches — the scheduler only
+    overlaps jobs with disjoint declarations, and a job declaring
+    neither runs alone (a barrier).
     """
 
     name: str
@@ -239,6 +274,9 @@ def plan_waves(jobs: Sequence[Job]) -> List[List[Job]]:
     wave.  Undeclared jobs are solo barriers.  Order within a wave is
     irrelevant by construction; order across waves preserves the
     declaration order.
+
+    The scheduler applies the same pairwise rules as a DAG; waves
+    remain the human-readable projection of that graph.
     """
     waves: List[List[Job]] = []
     current: List[Job] = []
@@ -271,10 +309,12 @@ def plan_waves(jobs: Sequence[Job]) -> List[List[Job]]:
 class Pipeline:
     """An ordered list of stages, executed fail-fast.
 
-    ``max_workers`` (here or per-:meth:`run`) enables the wave
-    scheduler; the default of ``None`` (or ``1``) runs every job in
-    declaration order on the calling thread — byte-for-byte the serial
-    engine.
+    ``max_workers`` (here or per-:meth:`run`) enables scheduled
+    execution; the default of ``None`` (or ``1``) with no explicit
+    scheduler runs every job in declaration order on the calling
+    thread — byte-for-byte the serial engine.  Passing ``scheduler=``
+    routes the stages through that scheduler regardless of worker
+    count, which is how journaled (crash-resumable) runs are made.
     """
 
     def __init__(self, stages: Sequence[Stage],
@@ -286,22 +326,28 @@ class Pipeline:
         self.max_workers = max_workers
 
     def run(self, context: Optional[PipelineContext] = None,
-            max_workers: Optional[int] = None) -> PipelineRun:
+            max_workers: Optional[int] = None,
+            scheduler: Optional[Scheduler] = None) -> PipelineRun:
         """Execute all stages against *context* (created when omitted)."""
         workers = max_workers if max_workers is not None else self.max_workers
         context = context if context is not None else PipelineContext()
+        if scheduler is None and workers is not None and workers > 1:
+            scheduler = Scheduler(workers=workers)
+        if scheduler is not None:
+            context.scheduler = scheduler
         run = PipelineRun(context=context)
         for stage in self.stages:
             result = StageResult(name=stage.name)
             run.stage_results.append(result)
-            if workers is None or workers <= 1:
+            if scheduler is None:
                 for job in stage.jobs:
                     job_result = job.execute(context)
                     result.job_results.append(job_result)
                     if not job_result.passed:
                         return run
             else:
-                if not self._run_waves(stage, context, workers, result):
+                if not self._run_scheduled(stage, context, scheduler,
+                                           result):
                     return run
             for gate in stage.gates:
                 gate_result = gate.evaluate(context)
@@ -315,28 +361,32 @@ class Pipeline:
         return run
 
     @staticmethod
-    def _run_waves(stage: Stage, context: PipelineContext, workers: int,
-                   result: StageResult) -> bool:
-        """Run one stage's jobs wave by wave; False stops the pipeline."""
-        for wave in plan_waves(stage.jobs):
-            if len(wave) == 1:
-                job_result = wave[0].execute(context)
-                result.job_results.append(job_result)
-                if not job_result.passed:
-                    return False
-                continue
-            ledger: Dict[str, str] = {}
-            ledger_lock = threading.Lock()
-            guarded = [
-                _GuardedContext(context, job.name, ledger, ledger_lock)
-                for job in wave
-            ]
-            with ThreadPoolExecutor(
-                    max_workers=min(workers, len(wave))) as pool:
-                futures = [pool.submit(job.execute, proxy)
-                           for job, proxy in zip(wave, guarded)]
-                wave_results = [future.result() for future in futures]
-            result.job_results.extend(wave_results)
-            if not all(job_result.passed for job_result in wave_results):
-                return False
-        return True
+    def _run_scheduled(stage: Stage, context: PipelineContext,
+                       scheduler: Scheduler, result: StageResult) -> bool:
+        """Run one stage's jobs as a scheduler batch; False stops the run."""
+        if not stage.jobs:
+            return True
+        tasks = []
+        for index, job in enumerate(stage.jobs):
+            tasks.append(SchedTask(
+                name=f"{stage.name}:{job.name}",
+                run=lambda j=job, i=index: None,  # bound below with guard
+                reads=tuple(job.reads),
+                writes=tuple(job.writes),
+                ok=lambda job_result: job_result.passed,
+            ))
+        # The guard needs the same ancestor relation the scheduler will
+        # schedule by, so link once and share.
+        _deps, ancestors = sched_link(tasks)
+        guard = _WriteGuard(ancestors)
+        for index, (job, task) in enumerate(zip(stage.jobs, tasks)):
+            proxy = _GuardedContext(context, job.name, index, guard)
+            task.run = (lambda j=job, p=proxy: j.execute(p))
+        report = scheduler.run_batch(tasks)
+        # Scheduling lies (ConcurrentWriteError) stop the world; job
+        # failures stay data in the stage result.
+        report.raise_errors(only=(ConcurrentWriteError,))
+        for task_result in report.results:
+            if task_result.value is not None:
+                result.job_results.append(task_result.value)
+        return report.passed

@@ -266,15 +266,23 @@ class RequirementRepository:
         return histogram
 
     def traceability_rows(self) -> List[Dict[str, str]]:
-        """One row per requirement for the E1 end-to-end table."""
-        return [
-            {
+        """One row per requirement for the E1 end-to-end table.
+
+        ``trace`` is the short form of the record's provenance-chain
+        digest (see :meth:`~repro.reqs.ir.Requirement.
+        provenance_digests`): one column that commits to the full
+        source chain ``repro reqs trace`` renders at length.
+        """
+        rows = []
+        for record in self.all():
+            chain = record.to_ir().provenance_chain_digest()
+            rows.append({
                 "req": record.req_id,
                 "source": record.source.value,
                 "status": record.status.value,
                 "pattern": record.pattern.kind if record.pattern else "-",
                 "ltl": record.ltl or "-",
                 "bindings": ",".join(record.rqcode_findings) or "-",
-            }
-            for record in self.all()
-        ]
+                "trace": chain[:12] if chain else "-",
+            })
+        return rows

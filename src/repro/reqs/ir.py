@@ -287,6 +287,32 @@ class Requirement:
         return _digest(json.dumps(body, sort_keys=True,
                                   separators=(",", ":")))
 
+    def provenance_digests(self) -> Tuple[str, ...]:
+        """Chained digests over the provenance links, origin-first.
+
+        ``digest[i] = blake2b(digest[i-1] + canonical(link[i]))`` with a
+        fixed genesis — the same construction as the scheduler journal's
+        entry chain, so each link's digest commits to the whole chain
+        before it.  Tampering with (or dropping) any upstream link
+        changes every digest after it, which is what lets a
+        traceability report cite one short digest per requirement and
+        still cover the full derivation.
+        """
+        digests = []
+        prev = "ir-provenance-genesis"
+        for link in self.provenance:
+            payload = prev + json.dumps(link.to_dict(), sort_keys=True,
+                                        separators=(",", ":"))
+            prev = _digest(payload)
+            digests.append(prev)
+        return tuple(digests)
+
+    def provenance_chain_digest(self) -> str:
+        """The terminal chained digest ("" without provenance) — one
+        value committing to the record's entire source chain."""
+        digests = self.provenance_digests()
+        return digests[-1] if digests else ""
+
     # -- convenience ---------------------------------------------------------------
 
     def pattern_scope(self) -> Tuple[Optional[Pattern], Optional[Scope]]:

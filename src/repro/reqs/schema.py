@@ -14,13 +14,30 @@ The validator implements the subset of JSON Schema the IR needs
 ``additionalProperties``, ``items``, ``enum``, ``minLength`` /
 ``minItems``) so it runs in environments without the ``jsonschema``
 package.
+
+**Versioning.**  The wire shape is versioned (:data:`SCHEMA_VERSION`,
+carried in the ``$id``): v2 adds the *optional* ``ir_version`` stamp
+that version-aware embedders — the scheduler journal's IR-fingerprint
+manifest — attach to records, while emitters of the bare shape (``repro
+reqs list --json``) stay byte-identical, so fingerprints and the
+``reqs-smoke`` drift check are unaffected.  :func:`migrate_record`
+upgrades older records in place of a hard failure: a v1 record (no
+``ir_version``) is stamped to the current version; a record claiming a
+*future* version is refused.
 """
 
 import json
 import sys
 from typing import Any, Dict, List
 
-from repro.reqs.ir import SEVERITIES, TARGET_KINDS
+from repro.reqs.ir import IrError, SEVERITIES, TARGET_KINDS
+
+#: Wire-shape version.  Bump together with ``$id`` and regenerate
+#: ``schemas/requirement-ir.schema.json`` in the same commit.
+SCHEMA_VERSION = 2
+
+SCHEMA_ID = ("https://veridevops.example/schemas/"
+             f"requirement-ir.v{SCHEMA_VERSION}.schema.json")
 
 _PROVENANCE_SCHEMA: Dict[str, Any] = {
     "type": "object",
@@ -48,7 +65,7 @@ _PATTERN_HALF_SCHEMA: Dict[str, Any] = {
 
 IR_SCHEMA: Dict[str, Any] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
-    "$id": "https://veridevops.example/schemas/requirement-ir.schema.json",
+    "$id": SCHEMA_ID,
     "title": "Requirement IR",
     "description": "Canonical requirement record lowered from any "
                    "registered front-end (see src/repro/reqs/).",
@@ -83,8 +100,39 @@ IR_SCHEMA: Dict[str, Any] = {
         "tags": {"type": "array", "items": {"type": "string"}},
         "bindings": {"type": "array",
                      "items": {"type": "string", "minLength": 1}},
+        # Optional version stamp (the validator's keyword subset has no
+        # "minimum"/"const", so the accepted value is pinned by enum).
+        # Emitters of the bare wire shape omit it; version-aware
+        # embedders (the scheduler journal) stamp it via
+        # migrate_record.
+        "ir_version": {"type": "integer", "enum": [SCHEMA_VERSION]},
     },
 }
+
+
+def migrate_record(payload: Any) -> Any:
+    """Upgrade one wire record to the current schema version.
+
+    A v1 record — anything without an ``ir_version`` stamp — is
+    returned as a copy stamped ``SCHEMA_VERSION`` (the v1->v2 change is
+    purely additive, so stamping *is* the migration).  A current record
+    passes through unchanged; a record claiming an unknown (future)
+    version raises :class:`~repro.reqs.ir.IrError` rather than being
+    guessed at.
+    """
+    if not isinstance(payload, dict):
+        return payload
+    version = payload.get("ir_version", 1)
+    if version == SCHEMA_VERSION:
+        return payload
+    if version == 1:
+        migrated = dict(payload)
+        migrated["ir_version"] = SCHEMA_VERSION
+        return migrated
+    raise IrError(
+        f"cannot migrate IR record {payload.get('rid', '?')!r}: "
+        f"ir_version {version!r} is newer than this build's "
+        f"schema v{SCHEMA_VERSION}")
 
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
@@ -181,6 +229,12 @@ def main(argv=None) -> int:
         return 2
     failures = 0
     for index, record in enumerate(records):
+        try:
+            record = migrate_record(record)
+        except IrError as exc:
+            print(str(exc), file=sys.stderr)
+            failures += 1
+            continue
         errors = validate_record(record, schema)
         if errors:
             failures += 1

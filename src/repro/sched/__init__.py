@@ -1,0 +1,56 @@
+"""repro.sched — the unified, event-sourced work scheduler.
+
+One control plane behind the three execution surfaces that used to
+carry their own bespoke machinery:
+
+* **pipeline stages** — ``repro.core.pipeline.Pipeline`` hands each
+  stage's jobs to :meth:`Scheduler.run_batch`, which generalizes the
+  wave partitioner's conflict rules into a dependency DAG;
+* **prevention gate fan-out** — ``repro.core.gates.VerificationGate``
+  schedules model-checker calls as *effective* tasks whose verdicts
+  are journaled for crash-resume;
+* **SOC incident retries** — ``repro.soc.incidents`` runs every
+  enforcement through the shared :class:`PolicyRunner` stack
+  (retry + backoff + circuit breaker).
+
+``repro.sched.runner`` (the journaled end-to-end prevention run used by
+the ``repro sched`` CLI) is intentionally *not* imported here: it
+depends on ``repro.core``, which itself imports this package.
+"""
+
+from repro.sched.breaker import BreakerState, CircuitBreaker
+from repro.sched.events import EventBus, SchedEvent
+from repro.sched.journal import (GENESIS, Journal, JournalEntry,
+                                 JournalError)
+from repro.sched.policy import (BreakerBank, PolicyOutcome, PolicyRunner,
+                                RetryPolicy, SINGLE_ATTEMPT)
+from repro.sched.scheduler import (BatchReport, Scheduler, SchedulerCrash,
+                                   WorkerPool)
+from repro.sched.task import (Task, TaskPolicy, TaskResult, TaskState,
+                              conflicts, link)
+
+__all__ = [
+    "BatchReport",
+    "BreakerBank",
+    "BreakerState",
+    "CircuitBreaker",
+    "EventBus",
+    "GENESIS",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
+    "PolicyOutcome",
+    "PolicyRunner",
+    "RetryPolicy",
+    "SINGLE_ATTEMPT",
+    "SchedEvent",
+    "Scheduler",
+    "SchedulerCrash",
+    "Task",
+    "TaskPolicy",
+    "TaskResult",
+    "TaskState",
+    "WorkerPool",
+    "conflicts",
+    "link",
+]

@@ -1,0 +1,88 @@
+"""The scheduler's pub/sub event bus with replayable history.
+
+Every state transition the scheduler makes — task dispatched, retried,
+completed, adopted from the journal, skipped — is published as a
+:class:`SchedEvent`.  Subscribers (metrics, the CLI's live status, the
+tests' invariant checks) observe the run without the scheduler knowing
+about them; the append-only history makes a finished run replayable
+after the fact, which is what the IEC 62443-style auditability story
+asks of pipeline execution.
+
+The bus is in-memory and thread-safe; durable history is the journal's
+job (:mod:`repro.sched.journal`), which records the *effective* subset
+of these events.
+"""
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+Subscriber = Callable[["SchedEvent"], None]
+
+
+@dataclass(frozen=True)
+class SchedEvent:
+    """One scheduler state transition."""
+
+    seq: int
+    kind: str
+    task: str = ""
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind, "task": self.task,
+                "data": dict(self.data)}
+
+
+class EventBus:
+    """Append-only, replayable, thread-safe event stream."""
+
+    def __init__(self):
+        self._history: List[SchedEvent] = []
+        self._subscribers: Dict[int, Subscriber] = {}
+        self._next_handle = 0
+        self._lock = threading.Lock()
+
+    def subscribe(self, subscriber: Subscriber) -> int:
+        """Register *subscriber* for all future events; returns a handle."""
+        with self._lock:
+            handle = self._next_handle
+            self._next_handle += 1
+            self._subscribers[handle] = subscriber
+            return handle
+
+    def unsubscribe(self, handle: int) -> None:
+        with self._lock:
+            self._subscribers.pop(handle, None)
+
+    def publish(self, kind: str, task: str = "",
+                data: Optional[Mapping[str, Any]] = None) -> SchedEvent:
+        with self._lock:
+            event = SchedEvent(seq=len(self._history), kind=kind,
+                               task=task, data=dict(data or {}))
+            self._history.append(event)
+            subscribers = list(self._subscribers.values())
+        # Dispatch outside the lock: a subscriber may publish again.
+        for subscriber in subscribers:
+            subscriber(event)
+        return event
+
+    def history(self, kinds: Optional[Iterable[str]] = None) -> List[SchedEvent]:
+        with self._lock:
+            events = list(self._history)
+        if kinds is None:
+            return events
+        wanted = set(kinds)
+        return [event for event in events if event.kind in wanted]
+
+    def replay(self, subscriber: Subscriber,
+               kinds: Optional[Iterable[str]] = None) -> int:
+        """Feed the recorded history through *subscriber*; returns count."""
+        events = self.history(kinds)
+        for event in events:
+            subscriber(event)
+        return len(events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._history)

@@ -1,0 +1,207 @@
+"""The scheduler's persistent journal: append-only, hash-chained JSONL.
+
+The journal is what makes a half-finished pipeline run resumable.  One
+JSON object per line, each carrying a blake2b digest over its own
+canonical form *chained* to the previous entry's digest — so the file
+is tamper-evident and a reader can tell exactly where a crashed writer
+stopped:
+
+``{"seq": 3, "kind": "task.completed", "task": "verify:...",``
+``  "data": {...}, "prev": "<digest 2>", "digest": "<digest 3>"}``
+
+Write discipline: every entry is flushed and fsync'd before the append
+returns, so a ``task.completed`` entry is durable before the scheduler
+considers the completion *effective*.  A crash can therefore leave at
+most one torn line at the tail; :meth:`Journal.load` drops it (and
+counts it) rather than failing, while a bad digest or broken chain
+*before* the tail is real corruption and raises :class:`JournalError`.
+
+Entry kinds written by the run layer and the scheduler:
+
+* ``run.plan`` — first entry: what this run is (profile, worker count,
+  the requirement-IR fingerprint manifest the run was built from).
+* ``task.completed`` — one per *effective* task, with its encoded
+  result; the exactly-once unit of the whole design.
+* ``run.resumed`` — appended once per resume generation.
+* ``run.finished`` — terminal entry with the run's verdict.
+"""
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+GENESIS = "sched-journal-genesis"
+_DIGEST_SIZE = 16
+
+
+class JournalError(RuntimeError):
+    """The journal is corrupt (bad digest or broken chain mid-file)."""
+
+
+def _canonical(payload: Mapping[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _entry_digest(seq: int, kind: str, task: str,
+                  data: Mapping[str, Any], prev: str) -> str:
+    body = _canonical({"seq": seq, "kind": kind, "task": task,
+                       "data": data, "prev": prev})
+    return hashlib.blake2b(body.encode("utf-8"),
+                           digest_size=_DIGEST_SIZE).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    seq: int
+    kind: str
+    task: str
+    data: Mapping[str, Any]
+    prev: str
+    digest: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind, "task": self.task,
+                "data": dict(self.data), "prev": self.prev,
+                "digest": self.digest}
+
+
+class Journal:
+    """Durable, hash-chained record of one scheduled run."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.entries: List[JournalEntry] = []
+        self.torn_tail = False      # a half-written final line was dropped
+        self._load()
+
+    # -- reading -------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        prev = GENESIS
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            last = index == len(lines) - 1
+            try:
+                raw = json.loads(line)
+                entry = JournalEntry(
+                    seq=raw["seq"], kind=raw["kind"], task=raw["task"],
+                    data=raw["data"], prev=raw["prev"], digest=raw["digest"])
+            except (ValueError, KeyError, TypeError):
+                # Unparseable line: a torn tail is expected after a
+                # crash; anything earlier means the file is corrupt.
+                if last:
+                    self.torn_tail = True
+                    return
+                raise JournalError(
+                    f"{self.path}: unparseable entry at line {index + 1}")
+            expected = _entry_digest(entry.seq, entry.kind, entry.task,
+                                     entry.data, entry.prev)
+            if (entry.digest != expected or entry.prev != prev
+                    or entry.seq != len(self.entries)):
+                if last:
+                    # Tail entry with a bad digest/chain: treat like a
+                    # torn write and drop it.
+                    self.torn_tail = True
+                    return
+                raise JournalError(
+                    f"{self.path}: hash chain broken at seq {entry.seq}")
+            self.entries.append(entry)
+            prev = entry.digest
+
+    def verify(self) -> bool:
+        """Re-check the chain of the in-memory entries."""
+        prev = GENESIS
+        for index, entry in enumerate(self.entries):
+            expected = _entry_digest(entry.seq, entry.kind, entry.task,
+                                     entry.data, entry.prev)
+            if (entry.digest != expected or entry.prev != prev
+                    or entry.seq != index):
+                return False
+            prev = entry.digest
+        return True
+
+    # -- writing -------------------------------------------------------------------
+
+    def append(self, kind: str, task: str = "",
+               data: Optional[Mapping[str, Any]] = None) -> JournalEntry:
+        """Append one entry, durable (flush + fsync) before returning."""
+        data = dict(data or {})
+        prev = self.entries[-1].digest if self.entries else GENESIS
+        seq = len(self.entries)
+        entry = JournalEntry(
+            seq=seq, kind=kind, task=task, data=data, prev=prev,
+            digest=_entry_digest(seq, kind, task, data, prev))
+        line = json.dumps(entry.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.entries.append(entry)
+        return entry
+
+    def tear_tail(self) -> None:
+        """Destroy the durability of the last entry (fault injection).
+
+        Truncates the file mid-way through its final line, simulating a
+        crash that interrupted the write after the flush was issued but
+        before the blocks hit disk.  The in-memory journal is left
+        alone: the process is about to die anyway.
+        """
+        if not self.entries:
+            return
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        body = raw.rstrip(b"\n")
+        cut = body.rfind(b"\n")
+        last_line_start = 0 if cut < 0 else cut + 1
+        last_len = len(body) - last_line_start
+        keep = last_line_start + max(1, last_len // 2)
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+
+    # -- queries -------------------------------------------------------------------
+
+    def plan(self) -> Optional[Dict[str, Any]]:
+        for entry in self.entries:
+            if entry.kind == "run.plan":
+                return dict(entry.data)
+        return None
+
+    def completions(self) -> Dict[str, Dict[str, Any]]:
+        """Effective completions by task name (journaled exactly once)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for entry in self.entries:
+            if entry.kind == "task.completed":
+                done[entry.task] = dict(entry.data)
+        return done
+
+    def completion_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            if entry.kind == "task.completed":
+                counts[entry.task] = counts.get(entry.task, 0) + 1
+        return counts
+
+    def resumes(self) -> int:
+        return sum(1 for entry in self.entries
+                   if entry.kind == "run.resumed")
+
+    def finished(self) -> Optional[Dict[str, Any]]:
+        for entry in self.entries:
+            if entry.kind == "run.finished":
+                return dict(entry.data)
+        return None
+
+    def head_digest(self) -> str:
+        return self.entries[-1].digest if self.entries else GENESIS
+
+    def __len__(self) -> int:
+        return len(self.entries)

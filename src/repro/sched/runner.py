@@ -1,0 +1,133 @@
+"""Journaled, crash-resumable prevention runs.
+
+:class:`JournaledPreventionRun` is the glue between the scheduler's
+journal and the prevention pipeline: it records *what* the run is (the
+host profile, worker count, and the requirement-IR fingerprint manifest
+the run was built from) as the journal's first entry, drives the
+pipeline through a journal-attached :class:`~repro.sched.scheduler.
+Scheduler`, and stamps the terminal verdict as ``run.finished``.
+
+Resume is the same call against the same journal path: the recorded
+plan is checked against the rebuilt world (same profile, byte-identical
+IR manifest — a changed requirement corpus would silently invalidate
+the adopted verdicts, so it is refused instead), a ``run.resumed``
+entry advances the chaos generation, and the scheduler adopts every
+journaled effective completion rather than re-executing it.  A journal
+that already carries ``run.finished`` short-circuits: the recorded
+verdict is replayed without building a pipeline at all.
+
+This module lives outside :mod:`repro.sched`'s ``__init__`` exports on
+purpose: it imports :mod:`repro.core`, which itself builds on
+``repro.sched`` — callers (the CLI) import it directly.
+"""
+
+from typing import Any, Dict, Optional
+
+from repro.reqs.schema import SCHEMA_ID, SCHEMA_VERSION
+from repro.sched.journal import Journal
+from repro.sched.scheduler import Scheduler
+
+__all__ = ["JournaledPreventionRun", "RunPlanError", "ir_manifest"]
+
+
+class RunPlanError(RuntimeError):
+    """The journal's recorded plan contradicts this invocation."""
+
+
+def ir_manifest(repository) -> Dict[str, Any]:
+    """The requirement-IR fingerprint manifest of *repository*.
+
+    Versioned with the IR wire shape (``schema_id`` / ``ir_version``,
+    see :mod:`repro.reqs.schema`) so a journal written by one build can
+    be refused — not misread — by a build with an incompatible IR.
+    Fingerprints commit to full records; content digests survive re-id.
+    """
+    return {
+        "schema_id": SCHEMA_ID,
+        "ir_version": SCHEMA_VERSION,
+        "fingerprints": [
+            {"rid": ir.rid,
+             "fingerprint": ir.fingerprint(),
+             "content": ir.content_fingerprint()}
+            for ir in repository.irs()
+        ],
+    }
+
+
+class JournaledPreventionRun:
+    """One crash-resumable prevention run bound to a journal path."""
+
+    def __init__(self, journal_path: str, host, profile: str,
+                 jobs: int = 1, chaos=None,
+                 crash_after: Optional[int] = None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.journal = Journal(journal_path)
+        self.host = host
+        self.profile = profile
+        self.jobs = jobs
+        self.chaos = chaos
+        self.crash_after = crash_after
+
+    def execute(self) -> Dict[str, Any]:
+        """Run (or resume, or replay) to the journal's terminal verdict.
+
+        Returns the verdict document: ``passed`` / ``failed_stage`` /
+        ``gates`` plus the journal bookkeeping (``resumes``,
+        ``replayed``, ``adopted``).  An injected
+        :class:`~repro.sched.scheduler.SchedulerCrash` propagates to
+        the caller — the journal is left resumable.
+        """
+        finished = self.journal.finished()
+        if finished is not None:
+            return dict(finished, resumes=self.journal.resumes(),
+                        replayed=True, adopted=0)
+
+        from repro.core import VeriDevOpsOrchestrator
+        from repro.prevention import bundled_verification_tasks
+
+        orchestrator = VeriDevOpsOrchestrator()
+        orchestrator.ingest_standards(self.host.os_family)
+        manifest = ir_manifest(orchestrator.repository)
+
+        recorded = self.journal.plan()
+        if recorded is None:
+            generation = 0
+            self.journal.append("run.plan", data={
+                "profile": self.profile, "jobs": self.jobs,
+                "ir": manifest})
+        else:
+            self._check_plan(recorded, manifest)
+            generation = self.journal.resumes() + 1
+            self.journal.append("run.resumed",
+                                data={"generation": generation})
+
+        scheduler = Scheduler(
+            workers=self.jobs, journal=self.journal,
+            chaos=self.chaos, crash_after=self.crash_after,
+            generation=generation)
+        adopted = scheduler.adopted_available
+        run = orchestrator.run_prevention(
+            [self.host],
+            verification_tasks=bundled_verification_tasks(),
+            max_workers=self.jobs if self.jobs > 1 else None,
+            scheduler=scheduler)
+        verdict = {"passed": run.passed,
+                   "failed_stage": run.failed_stage,
+                   "gates": run.gate_rows()}
+        self.journal.append("run.finished", data=verdict)
+        return dict(verdict, resumes=self.journal.resumes(),
+                    replayed=False, adopted=adopted)
+
+    def _check_plan(self, recorded: Dict[str, Any],
+                    manifest: Dict[str, Any]) -> None:
+        if recorded.get("profile") != self.profile:
+            raise RunPlanError(
+                f"journal {self.journal.path!r} was started for profile "
+                f"{recorded.get('profile')!r}, not {self.profile!r}")
+        if recorded.get("ir") != manifest:
+            raise RunPlanError(
+                f"journal {self.journal.path!r} was started from a "
+                f"different requirement corpus (IR fingerprint manifest "
+                f"mismatch); adopted verdicts would be stale — start a "
+                f"fresh journal")

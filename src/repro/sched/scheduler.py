@@ -1,0 +1,387 @@
+"""The event-sourced DAG scheduler.
+
+One scheduler instance drives one run.  Work arrives in *batches*
+(a pipeline stage's jobs, a gate's verification fan-out); within a
+batch the dependency linker (:func:`repro.sched.task.link`) orders
+tasks by the wave partitioner's conflict rules, and completion-driven
+dispatch keeps every worker busy with whatever became ready — a slow
+task only blocks its true dependents, never a whole wave.
+
+Every transition is published on the :class:`~repro.sched.events.EventBus`.
+When a :class:`~repro.sched.journal.Journal` is attached, *effective*
+task completions are additionally journaled (durably, before the
+completion is acknowledged), and a scheduler built over an existing
+journal **adopts** those completions instead of re-executing — the
+exactly-once-effective-completion contract that makes crash-resume
+safe.
+
+The chaos controller plugs in as a first-class fault seam: immediately
+*after* an effective completion is journaled the scheduler consults
+``chaos.sched_fault`` (or the deterministic ``crash_after`` budget) and
+may raise :class:`SchedulerCrash`, optionally tearing the just-written
+journal tail first.  Because the decision is keyed by resume
+generation, a resumed run does not deterministically re-crash at the
+same completion.
+"""
+
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from repro.sched.events import EventBus
+from repro.sched.journal import Journal
+from repro.sched.policy import (BreakerBank, PolicyRunner, RetryPolicy,
+                                SINGLE_ATTEMPT)
+from repro.sched.task import Task, TaskResult, TaskState, link
+
+_STOP = object()
+
+
+class SchedulerCrash(RuntimeError):
+    """An injected scheduler crash: resume from the journal."""
+
+
+class WorkerPool:
+    """Fixed pool of daemon workers with the SOC's drain/stop lifecycle.
+
+    ``submit`` enqueues a thunk; ``drain`` blocks until every accepted
+    thunk has run; ``stop`` stops accepting and joins the workers;
+    ``abandon`` detaches without joining (the crash path — daemon
+    threads die with the process, as a real crash would).
+    """
+
+    def __init__(self, workers: int, name: str = "sched"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._work, daemon=True,
+                             name=f"{name}-worker-{index}")
+            for index in range(workers)]
+        self._outstanding = 0
+        self._accepting = True
+        self._started = False
+        self._cond = threading.Condition()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, thunk) -> None:
+        with self._cond:
+            if not self._accepting:
+                raise RuntimeError("worker pool is not accepting work")
+            self._outstanding += 1
+        self._queue.put(thunk)
+
+    def _work(self) -> None:
+        while True:
+            thunk = self._queue.get()
+            if thunk is _STOP:
+                return
+            try:
+                thunk()
+            finally:
+                with self._cond:
+                    self._outstanding -= 1
+                    self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Block until every accepted thunk has finished running."""
+        with self._cond:
+            while self._outstanding > 0:
+                self._cond.wait()
+
+    def stop(self) -> None:
+        """Drain, then stop accepting and join the workers."""
+        with self._cond:
+            self._accepting = False
+        self.drain()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=5)
+
+    def abandon(self) -> None:
+        """Stop accepting and walk away (crash path; no join)."""
+        with self._cond:
+            self._accepting = False
+
+
+@dataclass
+class BatchReport:
+    """Terminal state of one ``run_batch`` call, in declaration order."""
+
+    results: List[TaskResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def raise_errors(self, only: Optional[tuple] = None) -> None:
+        """Re-raise the first captured task exception (declaration order).
+
+        With *only*, exceptions of other types stay contained in their
+        results — the pipeline re-raises scheduling lies
+        (``ConcurrentWriteError``) but keeps job failures as data.
+        """
+        for result in self.results:
+            if result.error is None:
+                continue
+            if only is None or isinstance(result.error, only):
+                raise result.error
+
+
+class Scheduler:
+    """Runs task batches over a worker pool, journaling effective work."""
+
+    def __init__(self, workers: int = 1,
+                 bus: Optional[EventBus] = None,
+                 journal: Optional[Journal] = None,
+                 chaos=None,
+                 crash_after: Optional[int] = None,
+                 generation: int = 0,
+                 breakers: Optional[BreakerBank] = None,
+                 seed: int = 0,
+                 sleeper=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.bus = bus if bus is not None else EventBus()
+        self.journal = journal
+        self.chaos = chaos
+        self.crash_after = crash_after
+        self.generation = generation
+        self.breakers = breakers if breakers is not None else BreakerBank()
+        self.seed = seed
+        self.sleeper = sleeper
+        self._adopted = dict(journal.completions()) if journal else {}
+        self._seen_names: Set[str] = set()
+        self._fresh_completions = 0
+        self._lock = threading.Lock()
+
+    @property
+    def adopted_available(self) -> int:
+        return len(self._adopted)
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_batch(self, tasks: Sequence[Task],
+                  fail_fast: bool = True) -> BatchReport:
+        """Run one batch to quiescence; results in declaration order."""
+        tasks = list(tasks)
+        for task in tasks:
+            if task.name in self._seen_names:
+                raise ValueError(
+                    f"task name {task.name!r} already scheduled this run")
+        self._seen_names.update(task.name for task in tasks)
+        if not tasks:
+            return BatchReport(results=[])
+        deps, _ancestors = link(tasks)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        if self.workers > 1 and len(tasks) > 1:
+            self._run_parallel(tasks, deps, results, fail_fast)
+        else:
+            self._run_serial(tasks, deps, results, fail_fast)
+        return BatchReport(results=[result for result in results
+                                    if result is not None])
+
+    def _ready(self, index: int, deps, results) -> bool:
+        return all(results[dep] is not None and results[dep].ok
+                   for dep in deps[index])
+
+    def _blocked_by_failure(self, index: int, deps, results) -> bool:
+        return any(results[dep] is not None and not results[dep].ok
+                   for dep in deps[index])
+
+    def _run_serial(self, tasks, deps, results, fail_fast) -> None:
+        failed = False
+        for index, task in enumerate(tasks):
+            if results[index] is not None:
+                continue
+            if (failed and fail_fast) or \
+                    self._blocked_by_failure(index, deps, results):
+                self._skip(task, results, index)
+                continue
+            if self._adopt(task, results, index):
+                continue
+            self.bus.publish("task.started", task=task.name)
+            value, error, attempts, ok = self._attempt(task)
+            self._finish(task, results, index, value, error, attempts, ok)
+            if not results[index].ok:
+                failed = True
+
+    def _run_parallel(self, tasks, deps, results, fail_fast) -> None:
+        done: "queue.Queue" = queue.Queue()
+        pool = WorkerPool(min(self.workers, len(tasks)))
+        pool.start()
+        dispatched: Set[int] = set()
+        inflight = 0
+        failed = False
+        crashed = False
+
+        def dispatch(index: int) -> None:
+            task = tasks[index]
+            self.bus.publish("task.started", task=task.name)
+
+            def runner(task=task, index=index):
+                # The policy runner contains Exceptions; BaseException
+                # (interpreter shutdown etc.) must still reach the
+                # coordinator or done.get() would block forever.
+                try:
+                    outcome = self._attempt(task)
+                except BaseException as exc:
+                    outcome = (None, exc, 0, False)
+                done.put((index, outcome))
+
+            pool.submit(runner)
+
+        def dispatch_ready() -> int:
+            count = 0
+            for index in range(len(tasks)):
+                if index in dispatched or results[index] is not None:
+                    continue
+                if failed and fail_fast:
+                    continue
+                if self._blocked_by_failure(index, deps, results):
+                    self._skip(tasks[index], results, index)
+                    continue
+                if self._ready(index, deps, results):
+                    if self._adopt(tasks[index], results, index):
+                        count += 1      # progress without dispatching
+                        continue
+                    dispatched.add(index)
+                    dispatch(index)
+                    count += 1
+            return count
+
+        try:
+            progressed = dispatch_ready()
+            while progressed or inflight:
+                inflight = len(dispatched) - sum(
+                    1 for index in dispatched if results[index] is not None)
+                if inflight == 0:
+                    progressed = dispatch_ready()
+                    if progressed:
+                        continue
+                    break
+                index, (value, error, attempts, ok) = done.get()
+                task = tasks[index]
+                self._finish(task, results, index, value, error, attempts, ok)
+                if not results[index].ok:
+                    failed = True
+                progressed = dispatch_ready()
+        except SchedulerCrash:
+            crashed = True
+            raise
+        finally:
+            if crashed:
+                pool.abandon()
+            else:
+                pool.stop()
+            for index, task in enumerate(tasks):
+                if results[index] is None:
+                    self._skip(task, results, index)
+
+    # -- per-task mechanics --------------------------------------------------------
+
+    def _attempt(self, task: Task) -> Tuple[Any, Optional[BaseException],
+                                            int, bool]:
+        """Run one task under its policy; returns (value, error, attempts, ok)."""
+        policy = task.policy
+        retry = policy.retry if policy is not None else SINGLE_ATTEMPT
+        breaker = (self.breakers.get(policy.breaker_key)
+                   if policy is not None and policy.breaker_key else None)
+        runner = PolicyRunner(
+            retry=retry,
+            sleeper=self.sleeper if self.sleeper is not None else time.sleep,
+            on_attempt_failed=lambda index: self.bus.publish(
+                "task.retry", task=task.name, data={"attempt": index + 1}),
+        )
+
+        def attempt(index: int) -> Tuple[bool, Any]:
+            value = task.run()
+            ok = task.ok(value) if task.ok is not None else True
+            return ok, value
+
+        rng = random.Random(f"{self.seed}:{task.name}")
+        outcome = runner.run(attempt, rng=rng, breaker=breaker)
+        if not outcome.ran:
+            error: Optional[BaseException] = RuntimeError(
+                f"task {task.name!r} skipped: circuit breaker open")
+            return None, error, 0, False
+        return outcome.value, outcome.error, outcome.attempts, outcome.success
+
+    def _adopt(self, task: Task, results, index: int) -> bool:
+        """Reuse a journaled completion instead of re-executing."""
+        if not task.effective or task.name not in self._adopted:
+            return False
+        payload = self._adopted[task.name]
+        value = task.decode(payload.get("result"))
+        results[index] = TaskResult(name=task.name, state=TaskState.ADOPTED,
+                                    value=value)
+        self.bus.publish("task.adopted", task=task.name)
+        return True
+
+    def _skip(self, task: Task, results, index: int) -> None:
+        results[index] = TaskResult(name=task.name, state=TaskState.SKIPPED)
+        self.bus.publish("task.skipped", task=task.name)
+
+    def _finish(self, task: Task, results, index: int, value,
+                error, attempts: int, ok: bool) -> None:
+        if ok:
+            results[index] = TaskResult(
+                name=task.name, state=TaskState.SUCCEEDED, value=value,
+                attempts=attempts)
+            self.bus.publish("task.completed", task=task.name,
+                             data={"attempts": attempts})
+            if task.effective:
+                self._journal_completion(task, value)
+        else:
+            results[index] = TaskResult(
+                name=task.name, state=TaskState.FAILED, value=value,
+                error=error, attempts=attempts)
+            self.bus.publish("task.failed", task=task.name,
+                             data={"attempts": attempts,
+                                   "error": repr(error) if error else ""})
+
+    def _journal_completion(self, task: Task, value) -> None:
+        if self.journal is None:
+            return
+        with self._lock:
+            self.journal.append("task.completed", task=task.name,
+                                data={"result": task.encode(value)})
+            self._fresh_completions += 1
+            self._maybe_crash(task)
+
+    def _maybe_crash(self, task: Task) -> None:
+        """The chaos seam: fires right after a durable completion."""
+        torn = False
+        crash = False
+        if (self.crash_after is not None
+                and self._fresh_completions >= self.crash_after):
+            crash = True
+        elif self.chaos is not None:
+            # Keyed by resume generation so a resumed run draws fresh
+            # decisions instead of deterministically re-crashing on the
+            # same completion forever.
+            fault = self.chaos.sched_fault(
+                f"{self.generation}:{task.name}")
+            if fault is not None:
+                crash = True
+                torn = fault.value == "crash-torn"
+        if not crash:
+            return
+        if torn and self.journal is not None:
+            self.journal.tear_tail()
+        raise SchedulerCrash(
+            f"injected crash after completing {task.name!r} "
+            f"(generation {self.generation}, torn_tail={torn})")

@@ -1,0 +1,142 @@
+"""Task records and the dependency linker.
+
+A :class:`Task` is one unit of schedulable work: a no-argument thunk
+plus the metadata the scheduler needs to order, journal, and retry it.
+Dependencies come from two places:
+
+* **explicit edges** — ``deps`` names earlier tasks in the same batch;
+* **inferred edges** — the wave partitioner's conflict rules, applied
+  pairwise in declaration order: two tasks conflict when they write
+  the same key, when a later task reads a key an earlier one writes
+  (read-after-write), or when a later task writes a key an earlier one
+  reads (write-after-read).  A task with no declared reads *and* no
+  declared writes is a barrier: it depends on everything before it and
+  everything after depends on it — legacy jobs stay safe by default.
+
+These are exactly the rules ``repro.core.pipeline.plan_waves`` uses;
+the scheduler turns them into a DAG instead of greedy waves, so a slow
+task only holds back its true dependents, not its whole wave.
+
+**Ephemeral vs effective.**  ``effective=True`` marks a task whose
+completion is the run's unit of progress: its (JSON-encodable) result
+is journaled, and on resume the scheduler *adopts* the journaled
+result instead of re-executing.  Ephemeral tasks (setup, ingestion,
+gate bookkeeping) are cheap and deterministic; they re-run on every
+resume to rebuild in-memory state and are never journaled.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import (Any, Callable, List, Optional, Sequence, Set, Tuple)
+
+from repro.sched.policy import RetryPolicy
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    ADOPTED = "adopted"         # journaled completion reused on resume
+    FAILED = "failed"
+    SKIPPED = "skipped"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (TaskState.PENDING, TaskState.RUNNING)
+
+    @property
+    def ok(self) -> bool:
+        return self in (TaskState.SUCCEEDED, TaskState.ADOPTED)
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Failure budget for one task: retries plus an optional breaker."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_key: Optional[str] = None
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work."""
+
+    name: str
+    run: Callable[[], Any]
+    reads: Sequence[str] = ()
+    writes: Sequence[str] = ()
+    deps: Sequence[str] = ()
+    effective: bool = False
+    policy: Optional[TaskPolicy] = None
+    # Value-level success: a task can return normally yet still have
+    # failed (a stage job whose JobResult carries passed=False).
+    ok: Optional[Callable[[Any], bool]] = None
+    # Journal codecs for effective results; default to identity, which
+    # is right for plain JSON-shaped values.
+    encode: Callable[[Any], Any] = lambda value: value
+    decode: Callable[[Any], Any] = lambda value: value
+
+    @property
+    def declared(self) -> bool:
+        return bool(self.reads) or bool(self.writes)
+
+
+@dataclass
+class TaskResult:
+    """Terminal record for one task in a batch."""
+
+    name: str
+    state: TaskState
+    value: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.state.ok
+
+
+def conflicts(earlier: Task, later: Task) -> bool:
+    """The wave partitioner's pairwise conflict rules."""
+    if not earlier.declared or not later.declared:
+        return True     # barriers order against everything
+    ew, lw = set(earlier.writes), set(later.writes)
+    er, lr = set(earlier.reads), set(later.reads)
+    return bool((ew & lw) or (ew & lr) or (er & lw))
+
+
+def link(tasks: Sequence[Task]) -> Tuple[List[Set[int]], List[Set[int]]]:
+    """Build the batch DAG: per-task direct deps and full ancestor sets.
+
+    Explicit ``deps`` (by name, must precede the task in declaration
+    order) are unioned with conflict-inferred edges.  Returns
+    ``(deps, ancestors)`` as parallel lists of index sets; declaration
+    order is the topological order, so cycles are impossible by
+    construction.
+    """
+    index_of = {}
+    for index, task in enumerate(tasks):
+        if task.name in index_of:
+            raise ValueError(f"duplicate task name {task.name!r} in batch")
+        index_of[task.name] = index
+    deps: List[Set[int]] = []
+    ancestors: List[Set[int]] = []
+    for index, task in enumerate(tasks):
+        direct: Set[int] = set()
+        for dep_name in task.deps:
+            dep_index = index_of.get(dep_name)
+            if dep_index is None or dep_index >= index:
+                raise ValueError(
+                    f"task {task.name!r} depends on {dep_name!r}, which is "
+                    "not an earlier task in the batch")
+            direct.add(dep_index)
+        for earlier_index in range(index):
+            if conflicts(tasks[earlier_index], task):
+                direct.add(earlier_index)
+        above: Set[int] = set()
+        for dep_index in direct:
+            above.add(dep_index)
+            above |= ancestors[dep_index]
+        deps.append(direct)
+        ancestors.append(above)
+    return deps, ancestors

@@ -14,9 +14,17 @@ bound RQCODE findings, hardened for operations:
   host's incidents are handled strictly in detection order on one
   thread, while different hosts repair concurrently;
 * **exception escalation** — an enforcement that *raises* (a broken
-  backend, an injected chaos fault) is contained here: it counts as a
+  backend, an injected chaos fault) is contained: it counts as a
   failed attempt against the retry budget and the circuit breaker
   instead of propagating up and killing the shard worker.
+
+All of that budget machinery is the scheduler's unified policy stack
+(:mod:`repro.sched.policy`): :class:`RetryPolicy` lives there now
+(re-exported here for compatibility), the breakers come from a
+:class:`~repro.sched.policy.BreakerBank`, and every enforcement runs
+through one :class:`~repro.sched.policy.PolicyRunner` — this module
+keeps only the SOC-specific parts (what an attempt *does*, which
+metrics to count, how a verdict becomes a RepairAction).
 
 Repair actions mutate the host, which emits events back into the very
 log being monitored.  Workers flag themselves *in repair* for the
@@ -29,31 +37,18 @@ import contextlib
 import random
 import threading
 import time
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.protection import Incident, RepairAction
 from repro.environment.host import SimulatedHost
 from repro.rqcode.catalog import StigCatalog
 from repro.rqcode.concepts import CheckStatus, EnforcementStatus
-from repro.soc.breaker import BreakerState, CircuitBreaker
+from repro.sched.breaker import BreakerState, CircuitBreaker
+from repro.sched.policy import BreakerBank, PolicyRunner, RetryPolicy
 from repro.soc.metrics import MetricsRegistry
 from repro.soc.sessions import Detection
 
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Exponential backoff schedule for failing enforcements."""
-
-    max_attempts: int = 3
-    backoff_base: float = 0.001     # seconds before the first retry
-    backoff_factor: float = 2.0
-    jitter: float = 0.5             # +-fraction of the computed delay
-
-    def delay(self, retry_index: int, rng: random.Random) -> float:
-        """Seconds to wait before retry *retry_index* (0-based)."""
-        base = self.backoff_base * (self.backoff_factor ** retry_index)
-        return base * (1.0 + self.jitter * rng.random())
+__all__ = ["IncidentPipeline", "RetryPolicy"]
 
 
 class IncidentPipeline:
@@ -74,8 +69,16 @@ class IncidentPipeline:
         self.seed = seed
         self.sleeper = sleeper
         self.chaos = chaos
-        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
-        self._breaker_lock = threading.Lock()
+        self._breakers = BreakerBank(failure_threshold=breaker_threshold,
+                                     cooldown=breaker_cooldown)
+        self._runner = PolicyRunner(
+            retry=self.retry,
+            # Late-bound so tests may swap the sleeper after construction.
+            sleeper=lambda delay: self.sleeper(delay),
+            on_attempt_failed=lambda index: self.metrics.counter(
+                "soc.enforce.retries").inc(),
+            on_exception=self._contain_exception,
+        )
         self._rngs: Dict[str, random.Random] = {}
         self._incidents: Dict[str, List[Incident]] = {}
         self._local = threading.local()
@@ -112,13 +115,7 @@ class IncidentPipeline:
         return self._rngs[host_name]
 
     def breaker_for(self, host_name: str, finding_id: str) -> CircuitBreaker:
-        with self._breaker_lock:
-            key = (host_name, finding_id)
-            if key not in self._breakers:
-                self._breakers[key] = CircuitBreaker(
-                    failure_threshold=self.breaker_threshold,
-                    cooldown=self.breaker_cooldown)
-            return self._breakers[key]
+        return self._breakers.get((host_name, finding_id))
 
     def register_host(self, host_name: str) -> None:
         """Pre-create per-host stores so handling needs no locking."""
@@ -155,20 +152,76 @@ class IncidentPipeline:
         with self.repairing():
             return self._enforce_with_budget(host, finding_id)
 
+    def _contain_exception(
+            self, exc: BaseException
+    ) -> Tuple[EnforcementStatus, CheckStatus]:
+        """A raising attempt becomes a failed one (and is counted)."""
+        self.metrics.counter("soc.enforce.exception").inc()
+        return (EnforcementStatus.FAILURE, CheckStatus.FAIL)
+
     def _enforce_with_budget(self, host: SimulatedHost,
                              finding_id: str) -> RepairAction:
         breaker = self.breaker_for(host.name, finding_id)
-        if not breaker.allow():
+        requirement = None
+        missing = (EnforcementStatus.FAILURE, CheckStatus.FAIL)
+
+        def precheck():
+            # Short-circuits that spend no attempt budget but do count
+            # against the breaker: an unknown finding is a permanent
+            # failure; an already-compliant host a free success.
+            nonlocal requirement
+            try:
+                entry = self.catalog.get(finding_id)
+            except KeyError:
+                return False, missing
+            requirement = entry.instantiate(host)
+            try:
+                already = requirement.check() is CheckStatus.PASS
+            except Exception:
+                self.metrics.counter("soc.enforce.exception").inc()
+                already = False
+            if already:
+                return True, (EnforcementStatus.SUCCESS, CheckStatus.PASS)
+            return None
+
+        def attempt(index: int) -> Tuple[bool, Tuple]:
+            # An enforcement that raises — genuinely broken backend or
+            # an injected chaos fault — is contained by the policy
+            # runner: it burns this attempt and, if the budget runs
+            # out, escalates through the breaker.  The shard worker
+            # never sees the exception.
+            fault = (self.chaos.repair_fault(host.name, finding_id)
+                     if self.chaos is not None else None)
+            if fault is not None and fault.value == "raise":
+                from repro.chaos.controller import InjectedRepairError
+                raise InjectedRepairError(
+                    f"{host.name}/{finding_id} attempt {index}")
+            if fault is not None and fault.value == "noop":
+                # The repair silently does nothing: the re-check
+                # below observes the still-drifted host.
+                status = EnforcementStatus.SUCCESS
+            else:
+                status = requirement.enforce()
+            after = requirement.check()
+            return after is CheckStatus.PASS, (status, after)
+
+        outcome = self._runner.run(attempt, rng=self._rng_for(host.name),
+                                   breaker=breaker, precheck=precheck)
+        if not outcome.ran:
             self.metrics.counter("soc.enforce.skipped_by_breaker").inc()
             return RepairAction(
                 finding_id=finding_id,
                 status=EnforcementStatus.INCOMPLETE,
                 detail="circuit breaker open; enforcement skipped",
             )
-        try:
-            entry = self.catalog.get(finding_id)
-        except KeyError:
-            breaker.record_failure()
+        if outcome.prechecked:
+            if outcome.success:
+                self.metrics.counter("soc.enforce.success").inc()
+                return RepairAction(
+                    finding_id=finding_id,
+                    status=EnforcementStatus.SUCCESS,
+                    detail="already compliant",
+                )
             self._note_breaker(breaker)
             self.metrics.counter("soc.enforce.failure").inc()
             return RepairAction(
@@ -176,66 +229,16 @@ class IncidentPipeline:
                 status=EnforcementStatus.FAILURE,
                 detail="finding not in catalogue",
             )
-        requirement = entry.instantiate(host)
-        try:
-            already_compliant = requirement.check() is CheckStatus.PASS
-        except Exception:
-            self.metrics.counter("soc.enforce.exception").inc()
-            already_compliant = False
-        if already_compliant:
-            breaker.record_success()
-            self.metrics.counter("soc.enforce.success").inc()
-            return RepairAction(
-                finding_id=finding_id,
-                status=EnforcementStatus.SUCCESS,
-                detail="already compliant",
-            )
-        rng = self._rng_for(host.name)
-        status = EnforcementStatus.FAILURE
-        after = CheckStatus.FAIL
-        attempts = 0
-        for attempt in range(self.retry.max_attempts):
-            attempts = attempt + 1
-            # An enforcement that raises — genuinely broken backend or
-            # an injected chaos fault — burns this attempt and, if the
-            # budget runs out, escalates through the breaker below.
-            # The shard worker never sees the exception.
-            try:
-                fault = (self.chaos.repair_fault(host.name, finding_id)
-                         if self.chaos is not None else None)
-                if fault is not None and fault.value == "raise":
-                    from repro.chaos.controller import InjectedRepairError
-                    raise InjectedRepairError(
-                        f"{host.name}/{finding_id} attempt {attempt}")
-                if fault is not None and fault.value == "noop":
-                    # The repair silently does nothing: the re-check
-                    # below observes the still-drifted host.
-                    status = EnforcementStatus.SUCCESS
-                else:
-                    status = requirement.enforce()
-                after = requirement.check()
-            except Exception:
-                self.metrics.counter("soc.enforce.exception").inc()
-                status = EnforcementStatus.FAILURE
-                after = CheckStatus.FAIL
-            if after is CheckStatus.PASS:
-                break
-            self.metrics.counter("soc.enforce.retries").inc()
-            if attempt + 1 < self.retry.max_attempts:
-                delay = self.retry.delay(attempt, rng)
-                # A zero-base schedule means "retry immediately"; even
-                # sleep(0) surrenders the GIL, so skip the call.
-                if delay > 0:
-                    self.sleeper(delay)
-        self.metrics.histogram("soc.repair_attempts").observe(attempts)
-        if after is CheckStatus.PASS:
-            breaker.record_success()
+        status, after = outcome.value
+        self.metrics.histogram("soc.repair_attempts").observe(
+            outcome.attempts)
+        if outcome.success:
             self.metrics.counter("soc.enforce.success").inc()
         else:
-            breaker.record_failure()
             self._note_breaker(breaker)
             self.metrics.counter("soc.enforce.failure").inc()
-        detail = f"enforced; attempts={attempts}; re-check {after.value}"
+        detail = (f"enforced; attempts={outcome.attempts}; "
+                  f"re-check {after.value}")
         return RepairAction(finding_id=finding_id, status=status,
                             detail=detail)
 
@@ -258,7 +261,5 @@ class IncidentPipeline:
         return [incident for _, _, incident in merged]
 
     def breaker_states(self) -> Dict[str, str]:
-        with self._breaker_lock:
-            return {f"{host}/{finding}": breaker.state.value
-                    for (host, finding), breaker
-                    in sorted(self._breakers.items())}
+        return {f"{host}/{finding}": breaker.state.value
+                for (host, finding), breaker in self._breakers.items()}

@@ -64,6 +64,17 @@ class TestRequirementsQualityGate:
         context = PipelineContext(repository=RequirementRepository())
         assert RequirementsQualityGate().evaluate(context).passed
 
+    def test_duplicate_accounting_in_metrics(self):
+        context = PipelineContext(repository=repository_with(
+            "The system shall log every privileged operation.",
+            "The system shall log every privileged operation.",
+            "The system shall lock the account after 3 attempts.",
+        ))
+        result = RequirementsQualityGate(max_smelly_ratio=1.0).evaluate(
+            context)
+        assert result.metrics["duplicate_groups"] == 1.0
+        assert result.metrics["duplicate_requirements"] == 2.0
+
 
 class TestFormalizationGate:
     def test_renders_ltl_and_tctl(self):
@@ -122,6 +133,27 @@ class TestVerificationGate:
                                   verification_tasks=[])
         VerificationGate().evaluate(context)
         assert repository.get("R-1").status is RequirementStatus.VERIFIED
+
+    def test_cache_stats_carry_dedup_accounting(self, tmp_path):
+        from repro.prevention import VerificationCache
+
+        repository = repository_with(
+            "The system shall log every privileged operation.",
+            "The system shall log every privileged operation.",
+        )
+        context = PipelineContext(
+            repository=repository,
+            verification_tasks=[
+                ("safety", self._network(safe=True), "A[] not M.err"),
+            ])
+        result = VerificationGate(
+            cache=VerificationCache(str(tmp_path / "cache"))).evaluate(
+            context)
+        stats = context.get("verification_cache_stats")
+        assert stats["dedup_groups"] == 1
+        assert stats["dedup_requirements"] == 2
+        assert result.metrics["cache_dedup_groups"] == 1.0
+        assert result.metrics["cache_dedup_requirements"] == 2.0
 
 
 class TestComplianceGate:

@@ -161,3 +161,20 @@ class TestRepository:
         rows = repository.traceability_rows()
         assert rows[0]["req"] == "R-1"
         assert rows[0]["pattern"] == "-"
+        assert rows[0]["trace"] == "-"      # no provenance, no chain
+
+    def test_trace_column_commits_to_provenance_chain(self):
+        repository = RequirementRepository()
+        record = self._record()
+        record.provenance = "CVE-2024-0001"
+        repository.add(record)
+        row = repository.traceability_rows()[0]
+        chain = record.to_ir().provenance_chain_digest()
+        assert row["trace"] == chain[:12]
+        # The digest commits to the source: a different provenance
+        # yields a different trace cell.
+        other = self._record("R-2")
+        other.provenance = "CVE-2024-0002"
+        repository.add(other)
+        rows = repository.traceability_rows()
+        assert rows[0]["trace"] != rows[1]["trace"]

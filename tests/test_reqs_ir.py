@@ -9,6 +9,7 @@ lint rejects provenance-free records at the adapter boundary.
 
 import json
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -246,3 +247,85 @@ class TestSchema:
             checked_in = json.load(handle)
         assert not schema_drift(checked_in)
         assert checked_in == IR_SCHEMA
+
+
+class TestProvenanceDigests:
+    def test_one_digest_per_link_chained(self):
+        ir = golden_requirement()
+        digests = ir.provenance_digests()
+        assert len(digests) == len(ir.provenance)
+        assert len(set(digests)) == len(digests)
+        assert all(len(digest) == 32 for digest in digests)
+        assert ir.provenance_chain_digest() == digests[-1]
+
+    def test_digest_commits_to_every_upstream_link(self):
+        chain = (Provenance("stig", "V-1", "first"),
+                 Provenance("cve", "CVE-2024-1", "second"))
+        ir = replace(golden_requirement(), provenance=chain)
+        reordered = replace(ir, provenance=tuple(reversed(chain)))
+        assert (ir.provenance_chain_digest()
+                != reordered.provenance_chain_digest())
+        # The first link's digest is chain-position dependent too.
+        assert (ir.provenance_digests()[0]
+                != reordered.provenance_digests()[0])
+
+    def test_empty_chain_digest_is_empty(self):
+        bare = Requirement(rid="R-1", title="t", text="x", source="resa",
+                           provenance=(Provenance("resa", "REQ-1"),))
+        assert bare.provenance_digests()
+        assert replace(bare, provenance=()).provenance_chain_digest() == ""
+
+    def test_deterministic_across_instances(self):
+        assert (golden_requirement().provenance_digests()
+                == golden_requirement().provenance_digests())
+
+
+class TestSchemaVersioning:
+    def test_schema_id_carries_version(self):
+        from repro.reqs.schema import SCHEMA_ID, SCHEMA_VERSION
+
+        assert f".v{SCHEMA_VERSION}." in SCHEMA_ID
+        assert IR_SCHEMA["$id"] == SCHEMA_ID
+
+    def test_bare_record_still_valid_and_migratable(self):
+        """Emitters of the v1 wire shape stay valid unchanged."""
+        from repro.reqs.schema import SCHEMA_VERSION, migrate_record
+
+        payload = golden_requirement().to_dict()
+        assert "ir_version" not in payload      # emitters unchanged
+        assert validate_record(payload) == []
+        migrated = migrate_record(payload)
+        assert migrated is not payload          # stamped copy
+        assert migrated["ir_version"] == SCHEMA_VERSION
+        assert validate_record(migrated) == []
+        assert "ir_version" not in payload      # original untouched
+
+    def test_current_record_passes_through(self):
+        from repro.reqs.schema import SCHEMA_VERSION, migrate_record
+
+        payload = dict(golden_requirement().to_dict(),
+                       ir_version=SCHEMA_VERSION)
+        assert migrate_record(payload) is payload
+
+    def test_future_version_refused(self):
+        from repro.reqs.ir import IrError
+        from repro.reqs.schema import SCHEMA_VERSION, migrate_record
+
+        payload = dict(golden_requirement().to_dict(),
+                       ir_version=SCHEMA_VERSION + 1)
+        with pytest.raises(IrError, match="newer"):
+            migrate_record(payload)
+
+    def test_wrong_version_stamp_fails_validation(self):
+        from repro.reqs.schema import SCHEMA_VERSION
+
+        payload = dict(golden_requirement().to_dict(), ir_version=999)
+        assert validate_record(payload)
+        assert validate_record(dict(payload,
+                                    ir_version=SCHEMA_VERSION)) == []
+
+    def test_version_stamp_does_not_change_fingerprints(self):
+        """Journal-embedded fingerprints agree with bare emitters."""
+        ir = golden_requirement()
+        assert "ir_version" not in ir.to_dict()
+        assert ir.fingerprint() == golden_requirement().fingerprint()

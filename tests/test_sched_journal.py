@@ -1,0 +1,205 @@
+"""Journal unit tests plus the crash-resume truncation properties.
+
+The property suite is the heart of the scheduler's durability story:
+for *every* entry boundary of a finished run's journal — and for a torn
+(half-written) line after every boundary — resuming from the truncated
+journal must reach the same terminal completion history as the
+uninterrupted run, without re-executing any adopted task.
+"""
+
+import json
+
+import pytest
+
+from repro.sched.journal import GENESIS, Journal, JournalError
+from repro.sched.scheduler import Scheduler
+from repro.sched.task import Task
+
+
+class TestJournalBasics:
+    def test_append_and_reload_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        journal.append("run.plan", data={"profile": "p"})
+        journal.append("task.completed", task="a", data={"result": 1})
+        journal.append("run.finished", data={"passed": True})
+
+        reloaded = Journal(path)
+        assert len(reloaded) == 3
+        assert not reloaded.torn_tail
+        assert reloaded.verify()
+        assert reloaded.head_digest() == journal.head_digest()
+        assert [entry.kind for entry in reloaded.entries] == [
+            "run.plan", "task.completed", "run.finished"]
+
+    def test_empty_and_missing_files(self, tmp_path):
+        missing = Journal(str(tmp_path / "missing.jsonl"))
+        assert len(missing) == 0
+        assert missing.head_digest() == GENESIS
+        empty_path = tmp_path / "empty.jsonl"
+        empty_path.write_text("")
+        assert len(Journal(str(empty_path))) == 0
+
+    def test_chain_links_previous_digest(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        first = journal.append("a")
+        second = journal.append("b")
+        assert first.prev == GENESIS
+        assert second.prev == first.digest
+        assert second.seq == 1
+
+    def test_queries(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        journal.append("run.plan", data={"jobs": 2})
+        journal.append("task.completed", task="a", data={"result": "x"})
+        journal.append("run.resumed", data={"generation": 1})
+        journal.append("task.completed", task="b", data={"result": "y"})
+        journal.append("run.finished", data={"passed": False})
+        assert journal.plan() == {"jobs": 2}
+        assert journal.completions() == {"a": {"result": "x"},
+                                         "b": {"result": "y"}}
+        assert journal.completion_counts() == {"a": 1, "b": 1}
+        assert journal.resumes() == 1
+        assert journal.finished() == {"passed": False}
+
+
+class TestJournalCorruption:
+    def _journal(self, tmp_path, entries=4):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        for index in range(entries):
+            journal.append("task.completed", task=f"t{index}",
+                           data={"result": index})
+        return path
+
+    def test_torn_final_line_is_dropped_and_flagged(self, tmp_path):
+        path = self._journal(tmp_path)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:-10])
+        journal = Journal(path)
+        assert journal.torn_tail
+        assert len(journal) == 3
+
+    def test_tear_tail_helper_produces_torn_journal(self, tmp_path):
+        path = self._journal(tmp_path)
+        journal = Journal(path)
+        journal.tear_tail()
+        reloaded = Journal(path)
+        assert reloaded.torn_tail
+        assert len(reloaded) == 3
+
+    def test_garbage_mid_file_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = open(path).read().splitlines()
+        lines[1] = "{ not json"
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            Journal(path)
+
+    def test_tampered_entry_mid_file_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = open(path).read().splitlines()
+        tampered = json.loads(lines[1])
+        tampered["data"]["result"] = 999
+        lines[1] = json.dumps(tampered, sort_keys=True,
+                              separators=(",", ":"))
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            Journal(path)
+
+    def test_tampered_final_entry_treated_as_torn(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = open(path).read().splitlines()
+        tampered = json.loads(lines[-1])
+        tampered["data"]["result"] = 999
+        lines[-1] = json.dumps(tampered, sort_keys=True,
+                               separators=(",", ":"))
+        open(path, "w").write("\n".join(lines) + "\n")
+        journal = Journal(path)
+        assert journal.torn_tail
+        assert len(journal) == 3
+
+
+def _tasks(counters, count=6):
+    """Effective tasks with side-effect counters, rebuilt per scheduler."""
+    return [
+        Task(name=f"t{index}",
+             run=(lambda i=index: (counters.__setitem__(
+                 f"t{i}", counters.get(f"t{i}", 0) + 1) or {"i": i})),
+             effective=True)
+        for index in range(count)
+    ]
+
+
+def _reference_run(tmp_path, workers=1):
+    """One uninterrupted run; returns (journal lines, completions)."""
+    path = str(tmp_path / "reference.jsonl")
+    counters = {}
+    journal = Journal(path)
+    scheduler = Scheduler(workers=workers, journal=journal)
+    scheduler.run_batch(_tasks(counters))
+    assert all(count == 1 for count in counters.values())
+    lines = open(path).read().splitlines()
+    return lines, journal.completions()
+
+
+class TestTruncationResumeProperty:
+    """Satellite: resume from every truncation point converges."""
+
+    def test_every_entry_boundary(self, tmp_path):
+        lines, reference = _reference_run(tmp_path)
+        for keep in range(len(lines) + 1):
+            path = str(tmp_path / f"cut{keep}.jsonl")
+            with open(path, "w") as handle:
+                handle.write("".join(line + "\n"
+                                     for line in lines[:keep]))
+            counters = {}
+            journal = Journal(path)
+            assert not journal.torn_tail
+            assert len(journal) == keep
+            scheduler = Scheduler(workers=1, journal=journal)
+            report = scheduler.run_batch(_tasks(counters))
+            assert report.passed
+            # Exactly the tasks beyond the cut re-ran; the rest were
+            # adopted without side effects.
+            assert sum(counters.values()) == len(reference) - keep
+            assert journal.completions() == reference
+            assert all(count == 1 for count
+                       in journal.completion_counts().values())
+            assert journal.verify()
+
+    def test_every_boundary_with_torn_tail(self, tmp_path):
+        lines, reference = _reference_run(tmp_path)
+        for keep in range(len(lines)):
+            path = str(tmp_path / f"torn{keep}.jsonl")
+            torn = lines[keep][:max(1, len(lines[keep]) // 2)]
+            with open(path, "w") as handle:
+                handle.write("".join(line + "\n"
+                                     for line in lines[:keep]))
+                handle.write(torn)
+            counters = {}
+            journal = Journal(path)
+            assert journal.torn_tail
+            assert len(journal) == keep
+            scheduler = Scheduler(workers=1, journal=journal)
+            report = scheduler.run_batch(_tasks(counters))
+            assert report.passed
+            # The torn completion lost durability, so it re-runs too.
+            assert sum(counters.values()) == len(reference) - keep
+            assert journal.completions() == reference
+
+    def test_parallel_resume_matches_serial_reference(self, tmp_path):
+        lines, reference = _reference_run(tmp_path)
+        keep = len(lines) // 2
+        path = str(tmp_path / "parallel.jsonl")
+        with open(path, "w") as handle:
+            handle.write("".join(line + "\n" for line in lines[:keep]))
+        counters = {}
+        journal = Journal(path)
+        scheduler = Scheduler(workers=4, journal=journal)
+        report = scheduler.run_batch(_tasks(counters))
+        assert report.passed
+        assert sum(counters.values()) == len(reference) - keep
+        assert journal.completions() == reference
+        assert all(count == 1 for count
+                   in journal.completion_counts().values())

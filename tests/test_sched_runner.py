@@ -1,0 +1,211 @@
+"""Journaled prevention runs: crash-resume invariants and the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.chaos import ChaosController, FaultPlan
+from repro.cli import main
+from repro.sched.journal import Journal
+from repro.sched.runner import (JournaledPreventionRun, RunPlanError,
+                                ir_manifest)
+from repro.sched.scheduler import SchedulerCrash
+
+PROFILE = "ubuntu-hardened"
+
+
+def _host():
+    from repro.cli import PROFILES
+
+    return PROFILES[PROFILE]()
+
+
+def _uninterrupted(tmp_path, jobs=1):
+    run = JournaledPreventionRun(
+        str(tmp_path / "reference.jsonl"), _host(), PROFILE, jobs=jobs)
+    return run.execute()
+
+
+class TestJournaledPreventionRun:
+    def test_fresh_run_records_plan_and_verdict(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        verdict = JournaledPreventionRun(
+            path, _host(), PROFILE, jobs=2).execute()
+        assert verdict["passed"] and not verdict["replayed"]
+        journal = Journal(path)
+        plan = journal.plan()
+        assert plan["profile"] == PROFILE and plan["jobs"] == 2
+        assert plan["ir"]["fingerprints"]       # the IR manifest rode along
+        assert journal.finished()["passed"] is True
+        assert all(count == 1 for count
+                   in journal.completion_counts().values())
+
+    def test_finished_journal_replays_without_executing(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        first = JournaledPreventionRun(path, _host(), PROFILE).execute()
+        entries = len(Journal(path))
+        replay = JournaledPreventionRun(path, _host(), PROFILE).execute()
+        assert replay["replayed"]
+        assert replay["gates"] == first["gates"]
+        assert len(Journal(path)) == entries    # nothing appended
+
+    def test_profile_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with pytest.raises(SchedulerCrash):
+            JournaledPreventionRun(path, _host(), PROFILE,
+                                   crash_after=1).execute()
+        from repro.cli import PROFILES
+
+        other = PROFILES["ubuntu-default"]()
+        with pytest.raises(RunPlanError, match="profile"):
+            JournaledPreventionRun(path, other,
+                                   "ubuntu-default").execute()
+
+    def test_manifest_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with pytest.raises(SchedulerCrash):
+            JournaledPreventionRun(path, _host(), PROFILE,
+                                   crash_after=1).execute()
+        journal = Journal(path)
+        plan = journal.plan()
+        plan["ir"]["fingerprints"][0]["fingerprint"] = "0" * 32
+        # Rebuild the journal with the tampered plan but a valid chain.
+        rewritten = Journal(str(tmp_path / "tampered.jsonl"))
+        rewritten.append("run.plan", data=plan)
+        for entry in journal.entries[1:]:
+            rewritten.append(entry.kind, task=entry.task, data=entry.data)
+        with pytest.raises(RunPlanError, match="manifest"):
+            JournaledPreventionRun(rewritten.path, _host(),
+                                   PROFILE).execute()
+
+    def test_crash_resume_verdicts_byte_identical(self, tmp_path):
+        """The issue's acceptance invariant, with the deterministic seam."""
+        reference = _uninterrupted(tmp_path)
+        path = str(tmp_path / "crashy.jsonl")
+        crashes = 0
+        while True:
+            try:
+                verdict = JournaledPreventionRun(
+                    path, _host(), PROFILE, crash_after=2).execute()
+                break
+            except SchedulerCrash:
+                crashes += 1
+                assert crashes < 20
+        assert crashes >= 1
+        assert json.dumps(verdict["gates"], sort_keys=True) == \
+            json.dumps(reference["gates"], sort_keys=True)
+        assert verdict["passed"] == reference["passed"]
+        journal = Journal(path)
+        assert all(count == 1 for count
+                   in journal.completion_counts().values())
+        assert journal.resumes() == crashes
+
+    def test_chaos_plan_crash_resume_converges(self, tmp_path):
+        reference = _uninterrupted(tmp_path)
+        path = str(tmp_path / "chaotic.jsonl")
+        plan = FaultPlan(seed=11, sched_crash=0.5, sched_truncate=0.4)
+        for _ in range(40):
+            try:
+                verdict = JournaledPreventionRun(
+                    path, _host(), PROFILE, jobs=2,
+                    chaos=ChaosController(plan)).execute()
+                break
+            except SchedulerCrash:
+                continue
+        else:
+            pytest.fail("chaos crash-resume loop never converged")
+        assert verdict["gates"] == reference["gates"]
+        assert all(count == 1 for count
+                   in Journal(path).completion_counts().values())
+
+    def test_parallel_run_matches_serial_verdicts(self, tmp_path):
+        serial = _uninterrupted(tmp_path)
+        parallel = JournaledPreventionRun(
+            str(tmp_path / "par.jsonl"), _host(), PROFILE,
+            jobs=4).execute()
+        assert parallel["gates"] == serial["gates"]
+
+    def test_ir_manifest_is_versioned(self):
+        from repro.core import VeriDevOpsOrchestrator
+        from repro.reqs.schema import SCHEMA_ID, SCHEMA_VERSION
+
+        orchestrator = VeriDevOpsOrchestrator()
+        orchestrator.ingest_standards("ubuntu")
+        manifest = ir_manifest(orchestrator.repository)
+        assert manifest["schema_id"] == SCHEMA_ID
+        assert manifest["ir_version"] == SCHEMA_VERSION
+        assert all(set(row) == {"rid", "fingerprint", "content"}
+                   for row in manifest["fingerprints"])
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSchedCli:
+    def test_run_status_replay_resume_cycle(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        code, _ = run_cli("sched", "run", "--journal", journal,
+                          "--profile", PROFILE, "--jobs", "2",
+                          "--crash-after", "2")
+        assert code == 3                      # injected crash
+
+        code, output = run_cli("sched", "status", "--journal", journal)
+        assert code == 0
+        assert "finished" in output and "False" in output
+
+        code, output = run_cli("sched", "resume", "--journal", journal)
+        assert code == 0
+        assert "adopted=2" in output
+
+        code, output = run_cli("sched", "status", "--journal", journal,
+                               "--json")
+        document = json.loads(output)
+        assert document["finished"] and document["passed"]
+        assert document["duplicated_completions"] == []
+        assert document["resumes"] == 1
+        assert document["chain_ok"]
+
+        code, output = run_cli("sched", "replay", "--journal", journal)
+        assert code == 0
+        assert "run.plan" in output and "run.finished" in output
+        assert "chain ok" in output
+
+    def test_run_json_document(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        code, output = run_cli("sched", "run", "--journal", journal,
+                               "--profile", PROFILE, "--json")
+        assert code == 0
+        document = json.loads(output)
+        assert document["passed"] and document["profile"] == PROFILE
+        assert document["journal"] == journal
+        assert {"stage", "gate", "verdict", "detail"} == set(
+            document["gates"][0])
+
+    def test_rerun_replays_finished_journal(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        run_cli("sched", "run", "--journal", journal,
+                "--profile", PROFILE)
+        code, output = run_cli("sched", "run", "--journal", journal,
+                               "--profile", PROFILE, "--json")
+        assert code == 0
+        assert json.loads(output)["replayed"]
+
+    def test_resume_without_plan_aborts(self, tmp_path):
+        journal = str(tmp_path / "empty.jsonl")
+        with pytest.raises(SystemExit, match="no recorded plan"):
+            run_cli("sched", "resume", "--journal", journal)
+
+    def test_reqs_trace_carries_provenance_chain(self):
+        code, output = run_cli("reqs", "list", "--json")
+        assert code == 0
+        rid = json.loads(output)[0]["rid"]
+        code, output = run_cli("reqs", "trace", rid, "--json")
+        assert code == 0
+        document = json.loads(output)
+        assert document["provenance_chain"]
+        assert all(len(digest) == 32
+                   for digest in document["provenance_chain"])
