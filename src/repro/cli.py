@@ -235,6 +235,10 @@ def cmd_soc(args, out) -> int:
         raise SystemExit("repro soc: --hosts must be >= 1")
     if args.shards < 1:
         raise SystemExit("repro soc: --shards must be >= 1")
+    if args.backend == "process" and args.policy == "drop-oldest":
+        raise SystemExit("repro soc: --backend process supports "
+                         "--policy block or reject (drop-oldest needs "
+                         "the thread backend)")
     chaos = None
     if args.chaos_plan:
         from repro.chaos import ChaosController, FaultPlan, FaultPlanError
@@ -268,6 +272,7 @@ def cmd_soc(args, out) -> int:
         policy=Backpressure(args.policy),
         seed=args.seed,
         chaos=chaos,
+        backend=args.backend,
     )
     rng = random.Random(args.seed)
     ubuntu_drifts = ("nis", "rsh-server", "telnetd")
@@ -725,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
     soc.add_argument("--policy", default="block",
                      choices=("block", "drop-oldest", "reject"),
                      help="backpressure when a shard queue is full")
+    soc.add_argument("--backend", default=None,
+                     choices=("thread", "process"),
+                     help="shard execution backend (default: "
+                          "$REPRO_SOC_BACKEND or thread); 'process' "
+                          "runs shards as worker processes over the "
+                          "binary event plane")
     soc.add_argument("--seed", type=int, default=0)
     soc.add_argument("--windows-every", type=int, default=3, metavar="N",
                      help="every Nth host is Windows (0 = all Ubuntu)")

@@ -27,10 +27,12 @@ entries); on overflow the whole epoch is dropped and the table rebuilds
 lazily — correctness never depends on the memo, only speed.
 """
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.ltl.formulas import FALSE, Formula, TRUE
 from repro.ltl.monitor import LtlMonitor, Verdict, progress
+from repro.ltl.parser import parse_ltl
 
 _EMPTY_STEP: FrozenSet[str] = frozenset()
 
@@ -100,6 +102,51 @@ def transition_table(formula: Formula) -> TransitionTable:
     if table is None:
         table = _TABLES.setdefault(formula, TransitionTable(formula))
     return table
+
+
+# -- stable obligation identity (the process plane's codec substrate) --------
+#
+# The SOC's process backend ships monitor banks to worker processes and
+# compares final monitor states across backends.  Both need a formula
+# identity that survives process boundaries, where interning identity
+# does not.  The concrete syntax is that identity: ``str(formula)``
+# renders fully parenthesized parser syntax, and interning makes the
+# round trip ``parse_ltl(str(f)) is f`` exact — so the canonical text
+# (and its digest) is a stable obligation id across any number of
+# processes running the same code.
+
+#: Memoized canonical text per interned obligation.
+_TEXTS: Dict[Formula, str] = {}
+
+
+def formula_text(formula: Formula) -> str:
+    """Canonical, re-parseable concrete syntax for *formula*.
+
+    ``parse_ltl(formula_text(f)) is f`` — the parser re-interns onto
+    the same canonical node — so this is the wire encoding the process
+    plane uses to rebuild monitor banks in worker processes.
+    """
+    text = _TEXTS.get(formula)
+    if text is None:
+        text = _TEXTS.setdefault(formula, str(formula))
+    return text
+
+
+def parse_formula_text(text: str) -> Formula:
+    """Inverse of :func:`formula_text` (re-interning parse)."""
+    return parse_ltl(text)
+
+
+def obligation_id(formula: Formula, digest_size: int = 16) -> bytes:
+    """Stable cross-process identity digest for an obligation.
+
+    blake2b over the canonical text; two processes that reach the same
+    obligation by any route produce the same id, which is how the
+    thread/process equivalence suite compares final monitor states and
+    how the merge plane tags verdict records.
+    """
+    return hashlib.blake2b(formula_text(formula).encode("utf-8"),
+                           digest_size=digest_size).digest()
 
 
 #: Memo for the routing fixed-point probe (see ``soc.sessions``).

@@ -1,0 +1,44 @@
+"""The binary event plane: process-parallel SOC shard execution.
+
+The thread backend tops out against the GIL — eight shard workers are
+eight threads taking turns on one interpreter lock.  This package moves
+shard execution into worker *processes* connected by a compact binary
+event plane:
+
+* :mod:`repro.soc.procplane.codec` — fixed-width binary encoding of
+  normalized event steps.  The compiled-LTL engine already reduces a
+  step to (obligation, projected atom set); the codec assigns every
+  atom a bit and every record packs to a few dozen bytes.
+* :mod:`repro.soc.procplane.rings` — SPSC ring buffers over
+  ``multiprocessing.shared_memory``: one ingress ring (parent ->
+  worker) and one merge ring (worker -> parent) per shard.
+* :mod:`repro.soc.procplane.worker` — the worker-process entry point:
+  rebuilds its shard's monitor bank from the manifest (formula text is
+  the wire format; interning makes the rebuild canonical), drains the
+  ingress ring, steps monitors, and publishes detections / counters /
+  strikes on the merge ring.
+* :mod:`repro.soc.procplane.merge` — the parent-side merge loop:
+  folds per-shard records back into the existing ``soc.metrics`` and
+  incident-pipeline surfaces, so every consumer of
+  :class:`~repro.soc.service.SocService` sees one coherent runtime
+  regardless of backend.
+* :mod:`repro.soc.procplane.backend` — :class:`ProcessBackend`: the
+  pluggable shard-execution backend (spawn/supervise/restart workers,
+  ingress puts, flush barriers, verdict collection).
+
+Select it with ``SocService(..., backend="process")``, the
+``repro soc --backend process`` CLI flag, or ``REPRO_SOC_BACKEND=process``.
+"""
+
+from repro.soc.procplane.backend import ProcessBackend
+from repro.soc.procplane.codec import EventCodec, MergeCodec, Tag
+from repro.soc.procplane.rings import RingFull, SpscRing
+
+__all__ = [
+    "EventCodec",
+    "MergeCodec",
+    "ProcessBackend",
+    "RingFull",
+    "SpscRing",
+    "Tag",
+]

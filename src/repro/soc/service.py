@@ -36,6 +36,7 @@ hosts proceed in parallel — the same per-host semantics as the serial
 loop, at fleet scale.
 """
 
+import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -57,6 +58,22 @@ from repro.soc.workers import ShardWorker
 #: One host's armed monitors and their RQCODE bindings.
 ProtectionPlan = Tuple[Dict[str, LtlMonitor], Dict[str, List[str]]]
 
+#: Recognized shard-execution backends (see ``backend=`` below).
+BACKENDS = ("thread", "process")
+
+#: Environment override for the default backend (CLI/constructor win).
+BACKEND_ENV = "REPRO_SOC_BACKEND"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a backend name: explicit arg > $REPRO_SOC_BACKEND > thread."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown SOC backend {backend!r}; expected one of {BACKENDS}")
+    return backend
+
 
 class SocService:
     """Sharded concurrent protection over a set of hosts."""
@@ -75,12 +92,15 @@ class SocService:
                  chaos=None,
                  max_deliveries: int = 3,
                  dead_letter_capacity: int = 64,
-                 supervisor_interval: float = 0.02):
+                 supervisor_interval: float = 0.02,
+                 backend: Optional[str] = None):
+        self.backend = resolve_backend(backend)
         self.hosts = {host.name: host for host in hosts}
         missing = set(self.hosts) - set(plans)
         if missing:
             raise ValueError(f"no protection plan for: {sorted(missing)}")
         self.catalog = catalog
+        self.plans = plans
         self.shards = shards
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.chaos = chaos
@@ -120,6 +140,15 @@ class SocService:
         self.workers: List[ShardWorker] = []
         self.supervisor = WorkerSupervisor(
             self, interval=supervisor_interval, hang_timeout=hang_timeout)
+        self._proc = None
+        if self.backend == "process":
+            from repro.soc.procplane.backend import ProcessBackend
+            self._proc = ProcessBackend(
+                self, queue_capacity, policy,
+                max_deliveries=max_deliveries,
+                chaos_plan_json=(chaos.plan.to_json()
+                                 if chaos is not None else None),
+                supervisor_interval=supervisor_interval)
         self._subscriptions = []
         self._config_hooks: List[Tuple[SimulatedHost, object]] = []
         self._running = False
@@ -186,10 +215,13 @@ class SocService:
             if self._terminated:
                 raise RuntimeError("service already stopped; "
                                    "build a fresh SocService")
-            self.workers = [self._make_worker(index)
-                            for index in range(self.shards)]
-            for worker in self.workers:
-                worker.start()
+            if self._proc is not None:
+                self._proc.start()
+            else:
+                self.workers = [self._make_worker(index)
+                                for index in range(self.shards)]
+                for worker in self.workers:
+                    worker.start()
             for name, host in sorted(self.hosts.items()):
                 self._subscriptions.append(
                     host.events.subscribe(self._ingress_for(name)))
@@ -201,7 +233,8 @@ class SocService:
             self.metrics.gauge("soc.shards").set(self.shards)
             self.metrics.gauge("soc.hosts").set(len(self.hosts))
             self._running = True
-        self.supervisor.start()
+        if self._proc is None:
+            self.supervisor.start()
         return self
 
     def _put(self, host_name: str, queue: ShardQueue, event: Event,
@@ -221,13 +254,34 @@ class SocService:
             dropped.inc()
         ingested.inc()
 
-    def _ingress_for(self, host_name: str):
-        queue = self.queues[self._placement[host_name]]
-        offered = self.metrics.counter("soc.events.offered")
-        suppressed = self.metrics.counter("soc.events.suppressed")
+    def _deliver_for(self, host_name: str):
+        """The accounted per-host enqueue path, backend-resolved once."""
         counters = (self.metrics.counter("soc.events.ingested"),
                     self.metrics.counter("soc.events.dropped"),
                     self.metrics.counter("soc.events.rejected"))
+        if self._proc is not None:
+            raw = self._proc.putter(host_name)
+            ingested, _dropped, rejected = counters
+
+            def deliver(event: Event) -> None:
+                try:
+                    result = raw(event)
+                except QueueClosed:
+                    rejected.inc()
+                    return
+                if result is PutResult.REJECTED:
+                    rejected.inc()
+                    return
+                ingested.inc()
+
+            return deliver
+        queue = self.queues[self._placement[host_name]]
+        return lambda event: self._put(host_name, queue, event, counters)
+
+    def _ingress_for(self, host_name: str):
+        deliver = self._deliver_for(host_name)
+        offered = self.metrics.counter("soc.events.offered")
+        suppressed = self.metrics.counter("soc.events.suppressed")
         chaos = self.chaos
 
         def ingress(event: Event) -> None:
@@ -239,10 +293,10 @@ class SocService:
             if chaos is not None:
                 for item in chaos.ingress_events(host_name, event):
                     offered.inc()
-                    self._put(host_name, queue, item, counters)
+                    deliver(item)
             else:
                 offered.inc()
-                self._put(host_name, queue, event, counters)
+                deliver(event)
 
         return ingress
 
@@ -251,14 +305,14 @@ class SocService:
         if self.chaos is None:
             return
         offered = self.metrics.counter("soc.events.offered")
-        counters = (self.metrics.counter("soc.events.ingested"),
-                    self.metrics.counter("soc.events.dropped"),
-                    self.metrics.counter("soc.events.rejected"))
         for host_name in sorted(self.hosts):
-            queue = self.queues[self._placement[host_name]]
-            for event in self.chaos.flush_stash(host_name):
+            stashed = self.chaos.flush_stash(host_name)
+            if not stashed:
+                continue
+            deliver = self._deliver_for(host_name)
+            for event in stashed:
                 offered.inc()
-                self._put(host_name, queue, event, counters)
+                deliver(event)
 
     def drain(self) -> "SocService":
         """Block until every accepted event has been fully processed.
@@ -269,6 +323,9 @@ class SocService:
         deadlocking on a dead shard.
         """
         self._flush_chaos_stashes()
+        if self._proc is not None:
+            self._proc.drain()
+            return self
         for queue in self.queues:
             while not queue.join(timeout=0.05):
                 self.supervisor.ensure_alive()
@@ -306,11 +363,14 @@ class SocService:
         try:
             if drain:
                 self.drain()
-            for queue in self.queues:
-                queue.close()
-            for worker in list(self.workers):
-                worker.join(timeout=5.0)
-            self.supervisor.stop()
+            if self._proc is not None:
+                self._proc.stop()
+            else:
+                for queue in self.queues:
+                    queue.close()
+                for worker in list(self.workers):
+                    worker.join(timeout=5.0)
+                self.supervisor.stop()
         finally:
             self._terminated = True
             self._stopped_event.set()
@@ -386,12 +446,35 @@ class SocService:
         return dict(self._placement)
 
     def queue_stats(self) -> List[Dict[str, object]]:
+        if self._proc is not None:
+            return self._proc.queue_stats()
         return [
             {"shard": index, "depth": queue.depth,
              "peak_depth": queue.peak_depth, "dropped": queue.dropped,
              "rejected": queue.rejected}
             for index, queue in enumerate(self.queues)
         ]
+
+    def final_verdicts(self) -> Dict[Tuple[str, str], Tuple[str, str]]:
+        """(host, req_id) -> (verdict, obligation id hex).
+
+        The cross-backend equivalence surface: identical ingress must
+        yield identical maps from either backend.  On the process
+        backend the map is collected during ``stop()``, so read it
+        after the service has stopped (the thread backend's sessions
+        can be read any time).
+        """
+        from repro.ltl.compile import obligation_id
+
+        if self._proc is not None:
+            return self._proc.final_verdicts()
+        verdicts: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for name, session in self.sessions.items():
+            for req_id, monitor in session.monitors.items():
+                verdicts[(name, req_id)] = (
+                    monitor.verdict.value,
+                    obligation_id(monitor.obligation).hex())
+        return verdicts
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
         return self.metrics.snapshot()

@@ -55,6 +55,16 @@ class ShardWorker:
 
     #: Max events pulled per lock round; also the metrics flush grain.
     BATCH = 64
+    #: Backlog at or below which the worker caps its dequeue at
+    #: :data:`LOW_BATCH`.  A big batch only amortizes lock traffic when
+    #: there is a real backlog; on a shallow queue it just widens the
+    #: window in which this worker runs a long uninterrupted stretch
+    #: while every other shard's queued events age — the detection-lag
+    #: regression at high shard counts.  Small batches at low depth
+    #: interleave shards finely; the full batch size kicks back in
+    #: exactly when the backlog (and so the amortization win) is real.
+    LOW_WATER = 16
+    LOW_BATCH = 8
 
     def __init__(self, index: int, queue: ShardQueue,
                  sessions: Dict[str, MonitorSession],
@@ -183,7 +193,10 @@ class ShardWorker:
             f"soc.shard.{self.index}.queue_depth")
         lag_histogram = self.metrics.histogram("soc.detection_lag_events")
         while not self.deposed:
-            batch = self.queue.get_batch(self.BATCH)
+            depth = self.queue.depth
+            cap = self.BATCH if depth > self.LOW_WATER else self.LOW_BATCH
+            depth_gauge.set(depth)
+            batch = self.queue.get_batch(cap)
             if batch is None:       # queue closed and fully drained
                 break
             credited = 0

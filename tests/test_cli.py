@@ -293,6 +293,30 @@ class TestSoc:
         with pytest.raises(SystemExit, match="cannot read chaos plan"):
             run_cli("soc", "--chaos-plan", str(tmp_path / "missing.json"))
 
+    def test_process_backend_runs_end_to_end(self):
+        code, output = run_cli(
+            "soc", "--hosts", "3", "--shards", "2", "--drifts", "4",
+            "--seed", "3", "--backend", "process")
+        assert code == 0
+        assert "posture after run: worst 100%" in output
+
+    def test_backend_flag_is_validated(self):
+        with pytest.raises(SystemExit):
+            run_cli("soc", "--backend", "fiber")
+
+    def test_process_backend_rejects_drop_oldest(self):
+        with pytest.raises(SystemExit, match="drop-oldest"):
+            run_cli("soc", "--backend", "process",
+                    "--policy", "drop-oldest")
+
+    def test_backend_env_var_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOC_BACKEND", "process")
+        code, output = run_cli(
+            "soc", "--hosts", "2", "--windows-every", "0",
+            "--drifts", "2", "--shards", "1")
+        assert code == 0
+        assert "posture after run: worst 100%" in output
+
 
 class TestGap:
     def test_hardened_full_coverage(self):
