@@ -45,3 +45,29 @@ def write_bench_json(name: str, payload: Dict[str, object]) -> Path:
     path = REPO_ROOT / f"BENCH_{name}.json"
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def merge_bench_json(name: str, section: str,
+                     payload: Dict[str, object]) -> Path:
+    """Merge *payload* into ``BENCH_<name>.json`` under key *section*.
+
+    Benches that share a document (e.g. E15's cache/parallel sections
+    and E17's fleet section both live in ``BENCH_prevention.json``) use
+    this instead of :func:`write_bench_json`, which would clobber the
+    sibling sections.  The header stamps (commit, python, machine) are
+    refreshed; everything else is preserved.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        document = {}
+    document.update({
+        "bench": name,
+        "commit": git_commit(),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+    })
+    document[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

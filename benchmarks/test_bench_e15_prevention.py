@@ -34,7 +34,7 @@ from repro.prevention.tasks import _token_ring, _watchdog
 from repro.ta.checker import ZoneGraphChecker
 from repro.ta.query import parse_query
 
-from bench_utils import write_bench_json
+from bench_utils import merge_bench_json
 from conftest import print_table
 
 
@@ -263,7 +263,7 @@ def test_bench_e15_write_json():
     gate test was skipped or failed its attribute is absent and this
     write fails loudly rather than publishing a partial document.
     """
-    payload = {
+    sections = {
         "cache": test_bench_e15_warm_cache_vs_cold.result,
         "parallel": test_bench_e15_parallel_vs_serial.result,
         "checker": test_bench_e15_checker_fast_vs_baseline.result,
@@ -273,5 +273,8 @@ def test_bench_e15_write_json():
             "checker_speedup_min": 3.0,
         },
     }
-    path = write_bench_json("prevention", payload)
+    # Merged section by section: E17's fleet bench shares this
+    # document, and a whole-file write would clobber it.
+    for section, payload in sections.items():
+        path = merge_bench_json("prevention", section, payload)
     assert path.exists()

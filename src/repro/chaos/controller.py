@@ -3,8 +3,9 @@
 The controller is the single authority every instrumented seam asks
 before failing: shard workers (crash / hang / session error), the
 incident pipeline (repairs that raise or silently no-op), SOC ingress
-(duplicated, reordered, delayed events), and host config stores (slow
-reads).  Each decision is a pure function of
+(duplicated, reordered, delayed events), host config stores (slow
+reads), and the tiered verification cache (stale shared-tier reads,
+bucket-lock timeouts).  Each decision is a pure function of
 ``(plan.seed, site, key)`` where *key* identifies the subject by
 stable content — host name, event time, strike count, attempt index —
 never by call order.  Two runs of the same scenario under the same
@@ -78,6 +79,7 @@ SITE_SLOTS = {
     "ingress.reorder": 0, "ingress.duplicate": 1, "ingress.delay": 2,
     "config.slow": 0,
     "sched.crash": 0, "sched.truncate": 1,
+    "cache.stale_read": 0, "cache.lock_timeout": 1,
 }
 
 

@@ -37,11 +37,13 @@ RATE_FIELDS = {
     "ingress.reorder": "event_reorder",
     "ingress.delay": "event_delay",
     "config.slow": "config_slow",
-    # Scheduler sites are appended last and excluded from
+    # Scheduler and cache sites are appended last and excluded from
     # :meth:`FaultPlan.randomized`, so pre-existing randomized plans
     # keep drawing byte-identical rates.
     "sched.crash": "sched_crash",
     "sched.truncate": "sched_truncate",
+    "cache.stale_read": "cache_stale_read",
+    "cache.lock_timeout": "cache_lock_timeout",
 }
 
 
@@ -69,7 +71,12 @@ class FaultPlan:
     * ``sched_crash`` — the work scheduler dies immediately after
       journaling an effective task completion (resume from the
       journal); ``sched_truncate`` — given a crash, the probability
-      the journal's freshly written tail is torn mid-line too.
+      the journal's freshly written tail is torn mid-line too;
+    * ``cache_stale_read`` — a shared-tier verification-cache read
+      misses an entry that is actually present (one redundant
+      recompute, never a wrong verdict); ``cache_lock_timeout`` — a
+      cache bucket flush times out on its advisory lock (the write
+      stays pending and is retried on the next save).
     """
 
     seed: int = 0
@@ -84,6 +91,8 @@ class FaultPlan:
     config_slow: float = 0.0
     sched_crash: float = 0.0
     sched_truncate: float = 0.0
+    cache_stale_read: float = 0.0
+    cache_lock_timeout: float = 0.0
     hang_seconds: float = 0.001
     delay_seconds: float = 0.0005
     config_delay_seconds: float = 0.0005
@@ -198,12 +207,13 @@ class FaultPlan:
         rates = {
             field_name: (round(rng.uniform(0.0, max_rate), 4)
                          if rng.random() < 0.5 else 0.0)
-            # Scheduler sites are deliberately left out (and so stay
-            # 0.0): they crash the run instead of perturbing it, and
-            # skipping them keeps the rng draw sequence — hence every
-            # historical randomized plan — byte-identical.
+            # Scheduler and cache sites are deliberately left out (and
+            # so stay 0.0): they target other planes than the SOC this
+            # harness sweeps, and skipping them keeps the rng draw
+            # sequence — hence every historical randomized plan —
+            # byte-identical.
             for site, field_name in RATE_FIELDS.items()
-            if not site.startswith("sched.")
+            if not site.startswith(("sched.", "cache."))
         }
         return cls(
             seed=seed,

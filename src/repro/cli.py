@@ -312,14 +312,88 @@ def cmd_soc(args, out) -> int:
     return 0 if posture.worst_ratio >= 1.0 else 1
 
 
+def _build_cache(args):
+    """The tiered verification cache the pipeline flags describe.
+
+    ``--cache`` attaches the local bucket store, ``--shared-cache``
+    the fleet-shared remote, and ``--cache-tier`` caps the stack
+    (``memory`` runs cacheless-but-memoized, ``local`` ignores a
+    remote, ``shared`` requires one).  No flags, no cache.
+    """
+    tier = getattr(args, "cache_tier", None)
+    shared = getattr(args, "shared_cache", None)
+    if not (args.cache or shared or tier):
+        return None
+    from repro.prevention import VerificationCache
+
+    if tier == "shared" and not shared:
+        raise SystemExit("repro pipeline: --cache-tier shared needs "
+                         "--shared-cache DIR")
+    if tier in (None, "local", "shared") and not args.cache \
+            and not shared:
+        raise SystemExit("repro pipeline: --cache-tier needs --cache "
+                         "or --shared-cache")
+    if tier == "local" and not args.cache:
+        raise SystemExit("repro pipeline: --cache-tier local needs "
+                         "--cache DIR")
+    if tier == "memory":
+        return VerificationCache(None, tier="memory")
+    if shared and not args.cache:
+        # Shared-only fleets still need somewhere for the local tier;
+        # an ephemeral directory keeps the remote the only persistence.
+        import tempfile
+
+        args.cache = tempfile.mkdtemp(prefix="repro-cache-")
+    return VerificationCache(args.cache, shared=shared, tier=tier)
+
+
+def cmd_prevention(args, out) -> int:
+    """Prevention-plane tooling; ``fleet`` simulates N concurrent CI
+    runs sharing one remote verification cache and reports the
+    aggregate warm-hit rate plus the per-run latency tail."""
+    from repro.prevention import simulate_fleet
+
+    if args.runs < 1:
+        raise SystemExit("repro prevention fleet: --runs must be >= 1")
+    report = simulate_fleet(
+        runs=args.runs,
+        shared_dir=args.shared_cache,
+        workdir=args.workdir,
+        jobs=args.jobs,
+        mode="process" if args.processes else "thread",
+        seed_cold=not args.no_seed,
+    )
+    document = report.to_dict()
+    if args.json:
+        _print_json(
+            document, out,
+            status_line=(f"fleet of {document['runs']} ({document['mode']}"
+                         f" mode): warm-hit rate "
+                         f"{document['warm_hit_rate']:.0%}"))
+    else:
+        _print_rows(document["per_run"], out)
+        latency = document["latency_s"]
+        print(f"fleet of {document['runs']} concurrent runs "
+              f"({document['mode']} mode): warm-hit rate "
+              f"{document['warm_hit_rate']:.0%}, latency p50 "
+              f"{latency['p50'] * 1000:.0f}ms / p95 "
+              f"{latency['p95'] * 1000:.0f}ms / max "
+              f"{latency['max'] * 1000:.0f}ms", file=out)
+    ok = report.all_passed and report.verdicts_identical
+    return 0 if ok else 1
+
+
 def cmd_pipeline(args, out) -> int:
     """Run the full prevention pipeline against a host profile.
 
     ``--jobs N`` wave-schedules pipeline jobs and fans the verification
     queries out to N threads; ``--cache DIR`` makes re-runs incremental
-    through the content-addressed verdict cache; ``--json`` emits the
-    machine-readable run summary (cache stats included) on stdout with
-    status lines on stderr, like ``repro soc --json``.
+    through the content-addressed verdict cache; ``--shared-cache DIR``
+    adds the directory-based remote tier a CI fleet shares (hits are
+    attributed per tier in the stats); ``--cache-tier`` caps the tier
+    stack; ``--json`` emits the machine-readable run summary (cache
+    stats included) on stdout with status lines on stderr, like
+    ``repro soc --json``.
     """
     from repro.core import VeriDevOpsOrchestrator
     from repro.prevention import bundled_verification_tasks
@@ -331,11 +405,7 @@ def cmd_pipeline(args, out) -> int:
     orchestrator.ingest_standards(host.os_family)
     if args.requirement:
         orchestrator.ingest_natural_language(args.requirement)
-    cache = None
-    if args.cache:
-        from repro.prevention import VerificationCache
-
-        cache = VerificationCache(args.cache)
+    cache = _build_cache(args)
     run = orchestrator.run_prevention(
         [host],
         verification_tasks=bundled_verification_tasks(),
@@ -351,6 +421,8 @@ def cmd_pipeline(args, out) -> int:
             "jobs": args.jobs,
             "cache": (run.context.get("verification_cache_stats")
                       if cache is not None else None),
+            "cache_tiers": (cache.tier_names()
+                            if cache is not None else None),
         }
         _print_json(document, out, status_line=run.summary())
         return 0 if run.passed else 1
@@ -759,11 +831,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="content-addressed verification cache "
                                "directory; re-runs only re-verify "
                                "changed artifacts")
+    pipeline.add_argument("--shared-cache", metavar="DIR", default=None,
+                          help="shared remote cache tier: a directory "
+                               "of sharded verdict buckets concurrent "
+                               "CI runs read through and write back to")
+    pipeline.add_argument("--cache-tier", default=None,
+                          choices=("memory", "local", "shared"),
+                          help="deepest cache tier to engage (default: "
+                               "inferred from --cache/--shared-cache)")
     pipeline.add_argument("--json", action="store_true",
                           help="emit the machine-readable JSON run "
                                "summary (cache stats included) instead "
                                "of the text table")
     pipeline.set_defaults(func=cmd_pipeline)
+
+    prevention = subparsers.add_parser(
+        "prevention", help="prevention-plane tooling (CI-fleet cache "
+                           "simulator)")
+    prevention_actions = prevention.add_subparsers(dest="action",
+                                                   required=True)
+    fleet = prevention_actions.add_parser(
+        "fleet", help="run N concurrent pipeline runs against one "
+                      "shared verification cache and report warm-hit "
+                      "rate + latency tail")
+    fleet.add_argument("--runs", type=int, default=4, metavar="N",
+                       help="concurrent pipeline runs (default 4)")
+    fleet.add_argument("--shared-cache", metavar="DIR", default=None,
+                       help="shared remote cache directory (default: "
+                            "a fresh directory under --workdir)")
+    fleet.add_argument("--workdir", metavar="DIR", default=None,
+                       help="where per-run local cache roots live "
+                            "(default: a temp directory)")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="verification workers inside each run")
+    fleet.add_argument("--processes", action="store_true",
+                       help="run fleet members as real child "
+                            "processes through the CLI instead of "
+                            "threads")
+    fleet.add_argument("--no-seed", action="store_true",
+                       help="skip the cold seeding run (the fleet "
+                            "pays the cold cost itself)")
+    fleet.add_argument("--json", action="store_true")
+    fleet.set_defaults(func=cmd_prevention)
 
     reqs = subparsers.add_parser(
         "reqs", help="inspect the unified requirements plane (IR)")

@@ -284,7 +284,15 @@ class VerificationGate(SecurityGate):
                 cache_stats["dedup_groups"] = len(groups)
                 cache_stats["dedup_requirements"] = sum(
                     len(ids) for ids in groups.values())
-            context.put("verification_cache_stats", cache_stats)
+            # The metrics block stays purely numeric (cache_stats is
+            # folded into float-valued gate metrics below); hit
+            # provenance — which tier answered, whose verdict it was —
+            # rides only on the context document.
+            stats_document = dict(cache_stats)
+            provenance = getattr(self.cache, "provenance_dict", None)
+            if provenance is not None:
+                stats_document["provenance"] = provenance()
+            context.put("verification_cache_stats", stats_document)
 
         failures = []
         total_states = 0

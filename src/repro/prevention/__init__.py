@@ -9,9 +9,22 @@ content address — a blake2b fingerprint over a canonical serialization
 so a re-run only re-checks tasks whose formal artifacts actually
 changed.  Mutating any ingested artifact changes its fingerprint and
 invalidates exactly the affected entries.
+
+Since the CAS promotion (:mod:`repro.prevention.cas`) the store is
+tiered — in-memory LRU over sharded local buckets over an optional
+directory-based shared remote — so verdicts flow between concurrent
+CI runs instead of being recomputed per process;
+:func:`simulate_fleet` measures that end to end.
 """
 
 from repro.prevention.cache import CacheStats, VerificationCache
+from repro.prevention.cas import (
+    BucketStore,
+    CacheLockTimeout,
+    TieredVerdictStore,
+    bucket_prefix,
+)
+from repro.prevention.fleet import FleetReport, FleetRun, simulate_fleet
 from repro.prevention.fingerprint import (
     canonical_network,
     canonical_query,
@@ -24,9 +37,16 @@ from repro.prevention.fingerprint import (
 from repro.prevention.tasks import bundled_verification_tasks
 
 __all__ = [
+    "BucketStore",
+    "CacheLockTimeout",
     "CacheStats",
+    "FleetReport",
+    "FleetRun",
+    "TieredVerdictStore",
     "VerificationCache",
+    "bucket_prefix",
     "bundled_verification_tasks",
+    "simulate_fleet",
     "canonical_network",
     "canonical_query",
     "canonical_requirement",

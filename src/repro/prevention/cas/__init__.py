@@ -1,0 +1,25 @@
+"""Distributed content-addressed verification cache (CAS).
+
+The prevention plane's verdict store, promoted from one JSON file to a
+remote-cache architecture: sharded multi-writer buckets
+(:mod:`~repro.prevention.cas.store`) stacked into read-through /
+write-back tiers (:mod:`~repro.prevention.cas.tiers`) — in-memory LRU,
+a local on-disk store, and a directory-based remote shared by a whole
+CI fleet.  :class:`~repro.prevention.VerificationCache` remains the
+compat front door the verification gate talks to.
+"""
+
+from repro.prevention.cas.store import (
+    BucketStore,
+    CacheLockTimeout,
+    bucket_prefix,
+)
+from repro.prevention.cas.tiers import MemoryLRU, TieredVerdictStore
+
+__all__ = [
+    "BucketStore",
+    "CacheLockTimeout",
+    "MemoryLRU",
+    "TieredVerdictStore",
+    "bucket_prefix",
+]

@@ -346,3 +346,74 @@ class TestReport:
         assert code == 0
         assert target.exists()
         assert "## Requirements" in target.read_text()
+
+
+class TestCacheTiers:
+    def test_shared_cache_warms_a_fresh_local_tier(self, tmp_path):
+        import json
+
+        shared = str(tmp_path / "shared")
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json",
+            "--cache", str(tmp_path / "ci-run-1"), "--shared-cache", shared)
+        assert code == 0
+        cold = json.loads(output)
+        assert cold["cache"]["misses"] > 0
+        assert cold["cache_tiers"] == ["memory", "local", "remote"]
+
+        # A *different* machine (fresh local tier) re-runs: every
+        # verdict comes off the shared remote, zero model-checking.
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json",
+            "--cache", str(tmp_path / "ci-run-2"), "--shared-cache", shared)
+        assert code == 0
+        warm = json.loads(output)["cache"]
+        assert warm["misses"] == 0
+        assert warm["remote_hits"] == cold["cache"]["misses"]
+
+    def test_memory_tier_needs_no_directories(self):
+        import json
+
+        code, output = run_cli(
+            "pipeline", "--profile", "ubuntu-default", "--json",
+            "--cache-tier", "memory")
+        assert code == 0
+        assert json.loads(output)["cache_tiers"] == ["memory"]
+
+    def test_shared_tier_requires_shared_cache_flag(self):
+        with pytest.raises(SystemExit, match="--shared-cache"):
+            run_cli("pipeline", "--cache-tier", "shared")
+
+    def test_local_tier_requires_cache_flag(self):
+        with pytest.raises(SystemExit, match="--cache"):
+            run_cli("pipeline", "--cache-tier", "local")
+
+
+class TestPreventionFleet:
+    def test_fleet_json_reports_warm_hit_rate(self, tmp_path):
+        import json
+
+        code, output = run_cli(
+            "prevention", "fleet", "--runs", "3", "--json",
+            "--workdir", str(tmp_path))
+        assert code == 0
+        document = json.loads(output)
+        assert document["runs"] == 3
+        assert document["passed"] is True
+        assert document["verdicts_identical"] is True
+        assert document["warm_hit_rate"] >= 0.9
+        assert document["latency_s"]["p50"] <= document["latency_s"]["max"]
+        for row in document["per_run"]:
+            assert row["misses"] == 0
+
+    def test_fleet_text_output(self, tmp_path):
+        code, output = run_cli(
+            "prevention", "fleet", "--runs", "2",
+            "--workdir", str(tmp_path))
+        assert code == 0
+        assert "warm-hit rate" in output
+
+    def test_fleet_runs_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit, match="--runs"):
+            run_cli("prevention", "fleet", "--runs", "0",
+                    "--workdir", str(tmp_path))

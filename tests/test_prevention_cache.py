@@ -12,6 +12,8 @@ The contracts the prevention plane stands on:
 import json
 import random
 
+import pytest
+
 from repro.core.gates import VerificationGate, _verdict_to_dict
 from repro.core.pipeline import PipelineContext
 from repro.prevention import (
@@ -190,13 +192,23 @@ class TestPersistence:
         tasks = bundled_verification_tasks()
         VerificationGate(cache=cache).evaluate(
             PipelineContext(verification_tasks=tasks))
-        mtime = cache.path.stat().st_mtime_ns
+        snapshot = {path: path.stat().st_mtime_ns
+                    for path in sorted(cache.path.rglob("*"))
+                    if path.is_file()}
         VerificationGate(cache=cache).evaluate(
             PipelineContext(verification_tasks=tasks))
-        assert cache.path.stat().st_mtime_ns == mtime
+        after = {path: path.stat().st_mtime_ns
+                 for path in sorted(cache.path.rglob("*"))
+                 if path.is_file()}
+        assert after == snapshot   # not one byte rewritten anywhere
 
-    def test_corrupt_file_is_ignored(self, tmp_path):
+    def test_corrupt_file_is_counted_not_swallowed(self, tmp_path):
+        """A corrupt legacy store must not be silently discarded: the
+        cache starts empty, but the loss is warned about and surfaced
+        in the ``corrupt_loads`` stat so a run summary shows it."""
         path = tmp_path / "verification-cache.json"
         path.write_text("{not json")
-        cache = VerificationCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = VerificationCache(tmp_path)
         assert len(cache) == 0
+        assert cache.stats_dict()["corrupt_loads"] == 1

@@ -1,0 +1,175 @@
+"""Crash and chaos suite for the tiered CAS verification cache.
+
+Three failure families, each with a recovery obligation:
+
+* ``cache.lock_timeout`` — a bucket flush times out on its advisory
+  lock.  The write must stay pending (nothing lost, nothing torn) and
+  a later save must drain it, because the seam draws per *attempt*.
+* ``cache.stale_read`` — the shared tier pretends an entry is absent.
+  The cost is one redundant recompute, never a wrong verdict and
+  never a phantom hit.
+* A writer killed mid-compaction.  Survivors reopen the store, torn
+  temp files are swept as debris, a corrupt bucket is counted
+  (``corrupt_loads``) and re-verified rather than trusted, and every
+  entry that *does* parse is byte-identical to what was stored.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.chaos import ChaosController, FaultPlan
+from repro.prevention import VerificationCache
+from repro.prevention.cas.store import BucketStore, bucket_prefix
+
+
+def controller(**rates):
+    return ChaosController(FaultPlan(seed=7, **rates))
+
+
+class TestLockTimeout:
+    def test_timed_out_flush_stays_pending_and_memory_still_answers(
+            self, tmp_path):
+        cache = VerificationCache(tmp_path / "c",
+                                  chaos=controller(cache_lock_timeout=1.0))
+        cache.store("lab", "fp", {"satisfied": True})
+        assert cache.save() is False
+        assert cache.stats_dict()["lock_timeouts"] >= 1
+        # Nothing reached disk...
+        assert len(BucketStore(tmp_path / "c" / "cas")) == 0
+        # ...but the memory tier still serves the verdict, unharmed.
+        assert cache.lookup("lab", "fp") == {"satisfied": True}
+
+    def test_repeated_saves_eventually_drain_the_backlog(self, tmp_path):
+        """The seam keys on the acquisition *attempt*, so a partial
+        injection rate clears on retry instead of wedging forever."""
+        cache = VerificationCache(tmp_path / "c",
+                                  chaos=controller(cache_lock_timeout=0.7))
+        for index in range(5):
+            cache.store(f"label-{index}", f"fp{index}", {"i": index})
+        for _ in range(60):
+            if cache.save():
+                pass
+            if len(BucketStore(tmp_path / "c" / "cas")) == 5:
+                break
+        else:
+            pytest.fail("backlog never drained")
+        assert cache.stats_dict()["lock_timeouts"] >= 1
+        reopened = VerificationCache(tmp_path / "c")
+        for index in range(5):
+            assert reopened.lookup(f"label-{index}", f"fp{index}") == \
+                {"i": index}
+
+
+class TestStaleRead:
+    def test_stale_remote_read_recomputes_identically(self, tmp_path):
+        writer = VerificationCache(tmp_path / "a", shared=tmp_path / "s")
+        verdict = {"satisfied": True, "states_explored": 41}
+        writer.store("lab", "fp", verdict)
+        writer.save()
+        reader = VerificationCache(tmp_path / "b", shared=tmp_path / "s",
+                                   chaos=controller(cache_stale_read=1.0))
+        # The entry IS in the remote; the seam hides it.  That must
+        # surface as an honest miss — not a phantom hit, not an error.
+        assert reader.lookup("lab", "fp") is None
+        stats = reader.stats_dict()
+        assert stats["stale_reads"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 0
+        # The caller recomputes and stores; bytes match the original.
+        reader.store("lab", "fp", dict(verdict))
+        reader.save()
+        fresh = VerificationCache(tmp_path / "c", shared=tmp_path / "s")
+        assert json.dumps(fresh.lookup("lab", "fp"), sort_keys=True) == \
+            json.dumps(verdict, sort_keys=True)
+
+    def test_stale_read_never_fires_without_a_remote(self, tmp_path):
+        cache = VerificationCache(tmp_path / "c",
+                                  chaos=controller(cache_stale_read=1.0))
+        cache.store("lab", "fp", {"satisfied": False})
+        cache.save()
+        assert cache.lookup("lab", "fp") == {"satisfied": False}
+        assert cache.stats_dict()["stale_reads"] == 0
+
+
+def _churn_worker(shared_root, ready_path):
+    """Store/save forever with a tiny bound so every save compacts;
+    the parent SIGKILLs this process mid-flight."""
+    cache = VerificationCache(shared_root, max_entries=4,
+                              writer_id="doomed")
+    index = 0
+    while True:
+        cache.store(f"churn-{index}", f"fp{index}", {"i": index})
+        cache.save()
+        if index == 8:
+            ready_path.write_text("ready")
+        index += 1
+
+
+class TestCrashRecovery:
+    def test_store_survives_a_writer_killed_mid_compaction(self, tmp_path):
+        root = tmp_path / "store"
+        ready = tmp_path / "ready"
+        context = multiprocessing.get_context("spawn")
+        child = context.Process(target=_churn_worker, args=(root, ready))
+        child.start()
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert child.is_alive(), "churn worker died on its own"
+                assert time.monotonic() < deadline, "worker never warmed up"
+                time.sleep(0.01)
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.join(timeout=30)
+        # The survivor opens the same root: every bucket that parses
+        # holds complete entries, byte-identical to what was stored.
+        survivor = BucketStore(root / "cas")
+        entries = survivor.entries()
+        assert entries, "kill erased the whole store"
+        for label, entry in entries.items():
+            index = int(label.rsplit("-", 1)[1])
+            assert entry["verdict"] == {"i": index}
+            assert entry["writer_id"] == "doomed"
+        # And the high-level cache serves them with no phantom hits:
+        # a hit must return the stored verdict, a miss stays a miss.
+        cache = VerificationCache(root)
+        for label, entry in entries.items():
+            assert cache.lookup(label, entry["fingerprint"]) == \
+                entry["verdict"]
+        assert cache.lookup("never-stored", "fp") is None
+
+    def test_torn_compaction_temp_file_is_swept_as_debris(self, tmp_path):
+        store = BucketStore(tmp_path)
+        store.put_many({"lab": {"fingerprint": "fp", "verdict": {"ok": 1},
+                                "stored_at": 1, "writer_id": "t"}})
+        # A writer died between writing its temp file and renaming it.
+        torn = store.buckets_dir / "ab.json.tmp.99999"
+        torn.write_text('{"entries": {"half-written')
+        assert store.compact(max_entries=10) == 0
+        assert not torn.exists()
+        assert store.get("lab")["verdict"] == {"ok": 1}
+
+    def test_corrupt_bucket_is_counted_and_yields_no_phantom_hits(
+            self, tmp_path):
+        cache = VerificationCache(tmp_path / "c")
+        cache.store("lab", "fp", {"satisfied": True})
+        cache.save()
+        bucket = (tmp_path / "c" / "cas" / "buckets" /
+                  f"{bucket_prefix('lab')}.json")
+        bucket.write_text('{"entries": {"lab": {"finge')   # torn mid-write
+        reopened = VerificationCache(tmp_path / "c")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert reopened.lookup("lab", "fp") is None    # honest miss
+        stats = reopened.stats_dict()
+        assert stats["corrupt_loads"] >= 1
+        assert stats["hits"] == 0
+        # Recompute-and-store heals the bucket in place.
+        reopened.store("lab", "fp", {"satisfied": True})
+        reopened.save()
+        healed = VerificationCache(tmp_path / "c")
+        assert healed.lookup("lab", "fp") == {"satisfied": True}
