@@ -1,0 +1,343 @@
+"""E18 — streaming ingestion fast path: delta re-arm vs cold restart.
+
+The batch path re-arms a fleet by restarting it: stop the service,
+rebuild every host's protection plan from the full IR set, start a new
+service (``arm_soc`` again).  That is O(armed) work for a 1-record
+change, and every monitor — including the 99% that didn't change —
+loses its obligation state across the gap.  The streaming path diffs
+the feed against the armed set (:class:`~repro.reqs.stream.ReqStream`)
+and patches only the affected requirements on the affected hosts
+through the running service (:class:`~repro.soc.rearm.Rearmer`),
+in-stream with host events so there is no detection gap.
+
+Two measurements:
+
+* **delta_rearm** — a 32-host fleet armed with 64 requirements (2,048
+  monitors fleet-wide; every ubuntu catalogue finding bound, plus 50
+  formalized LTL records).  One record changes its drift class.  Cold:
+  stop + rebuild all plans + start.  Delta: ``diff`` + ``Rearmer.apply``
+  + ``commit`` on the live service.  The delta path must win by >=10x
+  on the thread backend — it does O(changed) planning and ships 32
+  session patches instead of tearing down 2,048 monitors.  The process
+  backend pays a REARMED echo round trip per application, so its floor
+  is structural-but-smaller (>=2x); its cold restart respawns worker
+  processes, which is why nobody restarts it per feed batch.
+* **live_ingest** — a RESA statement feed lowered incrementally
+  (``lower_iter``) through an :class:`~repro.reqs.stream.IngestBudget`
+  into a *running* 8-host SOC, the producer thread blocking whenever
+  the re-arm plane falls behind (backpressure must engage: blocked > 0).
+  A second pass re-announces the identical feed: every record is an
+  O(1) fingerprint probe, the delta is empty, and no patches ship.
+
+A zero-gap check rides the delta scenario untimed: drift injected
+before the patch and after it is repaired either way.
+
+Wall-clock assertions are best-of-REPS and deliberately loose where a
+single shared core makes scheduler noise material; the structural
+assertions (patch counts, unchanged counts, backpressure engaging,
+repairs landing) always hold.
+"""
+
+import os
+import queue as queue_mod
+import threading
+import time
+
+from repro.environment import hardened_ubuntu_host
+from repro.reqs import default_registry
+from repro.reqs.ir import Formalization, Provenance, Requirement
+from repro.reqs.registry import RejectedNative
+from repro.reqs.stream import IngestBudget, ReqStream
+from repro.rqcode import default_catalog
+from repro.soc.rearm import Rearmer, drift_atom, plan_for_records
+from repro.soc.service import SocService
+
+from bench_utils import merge_bench_json
+from conftest import print_table
+
+CATALOG = default_catalog()
+UBUNTU_FINDINGS = [f for f in CATALOG.finding_ids()
+                   if CATALOG.get(f).platform == "ubuntu"]
+
+HOSTS = 32
+SHARDS = 4
+FORMALIZED_RECORDS = 50
+REPS = 2  # best-of-N to damp scheduler noise (thread backend)
+CPUS = os.cpu_count() or 1
+
+FEED_HOSTS = 8
+FEED_RECORDS = 192
+FEED_BUDGET = 32
+FEED_BATCH = 16
+
+
+def standard_rec(rid, finding_ids):
+    return Requirement(
+        rid=rid, title=rid, text=f"requirement {rid}", source="rqcode",
+        severity="high", bindings=tuple(finding_ids),
+        provenance=(Provenance("bench", rid, "e18 record"),))
+
+
+def ltl_rec(rid, ltl):
+    return Requirement(
+        rid=rid, title=rid, text=f"requirement {rid}", source="resa",
+        severity="medium", formalization=Formalization(ltl=ltl),
+        provenance=(Provenance("bench", rid, "e18 record"),))
+
+
+def build_records():
+    """64 armed requirements: every ubuntu finding individually bound
+    plus 50 formalized LTL monitors — a realistic mixed fleet load."""
+    records = [standard_rec(f"R-{i:03d}", [fid])
+               for i, fid in enumerate(UBUNTU_FINDINGS)]
+    records += [ltl_rec(f"L-{i:03d}", f"G !custom.bad_{i}")
+                for i in range(FORMALIZED_RECORDS)]
+    return records
+
+
+def changed_record():
+    """R-000 re-bound from its package finding to a config finding —
+    a different drift class, so the monitor re-arms fresh on every
+    host (the most expensive delta shape)."""
+    config = next(fid for fid in UBUNTU_FINDINGS
+                  if drift_atom(CATALOG, [fid]) == "drift.config")
+    return standard_rec("R-000", [config])
+
+
+def build_hosts(count=HOSTS):
+    return [hardened_ubuntu_host(f"node-{i:02d}") for i in range(count)]
+
+
+def plans_for(records, hosts):
+    return {host.name: plan_for_records(records, host, CATALOG)
+            for host in hosts}
+
+
+def start_service(records, hosts, backend):
+    return SocService(hosts, CATALOG, plans_for(records, hosts),
+                      shards=SHARDS, seed=3, backend=backend).start()
+
+
+def run_cold_restart(backend):
+    """Stop + full plan rebuild + start: the batch path's cost for a
+    1-record change."""
+    hosts = build_hosts()
+    records = build_records()
+    service = start_service(records, hosts, backend)
+    new_records = [changed_record()] + records[1:]
+    started = time.perf_counter()
+    service.stop()
+    replacement = SocService(hosts, CATALOG, plans_for(new_records, hosts),
+                             shards=SHARDS, seed=3, backend=backend).start()
+    elapsed = time.perf_counter() - started
+    replacement.stop()
+    return elapsed
+
+
+def run_delta_rearm(backend, zero_gap=False):
+    """diff + Rearmer.apply + commit on the running service."""
+    hosts = build_hosts()
+    records = build_records()
+    service = start_service(records, hosts, backend)
+    stream = ReqStream(records)
+    rearmer = Rearmer(service)
+    try:
+        if zero_gap:
+            # Drift lands while the patch is in flight: the re-arm
+            # must not open a detection gap.
+            hosts[0].drift_install_package("telnetd")
+        started = time.perf_counter()
+        delta = stream.diff([changed_record()])
+        report = rearmer.apply(delta)
+        stream.commit(delta)
+        elapsed = time.perf_counter() - started
+        repaired = 0
+        if zero_gap:
+            hosts[1].drift_install_package("nis")
+            service.drain()
+            repaired = service.effective_repairs()
+    finally:
+        service.stop()
+    return elapsed, report, repaired
+
+
+def test_bench_e18_delta_rearm_vs_cold_restart():
+    monitors_per_host = len(
+        plans_for(build_records(), build_hosts(1))["node-00"][0])
+
+    results = {}
+    rows = []
+    for backend, reps in (("thread", REPS), ("process", 1)):
+        cold = min(run_cold_restart(backend) for _ in range(reps))
+        timed = [run_delta_rearm(backend) for _ in range(reps)]
+        delta_seconds, report, _ = min(timed, key=lambda t: t[0])
+        speedup = cold / delta_seconds
+        results[backend] = {
+            "cold_restart_seconds": round(cold, 6),
+            "delta_seconds": round(delta_seconds, 6),
+            "speedup": round(speedup, 1),
+            "hosts_patched": report.hosts_patched,
+            "monitors_added": report.monitors_added,
+        }
+        rows.append({
+            "backend": backend,
+            "cold_ms": f"{cold * 1000:.2f}",
+            "delta_ms": f"{delta_seconds * 1000:.2f}",
+            "speedup": f"{speedup:.1f}x",
+            "hosts_patched": report.hosts_patched,
+        })
+    print_table(
+        f"E18 delta re-arm vs cold restart ({HOSTS} hosts, "
+        f"{monitors_per_host * HOSTS} monitors, {CPUS} cpus)", rows)
+
+    # Zero-gap: drift racing the patch is still detected and repaired.
+    _, report, repaired = run_delta_rearm("thread", zero_gap=True)
+    assert repaired >= 2, "drift across the re-arm went unrepaired"
+
+    path = merge_bench_json("ingest", "scenario", {
+        "hosts": HOSTS,
+        "records": len(build_records()),
+        "monitors_fleet": monitors_per_host * HOSTS,
+        "cpus": CPUS,
+    })
+    merge_bench_json("ingest", "delta_rearm", dict(
+        results, zero_gap={"drifts": 2, "effective_repairs": repaired}))
+    print(f"wrote {path}")
+
+    # The delta touches 1 record on 32 hosts; the cold path tears down
+    # and rebuilds all 2,048 monitors.  O(changed) vs O(armed).
+    for backend in ("thread", "process"):
+        assert results[backend]["hosts_patched"] == HOSTS
+        assert results[backend]["monitors_added"] == HOSTS
+    assert results["thread"]["speedup"] >= 10.0, (
+        "delta re-arm lost its >=10x edge over cold restart "
+        f"({results['thread']['speedup']}x)")
+    # The process backend pays a REARMED round trip; its cold restart
+    # respawns workers.  Weaker floor, same direction.
+    assert results["process"]["speedup"] >= 2.0, (
+        "process-backend delta re-arm under 2x cold restart "
+        f"({results['process']['speedup']}x)")
+
+
+FEED_TEMPLATES = (
+    "The system shall log every authentication failure.",
+    "While in maintenance mode, the system shall disable remote logins.",
+    "The system shall encrypt all stored credentials.",
+    "If an intrusion is detected, the system shall alert the operator.",
+)
+
+
+def drive_feed(registry, stream, rearmer, budget):
+    """Producer thread lowers the feed; the consumer applies deltas to
+    the live SOC and releases budget credits as batches land."""
+    natives = [FEED_TEMPLATES[i % len(FEED_TEMPLATES)]
+               for i in range(FEED_RECORDS)]
+    feed = queue_mod.Queue()
+
+    def produce():
+        for item in registry.lower_iter("resa", natives,
+                                        batch_size=FEED_BATCH,
+                                        budget=budget):
+            if not isinstance(item, RejectedNative):
+                feed.put(item)
+        feed.put(None)
+
+    started = time.perf_counter()
+    producer = threading.Thread(target=produce)
+    producer.start()
+    applied = 0
+    done = False
+    while not done:
+        batch = []
+        item = feed.get()
+        if item is None:
+            done = True
+        else:
+            batch.append(item)
+            while len(batch) < FEED_BATCH:
+                try:
+                    item = feed.get(timeout=0.002)
+                except queue_mod.Empty:
+                    break
+                if item is None:
+                    done = True
+                    break
+                batch.append(item)
+        if batch:
+            delta = stream.diff(batch)
+            rearmer.apply(delta)
+            stream.commit(delta)
+            budget.release(len(batch))
+            applied += len(batch)
+    producer.join()
+    return applied, time.perf_counter() - started
+
+
+def test_bench_e18_live_ingest_under_backpressure():
+    registry = default_registry()
+    hosts = [hardened_ubuntu_host(f"edge-{i:02d}")
+             for i in range(FEED_HOSTS)]
+    service = SocService(hosts, CATALOG, plans_for([], hosts),
+                         shards=2, seed=3).start()
+    stream = ReqStream()
+    rearmer = Rearmer(service)
+    budget = IngestBudget(limit=FEED_BUDGET)
+    try:
+        applied, elapsed = drive_feed(registry, stream, rearmer, budget)
+
+        # Second pass: the identical feed re-announced.  Every record
+        # is one fingerprint probe; nothing ships.
+        natives = [FEED_TEMPLATES[i % len(FEED_TEMPLATES)]
+                   for i in range(FEED_RECORDS)]
+        started = time.perf_counter()
+        resent = [item for item in
+                  registry.lower_iter("resa", natives,
+                                      batch_size=FEED_BATCH)
+                  if not isinstance(item, RejectedNative)]
+        delta = stream.diff(resent)
+        rearmer.apply(delta)
+        stream.commit(delta)
+        resend_elapsed = time.perf_counter() - started
+
+        armed_per_host = len(service.plans[hosts[0].name][0])
+    finally:
+        service.stop()
+
+    throughput = applied / elapsed
+    rows = [
+        {"phase": "initial feed", "records": applied,
+         "seconds": f"{elapsed:.4f}",
+         "records_per_sec": f"{throughput:,.0f}",
+         "blocked": budget.blocked_total,
+         "patched": delta.generation - 1},
+        {"phase": "resend (unchanged)", "records": len(resent),
+         "seconds": f"{resend_elapsed:.4f}",
+         "records_per_sec": f"{len(resent) / resend_elapsed:,.0f}",
+         "blocked": "-", "patched": 0},
+    ]
+    print_table(
+        f"E18 live stream ingest ({FEED_HOSTS} hosts, "
+        f"budget {FEED_BUDGET}, batch {FEED_BATCH})", rows)
+    path = merge_bench_json("ingest", "live_ingest", {
+        "hosts": FEED_HOSTS,
+        "records": applied,
+        "budget_limit": FEED_BUDGET,
+        "batch": FEED_BATCH,
+        "seconds": round(elapsed, 6),
+        "records_per_sec": round(throughput, 1),
+        "blocked_total": budget.blocked_total,
+        "monitors_per_host": armed_per_host,
+        "resend_seconds": round(resend_elapsed, 6),
+        "resend_unchanged": delta.unchanged,
+    })
+    print(f"wrote {path}")
+
+    assert applied == FEED_RECORDS
+    assert len(stream) == FEED_RECORDS
+    # The feed outruns the re-arm plane at least once: the budget is
+    # what turns that into blocking instead of unbounded buffering.
+    assert budget.blocked_total >= 1, "backpressure never engaged"
+    # The resend is pure fingerprint probes — an empty delta, nothing
+    # patched, and the armed banks untouched.
+    assert delta.empty and delta.unchanged == FEED_RECORDS
+    assert armed_per_host > 0

@@ -459,6 +459,66 @@ def _reqs_find(registry, frontend: Optional[str], rid: str):
                      f"bundled corpora")
 
 
+def _reqs_lower_stream(registry, args, out) -> int:
+    """``reqs lower --stream``: JSON-lines natives in, IR out, live.
+
+    Each stdin line is one JSON value handed to the front-end as a
+    native (a JSON string for prose front-ends like ``resa``).  Records
+    are emitted as JSON lines *as they lower* — batched incrementally
+    through :meth:`FrontendRegistry.lower_iter`, not at end of feed —
+    so a downstream re-arm loop can act while the feed is still
+    producing.  A malformed line (bad JSON, or a native the adapter or
+    the provenance lint rejects) becomes a ``{"rejected": ...}`` line
+    for that record only; the rest of the stream flows on.
+    """
+    import json as json_module
+    import sys
+
+    if args.frontend not in registry:
+        raise SystemExit(
+            f"repro reqs: unknown front-end {args.frontend!r}; "
+            f"registered: {', '.join(registry.names())}")
+
+    rejected_lines = [0]
+
+    def natives():
+        for line_number, line in enumerate(sys.stdin):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json_module.loads(line)
+            except ValueError as exc:
+                rejected_lines[0] += 1
+                print(json_module.dumps(
+                    {"rejected": {"frontend": args.frontend,
+                                  "line": line_number,
+                                  "error": f"bad JSON: {exc}"}}),
+                    file=out, flush=True)
+
+    from repro.reqs.ir import Requirement
+
+    lowered = rejected = 0
+    for item in registry.lower_iter(args.frontend, natives(),
+                                    batch_size=args.batch):
+        if isinstance(item, Requirement):
+            lowered += 1
+            print(json_module.dumps(
+                dict(item.to_dict(), fingerprint=item.fingerprint())),
+                file=out, flush=True)
+        else:
+            rejected += 1
+            print(json_module.dumps(
+                {"rejected": {"frontend": item.frontend,
+                              "index": item.index,
+                              "error": item.error}}),
+                file=out, flush=True)
+    print(f"{lowered} requirements lowered from {args.frontend!r}, "
+          f"{rejected + rejected_lines[0]} rejected",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_reqs(args, out) -> int:
     """Inspect the unified requirements plane.
 
@@ -497,6 +557,9 @@ def cmd_reqs(args, out) -> int:
                           for name, irs in sorted(corpora.items())),
               file=out)
         return 0
+
+    if args.action == "lower" and getattr(args, "stream", False):
+        return _reqs_lower_stream(registry, args, out)
 
     if args.action == "lower":
         try:
@@ -896,6 +959,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     reqs_lower = reqs_actions.add_parser(
         "lower", help="lower one front-end's corpus, with fingerprints")
+    reqs_lower.add_argument(
+        "--stream", action="store_true",
+        help="read JSON-lines natives from stdin and emit IR records "
+             "as they lower (incremental; bad lines are rejected "
+             "individually)")
+    reqs_lower.add_argument(
+        "--batch", type=int, default=8,
+        help="streaming batch size (natives lowered per adapter call)")
     reqs_lower.add_argument("frontend",
                             help="registered front-end name")
     reqs_lower.add_argument("--json", action="store_true")

@@ -251,6 +251,15 @@ class VerificationGate(SecurityGate):
 
         fresh: List[tuple] = []
         if pending:
+            risk = context.get("risk_index", None)
+            if risk is not None:
+                # Risk-prioritized fan-out: tasks whose label matches a
+                # scored requirement run first, so under a worker-
+                # starved scheduler (or a fail-fast batch) the riskiest
+                # verifications land earliest.  Results still fill in
+                # by original index — verdict output is order-stable.
+                pending.sort(key=lambda item: (
+                    -risk.score_for(item[1]), item[0]))
             scheduler = getattr(context, "scheduler", None)
             if scheduler is None:
                 scheduler = Scheduler(workers=self.max_workers or 1)

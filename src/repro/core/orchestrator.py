@@ -304,34 +304,10 @@ class VeriDevOpsOrchestrator:
     def _drift_atom(self, finding_ids: Sequence[str]) -> str:
         """The drift-event kind a finding's monitor should watch.
 
-        Package findings care about ``drift.package``, configuration
-        findings about ``drift.config``, and so on; findings of unknown
-        shape fall back to the coarse ``drift`` prefix.
+        One rule, two consumers: cold planning here and live delta
+        re-arming in :mod:`repro.soc.rearm` — the shared implementation
+        keeps their monitor sets provably identical.
         """
-        from repro.rqcode.ubuntu import (
-            UbuntuConfigPattern,
-            UbuntuPackagePattern,
-            UbuntuServicePattern,
-        )
-        from repro.rqcode.win10 import AuditPolicyRequirement
-        from repro.rqcode.win10_accounts import AccountPolicyRequirement
-        from repro.rqcode.win10_registry import RegistryValueRequirement
+        from repro.soc.rearm import drift_atom
 
-        kinds = set()
-        for finding_id in finding_ids:
-            cls = self.catalog.get(finding_id).requirement_class
-            if issubclass(cls, UbuntuPackagePattern):
-                kinds.add("drift.package")
-            elif issubclass(cls, UbuntuConfigPattern):
-                kinds.add("drift.config")
-            elif issubclass(cls, UbuntuServicePattern):
-                kinds.add("drift.service")
-            elif issubclass(cls, AuditPolicyRequirement):
-                kinds.add("drift.audit")
-            elif issubclass(cls, RegistryValueRequirement):
-                kinds.add("drift.registry")
-            elif issubclass(cls, AccountPolicyRequirement):
-                kinds.add("drift.account")
-        if len(kinds) == 1:
-            return kinds.pop()
-        return "drift"
+        return drift_atom(self.catalog, finding_ids)

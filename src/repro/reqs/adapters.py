@@ -117,6 +117,11 @@ class ResaAdapter(FrontendAdapter):
     name = "resa"
     native = "statement str / StructuredRequirement"
 
+    def id_factory(self):
+        # Default ids are positional: streaming must thread one
+        # counter across batches or every batch restarts at RESA-001.
+        return _id_factory("RESA")
+
     def lower(self, natives: Sequence,
               ids: Optional[Callable[[], str]] = None) -> List[Requirement]:
         from repro.resa.boilerplates import (

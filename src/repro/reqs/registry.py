@@ -15,7 +15,9 @@ at the adapter boundary, instead of surfacing as an untraceable
 artifact three stages later.
 """
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Union)
 
 from repro.reqs.ir import Requirement
 
@@ -26,6 +28,30 @@ class AdapterContractError(ValueError):
 
 class ProvenanceError(AdapterContractError):
     """An adapter emitted records without a usable provenance chain."""
+
+
+@dataclass(frozen=True)
+class RejectedNative:
+    """One native that failed to lower on the streaming path.
+
+    :meth:`FrontendRegistry.lower_iter` yields these in place of the
+    records a malformed native would have produced, so one bad item in
+    a live feed surfaces as a provenance-linted error *for that item*
+    without poisoning the rest of the batch (the batch path,
+    :meth:`FrontendRegistry.lower`, stays all-or-nothing).
+    """
+
+    frontend: str
+    #: Position of the offending native in the input stream.
+    index: int
+    #: ``repr`` of the native, truncated — enough to find it upstream.
+    native: str
+    #: The lint/adapter error message.
+    error: str
+
+    def render(self) -> str:
+        return (f"front-end {self.frontend!r}: native #{self.index} "
+                f"rejected: {self.error}")
 
 
 class FrontendAdapter:
@@ -64,6 +90,18 @@ class FrontendAdapter:
         raise AdapterContractError(
             f"front-end {self.name!r} cannot raise IR back into "
             f"enforceable artifacts")
+
+    def id_factory(self) -> Optional[Callable[[], str]]:
+        """A default id allocator spanning one *logical* lowering.
+
+        Streaming (:meth:`FrontendRegistry.lower_iter`) splits a feed
+        into many :meth:`lower` calls; an adapter whose default ids are
+        positional (a fresh per-call counter) would restart numbering
+        every batch and collide.  Such adapters return a fresh counter
+        here so the registry can thread it across batches; adapters
+        with source-derived ids keep the ``None`` default.
+        """
+        return None
 
 
 def lint_requirements(records: Iterable[Requirement],
@@ -131,6 +169,113 @@ class FrontendRegistry:
         """Lower *natives* through the named adapter, linted."""
         adapter = self.get(name)
         return lint_requirements(adapter.lower(natives, ids=ids), name)
+
+    def lower_iter(self, name: str, natives: Iterable,
+                   ids: Optional[Callable[[], str]] = None,
+                   batch_size: int = 8,
+                   budget=None,
+                   ) -> Iterator[Union[Requirement, RejectedNative]]:
+        """Incremental lowering: yield IR records as natives arrive.
+
+        The streaming counterpart of :meth:`lower`.  *natives* may be
+        any iterable — including a live generator that blocks between
+        items — and records are yielded as soon as their batch lowers,
+        so a consumer (the SOC re-arm plane, the ``--stream`` CLI) sees
+        IR while the feed is still producing.
+
+        Differences from the batch path, all deliberate:
+
+        * **Per-adapter batching** — natives are lowered *batch_size*
+          at a time, amortizing adapter setup without waiting for the
+          end of the feed.
+        * **Error isolation** — when a batch fails to lower or lint,
+          it is retried native-by-native and only the offenders are
+          replaced by :class:`RejectedNative` markers carrying the
+          provenance-lint error; the rest of the batch flows on.  A
+          rid colliding with one already yielded by *this iteration*
+          is rejected the same way (the whole-sequence duplicate check
+          :meth:`lower` gets from :func:`lint_requirements`).
+        * **Backpressure** — when *budget* (an
+          :class:`~repro.reqs.stream.IngestBudget`) is given, one
+          credit is acquired per yielded record, blocking the feed
+          when downstream (the SOC shard queues) is saturated.
+          Rejections don't consume credits.
+        """
+        adapter = self.get(name)
+        if ids is None:
+            # One allocator for the whole feed: positional default ids
+            # must not restart per batch (see id_factory).
+            ids = adapter.id_factory()
+        seen_rids: Dict[str, int] = {}
+        index = 0
+        batch: List = []
+        starts: List[int] = []
+
+        def lower_one(native, position):
+            try:
+                records = lint_requirements(
+                    adapter.lower([native], ids=ids), name)
+            except Exception as exc:
+                return [RejectedNative(
+                    frontend=name, index=position,
+                    native=repr(native)[:200], error=str(exc))]
+            out = []
+            for record in records:
+                if record.rid in seen_rids:
+                    out.append(RejectedNative(
+                        frontend=name, index=position,
+                        native=repr(native)[:200],
+                        error=(f"duplicate requirement id {record.rid!r} "
+                               f"(first lowered from native "
+                               f"#{seen_rids[record.rid]})")))
+                else:
+                    seen_rids[record.rid] = position
+                    out.append(record)
+            return out
+
+        def flush():
+            if not batch:
+                return
+            try:
+                records = lint_requirements(
+                    adapter.lower(list(batch), ids=ids), name)
+            except Exception:
+                # Isolate the offender(s): re-lower one native at a
+                # time so the rest of the batch still flows.
+                records = None
+            if records is None:
+                produced: List[Union[Requirement, RejectedNative]] = []
+                for native, position in zip(batch, starts):
+                    produced.extend(lower_one(native, position))
+            else:
+                produced = []
+                for record in records:
+                    if record.rid in seen_rids:
+                        produced.append(RejectedNative(
+                            frontend=name, index=starts[0],
+                            native=repr(record.rid)[:200],
+                            error=(f"duplicate requirement id "
+                                   f"{record.rid!r} (first lowered from "
+                                   f"native #{seen_rids[record.rid]})")))
+                    else:
+                        seen_rids[record.rid] = starts[0]
+                        produced.append(record)
+            for item in produced:
+                if budget is not None and isinstance(item, Requirement):
+                    budget.acquire()
+                yield item
+            batch.clear()
+            starts.clear()
+
+        for native in natives:
+            batch.append(native)
+            starts.append(index)
+            index += 1
+            if len(batch) >= max(1, batch_size):
+                for item in flush():
+                    yield item
+        for item in flush():
+            yield item
 
     def lower_bundled(self, name: str) -> List[Requirement]:
         """Lower the adapter's bundled corpus, linted."""

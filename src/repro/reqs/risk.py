@@ -1,0 +1,202 @@
+"""The risk-calculation plane: one score per IR record, driving priority.
+
+The Resilient-Cloud-DevSecOps line of work (PAPERS.md) pairs automated
+vulnerability search with *risk calculation* that drives operations;
+this module is that calculation for the streaming requirements plane.
+Every IR record gets a score in ``[0, 1]`` composed from three
+observable signals:
+
+* **severity** — the record's own severity band, sharpened by the CVSS
+  score of the CVE in its provenance chain when the vulnerability
+  database knows it (a ``critical`` 9.8 outranks a ``critical`` 9.1);
+* **fleet exposure** — the fraction of the fleet the requirement is
+  armed on: a requirement watching every host is a bigger lever than
+  one watching a single segment;
+* **incident history** — requirements that keep firing are hot: each
+  recorded incident raises the score (saturating), so the queue leans
+  toward requirements with demonstrated drift.
+
+The score is consumed through a :class:`RiskIndex` — a thread-safe
+req-id -> score map shared by the SOC (incident enforcement order,
+reconcile sweep order), the prevention pipeline (verification wave
+ordering) and the streaming re-arm plane (highest-risk deltas patch
+first).  Monitor ids derived from a requirement (the ``<rid>/drift``
+detectors) resolve to their record's score.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.reqs.ir import Requirement
+
+#: Severity band -> base score (the CVSS qualitative band midpoints,
+#: normalized to [0, 1]).
+SEVERITY_BASE = {
+    "low": 0.2,
+    "medium": 0.5,
+    "high": 0.75,
+    "critical": 0.95,
+}
+
+#: Component weights (sum to 1.0).
+WEIGHT_SEVERITY = 0.5
+WEIGHT_EXPOSURE = 0.3
+WEIGHT_INCIDENTS = 0.2
+
+#: Incidents at which the history component saturates.
+INCIDENT_SATURATION = 5
+
+
+@dataclass(frozen=True)
+class RiskScore:
+    """One record's score and its components (all in [0, 1])."""
+
+    rid: str
+    score: float
+    severity: float
+    exposure: float
+    incidents: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"rid": self.rid, "score": round(self.score, 4),
+                "severity": round(self.severity, 4),
+                "exposure": round(self.exposure, 4),
+                "incidents": round(self.incidents, 4)}
+
+
+def _cvss_for(record: Requirement, vulndb) -> Optional[float]:
+    """The CVSS score of the first CVE provenance link *vulndb* knows."""
+    if vulndb is None:
+        return None
+    for link in record.provenance:
+        if link.kind != "cve":
+            continue
+        try:
+            return float(vulndb.get(link.ref).cvss)
+        except KeyError:
+            continue
+    return None
+
+
+class RiskScorer:
+    """Scores IR records from severity, exposure, and incident history."""
+
+    def __init__(self, vulndb=None, fleet_size: int = 0):
+        self.vulndb = vulndb
+        self.fleet_size = max(0, fleet_size)
+        self._incidents: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- the three signals --------------------------------------------------
+
+    def note_incident(self, rid: str, count: int = 1) -> int:
+        """Record *count* incidents against *rid*; returns the total."""
+        with self._lock:
+            total = self._incidents.get(rid, 0) + count
+            self._incidents[rid] = total
+            return total
+
+    def incident_count(self, rid: str) -> int:
+        return self._incidents.get(rid, 0)
+
+    def severity_component(self, record: Requirement) -> float:
+        base = SEVERITY_BASE.get(record.severity, SEVERITY_BASE["medium"])
+        cvss = _cvss_for(record, self.vulndb)
+        if cvss is None:
+            return base
+        # Blend the band midpoint with the exact CVSS position: two
+        # records in the same band still order by their scores.
+        return 0.5 * base + 0.5 * min(1.0, max(0.0, cvss / 10.0))
+
+    def exposure_component(self, hosts_routed: int) -> float:
+        if self.fleet_size <= 0:
+            return 1.0 if hosts_routed else 0.0
+        return min(1.0, max(0, hosts_routed) / self.fleet_size)
+
+    def incident_component(self, rid: str) -> float:
+        return min(1.0, self.incident_count(rid) / INCIDENT_SATURATION)
+
+    # -- composition --------------------------------------------------------
+
+    def score(self, record: Requirement,
+              hosts_routed: int = 0) -> RiskScore:
+        severity = self.severity_component(record)
+        exposure = self.exposure_component(hosts_routed)
+        incidents = self.incident_component(record.rid)
+        return RiskScore(
+            rid=record.rid,
+            score=(WEIGHT_SEVERITY * severity
+                   + WEIGHT_EXPOSURE * exposure
+                   + WEIGHT_INCIDENTS * incidents),
+            severity=severity,
+            exposure=exposure,
+            incidents=incidents,
+        )
+
+
+class RiskIndex:
+    """Thread-safe req-id -> score map, the consumers' lookup surface.
+
+    Writers are the streaming plane (scores refreshed as records flow)
+    and the SOC's incident path (history bumps); readers are shard
+    workers, the incident pipeline, the reconcile sweep, and the
+    verification gate — all of which only need ``score_for`` and
+    ``order``.  Derived monitor ids (``<rid>/drift``) resolve to the
+    base record's score.
+    """
+
+    def __init__(self, scorer: Optional[RiskScorer] = None):
+        self.scorer = scorer
+        self._scores: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def put(self, rid: str, score: float) -> None:
+        with self._lock:
+            self._scores[rid] = score
+
+    def update(self, scores: Iterable[RiskScore]) -> None:
+        with self._lock:
+            for entry in scores:
+                self._scores[entry.rid] = entry.score
+
+    def discard(self, rid: str) -> None:
+        with self._lock:
+            self._scores.pop(rid, None)
+
+    def score_for(self, req_id: str, default: float = 0.0) -> float:
+        score = self._scores.get(req_id)
+        if score is None and "/" in req_id:
+            score = self._scores.get(req_id.rsplit("/", 1)[0])
+        return default if score is None else score
+
+    def note_incident(self, req_id: str, record: Optional[Requirement]
+                      = None, hosts_routed: int = 0) -> None:
+        """Fold one incident into the index (and the scorer's history).
+
+        Without a scorer (or the record) the index still reacts: the
+        existing score is nudged up by one saturating increment so hot
+        requirements bubble toward the front of every queue.
+        """
+        rid = req_id.rsplit("/", 1)[0] if "/" in req_id else req_id
+        if self.scorer is not None:
+            self.scorer.note_incident(rid)
+            if record is not None:
+                self.put(rid, self.scorer.score(
+                    record, hosts_routed=hosts_routed).score)
+                return
+        with self._lock:
+            current = self._scores.get(rid)
+            if current is not None:
+                bump = WEIGHT_INCIDENTS / INCIDENT_SATURATION
+                self._scores[rid] = min(1.0, current + bump)
+
+    def order(self, req_ids: Iterable[str]) -> Tuple[str, ...]:
+        """*req_ids* sorted highest-risk first (ties stay stable by id,
+        so ordering is deterministic across runs and backends)."""
+        return tuple(sorted(req_ids,
+                            key=lambda rid: (-self.score_for(rid), rid)))
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._scores)

@@ -60,9 +60,15 @@ class IncidentPipeline:
                  breaker_cooldown: int = 2,
                  seed: int = 0,
                  sleeper: Callable[[float], None] = time.sleep,
-                 chaos=None):
+                 chaos=None,
+                 risk=None):
         self.catalog = catalog
         self.metrics = metrics
+        #: Optional :class:`~repro.reqs.risk.RiskIndex`: incidents feed
+        #: the requirement's incident-history component back into it,
+        #: so requirements that keep firing climb every risk-ordered
+        #: queue (reconcile sweeps, verification fan-out, re-arm order).
+        self.risk = risk
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown = breaker_cooldown
@@ -134,6 +140,8 @@ class IncidentPipeline:
             violation_time=detection.event.time,
         )
         self.metrics.counter("soc.incidents").inc()
+        if self.risk is not None:
+            self.risk.note_incident(detection.req_id)
         with self.repairing():
             for finding_id in finding_ids:
                 incident.repairs.append(

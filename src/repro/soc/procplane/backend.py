@@ -28,6 +28,7 @@ are idempotent and the reconcile sweep stays the last rung, so the
 degradation ladder carries over intact.
 """
 
+import json
 import multiprocessing
 import os
 import threading
@@ -45,6 +46,11 @@ from repro.soc.queues import Backpressure, PutResult, QueueClosed
 #: Default merge-ring capacity: detections are far sparser than events,
 #: but verdict dumps at stop scale with monitors, so keep headroom.
 MERGE_CAPACITY = 4096
+
+#: Spare atom slots provisioned in the codec vocabulary for live
+#: re-arming: slots are fixed at ring creation, so formulas added later
+#: must fit in pre-reserved bit words (one extra word by default).
+ATOM_HEADROOM = 64
 
 
 def _start_method() -> str:
@@ -98,6 +104,8 @@ class ProcessBackend:
         #: shard -> {host_id: host_name}
         self._shard_hosts: Dict[int, Dict[int, str]] = {
             index: {} for index in range(service.shards)}
+        #: (host_name, req_id) -> live monitor id (re-arm bookkeeping).
+        self._mon_id: Dict[Tuple[str, str], int] = {}
         for name in self.host_names:
             monitors, bindings = service.plans[name]
             shard = service._placement[name]
@@ -115,7 +123,20 @@ class ProcessBackend:
                 formulas.append(monitor.formula)
                 self._shard_monitors[shard].append(
                     (mon_id, host_id, req_id, text))
-        self.codec = EventCodec.for_formulas(formulas)
+                self._mon_id[(name, req_id)] = mon_id
+        self.codec = EventCodec.for_formulas(formulas, spare=ATOM_HEADROOM)
+
+        # -- live re-arm state (see :meth:`rearm`) ------------------------
+        #: shard -> generation -> (manifest add tuples, removed mon ids),
+        #: folded into ``_shard_monitors`` when the worker echoes.
+        self._pending_rearms: Dict[int, Dict[int,
+                                             Tuple[list, list]]] = {}
+        self._rearm_gen = [0] * service.shards
+        self._rearm_counter = 0
+        #: Guards the manifest arrays against the merge thread's fold;
+        #: innermost lock — never held while taking ``_lock`` or a
+        #: merge-ring lock.
+        self._manifest_lock = threading.Lock()
 
         #: Open kind vocabulary, parent-side only (workers echo ids).
         self._kind_ids: Dict[str, int] = {}
@@ -151,7 +172,9 @@ class ProcessBackend:
         self.merge = MergePlane(
             self.service, self.merge_rings, self.host_names,
             self.kind_names, self.monitor_host, self.monitor_req,
-            self.monitor_bindings).start()
+            self.monitor_bindings)
+        self.merge.on_rearmed = self._fold_rearm
+        self.merge.start()
         for index in range(self.service.shards):
             self._spawn(index)
         self._supervisor = threading.Thread(
@@ -161,6 +184,10 @@ class ProcessBackend:
 
     def _spec(self, index: int) -> WorkerSpec:
         state = self.merge.shards[index]
+        with self._manifest_lock:
+            atoms = list(self.codec.atoms)
+            monitors = list(self._shard_monitors[index])
+            rearm_generation = self._rearm_gen[index]
         return WorkerSpec(
             index=index,
             generation=self.generations[index],
@@ -169,13 +196,15 @@ class ProcessBackend:
             capacity=self.capacity,
             merge_capacity=self.merge_capacity,
             slot=self.codec.slot,
-            atoms=list(self.codec.atoms),
+            atoms=atoms,
             hosts=dict(self._shard_hosts[index]),
-            monitors=list(self._shard_monitors[index]),
+            monitors=monitors,
             max_deliveries=self.max_deliveries,
             strikes=[(h, t, k, n)
                      for (h, t, k), n in sorted(state.strikes.items())],
             chaos_plan_json=self.chaos_plan_json,
+            reserve_atoms=self.codec.capacity,
+            rearm_generation=rearm_generation,
         )
 
     def _spawn(self, index: int) -> None:
@@ -308,6 +337,146 @@ class ProcessBackend:
         if not ok:
             raise TimeoutError("drain: flush token never echoed")
         self.merge.update_depth_gauges(self.ingress)
+
+    # -- live re-arming -----------------------------------------------------
+
+    def _fold_rearm(self, index: int, generation: int) -> None:
+        """Fold an echoed delta into the restart manifest.
+
+        Called from the merge pump the moment a worker acknowledges a
+        generation: the worker committed its head *after* applying the
+        delta, so from here on any replacement for this shard must be
+        built with the delta included (and told to skip the replayed
+        REARM records via ``rearm_generation``).
+        """
+        with self._manifest_lock:
+            pending = self._pending_rearms.get(index, {}).pop(
+                generation, None)
+            if generation > self._rearm_gen[index]:
+                self._rearm_gen[index] = generation
+            if not pending:
+                return
+            added, removed = pending
+            if removed:
+                gone = set(removed)
+                self._shard_monitors[index] = [
+                    entry for entry in self._shard_monitors[index]
+                    if entry[0] not in gone]
+            self._shard_monitors[index].extend(added)
+
+    def rearm(self, adds=(), removes=(), rebinds=(),
+              timeout: float = 30.0) -> int:
+        """Ship a manifest delta over the event plane — no restarts.
+
+        * *adds*: ``(host_name, req_id, monitor, bindings)`` — arms a
+          fresh monitor; an already-armed ``req_id`` on that host is
+          replaced (its obligation state is dropped — that is what
+          "the formula changed" means).
+        * *removes*: ``(host_name, req_id)`` — disarms.
+        * *rebinds*: ``(host_name, req_id, bindings)`` — enforcement
+          bindings live parent-side (the merge plane resolves them per
+          detection), so a bindings-only change never crosses the
+          plane at all; the monitor keeps its obligation state.
+
+        The delta rides the ingress rings as chunked REARM records, so
+        application is totally ordered against in-flight events: no
+        event is dropped or double-processed across the re-arm.  New
+        formulas may introduce new atoms; they are appended to the
+        codec vocabulary within the pre-reserved capacity (the append
+        is broadcast to *every* shard so projections stay decodable
+        fleet-wide) — past capacity, ``ValueError``: tear down and
+        re-arm cold.  Like :meth:`drain`, this shares the producer
+        side of the rings: callers must not race concurrent event
+        emission from other threads.  Blocks until every affected
+        worker acknowledges; returns the generation.
+        """
+        shard_ops: Dict[int, Dict[int, Tuple[list, list]]] = {}
+
+        def ops_for(shard: int, host_id: int) -> Tuple[list, list]:
+            return shard_ops.setdefault(shard, {}).setdefault(
+                host_id, ([], []))
+
+        with self._manifest_lock:
+            self._rearm_counter += 1
+            generation = self._rearm_counter
+            new_atoms = set()
+            for _host, _req, monitor, _bindings in adds:
+                new_atoms |= monitor.formula.atoms()
+            appended = self.codec.extend(sorted(new_atoms))
+            if appended:
+                with self._kind_lock:
+                    self._kind_bits.clear()
+            pend: Dict[int, Tuple[list, list]] = {}
+            for host_name, req_id in removes:
+                mon_id = self._mon_id.pop((host_name, req_id), None)
+                if mon_id is None:
+                    continue
+                shard = self.service._placement[host_name]
+                ops_for(shard, self._host_id[host_name])[1].append(mon_id)
+                pend.setdefault(shard, ([], []))[1].append(mon_id)
+            for host_name, req_id, monitor, bindings in adds:
+                shard = self.service._placement[host_name]
+                host_id = self._host_id[host_name]
+                old_id = self._mon_id.pop((host_name, req_id), None)
+                if old_id is not None:
+                    ops_for(shard, host_id)[1].append(old_id)
+                    pend.setdefault(shard, ([], []))[1].append(old_id)
+                mon_id = len(self.monitor_req)
+                self.monitor_host.append(host_name)
+                self.monitor_req.append(req_id)
+                self.monitor_bindings.append(list(bindings))
+                text = formula_text(monitor.formula)
+                self.monitor_text.append(text)
+                self._mon_id[(host_name, req_id)] = mon_id
+                ops_for(shard, host_id)[0].append((mon_id, req_id, text))
+                pend.setdefault(shard, ([], []))[0].append(
+                    (mon_id, host_id, req_id, text))
+            for host_name, req_id, bindings in rebinds:
+                mon_id = self._mon_id.get((host_name, req_id))
+                if mon_id is not None:
+                    self.monitor_bindings[mon_id] = list(bindings)
+            # A vocabulary append must reach shards with no monitor
+            # changes too: their workers still decode fleet-wide
+            # projections.
+            if appended:
+                for shard in range(self.service.shards):
+                    shard_ops.setdefault(shard, {})
+            for shard in shard_ops:
+                self._pending_rearms.setdefault(shard, {})[generation] = \
+                    pend.get(shard, ([], []))
+
+        affected = sorted(shard_ops)
+        if not affected:
+            return generation
+        capacity = MergeCodec.rearm_payload_capacity(self.codec.slot)
+        deadline = time.monotonic() + timeout
+        for shard in affected:
+            hosts_payload = [
+                [host_id, host_adds, host_removes]
+                for host_id, (host_adds, host_removes)
+                in sorted(shard_ops[shard].items())]
+            payload = json.dumps(
+                {"atoms": appended, "hosts": hosts_payload},
+                separators=(",", ":")).encode("utf-8")
+            chunks = [payload[start:start + capacity]
+                      for start in range(0, len(payload), capacity)]
+            total = len(chunks)
+            ring = self.ingress[shard]
+            for seq, chunk in enumerate(chunks):
+                if not ring.push_blocking(
+                        lambda buf, off, s=seq, c=chunk:
+                        MergeCodec.pack_rearm_chunk(buf, off, generation,
+                                                    s, total, c),
+                        deadline=deadline):
+                    raise TimeoutError("rearm: ingress ring stayed full")
+        ok = self.merge.wait(
+            lambda: all(self.merge.shards[s].rearmed_gen >= generation
+                        for s in affected),
+            timeout=max(0.0, deadline - time.monotonic()),
+            tick=self.ensure_alive)
+        if not ok:
+            raise TimeoutError("rearm: delta never acknowledged")
+        return generation
 
     def stop(self, timeout: float = 30.0) -> None:
         """Finalize workers, collect verdicts, tear the plane down."""

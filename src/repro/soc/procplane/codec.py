@@ -37,6 +37,7 @@ class Tag(enum.IntEnum):
     EVENT = 1
     FLUSH = 2          # barrier probe: echo the token back when reached
     STOP = 3           # finalize: emit VERDICT records, then BYE, then exit
+    REARM = 4          # manifest-delta chunk (live re-arm, JSON payload)
 
     # merge plane (worker -> parent)
     DETECTION = 16     # one monitor went FALSE on one event
@@ -46,6 +47,7 @@ class Tag(enum.IntEnum):
     VERDICT = 20       # final monitor state (on STOP)
     FLUSHED = 21       # barrier echo
     BYE = 22           # clean worker exit
+    REARMED = 23       # re-arm generation applied (echo)
 
 
 # Ingress EVENT: tag, host_id, kind_id, time  (+ atom-bit words appended).
@@ -62,6 +64,9 @@ _STRIKE = struct.Struct("<BIIIQB")
 _VERDICT = struct.Struct("<BIB")
 # STOP / BYE: tag, code.
 _CODE = struct.Struct("<BB")
+# REARM chunk header: tag, generation, seq, total, payload length
+# (payload bytes follow inside the same slot).
+_REARM = struct.Struct("<BIIIH")
 
 #: Dead-letter reason codes (mirror the thread backend's reason strings).
 REASONS = (
@@ -100,13 +105,17 @@ class EventCodec:
     order).
     """
 
-    def __init__(self, atoms: Sequence[str]):
+    def __init__(self, atoms: Sequence[str], reserve: int = 0):
         self.atoms: List[str] = list(atoms)
         if len(set(self.atoms)) != len(self.atoms):
             raise ValueError("duplicate atoms in vocabulary")
         self.bit: Dict[str, int] = {atom: index
                                     for index, atom in enumerate(self.atoms)}
-        self.words = max(1, (len(self.atoms) + 63) // 64)
+        # ``reserve`` sizes the bit words for a vocabulary that may
+        # *grow* (live re-arming adds formulas with new atoms): slots
+        # are fixed at ring creation, so spare bits must be provisioned
+        # up front.  :meth:`extend` appends within this capacity.
+        self.words = max(1, (max(len(self.atoms), reserve) + 63) // 64)
         self.slot = slot_size(self.words)
         self._word_struct = struct.Struct("<" + "Q" * self.words)
         # One struct for the whole EVENT record: a single pack/unpack
@@ -119,11 +128,44 @@ class EventCodec:
         self._step_memo: Dict[Tuple[int, ...], FrozenSet[str]] = {}
 
     @classmethod
-    def for_formulas(cls, formulas: Iterable) -> "EventCodec":
+    def for_formulas(cls, formulas: Iterable, spare: int = 0) -> "EventCodec":
+        """Codec over the formulas' atom union, with *spare* extra
+        atom slots of growth headroom for live re-arming."""
         atoms = set()
         for formula in formulas:
             atoms |= formula.atoms()
-        return cls(sorted(atoms))
+        return cls(sorted(atoms), reserve=len(atoms) + spare)
+
+    @property
+    def capacity(self) -> int:
+        """How many atoms the provisioned bit words can carry."""
+        return self.words * 64
+
+    def extend(self, new_atoms: Sequence[str]) -> List[str]:
+        """Append atoms to the vocabulary, preserving existing bits.
+
+        Appending never moves an assigned bit, so records packed
+        against the old vocabulary decode identically — worker-side
+        ``_step_memo`` entries stay valid (old bit patterns cannot have
+        new-atom bits set).  The parent-side ``_bits_memo`` *is*
+        cleared: a step containing a newly-vocabularized atom must
+        re-project to pick up its bit.  Raises ``ValueError`` past the
+        provisioned capacity (callers fall back to a full restart).
+        Returns the atoms actually appended.
+        """
+        appended = [atom for atom in dict.fromkeys(new_atoms)
+                    if atom not in self.bit]
+        if not appended:
+            return []
+        if len(self.atoms) + len(appended) > self.capacity:
+            raise ValueError(
+                f"atom vocabulary overflow: {len(self.atoms)} armed + "
+                f"{len(appended)} new > capacity {self.capacity}")
+        for atom in appended:
+            self.bit[atom] = len(self.atoms)
+            self.atoms.append(atom)
+        self._bits_memo.clear()
+        return appended
 
     # -- step <-> bits ------------------------------------------------------
 
@@ -183,6 +225,26 @@ class MergeCodec:
     @staticmethod
     def pack_stop(buffer, offset: int) -> None:
         _CODE.pack_into(buffer, offset, Tag.STOP, 0)
+
+    @staticmethod
+    def rearm_payload_capacity(slot: int) -> int:
+        """Payload bytes one REARM chunk slot can carry."""
+        return slot - _REARM.size
+
+    @staticmethod
+    def pack_rearm_chunk(buffer, offset: int, generation: int, seq: int,
+                         total: int, payload: bytes) -> None:
+        _REARM.pack_into(buffer, offset, Tag.REARM, generation, seq,
+                         total, len(payload))
+        start = offset + _REARM.size
+        buffer[start:start + len(payload)] = payload
+
+    @staticmethod
+    def unpack_rearm_chunk(buffer, offset: int):
+        _, generation, seq, total, length = _REARM.unpack_from(buffer,
+                                                               offset)
+        start = offset + _REARM.size
+        return generation, seq, total, bytes(buffer[start:start + length])
 
     # -- merge records ------------------------------------------------------
 
@@ -246,6 +308,14 @@ class MergeCodec:
     @staticmethod
     def pack_bye(buffer, offset: int, code: int = 0) -> None:
         _CODE.pack_into(buffer, offset, Tag.BYE, code)
+
+    @staticmethod
+    def pack_rearmed(buffer, offset: int, generation: int) -> None:
+        _FLUSH.pack_into(buffer, offset, Tag.REARMED, generation)
+
+    @staticmethod
+    def unpack_rearmed(buffer, offset: int) -> int:
+        return _FLUSH.unpack_from(buffer, offset)[1]
 
 
 def tag_of(buffer, offset: int) -> int:

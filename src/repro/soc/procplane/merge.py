@@ -35,6 +35,7 @@ class ShardMergeState:
     def __init__(self, index: int):
         self.index = index
         self.flushed_token = 0
+        self.rearmed_gen = 0
         self.bye = False
         #: (host_id, time, kind_id) -> strikes, for restart manifests.
         self.strikes: Dict[Tuple[int, int, int], int] = {}
@@ -59,6 +60,11 @@ class MergePlane:
         self.shards = [ShardMergeState(index)
                        for index in range(len(rings))]
         self.locks = [threading.Lock() for _ in rings]
+        #: Optional ``(shard_index, generation)`` callback invoked when
+        #: a worker echoes a re-arm generation — the backend folds the
+        #: delta into its restart manifest here (see
+        #: :meth:`ProcessBackend.rearm`).
+        self.on_rearmed: Optional[Callable[[int, int], None]] = None
         self._stop = threading.Event()
         self._progress = threading.Condition()
         self._thread: Optional[threading.Thread] = None
@@ -143,6 +149,13 @@ class MergePlane:
                     token = MergeCodec.unpack_flushed(ring.buf, offset)
                     if token > state.flushed_token:
                         state.flushed_token = token
+                elif tag == Tag.REARMED:
+                    generation = MergeCodec.unpack_rearmed(ring.buf,
+                                                           offset)
+                    if generation > state.rearmed_gen:
+                        state.rearmed_gen = generation
+                        if self.on_rearmed is not None:
+                            self.on_rearmed(index, generation)
                 elif tag == Tag.BYE:
                     state.bye = True
                 ring.advance()

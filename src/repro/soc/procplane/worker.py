@@ -32,6 +32,7 @@ process-backend run draws byte-identical worker faults to a thread
 run of the same plan.
 """
 
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -83,6 +84,14 @@ class WorkerSpec:
     chaos_plan_json: Optional[str] = None
     #: Seen-sets are only paid for when ingress can duplicate (chaos).
     track_seen: bool = False
+    #: Vocabulary capacity the slots were sized for (>= len(atoms));
+    #: the worker's codec must compute the same word count as the
+    #: parent's or slot layouts disagree.
+    reserve_atoms: int = 0
+    #: Highest re-arm generation already folded into this manifest.
+    #: A replayed REARM record at or below it is skipped: the
+    #: replacement worker's banks already contain that delta.
+    rearm_generation: int = 0
 
 
 class HostBank:
@@ -131,6 +140,27 @@ class HostBank:
             self._always.add(mon_id)
         self._route_memo.clear()
 
+    def patch(self, add: List[Tuple[int, str, CompiledMonitor]],
+              remove: List[int]) -> None:
+        """Apply one re-arm delta in stream order (between two events).
+
+        Removed monitors leave every index; added monitors enter fresh.
+        Untouched monitors keep their obligation state — that is the
+        whole point of live re-arming.
+        """
+        for mon_id in remove:
+            if self.monitors.pop(mon_id, None) is None:
+                continue
+            self.order.pop(mon_id, None)
+            self._always.discard(mon_id)
+            for watchers in self._watch.values():
+                watchers.discard(mon_id)
+        self._route_memo.clear()
+        for mon_id, req_id, monitor in add:
+            self.monitors[mon_id] = (req_id, monitor)
+            self.order[mon_id] = req_id
+            self._classify(mon_id)
+
     def route(self, bits: Tuple[int, ...],
               step: FrozenSet[str]) -> Tuple[int, ...]:
         relevant = self._route_memo.get(bits)
@@ -165,7 +195,7 @@ def worker_main(spec: WorkerSpec) -> None:
     merge = SpscRing(spec.merge_capacity, spec.slot, name=spec.merge_name)
     ingress.sync_consumer()
     merge.sync_producer()
-    codec = EventCodec(spec.atoms)
+    codec = EventCodec(spec.atoms, reserve=spec.reserve_atoms)
     banks = build_banks(spec)
     strikes: Dict[Tuple[int, int, int], int] = {
         (host_id, time_, kind_id): count
@@ -238,6 +268,15 @@ def worker_main(spec: WorkerSpec) -> None:
     batch_cap = spec.batch
     sleep = time.sleep
     EVENT = int(Tag.EVENT)
+    REARM = int(Tag.REARM)
+
+    # Live re-arm accumulation: chunks of one generation arrive
+    # contiguously (single producer); the head is NOT committed while a
+    # generation is partially accumulated, so a crash mid-delta replays
+    # the whole delta to the replacement instead of a torn tail.
+    rearm_chunks: Dict[int, List[Optional[bytes]]] = {}
+    rearm_pending = False
+    rearm_done = spec.rearm_generation
 
     # Idle strategy for oversubscribed cores: an empty poll sleeps
     # *immediately* with exponential backoff instead of busy-spinning —
@@ -318,7 +357,8 @@ def worker_main(spec: WorkerSpec) -> None:
                         processed += 1
                         advance()
                     flush_progress()
-                    commit()
+                    if not rearm_pending:
+                        commit()
                     os._exit(EXIT_CRASH)
                 step = step_memo.get(bits)
                 if step is None:
@@ -361,12 +401,53 @@ def worker_main(spec: WorkerSpec) -> None:
                         bank.seen = {t for t in bank.seen if t >= horizon}
                 processed += 1
                 advance()
+            elif tag == REARM:
+                generation, seq, total, payload = \
+                    MergeCodec.unpack_rearm_chunk(ibuf, offset)
+                advance()
+                if generation <= rearm_done:
+                    # Replay of a delta already folded into this
+                    # worker's manifest (crash after echo): skip.
+                    continue
+                chunks = rearm_chunks.setdefault(generation,
+                                                 [None] * max(1, total))
+                chunks[seq] = payload
+                rearm_pending = any(part is None for part in chunks)
+                if rearm_pending:
+                    continue
+                delta = json.loads(b"".join(chunks).decode("utf-8"))
+                del rearm_chunks[generation]
+                if delta.get("atoms"):
+                    # Append-only: assigned bits never move, so
+                    # in-flight events decode unchanged.
+                    codec.extend(delta["atoms"])
+                for host_id, adds, removes in delta.get("hosts", ()):
+                    bank = banks.get(host_id)
+                    if bank is None:
+                        continue
+                    bank.patch(
+                        [(mon_id, req_id,
+                          CompiledMonitor(parse_formula_text(text)))
+                         for mon_id, req_id, text in adds],
+                        removes)
+                rearm_done = generation
+                flush_progress()
+                # Echo before committing the head: if we die between
+                # the two, the parent has folded the delta into the
+                # replacement's manifest AND the ring replays the
+                # REARM records, which the replacement skips by
+                # generation — the delta is never lost.
+                merge.push_blocking(
+                    lambda buf, off, g=generation:
+                    MergeCodec.pack_rearmed(buf, off, g))
+                commit()
             elif tag == Tag.FLUSH:
                 token = MergeCodec.unpack_flushed(ibuf, offset)
                 flush_progress()
                 # The barrier echo implies everything before it is
                 # terminally handled — publish the head first.
-                commit()
+                if not rearm_pending:
+                    commit()
                 merge.push_blocking(
                     lambda buf, off: MergeCodec.pack_flushed(buf, off,
                                                              token))
@@ -380,8 +461,11 @@ def worker_main(spec: WorkerSpec) -> None:
         flush_progress()
         # One shared-memory head publish per batch, not per record.
         # Deliberate exits (crash fault, STOP) commit before leaving, so
-        # at-least-once redelivery only coarsens for hard kills.
-        commit()
+        # at-least-once redelivery only coarsens for hard kills.  While
+        # a re-arm delta is partially accumulated the head is held back,
+        # so a crash replays the delta whole.
+        if not rearm_pending:
+            commit()
         if stopping:
             break
 

@@ -1,0 +1,377 @@
+"""Live delta re-arming: stream deltas onto a running SOC, no restarts.
+
+The cold path re-arms a fleet by tearing the whole service down and
+rebuilding every monitor bank from scratch (``arm_soc``) — O(fleet)
+work and a protection gap for every requirement, even the unchanged
+ones.  This module applies a :class:`~repro.reqs.stream.StreamDelta`
+to a *running* :class:`~repro.soc.service.SocService` instead:
+
+* only the **affected** hosts' banks are touched, and only the
+  affected requirements within them — sessions for unchanged
+  requirements keep their obligation state;
+* on the **thread backend** the patch travels the shard queue as a
+  :class:`~repro.soc.sessions.SessionPatch`, so its application is
+  totally ordered against the host's in-flight events (events before
+  the patch see the old bank, events after the new one — nothing is
+  dropped or double-processed);
+* on the **process backend** the patch ships as a manifest-delta
+  REARM message over the existing binary event plane
+  (:meth:`~repro.soc.procplane.backend.ProcessBackend.rearm`) with the
+  same in-stream ordering guarantee;
+* whether a changed requirement keeps its obligation state is decided
+  by hash-consed formula identity: ``new.formula is old.formula``
+  (interning makes it one pointer compare) means only the bindings
+  moved — a rebind, state kept; a different formula re-arms fresh.
+
+The planning half (:func:`monitor_entries`, :func:`plan_for_records`)
+mirrors :meth:`~repro.core.orchestrator.VeriDevOpsOrchestrator.
+protection_plan` rule-for-rule, so a delta-re-armed service and a cold
+service armed from the same final IR set hold identical monitor sets —
+the equivalence the E18 property test pins down.
+"""
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ltl.compile import CompiledMonitor
+from repro.ltl.parser import parse_ltl
+from repro.reqs.ir import Requirement
+from repro.reqs.stream import StreamDelta
+from repro.soc.queues import QueueClosed
+from repro.soc.sessions import SessionPatch
+
+#: Front-end names whose host-bound records get drift detectors (the
+#: registry names that lower to ``RequirementSource.STANDARD``).
+STANDARD_FRONTENDS = ("rqcode", "standards")
+
+
+def drift_atom(catalog, finding_ids: Sequence[str]) -> str:
+    """The drift-event kind a finding set's monitor should watch.
+
+    Package findings care about ``drift.package``, configuration
+    findings about ``drift.config``, and so on; mixed or unknown
+    shapes fall back to the coarse ``drift`` prefix.  (The orchestrator
+    delegates here — one rule, two consumers.)
+    """
+    from repro.rqcode.ubuntu import (
+        UbuntuConfigPattern,
+        UbuntuPackagePattern,
+        UbuntuServicePattern,
+    )
+    from repro.rqcode.win10 import AuditPolicyRequirement
+    from repro.rqcode.win10_accounts import AccountPolicyRequirement
+    from repro.rqcode.win10_registry import RegistryValueRequirement
+
+    kinds = set()
+    for finding_id in finding_ids:
+        cls = catalog.get(finding_id).requirement_class
+        if issubclass(cls, UbuntuPackagePattern):
+            kinds.add("drift.package")
+        elif issubclass(cls, UbuntuConfigPattern):
+            kinds.add("drift.config")
+        elif issubclass(cls, UbuntuServicePattern):
+            kinds.add("drift.service")
+        elif issubclass(cls, AuditPolicyRequirement):
+            kinds.add("drift.audit")
+        elif issubclass(cls, RegistryValueRequirement):
+            kinds.add("drift.registry")
+        elif issubclass(cls, AccountPolicyRequirement):
+            kinds.add("drift.account")
+    if len(kinds) == 1:
+        return kinds.pop()
+    return "drift"
+
+
+def monitor_entries(record: Requirement, host, catalog
+                    ) -> List[Tuple[str, CompiledMonitor, Tuple[str, ...]]]:
+    """The ``(req_id, monitor, bindings)`` entries arming *record* on
+    *host* — the per-record mirror of ``protection_plan``:
+
+    * a standard-sourced record bound to catalogue findings arms a
+      drift detector (``G !<kind>``) over the findings applicable to
+      the host's platform;
+    * a record carrying an event-compatible LTL formalization arms
+      that formula under the record's own id (on every host, exactly
+      like pipeline-produced monitors).
+    """
+    from repro.core.orchestrator import _event_compatible
+
+    entries: List[Tuple[str, CompiledMonitor, Tuple[str, ...]]] = []
+    if record.source in STANDARD_FRONTENDS and record.bindings:
+        applicable = [
+            fid for fid in record.bindings
+            if fid in catalog
+            and catalog.get(fid).platform == host.os_family
+        ]
+        if applicable:
+            atom = drift_atom(catalog, applicable)
+            entries.append((f"{record.rid}/drift",
+                            CompiledMonitor(parse_ltl(f"G !{atom}")),
+                            tuple(applicable)))
+    formalization = record.formalization
+    if formalization is not None and formalization.ltl:
+        monitor = CompiledMonitor(parse_ltl(formalization.ltl))
+        if _event_compatible(monitor):
+            entries.append((record.rid, monitor, ()))
+    return entries
+
+
+def plan_for_records(records: Sequence[Requirement], host, catalog):
+    """A cold ``(monitors, bindings)`` protection plan for *records* —
+    what ``arm_soc`` would arm if the stream's current view were
+    ingested from scratch (the equivalence reference)."""
+    monitors: Dict[str, CompiledMonitor] = {}
+    bindings: Dict[str, List[str]] = {}
+    for record in records:
+        for req_id, monitor, finding_ids in monitor_entries(
+                record, host, catalog):
+            monitors[req_id] = monitor
+            if finding_ids:
+                bindings[req_id] = list(finding_ids)
+    return monitors, bindings
+
+
+@dataclass
+class RearmReport:
+    """What one delta application actually did."""
+
+    generation: int
+    backend: str
+    hosts_patched: int = 0
+    monitors_added: int = 0
+    monitors_removed: int = 0
+    monitors_rebound: int = 0
+    #: Monitors left entirely alone (obligation state preserved).
+    monitors_kept: int = 0
+    tokens: List[int] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, int]:
+        return {"generation": self.generation,
+                "hosts_patched": self.hosts_patched,
+                "added": self.monitors_added,
+                "removed": self.monitors_removed,
+                "rebound": self.monitors_rebound,
+                "kept": self.monitors_kept}
+
+
+class Rearmer:
+    """Applies stream deltas to a running SOC, backend-appropriately.
+
+    One Rearmer per service; patch tokens are unique across its
+    lifetime (idempotent redelivery suppression on the thread
+    backend).  When a :class:`~repro.reqs.risk.RiskIndex` is given,
+    scores are refreshed from the delta (via the index's scorer) and
+    higher-risk records are patched first.
+    """
+
+    def __init__(self, soc, risk=None, scorer=None):
+        self.soc = soc
+        self.risk = risk
+        self.scorer = scorer
+        self._tokens = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- planning ------------------------------------------------------------
+
+    def _entries_by_host(self, record: Requirement
+                         ) -> Dict[str, Dict[str, Tuple[CompiledMonitor,
+                                                        Tuple[str, ...]]]]:
+        per_host: Dict[str, Dict[str, Tuple[CompiledMonitor,
+                                            Tuple[str, ...]]]] = {}
+        for name in sorted(self.soc.hosts):
+            host = self.soc.hosts[name]
+            entries = monitor_entries(record, host, self.soc.catalog)
+            if entries:
+                per_host[name] = {req_id: (monitor, finding_ids)
+                                  for req_id, monitor, finding_ids
+                                  in entries}
+        return per_host
+
+    def _ordered_records(self, delta: StreamDelta):
+        """Delta records as (old, new) pairs, highest risk first."""
+        pairs = ([(None, record) for record in delta.added]
+                 + [(old, new) for old, new in delta.changed]
+                 + [(record, None) for record in delta.removed])
+        if self.risk is not None:
+            pairs.sort(key=lambda pair: (
+                -self.risk.score_for((pair[1] or pair[0]).rid),
+                (pair[1] or pair[0]).rid))
+        return pairs
+
+    def _refresh_risk(self, delta: StreamDelta) -> None:
+        if self.risk is None:
+            return
+        scorer = self.scorer or self.risk.scorer
+        for record in delta.removed:
+            self.risk.discard(record.rid)
+        live = [new for _, new in delta.changed]
+        live.extend(delta.added)
+        for record in live:
+            if scorer is not None:
+                routed = len(self._entries_by_host(record))
+                self.risk.put(record.rid,
+                              scorer.score(record,
+                                           hosts_routed=routed).score)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, delta: StreamDelta, wait: bool = True,
+              timeout: float = 30.0) -> RearmReport:
+        """Patch the running service to match *delta*.
+
+        Computes per-host patches (add / remove / rebind, with
+        hash-consed formula identity deciding "kept state" vs "fresh"),
+        dispatches them through the backend's ordered channel, updates
+        ``soc.plans`` so later restarts and manifests agree, and — with
+        *wait* — blocks until every patch has been applied (thread
+        backend: drain + token verification with bounded re-sends for
+        drop-oldest displacement; process backend: REARMED echo).
+
+        The caller commits the delta into its :class:`ReqStream`
+        afterwards; on failure the stream bookkeeping is untouched and
+        the apply can be retried.
+        """
+        report = RearmReport(generation=delta.generation,
+                             backend=self.soc.backend)
+        if delta.empty:
+            return report
+        self._refresh_risk(delta)
+
+        # host -> (add entries, remove req_ids, rebind entries)
+        patches: Dict[str, Tuple[list, list, list]] = {}
+
+        def patch_for(host_name: str) -> Tuple[list, list, list]:
+            return patches.setdefault(host_name, ([], [], []))
+
+        with self._lock:
+            for old, new in self._ordered_records(delta):
+                old_hosts = (self._entries_by_host(old)
+                             if old is not None else {})
+                new_hosts = (self._entries_by_host(new)
+                             if new is not None else {})
+                for host_name in sorted(set(old_hosts) | set(new_hosts)):
+                    olds = old_hosts.get(host_name, {})
+                    news = new_hosts.get(host_name, {})
+                    adds, removes, rebinds = patch_for(host_name)
+                    for req_id in olds:
+                        if req_id not in news:
+                            removes.append(req_id)
+                            report.monitors_removed += 1
+                    for req_id, (monitor, finding_ids) in news.items():
+                        previous = olds.get(req_id)
+                        if previous is None:
+                            if old is None and req_id in \
+                                    self.soc.plans[host_name][0]:
+                                # An "added" record colliding with an
+                                # armed req_id replaces it fresh.
+                                report.monitors_removed += 1
+                            adds.append((req_id, monitor, finding_ids))
+                            report.monitors_added += 1
+                            continue
+                        old_monitor, old_bindings = previous
+                        if monitor.formula is old_monitor.formula:
+                            # Same interned formula: the monitor (and
+                            # its obligation state) stays armed.
+                            if tuple(finding_ids) != tuple(old_bindings):
+                                rebinds.append((req_id, finding_ids))
+                                report.monitors_rebound += 1
+                            else:
+                                report.monitors_kept += 1
+                        else:
+                            adds.append((req_id, monitor, finding_ids))
+                            report.monitors_added += 1
+            report.hosts_patched = len(patches)
+            self._update_plans(patches)
+            if self.soc._proc is not None:
+                self._apply_process(patches, timeout)
+            else:
+                self._apply_thread(patches, report, wait, timeout)
+        self.soc.metrics.counter("soc.rearm.generations").inc()
+        return report
+
+    def _update_plans(self, patches) -> None:
+        """Keep ``soc.plans`` authoritative for restarts/manifests."""
+        for host_name, (adds, removes, rebinds) in patches.items():
+            monitors, bindings = self.soc.plans[host_name]
+            for req_id in removes:
+                monitors.pop(req_id, None)
+                bindings.pop(req_id, None)
+            for req_id, monitor, finding_ids in adds:
+                monitors[req_id] = monitor
+                if finding_ids:
+                    bindings[req_id] = list(finding_ids)
+                else:
+                    bindings.pop(req_id, None)
+            for req_id, finding_ids in rebinds:
+                bindings[req_id] = list(finding_ids)
+
+    # -- thread backend ------------------------------------------------------
+
+    def _session_patch(self, host_name: str,
+                       ops: Tuple[list, list, list]) -> SessionPatch:
+        adds, removes, rebinds = ops
+        return SessionPatch(
+            host_name=host_name,
+            token=next(self._tokens),
+            add=tuple((req_id, monitor, tuple(finding_ids))
+                      for req_id, monitor, finding_ids in adds),
+            remove=tuple(removes),
+            rebind=tuple((req_id, tuple(finding_ids))
+                         for req_id, finding_ids in rebinds),
+        )
+
+    def _apply_thread(self, patches, report: RearmReport,
+                      wait: bool, timeout: float) -> None:
+        sent = self.soc.metrics.counter("soc.rearm.patches_sent")
+        outstanding: Dict[str, SessionPatch] = {
+            host_name: self._session_patch(host_name, ops)
+            for host_name, ops in sorted(patches.items())}
+        report.tokens = [patch.token for patch in outstanding.values()]
+        # Bounded re-sends: under drop-oldest backpressure a queued
+        # patch can be displaced by later events; verification below
+        # detects the loss and re-enqueues (idempotent per token, and
+        # a re-sent patch is still ordered after any events that
+        # displaced it).
+        for _round in range(8):
+            for host_name, patch in sorted(outstanding.items()):
+                queue = self.soc.queues[self.soc._placement[host_name]]
+                try:
+                    queue.put((host_name, patch))
+                except QueueClosed:
+                    raise RuntimeError(
+                        f"rearm: shard queue for {host_name!r} closed "
+                        f"(service stopping?)")
+                sent.inc()
+            if not wait:
+                return
+            self.soc.drain()
+            outstanding = {
+                host_name: patch
+                for host_name, patch in outstanding.items()
+                if patch.token not in
+                self.soc.sessions[host_name]._patched}
+            if not outstanding:
+                return
+        raise RuntimeError(
+            f"rearm: patches for {sorted(outstanding)} kept being "
+            f"displaced; reduce ingress pressure or use BLOCK policy")
+
+    # -- process backend -----------------------------------------------------
+
+    def _apply_process(self, patches, timeout: float) -> None:
+        adds = []
+        removes = []
+        rebinds = []
+        for host_name, (host_adds, host_removes,
+                        host_rebinds) in sorted(patches.items()):
+            for req_id in host_removes:
+                removes.append((host_name, req_id))
+            for req_id, monitor, finding_ids in host_adds:
+                adds.append((host_name, req_id, monitor,
+                             list(finding_ids)))
+            for req_id, finding_ids in host_rebinds:
+                rebinds.append((host_name, req_id, list(finding_ids)))
+        self.soc._proc.rearm(adds=adds, removes=removes,
+                             rebinds=rebinds, timeout=timeout)

@@ -93,8 +93,14 @@ class SocService:
                  max_deliveries: int = 3,
                  dead_letter_capacity: int = 64,
                  supervisor_interval: float = 0.02,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 risk=None):
         self.backend = resolve_backend(backend)
+        #: Optional :class:`~repro.reqs.risk.RiskIndex` — orders the
+        #: reconcile sweep (highest-risk requirements repaired first
+        #: within the bounded budget) and accumulates incident history
+        #: through the pipeline.
+        self.risk = risk
         self.hosts = {host.name: host for host in hosts}
         missing = set(self.hosts) - set(plans)
         if missing:
@@ -114,7 +120,8 @@ class SocService:
             hang_timeout = chaos.plan.hang_timeout
         pipeline_kwargs = dict(
             retry=retry, breaker_threshold=breaker_threshold,
-            breaker_cooldown=breaker_cooldown, seed=seed, chaos=chaos)
+            breaker_cooldown=breaker_cooldown, seed=seed, chaos=chaos,
+            risk=risk)
         if sleeper is not None:
             pipeline_kwargs["sleeper"] = sleeper
         self.pipeline = IncidentPipeline(catalog, self.metrics,
@@ -403,9 +410,21 @@ class SocService:
             for name in sorted(self.hosts):
                 host = self.hosts[name]
                 session = self.sessions[name]
-                finding_ids = sorted({finding_id
-                                      for ids in session.bindings.values()
-                                      for finding_id in ids})
+                if self.risk is not None:
+                    # Highest-risk requirements sweep first: the sweep
+                    # budget (max_sweeps, open breakers) is spent on
+                    # what matters most.  Deterministic: ties break on
+                    # req_id, then finding id.
+                    ordered_reqs = self.risk.order(session.bindings)
+                else:
+                    ordered_reqs = sorted(session.bindings)
+                finding_ids = []
+                seen_findings = set()
+                for req_id in ordered_reqs:
+                    for finding_id in sorted(session.bindings[req_id]):
+                        if finding_id not in seen_findings:
+                            seen_findings.add(finding_id)
+                            finding_ids.append(finding_id)
                 for finding_id in finding_ids:
                     try:
                         entry = self.catalog.get(finding_id)

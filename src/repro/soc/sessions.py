@@ -24,7 +24,7 @@ one worker) and need no locks.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.environment.events import Event
 from repro.environment.host import SimulatedHost
@@ -39,6 +39,32 @@ class Detection:
 
     req_id: str
     event: Event
+
+
+@dataclass(frozen=True)
+class SessionPatch:
+    """One host's monitor-bank delta, applied *in stream order*.
+
+    A patch travels the same shard queue as the host's events, so its
+    application is totally ordered against them: every event enqueued
+    before the patch is observed by the old bank, every event after by
+    the patched bank — re-arming never drops or double-processes an
+    in-flight event.  ``add`` maps req_id -> (monitor, finding ids);
+    an add for an already-armed req_id *replaces* that monitor (a
+    changed formula re-arms fresh), while untouched req_ids keep their
+    obligation state.  Patches are idempotent under redelivery: the
+    ``token`` identifies the re-arm generation, and a session skips
+    tokens it has already applied (a crashed worker's requeued batch
+    may replay one).
+    """
+
+    host_name: str
+    token: int
+    add: Tuple[Tuple[str, LtlMonitor, Tuple[str, ...]], ...] = ()
+    remove: Tuple[str, ...] = ()
+    #: req_id -> new bindings for monitors kept armed (formula
+    #: unchanged, but the enforcement bindings moved).
+    rebind: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
 
 class MonitorSession:
@@ -68,6 +94,8 @@ class MonitorSession:
         self._watch: Dict[str, Set[str]] = {}
         #: req_ids that must see every event (empty-step-sensitive)
         self._always: Set[str] = set()
+        #: Re-arm tokens already applied (idempotent patch redelivery).
+        self._patched: Set[int] = set()
         for req_id in self.monitors:
             self._classify(req_id)
 
@@ -84,6 +112,36 @@ class MonitorSession:
                 self._watch.setdefault(atom, set()).add(req_id)
         else:
             self._always.add(req_id)
+
+    # -- live re-arming ----------------------------------------------------------
+
+    def apply_patch(self, patch: SessionPatch) -> bool:
+        """Patch the armed set in place (idempotent per token).
+
+        Runs on the owning shard worker's thread, between two events of
+        the stream — the session stays single-threaded and lock-free.
+        Monitors not named by the patch keep their obligation state
+        (and their place in the routing index); replaced and added
+        monitors enter fresh.  Returns False for an already-applied
+        token (a redelivered patch) so callers can count suppression.
+        """
+        if patch.token in self._patched:
+            return False
+        for req_id in patch.remove:
+            if self.monitors.pop(req_id, None) is not None:
+                self._always.discard(req_id)
+                for watchers in self._watch.values():
+                    watchers.discard(req_id)
+            self.bindings.pop(req_id, None)
+        for req_id, monitor, finding_ids in patch.add:
+            self.monitors[req_id] = monitor
+            self.bindings[req_id] = list(finding_ids)
+            self._classify(req_id)
+        for req_id, finding_ids in patch.rebind:
+            if req_id in self.monitors:
+                self.bindings[req_id] = list(finding_ids)
+        self._patched.add(patch.token)
+        return True
 
     def _relevant(self, propositions: Iterable[str]) -> Set[str]:
         relevant = set(self._always)

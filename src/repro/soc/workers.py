@@ -38,7 +38,7 @@ from repro.soc.incidents import IncidentPipeline
 from repro.soc.metrics import MetricsRegistry
 from repro.soc.quarantine import DeadLetterQueue, Quarantine
 from repro.soc.queues import ShardQueue
-from repro.soc.sessions import MonitorSession
+from repro.soc.sessions import MonitorSession, SessionPatch
 
 
 class ShardWorker:
@@ -218,6 +218,19 @@ class ShardWorker:
                         deferred.append((host_name, event))
                         continue
                     session = self.sessions[host_name]
+                    if type(event) is SessionPatch:
+                        # Live re-arm: the patch rode the queue behind
+                        # the events it must not affect, so applying it
+                        # here is exact — no chaos draw, no strikes, no
+                        # seen-set (tokens make redelivery idempotent).
+                        if session.apply_patch(event):
+                            self.metrics.counter(
+                                "soc.rearm.patches_applied").inc()
+                        else:
+                            self.metrics.counter(
+                                "soc.rearm.patches_suppressed").inc()
+                        credited += 1
+                        continue
                     if session.already_observed(event):
                         # At-least-once ingress (chaos duplicates) made
                         # delivery redundant; the session's seen-set

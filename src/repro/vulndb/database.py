@@ -30,6 +30,12 @@ class VulnerabilityDatabase:
         self._records: Dict[str, VulnRecord] = {}
         #: product name -> records with an affected range on it.
         self._by_product: Dict[str, List[VulnRecord]] = {}
+        #: product name -> sorted result list, built lazily by
+        #: :meth:`for_product` and invalidated by any mutation that
+        #: touches the product.  A streaming feed interleaves adds with
+        #: inventory scans, so the cache must never outlive a write —
+        #: the regression tests pin exactly that.
+        self._sorted_cache: Dict[str, List[VulnRecord]] = {}
         for record in records:
             self.add(record)
 
@@ -39,18 +45,51 @@ class VulnerabilityDatabase:
     def __contains__(self, cve_id: str) -> bool:
         return cve_id in self._records
 
-    def add(self, record: VulnRecord) -> None:
-        if record.cve_id in self._records:
-            raise ValueError(f"duplicate CVE id: {record.cve_id}")
-        if record.cwe_id not in CWE_CATALOG:
-            raise ValueError(f"{record.cve_id}: unknown CWE {record.cwe_id}")
-        self._records[record.cve_id] = record
+    def _index(self, record: VulnRecord) -> None:
         indexed = set()
         for affected in record.affected:
             if affected.product not in indexed:
                 indexed.add(affected.product)
                 self._by_product.setdefault(affected.product,
                                             []).append(record)
+                self._sorted_cache.pop(affected.product, None)
+
+    def add(self, record: VulnRecord) -> None:
+        if record.cve_id in self._records:
+            raise ValueError(f"duplicate CVE id: {record.cve_id}")
+        if record.cwe_id not in CWE_CATALOG:
+            raise ValueError(f"{record.cve_id}: unknown CWE {record.cwe_id}")
+        self._records[record.cve_id] = record
+        self._index(record)
+
+    def upsert(self, record: VulnRecord) -> bool:
+        """Add *record*, replacing any existing revision of the CVE.
+
+        The streaming entry point: advisory feeds re-announce a CVE
+        whenever its affected ranges or score are revised.  Replacement
+        is index-exact — the old revision is unlinked from every
+        product list it was on (a product the new revision no longer
+        mentions must stop reporting it), and the affected products'
+        cached scan results are dropped on both sides of the swap.
+        Returns True when an existing record was replaced.
+        """
+        previous = self._records.get(record.cve_id)
+        if previous is None:
+            self.add(record)
+            return False
+        if record.cwe_id not in CWE_CATALOG:
+            raise ValueError(f"{record.cve_id}: unknown CWE {record.cwe_id}")
+        for affected in {item.product for item in previous.affected}:
+            bucket = self._by_product.get(affected, [])
+            self._by_product[affected] = [
+                entry for entry in bucket
+                if entry.cve_id != record.cve_id]
+            if not self._by_product[affected]:
+                del self._by_product[affected]
+            self._sorted_cache.pop(affected, None)
+        self._records[record.cve_id] = record
+        self._index(record)
+        return True
 
     def get(self, cve_id: str) -> VulnRecord:
         return self._records[cve_id]
@@ -60,9 +99,16 @@ class VulnerabilityDatabase:
 
     def for_product(self, product: str) -> List[VulnRecord]:
         """Records carrying an affected range on *product*, sorted by
-        CVE id — the sub-linear entry point for inventory scans."""
-        return sorted(self._by_product.get(product, ()),
-                      key=lambda r: r.cve_id)
+        CVE id — the sub-linear entry point for inventory scans.
+
+        Results are cached per product until the next mutation touching
+        the product; callers get a private copy."""
+        cached = self._sorted_cache.get(product)
+        if cached is None:
+            cached = sorted(self._by_product.get(product, ()),
+                            key=lambda r: r.cve_id)
+            self._sorted_cache[product] = cached
+        return list(cached)
 
     def query(self, product: Optional[str] = None,
               version: Optional[str] = None,

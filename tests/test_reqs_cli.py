@@ -1,7 +1,9 @@
 """The ``repro reqs`` subcommand and the shared ``--json`` contract."""
 
+import contextlib
 import io
 import json
+import sys
 
 import pytest
 
@@ -80,6 +82,65 @@ class TestReqsLower:
     def test_unknown_frontend_aborts(self):
         with pytest.raises(SystemExit, match="unknown front-end"):
             run_cli("reqs", "lower", "cwe")
+
+
+class TestReqsLowerStream:
+    FEED = [
+        '"The system shall log every authentication failure."',
+        '"While in maintenance mode, the system shall disable '
+        'remote logins."',
+    ]
+
+    def run_stream(self, lines, *extra):
+        out = io.StringIO()
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        with contextlib.redirect_stderr(io.StringIO()) as err:
+            old = sys.stdin
+            sys.stdin = stdin
+            try:
+                code = main(["reqs", "lower", "--stream", *extra, "resa"],
+                            out=out)
+            finally:
+                sys.stdin = old
+        return code, out.getvalue(), err.getvalue()
+
+    def test_emits_ir_json_lines_with_fingerprints(self):
+        code, output, status = self.run_stream(self.FEED)
+        assert code == 0
+        payloads = [json.loads(line) for line in output.splitlines()]
+        assert len(payloads) == 2
+        for payload in payloads:
+            assert payload["source"] == "resa"
+            assert len(payload["fingerprint"]) == 32
+            assert validate_record(
+                {k: v for k, v in payload.items()
+                 if k != "fingerprint"}) == []
+        assert "2 requirements lowered from 'resa', 0 rejected" in status
+
+    def test_bad_json_line_rejected_individually(self):
+        code, output, status = self.run_stream(
+            [self.FEED[0], "this is not json", self.FEED[1]])
+        assert code == 0
+        payloads = [json.loads(line) for line in output.splitlines()]
+        rejected = [p for p in payloads if "rejected" in p]
+        lowered = [p for p in payloads if "rid" in p]
+        assert len(rejected) == 1
+        assert rejected[0]["rejected"]["line"] == 1
+        assert "bad JSON" in rejected[0]["rejected"]["error"]
+        assert len(lowered) == 2
+        assert "1 rejected" in status
+
+    def test_batch_flag_controls_lowering_granularity(self):
+        code, output, _ = self.run_stream(self.FEED * 2, "--batch", "1")
+        assert code == 0
+        lowered = [json.loads(line) for line in output.splitlines()]
+        assert [p["rid"] for p in lowered] \
+            == ["RESA-001", "RESA-002", "RESA-003", "RESA-004"]
+
+    def test_unknown_frontend_aborts_before_reading_stdin(self):
+        out = io.StringIO()
+        with pytest.raises(SystemExit, match="unknown front-end"):
+            main(["reqs", "lower", "--stream", "cwe"], out=out)
 
 
 class TestReqsTrace:

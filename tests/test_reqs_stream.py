@@ -1,0 +1,249 @@
+"""Streaming ingestion: incremental lowering, the diff engine, and the
+shared backpressure budget."""
+
+import threading
+import time
+
+import pytest
+
+from repro.reqs import default_registry
+from repro.reqs.ir import Provenance, Requirement
+from repro.reqs.registry import RejectedNative
+from repro.reqs.stream import (
+    BudgetExhausted,
+    IngestBudget,
+    ReqStream,
+    StreamDelta,
+)
+
+
+def rec(rid, text="the system shall do the thing", severity="medium",
+        bindings=()):
+    return Requirement(
+        rid=rid, title=rid, text=text, source="rqcode",
+        severity=severity, bindings=tuple(bindings),
+        provenance=(Provenance("test", rid, "test record"),))
+
+
+# -- IngestBudget -------------------------------------------------------------
+
+
+class TestIngestBudget:
+    def test_acquire_release_roundtrip(self):
+        budget = IngestBudget(limit=3)
+        budget.acquire(2)
+        assert budget.in_flight == 2
+        budget.release(2)
+        assert budget.in_flight == 0
+        assert budget.acquired_total == 2
+
+    def test_acquire_blocks_until_release(self):
+        budget = IngestBudget(limit=1)
+        budget.acquire()
+        acquired = threading.Event()
+
+        def consumer():
+            budget.acquire(timeout=5.0)
+            acquired.set()
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        try:
+            assert not acquired.wait(0.05)
+            budget.release()
+            assert acquired.wait(5.0)
+        finally:
+            thread.join()
+        assert budget.blocked_total == 1
+
+    def test_timeout_raises_budget_exhausted(self):
+        budget = IngestBudget(limit=1)
+        budget.acquire()
+        with pytest.raises(BudgetExhausted):
+            budget.acquire(timeout=0.01)
+
+    def test_release_never_overfills(self):
+        budget = IngestBudget(limit=2)
+        budget.release(10)
+        assert budget.in_flight == 0
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            IngestBudget(limit=0)
+
+
+# -- ReqStream diff engine ----------------------------------------------------
+
+
+class TestReqStream:
+    def test_first_batch_is_all_adds(self):
+        stream = ReqStream()
+        delta = stream.diff([rec("R-1"), rec("R-2")])
+        assert delta.summary() == {"generation": 1, "added": 2,
+                                   "changed": 0, "removed": 0,
+                                   "unchanged": 0, "rejected": 0}
+
+    def test_diff_does_not_mutate_until_commit(self):
+        stream = ReqStream()
+        delta = stream.diff([rec("R-1")])
+        assert "R-1" not in stream
+        assert stream.generation == 0
+        stream.commit(delta)
+        assert "R-1" in stream
+        assert stream.generation == 1
+
+    def test_resent_identical_record_is_unchanged(self):
+        stream = ReqStream()
+        stream.commit(stream.diff([rec("R-1")]))
+        delta = stream.diff([rec("R-1")])
+        assert delta.empty
+        assert delta.unchanged == 1
+
+    def test_content_change_pairs_old_and_new(self):
+        stream = ReqStream()
+        old = rec("R-1", text="old text")
+        stream.commit(stream.diff([old]))
+        new = rec("R-1", text="new text")
+        delta = stream.diff([new])
+        assert delta.changed == ((old, new),)
+
+    def test_removal_is_idempotent_and_upsert_wins(self):
+        stream = ReqStream()
+        stream.commit(stream.diff([rec("R-1")]))
+        # Unknown rid: ignored.  Rid both upserted and removed in one
+        # batch: the upsert wins.
+        delta = stream.diff([rec("R-1", text="v2")],
+                            remove_rids=["R-1", "R-ghost"])
+        assert not delta.removed
+        assert len(delta.changed) == 1
+
+    def test_last_mention_wins_within_batch(self):
+        stream = ReqStream()
+        delta = stream.diff([rec("R-1", text="first"),
+                             rec("R-1", text="second")])
+        assert len(delta.added) == 1
+        assert delta.added[0].text == "second"
+
+    def test_commit_folds_removals(self):
+        stream = ReqStream()
+        stream.commit(stream.diff([rec("R-1"), rec("R-2")]))
+        stream.commit(stream.diff([], remove_rids=["R-1"]))
+        assert sorted(r.rid for r in stream.armed()) == ["R-2"]
+
+    def test_rejections_ride_the_delta(self):
+        stream = ReqStream()
+        marker = RejectedNative(frontend="test", index=3,
+                                native="bad", error="boom")
+        delta = stream.diff([rec("R-1"), marker])
+        assert delta.rejected == (marker,)
+        assert "rejected: boom" in marker.render()
+
+    def test_generation_is_monotonic(self):
+        stream = ReqStream()
+        first = stream.diff([rec("R-1")])
+        stream.commit(first)
+        second = stream.diff([rec("R-2")])
+        assert second.generation == 2
+        stream.commit(second)
+        # Re-committing an old delta never rolls the generation back.
+        stream.commit(first)
+        assert stream.generation == 2
+
+
+# -- incremental lowering (lower_iter) ----------------------------------------
+
+
+class TestLowerIter:
+    def test_yields_incrementally_per_batch(self):
+        registry = default_registry()
+        seen_at = []
+
+        def feed():
+            for index in range(4):
+                seen_at.append(("produced", index))
+                yield f"The system shall log event number {index} fully."
+
+        for item in registry.lower_iter("resa", feed(), batch_size=2):
+            seen_at.append(("lowered", item.rid))
+        produced = [entry for entry in seen_at if entry[0] == "produced"]
+        first_lowered = seen_at.index(("lowered", "RESA-001"))
+        # The first batch lowers before the feed finishes producing.
+        assert seen_at.index(produced[-1]) > first_lowered
+
+    def test_matches_batch_path_output(self):
+        registry = default_registry()
+        natives = list(registry.get("resa").discover())
+        batch = registry.lower("resa", natives)
+        streamed = [item for item in
+                    registry.lower_iter("resa", natives, batch_size=3)]
+        assert [r.rid for r in streamed] == [r.rid for r in batch]
+        assert all(isinstance(r, Requirement) for r in streamed)
+
+    def test_malformed_native_rejected_without_poisoning_batch(self):
+        registry = default_registry()
+        # The nalabs adapter requires RequirementText/report objects; a
+        # plain integer blows up inside the adapter.  Its batch-mates
+        # must still lower.
+        natives = list(registry.get("nalabs").discover())
+        poisoned = natives[:2] + [12345] + natives[2:4]
+        items = list(registry.lower_iter("nalabs", poisoned, batch_size=5))
+        rejected = [i for i in items if isinstance(i, RejectedNative)]
+        lowered = [i for i in items if isinstance(i, Requirement)]
+        assert len(rejected) == 1
+        assert rejected[0].index == 2
+        assert rejected[0].frontend == "nalabs"
+        assert len(lowered) == 4
+
+    def test_duplicate_rid_across_batches_is_rejected(self):
+        registry = default_registry()
+        natives = list(registry.get("nalabs").discover())[:2]
+        # Same natives again in a later batch -> same deterministic
+        # rids -> streaming duplicate rejection (the batch path would
+        # raise for the whole sequence).
+        items = list(registry.lower_iter("nalabs", natives + natives,
+                                         batch_size=2))
+        lowered = [i for i in items if isinstance(i, Requirement)]
+        rejected = [i for i in items if isinstance(i, RejectedNative)]
+        assert len(lowered) == 2
+        assert len(rejected) == 2
+        assert all("duplicate requirement id" in r.error for r in rejected)
+
+    def test_budget_credits_one_per_record(self):
+        registry = default_registry()
+        budget = IngestBudget(limit=64)
+        natives = list(registry.get("resa").discover())[:5]
+        lowered = [item for item in
+                   registry.lower_iter("resa", natives, budget=budget)
+                   if isinstance(item, Requirement)]
+        assert budget.in_flight == len(lowered)
+        assert budget.acquired_total == len(lowered)
+
+    def test_budget_backpressure_blocks_the_feed(self):
+        registry = default_registry()
+        budget = IngestBudget(limit=2)
+        natives = ["The system shall emit heartbeat one.",
+                   "The system shall emit heartbeat two.",
+                   "The system shall emit heartbeat three."]
+        results = []
+        done = threading.Event()
+
+        def producer():
+            for item in registry.lower_iter("resa", natives, batch_size=1,
+                                            budget=budget):
+                results.append(item)
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        try:
+            deadline = time.time() + 5.0
+            while len(results) < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert len(results) == 2      # third record is stuck
+            assert not done.wait(0.05)
+            budget.release()              # consumer catches up
+            assert done.wait(5.0)
+        finally:
+            budget.release(3)
+            thread.join()
+        assert len(results) == 3

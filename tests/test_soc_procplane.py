@@ -138,6 +138,50 @@ class TestMergeCodec:
     def test_reason_codes_are_total(self):
         assert len(set(REASONS)) == len(REASONS)
 
+    def test_rearm_chunk_round_trip(self):
+        payload = b'{"adds": [["web-00", "R-1/drift"]]}'
+        MergeCodec.pack_rearm_chunk(self.buffer, 0, 3, 1, 4, payload)
+        assert self.buffer[0] == Tag.REARM
+        assert MergeCodec.unpack_rearm_chunk(self.buffer, 0) \
+            == (3, 1, 4, payload)
+
+    def test_rearm_payload_capacity_fills_the_slot(self):
+        slot = slot_size(2)
+        capacity = MergeCodec.rearm_payload_capacity(slot)
+        assert 0 < capacity < slot
+        payload = b"x" * capacity
+        buffer = bytearray(slot)
+        MergeCodec.pack_rearm_chunk(buffer, 0, 1, 0, 1, payload)
+        assert MergeCodec.unpack_rearm_chunk(buffer, 0)[3] == payload
+
+    def test_rearmed_round_trip(self):
+        MergeCodec.pack_rearmed(self.buffer, 0, 42)
+        assert self.buffer[0] == Tag.REARMED
+        assert MergeCodec.unpack_rearmed(self.buffer, 0) == 42
+
+
+class TestVocabularyGrowth:
+    def test_reserve_provisions_spare_bit_capacity(self):
+        codec = EventCodec(["a", "b"], reserve=70)
+        assert codec.capacity >= 70
+        assert codec.words == (70 + 63) // 64
+
+    def test_extend_preserves_existing_bits(self):
+        codec = EventCodec(["a", "b"], reserve=8)
+        before = codec.project(frozenset(["a", "b"]))
+        appended = codec.extend(["c", "a"])     # "a" already known
+        assert appended == ["c"]
+        assert codec.project(frozenset(["a", "b"])) == before
+        bits = codec.project(frozenset(["a", "c"]))
+        assert codec.unproject(bits) == {"a", "c"}
+
+    def test_extend_past_capacity_raises(self):
+        # Capacity is whole bit words: 64 atoms fill one word exactly.
+        codec = EventCodec([f"atom.{index}" for index in range(64)])
+        assert codec.capacity == 64
+        with pytest.raises(ValueError):
+            codec.extend(["atom.overflow"])
+
 
 # -- rings --------------------------------------------------------------------
 

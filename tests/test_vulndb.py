@@ -103,6 +103,75 @@ class TestDatabase:
         assert "auditing" in categories
 
 
+class TestIndexFreshness:
+    """Regressions for the product index under interleaved reads and
+    writes — the streaming-feed access pattern."""
+
+    @staticmethod
+    def record(cve_id, products, cvss=5.0):
+        return VulnRecord(cve_id, "synthetic entry", "CWE-79", cvss,
+                          tuple(AffectedProduct("vendor", product)
+                                for product in products))
+
+    def test_add_after_query_is_visible(self):
+        database = VulnerabilityDatabase(
+            [self.record("CVE-2020-0001", ["nginx"])])
+        # Prime the cached sorted scan, then mutate.
+        assert len(database.for_product("nginx")) == 1
+        database.add(self.record("CVE-2019-0001", ["nginx"]))
+        hits = database.for_product("nginx")
+        assert [r.cve_id for r in hits] \
+            == ["CVE-2019-0001", "CVE-2020-0001"]
+        assert len(database.query(product="nginx")) == 2
+
+    def test_upsert_new_record_behaves_like_add(self):
+        database = VulnerabilityDatabase()
+        assert database.upsert(
+            self.record("CVE-2020-0001", ["nginx"])) is False
+        assert "CVE-2020-0001" in database
+
+    def test_upsert_replaces_revision_everywhere(self):
+        database = VulnerabilityDatabase(
+            [self.record("CVE-2020-0001", ["nginx", "httpd"])])
+        database.for_product("nginx")       # prime caches
+        database.for_product("httpd")
+        # Revision drops httpd, picks up bind, bumps the score.
+        replaced = database.upsert(
+            self.record("CVE-2020-0001", ["nginx", "bind"], cvss=9.8))
+        assert replaced is True
+        assert database.get("CVE-2020-0001").cvss == 9.8
+        # The dropped product must stop reporting the stale revision...
+        assert database.for_product("httpd") == []
+        assert database.query(product="httpd") == []
+        # ...the kept and gained products see exactly the new one.
+        for product in ("nginx", "bind"):
+            hits = database.for_product(product)
+            assert [r.cve_id for r in hits] == ["CVE-2020-0001"]
+            assert hits[0].cvss == 9.8
+
+    def test_upsert_never_duplicates_index_entries(self):
+        database = VulnerabilityDatabase()
+        for revision in range(3):
+            database.upsert(self.record("CVE-2020-0001", ["nginx"],
+                                        cvss=float(revision + 1)))
+        assert len(database) == 1
+        assert len(database.for_product("nginx")) == 1
+
+    def test_for_product_returns_private_copies(self):
+        database = VulnerabilityDatabase(
+            [self.record("CVE-2020-0001", ["nginx"])])
+        hits = database.for_product("nginx")
+        hits.clear()
+        assert len(database.for_product("nginx")) == 1
+
+    def test_upsert_unknown_cwe_rejected(self):
+        database = VulnerabilityDatabase(
+            [self.record("CVE-2020-0001", ["nginx"])])
+        with pytest.raises(ValueError):
+            database.upsert(VulnRecord("CVE-2020-0001", "x",
+                                       "CWE-99999", 5.0))
+
+
 class TestRequirementGenerator:
     @pytest.fixture
     def inventory(self):
