@@ -36,26 +36,23 @@ gated on ``os.cpu_count()``.
 import os
 import time
 
-from repro.core.fleet import Fleet, FleetProtection
-from repro.environment import hardened_ubuntu_host
-from repro.rqcode import default_catalog
+from repro.chaos import check_invariants
+from repro.core.fleet import FleetProtection
+from repro.scenarios import generated_scenarios, get_scenario
 
 from bench_utils import write_bench_json
 from conftest import print_table
 
-HOSTS = 32
+#: The pinned scenario behind the headline sweep: its drift rotation
+#: (four *distinct* targets so a host never re-drifts the same package
+#: across the four rounds — a repeat would race its first repair
+#: against its second install) and its 32-node hardened fleet are the
+#: pre-refactor fixtures, byte for byte, so BENCH_soc.json figures
+#: stay comparable.
+SCENARIO = get_scenario("seed-legacy")
+HOSTS = SCENARIO.hosts
 ROUNDS = 4
 NOISE_PER_DRIFT = 80
-#: Four *distinct* drift targets so a host never re-drifts the same
-#: package across the four rounds — a repeat would race its first
-#: repair against its second install and make "effective" repair
-#: counts timing-dependent.
-DRIFTS = (
-    ("install", "nis"),             # prohibited package appears
-    ("install", "rsh-server"),
-    ("install", "telnetd"),
-    ("remove", "aide"),             # required package disappears
-)
 # Per drift: NOISE heartbeats + package event + drift event.
 SCENARIO_EVENTS = HOSTS * ROUNDS * (NOISE_PER_DRIFT + 2)
 SHARD_SWEEP = (1, 2, 4, 8)
@@ -65,25 +62,19 @@ CPUS = os.cpu_count() or 1
 
 
 def build_fleet():
-    fleet = Fleet("e12", default_catalog())
-    for index in range(HOSTS):
-        fleet.add(hardened_ubuntu_host(f"node-{index:02d}"))
-    return fleet
+    return SCENARIO.build_fleet(name="e12")
 
 
-def inject_storm(fleet):
-    """Noise-wrapped drift on every host, ROUNDS times over."""
+def inject_storm(fleet, scenario=SCENARIO, rounds=ROUNDS,
+                 noise_per_drift=NOISE_PER_DRIFT):
+    """Noise-wrapped drift on every host, *rounds* times over, the
+    rotation drawn from the scenario's drift schedule."""
     drifts = 0
-    for round_index in range(ROUNDS):
+    for round_index in range(rounds):
         for host_index, host in enumerate(fleet.hosts()):
-            for _ in range(NOISE_PER_DRIFT):
+            for _ in range(noise_per_drift):
                 host.events.emit("app.heartbeat")
-            action, package = DRIFTS[(round_index + host_index)
-                                     % len(DRIFTS)]
-            if action == "install":
-                host.drift_install_package(package)
-            else:
-                host.drift_remove_package(package)
+            scenario.apply_drift(host, round_index, host_index)
             drifts += 1
     return drifts
 
@@ -212,3 +203,61 @@ def test_bench_e12_soc_vs_serial_throughput():
         assert process[8]["events_per_sec"] >= 2.5 * serial_tp, (
             "process backend at 8 shards under 2.5x serial despite "
             ">=8 cpus")
+
+
+# -- generated scenarios ----------------------------------------------------
+
+GEN_ROUNDS = 2
+GEN_NOISE = 8
+GEN_SHARDS = 4
+
+
+def run_generated(scenario):
+    """One thread-backend storm over a generated zoned estate, the SOC
+    sharded by the topology's conduit-aware placement hints."""
+    fleet = scenario.build_fleet()
+    service = fleet.arm_soc(shards=GEN_SHARDS, queue_capacity=4096,
+                            placement=scenario.shard_hints(GEN_SHARDS))
+    try:
+        started = time.perf_counter()
+        drifts = inject_storm(fleet, scenario=scenario,
+                              rounds=GEN_ROUNDS,
+                              noise_per_drift=GEN_NOISE)
+        service.drain()
+        elapsed = time.perf_counter() - started
+    finally:
+        service.stop()
+    check_invariants(service).raise_if_violated()
+    assert service.effective_repairs() >= drifts
+    assert fleet.audit().worst_ratio == 1.0
+    events = len(fleet.hosts()) * GEN_ROUNDS * (GEN_NOISE + 2)
+    return {
+        "hosts": len(fleet.hosts()),
+        "zones": scenario.zones,
+        "seconds": round(elapsed, 6),
+        "events_per_sec": round(events / elapsed, 1),
+        "drifts": drifts,
+    }
+
+
+def test_bench_e12_generated_scenarios():
+    """The same storm loop over every generated scenario: correctness
+    (full repair coverage, conservation invariants) must hold on any
+    seeded estate, not just the pinned fixture fleet."""
+    results = {}
+    rows = []
+    for scenario in generated_scenarios():
+        results[scenario.name] = run_generated(scenario)
+        rows.append(dict({"scenario": scenario.name},
+                         **results[scenario.name]))
+    print_table(
+        f"E12 generated scenarios (thread backend, {GEN_SHARDS} shards, "
+        f"conduit-aware placement)", rows)
+    path = write_bench_json("soc_scenarios", {
+        "rounds": GEN_ROUNDS,
+        "noise_per_drift": GEN_NOISE,
+        "shards": GEN_SHARDS,
+        "scenarios": results,
+    })
+    print(f"wrote {path}")
+    assert len(results) >= 3

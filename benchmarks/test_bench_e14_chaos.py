@@ -23,12 +23,17 @@ run must retain at least half the fault-free figure.
 
 import time
 
-from repro.chaos import FaultPlan, run_chaos_scenario
+from repro.chaos import FaultPlan, run_campaign, run_chaos_scenario
+from repro.scenarios import generated_scenarios, get_scenario
 from repro.soc import RetryPolicy
 
 from bench_utils import write_bench_json
 from conftest import print_table
 
+#: The pinned scenario: its seed (14) is the fault-plan seed the bench
+#: always used, so decision digests — and therefore every replayed
+#: number — match the pre-refactor figures.
+SCENARIO = get_scenario("seed-legacy")
 HOSTS = 10
 ROUNDS = 2
 NOISE_PER_DRIFT = 8
@@ -47,23 +52,10 @@ def plan_at(rate: float) -> FaultPlan:
     rather than echoing the configured sleep times back — a nonzero
     stall would just add ``rate x stall`` to the figure by definition.
     Every stall site still *fires* (the decision, metrics, and code
-    path are exercised); it just costs a scheduler yield.
+    path are exercised); it just costs a scheduler yield.  The
+    scenario owns this shape now (:meth:`Scenario.fault_plan`).
     """
-    return FaultPlan(
-        seed=14,
-        worker_crash=rate,
-        worker_hang=rate,
-        session_error=rate,
-        repair_raise=rate,
-        repair_noop=rate,
-        event_duplicate=rate,
-        event_reorder=rate,
-        event_delay=rate,
-        config_slow=rate,
-        hang_seconds=0.0,
-        delay_seconds=0.0,
-        config_delay_seconds=0.0,
-    )
+    return SCENARIO.fault_plan(rate)
 
 
 #: Immediate retries, same zero-stall reasoning as the plan knobs: the
@@ -155,3 +147,52 @@ def test_bench_e14_chaos_degradation():
     assert retention >= 0.5, (
         f"throughput retention {retention:.0%} at 20% faults "
         f"(limit 50%)")
+
+
+def test_bench_e14_generated_campaigns():
+    """Every generated scenario's compiled campaign survives the full
+    invariant harness: stage-scoped fault mixes, zone-targeted drifts,
+    per-stage detection/repair attribution — and coverage still ends
+    at 100% after reconcile."""
+    results = {}
+    rows = []
+    for scenario in generated_scenarios():
+        campaign = scenario.compile_campaign()
+        started = time.perf_counter()
+        result = run_campaign(campaign,
+                              fleet=scenario.build_fleet(),
+                              shards=SHARDS,
+                              drift=scenario.apply_drift,
+                              placement=scenario.shard_hints(SHARDS),
+                              retry=RETRY)
+        seconds = time.perf_counter() - started
+        result.invariants.raise_if_violated()
+        result.stage_invariants.raise_if_violated()
+        assert result.fully_repaired, (
+            f"{scenario.name}: coverage lost "
+            f"(worst posture {result.posture_ratio:.0%})")
+        results[scenario.name] = {
+            "hosts": len(result.fleet.hosts()),
+            "stages": result.stage_summary(),
+            "rounds": result.rounds_run,
+            "drifts": result.drifts,
+            "injections": result.injections,
+            "reconcile_repairs": result.reconcile_repairs,
+            "decisions_digest": result.digest,
+            "seconds": round(seconds, 6),
+        }
+        rows.append({
+            "scenario": scenario.name,
+            "rounds": result.rounds_run,
+            "drifts": result.drifts,
+            "injections": result.injections,
+            "coverage": f"{result.posture_ratio:.0%}",
+            "digest": result.digest[:12],
+        })
+    print_table("E14 generated campaigns (invariant-checked)", rows)
+    path = write_bench_json("chaos_campaigns", {
+        "shards": SHARDS,
+        "campaigns": results,
+    })
+    print(f"wrote {path}")
+    assert len(results) >= 3

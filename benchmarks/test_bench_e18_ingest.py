@@ -43,8 +43,8 @@ import queue as queue_mod
 import threading
 import time
 
-from repro.environment import hardened_ubuntu_host
 from repro.reqs import default_registry
+from repro.scenarios import get_scenario
 from repro.reqs.ir import Formalization, Provenance, Requirement
 from repro.reqs.registry import RejectedNative
 from repro.reqs.stream import IngestBudget, ReqStream
@@ -58,6 +58,9 @@ from conftest import print_table
 CATALOG = default_catalog()
 UBUNTU_FINDINGS = [f for f in CATALOG.finding_ids()
                    if CATALOG.get(f).platform == "ubuntu"]
+#: Fleets come from the pinned scenario (same ``node-NN``/``edge-NN``
+#: hardened-Ubuntu farms the bench used to build inline).
+SCENARIO = get_scenario("seed-legacy")
 
 HOSTS = 32
 SHARDS = 4
@@ -105,7 +108,7 @@ def changed_record():
 
 
 def build_hosts(count=HOSTS):
-    return [hardened_ubuntu_host(f"node-{i:02d}") for i in range(count)]
+    return SCENARIO.build_hosts(count)
 
 
 def plans_for(records, hosts):
@@ -275,8 +278,7 @@ def drive_feed(registry, stream, rearmer, budget):
 
 def test_bench_e18_live_ingest_under_backpressure():
     registry = default_registry()
-    hosts = [hardened_ubuntu_host(f"edge-{i:02d}")
-             for i in range(FEED_HOSTS)]
+    hosts = SCENARIO.build_hosts(FEED_HOSTS, prefix="edge")
     service = SocService(hosts, CATALOG, plans_for([], hosts),
                          shards=2, seed=3).start()
     stream = ReqStream()

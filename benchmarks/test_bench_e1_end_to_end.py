@@ -10,30 +10,28 @@ plus the gate table of the pipeline run.
 
 from repro.core import VeriDevOpsOrchestrator
 from repro.environment import default_ubuntu_host, default_windows_host
-from repro.vulndb import SoftwareInventory, bundled_database
+from repro.scenarios import generated_scenarios, get_scenario
+from repro.vulndb import bundled_database
 
 from conftest import print_table
 
-NL_REQUIREMENTS = [
-    "The authentication service shall lock the account.",
-    "When 3 consecutive failures occur, the session manager shall "
-    "alert the operator within 5 seconds.",
-    "The audit subsystem shall not transmit passwords.",
-]
+#: The pinned scenario carries E1's exact NL statements and reference
+#: inventory, so the legacy traceability/histogram figures reproduce.
+SCENARIO = get_scenario("seed-legacy")
+NL_REQUIREMENTS = list(SCENARIO.nl_requirements)
 
 
-def build_and_run(platform: str):
+def build_and_run(platform: str, scenario=SCENARIO, hosts=None):
     orchestrator = VeriDevOpsOrchestrator()
-    orchestrator.ingest_natural_language(NL_REQUIREMENTS)
+    orchestrator.ingest_natural_language(list(scenario.nl_requirements))
     orchestrator.ingest_standards(platform)
-    inventory = SoftwareInventory.of(f"{platform}-prod", platform, {
-        "openssh-server": "7.6", "bash": "4.3", "openssl": "1.0.1f",
-    })
+    inventory = scenario.inventory_for(f"{platform}-prod", platform)
     orchestrator.ingest_vulnerabilities(bundled_database(), inventory)
-    host = (default_ubuntu_host() if platform == "ubuntu"
-            else default_windows_host())
-    run = orchestrator.run_prevention([host])
-    return orchestrator, host, run
+    if hosts is None:
+        hosts = [default_ubuntu_host() if platform == "ubuntu"
+                 else default_windows_host()]
+    run = orchestrator.run_prevention(hosts)
+    return orchestrator, hosts[0], run
 
 
 def test_bench_e1_end_to_end(benchmark):
@@ -66,3 +64,34 @@ def test_bench_e1_windows_scenario(benchmark):
     ]
     assert len(standards) == 12
     print_table("E1 windows standards slice", standards)
+
+
+def test_bench_e1_generated_scenarios():
+    """The same end-to-end flow against every generated scenario: its
+    NL feed, its inventory, and hosts drawn from its zoned estate
+    (outermost and deepest zone) instead of the fixture profiles."""
+    rows = []
+    for scenario in generated_scenarios():
+        fleet_hosts = scenario.build_fleet().hosts()
+        sample = [fleet_hosts[0], fleet_hosts[-1]]
+        orchestrator = VeriDevOpsOrchestrator()
+        orchestrator.ingest_natural_language(
+            list(scenario.nl_requirements))
+        for platform in sorted({h.os_family for h in sample}):
+            orchestrator.ingest_standards(platform)
+        inventory = scenario.inventory_for(
+            sample[0].name, sample[0].os_family)
+        orchestrator.ingest_vulnerabilities(bundled_database(),
+                                            inventory)
+        run = orchestrator.run_prevention(sample)
+        assert run.passed, (scenario.name, run.gate_rows())
+        histogram = orchestrator.repository.status_histogram()
+        assert histogram["elicited"] == 0, scenario.name
+        rows.append({
+            "scenario": scenario.name,
+            "hosts": ", ".join(h.name for h in sample),
+            "requirements": len(orchestrator.repository),
+            "monitored": histogram["monitored"],
+        })
+    print_table("E1 generated scenarios", rows)
+    assert len(rows) >= 3

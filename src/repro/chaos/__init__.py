@@ -3,10 +3,15 @@
 Seeded, replayable fault injection at every SOC seam (workers, repairs,
 ingress, config reads), plus the invariant checker and scenario harness
 that turn chaos runs into conservation-law tests.  See
-:mod:`repro.chaos.plan` for how determinism is achieved.
+:mod:`repro.chaos.plan` for how determinism is achieved.  Multi-stage
+attack *campaigns* — stage-scoped fault plans with CAPEC annotations
+and target hosts — compile onto the same machinery
+(:class:`Campaign` / :class:`CampaignController` / :func:`run_campaign`)
+and replay byte-identically from their serialized form.
 """
 
 from repro.chaos.controller import (
+    CampaignController,
     ChaosController,
     InjectedRepairError,
     InjectedSessionError,
@@ -15,20 +20,38 @@ from repro.chaos.controller import (
     WorkerFault,
 )
 from repro.chaos.harness import (
+    CampaignRunResult,
     ChaosRunResult,
     build_chaos_fleet,
     inject_storm,
+    run_campaign,
     run_chaos_scenario,
 )
 from repro.chaos.invariants import (
+    CampaignInvariantChecker,
     InvariantChecker,
     InvariantReport,
     InvariantViolation,
+    StageWindow,
+    check_campaign,
     check_invariants,
 )
-from repro.chaos.plan import RATE_FIELDS, FaultPlan, FaultPlanError
+from repro.chaos.plan import (
+    RATE_FIELDS,
+    Campaign,
+    CampaignError,
+    CampaignStage,
+    FaultPlan,
+    FaultPlanError,
+)
 
 __all__ = [
+    "Campaign",
+    "CampaignController",
+    "CampaignError",
+    "CampaignInvariantChecker",
+    "CampaignRunResult",
+    "CampaignStage",
     "ChaosController",
     "ChaosRunResult",
     "FaultPlan",
@@ -41,9 +64,12 @@ __all__ = [
     "InvariantViolation",
     "RATE_FIELDS",
     "RepairFault",
+    "StageWindow",
     "WorkerFault",
     "build_chaos_fleet",
+    "check_campaign",
     "check_invariants",
     "inject_storm",
+    "run_campaign",
     "run_chaos_scenario",
 ]

@@ -26,9 +26,10 @@ import hashlib
 import json
 import threading
 import time
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
-from repro.chaos.plan import FaultPlan
+from repro.chaos.plan import Campaign, FaultPlan
 from repro.environment.events import Event
 
 
@@ -400,3 +401,139 @@ class ChaosController:
 
     def injection_count(self) -> int:
         return len(self.decisions())
+
+
+class CampaignController(ChaosController):
+    """A chaos controller that walks a :class:`Campaign` stage by stage.
+
+    The decision scheme is exactly the base controller's — every draw
+    is a pure function of ``(campaign.seed, site, key)`` — but the
+    *rates* (and targeting) in force come from the active stage's
+    plan.  Because subject keys are globally unique across a run (host
+    event clocks and attempt counters are monotonic), swapping rates
+    at stage boundaries never re-draws a key, so the merged decision
+    ledger — and therefore :meth:`decisions_digest` — replays
+    byte-identically from the serialized campaign.
+
+    Stage transitions are the harness's job (:func:`~repro.chaos.
+    harness.run_campaign`): it calls :meth:`stage_should_extend` after
+    each drained round (the extension is itself a seeded decision,
+    recorded in the ledger as ``campaign.extend``) and
+    :meth:`advance_stage` between stages.  Both must be called while
+    the service is drained — the rate swap is not synchronized against
+    in-flight workers, the drain barrier is the synchronization.
+    """
+
+    def __init__(self, campaign: Campaign,
+                 sleeper: Callable[[float], None] = time.sleep):
+        super().__init__(campaign.stage_plan(0), sleeper=sleeper)
+        self.campaign = campaign
+        self._stage_index = 0
+        self._targets = frozenset(campaign.stages[0].target_hosts)
+        #: Cumulative decision snapshots, one per completed stage.
+        self._stage_marks: List[Dict[str, str]] = []
+
+    # -- stage state ----------------------------------------------------------
+
+    @property
+    def stage(self):
+        return self.campaign.stages[self._stage_index]
+
+    @property
+    def stage_index(self) -> int:
+        return self._stage_index
+
+    def targets_host(self, host_name: str) -> bool:
+        """Does the active stage inject faults on *host_name*?"""
+        return not self._targets or host_name in self._targets
+
+    def stage_should_extend(self, rounds_in_stage: int) -> bool:
+        """Keep the active stage for another round? (seeded decision)
+
+        True unconditionally below the stage's mandatory ``rounds``;
+        beyond them, an extension is drawn per round through the
+        decision digest (recorded as ``campaign.extend``) until
+        ``max_extra_rounds`` is exhausted.
+        """
+        stage = self.stage
+        if rounds_in_stage < stage.rounds:
+            return True
+        extra = rounds_in_stage - stage.rounds
+        if extra >= stage.max_extra_rounds or stage.extend_rate <= 0.0:
+            return False
+        key = (f"campaign:{self.campaign.name}:{stage.name}"
+               f":{rounds_in_stage}")
+        digest = self._digest(key)
+        draw = int.from_bytes(digest[0:8], "big") / 2.0 ** 64
+        if draw < stage.extend_rate:
+            self._record("campaign.extend", key, draw)
+            return True
+        return False
+
+    def advance_stage(self) -> bool:
+        """Seal the active stage and arm the next one.
+
+        Snapshots the cumulative decision ledger (the boundary
+        :meth:`stage_decisions` diffs per-stage slices from), then
+        swaps the rate table and target set to the next stage.
+        Returns False when the sealed stage was the last one.  Call
+        only at a drain barrier.
+        """
+        self._stage_marks.append(self.decisions())
+        if self._stage_index + 1 >= len(self.campaign.stages):
+            return False
+        self._stage_index += 1
+        stage = self.campaign.stages[self._stage_index]
+        plan = replace(stage.plan, seed=self.campaign.seed)
+        self.plan = plan
+        self._rates = {site: plan.rate(site) for site in SITE_SLOTS}
+        self._targets = frozenset(stage.target_hosts)
+        return True
+
+    def stage_decisions(self) -> List[Dict[str, str]]:
+        """Per-stage slices of the decision ledger, in stage order."""
+        slices: List[Dict[str, str]] = []
+        previous: Dict[str, str] = {}
+        for mark in self._stage_marks:
+            slices.append({key: value for key, value in mark.items()
+                           if key not in previous})
+            previous = mark
+        return slices
+
+    # -- targeted seams -------------------------------------------------------
+
+    def worker_fault(self, host_name: str, event: Event,
+                     strikes: int) -> Optional[WorkerFault]:
+        if not self.targets_host(host_name):
+            return None
+        return super().worker_fault(host_name, event, strikes)
+
+    def repair_fault(self, host_name: str,
+                     finding_id: str) -> Optional[RepairFault]:
+        if not self.targets_host(host_name):
+            return None
+        return super().repair_fault(host_name, finding_id)
+
+    def ingress_events(self, host_name: str, event: Event) -> List[Event]:
+        if not self.targets_host(host_name):
+            # Any event stashed while the host *was* targeted still
+            # flushes ahead of its successor (adjacent-swap contract).
+            flushed = self.flush_stash(host_name)
+            return [event] if not flushed else [event] + flushed
+        return super().ingress_events(host_name, event)
+
+    def config_read_hook(self, host_name: str) -> Callable[[str, str], None]:
+        base = super().config_read_hook(host_name)
+
+        def hook(path: str, key: str) -> None:
+            if self.targets_host(host_name):
+                base(path, key)
+            else:
+                # Keep the per-host read numbering continuous so a
+                # later targeted stage draws the same decisions no
+                # matter how many untargeted reads preceded it.
+                with self._lock:
+                    self._config_reads[host_name] = \
+                        self._config_reads.get(host_name, 0) + 1
+
+        return hook

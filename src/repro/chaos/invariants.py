@@ -30,7 +30,7 @@ violated()`` are the test-facing API.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.soc.service import SocService
 
@@ -174,3 +174,120 @@ class InvariantChecker:
 def check_invariants(service: SocService) -> InvariantReport:
     """Convenience: one-shot invariant sweep (see InvariantChecker)."""
     return InvariantChecker().check(service)
+
+
+# -- campaign stage invariants ----------------------------------------------
+
+
+@dataclass
+class StageWindow:
+    """One campaign stage's observable footprint on a run.
+
+    The harness records, per stage, the half-open logical-clock window
+    ``[start, end)`` of every host (host clocks are monotonic, so a
+    window pins exactly the events the stage produced), the hosts the
+    stage targeted, and the stage's slice of the fault-decision
+    ledger.  The checker attributes drifts, incidents, and parked
+    events to stages through these windows.
+    """
+
+    stage: str
+    index: int
+    targets: Tuple[str, ...]
+    rounds: int
+    clocks: Dict[str, Tuple[int, int]]
+    decisions: Dict[str, str] = field(default_factory=dict)
+
+    def contains(self, host_name: str, time: int) -> bool:
+        start, end = self.clocks.get(host_name, (0, 0))
+        return start <= time < end
+
+
+class CampaignInvariantChecker:
+    """Per-stage detection/repair assertions over a campaign run.
+
+    For every :class:`StageWindow` (on a drained, reconciled service):
+
+    * **Stage detection.**  Every drift the stage injected on a
+      targeted host was either detected (an incident whose trigger
+      falls inside the window) or terminally parked in the dead-letter
+      queue — chaos may delay or park an attack symptom, but it can
+      never silently vanish between stages.
+    * **Stage repair uniqueness.**  Effective repairs attributed to a
+      stage window never exceed the drifts the stage injected —
+      the global one-effective-repair-per-drift law, stage-scoped.
+    * **Stage targeting.**  Drift events and drift-triggered incidents
+      appear only on the stage's target hosts: a campaign stage that
+      claims to attack the DMZ must not leave fingerprints on the
+      control zone.
+    """
+
+    def check(self, service: SocService,
+              windows: List[StageWindow]) -> InvariantReport:
+        report = InvariantReport()
+        incidents_by_host = service.incidents_by_host()
+        letters = (service.dead_letters.letters()
+                   if service.dead_letters is not None else [])
+        for window in windows:
+            self._check_stage(service, window, incidents_by_host,
+                              letters, report)
+        return report
+
+    def _check_stage(self, service, window, incidents_by_host,
+                     letters, report) -> None:
+        label = f"stage {window.stage!r}"
+        report.checked.append(f"{label}: detection+repair")
+        targeted = set(window.targets)
+        stage_drifts = 0
+        stage_detected = 0
+        stage_effective = 0
+        for host_name, host in sorted(service.hosts.items()):
+            drifts = [event for event in host.events
+                      if event.kind.startswith("drift")
+                      and window.contains(host_name, event.time)]
+            incidents = [
+                incident
+                for incident in incidents_by_host.get(host_name, [])
+                if window.contains(host_name, incident.detected_at)]
+            parked = [
+                letter for letter in letters
+                if letter.host == host_name
+                and letter.event.kind.startswith("drift")
+                and window.contains(host_name, letter.event.time)]
+            effective = sum(1 for incident in incidents
+                            if incident.effective)
+            stage_drifts += len(drifts)
+            stage_detected += len(incidents)
+            stage_effective += effective
+            if targeted and host_name not in targeted:
+                if drifts:
+                    report.violations.append(
+                        f"{label}: {len(drifts)} drift event(s) on "
+                        f"untargeted host {host_name}")
+                if incidents:
+                    report.violations.append(
+                        f"{label}: {len(incidents)} incident(s) on "
+                        f"untargeted host {host_name}")
+                continue
+            if len(incidents) + len(parked) < len(drifts):
+                report.violations.append(
+                    f"{label}: {host_name} had {len(drifts)} drift(s) "
+                    f"but only {len(incidents)} incident(s) + "
+                    f"{len(parked)} parked — "
+                    f"{len(drifts) - len(incidents) - len(parked)} "
+                    f"attack symptom(s) vanished")
+            if effective > len(drifts):
+                report.violations.append(
+                    f"{label}: {host_name} has {effective} effective "
+                    f"repair(s) for only {len(drifts)} stage drift(s)")
+        report.facts[f"stage.{window.stage}.drifts"] = stage_drifts
+        report.facts[f"stage.{window.stage}.detected"] = stage_detected
+        report.facts[f"stage.{window.stage}.effective"] = stage_effective
+        report.facts[f"stage.{window.stage}.injections"] = \
+            len(window.decisions)
+
+
+def check_campaign(service: SocService,
+                   windows: List[StageWindow]) -> InvariantReport:
+    """Convenience: one-shot per-stage sweep (see the checker)."""
+    return CampaignInvariantChecker().check(service, windows)

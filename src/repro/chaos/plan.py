@@ -17,12 +17,16 @@ field, which is what the CLI's ``--chaos-plan`` leans on.
 
 import json
 import random
-from dataclasses import asdict, dataclass, fields
-from typing import Any, Dict, Optional
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional, Tuple
 
 
 class FaultPlanError(ValueError):
     """A fault-plan document failed validation."""
+
+
+class CampaignError(FaultPlanError):
+    """A campaign document failed validation."""
 
 
 #: Fault-site name -> FaultPlan rate field.  The controller consults
@@ -231,3 +235,203 @@ class FaultPlan:
         parts = ", ".join(f"{site}={rate:g}"
                           for site, rate in active.items())
         return f"seed {self.seed}: {parts}"
+
+
+# -- campaigns: staged fault plans ------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignStage:
+    """One stage of a multi-stage attack campaign.
+
+    A stage is a :class:`FaultPlan` scoped to a phase of the attack
+    (its rates and knobs apply only while the stage is active), plus
+    the campaign-level structure the bare plan has no words for: which
+    CAPEC patterns the fault mix stands in for, which hosts the stage
+    targets (empty tuple = the whole fleet), and how many drift rounds
+    the stage spans.  ``extend_rate`` lets a stage run up to
+    ``max_extra_rounds`` longer: the extension is drawn through the
+    controller's seeded-decision scheme, so stage lengths vary by
+    campaign seed yet replay byte-identically.
+
+    The stage plan's own ``seed`` is ignored — every decision in a
+    campaign derives from the campaign seed (one seed, one replay
+    fingerprint).
+    """
+
+    name: str
+    plan: FaultPlan
+    capec_ids: Tuple[str, ...] = ()
+    target_hosts: Tuple[str, ...] = ()
+    rounds: int = 1
+    extend_rate: float = 0.0
+    max_extra_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignError(
+                f"stage name must be a non-empty string, "
+                f"got {self.name!r}")
+        if not isinstance(self.plan, FaultPlan):
+            raise CampaignError(
+                f"stage {self.name!r}: plan must be a FaultPlan, "
+                f"got {type(self.plan).__name__}")
+        for field_name in ("capec_ids", "target_hosts"):
+            value = getattr(self, field_name)
+            if not isinstance(value, tuple) \
+                    or not all(isinstance(item, str) for item in value):
+                raise CampaignError(
+                    f"stage {self.name!r}: {field_name} must be a "
+                    f"tuple of strings, got {value!r}")
+        if not isinstance(self.rounds, int) \
+                or isinstance(self.rounds, bool) or self.rounds < 1:
+            raise CampaignError(
+                f"stage {self.name!r}: rounds must be an int >= 1, "
+                f"got {self.rounds!r}")
+        if not isinstance(self.extend_rate, (int, float)) \
+                or isinstance(self.extend_rate, bool) \
+                or not 0.0 <= self.extend_rate <= 1.0:
+            raise CampaignError(
+                f"stage {self.name!r}: extend_rate must be a rate in "
+                f"[0, 1], got {self.extend_rate!r}")
+        if not isinstance(self.max_extra_rounds, int) \
+                or isinstance(self.max_extra_rounds, bool) \
+                or self.max_extra_rounds < 0:
+            raise CampaignError(
+                f"stage {self.name!r}: max_extra_rounds must be an "
+                f"int >= 0, got {self.max_extra_rounds!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "plan": self.plan.to_dict(),
+            "capec_ids": list(self.capec_ids),
+            "target_hosts": list(self.target_hosts),
+            "rounds": self.rounds,
+            "extend_rate": self.extend_rate,
+            "max_extra_rounds": self.max_extra_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "CampaignStage":
+        if not isinstance(document, dict):
+            raise CampaignError(
+                f"campaign stage must be a JSON object, "
+                f"got {type(document).__name__}")
+        known = {"name", "plan", "capec_ids", "target_hosts",
+                 "rounds", "extend_rate", "max_extra_rounds"}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise CampaignError(
+                f"unknown campaign stage field(s): "
+                f"{', '.join(unknown)}; known: {', '.join(sorted(known))}")
+        payload = dict(document)
+        plan = payload.get("plan")
+        payload["plan"] = (plan if isinstance(plan, FaultPlan)
+                           else FaultPlan.from_dict(plan or {}))
+        for field_name in ("capec_ids", "target_hosts"):
+            if field_name in payload:
+                value = payload[field_name]
+                if not isinstance(value, (list, tuple)):
+                    raise CampaignError(
+                        f"{field_name} must be a list, got {value!r}")
+                payload[field_name] = tuple(value)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A seeded, serialized multi-stage attack campaign.
+
+    Layered on :class:`FaultPlan` the way a plan is layered on the
+    controller: the campaign is the *entire* specification of a staged
+    chaos run — stage order, per-stage fault plans, targets, spans —
+    plus the one seed every decision (fault draws *and* stage-length
+    extensions) derives from.  Round-trips through JSON so a run can
+    be replayed byte-identically from its serialized form
+    (:class:`~repro.chaos.controller.CampaignController` is the
+    executor).
+    """
+
+    name: str
+    seed: int
+    stages: Tuple[CampaignStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignError(
+                f"campaign name must be a non-empty string, "
+                f"got {self.name!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise CampaignError(
+                f"campaign seed must be an int, got {self.seed!r}")
+        if not isinstance(self.stages, tuple) or not self.stages \
+                or not all(isinstance(stage, CampaignStage)
+                           for stage in self.stages):
+            raise CampaignError(
+                "campaign stages must be a non-empty tuple of "
+                "CampaignStage")
+        seen: Dict[str, int] = {}
+        for stage in self.stages:
+            if stage.name in seen:
+                raise CampaignError(
+                    f"duplicate stage name {stage.name!r}")
+            seen[stage.name] = 1
+
+    def stage_plan(self, index: int) -> FaultPlan:
+        """Stage *index*'s plan with the campaign seed folded in."""
+        return replace(self.stages[index].plan, seed=self.seed)
+
+    @property
+    def total_min_rounds(self) -> int:
+        return sum(stage.rounds for stage in self.stages)
+
+    def describe(self) -> str:
+        stages = " -> ".join(
+            f"{stage.name}({stage.rounds}r"
+            + (f"+{stage.max_extra_rounds}?" if stage.max_extra_rounds
+               else "") + ")"
+            for stage in self.stages)
+        return f"campaign {self.name!r} seed {self.seed}: {stages}"
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "stages": [stage.to_dict() for stage in self.stages]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "Campaign":
+        if not isinstance(document, dict):
+            raise CampaignError(
+                f"campaign must be a JSON object, "
+                f"got {type(document).__name__}")
+        known = {"name", "seed", "stages"}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise CampaignError(
+                f"unknown campaign field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}")
+        stages = document.get("stages")
+        if not isinstance(stages, (list, tuple)):
+            raise CampaignError(
+                f"campaign stages must be a list, got {stages!r}")
+        return cls(
+            name=document.get("name", ""),
+            seed=document.get("seed", 0),
+            stages=tuple(
+                stage if isinstance(stage, CampaignStage)
+                else CampaignStage.from_dict(stage)
+                for stage in stages),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"campaign is not valid JSON: {exc}")
+        return cls.from_dict(document)

@@ -656,6 +656,86 @@ def cmd_reqs(args, out) -> int:
     return 0
 
 
+def cmd_scenarios(args, out) -> int:
+    """Inspect the named bench scenarios.
+
+    ``list`` tabulates the registry; ``describe`` prints one scenario
+    in full (topology zones, compiled campaign schedule, shard hints);
+    ``emit`` dumps the complete machine-readable scenario document —
+    parameters, compiled campaign JSON, zone/conduit structure — the
+    form external tooling (or a replay) consumes.
+    """
+    from repro.scenarios import get_scenario, scenario_names, \
+        ScenarioError
+
+    if args.action == "list":
+        rows = []
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            campaign = scenario.compile_campaign()
+            rows.append({
+                "name": scenario.name,
+                "kind": scenario.kind,
+                "seed": scenario.seed,
+                "hosts": scenario.hosts,
+                "zones": scenario.zones or "-",
+                "stages": ", ".join(s.name for s in campaign.stages),
+            })
+        if args.json:
+            _print_json(rows, out,
+                        status_line=f"{len(rows)} scenario(s)")
+            return 0
+        _print_rows(rows, out)
+        print(f"{len(rows)} scenario(s); 'seed-legacy' pins the "
+              f"pre-scenario bench fixtures", file=out)
+        return 0
+
+    try:
+        scenario = get_scenario(args.name)
+    except ScenarioError as exc:
+        raise SystemExit(f"repro scenarios: {exc.args[0]}")
+
+    if args.action == "emit":
+        _print_json(scenario.to_dict(), out,
+                    status_line=scenario.describe())
+        return 0
+
+    # describe
+    campaign = scenario.compile_campaign()
+    if args.json:
+        _print_json(scenario.to_dict(), out)
+        return 0
+    print(scenario.describe(), file=out)
+    print(f"summary   : {scenario.summary}", file=out)
+    print(f"drifts    : " + ", ".join(
+        f"{action} {arg}" for action, arg in scenario.drifts), file=out)
+    print(f"NL feed   : {len(scenario.nl_requirements)} statement(s)",
+          file=out)
+    print(f"inventory : " + ", ".join(
+        f"{name}={version}"
+        for name, version in scenario.inventory), file=out)
+    print(f"campaign  : {campaign.describe()}", file=out)
+    for stage in campaign.stages:
+        print(f"  stage {stage.name}: rounds>={stage.rounds} "
+              f"(+<={stage.max_extra_rounds} at {stage.extend_rate}), "
+              f"targets={len(stage.target_hosts) or 'fleet'}, "
+              f"capec={', '.join(stage.capec_ids) or '-'}", file=out)
+    if scenario.generated:
+        topology = scenario.topology()
+        print(f"topology  : {topology.describe()}", file=out)
+        problems = topology.validate()
+        print(f"validity  : "
+              + ("OK" if not problems else "; ".join(problems)),
+              file=out)
+        census = topology.shard_census(args.shards)
+        for shard in sorted(census):
+            zones = ", ".join(f"{zone}={count}" for zone, count
+                              in sorted(census[shard].items()))
+            print(f"  shard {shard}: {zones}", file=out)
+        return 0 if not problems else 1
+    return 0
+
+
 def _sched_journal(path: str):
     from repro.sched.journal import Journal, JournalError
 
@@ -980,6 +1060,33 @@ def build_parser() -> argparse.ArgumentParser:
                             help="host profile for artifact raising")
     reqs_trace.add_argument("--json", action="store_true")
     reqs_trace.set_defaults(func=cmd_reqs)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="inspect the named bench scenarios")
+    scenario_actions = scenarios.add_subparsers(dest="action",
+                                                required=True)
+
+    scenarios_list = scenario_actions.add_parser(
+        "list", help="tabulate the scenario registry")
+    scenarios_list.add_argument("--json", action="store_true")
+    scenarios_list.set_defaults(func=cmd_scenarios)
+
+    scenarios_describe = scenario_actions.add_parser(
+        "describe", help="print one scenario in full (topology, "
+                         "campaign schedule, shard hints)")
+    scenarios_describe.add_argument("name",
+                                    help="scenario name (see list)")
+    scenarios_describe.add_argument("--shards", type=int, default=4,
+                                    help="shard count for the "
+                                         "placement census (default 4)")
+    scenarios_describe.add_argument("--json", action="store_true")
+    scenarios_describe.set_defaults(func=cmd_scenarios)
+
+    scenarios_emit = scenario_actions.add_parser(
+        "emit", help="dump the machine-readable scenario document "
+                     "(campaign JSON + topology) on stdout")
+    scenarios_emit.add_argument("name")
+    scenarios_emit.set_defaults(func=cmd_scenarios)
 
     sched = subparsers.add_parser(
         "sched", help="journaled, crash-resumable scheduled runs")

@@ -238,6 +238,7 @@ class VeriDevOpsOrchestrator:
                        max_workers: Optional[int] = None,
                        cache=None,
                        scheduler=None,
+                       risk=None,
                        **thresholds) -> PipelineRun:
         """Run the full prevention pipeline against *hosts*.
 
@@ -245,11 +246,19 @@ class VeriDevOpsOrchestrator:
         the whole run — stage jobs and verification fan-out — through
         that scheduler, which is how journaled, crash-resumable runs
         are driven (see :mod:`repro.sched.runner`).
+
+        A *risk* index (:class:`repro.reqs.risk.RiskIndex`) lands in
+        the pipeline context as ``risk_index``: serial stage execution
+        re-orders through the risk-aware wave planner (high-risk jobs
+        as early as their conflicts allow) and the verification gate
+        drains its pending queries highest-risk-first.
         """
         pipeline = self.build_pipeline(
             verification_tasks=verification_tasks,
             max_workers=max_workers, cache=cache, **thresholds)
         context = PipelineContext(hosts=list(hosts))
+        if risk is not None:
+            context.put("risk_index", risk)
         return pipeline.run(context, scheduler=scheduler)
 
     # -- WP3: protection -----------------------------------------------------------------

@@ -265,45 +265,93 @@ class PipelineRun:
         return f"pipeline {verdict} ({stages} stages run)"
 
 
-def plan_waves(jobs: Sequence[Job]) -> List[List[Job]]:
+def plan_waves(jobs: Sequence[Job],
+               risk: Optional[Any] = None) -> List[List[Job]]:
     """Partition *jobs* into in-order waves of pairwise-disjoint jobs.
 
-    Greedy in declaration order: a job joins the current wave when its
-    declared reads/writes conflict with nothing already in the wave
-    (write/write, read/write, write/read); otherwise it starts the next
-    wave.  Undeclared jobs are solo barriers.  Order within a wave is
-    irrelevant by construction; order across waves preserves the
-    declaration order.
+    Without *risk* (the historical form): greedy in declaration order —
+    a job joins the current wave when its declared reads/writes
+    conflict with nothing already in the wave (write/write, read/write,
+    write/read); otherwise it starts the next wave.  Undeclared jobs
+    are solo barriers.  Order within a wave is irrelevant by
+    construction; order across waves preserves the declaration order.
+
+    With *risk* (anything exposing ``score_for(name) -> float``, e.g.
+    :class:`repro.reqs.risk.RiskIndex`), placement switches to
+    earliest-legal-wave: each job lands in the first wave after its
+    last conflicting predecessor instead of being flushed forward by
+    unrelated conflicts, and each wave runs its jobs high-risk-first
+    (``score_for(job.name)`` descending, declaration order breaking
+    ties).  The conflict relation is unchanged — only slack in the
+    schedule moves, so a high-risk job verifies as early as its data
+    dependencies allow.
 
     The scheduler applies the same pairwise rules as a DAG; waves
     remain the human-readable projection of that graph.
     """
-    waves: List[List[Job]] = []
-    current: List[Job] = []
-    wave_reads: set = set()
-    wave_writes: set = set()
+    if risk is None:
+        waves: List[List[Job]] = []
+        current: List[Job] = []
+        wave_reads: set = set()
+        wave_writes: set = set()
 
-    def flush():
-        nonlocal current, wave_reads, wave_writes
-        if current:
-            waves.append(current)
-        current, wave_reads, wave_writes = [], set(), set()
+        def flush():
+            nonlocal current, wave_reads, wave_writes
+            if current:
+                waves.append(current)
+            current, wave_reads, wave_writes = [], set(), set()
 
-    for job in jobs:
+        for job in jobs:
+            if not job.declared:
+                flush()
+                waves.append([job])
+                continue
+            reads, writes = set(job.reads), set(job.writes)
+            conflict = (writes & wave_writes or writes & wave_reads
+                        or reads & wave_writes)
+            if current and conflict:
+                flush()
+            current.append(job)
+            wave_reads |= reads
+            wave_writes |= writes
+        flush()
+        return waves
+
+    # Earliest-legal placement.  A barrier (undeclared job) conflicts
+    # with everything, so it always opens a fresh trailing wave and
+    # forces every later job past it.
+    placed: List[List[Tuple[int, Job]]] = []
+    reads_of: List[set] = []
+    writes_of: List[set] = []
+    barrier: List[bool] = []
+    for index, job in enumerate(jobs):
         if not job.declared:
-            flush()
-            waves.append([job])
+            placed.append([(index, job)])
+            reads_of.append(set())
+            writes_of.append(set())
+            barrier.append(True)
             continue
         reads, writes = set(job.reads), set(job.writes)
-        conflict = (writes & wave_writes or writes & wave_reads
-                    or reads & wave_writes)
-        if current and conflict:
-            flush()
-        current.append(job)
-        wave_reads |= reads
-        wave_writes |= writes
-    flush()
-    return waves
+        earliest = 0
+        for wave_index in range(len(placed)):
+            conflict = (barrier[wave_index]
+                        or writes & writes_of[wave_index]
+                        or writes & reads_of[wave_index]
+                        or reads & writes_of[wave_index])
+            if conflict:
+                earliest = wave_index + 1
+        if earliest == len(placed):
+            placed.append([])
+            reads_of.append(set())
+            writes_of.append(set())
+            barrier.append(False)
+        placed[earliest].append((index, job))
+        reads_of[earliest] |= reads
+        writes_of[earliest] |= writes
+    return [[job for _, job in
+             sorted(wave, key=lambda pair: (
+                 -risk.score_for(pair[1].name), pair[0]))]
+            for wave in placed]
 
 
 class Pipeline:
@@ -340,7 +388,16 @@ class Pipeline:
             result = StageResult(name=stage.name)
             run.stage_results.append(result)
             if scheduler is None:
-                for job in stage.jobs:
+                # A risk index in the context re-orders serial
+                # execution through the risk-aware wave planner:
+                # high-risk jobs run as early as their declared
+                # conflicts allow.  Without one, declaration order —
+                # the historical engine — is untouched.
+                risk = context.get("risk_index")
+                ordered = (stage.jobs if risk is None else
+                           [job for wave in plan_waves(stage.jobs, risk)
+                            for job in wave])
+                for job in ordered:
                     job_result = job.execute(context)
                     result.job_results.append(job_result)
                     if not job_result.passed:

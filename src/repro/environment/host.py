@@ -67,14 +67,22 @@ class SimulatedHost:
 
     # -- drift injection ------------------------------------------------------
 
-    def drift_audit_policy(self, subcategory: str) -> None:
-        """Adversarially reset one audit subcategory to No Auditing.
+    def drift_audit_policy(self, subcategory: str,
+                           clear_success: bool = True,
+                           clear_failure: bool = True) -> None:
+        """Adversarially clear audit flags on one subcategory.
 
-        Used by the protection-loop benchmarks to model configuration
-        drift in operations.
+        By default resets the subcategory to No Auditing; pass
+        ``clear_failure=False`` (or ``clear_success=False``) to tamper
+        only one flag — useful when the drift should map to exactly one
+        enforceable finding.  Used by the protection-loop benchmarks to
+        model configuration drift in operations.
         """
         before = self.audit_store.get(subcategory).render()
-        self.audit_store.set(subcategory, success=False, failure=False)
+        self.audit_store.set(
+            subcategory,
+            success=False if clear_success else None,
+            failure=False if clear_failure else None)
         self.events.emit("drift.audit", subcategory=subcategory, before=before)
 
     def drift_install_package(self, name: str) -> None:

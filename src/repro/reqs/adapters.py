@@ -1,4 +1,4 @@
-"""The five bundled front-end adapters.
+"""The seven bundled front-end adapters.
 
 Each adapter lowers one native requirement shape into the canonical IR:
 
@@ -14,14 +14,24 @@ vulndb     :class:`~repro.vulndb.generator.GeneratedRequirement`
            (CVE-derived requirements)
 standards  :class:`~repro.standards.iec62443.SystemRequirement`
            (IEC 62443-3-3 SRs with their finding mappings)
+cwe        :class:`~repro.vulndb.records.CweEntry` (weakness
+           catalogue entries, or bare CWE ids)
+capec      :class:`~repro.scenarios.catalogues.AttackPattern`
+           (attack-pattern catalogue entries, or bare CAPEC ids)
 ========== ====================================================
 
 The lowering rules here are *the* definition of each source's IR form:
 the orchestrator's ingestion methods call these adapters, so a record
 ingested through the legacy native API and one lowered explicitly
 through the registry are field-for-field (and therefore
-fingerprint-for-fingerprint) identical.  A future front-end (CWE/CAPEC
-ingestion, say) plugs in as one more module shaped like this one.
+fingerprint-for-fingerprint) identical.
+
+The catalogue adapters (``cwe``, ``capec``) derive their requirement
+ids from the catalogue ids themselves, so re-announcing an entry on
+the streaming path (``lower_iter`` → ``ReqStream`` → ``Rearmer``)
+lands as an upsert of the same rid rather than a fresh record — no
+threaded id counter needed (their :meth:`~repro.reqs.registry.
+FrontendAdapter.id_factory` stays ``None`` by design).
 """
 
 import itertools
@@ -105,6 +115,9 @@ class NalabsAdapter(FrontendAdapter):
             count=10, injection_rate=0.1)
         return requirements
 
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "req_id", "") or "")
+
 
 class ResaAdapter(FrontendAdapter):
     """Boilerplate-matched prose, carrying its exported formalization.
@@ -186,6 +199,9 @@ class ResaAdapter(FrontendAdapter):
             "shall reject remote sessions.\n"
         ).requirements
 
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "boilerplate_id", "") or "")
+
 
 class RqcodeAdapter(FrontendAdapter):
     """STIG catalogue findings: continuous-compliance requirements.
@@ -247,6 +263,9 @@ class RqcodeAdapter(FrontendAdapter):
                 for fid in record.bindings
                 if fid in catalog
                 and catalog.get(fid).platform == host.os_family]
+
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "finding_id", "") or "")
 
 
 class VulndbAdapter(FrontendAdapter):
@@ -315,6 +334,9 @@ class VulndbAdapter(FrontendAdapter):
         return RequirementGenerator(
             bundled_database()).generate(inventory).requirements
 
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "source_cve", "") or "")
+
 
 class StandardsAdapter(FrontendAdapter):
     """IEC 62443-3-3 system requirements with their SR mappings.
@@ -369,3 +391,156 @@ class StandardsAdapter(FrontendAdapter):
         )
 
         return list(requirements_for_level(SecurityLevel.SL4))
+
+    def native_ref(self, native) -> str:
+        sr = native[0] if isinstance(native, tuple) and native else native
+        return str(getattr(sr, "sr_id", "") or "")
+
+
+#: Severity the CWE adapter assigns per weakness category: the coarse
+#: judgement a triage playbook would make from the category alone.
+CWE_CATEGORY_SEVERITY = {
+    "memory-safety": "critical",
+    "input-validation": "high",
+    "authentication": "high",
+    "authorization": "high",
+    "cryptography": "medium",
+    "availability": "medium",
+    "configuration": "medium",
+    "auditing": "low",
+}
+
+
+class CweAdapter(FrontendAdapter):
+    """Weakness-catalogue entries as absence requirements.
+
+    Natives are :class:`~repro.vulndb.records.CweEntry` objects or
+    bare CWE id strings (resolved against the bundled catalogue —
+    the shape a live catalogue feed announces).  Requirement ids
+    derive from the CWE id, so catalogue re-announcements upsert
+    rather than duplicate on the streaming path.
+    """
+
+    name = "cwe"
+    native = "CweEntry / 'CWE-nnn' id"
+
+    @staticmethod
+    def _resolve(native):
+        from repro.vulndb.records import CWE_CATALOG, CweEntry
+
+        if isinstance(native, CweEntry):
+            return native
+        try:
+            return CWE_CATALOG[str(native)]
+        except KeyError:
+            raise KeyError(f"unknown weakness {native!r}; "
+                           f"catalogued: {sorted(CWE_CATALOG)}")
+
+    def lower(self, natives: Sequence,
+              ids: Optional[Callable[[], str]] = None) -> List[Requirement]:
+        from repro.specpatterns.patterns import Absence
+        from repro.specpatterns.scopes import Globally
+
+        records = []
+        for native in natives:
+            entry = self._resolve(native)
+            atom = f"weakness_{entry.cwe_id}".replace("-", "_").lower()
+            records.append(Requirement(
+                rid=(ids() if ids is not None
+                     else entry.cwe_id.replace("CWE-", "CWE-REQ-")),
+                title=f"{entry.cwe_id} {entry.name}",
+                text=(f"The system shall not exhibit {entry.name} "
+                      f"({entry.cwe_id}) weaknesses."),
+                source=self.name,
+                provenance=(Provenance(
+                    "cwe", entry.cwe_id,
+                    f"{entry.cwe_id} {entry.name} "
+                    f"[{entry.category}]"),),
+                target_kind="system",
+                severity=CWE_CATEGORY_SEVERITY.get(entry.category,
+                                                   "medium"),
+                formalization=_formalize(Absence(p=atom), Globally()),
+                tags=(f"cwe-category:{entry.category}",),
+            ))
+        return records
+
+    def discover(self) -> Sequence:
+        from repro.vulndb.records import CWE_CATALOG
+
+        return [CWE_CATALOG[cwe_id] for cwe_id in sorted(
+            CWE_CATALOG, key=lambda cid: int(cid.split("-")[1]))]
+
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "cwe_id", native) or "")
+
+
+class CapecAdapter(FrontendAdapter):
+    """Attack-pattern catalogue entries as detection requirements.
+
+    Natives are :class:`~repro.scenarios.catalogues.AttackPattern`
+    objects or bare CAPEC id strings.  The provenance chain cites the
+    CAPEC id first and then every related CWE, so a record traces to
+    both halves of the weakness taxonomy; the stage tag is what the
+    campaign compiler keys on.
+    """
+
+    name = "capec"
+    native = "AttackPattern / 'CAPEC-nnn' id"
+
+    @staticmethod
+    def _resolve(native):
+        from repro.scenarios.catalogues import AttackPattern, get_pattern
+
+        if isinstance(native, AttackPattern):
+            return native
+        return get_pattern(str(native))
+
+    def lower(self, natives: Sequence,
+              ids: Optional[Callable[[], str]] = None) -> List[Requirement]:
+        from repro.specpatterns.patterns import Absence
+        from repro.specpatterns.scopes import Globally
+        from repro.vulndb.records import CWE_CATALOG
+
+        records = []
+        for native in natives:
+            pattern = self._resolve(native)
+            atom = (f"attack_{pattern.capec_id}"
+                    .replace("-", "_").lower())
+            chain = [Provenance(
+                "capec", pattern.capec_id,
+                f"{pattern.capec_id} {pattern.name} "
+                f"({pattern.stage}, likelihood {pattern.likelihood})")]
+            for cwe_id in pattern.related_cwes:
+                entry = CWE_CATALOG.get(cwe_id)
+                chain.append(Provenance(
+                    "cwe", cwe_id,
+                    f"{cwe_id} {entry.name}" if entry is not None
+                    else f"{cwe_id} related weakness"))
+            records.append(Requirement(
+                rid=(ids() if ids is not None
+                     else pattern.capec_id.replace("CAPEC-",
+                                                   "CAPEC-REQ-")),
+                title=f"Counter {pattern.capec_id} {pattern.name}",
+                text=(f"The system shall detect and counter "
+                      f"{pattern.name} ({pattern.capec_id}) attack "
+                      f"attempts. {pattern.summary}"),
+                source=self.name,
+                provenance=tuple(chain),
+                target_kind="monitor",
+                severity=pattern.severity,
+                formalization=_formalize(Absence(p=atom), Globally()),
+                tags=(f"capec-stage:{pattern.stage}",
+                      f"likelihood:{pattern.likelihood}")
+                + tuple(f"cwe:{cwe_id}"
+                        for cwe_id in pattern.related_cwes),
+            ))
+        return records
+
+    def discover(self) -> Sequence:
+        from repro.scenarios.catalogues import CAPEC_CATALOG
+
+        return [CAPEC_CATALOG[cid] for cid in sorted(
+            CAPEC_CATALOG, key=lambda cid: int(cid.split("-")[1]))]
+
+    def native_ref(self, native) -> str:
+        return str(getattr(native, "capec_id", native) or "")

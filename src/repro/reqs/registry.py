@@ -48,9 +48,15 @@ class RejectedNative:
     native: str
     #: The lint/adapter error message.
     error: str
+    #: Provenance-chain hint (catalogue id: a CWE/CAPEC/CVE/finding
+    #: id) when the adapter can name one — what makes a rejection
+    #: traceable upstream without parsing the native's repr.
+    ref: str = ""
 
     def render(self) -> str:
-        return (f"front-end {self.frontend!r}: native #{self.index} "
+        subject = (f"native #{self.index} ({self.ref})" if self.ref
+                   else f"native #{self.index}")
+        return (f"front-end {self.frontend!r}: {subject} "
                 f"rejected: {self.error}")
 
 
@@ -90,6 +96,16 @@ class FrontendAdapter:
         raise AdapterContractError(
             f"front-end {self.name!r} cannot raise IR back into "
             f"enforceable artifacts")
+
+    def native_ref(self, native) -> str:
+        """The catalogue id of one native (its provenance-chain hint).
+
+        Used to label streaming rejections so a malformed catalogue
+        entry is traceable upstream by its own id (CWE/CAPEC/CVE/
+        finding id) instead of only its position in the feed.  Return
+        ``""`` when the native carries no stable id.
+        """
+        return ""
 
     def id_factory(self) -> Optional[Callable[[], str]]:
         """A default id allocator spanning one *logical* lowering.
@@ -211,6 +227,12 @@ class FrontendRegistry:
         batch: List = []
         starts: List[int] = []
 
+        def ref_of(native) -> str:
+            try:
+                return str(adapter.native_ref(native) or "")[:80]
+            except Exception:
+                return ""
+
         def lower_one(native, position):
             try:
                 records = lint_requirements(
@@ -218,7 +240,8 @@ class FrontendRegistry:
             except Exception as exc:
                 return [RejectedNative(
                     frontend=name, index=position,
-                    native=repr(native)[:200], error=str(exc))]
+                    native=repr(native)[:200], error=str(exc),
+                    ref=ref_of(native))]
             out = []
             for record in records:
                 if record.rid in seen_rids:
@@ -227,7 +250,8 @@ class FrontendRegistry:
                         native=repr(native)[:200],
                         error=(f"duplicate requirement id {record.rid!r} "
                                f"(first lowered from native "
-                               f"#{seen_rids[record.rid]})")))
+                               f"#{seen_rids[record.rid]})"),
+                        ref=ref_of(native)))
                 else:
                     seen_rids[record.rid] = position
                     out.append(record)
@@ -256,7 +280,9 @@ class FrontendRegistry:
                             native=repr(record.rid)[:200],
                             error=(f"duplicate requirement id "
                                    f"{record.rid!r} (first lowered from "
-                                   f"native #{seen_rids[record.rid]})")))
+                                   f"native #{seen_rids[record.rid]})"),
+                            ref=(record.provenance[0].ref
+                                 if record.provenance else "")))
                     else:
                         seen_rids[record.rid] = starts[0]
                         produced.append(record)
@@ -288,8 +314,10 @@ class FrontendRegistry:
 
 
 def default_registry() -> FrontendRegistry:
-    """A registry with the five bundled front-ends registered."""
+    """A registry with the seven bundled front-ends registered."""
     from repro.reqs.adapters import (
+        CapecAdapter,
+        CweAdapter,
         NalabsAdapter,
         ResaAdapter,
         RqcodeAdapter,
@@ -303,4 +331,6 @@ def default_registry() -> FrontendRegistry:
     registry.register(RqcodeAdapter())
     registry.register(VulndbAdapter())
     registry.register(StandardsAdapter())
+    registry.register(CweAdapter())
+    registry.register(CapecAdapter())
     return registry

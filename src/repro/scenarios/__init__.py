@@ -1,0 +1,63 @@
+"""Scenario subsystem: catalogues, campaigns, and generated estates.
+
+Three fronts behind one package:
+
+* :mod:`repro.scenarios.catalogues` — the bundled CAPEC attack-pattern
+  corpus (the CWE weakness corpus lives in :mod:`repro.vulndb.records`)
+  that the ``cwe``/``capec`` requirement front-ends and the campaign
+  compiler annotate from;
+* :mod:`repro.scenarios.topology` — the seeded IEC 62443
+  zones-and-conduits estate generator with conduit-aware SOC shard
+  hints;
+* :mod:`repro.scenarios.library` — the named-scenario registry every
+  bench draws its fleet, requirements, and fault schedule from
+  (``seed-legacy`` pins the pre-refactor fixtures).
+"""
+
+from repro.scenarios.catalogues import (
+    CAPEC_CATALOG,
+    STAGES,
+    AttackPattern,
+    get_pattern,
+    patterns_for_stage,
+)
+from repro.scenarios.library import (
+    LEGACY_DRIFTS,
+    LEGACY_INVENTORY,
+    LEGACY_NL_REQUIREMENTS,
+    SCENARIOS,
+    Scenario,
+    ScenarioError,
+    generated_scenarios,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.topology import (
+    ZONE_TEMPLATES,
+    Conduit,
+    FleetTopology,
+    Zone,
+    generate_topology,
+)
+
+__all__ = [
+    "AttackPattern",
+    "CAPEC_CATALOG",
+    "Conduit",
+    "FleetTopology",
+    "LEGACY_DRIFTS",
+    "LEGACY_INVENTORY",
+    "LEGACY_NL_REQUIREMENTS",
+    "SCENARIOS",
+    "STAGES",
+    "Scenario",
+    "ScenarioError",
+    "Zone",
+    "ZONE_TEMPLATES",
+    "generate_topology",
+    "generated_scenarios",
+    "get_pattern",
+    "get_scenario",
+    "patterns_for_stage",
+    "scenario_names",
+]

@@ -1,0 +1,148 @@
+"""Bundled attack-pattern catalogue: the CAPEC slice scenarios draw on.
+
+The CWE side of the weakness taxonomy already ships with the
+vulnerability database (:data:`repro.vulndb.records.CWE_CATALOG`);
+this module adds the attack-pattern side — a curated CAPEC slice where
+every pattern is keyed to a campaign *stage* (recon → exploit →
+persist) and cross-linked to the CWE entries it exercises.  Two
+consumers:
+
+* the :class:`~repro.reqs.adapters.CapecAdapter` front-end lowers
+  patterns into IR requirements whose provenance chains cite both the
+  CAPEC id and the related CWE ids;
+* the campaign compiler (:mod:`repro.scenarios.campaign`) keys each
+  :class:`~repro.chaos.plan.CampaignStage` to the patterns it
+  realizes, so a staged chaos run documents *which* attack behaviours
+  its fault mix stands in for.
+
+Like the CWE slice, this is a realistic offline corpus, not a feed
+mirror: ids and names are genuine CAPEC entries, the stage assignment
+is the curation.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Campaign stage names, in attack order.
+STAGES: Tuple[str, ...] = ("recon", "exploit", "persist")
+
+
+@dataclass(frozen=True)
+class AttackPattern:
+    """One Common Attack Pattern Enumeration (CAPEC) entry."""
+
+    capec_id: str                    # "CAPEC-66"
+    name: str
+    stage: str                       # one of STAGES
+    related_cwes: Tuple[str, ...]    # CWE ids this pattern exercises
+    likelihood: str                  # low / medium / high
+    severity: str                    # low / medium / high / critical
+    summary: str
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(
+                f"{self.capec_id}: stage must be one of {STAGES}, "
+                f"got {self.stage!r}")
+
+
+#: The CAPEC slice scenarios are built from, keyed by id.
+CAPEC_CATALOG: Dict[str, AttackPattern] = {
+    pattern.capec_id: pattern for pattern in (
+        # -- reconnaissance ------------------------------------------------
+        AttackPattern(
+            "CAPEC-169", "Footprinting", "recon",
+            ("CWE-778",), "high", "low",
+            "An adversary engages in probing and exploration to map "
+            "the target's network and services."),
+        AttackPattern(
+            "CAPEC-300", "Port Scanning", "recon",
+            ("CWE-778",), "high", "low",
+            "An adversary scans ports to fingerprint reachable "
+            "services ahead of an exploit attempt."),
+        AttackPattern(
+            "CAPEC-312", "Active OS Fingerprinting", "recon",
+            ("CWE-16",), "medium", "low",
+            "An adversary sends crafted probes whose responses reveal "
+            "the operating system in use."),
+        AttackPattern(
+            "CAPEC-497", "File Discovery", "recon",
+            ("CWE-284",), "medium", "low",
+            "An adversary enumerates files and directories looking "
+            "for configuration and credential material."),
+        AttackPattern(
+            "CAPEC-573", "Process Footprinting", "recon",
+            ("CWE-284",), "medium", "low",
+            "An adversary enumerates running processes to find "
+            "exploitable or security-relevant software."),
+        # -- exploitation --------------------------------------------------
+        AttackPattern(
+            "CAPEC-66", "SQL Injection", "exploit",
+            ("CWE-89", "CWE-20"), "high", "critical",
+            "An adversary injects SQL through unsanitized inputs to "
+            "read or alter backend data."),
+        AttackPattern(
+            "CAPEC-63", "Cross-Site Scripting", "exploit",
+            ("CWE-79", "CWE-20"), "high", "high",
+            "An adversary embeds malicious scripts in content served "
+            "to other users."),
+        AttackPattern(
+            "CAPEC-88", "OS Command Injection", "exploit",
+            ("CWE-78", "CWE-20"), "medium", "critical",
+            "An adversary injects shell commands through unsanitized "
+            "inputs passed to a command interpreter."),
+        AttackPattern(
+            "CAPEC-100", "Overflow Buffers", "exploit",
+            ("CWE-119", "CWE-787"), "medium", "critical",
+            "An adversary overflows a buffer to corrupt memory and "
+            "redirect execution."),
+        AttackPattern(
+            "CAPEC-49", "Password Brute Forcing", "exploit",
+            ("CWE-307", "CWE-521"), "high", "high",
+            "An adversary tries many candidate passwords against an "
+            "authentication interface."),
+        AttackPattern(
+            "CAPEC-233", "Privilege Escalation", "exploit",
+            ("CWE-269", "CWE-250"), "medium", "high",
+            "An adversary exploits weak privilege management to gain "
+            "capabilities beyond those granted."),
+        # -- persistence ---------------------------------------------------
+        AttackPattern(
+            "CAPEC-550", "Install New Service", "persist",
+            ("CWE-284",), "medium", "high",
+            "An adversary installs a new service to survive reboots "
+            "and maintain access."),
+        AttackPattern(
+            "CAPEC-564", "Run Software at Logon", "persist",
+            ("CWE-284",), "medium", "high",
+            "An adversary registers software to execute at user logon "
+            "for persistence."),
+        AttackPattern(
+            "CAPEC-478", "Modification of Windows Service Configuration",
+            "persist", ("CWE-284", "CWE-269"), "low", "high",
+            "An adversary alters an existing service's configuration "
+            "to run attacker-controlled code."),
+        AttackPattern(
+            "CAPEC-165", "File Manipulation", "persist",
+            ("CWE-284",), "medium", "medium",
+            "An adversary plants or alters files (cron entries, rc "
+            "scripts, prohibited packages) to keep a foothold."),
+    )
+}
+
+
+def patterns_for_stage(stage: str) -> List[AttackPattern]:
+    """The catalogue patterns assigned to *stage*, id-ordered."""
+    if stage not in STAGES:
+        raise KeyError(f"unknown stage {stage!r}; stages: {STAGES}")
+    return sorted((p for p in CAPEC_CATALOG.values() if p.stage == stage),
+                  key=lambda p: int(p.capec_id.split("-")[1]))
+
+
+def get_pattern(capec_id: str) -> AttackPattern:
+    """Look one pattern up by id (raises ``KeyError`` with the ids)."""
+    try:
+        return CAPEC_CATALOG[capec_id]
+    except KeyError:
+        raise KeyError(f"unknown attack pattern {capec_id!r}; "
+                       f"catalogued: {sorted(CAPEC_CATALOG)}")

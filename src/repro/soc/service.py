@@ -94,7 +94,8 @@ class SocService:
                  dead_letter_capacity: int = 64,
                  supervisor_interval: float = 0.02,
                  backend: Optional[str] = None,
-                 risk=None):
+                 risk=None,
+                 placement: Optional[Dict[str, int]] = None):
         self.backend = resolve_backend(backend)
         #: Optional :class:`~repro.reqs.risk.RiskIndex` — orders the
         #: reconcile sweep (highest-risk requirements repaired first
@@ -134,11 +135,25 @@ class SocService:
         self.quarantines = [Quarantine(max_deliveries)
                             for _ in range(shards)]
         self.sessions: Dict[str, MonitorSession] = {}
+        #: Optional explicit host→shard routing hints (e.g. the
+        #: conduit-aware placement a generated topology derives); hosts
+        #: without a hint fall back to hash-ring placement.
+        if placement:
+            bad = {name: shard for name, shard in placement.items()
+                   if not isinstance(shard, int)
+                   or isinstance(shard, bool)
+                   or not 0 <= shard < shards}
+            if bad:
+                raise ValueError(
+                    f"placement hints out of range for {shards} "
+                    f"shard(s): {bad}")
         self._placement: Dict[str, int] = {}
         for name, host in sorted(self.hosts.items()):
             monitors, bindings = plans[name]
             self.sessions[name] = MonitorSession(host, monitors, bindings)
-            self._placement[name] = self.ring.shard_for(name)
+            self._placement[name] = (
+                placement[name] if placement and name in placement
+                else self.ring.shard_for(name))
             self.pipeline.register_host(name)
         self._shard_sessions: Dict[int, Dict[str, MonitorSession]] = {
             index: {} for index in range(shards)}

@@ -12,6 +12,8 @@ into security requirements bound to RQCODE patterns.
 * :mod:`repro.vulndb.database` — the store, queries, and the bundled
   dataset (curated entries + deterministic synthetic expansion).
 * :mod:`repro.vulndb.generator` — vulnerability -> requirement mapping.
+* :mod:`repro.vulndb.poller` — feeds catalogue upserts into the live
+  re-arm plane (:class:`~repro.reqs.stream.ReqStream` deltas).
 """
 
 from repro.vulndb.records import (
@@ -27,6 +29,7 @@ from repro.vulndb.generator import (
     RequirementGenerator,
     SoftwareInventory,
 )
+from repro.vulndb.poller import VulnDbPoller
 
 __all__ = [
     "AffectedProduct",
@@ -36,6 +39,7 @@ __all__ = [
     "RequirementGenerator",
     "Severity",
     "SoftwareInventory",
+    "VulnDbPoller",
     "VulnRecord",
     "VulnerabilityDatabase",
     "bundled_database",

@@ -1,0 +1,83 @@
+"""A minimal vulnerability-database poller for the live re-arm plane.
+
+The streaming ingestion path (:class:`~repro.reqs.stream.ReqStream` +
+:class:`~repro.soc.rearm.Rearmer`) consumes *feeds*: batches of IR
+records whose rids upsert against the armed set.  This poller turns a
+:class:`~repro.vulndb.database.VulnerabilityDatabase` into such a feed:
+each :meth:`poll` re-scans one inventory, lowers the generated
+requirements through the ``vulndb`` front-end adapter, and returns the
+delta against the stream — empty when nothing in the database moved,
+exactly the new/changed records after a catalogue
+:meth:`~repro.vulndb.database.VulnerabilityDatabase.upsert` landed.
+Records that stop matching the scan (a CVE withdrawn, a product
+removed from the inventory) are retired through the delta's
+``remove_rids`` leg, so the armed set tracks the catalogue in both
+directions.
+
+The poller is pull-based on purpose: the simulated database has no
+change feed, and NVD-style sources are polled in practice too.  Wiring
+it to a real schedule is the caller's business — the contract here is
+just "every poll yields the minimal delta".
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.vulndb.database import VulnerabilityDatabase
+from repro.vulndb.generator import RequirementGenerator, SoftwareInventory
+from repro.vulndb.records import Severity
+
+
+class VulnDbPoller:
+    """Polls one database/inventory pair into a requirement stream."""
+
+    def __init__(self, database: VulnerabilityDatabase,
+                 inventory: SoftwareInventory,
+                 registry=None,
+                 min_severity: Severity = Severity.LOW):
+        from repro.reqs import default_registry
+
+        self.database = database
+        self.inventory = inventory
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self.min_severity = min_severity
+        self.polls = 0
+        self._announced: Tuple[str, ...] = ()
+
+    def _lower(self) -> List:
+        """Scan + lower: the database's current answer for the
+        inventory, as IR records (rejections are dropped — the vulndb
+        adapter's natives are machine-generated and lint-clean)."""
+        from repro.reqs.ir import Requirement
+
+        report = RequirementGenerator(
+            self.database,
+            min_severity=self.min_severity).generate(self.inventory)
+        return [item for item in
+                self.registry.lower_iter("vulndb", report.requirements)
+                if isinstance(item, Requirement)]
+
+    def poll(self, stream):
+        """One poll: the minimal :class:`StreamDelta` for *stream*.
+
+        Upserts every record the scan currently yields and retires any
+        rid a previous poll announced that the scan no longer does.
+        The caller applies the delta (e.g. ``Rearmer.apply``) and
+        commits it; polling never mutates the stream itself.
+        """
+        records = self._lower()
+        current = tuple(record.rid for record in records)
+        retired = [rid for rid in self._announced if rid not in current]
+        delta = stream.diff(records, remove_rids=retired)
+        self._announced = current
+        self.polls += 1
+        return delta
+
+    def poll_into(self, stream, rearmer):
+        """Poll, apply through *rearmer*, commit.  Returns
+        ``(delta, rearm_report)`` — the one-call form a live-feed loop
+        uses per tick."""
+        delta = self.poll(stream)
+        report = rearmer.apply(delta)
+        stream.commit(delta)
+        return delta, report

@@ -1,0 +1,137 @@
+"""Campaigns: validation, JSON round-trips, and replay determinism.
+
+The replay property at the heart of the campaign layer: a campaign
+re-hydrated from its serialized JSON and re-run against an identically
+built fleet must reproduce the original run byte-for-byte — same
+decision digest, same incident signature, same stage windows, same
+invariant outcomes.
+"""
+
+import pytest
+
+from repro.chaos import (
+    Campaign,
+    CampaignError,
+    CampaignStage,
+    FaultPlan,
+    run_campaign,
+)
+from repro.scenarios import get_scenario
+
+SCENARIO = get_scenario("zoned-perimeter")
+
+
+def stage(name="probe", **overrides):
+    settings = dict(name=name, plan=FaultPlan(seed=0))
+    settings.update(overrides)
+    return CampaignStage(**settings)
+
+
+class TestCampaignValidation:
+    def test_stage_rejects_bad_rounds(self):
+        with pytest.raises(CampaignError, match="rounds"):
+            stage(rounds=0)
+
+    def test_stage_rejects_bad_extend_rate(self):
+        with pytest.raises(CampaignError, match="extend_rate"):
+            stage(extend_rate=1.5)
+
+    def test_stage_rejects_non_string_targets(self):
+        with pytest.raises(CampaignError, match="target_hosts"):
+            stage(target_hosts=(1, 2))
+
+    def test_campaign_rejects_empty_stages(self):
+        with pytest.raises(CampaignError, match="non-empty"):
+            Campaign(name="c", seed=1, stages=())
+
+    def test_campaign_rejects_duplicate_stage_names(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            Campaign(name="c", seed=1,
+                     stages=(stage("a"), stage("a")))
+
+    def test_unknown_fields_rejected_by_name(self):
+        with pytest.raises(CampaignError, match="sneaky"):
+            Campaign.from_dict({"name": "c", "seed": 1, "stages": [],
+                                "sneaky": True})
+
+    def test_stage_plan_folds_campaign_seed(self):
+        campaign = Campaign(
+            name="c", seed=99,
+            stages=(stage(plan=FaultPlan(seed=5, repair_noop=0.1)),))
+        folded = campaign.stage_plan(0)
+        assert folded.seed == 99
+        assert folded.repair_noop == 0.1
+
+
+class TestCampaignSerialization:
+    def test_json_round_trip_preserves_everything(self):
+        campaign = Campaign(
+            name="two-phase", seed=7,
+            stages=(stage("recon", capec_ids=("CAPEC-169",),
+                          target_hosts=("h-00",), rounds=2,
+                          extend_rate=0.25, max_extra_rounds=1),
+                    stage("exploit",
+                          plan=FaultPlan(seed=0, session_error=0.2))))
+        assert Campaign.from_json(campaign.to_json()) == campaign
+
+    def test_compiled_scenario_campaign_round_trips(self):
+        campaign = SCENARIO.compile_campaign()
+        again = Campaign.from_json(campaign.to_json())
+        assert again == campaign
+        assert again.to_json() == campaign.to_json()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CampaignError, match="valid JSON"):
+            Campaign.from_json("{nope")
+
+
+class TestReplayDeterminism:
+    """Serialize -> re-hydrate -> re-run == the original run."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        campaign = SCENARIO.compile_campaign()
+        serialized = campaign.to_json()
+
+        def one_run(campaign):
+            return run_campaign(
+                campaign,
+                fleet=SCENARIO.build_fleet(),
+                shards=2,
+                drift=SCENARIO.apply_drift,
+                placement=SCENARIO.shard_hints(2))
+
+        first = one_run(campaign)
+        second = one_run(Campaign.from_json(serialized))
+        return first, second
+
+    def test_decision_digests_agree(self, runs):
+        first, second = runs
+        assert first.digest == second.digest
+        assert first.decisions == second.decisions
+        assert first.injections == second.injections
+
+    def test_incident_signatures_agree(self, runs):
+        first, second = runs
+        assert first.signature() == second.signature()
+        assert first.drifts == second.drifts
+
+    def test_stage_windows_agree(self, runs):
+        first, second = runs
+        assert [(w.stage, w.rounds, w.targets, w.clocks, w.decisions)
+                for w in first.stage_windows] \
+            == [(w.stage, w.rounds, w.targets, w.clocks, w.decisions)
+                for w in second.stage_windows]
+
+    def test_invariants_hold_on_both_runs(self, runs):
+        for result in runs:
+            result.invariants.raise_if_violated()
+            result.stage_invariants.raise_if_violated()
+            assert result.fully_repaired
+
+    def test_stage_summary_is_plain_data(self, runs):
+        first, _ = runs
+        rows = first.stage_summary()
+        assert [row["stage"] for row in rows] \
+            == ["recon", "exploit", "persist"]
+        assert all(row["rounds"] >= 1 for row in rows)

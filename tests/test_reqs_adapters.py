@@ -1,6 +1,6 @@
 """Front-end adapters, the registry, and the IR-native consumers.
 
-The acceptance bar this file holds: all five bundled front-ends lower
+The acceptance bar this file holds: all seven bundled front-ends lower
 through the registry with intact provenance, prevention-cache
 fingerprints agree between the native ingestion API and the explicit
 IR path, and repository/persistence round-trip the IR content.
@@ -36,13 +36,14 @@ def corpora(registry):
 
 
 class TestRegistry:
-    def test_five_bundled_frontends(self, registry):
+    def test_seven_bundled_frontends(self, registry):
         assert registry.names() == [
-            "nalabs", "resa", "rqcode", "standards", "vulndb"]
+            "capec", "cwe", "nalabs", "resa", "rqcode",
+            "standards", "vulndb"]
 
     def test_unknown_frontend_raises(self, registry):
         with pytest.raises(KeyError, match="registered"):
-            registry.get("cwe")
+            registry.get("attck")
 
     def test_every_bundled_corpus_lowers_with_provenance(self, corpora):
         for name, irs in corpora.items():
@@ -157,7 +158,7 @@ class TestOrchestratorFrontends:
 
     def test_ingest_frontend_unknown_raises(self):
         with pytest.raises(KeyError):
-            VeriDevOpsOrchestrator().ingest_frontend("cwe")
+            VeriDevOpsOrchestrator().ingest_frontend("attck")
 
     def test_legacy_provenance_strings_survive(self):
         orchestrator = VeriDevOpsOrchestrator()

@@ -21,16 +21,16 @@ class TestReqsList:
     def test_tabulates_all_frontends(self):
         code, output = run_cli("reqs", "list")
         assert code == 0
-        assert "71 requirements from 5 front-end(s)" in output
-        for name in ("nalabs=10", "resa=4", "rqcode=26",
-                     "standards=25", "vulndb=6"):
+        assert "114 requirements from 7 front-end(s)" in output
+        for name in ("capec=15", "cwe=28", "nalabs=10", "resa=4",
+                     "rqcode=26", "standards=25", "vulndb=6"):
             assert name in output
 
     def test_json_is_schema_valid(self):
         code, output = run_cli("reqs", "list", "--json")
         assert code == 0
         records = json.loads(output)
-        assert len(records) == 71
+        assert len(records) == 114
         for payload in records:
             assert validate_record(payload) == []
 
@@ -43,7 +43,7 @@ class TestReqsList:
 
     def test_unknown_frontend_aborts(self):
         with pytest.raises(SystemExit, match="unknown front-end"):
-            run_cli("reqs", "list", "--frontend", "cwe")
+            run_cli("reqs", "list", "--frontend", "attck")
 
 
 class TestReqsShow:
@@ -81,7 +81,7 @@ class TestReqsLower:
 
     def test_unknown_frontend_aborts(self):
         with pytest.raises(SystemExit, match="unknown front-end"):
-            run_cli("reqs", "lower", "cwe")
+            run_cli("reqs", "lower", "attck")
 
 
 class TestReqsLowerStream:
@@ -140,7 +140,7 @@ class TestReqsLowerStream:
     def test_unknown_frontend_aborts_before_reading_stdin(self):
         out = io.StringIO()
         with pytest.raises(SystemExit, match="unknown front-end"):
-            main(["reqs", "lower", "--stream", "cwe"], out=out)
+            main(["reqs", "lower", "--stream", "attck"], out=out)
 
 
 class TestReqsTrace:

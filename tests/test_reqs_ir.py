@@ -67,7 +67,8 @@ class TestRoundTrip:
     def test_every_bundled_record_round_trips_byte_identically(self):
         corpora = default_registry().lower_all_bundled()
         assert sorted(corpora) == [
-            "nalabs", "resa", "rqcode", "standards", "vulndb"]
+            "capec", "cwe", "nalabs", "resa", "rqcode", "standards",
+            "vulndb"]
         for irs in corpora.values():
             assert irs, "bundled corpus must not be empty"
             for record in irs:

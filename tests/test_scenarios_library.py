@@ -1,0 +1,230 @@
+"""The scenario library: registry, seed-legacy fixture fidelity,
+generated estates, and the ``repro scenarios`` CLI.
+
+The acceptance bar: ``seed-legacy`` reproduces the pre-refactor bench
+fixtures byte-for-byte (host names, drift rotation, NL feed,
+inventory, E14's plan seed), every generated scenario yields a valid
+zoned topology with zone-contiguous shard hints, and the compiled
+campaign is a pure function of the scenario seed.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.chaos.plan import Campaign, FaultPlan
+from repro.cli import main
+from repro.scenarios import (
+    LEGACY_DRIFTS,
+    LEGACY_INVENTORY,
+    LEGACY_NL_REQUIREMENTS,
+    SCENARIOS,
+    Scenario,
+    ScenarioError,
+    generated_scenarios,
+    get_scenario,
+    scenario_names,
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestRegistry:
+    def test_seed_legacy_listed_first(self):
+        names = scenario_names()
+        assert names[0] == "seed-legacy"
+        assert names[1:] == sorted(names[1:])
+        assert set(names) == set(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ScenarioError, match="registered"):
+            get_scenario("no-such-estate")
+
+    def test_generated_scenarios_are_the_zoned_trio(self):
+        generated = generated_scenarios()
+        assert len(generated) >= 3
+        assert all(s.generated for s in generated)
+        assert "seed-legacy" not in {s.name for s in generated}
+
+    def test_distinct_seeds(self):
+        seeds = [s.seed for s in SCENARIOS.values()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestSeedLegacyFidelity:
+    """The pinned scenario reproduces the old inline fixtures."""
+
+    @pytest.fixture(scope="class")
+    def legacy(self):
+        return get_scenario("seed-legacy")
+
+    def test_flat_fleet_shape(self, legacy):
+        assert not legacy.generated
+        assert legacy.kind == "legacy"
+        assert legacy.hosts == 32
+        assert legacy.shard_hints(4) is None
+        with pytest.raises(ValueError, match="no zones"):
+            legacy.topology()
+
+    def test_fleet_matches_e12_fixture(self, legacy):
+        fleet = legacy.build_fleet(hosts=4, name="e12")
+        assert fleet.name == "e12"
+        hosts = fleet.hosts()
+        assert [h.name for h in hosts] \
+            == ["node-00", "node-01", "node-02", "node-03"]
+        assert all(h.os_family == "ubuntu" for h in hosts)
+        assert fleet.audit().worst_ratio == 1.0     # hardened profile
+
+    def test_build_hosts_matches_e18_fixture(self, legacy):
+        hosts = legacy.build_hosts(3, prefix="edge")
+        assert [h.name for h in hosts] == ["edge-00", "edge-01", "edge-02"]
+
+    def test_drift_rotation_matches_e12(self, legacy):
+        assert legacy.drifts == LEGACY_DRIFTS
+        # The (round + host) % len rotation the old storm hardcoded.
+        assert legacy.drift_for(0, 0) == ("install", "nis")
+        assert legacy.drift_for(0, 1) == ("install", "rsh-server")
+        assert legacy.drift_for(1, 2) == ("remove", "aide")
+        assert legacy.drift_for(2, 2) == ("install", "nis")
+
+    def test_nl_and_inventory_match_e1(self, legacy):
+        assert legacy.nl_requirements == LEGACY_NL_REQUIREMENTS
+        assert legacy.inventory == LEGACY_INVENTORY
+        inventory = legacy.inventory_for("ubuntu-prod", "ubuntu")
+        assert inventory.host_name == "ubuntu-prod"
+        assert dict(inventory.products)["openssl"] == "1.0.1f"
+
+    def test_fault_plan_matches_e14(self, legacy):
+        # E14's exact construction: seed 14, every site at the rate,
+        # stall knobs zero.
+        assert legacy.fault_plan(0.05) == FaultPlan(
+            seed=14, worker_crash=0.05, worker_hang=0.05,
+            session_error=0.05, repair_raise=0.05, repair_noop=0.05,
+            event_duplicate=0.05, event_reorder=0.05, event_delay=0.05,
+            config_slow=0.05, hang_seconds=0.0, delay_seconds=0.0,
+            config_delay_seconds=0.0)
+        assert legacy.fault_plan(0.02, max_deliveries=5) \
+            .max_deliveries == 5
+
+    def test_legacy_campaign_is_one_quiet_storm_stage(self, legacy):
+        campaign = legacy.compile_campaign()
+        (stage,) = campaign.stages
+        assert stage.name == "storm"
+        assert stage.target_hosts == ()     # whole fleet
+        assert stage.plan.quiet
+
+    def test_apply_drift_routes_by_platform(self, legacy):
+        from repro.environment import (
+            hardened_ubuntu_host,
+            hardened_windows_host,
+        )
+
+        ubuntu = hardened_ubuntu_host("u-00")
+        legacy.apply_drift(ubuntu, 0, 0)
+        assert ubuntu.dpkg.is_installed("nis")
+        windows = hardened_windows_host("w-00")
+        before = windows.audit_store.snapshot()
+        legacy.apply_drift(windows, 0, 0)
+        assert windows.audit_store.snapshot() != before
+
+
+class TestGeneratedScenarios:
+    @pytest.fixture(scope="class", params=[s.name for s
+                                           in generated_scenarios()])
+    def scenario(self, request):
+        return get_scenario(request.param)
+
+    def test_topology_is_valid(self, scenario):
+        topology = scenario.topology()
+        assert topology.validate() == []
+        assert topology.host_count == scenario.hosts
+        assert len(topology.zones) == scenario.zones
+
+    def test_topology_is_seed_deterministic(self, scenario):
+        first, second = scenario.topology(), scenario.topology()
+        assert [z.hosts for z in first.zones] \
+            == [z.hosts for z in second.zones]
+        assert first.shard_hints(4) == second.shard_hints(4)
+
+    def test_shard_hints_cover_the_fleet(self, scenario):
+        hints = scenario.shard_hints(4)
+        fleet = scenario.build_fleet()
+        assert set(hints) == {h.name for h in fleet.hosts()}
+        assert all(0 <= shard < 4 for shard in hints.values())
+
+    def test_campaign_compiles_deterministically(self, scenario):
+        first = scenario.compile_campaign()
+        second = scenario.compile_campaign()
+        assert first == second
+        assert first.to_json() == second.to_json()
+
+    def test_campaign_walks_the_zones(self, scenario):
+        campaign = scenario.compile_campaign()
+        topology = scenario.topology()
+        assert [s.name for s in campaign.stages] \
+            == ["recon", "exploit", "persist"]
+        zoned = {h for zone in topology.zones for h in zone.hosts}
+        for stage in campaign.stages:
+            assert stage.target_hosts
+            assert set(stage.target_hosts) <= zoned
+            assert stage.capec_ids
+            assert all(c.startswith("CAPEC-") for c in stage.capec_ids)
+        # recon hits the outermost zone, persistence the deepest.
+        assert set(campaign.stages[0].target_hosts) \
+            == set(topology.zones[0].hosts)
+        assert set(campaign.stages[-1].target_hosts) \
+            == set(topology.zones[-1].hosts)
+
+    def test_campaign_round_trips_through_json(self, scenario):
+        campaign = scenario.compile_campaign()
+        assert Campaign.from_json(campaign.to_json()) == campaign
+
+    def test_to_dict_carries_topology_and_campaign(self, scenario):
+        document = scenario.to_dict()
+        assert document["kind"] == "generated"
+        assert document["campaign"]["seed"] == scenario.seed
+        assert len(document["topology"]["zones"]) == scenario.zones
+        json.dumps(document)    # fully serializable
+
+
+class TestScenariosCli:
+    def test_list_tabulates_every_scenario(self):
+        code, output = run_cli("scenarios", "list")
+        assert code == 0
+        for name in scenario_names():
+            assert name in output
+
+    def test_list_json(self):
+        code, output = run_cli("scenarios", "list", "--json")
+        assert code == 0
+        rows = json.loads(output)
+        assert [row["name"] for row in rows] == scenario_names()
+
+    def test_describe_validates_topology(self):
+        code, output = run_cli("scenarios", "describe", "zoned-perimeter")
+        assert code == 0
+        assert "zoned-perimeter" in output
+        assert "recon" in output
+
+    def test_describe_json(self):
+        code, output = run_cli("scenarios", "describe", "zoned-depth",
+                               "--json")
+        assert code == 0
+        document = json.loads(output)
+        assert document["name"] == "zoned-depth"
+
+    def test_emit_round_trips_the_campaign(self):
+        code, output = run_cli("scenarios", "emit", "zoned-estate")
+        assert code == 0
+        document = json.loads(output[:output.rindex("}") + 1])
+        campaign = Campaign.from_dict(document["campaign"])
+        assert campaign == get_scenario("zoned-estate").compile_campaign()
+
+    def test_unknown_scenario_aborts(self):
+        with pytest.raises(SystemExit, match="no scenario"):
+            run_cli("scenarios", "describe", "no-such-estate")

@@ -1,0 +1,88 @@
+"""CWE/CAPEC catalogue records through the live re-arm plane.
+
+The acceptance property for the catalogue front-ends: the bundled
+CWE weakness and CAPEC attack-pattern corpora lower to monitorable IR
+(``G !weakness_*`` / ``G !attack_*``), ride a :class:`ReqStream` delta
+into a *running* :class:`SocService` on either backend, and from that
+moment matching weakness/attack events raise incidents — no restart,
+no gap.
+"""
+
+import pytest
+
+from repro.environment import hardened_ubuntu_host
+from repro.reqs import default_registry
+from repro.reqs.stream import ReqStream
+from repro.rqcode import default_catalog
+from repro.soc.rearm import Rearmer, plan_for_records
+from repro.soc.service import SocService
+
+CATALOG = default_catalog()
+REGISTRY = default_registry()
+
+
+def arm_empty(hosts, backend, shards=2):
+    plans = {host.name: plan_for_records([], host, CATALOG)
+             for host in hosts}
+    return SocService(hosts, CATALOG, plans, shards=shards, seed=3,
+                      backend=backend).start()
+
+
+class TestCatalogueLowering:
+    @pytest.mark.parametrize("frontend,prefix", [
+        ("cwe", "weakness_cwe_"), ("capec", "attack_capec_")])
+    def test_corpus_lowers_to_monitorable_absence(self, frontend, prefix):
+        irs = REGISTRY.lower_bundled(frontend)
+        assert irs
+        for record in irs:
+            assert record.formalization is not None
+            assert prefix in record.formalization.ltl
+            assert record.provenance[0].kind == frontend
+
+
+class TestLiveCatalogueRearm:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_cwe_and_capec_feed_rearms_live(self, backend):
+        records = (REGISTRY.lower_bundled("cwe")
+                   + REGISTRY.lower_bundled("capec"))
+        hosts = [hardened_ubuntu_host(f"cat-{i:02d}") for i in range(2)]
+        soc = arm_empty(hosts, backend)
+        stream = ReqStream()
+        try:
+            delta = stream.diff(records)
+            report = Rearmer(soc).apply(delta)
+            stream.commit(delta)
+            assert report.summary()["added"] > 0
+            for host in hosts:
+                monitors, _ = soc.plans[host.name]
+                assert set(monitors) == {r.rid for r in records}
+            # A weakness event and an attack event, different hosts.
+            hosts[0].events.emit("weakness_cwe_20")
+            hosts[1].events.emit("attack_capec_66")
+            soc.drain()
+        finally:
+            soc.stop()
+        by_host = soc.incidents_by_host()
+        assert "CWE-REQ-20" in {i.req_id for i in by_host["cat-00"]}
+        assert "CAPEC-REQ-66" in {i.req_id for i in by_host["cat-01"]}
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_catalogue_retirement_stops_detection(self, backend):
+        records = REGISTRY.lower_bundled("capec")
+        hosts = [hardened_ubuntu_host("cat-00")]
+        soc = arm_empty(hosts, backend, shards=1)
+        stream = ReqStream()
+        rearmer = Rearmer(soc)     # one per service: tokens must not repeat
+        try:
+            delta = stream.diff(records)
+            rearmer.apply(delta)
+            stream.commit(delta)
+            retire = stream.diff([], remove_rids=["CAPEC-REQ-66"])
+            rearmer.apply(retire)
+            stream.commit(retire)
+            hosts[0].events.emit("attack_capec_66")
+            soc.drain()
+        finally:
+            soc.stop()
+        assert all(incident.req_id != "CAPEC-REQ-66"
+                   for incident in soc.incidents())

@@ -1,0 +1,145 @@
+"""The vulndb poller: catalogue upserts become minimal live deltas.
+
+The live-feed property: polling an unchanged database yields an empty
+delta; an upsert that changes what the inventory scan produces yields
+exactly the new/changed records; a revision that stops matching the
+scan retires its requirement through the delta's remove leg.  The last
+test drives a delta into a running :class:`SocService` through the
+:class:`Rearmer` — the full catalogue-to-monitor feed path.
+"""
+
+import pytest
+
+from repro.environment import hardened_ubuntu_host
+from repro.reqs.stream import ReqStream
+from repro.soc.rearm import Rearmer, plan_for_records
+from repro.soc.service import SocService
+from repro.vulndb import (
+    AffectedProduct,
+    SoftwareInventory,
+    VulnDbPoller,
+    VulnRecord,
+    VulnerabilityDatabase,
+    bundled_database,
+)
+
+INVENTORY = SoftwareInventory.of(
+    "prod", "ubuntu",
+    {"openssh-server": "7.6", "bash": "4.3", "openssl": "1.0.1f"})
+
+
+def relevant_upsert():
+    """A revision introducing a new (product, category) pair for the
+    reference inventory: a configuration-class CVE against openssl."""
+    return VulnRecord(
+        "CVE-2026-20002",
+        "openssl ships an insecure default configuration.",
+        "CWE-16", 7.5,
+        (AffectedProduct("openssl", "openssl", None, "1.1.0"),))
+
+
+def irrelevant_upsert():
+    return VulnRecord(
+        "CVE-2026-20001",
+        "Crafted request bypasses input validation in tomcat.",
+        "CWE-79", 9.8,
+        (AffectedProduct("apache", "tomcat", None, "9.0.99"),))
+
+
+class TestPolling:
+    def test_first_poll_arms_the_full_scan(self):
+        poller = VulnDbPoller(bundled_database(), INVENTORY)
+        stream = ReqStream()
+        delta = poller.poll(stream)
+        assert len(delta.added) > 0
+        assert not delta.changed and not delta.removed
+        assert all(r.source == "vulndb" for r in delta.added)
+        stream.commit(delta)
+        assert {r.rid for r in stream.armed()} \
+            == {r.rid for r in delta.added}
+
+    def test_steady_state_polls_are_empty(self):
+        poller = VulnDbPoller(bundled_database(), INVENTORY)
+        stream = ReqStream()
+        stream.commit(poller.poll(stream))
+        for _ in range(3):
+            assert poller.poll(stream).empty
+        assert poller.polls == 4
+
+    def test_irrelevant_upsert_yields_empty_delta(self):
+        database = bundled_database()
+        poller = VulnDbPoller(database, INVENTORY)
+        stream = ReqStream()
+        stream.commit(poller.poll(stream))
+        database.upsert(irrelevant_upsert())
+        assert poller.poll(stream).empty
+
+    def test_relevant_upsert_yields_minimal_delta(self):
+        database = bundled_database()
+        poller = VulnDbPoller(database, INVENTORY)
+        stream = ReqStream()
+        stream.commit(poller.poll(stream))
+        before = {r.rid for r in stream.armed()}
+        database.upsert(relevant_upsert())
+        delta = poller.poll(stream)
+        assert not delta.empty
+        stream.commit(delta)
+        # The new configuration requirement is armed now...
+        armed = stream.armed()
+        assert any("CVE-2026-20002" in r.provenance[0].ref
+                   for r in armed)
+        # ...and the scan grew by exactly the one new pair.
+        assert len(armed) == len(before) + 1
+
+    def test_withdrawn_revision_retires_requirements(self):
+        database = VulnerabilityDatabase()
+        database.add(relevant_upsert())
+        poller = VulnDbPoller(database, INVENTORY)
+        stream = ReqStream()
+        delta = poller.poll(stream)
+        assert len(delta.added) == 1
+        stream.commit(delta)
+        # The revised advisory no longer affects anything we run.
+        withdrawn = VulnRecord(
+            "CVE-2026-20002", "re-analysis: affects solaris only.",
+            "CWE-16", 7.5,
+            (AffectedProduct("oracle", "solaris-ssl", None, None),))
+        database.upsert(withdrawn)
+        retire = poller.poll(stream)
+        assert retire.removed
+        stream.commit(retire)
+        assert stream.armed() == []
+
+
+class TestLiveFeed:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_poll_into_rearms_a_running_soc(self, backend):
+        from repro.rqcode import default_catalog
+
+        catalog = default_catalog()
+        database = bundled_database()
+        poller = VulnDbPoller(database, INVENTORY)
+        stream = ReqStream()
+        hosts = [hardened_ubuntu_host("prod")]
+        plans = {"prod": plan_for_records([], hosts[0], catalog)}
+        soc = SocService(hosts, catalog, plans, shards=1, seed=3,
+                         backend=backend).start()
+        rearmer = Rearmer(soc)     # one per service: tokens must not repeat
+        try:
+            delta, report = poller.poll_into(stream, rearmer)
+            assert report.summary()["added"] > 0
+            database.upsert(relevant_upsert())
+            delta2, report2 = poller.poll_into(stream, rearmer)
+            assert not delta2.empty
+            # An exploit event for a monitored CVE is detected live.
+            hosts[0].events.emit("exploit_CVE_2014_6271")
+            soc.drain()
+        finally:
+            soc.stop()
+        # Detection raises an incident under the armed rid (the
+        # monitor resets to its G-state afterwards, so the final
+        # verdict alone would not show it).
+        incidents = soc.incidents()
+        assert incidents
+        assert {incident.req_id for incident in incidents} \
+            <= set(soc.plans["prod"][0])
